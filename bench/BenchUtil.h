@@ -1,0 +1,112 @@
+//===- bench/BenchUtil.h - Shared bench harness helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the experiment binaries (E1..E9). Each binary prints
+/// a paper-style table derived from deterministic runs, then (where the
+/// experiment is about wall time) runs google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_BENCH_BENCHUTIL_H
+#define TFGC_BENCH_BENCHUTIL_H
+
+#include "driver/Compiler.h"
+#include "workloads/Programs.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tfgc::bench {
+
+/// Runs a program once and returns its stats (aborts on failure — benches
+/// must not silently measure broken runs).
+inline Stats runOnce(const std::string &Source, GcStrategy S,
+                     GcAlgorithm A = GcAlgorithm::Copying,
+                     size_t HeapBytes = 1 << 16, bool Stress = false,
+                     CompileOptions Options = {}) {
+  ExecResult R = execProgram(Source, S, A, HeapBytes, Stress, Options);
+  if (!R.CompileOk || !R.Run.Ok) {
+    std::fprintf(stderr, "bench workload failed under %s: %s%s\n",
+                 gcStrategyName(S), R.CompileError.c_str(),
+                 R.Run.Error.c_str());
+    std::abort();
+  }
+  return std::move(R.St);
+}
+
+/// Compiles once; reused across benchmark iterations.
+inline std::unique_ptr<CompiledProgram>
+compileOrDie(const std::string &Source, CompileOptions Options = {}) {
+  Compiler C(Options);
+  std::string Err;
+  auto P = C.compile(Source, &Err);
+  if (!P) {
+    std::fprintf(stderr, "bench workload failed to compile: %s\n",
+                 Err.c_str());
+    std::abort();
+  }
+  return P;
+}
+
+/// One timed end-to-end run on a precompiled program.
+inline void timedRun(benchmark::State &State, CompiledProgram &P,
+                     GcStrategy S, GcAlgorithm A, size_t HeapBytes,
+                     bool ZeroFramesOverride = false, bool Stress = false) {
+  for (auto _ : State) {
+    Stats St;
+    std::string Err;
+    auto Col = P.makeCollector(S, A, HeapBytes, St, &Err);
+    if (!Col) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    VmOptions VO = defaultVmOptions(S, Stress);
+    VO.ZeroFrames = VO.ZeroFrames || ZeroFramesOverride;
+    Vm M(P.Prog, P.Image, *P.Types, *Col, VO);
+    RunResult R = M.run();
+    if (!R.Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(R.Value.data());
+    State.counters["collections"] = (double)St.get("gc.collections");
+  }
+}
+
+// -- Table printing -----------------------------------------------------
+
+inline void tableHeader(const char *Title, const char *Legend,
+                        const std::vector<std::string> &Cols) {
+  std::printf("\n=== %s ===\n%s\n", Title, Legend);
+  for (const std::string &C : Cols)
+    std::printf("%-22s", C.c_str());
+  std::printf("\n");
+  for (size_t I = 0; I < Cols.size(); ++I)
+    std::printf("%-22s", "--------------------");
+  std::printf("\n");
+}
+
+inline void tableCell(const std::string &V) {
+  std::printf("%-22s", V.c_str());
+}
+inline void tableCell(uint64_t V) { std::printf("%-22llu", (unsigned long long)V); }
+inline void tableCell(double V) { std::printf("%-22.3f", V); }
+inline void tableEnd() { std::printf("\n"); }
+
+inline std::string human(uint64_t Bytes) {
+  char Buf[32];
+  if (Bytes >= 1024 * 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1fMiB", (double)Bytes / (1 << 20));
+  else if (Bytes >= 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1fKiB", (double)Bytes / 1024);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%lluB", (unsigned long long)Bytes);
+  return Buf;
+}
+
+} // namespace tfgc::bench
+
+#endif // TFGC_BENCH_BENCHUTIL_H

@@ -1,0 +1,91 @@
+//===- bench/bench_liveness.cpp - E5: live-variable accuracy -------------===//
+///
+/// Paper claim (section 1, "More accurate recognition of live data and
+/// garbage"): per-call-site routines trace only variables that are still
+/// live, so dead structures are reclaimed promptly. The deadVars workload
+/// drops a large list just before a long allocating call; this bench
+/// compares retained work with liveness on, liveness off, and under the
+/// strategies that cannot use liveness at all (tagged scan, Appel
+/// per-procedure descriptors).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::bench;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+void report(const char *Config, const std::string &Src, GcStrategy S,
+            bool UseLiveness, size_t HeapBytes) {
+  CompileOptions O;
+  O.UseLiveness = UseLiveness;
+  Stats St = runOnce(Src, S, GcAlgorithm::Copying, HeapBytes, true, O);
+  uint64_t N = St.get("gc.collections");
+  tableCell(Config);
+  tableCell(N);
+  tableCell(St.get("gc.objects_visited"));
+  tableCell(St.get("gc.words_visited"));
+  tableCell(N ? (double)St.get("gc.words_visited") / (double)N : 0.0);
+  tableCell(St.get("gc.slots_traced"));
+  tableEnd();
+}
+
+std::unique_ptr<CompiledProgram> &liveProgram() {
+  static auto P = compileOrDie(wl::deadVars(600, 600));
+  return P;
+}
+std::unique_ptr<CompiledProgram> &noLiveProgram() {
+  static CompileOptions O = [] {
+    CompileOptions X;
+    X.UseLiveness = false;
+    return X;
+  }();
+  static auto P = compileOrDie(wl::deadVars(600, 600), O);
+  return P;
+}
+
+void BM_WithLiveness(benchmark::State &State) {
+  timedRun(State, *liveProgram(), GcStrategy::CompiledTagFree,
+           GcAlgorithm::Copying, 1 << 13);
+}
+void BM_WithoutLiveness(benchmark::State &State) {
+  timedRun(State, *noLiveProgram(), GcStrategy::CompiledTagFree,
+           GcAlgorithm::Copying, 1 << 13);
+}
+void BM_TaggedScansEverything(benchmark::State &State) {
+  timedRun(State, *liveProgram(), GcStrategy::Tagged, GcAlgorithm::Copying,
+           1 << 13);
+}
+BENCHMARK(BM_WithLiveness);
+BENCHMARK(BM_WithoutLiveness);
+BENCHMARK(BM_TaggedScansEverything);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Src = wl::deadVars(600, 600);
+  tableHeader("E5: dead-variable retention (deadVars 600/600, GC stress)",
+              "a 600-cons list dies before a 600-cons allocating call; "
+              "words visited measures what each configuration keeps "
+              "copying",
+              {"configuration", "collections", "objs visited",
+               "words visited", "words/collection", "slots traced"});
+  report("compiled+liveness", Src, GcStrategy::CompiledTagFree, true,
+         1 << 20);
+  report("compiled, no liveness", Src, GcStrategy::CompiledTagFree, false,
+         1 << 20);
+  report("interpreted+liveness", Src, GcStrategy::InterpretedTagFree, true,
+         1 << 20);
+  report("appel (all slots)", Src, GcStrategy::AppelTagFree, true, 1 << 20);
+  report("tagged (scan all)", Src, GcStrategy::Tagged, true, 1 << 20);
+  std::printf("\nExpected shape: with liveness the dead list is not "
+              "traced, so words/collection\ndrops sharply; no-liveness, "
+              "Appel and tagged all keep dragging the dead list\nthrough "
+              "every collection.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- bench/bench_tasking.cpp - E8: tasking suspension policies ---------===//
+///
+/// Paper section 4: tasks suspend for collection only at procedure calls.
+/// Testing only inside allocation routines is cheap but lets
+/// allocation-free tasks run long after the heap is exhausted; testing at
+/// every call stops the world fast but costs a test per call — unless the
+/// Rgc register folds the test into the computed jump, getting both. This
+/// bench runs workers plus a compute-heavy spinner under all three
+/// policies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "tasking/Tasking.h"
+
+using namespace tfgc;
+using namespace tfgc::bench;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+struct TaskRun {
+  Stats St;
+  bool Ok = false;
+};
+
+TaskRun runTasks(SuspendChecks Policy, int Workers, int Iters,
+                 int SpinRounds, int SpinN, size_t HeapBytes) {
+  TaskRun Out;
+  // The every-call policies suspend tasks at arbitrary call sites, so
+  // compile tasking-safe: gc_words everywhere and call arguments traced
+  // (see DESIGN.md).
+  CompileOptions O;
+  O.TaskingSafe = true;
+  auto P = compileOrDie(wl::taskWorkerAndSpinner(), O);
+  std::string Err;
+  auto Col = P->makeCollector(GcStrategy::CompiledTagFree,
+                              GcAlgorithm::Copying, HeapBytes, Out.St, &Err);
+  if (!Col)
+    std::abort();
+  TaskingOptions TO;
+  TO.Policy = Policy;
+  TaskingRuntime Rt(P->Prog, P->Image, *P->Types, *Col, TO);
+  FuncId Worker = findFunction(P->Prog, "worker");
+  FuncId Spinner = findFunction(P->Prog, "spinner");
+  for (int64_t SeedIdx = 1; SeedIdx <= Workers; ++SeedIdx)
+    Rt.spawnInt(Worker, {SeedIdx, Iters});
+  if (SpinRounds > 0)
+    Rt.spawnInt(Spinner, {SpinRounds, SpinN});
+  Out.Ok = Rt.runAll();
+  return Out;
+}
+
+const char *policyName(SuspendChecks P) {
+  switch (P) {
+  case SuspendChecks::AtAllocation: return "alloc-only";
+  case SuspendChecks::AtEveryCall:  return "every-call";
+  case SuspendChecks::RgcRegister:  return "rgc-register";
+  default:                          return "?";
+  }
+}
+
+void report(SuspendChecks Policy) {
+  TaskRun R = runTasks(Policy, 3, 60, 60, 2500, 1 << 13);
+  if (!R.Ok)
+    std::abort();
+  uint64_t Stops = R.St.get("task.world_stops");
+  tableCell(policyName(Policy));
+  tableCell(R.St.get("task.suspend_checks"));
+  tableCell(Stops);
+  tableCell(Stops ? (double)R.St.get("task.steps_to_world_stop_total") /
+                        (double)Stops
+                  : 0.0);
+  tableCell(R.St.get("task.steps_to_world_stop_max"));
+  tableCell(R.St.get("task.context_switches"));
+  tableEnd();
+}
+
+void BM_Tasking(benchmark::State &State, SuspendChecks Policy) {
+  for (auto _ : State) {
+    TaskRun R = runTasks(Policy, 3, 30, 30, 1500, 1 << 13);
+    if (!R.Ok) {
+      State.SkipWithError("task failure");
+      return;
+    }
+    State.counters["world_stops"] = (double)R.St.get("task.world_stops");
+  }
+}
+BENCHMARK_CAPTURE(BM_Tasking, alloc_only, SuspendChecks::AtAllocation);
+BENCHMARK_CAPTURE(BM_Tasking, every_call, SuspendChecks::AtEveryCall);
+BENCHMARK_CAPTURE(BM_Tasking, rgc_register, SuspendChecks::RgcRegister);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  tableHeader("E8: suspension policy (3 workers + 1 spinner, shared heap)",
+              "checks = explicit suspension tests executed; stop latency = "
+              "instructions other tasks run between heap exhaustion and "
+              "world-stop",
+              {"policy", "checks", "world stops", "avg stop latency",
+               "max stop latency", "ctx switches"});
+  report(SuspendChecks::AtAllocation);
+  report(SuspendChecks::AtEveryCall);
+  report(SuspendChecks::RgcRegister);
+  std::printf("\nExpected shape: alloc-only runs the fewest checks but the "
+              "spinner stalls the\nworld-stop (large max latency); "
+              "every-call stops fast but pays a check per call;\n"
+              "rgc-register matches alloc-only's explicit check count with "
+              "every-call's latency\n(the test rides the computed jump).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- examples/polymorphic_closures.cpp - Paper section 3 ---------------===//
+///
+/// The paper's polymorphic example:
+///
+///   let fun f x = let y = (x, x) in (y, [3]) end
+///   in (f [true], f 7) end
+///
+/// f's frame GC routine cannot know x's type — it is *parameterized* by a
+/// type GC routine for x, passed down the stack during the oldest-to-
+/// newest traversal. Type GC routines for compound types are closures
+/// built during collection (trace_list_of(const_gc) and friends, Figure
+/// 3); for function values they support extraction of the callee's
+/// parameter routines (Figure 4). This example runs the program under
+/// every strategy and shows the machinery's footprints.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "workloads/Programs.h"
+
+#include <cstdio>
+
+using namespace tfgc;
+
+int main() {
+  std::string Source = workloads::polyPaper();
+  std::printf("program (paper section 3, extended with polymorphic map):\n"
+              "%s\n",
+              Source.c_str());
+
+  Compiler C;
+  std::string Error;
+  auto P = C.compile(Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+
+  // Show f's type parameters and each call site's instantiation — the
+  // compile-time data the frame routines thread through the stack.
+  FuncId F = findFunction(P->Prog, "f");
+  const IrFunction &Fn = P->Prog.fn(F);
+  std::printf("f has %zu type parameter(s); call sites instantiate them "
+              "as:\n",
+              Fn.TypeParams.size());
+  for (const CallSiteInfo &S : P->Prog.Sites) {
+    if (S.Kind != SiteKind::Direct || S.Callee != F)
+      continue;
+    std::printf("  site %-3u in %-10s: ", S.Id,
+                P->Prog.fn(S.Caller).Name.c_str());
+    for (Type *T : S.CalleeTypeInst)
+      std::printf("%s ", P->Types->render(T).c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\nrunning with a 4KiB heap and collection at every "
+              "allocation:\n");
+  for (GcStrategy S :
+       {GcStrategy::Tagged, GcStrategy::CompiledTagFree,
+        GcStrategy::InterpretedTagFree, GcStrategy::AppelTagFree}) {
+    Stats St;
+    auto Col =
+        P->makeCollector(S, GcAlgorithm::Copying, 4 * 1024, St, &Error);
+    if (!Col) {
+      std::fprintf(stderr, "%s: %s\n", gcStrategyName(S), Error.c_str());
+      return 1;
+    }
+    VmOptions VO = defaultVmOptions(S, /*GcStress=*/true);
+    Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
+    RunResult R = M.run();
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: %s\n", gcStrategyName(S), R.Error.c_str());
+      return 1;
+    }
+    std::printf("  %-20s collections=%-4llu type-gc closures built=%-5llu "
+                "chain steps=%-5llu\n",
+                gcStrategyName(S),
+                (unsigned long long)St.get("gc.collections"),
+                (unsigned long long)St.get("gc.tg_nodes"),
+                (unsigned long long)St.get("gc.chain_steps"));
+    if (S == GcStrategy::Tagged)
+      std::printf("       result: %s\n", R.Value.c_str());
+  }
+
+  std::printf(
+      "\nFootprints to notice:\n"
+      " * tagged builds no type-GC closures — headers carry the layout;\n"
+      " * the Goldberg strategies build trace_list_of-style closures during "
+      "each\n   collection (Figure 3) and never walk caller chains;\n"
+      " * Appel's scheme resolves every polymorphic frame by walking down "
+      "the dynamic\n   chain (nonzero chain steps) — the cost the paper's "
+      "two-pass traversal avoids.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/quickstart.cpp - Public API tour --------------------------===//
+///
+/// Compile a MiniML program, pick a GC strategy, run it, inspect stats.
+/// This is the whole public API: Compiler -> CompiledProgram ->
+/// makeCollector -> Vm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace tfgc;
+
+int main() {
+  // A strongly typed program with very dynamic storage allocation: builds
+  // and reverses lists, forcing collections in a small heap.
+  const char *Source = R"(
+    fun build (n : int) : int list =
+      if n = 0 then [] else n :: build (n - 1);
+
+    fun revAcc (xs : int list) (acc : int list) : int list =
+      case xs of Nil => acc | Cons(x, r) => revAcc r (x :: acc);
+
+    fun sum (xs : int list) : int =
+      case xs of Nil => 0 | Cons(x, r) => x + sum r;
+
+    fun rounds (i : int) (acc : int) : int =
+      if i = 0 then acc
+      else rounds (i - 1) (acc + sum (revAcc (build 100) []));
+
+    rounds 50 0
+  )";
+
+  // 1. Compile once. The compiler type checks, lowers to IR, runs the
+  //    liveness and GC-point analyses, and emits the GC metadata for every
+  //    strategy (the tag-free frame routines ARE the paper's contribution).
+  Compiler C;
+  std::string Error;
+  std::unique_ptr<CompiledProgram> P = C.compile(Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "compile error:\n%s", Error.c_str());
+    return 1;
+  }
+  std::printf("compiled: %zu functions, %zu call sites, %zu frame routines\n",
+              P->Prog.Functions.size(), P->Prog.Sites.size(),
+              P->Compiled.numFrameRoutines());
+
+  // 2. Run the same program under each strategy with a deliberately tiny
+  //    heap so the collector earns its keep.
+  for (GcStrategy S :
+       {GcStrategy::Tagged, GcStrategy::CompiledTagFree,
+        GcStrategy::InterpretedTagFree, GcStrategy::AppelTagFree}) {
+    Stats St;
+    std::unique_ptr<Collector> Col =
+        P->makeCollector(S, GcAlgorithm::Copying, /*HeapBytes=*/8 * 1024, St,
+                         &Error);
+    if (!Col) {
+      std::fprintf(stderr, "%s: %s\n", gcStrategyName(S), Error.c_str());
+      return 1;
+    }
+    Vm M(P->Prog, P->Image, *P->Types, *Col, defaultVmOptions(S));
+    RunResult R = M.run();
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: runtime error: %s\n", gcStrategyName(S),
+                   R.Error.c_str());
+      return 1;
+    }
+    std::printf(
+        "%-20s result=%-8s collections=%-4llu avg pause=%6.1fus "
+        "heap allocated=%llu bytes\n",
+        gcStrategyName(S), R.Value.c_str(),
+        (unsigned long long)St.get("gc.collections"),
+        St.get("gc.collections")
+            ? (double)St.get("gc.pause_ns_total") /
+                  (double)St.get("gc.collections") / 1000.0
+            : 0.0,
+        (unsigned long long)St.get("heap.bytes_allocated_total"));
+  }
+
+  std::printf("\nAll four collectors return the same value; the tag-free "
+              "ones did it without a\nsingle tag bit in the heap.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- examples/tagfree_append.cpp - The paper's section 2.4 example ------===//
+///
+/// Reproduces the paper's "interesting example": the append function whose
+/// frame GC routines never trace anything. At the recursive call only the
+/// integer head is needed later (no action for the collector), and at the
+/// cons call nothing is needed at all — so every gc_word of append points
+/// at the shared no_trace routine, and "garbage collection never needs to
+/// trace the elements of an append activation record".
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace tfgc;
+
+int main() {
+  const char *Source = R"(
+    fun append (xs : int list) (ys : int list) : int list =
+      case xs of
+        Nil => ys
+      | Cons(x, rest) => x :: append rest ys;
+
+    fun build (n : int) : int list =
+      if n = 0 then [] else n :: build (n - 1);
+
+    fun sum (xs : int list) : int =
+      case xs of Nil => 0 | Cons(x, r) => x + sum r;
+
+    sum (append (build 400) (build 400))
+  )";
+
+  Compiler C;
+  std::string Error;
+  auto P = C.compile(Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+
+  FuncId Append = findFunction(P->Prog, "append");
+  std::printf("append's call sites and their frame GC routines:\n");
+  for (const CallSiteInfo &S : P->Prog.Sites) {
+    if (S.Caller != Append)
+      continue;
+    const char *Kind = S.Kind == SiteKind::Direct     ? "call"
+                       : S.Kind == SiteKind::Indirect ? "call.ind"
+                                                      : "alloc";
+    const FrameRoutine &FR = P->Compiled.siteRoutine(S.Id);
+    std::printf(
+        "  site %-3u %-9s gc_word@%-4u routine=%s  traced slots: %zu\n",
+        S.Id, Kind, S.CodeAddr + CodeImage::GcWordOffset,
+        FR.isNoTrace() ? "no_trace" : "frame_gc", FR.Slots.size());
+  }
+  std::printf(
+      "\nThe paper: \"garbage collection never needs to trace the elements "
+      "of an append\nactivation record!\" — the recursive call is "
+      "no_trace. The cons allocation's one\ntraced slot is int_cons's own "
+      "parameter (the freshly appended tail), which the\npaper has "
+      "int_cons trace for itself; this implementation charges it to the\n"
+      "caller's record at the same site.\n\n");
+
+  // Prove it dynamically: collect at every allocation while a deep stack
+  // of append frames is live.
+  Stats St;
+  auto Col = P->makeCollector(GcStrategy::CompiledTagFree,
+                              GcAlgorithm::Copying, 1 << 13, St, &Error);
+  VmOptions VO = defaultVmOptions(GcStrategy::CompiledTagFree);
+  Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
+  RunResult R = M.run();
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("result: %s (expected %d)\n", R.Value.c_str(),
+              2 * (400 * 401 / 2));
+  std::printf("collections: %llu, frames traced: %llu, "
+              "slots traced in total: %llu\n",
+              (unsigned long long)St.get("gc.collections"),
+              (unsigned long long)St.get("gc.frames_traced"),
+              (unsigned long long)St.get("gc.slots_traced"));
+  std::printf("\nThousands of append frames were on the stack during "
+              "collections, yet the\nslots-traced count stays tiny: only "
+              "build/sum/main frames contribute.\n");
+  return 0;
+}

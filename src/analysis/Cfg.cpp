@@ -1,0 +1,35 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+using namespace tfgc;
+
+Cfg::Cfg(const IrFunction &F) {
+  size_t N = F.Code.size();
+  Successors.resize(N);
+  Predecessors.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    const Instr &In = F.Code[I];
+    auto AddEdge = [&](uint32_t To) {
+      if (To < N) {
+        Successors[I].push_back(To);
+        Predecessors[To].push_back((uint32_t)I);
+      }
+    };
+    switch (In.Op) {
+    case Opcode::Jump:
+      AddEdge(F.LabelTargets[In.Label]);
+      break;
+    case Opcode::Branch:
+      AddEdge(F.LabelTargets[In.Label]);
+      AddEdge(F.LabelTargets[In.Label2]);
+      break;
+    case Opcode::Return:
+    case Opcode::Abort:
+      break;
+    default:
+      AddEdge((uint32_t)I + 1);
+      break;
+    }
+  }
+}

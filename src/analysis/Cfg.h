@@ -1,0 +1,39 @@
+//===- analysis/Cfg.h - Instruction-level CFG -------------------*- C++ -*-===//
+///
+/// \file
+/// Successor/predecessor edges over a function's instruction list. The IR
+/// has forward-only jumps (loops happen through recursion), but the
+/// dataflow solvers below iterate to a fixpoint anyway for robustness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_ANALYSIS_CFG_H
+#define TFGC_ANALYSIS_CFG_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace tfgc {
+
+/// Per-instruction successor lists for one function.
+class Cfg {
+public:
+  explicit Cfg(const IrFunction &F);
+
+  const std::vector<uint32_t> &succs(uint32_t Idx) const {
+    return Successors[Idx];
+  }
+  const std::vector<uint32_t> &preds(uint32_t Idx) const {
+    return Predecessors[Idx];
+  }
+  size_t size() const { return Successors.size(); }
+
+private:
+  std::vector<std::vector<uint32_t>> Successors;
+  std::vector<std::vector<uint32_t>> Predecessors;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_ANALYSIS_CFG_H

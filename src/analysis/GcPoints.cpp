@@ -1,0 +1,112 @@
+//===- analysis/GcPoints.cpp ----------------------------------------------===//
+
+#include "analysis/GcPoints.h"
+
+using namespace tfgc;
+
+static bool isAllocInstr(const Instr &I, const GcPointOptions &Opts) {
+  switch (I.Op) {
+  case Opcode::MakeTuple:
+  case Opcode::MakeClosure:
+  case Opcode::MakeRef:
+    return true;
+  case Opcode::MakeData:
+    return !I.Srcs.empty(); // Nullary constructors are immediates.
+  case Opcode::LoadFloat:
+    return Opts.FloatsAllocate;
+  case Opcode::Prim:
+    if (!Opts.FloatsAllocate)
+      return false;
+    switch (I.Prim) {
+    case PrimVal::FAdd:
+    case PrimVal::FSub:
+    case PrimVal::FMul:
+    case PrimVal::FDiv:
+    case PrimVal::FNeg:
+    case PrimVal::IntToFloat:
+      return true;
+    default:
+      return false;
+    }
+  default:
+    return false;
+  }
+}
+
+GcPointResult tfgc::computeGcPoints(IrProgram &P, const GcPointOptions &Opts) {
+  GcPointResult R;
+  size_t N = P.Functions.size();
+  R.MayCollect.assign(N, false);
+
+  // Seed: functions containing an allocating instruction.
+  for (const IrFunction &F : P.Functions)
+    for (const Instr &I : F.Code)
+      if (isAllocInstr(I, Opts)) {
+        R.MayCollect[F.Id] = true;
+        break;
+      }
+
+  // Conservative higher-order component: any closure function may be the
+  // target of any indirect call.
+  auto AnyClosureCollects = [&] {
+    for (const IrFunction &F : P.Functions)
+      if (F.IsClosure && R.MayCollect[F.Id])
+        return true;
+    return false;
+  };
+
+  // Fixpoint: S_i = S_{i-1} U { f | f calls into S_{i-1} }  (section 5.1).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.FixpointIterations;
+    bool IndirectMayCollect = AnyClosureCollects();
+    for (const CallSiteInfo &S : P.Sites) {
+      if (R.MayCollect[S.Caller])
+        continue;
+      bool Triggers = false;
+      switch (S.Kind) {
+      case SiteKind::Alloc:
+        // Already seeded; Alloc sites exist in MayCollect callers only
+        // when the instruction allocates under these options.
+        Triggers = isAllocInstr(P.fn(S.Caller).Code[S.InstrIdx], Opts);
+        break;
+      case SiteKind::Direct:
+        Triggers = R.MayCollect[S.Callee];
+        break;
+      case SiteKind::Indirect:
+        Triggers = IndirectMayCollect;
+        break;
+      }
+      if (Triggers) {
+        R.MayCollect[S.Caller] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  // Annotate the sites.
+  bool IndirectMayCollect = AnyClosureCollects();
+  for (CallSiteInfo &S : P.Sites) {
+    switch (S.Kind) {
+    case SiteKind::Alloc:
+      S.CanTriggerGc = isAllocInstr(P.fn(S.Caller).Code[S.InstrIdx], Opts);
+      break;
+    case SiteKind::Direct:
+      S.CanTriggerGc = R.MayCollect[S.Callee];
+      break;
+    case SiteKind::Indirect:
+      S.CanTriggerGc = IndirectMayCollect;
+      break;
+    }
+    ++R.SitesTotal;
+    if (!S.CanTriggerGc)
+      ++R.SitesCannotTrigger;
+  }
+  return R;
+}
+
+void tfgc::assumeAllSitesTrigger(IrProgram &P) {
+  for (CallSiteInfo &S : P.Sites)
+    S.CanTriggerGc = true;
+}

@@ -1,0 +1,48 @@
+//===- analysis/GcPoints.h - GC-point analysis ------------------*- C++ -*-===//
+///
+/// \file
+/// Paper section 5.1: the fixpoint computation of the set S of functions
+/// whose invocation can ultimately lead to a collection, seeded with the
+/// allocating instructions (the built-in "cons/new"). Call sites whose
+/// callees are all outside S cannot trigger GC, so their gc_words can be
+/// omitted entirely.
+///
+/// Higher-order calls are handled with the conservative closure analysis
+/// the paper suggests: an indirect call may invoke any closure-converted
+/// function in the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_ANALYSIS_GCPOINTS_H
+#define TFGC_ANALYSIS_GCPOINTS_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace tfgc {
+
+struct GcPointOptions {
+  /// Count float boxing as allocation (true under the tagged model, where
+  /// floats are heap boxes; false under the tag-free model, where floats
+  /// live unboxed in slots).
+  bool FloatsAllocate = false;
+};
+
+struct GcPointResult {
+  /// Functions in the paper's set S (may lead to a collection).
+  std::vector<bool> MayCollect;
+  unsigned FixpointIterations = 0;
+  unsigned SitesTotal = 0;
+  unsigned SitesCannotTrigger = 0; ///< gc_word omitted.
+};
+
+/// Runs the analysis and sets CallSiteInfo::CanTriggerGc for every site.
+GcPointResult computeGcPoints(IrProgram &P, const GcPointOptions &Opts = {});
+
+/// Marks every site as able to trigger GC (the analysis-off baseline).
+void assumeAllSitesTrigger(IrProgram &P);
+
+} // namespace tfgc
+
+#endif // TFGC_ANALYSIS_GCPOINTS_H

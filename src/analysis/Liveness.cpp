@@ -1,0 +1,169 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/Cfg.h"
+
+#include <vector>
+
+using namespace tfgc;
+
+namespace {
+
+/// Dense bitset over slots, sized per function.
+class SlotSet {
+public:
+  explicit SlotSet(size_t N = 0) : Bits(N, false) {}
+  void resize(size_t N) { Bits.assign(N, false); }
+  bool test(size_t I) const { return Bits[I]; }
+  void set(size_t I) { Bits[I] = true; }
+  void clear(size_t I) { Bits[I] = false; }
+  void setAll() { Bits.assign(Bits.size(), true); }
+
+  /// this |= Other; returns true if anything changed.
+  bool unionWith(const SlotSet &Other) {
+    bool Changed = false;
+    for (size_t I = 0; I < Bits.size(); ++I)
+      if (Other.Bits[I] && !Bits[I]) {
+        Bits[I] = true;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  /// this &= Other.
+  void intersectWith(const SlotSet &Other) {
+    for (size_t I = 0; I < Bits.size(); ++I)
+      if (!Other.Bits[I])
+        Bits[I] = false;
+  }
+
+  bool operator==(const SlotSet &Other) const { return Bits == Other.Bits; }
+
+  size_t size() const { return Bits.size(); }
+
+private:
+  std::vector<bool> Bits;
+};
+
+struct FnDataflow {
+  std::vector<SlotSet> LiveOut; ///< Live after each instruction.
+  std::vector<SlotSet> InitIn;  ///< Definitely initialized before it.
+};
+
+FnDataflow solve(const IrFunction &F) {
+  Cfg G(F);
+  size_t N = F.Code.size();
+  size_t Slots = F.numSlots();
+  FnDataflow D;
+  D.LiveOut.assign(N, SlotSet(Slots));
+  D.InitIn.assign(N, SlotSet(Slots));
+
+  // Backward liveness to a fixpoint.
+  std::vector<SlotSet> LiveIn(N, SlotSet(Slots));
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = N; I-- > 0;) {
+      const Instr &In = F.Code[I];
+      SlotSet Out(Slots);
+      for (uint32_t S : G.succs((uint32_t)I))
+        Out.unionWith(LiveIn[S]);
+      SlotSet NewIn = Out;
+      if (In.hasDst())
+        NewIn.clear(In.Dst);
+      for (SlotIndex S : In.Srcs)
+        NewIn.set(S);
+      if (!(D.LiveOut[I] == Out)) {
+        D.LiveOut[I] = Out;
+        Changed = true;
+      }
+      if (!(LiveIn[I] == NewIn)) {
+        LiveIn[I] = NewIn;
+        Changed = true;
+      }
+    }
+  }
+
+  // Forward definite-initialization to a fixpoint. Parameters (and the
+  // closure self slot) are initialized at entry.
+  std::vector<SlotSet> InitOut(N, SlotSet(Slots));
+  for (auto &S : InitOut)
+    S.setAll(); // "top" for the intersection; entry fixes instruction 0.
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < N; ++I) {
+      SlotSet In(Slots);
+      if (G.preds((uint32_t)I).empty()) {
+        for (unsigned P = 0; P < F.NumParams; ++P)
+          In.set(P);
+      } else {
+        In.setAll();
+        for (uint32_t P : G.preds((uint32_t)I))
+          In.intersectWith(InitOut[P]);
+        // Entry can also fall through from nothing only at index 0.
+        if (I == 0) {
+          SlotSet Entry(Slots);
+          for (unsigned P = 0; P < F.NumParams; ++P)
+            Entry.set(P);
+          In.unionWith(Entry);
+        }
+      }
+      SlotSet Out = In;
+      if (F.Code[I].hasDst())
+        Out.set(F.Code[I].Dst);
+      if (!(D.InitIn[I] == In)) {
+        D.InitIn[I] = In;
+        Changed = true;
+      }
+      if (!(InitOut[I] == Out)) {
+        InitOut[I] = Out;
+        Changed = true;
+      }
+    }
+  }
+  return D;
+}
+
+} // namespace
+
+void tfgc::computeTraceSets(IrProgram &P, const LivenessOptions &Opts) {
+  // Solve each function once, then fill the site trace sets.
+  std::vector<FnDataflow> Flows;
+  Flows.reserve(P.Functions.size());
+  for (const IrFunction &F : P.Functions)
+    Flows.push_back(solve(F));
+
+  for (CallSiteInfo &S : P.Sites) {
+    const IrFunction &F = P.fn(S.Caller);
+    const Instr &In = F.Code[S.InstrIdx];
+    const FnDataflow &D = Flows[S.Caller];
+
+    SlotSet Trace(F.numSlots());
+    if (Opts.UseLiveness) {
+      Trace = D.LiveOut[S.InstrIdx];
+      if (In.hasDst())
+        Trace.clear(In.Dst); // Written only after the call returns.
+      // Allocation instructions read their operands *after* a potential
+      // collection (the object is allocated first, then filled from the
+      // slots), so the operands must be traced and updated. Under tasking
+      // the same holds for call arguments: a task suspended at the call
+      // re-executes it after the collection.
+      if (S.Kind == SiteKind::Alloc || Opts.TraceCallArgs)
+        for (SlotIndex Src : In.Srcs)
+          Trace.set(Src);
+    } else {
+      Trace.setAll();
+      if (In.hasDst())
+        Trace.clear(In.Dst);
+    }
+    // Never trace uninitialized slots: their contents are garbage (paper
+    // section 1.1.1's critique of per-procedure descriptors).
+    Trace.intersectWith(D.InitIn[S.InstrIdx]);
+
+    S.TraceSlots.clear();
+    for (size_t I = 0; I < Trace.size(); ++I)
+      if (Trace.test(I))
+        S.TraceSlots.push_back((SlotIndex)I);
+  }
+}

@@ -1,0 +1,45 @@
+//===- analysis/Reconstruct.cpp -------------------------------------------===//
+
+#include "analysis/Reconstruct.h"
+
+using namespace tfgc;
+
+bool tfgc::findTypePath(Type *Root, Type *Target, TypePath &Out) {
+  Root = Root->resolved();
+  if (Root == Target)
+    return true;
+  if (Root->isVar())
+    return false;
+  for (unsigned I = 0; I < Root->numArgs(); ++I) {
+    Out.push_back(I);
+    if (findTypePath(Root->arg(I), Target, Out))
+      return true;
+    Out.pop_back();
+  }
+  if (Root->getKind() == TypeKind::Fun) {
+    Out.push_back(Root->numArgs());
+    if (findTypePath(Root->result(), Target, Out))
+      return true;
+    Out.pop_back();
+  }
+  return false;
+}
+
+ReconstructResult tfgc::computeExtractionPaths(const IrProgram &P) {
+  ReconstructResult R;
+  R.Paths.resize(P.Functions.size());
+  for (const IrFunction &F : P.Functions) {
+    auto &Entry = R.Paths[F.Id];
+    Entry.resize(F.TypeParams.size());
+    for (size_t I = 0; I < F.TypeParams.size(); ++I) {
+      TypePath Path;
+      if (F.FunTy && findTypePath(F.FunTy, F.TypeParams[I], Path)) {
+        Entry[I].Found = true;
+        Entry[I].Path = std::move(Path);
+      } else if (F.IsClosure) {
+        R.Violations.push_back({F.Id, F.TypeParams[I]});
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,61 @@
+//===- analysis/Reconstruct.h - Type reconstructibility ---------*- C++ -*-===//
+///
+/// \file
+/// For the polymorphic tag-free strategies, the collector must be able to
+/// recover the type GC routines for a closure-called function's type
+/// parameters from the type GC routine of the closure's *function type*
+/// (paper section 3, Figures 3 and 4). That works only if every type
+/// parameter occurs somewhere in the function type — Goldberg '91 has no
+/// answer for parameters that appear only in the environment, a gap closed
+/// later by Goldberg & Gloger '92. This pass computes, for each type
+/// parameter, an extraction path into the function type, and reports the
+/// parameters for which no path exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_ANALYSIS_RECONSTRUCT_H
+#define TFGC_ANALYSIS_RECONSTRUCT_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace tfgc {
+
+/// A path into a type term. At a Fun node, step k < numArgs() selects
+/// parameter k and step == numArgs() selects the result; at Tuple/Data/Ref
+/// nodes, step k selects argument k.
+using TypePath = std::vector<uint32_t>;
+
+struct ClosureParamPath {
+  bool Found = false;
+  TypePath Path;
+};
+
+struct ReconstructResult {
+  /// Per function: one entry per TypeParam. Only closure-called functions
+  /// need paths (direct callees get instantiations from their call sites),
+  /// but paths are computed for every function whose FunTy mentions them.
+  std::vector<std::vector<ClosureParamPath>> Paths;
+
+  struct Violation {
+    FuncId Fn;
+    Type *Param;
+  };
+  /// Closure functions with a type parameter not recoverable from the
+  /// function type.
+  std::vector<Violation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Computes extraction paths for all functions.
+ReconstructResult computeExtractionPaths(const IrProgram &P);
+
+/// Finds the first occurrence of rigid var \p Target in \p Root. Returns
+/// true and fills \p Out on success.
+bool findTypePath(Type *Root, Type *Target, TypePath &Out);
+
+} // namespace tfgc
+
+#endif // TFGC_ANALYSIS_RECONSTRUCT_H

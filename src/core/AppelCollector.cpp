@@ -1,0 +1,85 @@
+//===- core/AppelCollector.cpp --------------------------------------------===//
+
+#include "core/AppelCollector.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+AppelCollector::AppelCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
+                               const IrProgram &Prog, const CodeImage &Img,
+                               TypeContext &Types, AppelMetadata *AM,
+                               bool GlogerDummies)
+    : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Prog(Prog),
+      Img(Img), Types(Types), AM(AM), GlogerDummies(GlogerDummies) {}
+
+std::vector<const TypeGc *>
+AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
+                             TypeGcEngine &Eng, TagFreeTracer &Tr) {
+  FrameInfo &Fr = Stack.Frames[Idx];
+  const IrFunction &Fn = Prog.fn(Fr.FuncId);
+  if (Fn.TypeParams.empty())
+    return {};
+
+  St.add("gc.chain_steps");
+  uint32_t CallerIdx = Fr.DynamicLink;
+  assert(CallerIdx != NoFrame &&
+         "polymorphic frame with no caller (main must be monomorphic)");
+  FrameInfo &Caller = Stack.Frames[CallerIdx];
+  const IrFunction &CallerFn = Prog.fn(Caller.FuncId);
+
+  // Resolve the caller first — this recursion is the repeated stack
+  // traversal the paper criticizes.
+  std::vector<const TypeGc *> CallerBinds =
+      resolveBinds(Stack, CallerIdx, Eng, Tr);
+  TgEnv CEnv;
+  CEnv.Params = &CallerFn.TypeParams;
+  CEnv.Binds = CallerBinds.data();
+
+  Word GcWord = Img.gcWordAt(Caller.PendingSiteAddr);
+  assert(GcWord != CodeImage::OmittedGcWord);
+  const CallSiteInfo &S = Prog.site((CallSiteId)GcWord);
+
+  std::vector<const TypeGc *> Binds;
+  if (S.Kind == SiteKind::Direct) {
+    assert(S.Callee == Fr.FuncId);
+    for (Type *T : S.CalleeTypeInst)
+      Binds.push_back(Eng.eval(T, CEnv));
+  } else {
+    assert(S.Kind == SiteKind::Indirect);
+    const TypeGc *FunTg = Eng.eval(S.ClosureTy, CEnv);
+    for (const ClosureParamPath &P :
+         AM->closureDescriptor(Fr.FuncId).ParamPaths)
+      Binds.push_back(Tr.bindParam(P, FunTg));
+  }
+  return Binds;
+}
+
+void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
+  TypeGcEngine Eng(Types, St);
+  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
+                   nullptr, AM, GlogerDummies);
+
+  for (TaskStack *Stack : Roots.Stacks) {
+    if (Stack->Frames.empty())
+      continue;
+    // Newest to oldest, following dynamic links (Figure 2's direction).
+    uint32_t Idx = (uint32_t)(Stack->Frames.size() - 1);
+    while (Idx != NoFrame) {
+      FrameInfo &Fr = Stack->Frames[Idx];
+      const IrFunction &Fn = Prog.fn(Fr.FuncId);
+      St.add("gc.frames_traced");
+
+      std::vector<const TypeGc *> Binds;
+      if (!Fn.TypeParams.empty())
+        Binds = resolveBinds(*Stack, Idx, Eng, Tr);
+      TgEnv Env;
+      Env.Params = &Fn.TypeParams;
+      Env.Binds = Binds.data();
+
+      Tr.traceFrame(Stack->frameSlots(Fr), AM->procDescriptor(Fr.FuncId),
+                    &Env);
+      Idx = Fr.DynamicLink;
+    }
+  }
+}

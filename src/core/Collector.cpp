@@ -1,0 +1,110 @@
+//===- core/Collector.cpp -------------------------------------------------===//
+
+#include "core/Collector.h"
+#include "core/Space.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace tfgc;
+
+const char *tfgc::gcStrategyName(GcStrategy S) {
+  switch (S) {
+  case GcStrategy::Tagged:             return "tagged";
+  case GcStrategy::CompiledTagFree:    return "compiled-tagfree";
+  case GcStrategy::InterpretedTagFree: return "interpreted-tagfree";
+  case GcStrategy::AppelTagFree:       return "appel-tagfree";
+  }
+  return "?";
+}
+
+Collector::Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes,
+                     Stats &St)
+    : Model(Model), Algo(Algo), St(St) {
+  if (Algo == GcAlgorithm::Copying)
+    Copying = std::make_unique<Heap>(HeapBytes);
+  else
+    Ms = std::make_unique<MarkSweepHeap>(HeapBytes);
+}
+
+Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
+  assert(PayloadWords > 0);
+  size_t Total =
+      Model == ValueModel::Tagged ? PayloadWords + 1 : PayloadWords;
+  Word *P = Copying ? Copying->tryAllocate(Total) : Ms->tryAllocate(Total);
+  if (!P)
+    return nullptr;
+  St.add("heap.objects_allocated");
+  if (Model == ValueModel::Tagged) {
+    P[0] = makeHeader((uint32_t)PayloadWords, Kind);
+    return P + 1;
+  }
+  return P;
+}
+
+void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
+  size_t Need = NeedPayloadWords + (Model == ValueModel::Tagged ? 1 : 0);
+  auto Start = std::chrono::steady_clock::now();
+
+  if (Copying) {
+    size_t Capacity = Copying->capacityBytes() / sizeof(Word);
+    for (;;) {
+      Copying->beginCollection(Capacity);
+      CopyingSpace Sp(*Copying, Model == ValueModel::Tagged);
+      traceRoots(Roots, Sp);
+      Copying->endCollection();
+      if (Copying->freeWords() >= Need)
+        break;
+      // Not enough reclaimed: grow and collect again (the roots now live
+      // in the new space, which becomes from-space for the next round).
+      size_t UsedWords = Copying->usedBytes() / sizeof(Word);
+      Capacity = Capacity * 2 > UsedWords + Need ? Capacity * 2
+                                                 : (UsedWords + Need) * 2;
+      St.add("gc.heap_growths");
+    }
+  } else {
+    Ms->beginMark();
+    MarkSpace Sp(*Ms, Model == ValueModel::Tagged);
+    traceRoots(Roots, Sp);
+    size_t Reclaimed = Ms->sweep();
+    St.add("gc.bytes_reclaimed", Reclaimed);
+    while (!Ms->canAllocate(Need)) {
+      Ms->addSegment();
+      St.add("gc.heap_growths");
+    }
+  }
+
+  auto Ns = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  St.add("gc.collections");
+  St.add("gc.pause_ns_total", Ns);
+  St.max("gc.pause_ns_max", Ns);
+
+  if (VerifyAfterGc) {
+    // Note: the verification pass re-runs the frame routines, so work
+    // counters (objects visited, trace steps) double while it is on —
+    // enable it in correctness tests only.
+    CheckSpace Check(
+        [this](Word P) {
+          return Copying ? Copying->contains(P) : Ms->contains(P);
+        },
+        Model == ValueModel::Tagged);
+    traceRoots(Roots, Check);
+    St.add("gc.verify_passes");
+    St.add("gc.verify_violations", Check.violations());
+  }
+}
+
+size_t Collector::heapUsedBytes() const {
+  return Copying ? Copying->usedBytes() : Ms->usedBytes();
+}
+
+size_t Collector::heapCapacityBytes() const {
+  return Copying ? Copying->capacityBytes() : Ms->capacityBytes();
+}
+
+uint64_t Collector::bytesAllocatedTotal() const {
+  return Copying ? Copying->bytesAllocatedTotal()
+                 : Ms->bytesAllocatedTotal();
+}

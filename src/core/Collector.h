@@ -1,0 +1,84 @@
+//===- core/Collector.h - Collector interface -------------------*- C++ -*-===//
+///
+/// \file
+/// Base class for all collectors. A collector owns the heap (semispace or
+/// mark-sweep), provides mutator allocation, and implements root tracing
+/// according to its strategy:
+///
+///   TaggedCollector      program-independent scan by tag bits + headers
+///   GoldbergCollector    the paper's tag-free method (compiled or
+///                        interpreted frame routines; oldest-to-newest
+///                        traversal with type-GC closures for polymorphism)
+///   AppelCollector       one descriptor per procedure, dynamic-chain type
+///                        reconstruction (paper section 1.1.1)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_COLLECTOR_H
+#define TFGC_CORE_COLLECTOR_H
+
+#include "gcmeta/CodeImage.h"
+#include "runtime/Heap.h"
+#include "runtime/MarkSweepHeap.h"
+#include "runtime/Roots.h"
+#include "support/Stats.h"
+
+#include <memory>
+
+namespace tfgc {
+
+enum class GcAlgorithm : uint8_t { Copying, MarkSweep };
+
+enum class GcStrategy : uint8_t {
+  Tagged,
+  CompiledTagFree,
+  InterpretedTagFree,
+  AppelTagFree,
+};
+
+const char *gcStrategyName(GcStrategy S);
+
+class Space;
+
+class Collector {
+public:
+  Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes, Stats &St);
+  virtual ~Collector() = default;
+
+  ValueModel model() const { return Model; }
+  GcAlgorithm algorithm() const { return Algo; }
+  Stats &stats() { return St; }
+
+  /// Mutator allocation of \p PayloadWords payload words; under the tagged
+  /// model a header word is added and initialized. Returns nullptr when a
+  /// collection is needed.
+  Word *tryAllocatePayload(size_t PayloadWords, ObjKind Kind);
+
+  /// Collects, growing the heap as needed until \p NeedPayloadWords can be
+  /// allocated.
+  void collect(RootSet &Roots, size_t NeedPayloadWords);
+
+  /// After every collection, re-traverse the reachable graph read-only
+  /// and count references that escaped the live heap (collector bug
+  /// detector; results in stats key "gc.verify_violations").
+  void setVerifyAfterGc(bool Enabled) { VerifyAfterGc = Enabled; }
+
+  size_t heapUsedBytes() const;
+  size_t heapCapacityBytes() const;
+  uint64_t bytesAllocatedTotal() const;
+
+protected:
+  /// Strategy-specific root tracing into \p Sp.
+  virtual void traceRoots(RootSet &Roots, Space &Sp) = 0;
+
+  ValueModel Model;
+  GcAlgorithm Algo;
+  Stats &St;
+  bool VerifyAfterGc = false;
+  std::unique_ptr<Heap> Copying;
+  std::unique_ptr<MarkSweepHeap> Ms;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_COLLECTOR_H

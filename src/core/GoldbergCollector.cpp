@@ -1,0 +1,108 @@
+//===- core/GoldbergCollector.cpp -----------------------------------------===//
+
+#include "core/GoldbergCollector.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+GoldbergCollector::GoldbergCollector(TraceMethod Method, GcAlgorithm Algo,
+                                     size_t HeapBytes, Stats &St,
+                                     const IrProgram &Prog,
+                                     const CodeImage &Img, TypeContext &Types,
+                                     const CompiledMetadata *CM,
+                                     InterpretedMetadata *IM,
+                                     bool GlogerDummies)
+    : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Method(Method),
+      Prog(Prog), Img(Img), Types(Types), CM(CM), IM(IM),
+      GlogerDummies(GlogerDummies) {
+  assert(Method != TraceMethod::Appel && "use AppelCollector");
+  assert((Method == TraceMethod::Compiled ? CM != nullptr : IM != nullptr) &&
+         "metadata missing for the selected method");
+}
+
+const std::vector<ClosureParamPath> &
+GoldbergCollector::paramPaths(FuncId Fn) const {
+  return Method == TraceMethod::Compiled
+             ? CM->closureRoutine(Fn).ParamPaths
+             : IM->closureDescriptor(Fn).ParamPaths;
+}
+
+void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
+  TypeGcEngine Eng(Types, St);
+  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
+                   GlogerDummies);
+
+  for (TaskStack *Stack : Roots.Stacks) {
+    if (Stack->Frames.empty())
+      continue;
+
+    // Pass 1 (paper section 3): reverse the dynamic links so the stack can
+    // be walked from the oldest activation record to the newest. We
+    // materialize the reversed chain as an index list; each hop is one
+    // pointer reversal.
+    std::vector<uint32_t> Order;
+    uint32_t F = (uint32_t)(Stack->Frames.size() - 1);
+    while (F != NoFrame) {
+      Order.push_back(F);
+      St.add("gc.ptr_reversal_steps");
+      F = Stack->Frames[F].DynamicLink;
+    }
+
+    // Pass 2: oldest to newest, threading type GC routine bindings from
+    // each frame's pending call site to the next frame.
+    std::vector<const TypeGc *> Binds;
+    for (size_t K = Order.size(); K-- > 0;) {
+      FrameInfo &Fr = Stack->Frames[Order[K]];
+      const IrFunction &Fn = Prog.fn(Fr.FuncId);
+      assert(Binds.size() == Fn.TypeParams.size() &&
+             "binding/parameter mismatch");
+
+      assert(Fr.PendingSiteAddr != NoSiteAddr &&
+             "suspended frame without a pending site");
+      Word GcWord = Img.gcWordAt(Fr.PendingSiteAddr);
+      assert(GcWord != CodeImage::OmittedGcWord &&
+             "collection at a site the GC-point analysis ruled out");
+      CallSiteId Site = (CallSiteId)GcWord;
+
+      St.add("gc.frames_traced");
+      TgEnv Env;
+      Env.Params = &Fn.TypeParams;
+      Env.Binds = Binds.data();
+      Word *Slots = Stack->frameSlots(Fr);
+      if (Method == TraceMethod::Compiled)
+        Tr.traceFrame(Slots, CM->siteRoutine(Site), &Env);
+      else
+        Tr.traceFrame(Slots, IM->siteDescriptor(Site), &Env);
+
+      if (K == 0)
+        break; // Newest frame: nobody above.
+
+      // Hand the callee its type parameter routines (the f_frame_gc ->
+      // next_gc(...) call of the paper).
+      const CallSiteInfo &S = Prog.site(Site);
+      const IrFunction &Callee = Prog.fn(Stack->Frames[Order[K - 1]].FuncId);
+      std::vector<const TypeGc *> Next;
+      switch (S.Kind) {
+      case SiteKind::Direct: {
+        assert(S.Callee == Stack->Frames[Order[K - 1]].FuncId);
+        for (Type *T : S.CalleeTypeInst)
+          Next.push_back(Eng.eval(T, Env));
+        break;
+      }
+      case SiteKind::Indirect: {
+        if (!Callee.TypeParams.empty()) {
+          const TypeGc *FunTg = Eng.eval(S.ClosureTy, Env);
+          for (const ClosureParamPath &P : paramPaths(Callee.Id))
+            Next.push_back(Tr.bindParam(P, FunTg));
+        }
+        break;
+      }
+      case SiteKind::Alloc:
+        assert(false && "allocation site cannot have a callee frame");
+        break;
+      }
+      Binds = std::move(Next);
+    }
+  }
+}

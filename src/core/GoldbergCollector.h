@@ -1,0 +1,49 @@
+//===- core/GoldbergCollector.h - The paper's collector ---------*- C++ -*-===//
+///
+/// \file
+/// The tag-free collector of Goldberg '91. Monomorphic frames are traced
+/// by the frame GC routine selected through the suspended return address
+/// (Figure 2); polymorphic programs use the section-3 algorithm: an
+/// explicit pointer-reversal pass over the dynamic links, then one
+/// oldest-to-newest walk in which each frame's routine passes the type GC
+/// routines for the callee's type parameters to the next frame's routine.
+/// The stack is traversed at most twice, as the paper promises.
+///
+/// The Method parameter selects the compiled method (flat routines) or the
+/// interpreted method (descriptors) for ground types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_GOLDBERGCOLLECTOR_H
+#define TFGC_CORE_GOLDBERGCOLLECTOR_H
+
+#include "core/Collector.h"
+#include "core/Tracer.h"
+
+namespace tfgc {
+
+class GoldbergCollector : public Collector {
+public:
+  GoldbergCollector(TraceMethod Method, GcAlgorithm Algo, size_t HeapBytes,
+                    Stats &St, const IrProgram &Prog, const CodeImage &Img,
+                    TypeContext &Types, const CompiledMetadata *CM,
+                    InterpretedMetadata *IM, bool GlogerDummies = false);
+
+protected:
+  void traceRoots(RootSet &Roots, Space &Sp) override;
+
+private:
+  TraceMethod Method;
+  const IrProgram &Prog;
+  const CodeImage &Img;
+  TypeContext &Types;
+  const CompiledMetadata *CM;
+  InterpretedMetadata *IM;
+  bool GlogerDummies;
+
+  const std::vector<ClosureParamPath> &paramPaths(FuncId Fn) const;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_GOLDBERGCOLLECTOR_H

@@ -1,0 +1,141 @@
+//===- core/Space.h - Copying vs mark-sweep policy --------------*- C++ -*-===//
+///
+/// \file
+/// The tag-free tracing engines are generic over the underlying collection
+/// algorithm (the paper supports both copying and mark/sweep). A Space
+/// answers "was this object visited already?" and performs the visit
+/// (copy+forward, or mark).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_SPACE_H
+#define TFGC_CORE_SPACE_H
+
+#include "runtime/Heap.h"
+#include "runtime/MarkSweepHeap.h"
+
+#include <cstring>
+#include <functional>
+#include <unordered_set>
+
+namespace tfgc {
+
+class Space {
+public:
+  virtual ~Space() = default;
+
+  /// If \p Ref was already visited, sets \p NewRef and returns true.
+  virtual bool alreadyVisited(Word Ref, Word &NewRef) = 0;
+
+  /// First visit: copies (copying) or marks (mark-sweep) the object whose
+  /// payload is \p PayloadWords words. Returns the object's new reference.
+  virtual Word visitNew(Word Ref, size_t PayloadWords) = 0;
+
+  /// The payload to scan/patch after visitNew (the to-space copy under
+  /// copying collection).
+  Word *payload(Word Ref) const { return reinterpret_cast<Word *>(Ref); }
+};
+
+/// Semispace policy. With \p TaggedHeaders, objects carry a header at
+/// payload[-1] that is copied along.
+class CopyingSpace : public Space {
+public:
+  CopyingSpace(Heap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwarded(Obj))
+      return false;
+    NewRef = H.forwardee(Obj);
+    return true;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    Word *New;
+    if (TaggedHeaders) {
+      Word *Alloc = H.allocateInToSpace(PayloadWords + 1);
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = H.allocateInToSpace(PayloadWords);
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.setForwarded(Old, (Word)(uintptr_t)New);
+    return (Word)(uintptr_t)New;
+  }
+
+private:
+  Heap &H;
+  bool TaggedHeaders;
+};
+
+/// Non-moving policy. Marks are recorded against block addresses, which
+/// under the tagged model sit one header word before the payload.
+class MarkSpace : public Space {
+public:
+  MarkSpace(MarkSweepHeap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    if (!H.isMarked(block(Ref)))
+      return false;
+    NewRef = Ref;
+    return true;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    (void)PayloadWords;
+    H.tryMark(block(Ref));
+    return Ref;
+  }
+
+private:
+  const Word *block(Word Ref) const {
+    return reinterpret_cast<const Word *>(Ref) - (TaggedHeaders ? 1 : 0);
+  }
+
+  MarkSweepHeap &H;
+  bool TaggedHeaders;
+};
+
+/// Read-only verification policy: visits the reachable graph without
+/// moving or marking anything, validating that every reference lands
+/// inside the live heap. Used after a collection to catch collector bugs
+/// (a pointer the tracer failed to forward would point into the dead
+/// from-space, which no longer exists).
+class CheckSpace : public Space {
+public:
+  /// \p InBounds answers whether a payload address lies in the live heap.
+  CheckSpace(std::function<bool(Word)> InBounds, bool TaggedHeaders)
+      : InBounds(std::move(InBounds)), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    if (!Visited.count(Ref))
+      return false;
+    NewRef = Ref;
+    return true;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word First = TaggedHeaders ? Ref - sizeof(Word) : Ref;
+    Word Last = Ref + (PayloadWords ? PayloadWords - 1 : 0) * sizeof(Word);
+    if (!InBounds(First) || !InBounds(Last))
+      ++Violations;
+    Visited.insert(Ref);
+    return Ref;
+  }
+
+  uint64_t violations() const { return Violations; }
+
+private:
+  std::function<bool(Word)> InBounds;
+  bool TaggedHeaders;
+  std::unordered_set<Word> Visited;
+  uint64_t Violations = 0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_SPACE_H

@@ -1,0 +1,48 @@
+//===- core/TaggedCollector.cpp -------------------------------------------===//
+
+#include "core/TaggedCollector.h"
+
+#include <vector>
+
+using namespace tfgc;
+
+void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
+  std::vector<Word> ScanList;
+
+  auto TraceWord = [&](Word W) -> Word {
+    if (!isTaggedPointer(W))
+      return W;
+    Word NewRef;
+    if (Sp.alreadyVisited(W, NewRef))
+      return NewRef;
+    const Word *Old = reinterpret_cast<const Word *>(W);
+    Word Header = Old[-1];
+    NewRef = Sp.visitNew(W, headerSize(Header));
+    St.add("gc.objects_visited");
+    St.add("gc.words_visited", headerSize(Header) + 1);
+    if (headerKind(Header) == ObjKind::Scan)
+      ScanList.push_back(NewRef);
+    return NewRef;
+  };
+
+  for (TaskStack *Stack : Roots.Stacks) {
+    for (FrameInfo &Fr : Stack->Frames) {
+      St.add("gc.frames_traced");
+      Word *Slots = Stack->frameSlots(Fr);
+      // No metadata: every slot of every frame is scanned.
+      for (uint32_t I = 0; I < Fr.NumSlots; ++I) {
+        St.add("gc.slots_traced");
+        Slots[I] = TraceWord(Slots[I]);
+      }
+    }
+  }
+
+  while (!ScanList.empty()) {
+    Word Ref = ScanList.back();
+    ScanList.pop_back();
+    Word *Pl = Sp.payload(Ref);
+    uint32_t Size = headerSize(Pl[-1]);
+    for (uint32_t I = 0; I < Size; ++I)
+      Pl[I] = TraceWord(Pl[I]);
+  }
+}

@@ -1,0 +1,32 @@
+//===- core/TaggedCollector.h - Tagged baseline -----------------*- C++ -*-===//
+///
+/// \file
+/// The program-independent baseline the paper wants to beat: every word
+/// carries a tag bit, every object a header, and the collector needs no
+/// compiler-generated metadata at all — it scans every slot of every frame
+/// and every payload word of every Scan-kind object by tag bit. The costs
+/// show up elsewhere: headers (E2), boxed floats (E1/E2), tag arithmetic
+/// (E1), and no dead-variable filtering (E5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_TAGGEDCOLLECTOR_H
+#define TFGC_CORE_TAGGEDCOLLECTOR_H
+
+#include "core/Collector.h"
+#include "core/Space.h"
+
+namespace tfgc {
+
+class TaggedCollector : public Collector {
+public:
+  TaggedCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St)
+      : Collector(ValueModel::Tagged, Algo, HeapBytes, St) {}
+
+protected:
+  void traceRoots(RootSet &Roots, Space &Sp) override;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_TAGGEDCOLLECTOR_H

@@ -1,0 +1,111 @@
+//===- core/Tracer.h - Tag-free tracing engine ------------------*- C++ -*-===//
+///
+/// \file
+/// Executes the compiler-generated GC metadata over untagged heap values.
+/// One instance lives for the duration of a single collection. Three
+/// tracing paths exist, matching the artifacts the compiler produced:
+///
+///   traceCompiled  flat compiled type routines (the compiled method)
+///   traceDesc      descriptor-graph interpretation (the interpreted
+///                  method / Appel's descriptors)
+///   traceTg        type-GC-routine closures built during this collection
+///                  (polymorphic slots, paper section 3)
+///
+/// Closure values are traced through their code pointer: the word before
+/// the code entry names the lambda, whose metadata gives the environment
+/// layout and the extraction paths for its type parameters (sections 2.2
+/// and 3, Figure 4).
+///
+/// All three paths run the tail field iteratively so that tracing a
+/// million-element list does not recurse a million deep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_TRACER_H
+#define TFGC_CORE_TRACER_H
+
+#include "core/Space.h"
+#include "core/TypeGc.h"
+#include "gcmeta/AppelMeta.h"
+#include "gcmeta/CodeImage.h"
+#include "gcmeta/CompiledRoutines.h"
+#include "gcmeta/InterpretedMeta.h"
+
+#include <deque>
+
+namespace tfgc {
+
+enum class TraceMethod : uint8_t { Compiled, Interpreted, Appel };
+
+/// Binding of one datatype parameter during descriptor interpretation:
+/// a descriptor plus the environment its own Param nodes resolve in.
+struct DescEnvNode;
+struct DescBinding {
+  DescId D = 0;
+  const DescEnvNode *Env = nullptr;
+};
+struct DescEnvNode {
+  std::vector<DescBinding> Binds;
+};
+
+class TagFreeTracer {
+public:
+  TagFreeTracer(const IrProgram &Prog, const CodeImage &Img,
+                TypeGcEngine &Eng, Space &Sp, Stats &St, TraceMethod Method,
+                const CompiledMetadata *CM, InterpretedMetadata *IM,
+                AppelMetadata *AM, bool GlogerDummies = false)
+      : Prog(Prog), Img(Img), Eng(Eng), Sp(Sp), St(St), Method(Method),
+        CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies) {}
+
+  /// Binds one closure type parameter: by extraction path, or — under the
+  /// Goldberg & Gloger '92 rule — to const_gc when no path exists (a value
+  /// whose type cannot be reconstructed can never be inspected, so it need
+  /// not be traced).
+  const TypeGc *bindParam(const ClosureParamPath &P, const TypeGc *FunTg);
+
+  /// Ground value of compiled routine \p R. Returns the new reference.
+  Word traceCompiled(Word V, RoutineId R);
+
+  /// Value by descriptor interpretation. \p Env resolves Param nodes (the
+  /// surrounding Data descriptor's type arguments); top-level descriptors
+  /// are ground and take nullptr.
+  Word traceDesc(Word V, DescId D, const DescEnvNode *Env);
+
+  /// Value by type-GC-routine closure.
+  Word traceTg(Word V, const TypeGc *Tg);
+
+  /// Closure value. \p FunTg is the function-type routine (for recovering
+  /// the lambda's type parameters); when null, \p StaticFunTy (ground) is
+  /// evaluated instead if needed.
+  Word traceClosureValue(Word V, const TypeGc *FunTg, Type *StaticFunTy);
+
+  /// Frame tracing (Env required whenever the routine has open slots).
+  void traceFrame(Word *Slots, const FrameRoutine &FR, const TgEnv *Env);
+  void traceFrame(Word *Slots, const FrameDescriptor &FD, const TgEnv *Env);
+
+private:
+  const IrProgram &Prog;
+  const CodeImage &Img;
+  TypeGcEngine &Eng;
+  Space &Sp;
+  Stats &St;
+  TraceMethod Method;
+  const CompiledMetadata *CM;
+  InterpretedMetadata *IM;
+  AppelMetadata *AM;
+  bool GlogerDummies;
+
+  DescriptorTable &descTable() {
+    return Method == TraceMethod::Appel ? AM->descriptors()
+                                        : IM->descriptors();
+  }
+  /// Environments built during this collection (stable addresses).
+  std::deque<DescEnvNode> EnvStorage;
+
+  DescBinding resolveArg(DescId A, const DescEnvNode *Env);
+  bool bindingsEqual(const DescBinding &A, const DescBinding &B);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_TRACER_H

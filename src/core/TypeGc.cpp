@@ -1,0 +1,145 @@
+//===- core/TypeGc.cpp ----------------------------------------------------===//
+
+#include "core/TypeGc.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+const TypeGc *TgEnv::lookup(Type *Rigid) const {
+  assert(Params && "rigid var with no bindings in scope");
+  for (size_t I = 0; I < Params->size(); ++I)
+    if ((*Params)[I] == Rigid)
+      return Binds[I];
+  assert(false && "rigid var not among the function's type parameters");
+  return nullptr;
+}
+
+TypeGc *TypeGcEngine::alloc() {
+  ++NumNodes;
+  St.add("gc.tg_nodes");
+  return Nodes.make<TypeGc>();
+}
+
+const TypeGc *const *
+TypeGcEngine::copyArgs(const std::vector<const TypeGc *> &Args) {
+  if (Args.empty())
+    return nullptr;
+  auto **Arr = static_cast<const TypeGc **>(
+      Nodes.allocate(sizeof(TypeGc *) * Args.size(), alignof(TypeGc *)));
+  for (size_t I = 0; I < Args.size(); ++I)
+    Arr[I] = Args[I];
+  return Arr;
+}
+
+const TypeGc *TypeGcEngine::eval(Type *T, const TgEnv &Env) {
+  T = T->resolved();
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return &ConstNode;
+  case TypeKind::Var:
+    assert(T->isRigid() && "free type variable at collection time");
+    return Env.lookup(T);
+  case TypeKind::Tuple: {
+    std::vector<const TypeGc *> Fields;
+    Fields.reserve(T->numArgs());
+    for (Type *A : T->args())
+      Fields.push_back(eval(A, Env));
+    TypeGc *N = alloc();
+    N->K = TypeGc::Kind::Record;
+    N->NumArgs = T->numArgs();
+    N->Args = copyArgs(Fields);
+    return N;
+  }
+  case TypeKind::Ref: {
+    std::vector<const TypeGc *> Elem{eval(T->refElem(), Env)};
+    TypeGc *N = alloc();
+    N->K = TypeGc::Kind::Ref;
+    N->NumArgs = 1;
+    N->Args = copyArgs(Elem);
+    return N;
+  }
+  case TypeKind::Fun: {
+    std::vector<const TypeGc *> Parts;
+    for (Type *A : T->args())
+      Parts.push_back(eval(A, Env));
+    Parts.push_back(eval(T->result(), Env));
+    TypeGc *N = alloc();
+    N->K = TypeGc::Kind::Fun;
+    N->A = T->numArgs();
+    N->NumArgs = (uint32_t)Parts.size();
+    N->Args = copyArgs(Parts);
+    return N;
+  }
+  case TypeKind::Data: {
+    DatatypeInfo *Info = T->data();
+    std::vector<const TypeGc *> ArgTgs;
+    ArgTgs.reserve(T->numArgs());
+    for (Type *A : T->args())
+      ArgTgs.push_back(eval(A, Env));
+
+    // All-nullary datatypes are immediates everywhere.
+    bool AllNullary = true;
+    for (const CtorInfo &C : Info->Ctors)
+      if (!C.Fields.empty())
+        AllNullary = false;
+    if (AllNullary)
+      return &ConstNode;
+
+    auto Key = std::make_pair(Info->Id, ArgTgs);
+    auto It = DataMemo.find(Key);
+    if (It != DataMemo.end())
+      return It->second;
+
+    TypeGc *N = alloc();
+    N->K = TypeGc::Kind::Data;
+    N->A = Info->Id;
+    N->NumArgs = (uint32_t)ArgTgs.size();
+    N->Args = copyArgs(ArgTgs);
+    // Tie the knot before building constructor fields so that recursive
+    // datatypes (lists, trees) reference this very node.
+    DataMemo.emplace(std::move(Key), N);
+
+    TgEnv DataEnv;
+    DataEnv.Params = &Info->Params;
+    DataEnv.Binds = N->Args;
+
+    N->NumCtors = (uint32_t)Info->Ctors.size();
+    auto **CtorArrs = static_cast<const TypeGc *const **>(Nodes.allocate(
+        sizeof(void *) * N->NumCtors, alignof(void *)));
+    auto *Counts = static_cast<uint32_t *>(
+        Nodes.allocate(sizeof(uint32_t) * N->NumCtors, alignof(uint32_t)));
+    for (uint32_t C = 0; C < N->NumCtors; ++C) {
+      const CtorInfo &Ctor = Info->Ctors[C];
+      Counts[C] = (uint32_t)Ctor.Fields.size();
+      std::vector<const TypeGc *> Fields;
+      Fields.reserve(Ctor.Fields.size());
+      for (Type *F : Ctor.Fields)
+        Fields.push_back(eval(F, DataEnv));
+      CtorArrs[C] = copyArgs(Fields);
+    }
+    N->CtorFields = CtorArrs;
+    N->CtorFieldCounts = Counts;
+    return N;
+  }
+  }
+  return &ConstNode;
+}
+
+const TypeGc *TypeGcEngine::extract(const TypeGc *Root, const TypePath &Path) {
+  const TypeGc *Cur = Root;
+  for (uint32_t Step : Path) {
+    assert(Cur && Step < Cur->NumArgs && "extraction path mismatch");
+    Cur = Cur->Args[Step];
+  }
+  return Cur;
+}
+
+void TypeGcEngine::reset() {
+  Nodes.reset();
+  DataMemo.clear();
+  NumNodes = 0;
+}

@@ -1,0 +1,101 @@
+//===- core/TypeGc.h - Type GC routine closures -----------------*- C++ -*-===//
+///
+/// \file
+/// The run-time *type GC routines* of paper section 3. During a collection
+/// of a polymorphic program the collector builds closures that mirror the
+/// structure of types:
+///
+///   const_gc                    -> Const node (ints, bools, ...)
+///   trace_list_of(elem_gc)      -> Data node (generalized to any datatype,
+///                                  paper Figure 3)
+///   type gc routine for g       -> Fun node, from which the routines for a
+///                                  callee lambda's type parameters are
+///                                  extracted by path (paper Figure 4's
+///                                  trace_result_of_g, generalized)
+///
+/// Nodes live in an arena that is reset when the collection ends — the
+/// closures "reflect the creation of structures during execution" and are
+/// rebuilt each collection, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_CORE_TYPEGC_H
+#define TFGC_CORE_TYPEGC_H
+
+#include "analysis/Reconstruct.h"
+#include "ir/Ir.h"
+#include "support/Arena.h"
+#include "support/Stats.h"
+
+#include <map>
+#include <vector>
+
+namespace tfgc {
+
+struct TypeGc {
+  enum class Kind : uint8_t {
+    Const,  ///< Single-word non-pointer value (paper's const_gc).
+    Record, ///< Tuple: Args = field routines (NumArgs of them).
+    Data,   ///< Datatype: A = datatype id, Args = type-argument routines,
+            ///< CtorFields = per-constructor field routines.
+    Ref,    ///< Args[0] = element routine.
+    Fun,    ///< Closure values: Args = parameter routines + result routine.
+  };
+  Kind K = Kind::Const;
+  uint32_t A = 0;       ///< Data: datatype id; Fun: #params.
+  uint32_t NumArgs = 0; ///< Length of Args.
+  const TypeGc *const *Args = nullptr;
+  /// Data only: per-constructor field routine arrays (CtorFieldCounts[i]
+  /// entries each). Built when the node is created; recursive datatypes
+  /// point back at this node.
+  const TypeGc *const *const *CtorFields = nullptr;
+  const uint32_t *CtorFieldCounts = nullptr;
+  uint32_t NumCtors = 0;
+};
+
+/// Bindings for a function's type parameters during collection: Binds[i]
+/// is the type GC routine for F.TypeParams[i].
+struct TgEnv {
+  const std::vector<Type *> *Params = nullptr;
+  const TypeGc *const *Binds = nullptr;
+
+  const TypeGc *lookup(Type *Rigid) const;
+};
+
+/// Builds type GC routine closures; one instance per collection.
+class TypeGcEngine {
+public:
+  TypeGcEngine(TypeContext &Types, Stats &St) : Types(Types), St(St) {}
+
+  /// Evaluates static type \p T under \p Env into a routine closure.
+  const TypeGc *eval(Type *T, const TgEnv &Env);
+
+  /// Walks \p Path through a routine (paper Figure 4: recovering a callee
+  /// lambda's parameter routines from its function-type routine).
+  const TypeGc *extract(const TypeGc *Root, const TypePath &Path);
+
+  const TypeGc *constGc() { return &ConstNode; }
+
+  /// Drops every node built during this collection.
+  void reset();
+
+  size_t nodesBuilt() const { return NumNodes; }
+
+private:
+  TypeContext &Types;
+  Stats &St;
+  Arena Nodes{16 * 1024};
+  size_t NumNodes = 0;
+  TypeGc ConstNode; // Kind::Const
+  /// Memo for Data nodes so recursive datatypes tie the knot:
+  /// (datatype id, arg nodes) -> node.
+  std::map<std::pair<uint32_t, std::vector<const TypeGc *>>, TypeGc *>
+      DataMemo;
+
+  TypeGc *alloc();
+  const TypeGc *const *copyArgs(const std::vector<const TypeGc *> &Args);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_CORE_TYPEGC_H

@@ -1,0 +1,321 @@
+//===- frontend/Ast.h - MiniML abstract syntax ------------------*- C++ -*-===//
+///
+/// \file
+/// The MiniML AST: syntactic types, patterns, expressions and declarations.
+/// Nodes carry a `Ty` slot that the type checker fills in; everything
+/// downstream (lowering, GC metadata) reads types from here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_FRONTEND_AST_H
+#define TFGC_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+class Type; // from types/Type.h; filled in by inference.
+
+//===----------------------------------------------------------------------===//
+// Syntactic types (as written in the source)
+//===----------------------------------------------------------------------===//
+
+struct TypeAst;
+using TypeAstPtr = std::unique_ptr<TypeAst>;
+
+enum class TypeAstKind : uint8_t {
+  Var,   ///< 'a
+  Name,  ///< int, bool, unit, float, or a datatype application: int list
+  Fun,   ///< (t1, ..., tn) -> t   (n-ary, uncurried)
+  Tuple, ///< t1 * ... * tn
+};
+
+struct TypeAst {
+  TypeAstKind Kind;
+  SourceLoc Loc;
+  std::string Name;             ///< Var: tyvar spelling; Name: constructor.
+  std::vector<TypeAstPtr> Args; ///< Name: type arguments; Fun: parameters;
+                                ///< Tuple: elements.
+  TypeAstPtr Result;            ///< Fun only.
+
+  TypeAst(TypeAstKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+struct Pattern;
+using PatternPtr = std::unique_ptr<Pattern>;
+
+enum class PatternKind : uint8_t {
+  Wild,  ///< _
+  Var,   ///< x
+  Int,   ///< 42
+  Bool,  ///< true / false
+  Tuple, ///< (p1, ..., pn)
+  Ctor,  ///< Cons (p1, p2) or Nil
+};
+
+struct Pattern {
+  PatternKind Kind;
+  SourceLoc Loc;
+  std::string Name; ///< Var / Ctor name.
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+  std::vector<PatternPtr> Elems; ///< Tuple elements or Ctor arguments.
+  TypeAstPtr Annot;              ///< Optional `(x : ty)` annotation.
+  Type *Ty = nullptr;            ///< Filled in by type inference.
+
+  Pattern(PatternKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+struct Decl;
+using DeclPtr = std::unique_ptr<Decl>;
+
+enum class ExprKind : uint8_t {
+  Int,
+  Float,
+  Bool,
+  Unit,
+  Var,
+  Ctor,
+  Tuple,
+  If,
+  Let,
+  Fn,
+  App,
+  Prim,
+  Case,
+  Seq,
+  Annot,
+};
+
+/// Primitive operations. Arithmetic and comparisons are monomorphic by
+/// operator (int vs. float spellings) so inference stays vanilla HM.
+enum class PrimOp : uint8_t {
+  Add, Sub, Mul, Div, Mod, Neg,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  Not,
+  FAdd, FSub, FMul, FDiv, FNeg, FLt, FEq,
+  IntToFloat,
+  Print,  ///< print : int -> unit (appends to the VM output buffer)
+  RefNew, ///< ref : 'a -> 'a ref
+  RefGet, ///< !  : 'a ref -> 'a
+  RefSet, ///< := : 'a ref * 'a -> unit
+};
+
+class Expr {
+public:
+  const ExprKind Kind;
+  SourceLoc Loc;
+  Type *Ty = nullptr; ///< Filled in by type inference.
+
+  ExprKind getKind() const { return Kind; }
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+class IntExpr : public Expr {
+public:
+  int64_t Value;
+  IntExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::Int, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Int; }
+};
+
+class FloatExpr : public Expr {
+public:
+  double Value;
+  FloatExpr(SourceLoc Loc, double Value)
+      : Expr(ExprKind::Float, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Float; }
+};
+
+class BoolExpr : public Expr {
+public:
+  bool Value;
+  BoolExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::Bool, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Bool; }
+};
+
+class UnitExpr : public Expr {
+public:
+  explicit UnitExpr(SourceLoc Loc) : Expr(ExprKind::Unit, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Unit; }
+};
+
+class VarExpr : public Expr {
+public:
+  std::string Name;
+  VarExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::Var, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Var; }
+};
+
+class CtorExpr : public Expr {
+public:
+  std::string Name;
+  std::vector<ExprPtr> Args;
+  CtorExpr(SourceLoc Loc, std::string Name, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Ctor, Loc), Name(std::move(Name)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Ctor; }
+};
+
+class TupleExpr : public Expr {
+public:
+  std::vector<ExprPtr> Elems;
+  TupleExpr(SourceLoc Loc, std::vector<ExprPtr> Elems)
+      : Expr(ExprKind::Tuple, Loc), Elems(std::move(Elems)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Tuple; }
+};
+
+class IfExpr : public Expr {
+public:
+  ExprPtr Cond, Then, Else;
+  IfExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(ExprKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::If; }
+};
+
+class LetExpr : public Expr {
+public:
+  std::vector<DeclPtr> Decls;
+  ExprPtr Body;
+  LetExpr(SourceLoc Loc, std::vector<DeclPtr> Decls, ExprPtr Body)
+      : Expr(ExprKind::Let, Loc), Decls(std::move(Decls)),
+        Body(std::move(Body)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Let; }
+};
+
+/// An anonymous unary function: `fn p => e`.
+class FnExpr : public Expr {
+public:
+  PatternPtr Param;
+  ExprPtr Body;
+  FnExpr(SourceLoc Loc, PatternPtr Param, ExprPtr Body)
+      : Expr(ExprKind::Fn, Loc), Param(std::move(Param)),
+        Body(std::move(Body)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Fn; }
+};
+
+/// Saturated application `f a1 ... an`. MiniML functions are n-ary and
+/// uncurried; partial application is a type error.
+class AppExpr : public Expr {
+public:
+  ExprPtr Fn;
+  std::vector<ExprPtr> Args;
+  AppExpr(SourceLoc Loc, ExprPtr Fn, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::App, Loc), Fn(std::move(Fn)), Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::App; }
+};
+
+class PrimExpr : public Expr {
+public:
+  PrimOp Op;
+  std::vector<ExprPtr> Args;
+  PrimExpr(SourceLoc Loc, PrimOp Op, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Prim, Loc), Op(Op), Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Prim; }
+};
+
+struct CaseClause {
+  PatternPtr Pat;
+  ExprPtr Body;
+};
+
+class CaseExpr : public Expr {
+public:
+  ExprPtr Scrut;
+  std::vector<CaseClause> Clauses;
+  CaseExpr(SourceLoc Loc, ExprPtr Scrut, std::vector<CaseClause> Clauses)
+      : Expr(ExprKind::Case, Loc), Scrut(std::move(Scrut)),
+        Clauses(std::move(Clauses)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Case; }
+};
+
+/// `(e1; e2; ...; en)` — evaluates all, yields the last.
+class SeqExpr : public Expr {
+public:
+  std::vector<ExprPtr> Elems;
+  SeqExpr(SourceLoc Loc, std::vector<ExprPtr> Elems)
+      : Expr(ExprKind::Seq, Loc), Elems(std::move(Elems)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Seq; }
+};
+
+class AnnotExpr : public Expr {
+public:
+  ExprPtr Body;
+  TypeAstPtr Annot;
+  AnnotExpr(SourceLoc Loc, ExprPtr Body, TypeAstPtr Annot)
+      : Expr(ExprKind::Annot, Loc), Body(std::move(Body)),
+        Annot(std::move(Annot)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Annot; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+enum class DeclKind : uint8_t { Datatype, Fun, Val };
+
+struct CtorDef {
+  std::string Name;
+  std::vector<TypeAstPtr> Fields; ///< `C of t1 * ... * tn` has n fields.
+  SourceLoc Loc;
+};
+
+struct FunBind {
+  std::string Name;
+  std::vector<PatternPtr> Params;
+  TypeAstPtr RetAnnot; ///< Optional result annotation.
+  ExprPtr Body;
+  SourceLoc Loc;
+};
+
+struct Decl {
+  DeclKind Kind;
+  SourceLoc Loc;
+
+  // Datatype.
+  std::string Name;
+  std::vector<std::string> TyVars;
+  std::vector<CtorDef> Ctors;
+
+  // Fun: a `fun ... and ...` mutually recursive group.
+  std::vector<FunBind> Binds;
+
+  // Val.
+  PatternPtr Pat;
+  ExprPtr Init;
+
+  Decl(DeclKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+/// A whole program: top-level declarations followed by an optional result
+/// expression (defaults to `()`).
+struct Program {
+  std::vector<DeclPtr> Decls;
+  ExprPtr Main;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_FRONTEND_AST_H

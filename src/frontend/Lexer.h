@@ -1,0 +1,50 @@
+//===- frontend/Lexer.h - MiniML lexer --------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for MiniML. Supports nested (* ... *) comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_FRONTEND_LEXER_H
+#define TFGC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token (Eof forever once the input is exhausted).
+  Token next();
+
+  /// Lexes the whole buffer. The final token is Eof.
+  std::vector<Token> tokenize();
+
+private:
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token makeSimple(TokenKind Kind, SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexWord(SourceLoc Loc);
+  Token lexTyVar(SourceLoc Loc);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_FRONTEND_LEXER_H

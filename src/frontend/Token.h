@@ -1,0 +1,98 @@
+//===- frontend/Token.h - MiniML tokens -------------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds produced by the MiniML lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_FRONTEND_TOKEN_H
+#define TFGC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tfgc {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+
+  IntLit,   // 42
+  FloatLit, // 3.14
+  Ident,    // append  (lowercase-initial)
+  CapIdent, // Cons    (uppercase-initial: constructors)
+  TyVar,    // 'a
+
+  // Keywords.
+  KwLet,
+  KwIn,
+  KwEnd,
+  KwFun,
+  KwAnd,
+  KwVal,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwCase,
+  KwOf,
+  KwFn,
+  KwDatatype,
+  KwRef,
+  KwTrue,
+  KwFalse,
+  KwAndalso,
+  KwOrelse,
+  KwMod,
+  KwNot,
+  KwPrint,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Pipe,
+  DArrow,     // =>
+  Arrow,      // ->
+  Equal,      // =
+  NotEqual,   // <>
+  Less,       // <
+  Greater,    // >
+  LessEq,     // <=
+  GreaterEq,  // >=
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  FPlus,      // +.
+  FMinus,     // -.
+  FStar,      // *.
+  FSlash,     // /.
+  FLess,      // <.
+  FEqual,     // =.
+  ColonColon, // ::
+  Colon,      // :
+  Assign,     // :=
+  Bang,       // !
+  Tilde,      // ~ (negation)
+  Underscore, // _
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   // identifier / tyvar spelling
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_FRONTEND_TOKEN_H

@@ -1,0 +1,52 @@
+//===- gcmeta/AppelMeta.cpp -----------------------------------------------===//
+
+#include "gcmeta/AppelMeta.h"
+
+using namespace tfgc;
+
+void AppelMetadata::build(const IrProgram &P, const ReconstructResult &RR) {
+  ProcDescs.assign(P.Functions.size(), FrameDescriptor{});
+  ClosureDescs.assign(P.Functions.size(), ClosureDescriptor{});
+
+  for (const IrFunction &F : P.Functions) {
+    FrameDescriptor FD;
+    for (SlotIndex Slot = 0; Slot < F.numSlots(); ++Slot) {
+      Type *Ty = F.SlotTypes[Slot]->resolved();
+      if (isGroundType(Ty)) {
+        if (!isGcLeafType(Ty))
+          FD.Slots.push_back({Slot, Table.getOrCreate(Ty)});
+      } else {
+        FD.Open.push_back({Slot, Ty});
+      }
+    }
+    ProcDescs[F.Id] = std::move(FD);
+
+    if (F.IsClosure) {
+      ClosureDescriptor CD;
+      CD.PayloadWords = 1 + (uint32_t)F.EnvTypes.size();
+      for (unsigned I = 0; I < F.EnvTypes.size(); ++I) {
+        Type *Ty = F.EnvTypes[I]->resolved();
+        if (isGroundType(Ty)) {
+          if (!isGcLeafType(Ty))
+            CD.Fields.push_back({(SlotIndex)(I + 1), Table.getOrCreate(Ty)});
+        } else {
+          CD.Open.push_back({I + 1, Ty});
+        }
+      }
+      CD.ParamPaths = RR.Paths[F.Id];
+      ClosureDescs[F.Id] = std::move(CD);
+    }
+  }
+  Table.buildAllShapes();
+}
+
+size_t AppelMetadata::sizeBytes() const {
+  size_t Bytes = Table.sizeBytes();
+  for (const FrameDescriptor &FD : ProcDescs)
+    Bytes += 16 + 8 * (FD.Slots.size() + FD.Open.size());
+  for (const ClosureDescriptor &CD : ClosureDescs)
+    Bytes += CD.PayloadWords == 0
+                 ? 0
+                 : 16 + 8 * (CD.Fields.size() + CD.Open.size());
+  return Bytes;
+}

@@ -1,0 +1,51 @@
+//===- gcmeta/AppelMeta.h - Appel single-descriptor scheme ------*- C++ -*-===//
+///
+/// \file
+/// The paper's reading of Appel '89 (section 1.1.1): exactly one descriptor
+/// per *procedure definition*, covering every slot of the frame regardless
+/// of the current execution point. Consequences the paper criticizes and
+/// we reproduce:
+///
+///   * every local must be created and initialized at procedure entry
+///     (the VM zeroes frames under this strategy — measured by E9);
+///   * all variables are assumed live, so dead structures are retained
+///     (measured by E5);
+///   * polymorphic frames are resolved by walking *down* the dynamic chain
+///     (newest to oldest), re-deriving instantiations as needed (E7),
+///     instead of Goldberg's single oldest-to-newest pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_GCMETA_APPELMETA_H
+#define TFGC_GCMETA_APPELMETA_H
+
+#include "gcmeta/InterpretedMeta.h"
+
+namespace tfgc {
+
+class AppelMetadata {
+public:
+  explicit AppelMetadata(TypeContext &Ctx) : Table(Ctx) {}
+
+  void build(const IrProgram &P, const ReconstructResult &RR);
+
+  DescriptorTable &descriptors() { return Table; }
+  /// The single per-procedure descriptor.
+  const FrameDescriptor &procDescriptor(FuncId Fn) const {
+    return ProcDescs[Fn];
+  }
+  const ClosureDescriptor &closureDescriptor(FuncId Fn) const {
+    return ClosureDescs[Fn];
+  }
+
+  size_t sizeBytes() const;
+
+private:
+  DescriptorTable Table;
+  std::vector<FrameDescriptor> ProcDescs;
+  std::vector<ClosureDescriptor> ClosureDescs;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_GCMETA_APPELMETA_H

@@ -1,0 +1,38 @@
+//===- gcmeta/CodeImage.cpp -----------------------------------------------===//
+
+#include "gcmeta/CodeImage.h"
+
+using namespace tfgc;
+
+void CodeImage::build(IrProgram &P) {
+  Image.clear();
+  LiveGcWords = 0;
+  OmittedCount = 0;
+
+  for (IrFunction &F : P.Functions) {
+    // Closure metadata word, then the entry marker.
+    Image.push_back((Word)F.Id);
+    F.EntryAddr = (uint32_t)Image.size();
+    Image.push_back((Word)F.Id);
+  }
+
+  // Sites, grouped per function in instruction order.
+  for (IrFunction &F : P.Functions) {
+    for (const Instr &I : F.Code) {
+      if (I.Site == InvalidSite)
+        continue;
+      CallSiteInfo &S = P.site(I.Site);
+      S.CodeAddr = (uint32_t)Image.size();
+      Image.push_back((Word)S.Id); // call instruction
+      Image.push_back(0);          // delay slot
+      if (S.CanTriggerGc) {
+        Image.push_back((Word)S.Id); // gc_word
+        ++LiveGcWords;
+      } else {
+        Image.push_back(OmittedGcWord);
+        ++OmittedCount;
+      }
+      Image.push_back(0); // resume point
+    }
+  }
+}

@@ -1,0 +1,71 @@
+//===- gcmeta/CodeImage.h - Figure 1 code image -----------------*- C++ -*-===//
+///
+/// \file
+/// A simulated code image laid out exactly as the paper's Figure 1:
+///
+///   entry-1:  closure GC metadata word          (paper section 2.2: "n-4")
+///   entry  :  function marker
+///   ...
+///   n      :  call instruction of a call site   (the return address)
+///   n+1    :  delay slot
+///   n+2    :  gc_word                            (paper: byte offset n+8)
+///   n+3    :  resume point                       (paper: byte offset n+12)
+///
+/// Frames store return addresses (= call word addresses) into this image;
+/// the collector's main loop reads the gc_word at ra+2 to find the frame
+/// GC routine, and a normal return resumes at ra+3 — so the mechanism
+/// costs the mutator nothing (replacing "jmpl %o7+8" with "jmpl %o7+12").
+///
+/// Substitution note: on a real machine the gc_word holds the routine's
+/// address; here it holds the call-site id and each strategy keeps a table
+/// from site id to its routine, which is the same single indirection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_GCMETA_CODEIMAGE_H
+#define TFGC_GCMETA_CODEIMAGE_H
+
+#include "ir/Ir.h"
+#include "runtime/Value.h"
+
+#include <vector>
+
+namespace tfgc {
+
+class CodeImage {
+public:
+  static constexpr uint32_t GcWordOffset = 2;
+  static constexpr uint32_t ResumeOffset = 3;
+  /// Stored in a gc_word when the GC-point analysis proved the site cannot
+  /// trigger a collection, so the word could be omitted from a real image.
+  static constexpr Word OmittedGcWord = ~(Word)0;
+
+  /// Lays the image out and assigns CallSiteInfo::CodeAddr and
+  /// IrFunction::EntryAddr.
+  void build(IrProgram &P);
+
+  /// The gc_word read through a return address (paper: *(ra + 8)).
+  Word gcWordAt(uint32_t ReturnAddr) const {
+    return Image[ReturnAddr + GcWordOffset];
+  }
+  /// The function whose code starts at \p EntryAddr.
+  FuncId functionAt(uint32_t EntryAddr) const {
+    return (FuncId)Image[EntryAddr];
+  }
+  /// Closure GC metadata stored in the word before the entry (section 2.2).
+  Word closureMetaAt(uint32_t EntryAddr) const { return Image[EntryAddr - 1]; }
+
+  size_t sizeWords() const { return Image.size(); }
+  /// Bytes occupied by gc_words that were *not* omitted (E4/E6 accounting).
+  size_t gcWordBytes() const { return LiveGcWords * sizeof(Word); }
+  size_t omittedGcWords() const { return OmittedCount; }
+
+private:
+  std::vector<Word> Image;
+  size_t LiveGcWords = 0;
+  size_t OmittedCount = 0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_GCMETA_CODEIMAGE_H

@@ -1,0 +1,201 @@
+//===- gcmeta/CompiledRoutines.cpp ----------------------------------------===//
+
+#include "gcmeta/CompiledRoutines.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace tfgc;
+
+bool tfgc::isGroundType(Type *T) {
+  T = T->resolved();
+  if (T->isVar())
+    return false;
+  for (Type *A : T->args())
+    if (!isGroundType(A))
+      return false;
+  if (T->getKind() == TypeKind::Fun)
+    return isGroundType(T->result());
+  return true;
+}
+
+static bool allCtorsNullary(const DatatypeInfo *Info) {
+  for (const CtorInfo &C : Info->Ctors)
+    if (!C.Fields.empty())
+      return false;
+  return true;
+}
+
+bool tfgc::isGcLeafType(Type *T) {
+  T = T->resolved();
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float: // Unboxed under the tag-free model.
+    return true;
+  case TypeKind::Data: {
+    for (const CtorInfo &C : T->data()->Ctors)
+      if (!C.Fields.empty())
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool CompiledMetadata::isLeafType(Type *T) { return isGcLeafType(T); }
+
+RoutineId CompiledMetadata::routineFor(Type *T) {
+  T = T->resolved();
+  assert(isGroundType(T) && "open types go through the TypeGc engine");
+
+  std::string Key = Ctx->render(T);
+  if (isLeafType(T))
+    Key = "leaf";
+  auto It = RoutineDedup.find(Key);
+  if (It != RoutineDedup.end())
+    return It->second;
+
+  // Reserve the slot first so recursive types (lists, trees) terminate.
+  Routines.emplace_back();
+  RoutineId Id = (RoutineId)(Routines.size() - 1);
+  RoutineDedup.emplace(Key, Id);
+
+  TypeRoutine R;
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    R.F = TypeRoutine::Form::Leaf;
+    break;
+  case TypeKind::Tuple: {
+    R.F = TypeRoutine::Form::Record;
+    R.PayloadWords = T->numArgs();
+    for (unsigned I = 0; I < T->numArgs(); ++I)
+      if (!isLeafType(T->arg(I)))
+        R.Fields.push_back({I, routineFor(T->arg(I))});
+    break;
+  }
+  case TypeKind::Data: {
+    DatatypeInfo *Info = T->data();
+    if (allCtorsNullary(Info)) {
+      R.F = TypeRoutine::Form::Leaf;
+      break;
+    }
+    R.F = TypeRoutine::Form::DataSwitch;
+    std::vector<Type *> Args(T->args().begin(), T->args().end());
+    for (unsigned C = 0; C < Info->Ctors.size(); ++C) {
+      std::vector<Type *> Fields =
+          Ctx->instantiateCtorFields(Info, C, Args);
+      R.CtorSizes.push_back(1 + (uint32_t)Fields.size());
+      R.CtorFields.emplace_back();
+      for (unsigned I = 0; I < Fields.size(); ++I)
+        if (!isLeafType(Fields[I]))
+          R.CtorFields.back().push_back({I + 1, routineFor(Fields[I])});
+    }
+    break;
+  }
+  case TypeKind::Ref: {
+    R.F = TypeRoutine::Form::RefCell;
+    R.PayloadWords = 1;
+    if (!isLeafType(T->refElem()))
+      R.Fields.push_back({0, routineFor(T->refElem())});
+    break;
+  }
+  case TypeKind::Fun:
+    R.F = TypeRoutine::Form::FunValue;
+    R.FunStaticTy = T;
+    break;
+  case TypeKind::Var:
+    assert(false && "unreachable: open type");
+    break;
+  }
+  Routines[Id] = std::move(R);
+  return Id;
+}
+
+void CompiledMetadata::build(const IrProgram &P, const ReconstructResult &RR) {
+  Ctx = P.Types;
+  Routines.clear();
+  RoutineDedup.clear();
+  FrameRoutines.clear();
+  FrameDedup.clear();
+  NoTraceSites = 0;
+
+  // Frame routines, one per site, deduplicated (the paper: "there is only
+  // one such routine, called no_trace, and many gc_words will point to
+  // it").
+  SiteToFrame.assign(P.Sites.size(), 0);
+  for (const CallSiteInfo &S : P.Sites) {
+    const IrFunction &F = P.fn(S.Caller);
+    FrameRoutine FR;
+    std::ostringstream Key;
+    for (SlotIndex Slot : S.TraceSlots) {
+      Type *Ty = F.SlotTypes[Slot]->resolved();
+      if (isGroundType(Ty)) {
+        if (isLeafType(Ty))
+          continue;
+        RoutineId R = routineFor(Ty);
+        FR.Slots.push_back({Slot, R});
+        Key << 's' << Slot << ':' << R << ';';
+      } else {
+        FR.Open.push_back({Slot, Ty});
+        Key << 'o' << Slot << ':' << Ctx->render(Ty) << '@' << F.Id << ';';
+      }
+    }
+    if (FR.isNoTrace())
+      ++NoTraceSites;
+    std::string K = Key.str();
+    auto It = FrameDedup.find(K);
+    uint32_t FrameId;
+    if (It != FrameDedup.end()) {
+      FrameId = It->second;
+    } else {
+      FrameRoutines.push_back(std::move(FR));
+      FrameId = (uint32_t)(FrameRoutines.size() - 1);
+      FrameDedup.emplace(std::move(K), FrameId);
+    }
+    SiteToFrame[S.Id] = FrameId;
+  }
+
+  // Closure routines for every closure-called function.
+  ClosureRoutines.assign(P.Functions.size(), ClosureRoutine{});
+  for (const IrFunction &F : P.Functions) {
+    if (!F.IsClosure)
+      continue;
+    ClosureRoutine CR;
+    CR.PayloadWords = 1 + (uint32_t)F.EnvTypes.size();
+    for (unsigned I = 0; I < F.EnvTypes.size(); ++I) {
+      Type *Ty = F.EnvTypes[I]->resolved();
+      if (isGroundType(Ty)) {
+        if (!isLeafType(Ty))
+          CR.Fields.push_back({I + 1, routineFor(Ty)});
+      } else {
+        CR.Open.push_back({I + 1, Ty});
+      }
+    }
+    CR.ParamPaths = RR.Paths[F.Id];
+    ClosureRoutines[F.Id] = std::move(CR);
+  }
+}
+
+size_t CompiledMetadata::sizeBytes() const {
+  size_t Bytes = 0;
+  for (const TypeRoutine &R : Routines) {
+    Bytes += 24;
+    Bytes += 16 * R.Fields.size();
+    Bytes += 8 * R.CtorSizes.size();
+    for (const auto &C : R.CtorFields)
+      Bytes += 16 * C.size();
+  }
+  for (const FrameRoutine &R : FrameRoutines)
+    Bytes += 16 + 16 * (R.Slots.size() + R.Open.size());
+  for (const ClosureRoutine &R : ClosureRoutines)
+    Bytes += R.PayloadWords == 0
+                 ? 0
+                 : 16 + 16 * (R.Fields.size() + R.Open.size());
+  return Bytes;
+}

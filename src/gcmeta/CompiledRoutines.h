@@ -1,0 +1,133 @@
+//===- gcmeta/CompiledRoutines.h - Compiled-method routines -----*- C++ -*-===//
+///
+/// \file
+/// The paper's *compiled method*: for every type in the program a compiled
+/// type GC routine, and for every call site a compiled frame GC routine.
+/// "Compiled" here means everything is pre-resolved at compile time into
+/// flat action lists with direct routine indices — fields whose types hold
+/// no pointers generate no actions at all, and routine dispatch is one
+/// array index — in contrast to the interpreted method, which walks the
+/// type descriptor graph at collection time.
+///
+/// Slots/fields whose static type mentions the enclosing function's type
+/// parameters cannot be compiled to a fixed routine; they carry the static
+/// type and are handled by the type-GC-closure engine at collection time
+/// (paper section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_GCMETA_COMPILEDROUTINES_H
+#define TFGC_GCMETA_COMPILEDROUTINES_H
+
+#include "analysis/Reconstruct.h"
+#include "ir/Ir.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tfgc {
+
+using RoutineId = uint32_t;
+
+/// A pointer field within an object: payload offset and the routine for
+/// the referenced value.
+struct FieldAction {
+  uint32_t Offset;
+  RoutineId Routine;
+};
+
+/// A slot (or env field) whose type is open over the function's type
+/// parameters; evaluated by the TypeGc engine during collection.
+struct OpenAction {
+  uint32_t Index; ///< Slot index (frame routines) or payload offset.
+  Type *Ty;
+};
+
+struct TypeRoutine {
+  enum class Form : uint8_t {
+    Leaf,       ///< Value holds no heap pointer; nothing to do.
+    Record,     ///< Fixed-size heap object (tuple).
+    DataSwitch, ///< Variant record: switch on the discriminant (sec. 2.3).
+    RefCell,    ///< One-word mutable cell.
+    FunValue,   ///< Closure; layout found through its code pointer.
+  };
+  Form F = Form::Leaf;
+  uint32_t PayloadWords = 0;               ///< Record / RefCell.
+  std::vector<FieldAction> Fields;         ///< Record / RefCell (elem).
+  std::vector<uint32_t> CtorSizes;         ///< DataSwitch, incl. discriminant.
+  std::vector<std::vector<FieldAction>> CtorFields; ///< DataSwitch.
+  /// FunValue only: the static function type, used to rebuild a type-GC
+  /// closure when a polymorphic lambda is reached through a ground field.
+  Type *FunStaticTy = nullptr;
+};
+
+/// Frame GC routine for one call site: exactly the live, initialized,
+/// pointer-holding slots. An empty routine is the paper's `no_trace`.
+struct FrameRoutine {
+  struct SlotAction {
+    SlotIndex Slot;
+    RoutineId Routine;
+  };
+  std::vector<SlotAction> Slots;
+  std::vector<OpenAction> Open;
+  bool isNoTrace() const { return Slots.empty() && Open.empty(); }
+};
+
+/// Per-closure-function metadata reached through the code pointer.
+struct ClosureRoutine {
+  uint32_t PayloadWords = 0; ///< 1 (code word) + environment size.
+  std::vector<FieldAction> Fields; ///< Ground env fields (offset = 1 + i).
+  std::vector<OpenAction> Open;
+  /// Per function type parameter: the extraction path into the function
+  /// type (how the collector recovers the parameter's type GC routine from
+  /// the closure's type GC routine, paper Figure 4).
+  std::vector<ClosureParamPath> ParamPaths;
+};
+
+class CompiledMetadata {
+public:
+  /// Builds all routines for \p P, honoring each site's TraceSlots.
+  void build(const IrProgram &P, const ReconstructResult &RR);
+
+  const TypeRoutine &routine(RoutineId Id) const { return Routines[Id]; }
+  const FrameRoutine &siteRoutine(CallSiteId Site) const {
+    return FrameRoutines[SiteToFrame[Site]];
+  }
+  uint32_t siteFrameId(CallSiteId Site) const { return SiteToFrame[Site]; }
+  const ClosureRoutine &closureRoutine(FuncId Fn) const {
+    return ClosureRoutines[Fn];
+  }
+
+  size_t numTypeRoutines() const { return Routines.size(); }
+  size_t numFrameRoutines() const { return FrameRoutines.size(); }
+  size_t numNoTraceSites() const { return NoTraceSites; }
+  /// Modeled generated-code size. Routines are straight-line machine
+  /// code: 24 bytes of prologue/dispatch per routine, 16 bytes per field
+  /// action (load, call, store), 8 bytes per constructor jump-table entry.
+  size_t sizeBytes() const;
+
+private:
+  std::vector<TypeRoutine> Routines;
+  std::unordered_map<std::string, RoutineId> RoutineDedup;
+  std::vector<FrameRoutine> FrameRoutines;
+  std::unordered_map<std::string, uint32_t> FrameDedup;
+  std::vector<uint32_t> SiteToFrame;
+  std::vector<ClosureRoutine> ClosureRoutines;
+  size_t NoTraceSites = 0;
+  TypeContext *Ctx = nullptr;
+
+  RoutineId routineFor(Type *GroundTy);
+  bool isLeafType(Type *T);
+};
+
+/// True if \p T mentions no rigid type variables.
+bool isGroundType(Type *T);
+
+/// True if values of \p T are never heap pointers (ints, bools, unit,
+/// unboxed floats, all-nullary datatypes).
+bool isGcLeafType(Type *T);
+
+} // namespace tfgc
+
+#endif // TFGC_GCMETA_COMPILEDROUTINES_H

@@ -1,0 +1,180 @@
+//===- gcmeta/Descriptor.cpp ----------------------------------------------===//
+
+#include "gcmeta/Descriptor.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace tfgc;
+
+DescId DescriptorTable::intern(Descriptor D, const std::string &Key) {
+  auto It = Dedup.find(Key);
+  if (It != Dedup.end())
+    return It->second;
+  Descs.push_back(std::move(D));
+  DescId Id = (DescId)(Descs.size() - 1);
+  Dedup.emplace(Key, Id);
+  return Id;
+}
+
+DescId DescriptorTable::leafId() {
+  return intern(Descriptor{DescKind::Leaf, 0, {}}, "leaf");
+}
+
+static bool allCtorsNullary(const DatatypeInfo *Info) {
+  for (const CtorInfo &C : Info->Ctors)
+    if (!C.Fields.empty())
+      return false;
+  return true;
+}
+
+std::string DescriptorTable::keyFor(Type *T,
+                                    const std::vector<Type *> &Params) {
+  T = T->resolved();
+  std::ostringstream OS;
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return "leaf";
+  case TypeKind::Var: {
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (Params[I] == T)
+        return "P" + std::to_string(I);
+    assert(false && "rigid var outside datatype parameters in descriptor");
+    return "P?";
+  }
+  case TypeKind::Fun: {
+    OS << "fun(";
+    for (Type *A : T->args())
+      OS << keyFor(A, Params) << ',';
+    OS << keyFor(T->result(), Params) << ')';
+    return OS.str();
+  }
+  case TypeKind::Tuple: {
+    OS << "T(";
+    for (Type *A : T->args())
+      OS << keyFor(A, Params) << ',';
+    OS << ')';
+    return OS.str();
+  }
+  case TypeKind::Data: {
+    if (allCtorsNullary(T->data()))
+      return "leaf";
+    OS << 'D' << T->data()->Id << '(';
+    for (Type *A : T->args())
+      OS << keyFor(A, Params) << ',';
+    OS << ')';
+    return OS.str();
+  }
+  case TypeKind::Ref:
+    return "R(" + keyFor(T->refElem(), Params) + ")";
+  }
+  return "?";
+}
+
+DescId DescriptorTable::createWithParams(Type *T,
+                                         const std::vector<Type *> &Params) {
+  T = T->resolved();
+  std::string Key = keyFor(T, Params);
+  auto It = Dedup.find(Key);
+  if (It != Dedup.end())
+    return It->second;
+
+  auto ArgsGround = [&](const Descriptor &D) {
+    for (DescId A : D.Args)
+      if (!Descs[A].Ground)
+        return false;
+    return true;
+  };
+
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return leafId();
+  case TypeKind::Var: {
+    Descriptor D;
+    D.Kind = DescKind::Param;
+    D.Ground = false;
+    for (size_t I = 0; I < Params.size(); ++I)
+      if (Params[I] == T)
+        D.A = (uint32_t)I;
+    return intern(std::move(D), Key);
+  }
+  case TypeKind::Fun: {
+    Descriptor D;
+    D.Kind = DescKind::Fun;
+    D.FunTy = T;
+    return intern(std::move(D), Key);
+  }
+  case TypeKind::Tuple: {
+    Descriptor D;
+    D.Kind = DescKind::Tuple;
+    for (Type *A : T->args())
+      D.Args.push_back(createWithParams(A, Params));
+    D.Ground = ArgsGround(D);
+    return intern(std::move(D), Key);
+  }
+  case TypeKind::Data: {
+    if (allCtorsNullary(T->data()))
+      return leafId();
+    Descriptor D;
+    D.Kind = DescKind::Data;
+    D.A = T->data()->Id;
+    for (Type *A : T->args())
+      D.Args.push_back(createWithParams(A, Params));
+    D.Ground = ArgsGround(D);
+    return intern(std::move(D), Key);
+  }
+  case TypeKind::Ref: {
+    Descriptor D;
+    D.Kind = DescKind::Ref;
+    D.Args.push_back(createWithParams(T->refElem(), Params));
+    D.Ground = ArgsGround(D);
+    return intern(std::move(D), Key);
+  }
+  }
+  return leafId();
+}
+
+DescId DescriptorTable::getOrCreate(Type *T) {
+  return createWithParams(T, {});
+}
+
+const std::vector<DescId> &DescriptorTable::ctorShape(unsigned DatatypeId,
+                                                      unsigned Ctor) {
+  if (Shapes.size() <= DatatypeId) {
+    Shapes.resize(DatatypeId + 1);
+    ShapeBuilt.resize(DatatypeId + 1, false);
+  }
+  if (!ShapeBuilt[DatatypeId]) {
+    DatatypeInfo *Info = Ctx.datatypes()[DatatypeId];
+    auto &ByCtor = Shapes[DatatypeId];
+    ByCtor.resize(Info->Ctors.size());
+    for (size_t C = 0; C < Info->Ctors.size(); ++C)
+      for (Type *F : Info->Ctors[C].Fields)
+        ByCtor[C].push_back(createWithParams(F, Info->Params));
+    ShapeBuilt[DatatypeId] = true;
+  }
+  return Shapes[DatatypeId][Ctor];
+}
+
+void DescriptorTable::buildAllShapes() {
+  for (const DatatypeInfo *Info : Ctx.datatypes())
+    if (!Info->Ctors.empty())
+      (void)ctorShape(Info->Id, 0);
+}
+
+size_t DescriptorTable::sizeBytes() const {
+  size_t Bytes = 0;
+  for (const Descriptor &D : Descs)
+    Bytes += 8 + 4 * D.Args.size();
+  for (size_t I = 0; I < Shapes.size(); ++I)
+    if (I < ShapeBuilt.size() && ShapeBuilt[I])
+      for (const auto &Ctor : Shapes[I])
+        Bytes += 4 * Ctor.size();
+  return Bytes;
+}

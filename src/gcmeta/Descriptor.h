@@ -1,0 +1,92 @@
+//===- gcmeta/Descriptor.h - Interpreted-method descriptors -----*- C++ -*-===//
+///
+/// \file
+/// The *interpreted method* of Branquart & Lewi as the paper describes it:
+/// each type gets a parse-tree-like descriptor; the collector traverses
+/// the descriptor while traversing the data. Descriptors are deduplicated
+/// program-wide, so they are much smaller than compiled routines — at the
+/// cost of interpretation work during collection (the space/time trade-off
+/// of paper section 2.4, measured by E3/E4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_GCMETA_DESCRIPTOR_H
+#define TFGC_GCMETA_DESCRIPTOR_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tfgc {
+
+using DescId = uint32_t;
+
+enum class DescKind : uint8_t {
+  Leaf,  ///< int/bool/unit/float or an all-nullary datatype: nothing to do.
+  Tuple, ///< Args = one descriptor per field.
+  Data,  ///< A = datatype id; Args = one descriptor per type argument.
+  Ref,   ///< Args[0] = element descriptor.
+  Fun,   ///< Closure value; layout discovered through the code pointer.
+  Param, ///< A = index into the surrounding datatype's type arguments
+         ///< (used only inside constructor shape templates).
+};
+
+struct Descriptor {
+  DescKind Kind = DescKind::Leaf;
+  uint32_t A = 0;
+  std::vector<DescId> Args;
+  /// Fun only: the static function type, used to rebuild a type-GC closure
+  /// when a polymorphic lambda is reached through a ground field.
+  Type *FunTy = nullptr;
+  /// True if no Param node occurs transitively: the descriptor means the
+  /// same thing under every environment.
+  bool Ground = true;
+};
+
+/// Program-wide descriptor store plus per-datatype constructor shape
+/// templates.
+class DescriptorTable {
+public:
+  explicit DescriptorTable(TypeContext &Ctx) : Ctx(Ctx) {}
+
+  /// Descriptor for a *ground* type (no rigid vars).
+  DescId getOrCreate(Type *T);
+
+  const Descriptor &desc(DescId Id) const { return Descs[Id]; }
+  DescId leafId();
+
+  /// Shape template for constructor \p Ctor of datatype \p Id: one
+  /// descriptor per field, where Param nodes refer to the datatype's own
+  /// type parameters (instantiated by the Data descriptor's Args at trace
+  /// time).
+  const std::vector<DescId> &ctorShape(unsigned DatatypeId, unsigned Ctor);
+
+  /// Builds every datatype's constructor shapes eagerly. Must be called
+  /// before collection starts: the table must not grow while the tracer
+  /// holds references into it.
+  void buildAllShapes();
+
+  size_t numDescriptors() const { return Descs.size(); }
+  /// Modeled size: 8 bytes per descriptor node + 4 per argument.
+  size_t sizeBytes() const;
+
+private:
+  TypeContext &Ctx;
+  std::vector<Descriptor> Descs;
+  std::unordered_map<std::string, DescId> Dedup;
+  /// [datatype][ctor] -> field descriptor templates, built lazily.
+  std::vector<std::vector<std::vector<DescId>>> Shapes;
+  std::vector<bool> ShapeBuilt;
+
+  DescId intern(Descriptor D, const std::string &Key);
+  /// Internal: descriptor for a type that may mention the given datatype
+  /// parameters (mapped to Param nodes).
+  DescId createWithParams(Type *T, const std::vector<Type *> &Params);
+  std::string keyFor(Type *T, const std::vector<Type *> &Params);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_GCMETA_DESCRIPTOR_H

@@ -1,0 +1,76 @@
+//===- gcmeta/InterpretedMeta.cpp -----------------------------------------===//
+
+#include "gcmeta/InterpretedMeta.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+void InterpretedMetadata::build(const IrProgram &P,
+                                const ReconstructResult &RR) {
+  TypeContext &Ctx = *P.Types;
+  FrameDescs.clear();
+  FrameDedup.clear();
+
+  SiteToFrame.assign(P.Sites.size(), 0);
+  for (const CallSiteInfo &S : P.Sites) {
+    const IrFunction &F = P.fn(S.Caller);
+    FrameDescriptor FD;
+    std::ostringstream Key;
+    for (SlotIndex Slot : S.TraceSlots) {
+      Type *Ty = F.SlotTypes[Slot]->resolved();
+      if (isGroundType(Ty)) {
+        if (isGcLeafType(Ty))
+          continue; // Leaf slots are omitted from frame descriptors too.
+        DescId D = Table.getOrCreate(Ty);
+        FD.Slots.push_back({Slot, D});
+        Key << 's' << Slot << ':' << D << ';';
+      } else {
+        FD.Open.push_back({Slot, Ty});
+        Key << 'o' << Slot << ':' << Ctx.render(Ty) << '@' << F.Id << ';';
+      }
+    }
+    std::string K = Key.str();
+    auto It = FrameDedup.find(K);
+    uint32_t Id;
+    if (It != FrameDedup.end()) {
+      Id = It->second;
+    } else {
+      FrameDescs.push_back(std::move(FD));
+      Id = (uint32_t)(FrameDescs.size() - 1);
+      FrameDedup.emplace(std::move(K), Id);
+    }
+    SiteToFrame[S.Id] = Id;
+  }
+
+  ClosureDescs.assign(P.Functions.size(), ClosureDescriptor{});
+  for (const IrFunction &F : P.Functions) {
+    if (!F.IsClosure)
+      continue;
+    ClosureDescriptor CD;
+    CD.PayloadWords = 1 + (uint32_t)F.EnvTypes.size();
+    for (unsigned I = 0; I < F.EnvTypes.size(); ++I) {
+      Type *Ty = F.EnvTypes[I]->resolved();
+      if (isGroundType(Ty)) {
+        if (!isGcLeafType(Ty))
+          CD.Fields.push_back({(SlotIndex)(I + 1), Table.getOrCreate(Ty)});
+      } else {
+        CD.Open.push_back({I + 1, Ty});
+      }
+    }
+    CD.ParamPaths = RR.Paths[F.Id];
+    ClosureDescs[F.Id] = std::move(CD);
+  }
+  Table.buildAllShapes();
+}
+
+size_t InterpretedMetadata::sizeBytes() const {
+  size_t Bytes = Table.sizeBytes();
+  for (const FrameDescriptor &FD : FrameDescs)
+    Bytes += 16 + 8 * (FD.Slots.size() + FD.Open.size());
+  for (const ClosureDescriptor &CD : ClosureDescs)
+    Bytes += CD.PayloadWords == 0
+                 ? 0
+                 : 16 + 8 * (CD.Fields.size() + CD.Open.size());
+  return Bytes;
+}

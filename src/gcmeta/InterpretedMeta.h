@@ -1,0 +1,71 @@
+//===- gcmeta/InterpretedMeta.h - Interpreted-method tables -----*- C++ -*-===//
+///
+/// \file
+/// Frame and closure metadata for the interpreted method: the gc_word
+/// leads to a *frame descriptor* (slot, type-descriptor) list, and the
+/// collector interprets the descriptor graph while traversing the data.
+/// Descriptors are shared program-wide, so the metadata is small; the
+/// interpretation cost shows up in collection time (E3 vs E4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_GCMETA_INTERPRETEDMETA_H
+#define TFGC_GCMETA_INTERPRETEDMETA_H
+
+#include "analysis/Reconstruct.h"
+#include "gcmeta/CompiledRoutines.h" // OpenAction
+#include "gcmeta/Descriptor.h"
+
+#include <vector>
+
+namespace tfgc {
+
+struct FrameDescriptor {
+  struct SlotDesc {
+    SlotIndex Slot;
+    DescId Desc;
+  };
+  /// Traced pointer-holding slots; the interpretation cost model lives in
+  /// the per-field descriptor walk, not at the frame level.
+  std::vector<SlotDesc> Slots;
+  std::vector<OpenAction> Open;
+  bool isNoTrace() const { return Slots.empty() && Open.empty(); }
+};
+
+struct ClosureDescriptor {
+  uint32_t PayloadWords = 0;
+  std::vector<FrameDescriptor::SlotDesc> Fields; ///< Slot = payload offset.
+  std::vector<OpenAction> Open;
+  std::vector<ClosureParamPath> ParamPaths;
+};
+
+class InterpretedMetadata {
+public:
+  explicit InterpretedMetadata(TypeContext &Ctx) : Table(Ctx) {}
+
+  void build(const IrProgram &P, const ReconstructResult &RR);
+
+  DescriptorTable &descriptors() { return Table; }
+  const FrameDescriptor &siteDescriptor(CallSiteId Site) const {
+    return FrameDescs[SiteToFrame[Site]];
+  }
+  const ClosureDescriptor &closureDescriptor(FuncId Fn) const {
+    return ClosureDescs[Fn];
+  }
+
+  size_t numFrameDescriptors() const { return FrameDescs.size(); }
+  /// Modeled size: descriptor table + 16 bytes per frame descriptor +
+  /// 8 per slot entry.
+  size_t sizeBytes() const;
+
+private:
+  DescriptorTable Table;
+  std::vector<FrameDescriptor> FrameDescs;
+  std::unordered_map<std::string, uint32_t> FrameDedup;
+  std::vector<uint32_t> SiteToFrame;
+  std::vector<ClosureDescriptor> ClosureDescs;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_GCMETA_INTERPRETEDMETA_H

@@ -1,0 +1,164 @@
+//===- ir/Ir.cpp ----------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+bool Instr::hasDst() const {
+  switch (Op) {
+  case Opcode::Print:
+  case Opcode::SetClosureField:
+  case Opcode::RefStore:
+  case Opcode::Jump:
+  case Opcode::Branch:
+  case Opcode::Return:
+  case Opcode::Abort:
+    return false;
+  default:
+    return true;
+  }
+}
+
+FuncId tfgc::findFunction(const IrProgram &P, const std::string &Name) {
+  for (const IrFunction &F : P.Functions)
+    if (F.Name == Name)
+      return F.Id;
+  return InvalidFunc;
+}
+
+static const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadInt:         return "load.int";
+  case Opcode::LoadFloat:       return "load.float";
+  case Opcode::LoadBool:        return "load.bool";
+  case Opcode::LoadUnit:        return "load.unit";
+  case Opcode::Move:            return "move";
+  case Opcode::Prim:            return "prim";
+  case Opcode::Print:           return "print";
+  case Opcode::MakeTuple:       return "make.tuple";
+  case Opcode::MakeData:        return "make.data";
+  case Opcode::MakeClosure:     return "make.closure";
+  case Opcode::MakeRef:         return "make.ref";
+  case Opcode::GetField:        return "get.field";
+  case Opcode::GetTag:          return "get.tag";
+  case Opcode::SetClosureField: return "set.closure.field";
+  case Opcode::RefLoad:         return "ref.load";
+  case Opcode::RefStore:        return "ref.store";
+  case Opcode::Jump:            return "jump";
+  case Opcode::Branch:          return "branch";
+  case Opcode::Call:            return "call";
+  case Opcode::CallIndirect:    return "call.indirect";
+  case Opcode::Return:          return "return";
+  case Opcode::Abort:           return "abort";
+  }
+  return "?";
+}
+
+static const char *primName(PrimVal P) {
+  switch (P) {
+  case PrimVal::Add: return "add";
+  case PrimVal::Sub: return "sub";
+  case PrimVal::Mul: return "mul";
+  case PrimVal::Div: return "div";
+  case PrimVal::Mod: return "mod";
+  case PrimVal::Neg: return "neg";
+  case PrimVal::Lt:  return "lt";
+  case PrimVal::Le:  return "le";
+  case PrimVal::Gt:  return "gt";
+  case PrimVal::Ge:  return "ge";
+  case PrimVal::Eq:  return "eq";
+  case PrimVal::Ne:  return "ne";
+  case PrimVal::Not: return "not";
+  case PrimVal::FAdd: return "fadd";
+  case PrimVal::FSub: return "fsub";
+  case PrimVal::FMul: return "fmul";
+  case PrimVal::FDiv: return "fdiv";
+  case PrimVal::FNeg: return "fneg";
+  case PrimVal::FLt:  return "flt";
+  case PrimVal::FEq:  return "feq";
+  case PrimVal::IntToFloat: return "itof";
+  }
+  return "?";
+}
+
+std::string tfgc::printFunction(const IrProgram &P, const IrFunction &F) {
+  std::ostringstream OS;
+  TypeContext &Ctx = *P.Types;
+  OS << "fn " << F.Id << " " << F.Name;
+  if (F.IsClosure)
+    OS << " [closure]";
+  if (!F.TypeParams.empty()) {
+    OS << " <";
+    for (size_t I = 0; I < F.TypeParams.size(); ++I)
+      OS << (I ? ", " : "") << Ctx.render(F.TypeParams[I]);
+    OS << ">";
+  }
+  OS << " params=" << F.NumParams << " slots=" << F.numSlots() << "\n";
+  for (unsigned I = 0; I < F.numSlots(); ++I)
+    OS << "  s" << I << " : " << Ctx.render(F.SlotTypes[I]) << "\n";
+
+  // Labels by target instruction.
+  std::vector<std::vector<LabelId>> LabelsAt(F.Code.size() + 1);
+  for (LabelId L = 0; L < F.LabelTargets.size(); ++L)
+    LabelsAt[F.LabelTargets[L]].push_back(L);
+
+  for (size_t Idx = 0; Idx < F.Code.size(); ++Idx) {
+    for (LabelId L : LabelsAt[Idx])
+      OS << " L" << L << ":\n";
+    const Instr &I = F.Code[Idx];
+    OS << "  " << Idx << ": " << opcodeName(I.Op);
+    if (I.Op == Opcode::Prim)
+      OS << '.' << primName(I.Prim);
+    if (I.hasDst())
+      OS << " s" << I.Dst << " <-";
+    for (SlotIndex S : I.Srcs)
+      OS << " s" << S;
+    switch (I.Op) {
+    case Opcode::LoadInt:
+    case Opcode::LoadBool:
+      OS << " #" << I.IntImm;
+      break;
+    case Opcode::LoadFloat:
+      OS << " #" << I.FloatImm;
+      break;
+    case Opcode::MakeData:
+      OS << " ctor=" << I.Data->Ctors[I.CtorIdx].Name;
+      break;
+    case Opcode::MakeClosure:
+      OS << " fn=" << P.fn(I.Callee).Name;
+      break;
+    case Opcode::GetField:
+    case Opcode::SetClosureField:
+      OS << " field=" << I.FieldIdx;
+      break;
+    case Opcode::Jump:
+      OS << " L" << I.Label;
+      break;
+    case Opcode::Branch:
+      OS << " L" << I.Label << " L" << I.Label2;
+      break;
+    case Opcode::Call:
+      OS << " fn=" << P.fn(I.Callee).Name;
+      break;
+    default:
+      break;
+    }
+    if (I.Site != InvalidSite)
+      OS << " site=" << I.Site;
+    OS << "\n";
+  }
+  for (LabelId L : LabelsAt[F.Code.size()])
+    OS << " L" << L << ":\n";
+  return OS.str();
+}
+
+std::string tfgc::printIr(const IrProgram &P) {
+  std::ostringstream OS;
+  for (const IrFunction &F : P.Functions)
+    OS << printFunction(P, F) << "\n";
+  OS << "main = fn " << P.MainId << "\n";
+  OS << "sites: " << P.Sites.size() << "\n";
+  return OS.str();
+}

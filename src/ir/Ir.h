@@ -1,0 +1,190 @@
+//===- ir/Ir.h - Typed register IR ------------------------------*- C++ -*-===//
+///
+/// \file
+/// The typed register IR the VM executes and the GC metadata generators
+/// consume. Each function owns a flat instruction list with forward-only
+/// jumps (loops exist only through recursion) and a typed slot per
+/// parameter, local and temporary.
+///
+/// Every instruction that can start a collection — direct calls, indirect
+/// calls, and allocations (the paper's "call to cons/new") — carries a
+/// CallSiteId. Call sites are the unit the paper attaches frame GC routines
+/// to: the word after the call instruction in the code image holds the
+/// routine for tracing the *caller's* frame at exactly that point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_IR_IR_H
+#define TFGC_IR_IR_H
+
+#include "types/Type.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+using SlotIndex = uint32_t;
+using FuncId = uint32_t;
+using CallSiteId = uint32_t;
+using LabelId = uint32_t;
+
+inline constexpr FuncId InvalidFunc = std::numeric_limits<FuncId>::max();
+inline constexpr CallSiteId InvalidSite =
+    std::numeric_limits<CallSiteId>::max();
+
+enum class Opcode : uint8_t {
+  // Constants and moves.
+  LoadInt,   ///< Dst <- IntImm
+  LoadFloat, ///< Dst <- FloatImm (boxed under the tagged model)
+  LoadBool,  ///< Dst <- IntImm (0/1)
+  LoadUnit,  ///< Dst <- unit
+  Move,      ///< Dst <- Srcs[0]
+
+  // Primitives.
+  Prim,  ///< Dst <- PrimVal(Srcs...)
+  Print, ///< append Srcs[0] to the VM output
+
+  // Heap allocation (each carries a CallSiteId — GC may trigger here).
+  MakeTuple,   ///< Dst <- new tuple(Srcs...)
+  MakeData,    ///< Dst <- new CtorIdx(Srcs...) or immediate if nullary
+  MakeClosure, ///< Dst <- new closure(Callee, Srcs... captured)
+  MakeRef,     ///< Dst <- new ref(Srcs[0])
+
+  // Heap access.
+  GetField,        ///< Dst <- Srcs[0].field[FieldIdx] (tuple/data/closure env)
+  GetTag,          ///< Dst <- constructor index of data value Srcs[0]
+  SetClosureField, ///< Srcs[0].env[FieldIdx] <- Srcs[1] (closure cycle patch)
+  RefLoad,         ///< Dst <- !Srcs[0]
+  RefStore,        ///< Srcs[0] := Srcs[1]
+
+  // Control flow (forward-only).
+  Jump,   ///< goto Label
+  Branch, ///< if Srcs[0] goto Label else goto Label2
+  Call,   ///< Dst <- Callee(Srcs...)            [direct; CallSiteId]
+  CallIndirect, ///< Dst <- Srcs[0](Srcs[1..])   [closure; CallSiteId]
+  Return, ///< return Srcs[0]
+  Abort,  ///< pattern-match failure
+};
+
+/// Which primitive a Prim instruction computes. Mirrors frontend PrimOp for
+/// the arithmetic subset (ref/print have dedicated opcodes).
+enum class PrimVal : uint8_t {
+  Add, Sub, Mul, Div, Mod, Neg,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  Not,
+  FAdd, FSub, FMul, FDiv, FNeg, FLt, FEq,
+  IntToFloat,
+};
+
+struct Instr {
+  Opcode Op;
+  SlotIndex Dst = 0;
+  std::vector<SlotIndex> Srcs;
+  int64_t IntImm = 0;
+  double FloatImm = 0.0;
+  PrimVal Prim = PrimVal::Add;
+  FuncId Callee = InvalidFunc;
+  CallSiteId Site = InvalidSite;
+  uint32_t CtorIdx = 0;
+  uint32_t FieldIdx = 0;
+  LabelId Label = 0;
+  LabelId Label2 = 0;
+  DatatypeInfo *Data = nullptr; ///< MakeData / GetTag.
+
+  /// True if this instruction writes Dst.
+  bool hasDst() const;
+  /// True if this instruction may allocate and therefore carries a site.
+  bool isGcPoint() const { return Site != InvalidSite; }
+};
+
+/// How a call site can reach the collector.
+enum class SiteKind : uint8_t {
+  Direct,   ///< Call to a known function.
+  Indirect, ///< Call through a closure.
+  Alloc,    ///< Allocation ("call to cons/new", paper section 2.1).
+};
+
+/// Compile-time record for one GC point. TraceSlots is filled by the
+/// liveness analysis (or set to "all initialized slots" when liveness is
+/// disabled); CodeAddr is assigned by the code image builder.
+struct CallSiteInfo {
+  CallSiteId Id = InvalidSite;
+  FuncId Caller = InvalidFunc;
+  uint32_t InstrIdx = 0;
+  SiteKind Kind = SiteKind::Alloc;
+
+  FuncId Callee = InvalidFunc; ///< Direct only.
+  /// Direct: instantiation of the callee's type parameters, written over the
+  /// caller's type parameters (paper section 3: what the caller's frame GC
+  /// routine passes to the callee's).
+  std::vector<Type *> CalleeTypeInst;
+  /// Indirect: the static type of the closure being called, over the
+  /// caller's type parameters.
+  Type *ClosureTy = nullptr;
+
+  /// Slots of the caller to trace if GC happens here (live and initialized).
+  std::vector<SlotIndex> TraceSlots;
+  /// Result of the GC-point analysis: can this site actually start a
+  /// collection? Alloc sites always can.
+  bool CanTriggerGc = true;
+
+  /// Address of the "call instruction" in the code image; the gc_word lives
+  /// at CodeAddr + GcWordOffset and execution resumes at CodeAddr +
+  /// ResumeOffset (paper Figure 1).
+  uint32_t CodeAddr = 0;
+};
+
+struct IrFunction {
+  FuncId Id = InvalidFunc;
+  std::string Name;
+  unsigned NumParams = 0; ///< Slots [0, NumParams) are parameters.
+  std::vector<Type *> SlotTypes;
+  std::vector<Instr> Code;
+  /// Label -> instruction index.
+  std::vector<uint32_t> LabelTargets;
+
+  /// The function's type parameters: the rigid vars of its scheme. Slot
+  /// types may mention them; the collector binds them to type GC routines.
+  std::vector<Type *> TypeParams;
+
+  /// Closure-called functions (lambdas, local funs with captures, stubs):
+  /// slot 0 is the closure itself ("self"), env field i has type
+  /// EnvTypes[i] and is read as field i of self.
+  bool IsClosure = false;
+  std::vector<Type *> EnvTypes;
+  /// The function's own function type (params excluding self, result).
+  Type *FunTy = nullptr;
+
+  /// Code image entry address (set by the code image builder). The word at
+  /// Entry - 1 holds the closure GC metadata (paper section 2.2).
+  uint32_t EntryAddr = 0;
+
+  unsigned numSlots() const { return (unsigned)SlotTypes.size(); }
+};
+
+struct IrProgram {
+  std::vector<IrFunction> Functions;
+  std::vector<CallSiteInfo> Sites;
+  FuncId MainId = InvalidFunc;
+  TypeContext *Types = nullptr; ///< Non-owning.
+
+  IrFunction &fn(FuncId Id) { return Functions[Id]; }
+  const IrFunction &fn(FuncId Id) const { return Functions[Id]; }
+  CallSiteInfo &site(CallSiteId Id) { return Sites[Id]; }
+  const CallSiteInfo &site(CallSiteId Id) const { return Sites[Id]; }
+};
+
+/// Finds a function by name (InvalidFunc if absent). Top-level function
+/// names are unique; lambdas have synthesized names.
+FuncId findFunction(const IrProgram &P, const std::string &Name);
+
+/// Renders the IR for tests and debugging.
+std::string printIr(const IrProgram &P);
+std::string printFunction(const IrProgram &P, const IrFunction &F);
+
+} // namespace tfgc
+
+#endif // TFGC_IR_IR_H

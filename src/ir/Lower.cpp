@@ -1,0 +1,1086 @@
+//===- ir/Lower.cpp -------------------------------------------------------===//
+
+#include "ir/Lower.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tfgc;
+
+Lowerer::Lowerer(TypeContext &Ctx, SemaInfo &Sema, DiagnosticEngine &Diags)
+    : Ctx(Ctx), Sema(Sema), Diags(Diags) {}
+
+//===----------------------------------------------------------------------===//
+// Function construction helpers
+//===----------------------------------------------------------------------===//
+
+IrFunction *Lowerer::newFunction(const std::string &Name) {
+  auto F = std::make_unique<IrFunction>();
+  F->Id = (FuncId)Fns.size();
+  F->Name = Name;
+  IrFunction *Raw = F.get();
+  Fns.push_back(std::move(F));
+  return Raw;
+}
+
+void Lowerer::pushContext(IrFunction *F) {
+  auto C = std::make_unique<FnContext>();
+  C->F = F;
+  CtxStack.push_back(std::move(C));
+}
+
+void Lowerer::popContext() {
+  finishFunction();
+  CtxStack.pop_back();
+}
+
+SlotIndex Lowerer::newSlot(Type *Ty) {
+  assert(Ty && "slot needs a type");
+  fn().SlotTypes.push_back(Ty->resolved());
+  return (SlotIndex)(fn().SlotTypes.size() - 1);
+}
+
+Instr &Lowerer::emit(Opcode Op) {
+  fn().Code.emplace_back();
+  Instr &I = fn().Code.back();
+  I.Op = Op;
+  return I;
+}
+
+LabelId Lowerer::newLabel() {
+  fn().LabelTargets.push_back(0);
+  return (LabelId)(fn().LabelTargets.size() - 1);
+}
+
+void Lowerer::bindLabel(LabelId L) {
+  fn().LabelTargets[L] = (uint32_t)fn().Code.size();
+}
+
+LabelId Lowerer::abortLabel() {
+  if (!ctx().HasAbortLabel) {
+    ctx().AbortLabel = newLabel();
+    ctx().HasAbortLabel = true;
+  }
+  return ctx().AbortLabel;
+}
+
+CallSiteId Lowerer::newSite(SiteKind Kind, uint32_t InstrIdx) {
+  CallSiteInfo S;
+  S.Id = (CallSiteId)Prog.Sites.size();
+  S.Caller = fn().Id;
+  S.InstrIdx = InstrIdx;
+  S.Kind = Kind;
+  Prog.Sites.push_back(std::move(S));
+  SiteInstMaps.emplace_back();
+  return Prog.Sites.back().Id;
+}
+
+void Lowerer::finishFunction() {
+  if (ctx().HasAbortLabel) {
+    bindLabel(ctx().AbortLabel);
+    emit(Opcode::Abort);
+  }
+}
+
+void Lowerer::bindName(const std::string &Name, Binding B) {
+  assert(!ctx().Scopes.empty());
+  ctx().Scopes.back()[Name] = B;
+}
+
+const Lowerer::Binding *Lowerer::resolve(const std::string &Name) {
+  // Current context: all binding kinds.
+  for (auto It = ctx().Scopes.rbegin(); It != ctx().Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  // Enclosing contexts: only DirectFn bindings survive (slots must have
+  // been captured).
+  for (size_t C = CtxStack.size() - 1; C-- > 0;) {
+    for (auto It = CtxStack[C]->Scopes.rbegin();
+         It != CtxStack[C]->Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found == It->end())
+        continue;
+      if (Found->second.K == Binding::Kind::DirectFn)
+        return &Found->second;
+      return nullptr; // Uncaptured outer slot: treated as unbound here.
+    }
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Free variable scanning (over names, respecting shadowing)
+//===----------------------------------------------------------------------===//
+
+void Lowerer::patternNames(const Pattern *P,
+                           std::unordered_set<std::string> &Bound) {
+  if (P->Kind == PatternKind::Var)
+    Bound.insert(P->Name);
+  for (const PatternPtr &E : P->Elems)
+    patternNames(E.get(), Bound);
+}
+
+void Lowerer::freeNamesExpr(const Expr *E,
+                            std::unordered_set<std::string> &Bound,
+                            std::vector<std::string> &Out,
+                            std::unordered_set<std::string> &OutSet) {
+  switch (E->getKind()) {
+  case ExprKind::Int:
+  case ExprKind::Float:
+  case ExprKind::Bool:
+  case ExprKind::Unit:
+    return;
+  case ExprKind::Var: {
+    const auto *V = cast<VarExpr>(E);
+    if (!Bound.count(V->Name) && OutSet.insert(V->Name).second)
+      Out.push_back(V->Name);
+    return;
+  }
+  case ExprKind::Ctor:
+    for (const ExprPtr &A : cast<CtorExpr>(E)->Args)
+      freeNamesExpr(A.get(), Bound, Out, OutSet);
+    return;
+  case ExprKind::Tuple:
+    for (const ExprPtr &A : cast<TupleExpr>(E)->Elems)
+      freeNamesExpr(A.get(), Bound, Out, OutSet);
+    return;
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    freeNamesExpr(I->Cond.get(), Bound, Out, OutSet);
+    freeNamesExpr(I->Then.get(), Bound, Out, OutSet);
+    freeNamesExpr(I->Else.get(), Bound, Out, OutSet);
+    return;
+  }
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    std::unordered_set<std::string> Inner = Bound;
+    for (const DeclPtr &D : L->Decls)
+      freeNamesDecl(D.get(), Inner, Out, OutSet);
+    freeNamesExpr(L->Body.get(), Inner, Out, OutSet);
+    return;
+  }
+  case ExprKind::Fn: {
+    const auto *F = cast<FnExpr>(E);
+    std::unordered_set<std::string> Inner = Bound;
+    patternNames(F->Param.get(), Inner);
+    freeNamesExpr(F->Body.get(), Inner, Out, OutSet);
+    return;
+  }
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    freeNamesExpr(A->Fn.get(), Bound, Out, OutSet);
+    for (const ExprPtr &Arg : A->Args)
+      freeNamesExpr(Arg.get(), Bound, Out, OutSet);
+    return;
+  }
+  case ExprKind::Prim:
+    for (const ExprPtr &A : cast<PrimExpr>(E)->Args)
+      freeNamesExpr(A.get(), Bound, Out, OutSet);
+    return;
+  case ExprKind::Case: {
+    const auto *C = cast<CaseExpr>(E);
+    freeNamesExpr(C->Scrut.get(), Bound, Out, OutSet);
+    for (const CaseClause &Cl : C->Clauses) {
+      std::unordered_set<std::string> Inner = Bound;
+      patternNames(Cl.Pat.get(), Inner);
+      freeNamesExpr(Cl.Body.get(), Inner, Out, OutSet);
+    }
+    return;
+  }
+  case ExprKind::Seq:
+    for (const ExprPtr &A : cast<SeqExpr>(E)->Elems)
+      freeNamesExpr(A.get(), Bound, Out, OutSet);
+    return;
+  case ExprKind::Annot:
+    freeNamesExpr(cast<AnnotExpr>(E)->Body.get(), Bound, Out, OutSet);
+    return;
+  }
+}
+
+void Lowerer::freeNamesDecl(const Decl *D,
+                            std::unordered_set<std::string> &Bound,
+                            std::vector<std::string> &Out,
+                            std::unordered_set<std::string> &OutSet) {
+  switch (D->Kind) {
+  case DeclKind::Datatype:
+    return;
+  case DeclKind::Fun: {
+    for (const FunBind &B : D->Binds)
+      Bound.insert(B.Name);
+    for (const FunBind &B : D->Binds) {
+      std::unordered_set<std::string> Inner = Bound;
+      for (const PatternPtr &P : B.Params)
+        patternNames(P.get(), Inner);
+      freeNamesExpr(B.Body.get(), Inner, Out, OutSet);
+    }
+    return;
+  }
+  case DeclKind::Val:
+    if (D->Init)
+      freeNamesExpr(D->Init.get(), Bound, Out, OutSet);
+    if (D->Pat)
+      patternNames(D->Pat.get(), Bound);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Program entry
+//===----------------------------------------------------------------------===//
+
+std::optional<IrProgram> Lowerer::lower(Program &P) {
+  Prog.Types = &Ctx;
+
+  IrFunction *Main = newFunction("main");
+  Main->NumParams = 0;
+  Type *MainTy = P.Main ? P.Main->Ty : Ctx.unitTy();
+  Main->FunTy = Ctx.makeFun({}, MainTy->resolved());
+  Prog.MainId = Main->Id;
+
+  pushContext(Main);
+  pushScope();
+  for (DeclPtr &D : P.Decls)
+    lowerDecl(D.get());
+  SlotIndex Result =
+      P.Main ? lowerExpr(P.Main.get()) : newSlot(Ctx.unitTy());
+  emit(Opcode::Return).Srcs = {Result};
+  popScope();
+  popContext();
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!finalizeTypeParams())
+    return std::nullopt;
+
+  Prog.Functions.reserve(Fns.size());
+  for (std::unique_ptr<IrFunction> &F : Fns)
+    Prog.Functions.push_back(std::move(*F));
+  return std::move(Prog);
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerDecl(Decl *D) {
+  switch (D->Kind) {
+  case DeclKind::Datatype:
+    return; // Fully handled by sema.
+  case DeclKind::Fun:
+    lowerFunGroup(D);
+    return;
+  case DeclKind::Val:
+    lowerValDecl(D);
+    return;
+  }
+}
+
+void Lowerer::lowerFunGroup(Decl *D) {
+  // Names bound by the group itself.
+  std::unordered_set<std::string> Bound;
+  for (FunBind &B : D->Binds)
+    Bound.insert(B.Name);
+
+  // Free names of the whole group.
+  std::vector<std::string> Free;
+  std::unordered_set<std::string> FreeSet;
+  for (FunBind &B : D->Binds) {
+    std::unordered_set<std::string> Inner = Bound;
+    for (PatternPtr &P : B.Params)
+      patternNames(P.get(), Inner);
+    freeNamesExpr(B.Body.get(), Inner, Free, FreeSet);
+  }
+
+  // A group captures if any free name resolves to a slot.
+  std::vector<std::string> Captures;
+  for (const std::string &Name : Free) {
+    const Binding *B = resolve(Name);
+    if (B && B->K == Binding::Kind::Slot)
+      Captures.push_back(Name);
+  }
+
+  if (Captures.empty())
+    lowerLiftedGroup(D);
+  else
+    lowerClosureGroup(D, Captures);
+}
+
+void Lowerer::lowerLiftedGroup(Decl *D) {
+  // Create all functions and bind their names first so recursion and
+  // mutual references resolve.
+  std::vector<IrFunction *> Created;
+  for (FunBind &B : D->Binds) {
+    const TypeScheme &S = Sema.FunSchemes.at(&B);
+    IrFunction *F = newFunction(B.Name);
+    F->FunTy = S.Body->resolved();
+    assert(F->FunTy->getKind() == TypeKind::Fun && "fun must have fun type");
+    F->NumParams = (unsigned)B.Params.size();
+    for (PatternPtr &P : B.Params)
+      F->SlotTypes.push_back(P->Ty->resolved());
+    F->TypeParams = S.Params;
+    Created.push_back(F);
+
+    Binding Bind;
+    Bind.K = Binding::Kind::DirectFn;
+    Bind.Fn = F->Id;
+    Bind.SchemeBody = F->FunTy;
+    bindName(B.Name, Bind);
+  }
+
+  for (size_t I = 0; I < D->Binds.size(); ++I) {
+    FunBind &B = D->Binds[I];
+    pushContext(Created[I]);
+    pushScope();
+    std::vector<Pattern *> Params;
+    for (PatternPtr &P : B.Params)
+      Params.push_back(P.get());
+    lowerFunctionBody(Params, B.Body.get());
+    popScope();
+    popContext();
+  }
+}
+
+void Lowerer::lowerClosureGroup(Decl *D,
+                                const std::vector<std::string> &Captures) {
+  // Captured local functions must be monomorphic: a polymorphic closure
+  // value would need a typed slot for the closure itself, which rank-1
+  // lowering cannot express (see DESIGN.md).
+  for (FunBind &B : D->Binds) {
+    const TypeScheme &S = Sema.FunSchemes.at(&B);
+    if (S.isPoly()) {
+      Diags.error(B.Loc,
+                  "polymorphic local function '" + B.Name +
+                      "' captures variables; monomorphise it or move the "
+                      "captured values into parameters");
+      return;
+    }
+  }
+
+  // Resolve capture slots in the current function.
+  std::vector<SlotIndex> CapSlots;
+  std::vector<Type *> CapTypes;
+  for (const std::string &Name : Captures) {
+    const Binding *B = resolve(Name);
+    assert(B && B->K == Binding::Kind::Slot);
+    CapSlots.push_back(B->Slot);
+    CapTypes.push_back(fn().SlotTypes[B->Slot]);
+  }
+
+  size_t N = D->Binds.size();
+  std::vector<IrFunction *> Created;
+  std::vector<Type *> FnTys;
+  for (FunBind &B : D->Binds) {
+    const TypeScheme &S = Sema.FunSchemes.at(&B);
+    IrFunction *F = newFunction(B.Name);
+    F->IsClosure = true;
+    F->FunTy = S.Body->resolved();
+    F->NumParams = 1 + (unsigned)B.Params.size();
+    F->SlotTypes.push_back(F->FunTy); // slot 0: self.
+    for (PatternPtr &P : B.Params)
+      F->SlotTypes.push_back(P->Ty->resolved());
+    F->EnvTypes = CapTypes;
+    Created.push_back(F);
+    FnTys.push_back(F->FunTy);
+  }
+  // Sibling fields (all group members except self) follow the captures.
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      if (J != I)
+        Created[I]->EnvTypes.push_back(FnTys[J]);
+
+  // Create the closures in the parent, with unit placeholders for sibling
+  // fields, then patch the cycles.
+  SlotIndex UnitSlot = 0;
+  if (N > 1) {
+    UnitSlot = newSlot(Ctx.unitTy());
+    emit(Opcode::LoadUnit).Dst = UnitSlot;
+  }
+  std::vector<SlotIndex> CloSlots;
+  for (size_t I = 0; I < N; ++I) {
+    SlotIndex C = newSlot(FnTys[I]);
+    Instr &MC = emit(Opcode::MakeClosure);
+    MC.Dst = C;
+    MC.Callee = Created[I]->Id;
+    MC.Srcs = CapSlots;
+    for (size_t J = 0; J + 1 < N; ++J)
+      MC.Srcs.push_back(UnitSlot);
+    MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    CloSlots.push_back(C);
+  }
+  for (size_t I = 0; I < N; ++I) {
+    unsigned FieldBase = (unsigned)Captures.size();
+    unsigned K = 0;
+    for (size_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      Instr &SC = emit(Opcode::SetClosureField);
+      SC.Srcs = {CloSlots[I], CloSlots[J]};
+      SC.FieldIdx = 1 + FieldBase + K; // +1 skips the code word.
+      ++K;
+    }
+  }
+  for (size_t I = 0; I < N; ++I) {
+    Binding Bind;
+    Bind.K = Binding::Kind::Slot;
+    Bind.Slot = CloSlots[I];
+    bindName(D->Binds[I].Name, Bind);
+  }
+
+  // Lower the bodies.
+  for (size_t I = 0; I < N; ++I) {
+    FunBind &B = D->Binds[I];
+    IrFunction *F = Created[I];
+    pushContext(F);
+    pushScope();
+
+    // Self-recursion goes through slot 0 (the closure itself).
+    Binding Self;
+    Self.K = Binding::Kind::Slot;
+    Self.Slot = 0;
+    bindName(B.Name, Self);
+
+    // Copy env fields into slots and bind them.
+    for (size_t K = 0; K < F->EnvTypes.size(); ++K) {
+      SlotIndex S = newSlot(F->EnvTypes[K]);
+      Instr &GF = emit(Opcode::GetField);
+      GF.Dst = S;
+      GF.Srcs = {0};
+      GF.FieldIdx = (uint32_t)K + 1; // +1 skips the code word.
+      Binding Bind;
+      Bind.K = Binding::Kind::Slot;
+      Bind.Slot = S;
+      const std::string &Name = K < Captures.size()
+                                    ? Captures[K]
+                                    : [&] {
+                                        size_t Sib = K - Captures.size();
+                                        for (size_t J = 0; J < N; ++J) {
+                                          if (J == I)
+                                            continue;
+                                          if (Sib == 0)
+                                            return D->Binds[J].Name;
+                                          --Sib;
+                                        }
+                                        return std::string();
+                                      }();
+      bindName(Name, Bind);
+    }
+
+    std::vector<Pattern *> Params;
+    for (PatternPtr &P : B.Params)
+      Params.push_back(P.get());
+    lowerFunctionBody(Params, B.Body.get());
+    popScope();
+    popContext();
+  }
+}
+
+void Lowerer::lowerValDecl(Decl *D) {
+  SlotIndex V = lowerExpr(D->Init.get());
+  lowerIrrefutable(D->Pat.get(), V);
+}
+
+void Lowerer::lowerFunctionBody(const std::vector<Pattern *> &Params,
+                                Expr *Body) {
+  unsigned FirstParam = fn().IsClosure ? 1 : 0;
+  for (size_t I = 0; I < Params.size(); ++I)
+    lowerIrrefutable(Params[I], (SlotIndex)(FirstParam + I));
+  SlotIndex R = lowerExpr(Body);
+  emit(Opcode::Return).Srcs = {R};
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerIrrefutable(Pattern *P, SlotIndex Scrut) {
+  switch (P->Kind) {
+  case PatternKind::Wild:
+    return;
+  case PatternKind::Var: {
+    Binding B;
+    B.K = Binding::Kind::Slot;
+    B.Slot = Scrut;
+    bindName(P->Name, B);
+    return;
+  }
+  default:
+    lowerPatternTest(P, Scrut, abortLabel());
+    return;
+  }
+}
+
+void Lowerer::lowerPatternTest(Pattern *P, SlotIndex Scrut, LabelId Fail) {
+  switch (P->Kind) {
+  case PatternKind::Wild:
+    return;
+  case PatternKind::Var: {
+    Binding B;
+    B.K = Binding::Kind::Slot;
+    B.Slot = Scrut;
+    bindName(P->Name, B);
+    return;
+  }
+  case PatternKind::Int:
+  case PatternKind::Bool: {
+    SlotIndex C = newSlot(P->Kind == PatternKind::Int ? Ctx.intTy()
+                                                      : Ctx.boolTy());
+    Instr &LI = emit(P->Kind == PatternKind::Int ? Opcode::LoadInt
+                                                 : Opcode::LoadBool);
+    LI.Dst = C;
+    LI.IntImm = P->Kind == PatternKind::Int ? P->IntValue
+                                            : (P->BoolValue ? 1 : 0);
+    SlotIndex T = newSlot(Ctx.boolTy());
+    Instr &Cmp = emit(Opcode::Prim);
+    Cmp.Prim = PrimVal::Eq;
+    Cmp.Dst = T;
+    Cmp.Srcs = {Scrut, C};
+    LabelId Cont = newLabel();
+    Instr &Br = emit(Opcode::Branch);
+    Br.Srcs = {T};
+    Br.Label = Cont;
+    Br.Label2 = Fail;
+    bindLabel(Cont);
+    return;
+  }
+  case PatternKind::Tuple: {
+    if (P->Elems.empty())
+      return; // unit pattern always matches
+    Type *TupTy = P->Ty->resolved();
+    for (size_t I = 0; I < P->Elems.size(); ++I) {
+      SlotIndex F = newSlot(P->Elems[I]->Ty);
+      Instr &GF = emit(Opcode::GetField);
+      GF.Dst = F;
+      GF.Srcs = {Scrut};
+      GF.FieldIdx = (uint32_t)I;
+      lowerPatternTest(P->Elems[I].get(), F, Fail);
+    }
+    (void)TupTy;
+    return;
+  }
+  case PatternKind::Ctor: {
+    auto It = Sema.CtorRefs.find(P);
+    assert(It != Sema.CtorRefs.end() && "unresolved constructor pattern");
+    const ResolvedCtor &RC = It->second;
+    if (RC.Info->Ctors.size() > 1) {
+      SlotIndex Tag = newSlot(Ctx.intTy());
+      Instr &GT = emit(Opcode::GetTag);
+      GT.Dst = Tag;
+      GT.Srcs = {Scrut};
+      GT.Data = RC.Info;
+      SlotIndex C = newSlot(Ctx.intTy());
+      Instr &LI = emit(Opcode::LoadInt);
+      LI.Dst = C;
+      LI.IntImm = (int64_t)RC.Index;
+      SlotIndex T = newSlot(Ctx.boolTy());
+      Instr &Cmp = emit(Opcode::Prim);
+      Cmp.Prim = PrimVal::Eq;
+      Cmp.Dst = T;
+      Cmp.Srcs = {Tag, C};
+      LabelId Cont = newLabel();
+      Instr &Br = emit(Opcode::Branch);
+      Br.Srcs = {T};
+      Br.Label = Cont;
+      Br.Label2 = Fail;
+      bindLabel(Cont);
+    }
+    for (size_t I = 0; I < P->Elems.size(); ++I) {
+      SlotIndex F = newSlot(P->Elems[I]->Ty);
+      Instr &GF = emit(Opcode::GetField);
+      GF.Dst = F;
+      GF.Srcs = {Scrut};
+      GF.FieldIdx = (uint32_t)I + 1; // +1 skips the discriminant.
+      GF.Data = RC.Info;
+      lowerPatternTest(P->Elems[I].get(), F, Fail);
+    }
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+SlotIndex Lowerer::lowerExpr(Expr *E) {
+  switch (E->getKind()) {
+  case ExprKind::Int: {
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::LoadInt);
+    I.Dst = S;
+    I.IntImm = cast<IntExpr>(E)->Value;
+    return S;
+  }
+  case ExprKind::Float: {
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::LoadFloat);
+    I.Dst = S;
+    I.FloatImm = cast<FloatExpr>(E)->Value;
+    // Boxed under the tagged model, so this is an allocation site.
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    return S;
+  }
+  case ExprKind::Bool: {
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::LoadBool);
+    I.Dst = S;
+    I.IntImm = cast<BoolExpr>(E)->Value ? 1 : 0;
+    return S;
+  }
+  case ExprKind::Unit: {
+    SlotIndex S = newSlot(E->Ty);
+    emit(Opcode::LoadUnit).Dst = S;
+    return S;
+  }
+  case ExprKind::Var: {
+    auto *V = cast<VarExpr>(E);
+    const Binding *B = resolve(V->Name);
+    if (!B) {
+      Diags.error(V->Loc, "unbound variable '" + V->Name +
+                              "' (note: 'real' and constructors are not "
+                              "first-class values)");
+      SlotIndex S = newSlot(E->Ty ? E->Ty : Ctx.unitTy());
+      emit(Opcode::LoadUnit).Dst = S;
+      return S;
+    }
+    if (B->K == Binding::Kind::Slot)
+      return B->Slot;
+    return materializeStub(B->Fn, V->Ty, V->Loc);
+  }
+  case ExprKind::Ctor: {
+    auto *C = cast<CtorExpr>(E);
+    auto It = Sema.CtorRefs.find(C);
+    assert(It != Sema.CtorRefs.end());
+    const ResolvedCtor &RC = It->second;
+    std::vector<SlotIndex> Args;
+    for (ExprPtr &A : C->Args)
+      Args.push_back(lowerExpr(A.get()));
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::MakeData);
+    I.Dst = S;
+    I.Srcs = std::move(Args);
+    I.Data = RC.Info;
+    I.CtorIdx = RC.Index;
+    if (!I.Srcs.empty())
+      I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    return S;
+  }
+  case ExprKind::Tuple: {
+    auto *T = cast<TupleExpr>(E);
+    std::vector<SlotIndex> Elems;
+    for (ExprPtr &El : T->Elems)
+      Elems.push_back(lowerExpr(El.get()));
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::MakeTuple);
+    I.Dst = S;
+    I.Srcs = std::move(Elems);
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    return S;
+  }
+  case ExprKind::If: {
+    auto *I = cast<IfExpr>(E);
+    SlotIndex Cond = lowerExpr(I->Cond.get());
+    SlotIndex Res = newSlot(E->Ty);
+    LabelId ThenL = newLabel(), ElseL = newLabel(), EndL = newLabel();
+    Instr &Br = emit(Opcode::Branch);
+    Br.Srcs = {Cond};
+    Br.Label = ThenL;
+    Br.Label2 = ElseL;
+    bindLabel(ThenL);
+    SlotIndex T = lowerExpr(I->Then.get());
+    Instr &MT = emit(Opcode::Move);
+    MT.Dst = Res;
+    MT.Srcs = {T};
+    emit(Opcode::Jump).Label = EndL;
+    bindLabel(ElseL);
+    SlotIndex El = lowerExpr(I->Else.get());
+    Instr &ME = emit(Opcode::Move);
+    ME.Dst = Res;
+    ME.Srcs = {El};
+    emit(Opcode::Jump).Label = EndL;
+    bindLabel(EndL);
+    return Res;
+  }
+  case ExprKind::Let: {
+    auto *L = cast<LetExpr>(E);
+    pushScope();
+    for (DeclPtr &D : L->Decls)
+      lowerDecl(D.get());
+    SlotIndex R = lowerExpr(L->Body.get());
+    popScope();
+    return R;
+  }
+  case ExprKind::Fn:
+    return lowerLambda(cast<FnExpr>(E));
+  case ExprKind::App:
+    return lowerApp(cast<AppExpr>(E));
+  case ExprKind::Prim:
+    return lowerPrim(cast<PrimExpr>(E));
+  case ExprKind::Case:
+    return lowerCase(cast<CaseExpr>(E));
+  case ExprKind::Seq: {
+    auto *S = cast<SeqExpr>(E);
+    SlotIndex R = 0;
+    for (ExprPtr &El : S->Elems)
+      R = lowerExpr(El.get());
+    return R;
+  }
+  case ExprKind::Annot:
+    return lowerExpr(cast<AnnotExpr>(E)->Body.get());
+  }
+  return 0;
+}
+
+SlotIndex Lowerer::lowerPrim(PrimExpr *E) {
+  switch (E->Op) {
+  case PrimOp::RefNew: {
+    SlotIndex V = lowerExpr(E->Args[0].get());
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::MakeRef);
+    I.Dst = S;
+    I.Srcs = {V};
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    return S;
+  }
+  case PrimOp::RefGet: {
+    SlotIndex R = lowerExpr(E->Args[0].get());
+    SlotIndex S = newSlot(E->Ty);
+    Instr &I = emit(Opcode::RefLoad);
+    I.Dst = S;
+    I.Srcs = {R};
+    return S;
+  }
+  case PrimOp::RefSet: {
+    SlotIndex R = lowerExpr(E->Args[0].get());
+    SlotIndex V = lowerExpr(E->Args[1].get());
+    Instr &I = emit(Opcode::RefStore);
+    I.Srcs = {R, V};
+    SlotIndex S = newSlot(Ctx.unitTy());
+    emit(Opcode::LoadUnit).Dst = S;
+    return S;
+  }
+  case PrimOp::Print: {
+    SlotIndex V = lowerExpr(E->Args[0].get());
+    emit(Opcode::Print).Srcs = {V};
+    SlotIndex S = newSlot(Ctx.unitTy());
+    emit(Opcode::LoadUnit).Dst = S;
+    return S;
+  }
+  default:
+    break;
+  }
+
+  PrimVal PV;
+  switch (E->Op) {
+  case PrimOp::Add: PV = PrimVal::Add; break;
+  case PrimOp::Sub: PV = PrimVal::Sub; break;
+  case PrimOp::Mul: PV = PrimVal::Mul; break;
+  case PrimOp::Div: PV = PrimVal::Div; break;
+  case PrimOp::Mod: PV = PrimVal::Mod; break;
+  case PrimOp::Neg: PV = PrimVal::Neg; break;
+  case PrimOp::Lt:  PV = PrimVal::Lt; break;
+  case PrimOp::Le:  PV = PrimVal::Le; break;
+  case PrimOp::Gt:  PV = PrimVal::Gt; break;
+  case PrimOp::Ge:  PV = PrimVal::Ge; break;
+  case PrimOp::Eq:  PV = PrimVal::Eq; break;
+  case PrimOp::Ne:  PV = PrimVal::Ne; break;
+  case PrimOp::Not: PV = PrimVal::Not; break;
+  case PrimOp::FAdd: PV = PrimVal::FAdd; break;
+  case PrimOp::FSub: PV = PrimVal::FSub; break;
+  case PrimOp::FMul: PV = PrimVal::FMul; break;
+  case PrimOp::FDiv: PV = PrimVal::FDiv; break;
+  case PrimOp::FNeg: PV = PrimVal::FNeg; break;
+  case PrimOp::FLt:  PV = PrimVal::FLt; break;
+  case PrimOp::FEq:  PV = PrimVal::FEq; break;
+  case PrimOp::IntToFloat: PV = PrimVal::IntToFloat; break;
+  default:
+    PV = PrimVal::Add;
+    break;
+  }
+
+  std::vector<SlotIndex> Args;
+  for (ExprPtr &A : E->Args)
+    Args.push_back(lowerExpr(A.get()));
+  SlotIndex S = newSlot(E->Ty);
+  Instr &I = emit(Opcode::Prim);
+  I.Prim = PV;
+  I.Dst = S;
+  I.Srcs = std::move(Args);
+  // Float results are boxed under the tagged model, so float-producing
+  // primitives are allocation sites.
+  switch (PV) {
+  case PrimVal::FAdd:
+  case PrimVal::FSub:
+  case PrimVal::FMul:
+  case PrimVal::FDiv:
+  case PrimVal::FNeg:
+  case PrimVal::IntToFloat:
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    break;
+  default:
+    break;
+  }
+  return S;
+}
+
+SlotIndex Lowerer::lowerApp(AppExpr *A) {
+  if (auto *V = dyn_cast<VarExpr>(A->Fn.get())) {
+    const Binding *B = resolve(V->Name);
+    if (!B && V->Name == "real") {
+      SlotIndex Arg = lowerExpr(A->Args[0].get());
+      SlotIndex S = newSlot(A->Ty);
+      Instr &I = emit(Opcode::Prim);
+      I.Prim = PrimVal::IntToFloat;
+      I.Dst = S;
+      I.Srcs = {Arg};
+      I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+      return S;
+    }
+    if (B && B->K == Binding::Kind::DirectFn) {
+      std::vector<SlotIndex> Args;
+      for (ExprPtr &Arg : A->Args)
+        Args.push_back(lowerExpr(Arg.get()));
+      SlotIndex S = newSlot(A->Ty);
+      Instr &I = emit(Opcode::Call);
+      I.Dst = S;
+      I.Srcs = std::move(Args);
+      I.Callee = B->Fn;
+      CallSiteId Site = newSite(SiteKind::Direct,
+                                (uint32_t)fn().Code.size() - 1);
+      I.Site = Site;
+      Prog.Sites[Site].Callee = B->Fn;
+      matchInstantiation(B->SchemeBody, V->Ty, SiteInstMaps[Site]);
+      return S;
+    }
+  }
+
+  // Indirect call through a closure value.
+  SlotIndex Clo = lowerExpr(A->Fn.get());
+  std::vector<SlotIndex> Srcs{Clo};
+  for (ExprPtr &Arg : A->Args)
+    Srcs.push_back(lowerExpr(Arg.get()));
+  SlotIndex S = newSlot(A->Ty);
+  Instr &I = emit(Opcode::CallIndirect);
+  I.Dst = S;
+  I.Srcs = std::move(Srcs);
+  CallSiteId Site = newSite(SiteKind::Indirect,
+                            (uint32_t)fn().Code.size() - 1);
+  I.Site = Site;
+  Prog.Sites[Site].ClosureTy = A->Fn->Ty->resolved();
+  return S;
+}
+
+SlotIndex Lowerer::lowerCase(CaseExpr *C) {
+  SlotIndex Scrut = lowerExpr(C->Scrut.get());
+  SlotIndex Res = newSlot(C->Ty);
+  LabelId EndL = newLabel();
+  for (size_t I = 0; I < C->Clauses.size(); ++I) {
+    CaseClause &Cl = C->Clauses[I];
+    bool Last = I + 1 == C->Clauses.size();
+    LabelId FailL = Last ? abortLabel() : newLabel();
+    pushScope();
+    lowerPatternTest(Cl.Pat.get(), Scrut, FailL);
+    SlotIndex R = lowerExpr(Cl.Body.get());
+    Instr &M = emit(Opcode::Move);
+    M.Dst = Res;
+    M.Srcs = {R};
+    emit(Opcode::Jump).Label = EndL;
+    popScope();
+    if (!Last)
+      bindLabel(FailL);
+  }
+  bindLabel(EndL);
+  return Res;
+}
+
+SlotIndex Lowerer::lowerLambda(FnExpr *F) {
+  // Determine captures.
+  std::unordered_set<std::string> Bound;
+  patternNames(F->Param.get(), Bound);
+  std::vector<std::string> Free;
+  std::unordered_set<std::string> FreeSet;
+  freeNamesExpr(F->Body.get(), Bound, Free, FreeSet);
+
+  std::vector<std::string> CapNames;
+  std::vector<SlotIndex> CapSlots;
+  std::vector<Type *> CapTypes;
+  for (const std::string &Name : Free) {
+    const Binding *B = resolve(Name);
+    if (B && B->K == Binding::Kind::Slot) {
+      CapNames.push_back(Name);
+      CapSlots.push_back(B->Slot);
+      CapTypes.push_back(fn().SlotTypes[B->Slot]);
+    }
+  }
+
+  IrFunction *L = newFunction("lambda@" + std::to_string(F->Loc.Line) + ":" +
+                              std::to_string(F->Loc.Col));
+  L->IsClosure = true;
+  L->FunTy = F->Ty->resolved();
+  L->NumParams = 2; // self + parameter
+  L->SlotTypes.push_back(L->FunTy);
+  L->SlotTypes.push_back(F->Param->Ty->resolved());
+  L->EnvTypes = CapTypes;
+
+  pushContext(L);
+  pushScope();
+  for (size_t K = 0; K < CapNames.size(); ++K) {
+    SlotIndex S = newSlot(CapTypes[K]);
+    Instr &GF = emit(Opcode::GetField);
+    GF.Dst = S;
+    GF.Srcs = {0};
+    GF.FieldIdx = (uint32_t)K + 1;
+    Binding Bnd;
+    Bnd.K = Binding::Kind::Slot;
+    Bnd.Slot = S;
+    bindName(CapNames[K], Bnd);
+  }
+  lowerFunctionBody({F->Param.get()}, F->Body.get());
+  popScope();
+  popContext();
+
+  SlotIndex S = newSlot(F->Ty);
+  Instr &MC = emit(Opcode::MakeClosure);
+  MC.Dst = S;
+  MC.Callee = L->Id;
+  MC.Srcs = CapSlots;
+  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+  return S;
+}
+
+FuncId Lowerer::getStub(FuncId Target) {
+  auto It = StubOf.find(Target);
+  if (It != StubOf.end())
+    return It->second;
+
+  IrFunction *T = Fns[Target].get();
+  IrFunction *S = newFunction(T->Name + "$stub");
+  StubOf[Target] = S->Id;
+  S->IsClosure = true;
+  S->FunTy = T->FunTy;
+  Type *FunTy = T->FunTy->resolved();
+  assert(FunTy->getKind() == TypeKind::Fun);
+  S->NumParams = 1 + FunTy->numArgs();
+  S->SlotTypes.push_back(S->FunTy);
+  for (Type *P : FunTy->args())
+    S->SlotTypes.push_back(P->resolved());
+  S->TypeParams = T->TypeParams;
+
+  pushContext(S);
+  SlotIndex R = newSlot(FunTy->result());
+  Instr &C = emit(Opcode::Call);
+  C.Dst = R;
+  C.Callee = Target;
+  for (unsigned I = 0; I < FunTy->numArgs(); ++I)
+    C.Srcs.push_back(1 + I);
+  CallSiteId Site = newSite(SiteKind::Direct, 0);
+  C.Site = Site;
+  Prog.Sites[Site].Callee = Target;
+  // Empty instantiation map: every callee parameter defaults to identity,
+  // which is exactly right — the stub shares the target's type parameters.
+  emit(Opcode::Return).Srcs = {R};
+  popContext();
+  return S->Id;
+}
+
+SlotIndex Lowerer::materializeStub(FuncId Target, Type *UseTy,
+                                   SourceLoc Loc) {
+  FuncId Stub = getStub(Target);
+  SlotIndex S = newSlot(UseTy);
+  Instr &MC = emit(Opcode::MakeClosure);
+  MC.Dst = S;
+  MC.Callee = Stub;
+  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Instantiation matching and finalization
+//===----------------------------------------------------------------------===//
+
+void Lowerer::matchInstantiation(Type *SchemeTy, Type *UseTy,
+                                 std::unordered_map<Type *, Type *> &Map) {
+  SchemeTy = SchemeTy->resolved();
+  UseTy = UseTy->resolved();
+  if (SchemeTy->isVar()) {
+    if (SchemeTy->isRigid() && !Map.count(SchemeTy))
+      Map[SchemeTy] = UseTy;
+    return;
+  }
+  if (SchemeTy->getKind() != UseTy->getKind())
+    return;
+  for (unsigned I = 0; I < SchemeTy->numArgs() && I < UseTy->numArgs(); ++I)
+    matchInstantiation(SchemeTy->arg(I), UseTy->arg(I), Map);
+  if (SchemeTy->getKind() == TypeKind::Fun)
+    matchInstantiation(SchemeTy->result(), UseTy->result(), Map);
+}
+
+bool Lowerer::finalizeTypeParams() {
+  auto AppendMissing = [&](IrFunction &F, Type *T,
+                           std::unordered_set<Type *> &Have) {
+    std::vector<Type *> Rigids;
+    Ctx.collectRigidVars(T, Rigids);
+    for (Type *R : Rigids) {
+      // Datatype parameter placeholders never leak into slot types.
+      if (Have.insert(R).second)
+        F.TypeParams.push_back(R);
+    }
+  };
+
+  std::vector<std::unordered_set<Type *>> Have(Fns.size());
+  for (std::unique_ptr<IrFunction> &FP : Fns) {
+    IrFunction &F = *FP;
+    auto &H = Have[F.Id];
+    for (Type *P : F.TypeParams)
+      H.insert(P);
+    if (F.FunTy)
+      AppendMissing(F, F.FunTy, H);
+    for (Type *T : F.EnvTypes)
+      AppendMissing(F, T, H);
+    for (Type *T : F.SlotTypes)
+      AppendMissing(F, T, H);
+  }
+
+  // Propagate through call sites to a fixpoint: a caller must know every
+  // rigid var it passes to a callee.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (CallSiteInfo &S : Prog.Sites) {
+      if (S.Kind != SiteKind::Direct)
+        continue;
+      IrFunction &Caller = *Fns[S.Caller];
+      IrFunction &Callee = *Fns[S.Callee];
+      auto &Map = SiteInstMaps[S.Id];
+      auto &H = Have[Caller.Id];
+      for (Type *P : Callee.TypeParams) {
+        auto It = Map.find(P);
+        Type *Inst = It == Map.end() ? P : It->second;
+        std::vector<Type *> Rigids;
+        Ctx.collectRigidVars(Inst, Rigids);
+        for (Type *R : Rigids) {
+          if (H.insert(R).second) {
+            Caller.TypeParams.push_back(R);
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Materialize per-site instantiation vectors aligned with each callee's
+  // final TypeParams.
+  for (CallSiteInfo &S : Prog.Sites) {
+    if (S.Kind != SiteKind::Direct)
+      continue;
+    IrFunction &Callee = *Fns[S.Callee];
+    auto &Map = SiteInstMaps[S.Id];
+    S.CalleeTypeInst.clear();
+    for (Type *P : Callee.TypeParams) {
+      auto It = Map.find(P);
+      S.CalleeTypeInst.push_back(It == Map.end() ? P : It->second);
+    }
+  }
+  return true;
+}

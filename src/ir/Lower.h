@@ -1,0 +1,145 @@
+//===- ir/Lower.h - AST to IR lowering --------------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers the typed AST into the register IR:
+///
+/// * the whole program becomes a `main` function plus one IrFunction per
+///   `fun` binding, lambda and stub;
+/// * functions without captured variables are lambda-lifted and called
+///   directly; lambdas, local functions with captures, and named functions
+///   used as values become closures (slot 0 = the closure itself);
+/// * pattern matches compile to tag tests + field loads (the paper's
+///   variant-record discriminant checks, section 2.3);
+/// * every direct call site records the instantiation of the callee's type
+///   parameters as types over the caller's type parameters — exactly what
+///   the paper's polymorphic frame GC routines pass down the stack
+///   (section 3); indirect sites record the closure's static type.
+///
+/// Restrictions (diagnosed): polymorphic local functions that capture
+/// variables are rejected; constructors are not first-class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_IR_LOWER_H
+#define TFGC_IR_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+#include "types/Infer.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tfgc {
+
+class Lowerer {
+public:
+  Lowerer(TypeContext &Ctx, SemaInfo &Sema, DiagnosticEngine &Diags);
+
+  /// Lowers \p P. Returns nullopt after reporting errors.
+  std::optional<IrProgram> lower(Program &P);
+
+private:
+  TypeContext &Ctx;
+  SemaInfo &Sema;
+  DiagnosticEngine &Diags;
+
+  IrProgram Prog;
+  std::vector<std::unique_ptr<IrFunction>> Fns;
+  /// Instantiation map for each direct call site (callee rigid var ->
+  /// type over caller rigid vars); converted to vectors in finalize().
+  std::vector<std::unordered_map<Type *, Type *>> SiteInstMaps;
+  std::unordered_map<FuncId, FuncId> StubOf;
+
+  struct Binding {
+    enum class Kind { Slot, DirectFn };
+    Kind K = Kind::Slot;
+    SlotIndex Slot = 0;
+    FuncId Fn = InvalidFunc;
+    Type *SchemeBody = nullptr; ///< DirectFn: function type with rigid vars.
+  };
+
+  /// Per-function lowering state. Contexts nest with closure lowering.
+  struct FnContext {
+    IrFunction *F = nullptr;
+    std::vector<std::unordered_map<std::string, Binding>> Scopes;
+    LabelId AbortLabel = 0;
+    bool HasAbortLabel = false;
+  };
+  std::vector<std::unique_ptr<FnContext>> CtxStack;
+
+  FnContext &ctx() { return *CtxStack.back(); }
+  IrFunction &fn() { return *ctx().F; }
+
+  // -- Function construction ----------------------------------------------
+  IrFunction *newFunction(const std::string &Name);
+  void pushContext(IrFunction *F);
+  void popContext();
+  SlotIndex newSlot(Type *Ty);
+  Instr &emit(Opcode Op);
+  LabelId newLabel();
+  void bindLabel(LabelId L);
+  LabelId abortLabel();
+  CallSiteId newSite(SiteKind Kind, uint32_t InstrIdx);
+  void finishFunction();
+
+  // -- Scope management ----------------------------------------------------
+  void pushScope() { ctx().Scopes.emplace_back(); }
+  void popScope() { ctx().Scopes.pop_back(); }
+  void bindName(const std::string &Name, Binding B);
+  /// Looks \p Name up in the current context, falling back to DirectFn
+  /// bindings of enclosing contexts. Returns nullptr if unbound.
+  const Binding *resolve(const std::string &Name);
+
+  // -- Free variable scanning ----------------------------------------------
+  static void freeNamesExpr(const Expr *E, std::unordered_set<std::string> &Bound,
+                            std::vector<std::string> &Out,
+                            std::unordered_set<std::string> &OutSet);
+  static void freeNamesDecl(const Decl *D, std::unordered_set<std::string> &Bound,
+                            std::vector<std::string> &Out,
+                            std::unordered_set<std::string> &OutSet);
+  static void patternNames(const Pattern *P,
+                           std::unordered_set<std::string> &Bound);
+
+  // -- Declarations ---------------------------------------------------------
+  void lowerDecl(Decl *D);
+  void lowerFunGroup(Decl *D);
+  void lowerLiftedGroup(Decl *D);
+  void lowerClosureGroup(Decl *D, const std::vector<std::string> &Captures);
+  void lowerValDecl(Decl *D);
+
+  // -- Expressions ----------------------------------------------------------
+  SlotIndex lowerExpr(Expr *E);
+  SlotIndex lowerApp(AppExpr *A);
+  SlotIndex lowerCase(CaseExpr *C);
+  SlotIndex lowerPrim(PrimExpr *E);
+  SlotIndex lowerLambda(FnExpr *F);
+  SlotIndex materializeStub(FuncId Target, Type *UseTy, SourceLoc Loc);
+  FuncId getStub(FuncId Target);
+
+  /// Emits tests for \p P against \p Scrut; on failure jumps to \p Fail.
+  /// Binds pattern variables in the current scope.
+  void lowerPatternTest(Pattern *P, SlotIndex Scrut, LabelId Fail);
+  void lowerIrrefutable(Pattern *P, SlotIndex Scrut);
+
+  /// Builds the callee-param -> use-type map by structural matching.
+  void matchInstantiation(Type *SchemeTy, Type *UseTy,
+                          std::unordered_map<Type *, Type *> &Map);
+
+  /// Lowers the shared parts of a function body: parameter patterns, then
+  /// the body expression, then Return.
+  void lowerFunctionBody(const std::vector<Pattern *> &Params, Expr *Body);
+
+  // -- Finalization ---------------------------------------------------------
+  /// Completes per-function TypeParams (adds rigids reachable from slot
+  /// types and call sites, to a fixpoint) and converts instantiation maps
+  /// to vectors aligned with each callee's final TypeParams.
+  bool finalizeTypeParams();
+};
+
+} // namespace tfgc
+
+#endif // TFGC_IR_LOWER_H

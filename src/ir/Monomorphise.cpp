@@ -1,0 +1,191 @@
+//===- ir/Monomorphise.cpp ------------------------------------------------===//
+
+#include "ir/Monomorphise.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace tfgc;
+
+namespace {
+
+class Monomorphiser {
+public:
+  explicit Monomorphiser(IrProgram &P) : P(P), Ctx(*P.Types) {}
+
+  MonomorphiseResult run() {
+    MonomorphiseResult R;
+    R.FunctionsBefore = (unsigned)P.Functions.size();
+
+    // Seed: main with the empty instantiation.
+    (void)specialize(P.MainId, {});
+    while (!Work.empty()) {
+      PendingBody B = Work.front();
+      Work.pop_front();
+      rewriteBody(B);
+    }
+
+    // Count real specializations (clones beyond the first per source fn).
+    std::unordered_map<FuncId, unsigned> PerSource;
+    for (const auto &[Key, NewId] : Specialized) {
+      (void)NewId;
+      ++PerSource[Key.first];
+    }
+    for (const auto &[Src, N] : PerSource) {
+      (void)Src;
+      if (N > 1)
+        R.Specializations += N - 1;
+    }
+
+    IrProgram Out;
+    Out.Types = P.Types;
+    Out.Functions = std::move(NewFunctions);
+    Out.Sites = std::move(NewSites);
+    Out.MainId = 0; // main is the first specialization requested.
+    P = std::move(Out);
+    R.FunctionsAfter = (unsigned)P.Functions.size();
+    return R;
+  }
+
+private:
+  IrProgram &P;
+  TypeContext &Ctx;
+
+  /// Key: (source function, rendered ground instantiation).
+  using Key = std::pair<FuncId, std::string>;
+  std::map<Key, FuncId> Specialized;
+  std::vector<IrFunction> NewFunctions;
+  std::vector<CallSiteInfo> NewSites;
+
+  struct PendingBody {
+    FuncId Source;
+    FuncId Target;
+    std::unordered_map<Type *, Type *> Subst;
+  };
+  std::deque<PendingBody> Work;
+
+  std::string keyOf(const IrFunction &F,
+                    const std::vector<Type *> &Inst) {
+    std::string K;
+    for (Type *T : Inst) {
+      K += Ctx.render(T);
+      K += ';';
+    }
+    (void)F;
+    return K;
+  }
+
+  /// Requests (and memoizes) the specialization of \p Source at the
+  /// ground types \p Inst (aligned with Source's TypeParams).
+  FuncId specialize(FuncId Source, const std::vector<Type *> &Inst) {
+    const IrFunction &F = P.fn(Source);
+    assert(Inst.size() == F.TypeParams.size() &&
+           "instantiation arity mismatch");
+    Key K{Source, keyOf(F, Inst)};
+    auto It = Specialized.find(K);
+    if (It != Specialized.end())
+      return It->second;
+
+    std::unordered_map<Type *, Type *> Subst;
+    for (size_t I = 0; I < Inst.size(); ++I)
+      Subst[F.TypeParams[I]] = Inst[I];
+
+    IrFunction Clone;
+    Clone.Id = (FuncId)NewFunctions.size();
+    Clone.Name = F.Name;
+    if (!Inst.empty()) {
+      Clone.Name += "<";
+      for (size_t I = 0; I < Inst.size(); ++I)
+        Clone.Name += (I ? "," : "") + Ctx.render(Inst[I]);
+      Clone.Name += ">";
+    }
+    Clone.NumParams = F.NumParams;
+    Clone.IsClosure = F.IsClosure;
+    Clone.FunTy = Ctx.substitute(F.FunTy, Subst);
+    for (Type *T : F.SlotTypes)
+      Clone.SlotTypes.push_back(Ctx.substitute(T, Subst));
+    for (Type *T : F.EnvTypes)
+      Clone.EnvTypes.push_back(Ctx.substitute(T, Subst));
+    Clone.LabelTargets = F.LabelTargets;
+    // TypeParams intentionally empty: the whole point.
+
+    FuncId NewId = Clone.Id;
+    NewFunctions.push_back(std::move(Clone));
+    Specialized.emplace(std::move(K), NewId);
+    Work.push_back({Source, NewId, std::move(Subst)});
+    return NewId;
+  }
+
+  /// Evaluates the instantiation types a call site passes to its callee,
+  /// under the caller's own substitution.
+  std::vector<Type *>
+  groundInst(const std::vector<Type *> &Inst,
+             const std::unordered_map<Type *, Type *> &Subst) {
+    std::vector<Type *> Out;
+    Out.reserve(Inst.size());
+    for (Type *T : Inst)
+      Out.push_back(Ctx.substitute(T, Subst));
+    return Out;
+  }
+
+  void rewriteBody(const PendingBody &B) {
+    const IrFunction &Src = P.fn(B.Source);
+    std::vector<Instr> Code = Src.Code; // Clone, then patch.
+
+    for (size_t Idx = 0; Idx < Code.size(); ++Idx) {
+      Instr &I = Code[Idx];
+      switch (I.Op) {
+      case Opcode::Call: {
+        const CallSiteInfo &S = P.site(I.Site);
+        assert(S.Kind == SiteKind::Direct);
+        I.Callee = specialize(I.Callee, groundInst(S.CalleeTypeInst, B.Subst));
+        break;
+      }
+      case Opcode::MakeClosure: {
+        // The lambda's type parameters all occur in the creating
+        // function's context; project the substitution onto them.
+        const IrFunction &L = P.fn(I.Callee);
+        std::vector<Type *> Inst;
+        Inst.reserve(L.TypeParams.size());
+        for (Type *TP : L.TypeParams) {
+          auto It = B.Subst.find(TP);
+          assert(It != B.Subst.end() &&
+                 "lambda type parameter unknown to its creator");
+          Inst.push_back(It->second);
+        }
+        I.Callee = specialize(I.Callee, Inst);
+        break;
+      }
+      default:
+        break;
+      }
+      // Re-home the GC point.
+      if (I.Site != InvalidSite) {
+        const CallSiteInfo &Old = P.site(I.Site);
+        CallSiteInfo NS;
+        NS.Id = (CallSiteId)NewSites.size();
+        NS.Caller = B.Target;
+        NS.InstrIdx = (uint32_t)Idx;
+        NS.Kind = Old.Kind;
+        if (Old.Kind == SiteKind::Direct) {
+          NS.Callee = I.Callee; // Already specialized above.
+          // Callee has no type parameters left.
+        } else if (Old.Kind == SiteKind::Indirect) {
+          NS.ClosureTy = Ctx.substitute(Old.ClosureTy, B.Subst);
+        }
+        I.Site = NS.Id;
+        NewSites.push_back(std::move(NS));
+      }
+    }
+    NewFunctions[B.Target].Code = std::move(Code);
+  }
+};
+
+} // namespace
+
+MonomorphiseResult tfgc::monomorphise(IrProgram &P) {
+  Monomorphiser M(P);
+  return M.run();
+}

@@ -1,0 +1,39 @@
+//===- ir/Monomorphise.h - Whole-program specialization ---------*- C++ -*-===//
+///
+/// \file
+/// The alternative the paper's section 3 exists to avoid: instead of
+/// collecting polymorphic frames with run-time type-GC routines, clone
+/// every polymorphic function at each ground instantiation reachable from
+/// main. Afterwards no function has type parameters, every slot type is
+/// ground, the section-2 monomorphic collector handles everything — and
+/// even Goldberg-'91-non-reconstructible closures become collectible
+/// (their type variables are gone). The costs are code growth and the
+/// loss of separate compilation, which is exactly why the paper keeps
+/// "only one definition of each polymorphic function".
+///
+/// Requires main to be monomorphic (it is, by construction) and rank-1
+/// polymorphism without polymorphic recursion (guaranteed by HM).
+/// Unreachable functions are dropped as a side effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_IR_MONOMORPHISE_H
+#define TFGC_IR_MONOMORPHISE_H
+
+#include "ir/Ir.h"
+
+namespace tfgc {
+
+struct MonomorphiseResult {
+  unsigned FunctionsBefore = 0;
+  unsigned FunctionsAfter = 0;
+  unsigned Specializations = 0; ///< Clones beyond one per polymorphic fn.
+};
+
+/// Rewrites \p P in place. All call-site analyses (trace sets, GC points,
+/// code image, metadata) must run *after* this pass.
+MonomorphiseResult monomorphise(IrProgram &P);
+
+} // namespace tfgc
+
+#endif // TFGC_IR_MONOMORPHISE_H

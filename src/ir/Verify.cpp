@@ -1,0 +1,180 @@
+//===- ir/Verify.cpp ------------------------------------------------------===//
+
+#include "ir/Verify.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(const IrProgram &P) : P(P) {}
+
+  bool run() {
+    if (P.MainId >= P.Functions.size())
+      return fail("main function id out of range");
+    if (P.fn(P.MainId).IsClosure)
+      return fail("main must not be a closure");
+    for (const IrFunction &F : P.Functions)
+      if (!verifyFunction(F))
+        return false;
+    for (const CallSiteInfo &S : P.Sites)
+      if (!verifySite(S))
+        return false;
+    return true;
+  }
+
+  std::string error() const { return Error; }
+
+private:
+  const IrProgram &P;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+  bool failAt(const IrFunction &F, size_t Idx, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "fn " << F.Id << " '" << F.Name << "' instr " << Idx << ": " << Msg;
+    return fail(OS.str());
+  }
+
+  bool verifyFunction(const IrFunction &F) {
+    if (F.SlotTypes.size() != F.numSlots())
+      return fail("slot type table size mismatch in " + F.Name);
+    if (F.NumParams > F.numSlots())
+      return fail("more parameters than slots in " + F.Name);
+    for (Type *T : F.SlotTypes)
+      if (!T)
+        return fail("null slot type in " + F.Name);
+    if (F.Code.empty())
+      return fail("empty body in " + F.Name);
+    if (!F.FunTy)
+      return fail("missing function type on " + F.Name);
+    if (F.IsClosure && F.NumParams == 0)
+      return fail("closure function without self slot: " + F.Name);
+    if (!F.IsClosure && !F.EnvTypes.empty())
+      return fail("non-closure function with env types: " + F.Name);
+
+    for (LabelId L = 0; L < F.LabelTargets.size(); ++L)
+      if (F.LabelTargets[L] > F.Code.size())
+        return fail("label target out of range in " + F.Name);
+
+    for (size_t I = 0; I < F.Code.size(); ++I) {
+      const Instr &In = F.Code[I];
+      if (In.hasDst() && In.Dst >= F.numSlots())
+        return failAt(F, I, "destination slot out of range");
+      for (SlotIndex S : In.Srcs)
+        if (S >= F.numSlots())
+          return failAt(F, I, "source slot out of range");
+      switch (In.Op) {
+      case Opcode::Jump:
+        if (In.Label >= F.LabelTargets.size())
+          return failAt(F, I, "jump to unknown label");
+        break;
+      case Opcode::Branch:
+        if (In.Label >= F.LabelTargets.size() ||
+            In.Label2 >= F.LabelTargets.size())
+          return failAt(F, I, "branch to unknown label");
+        if (In.Srcs.size() != 1)
+          return failAt(F, I, "branch needs exactly one condition");
+        break;
+      case Opcode::Call: {
+        if (In.Callee >= P.Functions.size())
+          return failAt(F, I, "call to unknown function");
+        const IrFunction &Callee = P.fn(In.Callee);
+        if (Callee.IsClosure)
+          return failAt(F, I, "direct call to a closure function");
+        if (In.Srcs.size() != Callee.NumParams)
+          return failAt(F, I, "call arity mismatch");
+        break;
+      }
+      case Opcode::CallIndirect:
+        if (In.Srcs.empty())
+          return failAt(F, I, "indirect call without a closure operand");
+        break;
+      case Opcode::MakeClosure: {
+        if (In.Callee >= P.Functions.size())
+          return failAt(F, I, "closure over unknown function");
+        const IrFunction &Callee = P.fn(In.Callee);
+        if (!Callee.IsClosure)
+          return failAt(F, I, "closure over a non-closure function");
+        if (In.Srcs.size() != Callee.EnvTypes.size())
+          return failAt(F, I, "closure env arity mismatch");
+        break;
+      }
+      case Opcode::MakeData:
+        if (!In.Data)
+          return failAt(F, I, "make.data without datatype info");
+        if (In.CtorIdx >= In.Data->Ctors.size())
+          return failAt(F, I, "constructor index out of range");
+        if (In.Srcs.size() != In.Data->Ctors[In.CtorIdx].Fields.size())
+          return failAt(F, I, "constructor field arity mismatch");
+        break;
+      case Opcode::Return:
+        if (In.Srcs.size() != 1)
+          return failAt(F, I, "return needs exactly one value");
+        break;
+      default:
+        break;
+      }
+      // Every GC point must reference a valid site owned by this
+      // function/instruction.
+      if (In.Site != InvalidSite) {
+        if (In.Site >= P.Sites.size())
+          return failAt(F, I, "site id out of range");
+        const CallSiteInfo &S = P.site(In.Site);
+        if (S.Caller != F.Id || S.InstrIdx != I)
+          return failAt(F, I, "site back-reference mismatch");
+      }
+      // Fallthrough off the end of the body is a bug.
+      if (I + 1 == F.Code.size()) {
+        switch (In.Op) {
+        case Opcode::Return:
+        case Opcode::Abort:
+        case Opcode::Jump:
+        case Opcode::Branch:
+          break;
+        default:
+          return failAt(F, I, "function may fall off its end");
+        }
+      }
+    }
+    return true;
+  }
+
+  bool verifySite(const CallSiteInfo &S) {
+    if (S.Caller >= P.Functions.size())
+      return fail("site caller out of range");
+    const IrFunction &F = P.fn(S.Caller);
+    if (S.InstrIdx >= F.Code.size())
+      return fail("site instruction index out of range in " + F.Name);
+    for (SlotIndex Slot : S.TraceSlots)
+      if (Slot >= F.numSlots())
+        return fail("site trace slot out of range in " + F.Name);
+    if (S.Kind == SiteKind::Direct) {
+      if (S.Callee >= P.Functions.size())
+        return fail("direct site callee out of range");
+      if (S.CalleeTypeInst.size() != P.fn(S.Callee).TypeParams.size())
+        return fail("site instantiation arity mismatch for " +
+                    P.fn(S.Callee).Name);
+    }
+    if (S.Kind == SiteKind::Indirect && !S.ClosureTy)
+      return fail("indirect site without closure type in " + F.Name);
+    return true;
+  }
+};
+
+} // namespace
+
+bool tfgc::verifyIr(const IrProgram &P, std::string *Error) {
+  Verifier V(P);
+  bool Ok = V.run();
+  if (!Ok && Error)
+    *Error = V.error();
+  return Ok;
+}

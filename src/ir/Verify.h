@@ -1,0 +1,26 @@
+//===- ir/Verify.h - IR structural verifier ---------------------*- C++ -*-===//
+///
+/// \file
+/// Structural sanity checks over a lowered program: slot and label bounds,
+/// terminator discipline, call-site wiring, closure invariants. Run after
+/// lowering (the driver does) so that metadata generators and the VM can
+/// rely on a well-formed program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_IR_VERIFY_H
+#define TFGC_IR_VERIFY_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace tfgc {
+
+/// Returns true if \p P is structurally well-formed; otherwise fills
+/// \p Error with the first violation found.
+bool verifyIr(const IrProgram &P, std::string *Error = nullptr);
+
+} // namespace tfgc
+
+#endif // TFGC_IR_VERIFY_H

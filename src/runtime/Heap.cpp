@@ -1,0 +1,36 @@
+//===- runtime/Heap.cpp ---------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+using namespace tfgc;
+
+Heap::Heap(size_t CapacityBytes) {
+  CapacityWords = CapacityBytes / sizeof(Word);
+  if (CapacityWords < 64)
+    CapacityWords = 64;
+  Space = std::make_unique<Word[]>(CapacityWords);
+  Base = Alloc = Space.get();
+  End = Base + CapacityWords;
+}
+
+void Heap::beginCollection(size_t NewCapacityWords) {
+  assert(!Collecting && "collection already in progress");
+  ToCapacityWords = NewCapacityWords ? NewCapacityWords : CapacityWords;
+  ToSpace = std::make_unique<Word[]>(ToCapacityWords);
+  ToBase = ToAlloc = ToSpace.get();
+  ToEnd = ToBase + ToCapacityWords;
+  ForwardBits.assign((CapacityWords + 63) / 64, 0);
+  Collecting = true;
+}
+
+void Heap::endCollection() {
+  assert(Collecting);
+  Space = std::move(ToSpace);
+  Base = Space.get();
+  Alloc = ToAlloc;
+  CapacityWords = ToCapacityWords;
+  End = Base + CapacityWords;
+  ForwardBits.clear();
+  ForwardBits.shrink_to_fit();
+  Collecting = false;
+}

@@ -1,0 +1,109 @@
+//===- runtime/Heap.h - Semispace copying heap ------------------*- C++ -*-===//
+///
+/// \file
+/// A semispace heap driven by the collectors. The heap knows nothing about
+/// object layouts — under the tag-free model layout lives exclusively in
+/// the compiler-generated GC metadata, so the heap only provides raw
+/// allocation, space tests, and forwarding.
+///
+/// Forwarding without headers: during a collection a side bitmap over
+/// from-space (one bit per word, alive only for the duration of the
+/// collection) marks objects whose word 0 has been overwritten with the
+/// forwarding address. The bitmap is the documented substitution for
+/// "check whether word 0 points into to-space" and is charged to the
+/// collector in the space accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_RUNTIME_HEAP_H
+#define TFGC_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tfgc {
+
+class Heap {
+public:
+  explicit Heap(size_t CapacityBytes);
+
+  // -- Mutator interface ---------------------------------------------------
+  /// Allocates \p Words words; returns nullptr when the space is full.
+  Word *tryAllocate(size_t Words) {
+    if (Alloc + Words > End)
+      return nullptr;
+    Word *P = Alloc;
+    Alloc += Words;
+    BytesAllocatedTotal += Words * sizeof(Word);
+    return P;
+  }
+
+  size_t capacityBytes() const { return CapacityWords * sizeof(Word); }
+  size_t usedBytes() const { return (size_t)(Alloc - Base) * sizeof(Word); }
+  size_t freeWords() const { return (size_t)(End - Alloc); }
+  uint64_t bytesAllocatedTotal() const { return BytesAllocatedTotal; }
+
+  bool contains(Word P) const {
+    return P >= (Word)(uintptr_t)Base && P < (Word)(uintptr_t)End;
+  }
+
+  // -- Collector interface --------------------------------------------------
+  /// Starts a collection into a fresh to-space of \p NewCapacityWords
+  /// (0 = keep the current capacity). From-space stays readable until
+  /// endCollection().
+  void beginCollection(size_t NewCapacityWords = 0);
+
+  /// Allocates in to-space during a collection. Aborts on overflow (the
+  /// caller sizes to-space to at least the live data).
+  Word *allocateInToSpace(size_t Words) {
+    assert(Collecting && "not collecting");
+    assert(ToAlloc + Words <= ToEnd && "to-space overflow");
+    Word *P = ToAlloc;
+    ToAlloc += Words;
+    return P;
+  }
+
+  bool isForwarded(const Word *Obj) const {
+    size_t Index = Obj - Base;
+    return (ForwardBits[Index >> 6] >> (Index & 63)) & 1;
+  }
+  Word forwardee(const Word *Obj) const {
+    assert(isForwarded(Obj));
+    return Obj[0];
+  }
+  void setForwarded(Word *Obj, Word NewAddr) {
+    size_t Index = Obj - Base;
+    ForwardBits[Index >> 6] |= (uint64_t)1 << (Index & 63);
+    Obj[0] = NewAddr;
+  }
+
+  /// True while collecting and P points into from-space.
+  bool inFromSpace(Word P) const {
+    return P >= (Word)(uintptr_t)Base && P < (Word)(uintptr_t)End;
+  }
+
+  /// Discards from-space; to-space becomes the live space.
+  void endCollection();
+
+  bool collecting() const { return Collecting; }
+  size_t forwardBitmapBytes() const { return ForwardBits.size() * 8; }
+
+private:
+  std::unique_ptr<Word[]> Space;   ///< Current (from-) space.
+  std::unique_ptr<Word[]> ToSpace; ///< Only alive during a collection.
+  Word *Base = nullptr, *Alloc = nullptr, *End = nullptr;
+  Word *ToBase = nullptr, *ToAlloc = nullptr, *ToEnd = nullptr;
+  size_t CapacityWords = 0;
+  size_t ToCapacityWords = 0;
+  std::vector<uint64_t> ForwardBits;
+  bool Collecting = false;
+  uint64_t BytesAllocatedTotal = 0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_RUNTIME_HEAP_H

@@ -1,0 +1,89 @@
+//===- runtime/MarkSweepHeap.cpp ------------------------------------------===//
+
+#include "runtime/MarkSweepHeap.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+MarkSweepHeap::MarkSweepHeap(size_t SegmentBytes) {
+  SegmentWords = SegmentBytes / sizeof(Word);
+  if (SegmentWords < 64)
+    SegmentWords = 64;
+  Bins.resize(MaxBin + 1);
+  addSegment();
+}
+
+void MarkSweepHeap::addSegment() {
+  Segments.push_back(std::make_unique<Word[]>(SegmentWords));
+  Bump = Segments.back().get();
+  BumpEnd = Bump + SegmentWords;
+}
+
+Word *MarkSweepHeap::tryAllocate(size_t Words) {
+  assert(Words > 0);
+  Word *P = nullptr;
+  if (Words <= MaxBin && !Bins[Words].empty()) {
+    P = Bins[Words].back();
+    Bins[Words].pop_back();
+  }
+  if (!P) {
+    // First fit in the overflow list (before touching fresh bump space,
+    // to curb fragmentation).
+    for (size_t I = 0; I < OverflowFree.size(); ++I) {
+      if (OverflowFree[I].Words >= Words) {
+        P = OverflowFree[I].Ptr;
+        // Unsplit remainder is wasted until the block is freed again; the
+        // registry records the requested size only.
+        OverflowFree.erase(OverflowFree.begin() + (long)I);
+        break;
+      }
+    }
+  }
+  if (!P && Bump + Words <= BumpEnd) {
+    P = Bump;
+    Bump += Words;
+  }
+  if (!P)
+    return nullptr;
+  Blocks.push_back({P, (uint32_t)Words});
+  UsedWords += Words;
+  BytesAllocatedTotal += Words * sizeof(Word);
+  return P;
+}
+
+bool MarkSweepHeap::canAllocate(size_t Words) const {
+  if (Words <= MaxBin && !Bins[Words].empty())
+    return true;
+  for (const Block &B : OverflowFree)
+    if (B.Words >= Words)
+      return true;
+  return Bump + Words <= BumpEnd;
+}
+
+void MarkSweepHeap::beginMark() { Marked.clear(); }
+
+bool MarkSweepHeap::tryMark(const Word *Obj) {
+  return Marked.insert(Obj).second;
+}
+
+size_t MarkSweepHeap::sweep() {
+  size_t ReclaimedWords = 0;
+  size_t Out = 0;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    Block &B = Blocks[I];
+    if (Marked.count(B.Ptr)) {
+      Blocks[Out++] = B;
+      continue;
+    }
+    ReclaimedWords += B.Words;
+    UsedWords -= B.Words;
+    if (B.Words <= MaxBin)
+      Bins[B.Words].push_back(B.Ptr);
+    else
+      OverflowFree.push_back(B);
+  }
+  Blocks.resize(Out);
+  Marked.clear();
+  return ReclaimedWords * sizeof(Word);
+}

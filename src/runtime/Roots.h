@@ -1,0 +1,62 @@
+//===- runtime/Roots.h - Activation record stacks ---------------*- C++ -*-===//
+///
+/// \file
+/// The shadow stack the collectors traverse. Each activation record
+/// (frame) carries the executing function, the base of its slot window in
+/// the task's slot array, a *dynamic link* to its caller, and the code
+/// image address of the call site it is suspended at — the return address
+/// the paper dereferences (+8) to find the frame GC routine (Figure 1/2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_RUNTIME_ROOTS_H
+#define TFGC_RUNTIME_ROOTS_H
+
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tfgc {
+
+inline constexpr uint32_t NoFrame = 0xffffffffu;
+
+/// One activation record.
+struct FrameInfo {
+  uint32_t FuncId = 0;
+  uint32_t SlotBase = 0; ///< First slot in the task's slot array.
+  uint32_t NumSlots = 0;
+  /// Code image address of the call/allocation site this frame is
+  /// currently executing or suspended at; the collector reads the gc_word
+  /// at PendingSiteAddr + GcWordOffset. Equals NoSiteAddr briefly before
+  /// the first GC point.
+  uint32_t PendingSiteAddr = 0;
+  /// Dynamic link: index of the caller's frame (NoFrame for the oldest).
+  /// Held explicitly so the polymorphic collector can run its
+  /// pointer-reversal pass (paper section 3).
+  uint32_t DynamicLink = NoFrame;
+  /// Where to resume in the caller: destination slot and instruction.
+  uint32_t CallerDst = 0;
+  uint32_t ResumeInstr = 0;
+};
+
+inline constexpr uint32_t NoSiteAddr = 0xffffffffu;
+
+/// One task's stack: a flat slot array plus the frame records. In the
+/// sequential VM there is exactly one; the tasking runtime has one per
+/// task.
+struct TaskStack {
+  std::vector<Word> Slots;
+  std::vector<FrameInfo> Frames;
+
+  Word *frameSlots(const FrameInfo &F) { return Slots.data() + F.SlotBase; }
+};
+
+/// Everything the collector can reach: the stacks of all suspended tasks.
+struct RootSet {
+  std::vector<TaskStack *> Stacks;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_RUNTIME_ROOTS_H

@@ -1,0 +1,81 @@
+//===- runtime/Value.h - Run-time value representation ----------*- C++ -*-===//
+///
+/// \file
+/// Run-time words under the two value models the experiments compare.
+///
+/// Tag-free model (the paper's): a word is a raw 64-bit integer, a raw
+/// aligned pointer to a heap payload, an unboxed double, or a small
+/// immediate (nullary datatype constructor, bool, unit). Nothing about a
+/// word says which — only the compiler-generated GC metadata knows.
+///
+/// Tagged model (the baseline): the low bit distinguishes immediates
+/// (bit 1, value in the upper 63 bits) from pointers (bit 0, 8-byte
+/// aligned). Every heap object carries a one-word header at payload[-1],
+/// and doubles are boxed. This is the classic SML/NJ-style scheme the
+/// paper wants to eliminate.
+///
+/// Heap object payload layouts (identical across models; tagged adds the
+/// header in front and tags each stored word):
+///   tuple    [f0 .. fn-1]
+///   data     [discriminant, f0 .. fk-1]   (nullary ctors are immediates)
+///   closure  [code address, e0 .. em-1]
+///   ref      [v]
+///   floatbox [bits]                        (tagged model only)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_RUNTIME_VALUE_H
+#define TFGC_RUNTIME_VALUE_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace tfgc {
+
+using Word = uint64_t;
+
+enum class ValueModel : uint8_t { TagFree, Tagged };
+
+/// Nullary-constructor immediates are below this bound; heap pointers are
+/// real addresses and always far above it.
+inline constexpr Word ImmediateCtorLimit = 2048;
+
+// -- Tagged-model helpers ---------------------------------------------------
+
+inline Word tagInt(int64_t V) { return ((uint64_t)V << 1) | 1; }
+inline int64_t untagInt(Word W) { return (int64_t)W >> 1; }
+inline bool isTaggedImmediate(Word W) { return (W & 1) != 0; }
+/// In the tagged model a non-null even word is a pointer.
+inline bool isTaggedPointer(Word W) { return W != 0 && (W & 1) == 0; }
+
+// -- Tagged-model object headers ---------------------------------------------
+
+enum class ObjKind : uint8_t {
+  Scan = 0, ///< Scan every payload word by its tag bit.
+  Raw = 1,  ///< No pointers (float box).
+};
+
+inline Word makeHeader(uint32_t PayloadWords, ObjKind Kind) {
+  return ((Word)PayloadWords << 8) | (Word)Kind;
+}
+inline uint32_t headerSize(Word Header) { return (uint32_t)(Header >> 8); }
+inline ObjKind headerKind(Word Header) {
+  return (ObjKind)(Header & 0xff);
+}
+
+// -- Float bit casts ----------------------------------------------------------
+
+inline Word floatToWord(double D) {
+  Word W;
+  std::memcpy(&W, &D, sizeof(W));
+  return W;
+}
+inline double wordToFloat(Word W) {
+  double D;
+  std::memcpy(&D, &W, sizeof(D));
+  return D;
+}
+
+} // namespace tfgc
+
+#endif // TFGC_RUNTIME_VALUE_H

@@ -1,0 +1,34 @@
+//===- support/Arena.cpp --------------------------------------------------===//
+
+#include "support/Arena.h"
+
+using namespace tfgc;
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "alignment not power of 2");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+  size_t Needed = (Aligned - P) + Bytes;
+  if (Cur == nullptr || Needed > (size_t)(End - Cur)) {
+    addBlock(Bytes + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+    Needed = (Aligned - P) + Bytes;
+  }
+  Cur += Needed;
+  BytesAllocated += Bytes;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void Arena::reset() {
+  Blocks.clear();
+  Cur = End = nullptr;
+  BytesAllocated = 0;
+}
+
+void Arena::addBlock(size_t MinBytes) {
+  size_t Size = MinBytes > BlockBytes ? MinBytes : BlockBytes;
+  Blocks.push_back(std::make_unique<char[]>(Size));
+  Cur = Blocks.back().get();
+  End = Cur + Size;
+}

@@ -1,0 +1,63 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+///
+/// \file
+/// A block-based bump allocator. Used for hash-consed types and for the
+/// type-GC-routine closures the polymorphic collector constructs during a
+/// collection (paper section 3): those closures live exactly as long as one
+/// collection, so the collector resets its arena afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_ARENA_H
+#define TFGC_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tfgc {
+
+/// Bump-pointer arena. Objects allocated here are never individually
+/// destroyed, so only trivially destructible types may be created.
+class Arena {
+public:
+  explicit Arena(size_t BlockBytes = 64 * 1024) : BlockBytes(BlockBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Bytes with the given alignment.
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t));
+
+  /// Constructs a T in the arena. T must be trivially destructible because
+  /// destructors are never run.
+  template <typename T, typename... Args> T *make(Args &&...As) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Releases every block and returns the arena to its initial state.
+  void reset();
+
+  /// Total bytes handed out since construction or the last reset().
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  size_t BlockBytes;
+  std::vector<std::unique_ptr<char[]>> Blocks;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+
+  void addBlock(size_t MinBytes);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_ARENA_H

@@ -1,0 +1,41 @@
+//===- support/Casting.h - isa/cast/dyn_cast --------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal LLVM-style casting helpers. A class opts in by providing
+/// `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_CASTING_H
+#define TFGC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace tfgc {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_CASTING_H

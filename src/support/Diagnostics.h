@@ -1,0 +1,52 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+///
+/// \file
+/// A small diagnostics engine. The library never throws; every fallible
+/// phase reports here and returns an empty optional on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_DIAGNOSTICS_H
+#define TFGC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced by the front end, type checker, and the
+/// GC-metadata generators. Error counts gate pipeline progress.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "error: 3:14: message" lines.
+  std::string render() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_DIAGNOSTICS_H

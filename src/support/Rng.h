@@ -1,0 +1,46 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+///
+/// \file
+/// SplitMix64: a tiny deterministic RNG used by workload generators and
+/// property tests. Determinism keeps every experiment reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_RNG_H
+#define TFGC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace tfgc {
+
+/// SplitMix64 generator (public-domain constants from Steele et al.).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + (int64_t)below((uint64_t)(Hi - Lo + 1));
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_RNG_H

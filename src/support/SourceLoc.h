@@ -1,0 +1,34 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+///
+/// \file
+/// Lightweight source locations used by the MiniML front end and the
+/// diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_SOURCELOC_H
+#define TFGC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace tfgc {
+
+/// A position in a MiniML source buffer. Line and column are 1-based;
+/// a default-constructed location (line 0) means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,14 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+std::string Stats::render() const {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << '\n';
+  return OS.str();
+}

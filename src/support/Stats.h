@@ -1,0 +1,53 @@
+//===- support/Stats.h - Named statistic counters ---------------*- C++ -*-===//
+///
+/// \file
+/// A registry of named counters. The collectors and the tasking runtime
+/// record everything the experiments need (pause times, bytes copied,
+/// chain-walk counts, suspension checks) here, keyed by stable names so the
+/// bench harnesses can print paper-style tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_STATS_H
+#define TFGC_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tfgc {
+
+/// Ordered map of counter name to value. Ordered so table output is stable.
+class Stats {
+public:
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  void max(const std::string &Name, uint64_t Value) {
+    uint64_t &Slot = Counters[Name];
+    if (Value > Slot)
+      Slot = Value;
+  }
+
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  bool has(const std::string &Name) const { return Counters.count(Name) != 0; }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  void clear() { Counters.clear(); }
+
+  /// Renders "name = value" lines for human consumption.
+  std::string render() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_STATS_H

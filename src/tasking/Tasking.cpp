@@ -1,0 +1,127 @@
+//===- tasking/Tasking.cpp ------------------------------------------------===//
+
+#include "tasking/Tasking.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+TaskingRuntime::TaskingRuntime(const IrProgram &Prog, const CodeImage &Img,
+                               TypeContext &Types, Collector &Col,
+                               TaskingOptions Opts)
+    : Prog(Prog), Img(Img), Types(Types), Col(Col), Opts(Opts) {}
+
+void TaskingRuntime::spawnInt(FuncId Entry, const std::vector<int64_t> &Args) {
+  VmOptions VO;
+  VO.ZeroFrames = Opts.ZeroFrames;
+  VO.Checks = Opts.Policy;
+  VO.Coord = this;
+  Task T;
+  T.Machine = std::make_unique<Vm>(Prog, Img, Types, Col, VO);
+  std::vector<Word> Words;
+  for (int64_t A : Args)
+    Words.push_back(Col.model() == ValueModel::Tagged ? tagInt(A) : (Word)A);
+  T.Machine->start(Entry, Words);
+  Tasks.push_back(std::move(T));
+  Col.stats().add("task.spawned");
+}
+
+void TaskingRuntime::requestGc(size_t Need) {
+  if (!GcRequested) {
+    GcRequested = true;
+    StepsSinceRequest = 0;
+    Col.stats().add("task.gc_requests");
+  }
+  if (Need > NeedWords)
+    NeedWords = Need;
+}
+
+void TaskingRuntime::collectWorld() {
+  RootSet Roots;
+  for (Task &T : Tasks)
+    if (!T.Done)
+      Roots.Stacks.push_back(&T.Machine->mutableStack());
+  Col.collect(Roots, NeedWords ? NeedWords : 1);
+  Col.stats().add("task.world_stops");
+  Col.stats().add("task.steps_to_world_stop_total", StepsSinceRequest);
+  Col.stats().max("task.steps_to_world_stop_max", StepsSinceRequest);
+  GcRequested = false;
+  NeedWords = 0;
+  for (Task &T : Tasks)
+    T.BlockedForGc = false;
+}
+
+bool TaskingRuntime::runAll() {
+  Results.assign(Tasks.size(), TaskResult{});
+  uint64_t TotalSteps = 0;
+  size_t Live = Tasks.size();
+
+  while (Live > 0) {
+    bool AnyProgress = false;
+    for (size_t Idx = 0; Idx < Tasks.size(); ++Idx) {
+      Task &T = Tasks[Idx];
+      if (T.Done || (T.BlockedForGc && GcRequested))
+        continue;
+      T.BlockedForGc = false;
+      Col.stats().add("task.context_switches");
+      for (uint32_t Slice = 0; Slice < Opts.TimeSliceSteps; ++Slice) {
+        StepResult R = T.Machine->step();
+        if (R == StepResult::Ran) {
+          ++TotalSteps;
+          if (GcRequested)
+            ++StepsSinceRequest;
+          AnyProgress = true;
+          if (TotalSteps > Opts.MaxTotalSteps) {
+            Results[Idx].Error = "step limit exceeded";
+            return false;
+          }
+          continue;
+        }
+        if (R == StepResult::BlockedOnGc) {
+          T.BlockedForGc = true;
+          AnyProgress = true;
+          break;
+        }
+        // Done or Failed.
+        T.Done = true;
+        --Live;
+        T.Machine->flushCounters();
+        TaskResult &TR = Results[Idx];
+        TR.Output = T.Machine->output();
+        if (R == StepResult::Done) {
+          TR.Ok = true;
+          TR.Value = T.Machine->renderResult();
+        } else {
+          TR.Error = T.Machine->error();
+        }
+        break;
+      }
+    }
+
+    if (GcRequested) {
+      // The world is stopped once every live task is suspended at a safe
+      // point.
+      bool AllSuspended = true;
+      for (Task &T : Tasks)
+        if (!T.Done && !T.BlockedForGc)
+          AllSuspended = false;
+      if (AllSuspended && Live > 0)
+        collectWorld();
+      else if (!AnyProgress) {
+        // Every runnable task is blocked and some task never reached a
+        // safe point: with cooperative scheduling this cannot happen, but
+        // guard against livelock.
+        collectWorld();
+      }
+    } else if (!AnyProgress && Live > 0) {
+      assert(false && "scheduler livelock");
+      break;
+    }
+  }
+
+  bool AllOk = true;
+  for (const TaskResult &R : Results)
+    if (!R.Ok)
+      AllOk = false;
+  return AllOk;
+}

@@ -1,0 +1,91 @@
+//===- tasking/Tasking.h - Multi-task runtime (paper sec. 4) ----*- C++ -*-===//
+///
+/// \file
+/// An Ada-style tasking model: N tasks with private stacks share one heap,
+/// scheduled round-robin (a deterministic stand-in for shared-memory
+/// parallel hardware). A task may be suspended for collection only at a
+/// procedure call; when one task exhausts the heap, the others keep
+/// running until they reach a suspension point under the chosen policy:
+///
+///   AllocationOnly  only the allocation routines test for a pending stop
+///                   (cheapest checks, longest time to world-stop);
+///   EveryCall       an explicit test before every call;
+///   RgcRegister     every call, but the test is folded into the computed
+///                   jump target via the dedicated Rgc register, making it
+///                   free (the paper's optimization).
+///
+/// Once every live task is suspended, the collector runs over all stacks
+/// and the tasks resume. E8 measures checks executed and the work done
+/// between exhaustion and world-stop under each policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_TASKING_TASKING_H
+#define TFGC_TASKING_TASKING_H
+
+#include "vm/Vm.h"
+
+#include <memory>
+#include <vector>
+
+namespace tfgc {
+
+struct TaskingOptions {
+  SuspendChecks Policy = SuspendChecks::AtEveryCall;
+  /// Round-robin slice, in instructions.
+  uint32_t TimeSliceSteps = 256;
+  uint64_t MaxTotalSteps = 2'000'000'000ull;
+  bool ZeroFrames = false;
+  bool GcStress = false;
+};
+
+struct TaskResult {
+  bool Ok = false;
+  std::string Value;
+  std::string Output;
+  std::string Error;
+};
+
+class TaskingRuntime : public GcCoordinator {
+public:
+  TaskingRuntime(const IrProgram &Prog, const CodeImage &Img,
+                 TypeContext &Types, Collector &Col, TaskingOptions Opts);
+
+  /// Adds a task executing \p Entry (non-closure) with raw integer
+  /// arguments (converted to the collector's value model).
+  void spawnInt(FuncId Entry, const std::vector<int64_t> &Args);
+
+  /// Runs every task to completion. Returns false if any task failed.
+  bool runAll();
+
+  const std::vector<TaskResult> &results() const { return Results; }
+  Stats &stats() { return Col.stats(); }
+
+  // GcCoordinator:
+  bool gcPending() const override { return GcRequested; }
+  void requestGc(size_t NeedWords) override;
+
+private:
+  const IrProgram &Prog;
+  const CodeImage &Img;
+  TypeContext &Types;
+  Collector &Col;
+  TaskingOptions Opts;
+
+  struct Task {
+    std::unique_ptr<Vm> Machine;
+    bool Done = false;
+    bool BlockedForGc = false;
+  };
+  std::vector<Task> Tasks;
+  std::vector<TaskResult> Results;
+  bool GcRequested = false;
+  size_t NeedWords = 0;
+  uint64_t StepsSinceRequest = 0;
+
+  void collectWorld();
+};
+
+} // namespace tfgc
+
+#endif // TFGC_TASKING_TASKING_H

@@ -1,0 +1,683 @@
+//===- types/Infer.cpp ----------------------------------------------------===//
+
+#include "types/Infer.h"
+
+using namespace tfgc;
+
+TypeChecker::TypeChecker(TypeContext &Ctx, DiagnosticEngine &Diags,
+                         bool RequireMonomorphic)
+    : Ctx(Ctx), Diags(Diags), RequireMonomorphic(RequireMonomorphic) {}
+
+void TypeChecker::bindValue(const std::string &Name, TypeScheme S) {
+  assert(!Scopes.empty());
+  Scopes.back()[Name] = std::move(S);
+}
+
+const TypeScheme *TypeChecker::lookupValue(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+void TypeChecker::unifyOrError(Type *A, Type *B, SourceLoc Loc,
+                               const char *Context) {
+  if (Ctx.unify(A, B))
+    return;
+  Diags.error(Loc, std::string("type mismatch ") + Context + ": " +
+                       Ctx.render(A) + " vs " + Ctx.render(B));
+}
+
+std::optional<SemaInfo> TypeChecker::check(Program &P) {
+  pushScope();
+  TyVarScopes.emplace_back();
+  for (DeclPtr &D : P.Decls)
+    checkDecl(D.get());
+  if (P.Main)
+    inferExpr(P.Main.get());
+  TyVarScopes.pop_back();
+  popScope();
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  // Default leftover free vars (e.g. the element type of a lone `Nil`).
+  for (DeclPtr &D : P.Decls)
+    finalizeDecl(D.get());
+  if (P.Main)
+    finalizeExpr(P.Main.get());
+  return std::move(Info);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic type conversion
+//===----------------------------------------------------------------------===//
+
+Type *TypeChecker::convertTypeAst(const TypeAst *T) {
+  switch (T->Kind) {
+  case TypeAstKind::Var: {
+    // Annotation type variables scope over the enclosing declaration.
+    for (auto It = TyVarScopes.rbegin(); It != TyVarScopes.rend(); ++It) {
+      auto Found = It->find(T->Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    Type *Fresh = Ctx.freshVar(Level);
+    TyVarScopes.back()[T->Name] = Fresh;
+    return Fresh;
+  }
+  case TypeAstKind::Name: {
+    if (T->Args.empty()) {
+      if (T->Name == "int")
+        return Ctx.intTy();
+      if (T->Name == "bool")
+        return Ctx.boolTy();
+      if (T->Name == "unit")
+        return Ctx.unitTy();
+      if (T->Name == "float")
+        return Ctx.floatTy();
+    }
+    if (T->Name == "ref") {
+      if (T->Args.size() != 1) {
+        Diags.error(T->Loc, "'ref' takes exactly one type argument");
+        return Ctx.unitTy();
+      }
+      return Ctx.makeRef(convertTypeAst(T->Args[0].get()));
+    }
+    DatatypeInfo *Info = Ctx.lookupDatatype(T->Name);
+    if (!Info) {
+      Diags.error(T->Loc, "unknown type '" + T->Name + "'");
+      return Ctx.unitTy();
+    }
+    if (T->Args.size() != Info->Params.size()) {
+      Diags.error(T->Loc, "type '" + T->Name + "' expects " +
+                              std::to_string(Info->Params.size()) +
+                              " argument(s)");
+      return Ctx.unitTy();
+    }
+    std::vector<Type *> Args;
+    for (const TypeAstPtr &A : T->Args)
+      Args.push_back(convertTypeAst(A.get()));
+    return Ctx.makeData(Info, std::move(Args));
+  }
+  case TypeAstKind::Fun: {
+    std::vector<Type *> Params;
+    for (const TypeAstPtr &A : T->Args)
+      Params.push_back(convertTypeAst(A.get()));
+    return Ctx.makeFun(std::move(Params), convertTypeAst(T->Result.get()));
+  }
+  case TypeAstKind::Tuple: {
+    std::vector<Type *> Elems;
+    for (const TypeAstPtr &A : T->Args)
+      Elems.push_back(convertTypeAst(A.get()));
+    return Ctx.makeTuple(std::move(Elems));
+  }
+  }
+  return Ctx.unitTy();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::checkDecl(Decl *D) {
+  switch (D->Kind) {
+  case DeclKind::Datatype:
+    checkDatatypeDecl(D);
+    return;
+  case DeclKind::Fun:
+    checkFunDecl(D);
+    return;
+  case DeclKind::Val:
+    checkValDecl(D);
+    return;
+  }
+}
+
+void TypeChecker::checkDatatypeDecl(Decl *D) {
+  if (Ctx.lookupDatatype(D->Name)) {
+    Diags.error(D->Loc, "datatype '" + D->Name + "' redeclared");
+    return;
+  }
+  DatatypeInfo *Info = Ctx.createDatatype(D->Name, (unsigned)D->TyVars.size());
+
+  // Constructor field types see the datatype's parameters as the
+  // declaration's type variables.
+  TyVarScopes.emplace_back();
+  for (size_t I = 0; I < D->TyVars.size(); ++I)
+    TyVarScopes.back()[D->TyVars[I]] = Info->Params[I];
+  for (const CtorDef &C : D->Ctors) {
+    if (Ctx.lookupCtor(C.Name).first) {
+      Diags.error(C.Loc, "constructor '" + C.Name + "' redeclared");
+      continue;
+    }
+    std::vector<Type *> Fields;
+    for (const TypeAstPtr &F : C.Fields)
+      Fields.push_back(convertTypeAst(F.get()));
+    Ctx.addCtor(Info, C.Name, std::move(Fields));
+  }
+  TyVarScopes.pop_back();
+}
+
+void TypeChecker::checkFunDecl(Decl *D) {
+  // Mutually recursive group: bind every name to a fresh monotype at
+  // Level+1, infer all bodies, then generalize at the current level.
+  ++Level;
+  TyVarScopes.emplace_back();
+
+  std::vector<Type *> FnTys;
+  for (FunBind &B : D->Binds) {
+    Type *FnTy = Ctx.freshVar(Level);
+    FnTys.push_back(FnTy);
+    bindValue(B.Name, TypeScheme{{}, FnTy});
+  }
+
+  for (size_t I = 0; I < D->Binds.size(); ++I) {
+    FunBind &B = D->Binds[I];
+    pushScope();
+    std::vector<Type *> ParamTys;
+    std::unordered_set<std::string> Seen;
+    for (PatternPtr &P : B.Params) {
+      Type *PT = Ctx.freshVar(Level);
+      bindPattern(P.get(), PT, Seen);
+      ParamTys.push_back(PT);
+    }
+    Type *BodyTy = inferExpr(B.Body.get());
+    if (B.RetAnnot)
+      unifyOrError(BodyTy, convertTypeAst(B.RetAnnot.get()), B.Loc,
+                   "with result annotation");
+    popScope();
+    unifyOrError(FnTys[I], Ctx.makeFun(std::move(ParamTys), BodyTy), B.Loc,
+                 "in recursive function");
+  }
+
+  TyVarScopes.pop_back();
+  --Level;
+
+  for (size_t I = 0; I < D->Binds.size(); ++I) {
+    FunBind &B = D->Binds[I];
+    TypeScheme S = Ctx.generalize(FnTys[I], Level);
+    if (RequireMonomorphic && S.isPoly())
+      Diags.error(B.Loc, "function '" + B.Name +
+                             "' is polymorphic; this configuration requires "
+                             "monomorphic programs");
+    Info.FunSchemes[&B] = S;
+    bindValue(B.Name, std::move(S));
+  }
+}
+
+void TypeChecker::checkValDecl(Decl *D) {
+  TyVarScopes.emplace_back();
+  Type *InitTy = D->Init ? inferExpr(D->Init.get()) : Ctx.unitTy();
+  std::unordered_set<std::string> Seen;
+  if (D->Pat)
+    bindPattern(D->Pat.get(), InitTy, Seen);
+  TyVarScopes.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::bindPattern(Pattern *P, Type *Expected,
+                              std::unordered_set<std::string> &Seen) {
+  P->Ty = Expected;
+  switch (P->Kind) {
+  case PatternKind::Wild:
+    break;
+  case PatternKind::Var: {
+    if (!Seen.insert(P->Name).second)
+      Diags.error(P->Loc, "duplicate variable '" + P->Name + "' in pattern");
+    bindValue(P->Name, TypeScheme{{}, Expected});
+    break;
+  }
+  case PatternKind::Int:
+    unifyOrError(Expected, Ctx.intTy(), P->Loc, "in integer pattern");
+    break;
+  case PatternKind::Bool:
+    unifyOrError(Expected, Ctx.boolTy(), P->Loc, "in boolean pattern");
+    break;
+  case PatternKind::Tuple: {
+    if (P->Elems.empty()) {
+      unifyOrError(Expected, Ctx.unitTy(), P->Loc, "in unit pattern");
+      break;
+    }
+    std::vector<Type *> Elems;
+    for (size_t I = 0; I < P->Elems.size(); ++I)
+      Elems.push_back(Ctx.freshVar(Level));
+    Type *TupleTy = P->Elems.size() == 1 ? Elems[0] : Ctx.makeTuple(Elems);
+    unifyOrError(Expected, TupleTy, P->Loc, "in tuple pattern");
+    for (size_t I = 0; I < P->Elems.size(); ++I)
+      bindPattern(P->Elems[I].get(), Elems[I], Seen);
+    break;
+  }
+  case PatternKind::Ctor: {
+    auto [DataInfo, CtorIdx] = Ctx.lookupCtor(P->Name);
+    if (!DataInfo) {
+      Diags.error(P->Loc, "unknown constructor '" + P->Name + "'");
+      break;
+    }
+    std::vector<Type *> TypeArgs;
+    for (size_t I = 0; I < DataInfo->Params.size(); ++I)
+      TypeArgs.push_back(Ctx.freshVar(Level));
+    unifyOrError(Expected, Ctx.makeData(DataInfo, TypeArgs), P->Loc,
+                 "in constructor pattern");
+    std::vector<Type *> Fields =
+        Ctx.instantiateCtorFields(DataInfo, CtorIdx, TypeArgs);
+    if (Fields.size() != P->Elems.size()) {
+      Diags.error(P->Loc, "constructor '" + P->Name + "' expects " +
+                              std::to_string(Fields.size()) + " argument(s)");
+      break;
+    }
+    for (size_t I = 0; I < Fields.size(); ++I)
+      bindPattern(P->Elems[I].get(), Fields[I], Seen);
+    Info.CtorRefs[P] = ResolvedCtor{DataInfo, CtorIdx, std::move(TypeArgs)};
+    break;
+  }
+  }
+  if (P->Annot)
+    unifyOrError(Expected, convertTypeAst(P->Annot.get()), P->Loc,
+                 "with pattern annotation");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Type *TypeChecker::inferExpr(Expr *E) {
+  Type *Ty = Ctx.unitTy();
+  switch (E->getKind()) {
+  case ExprKind::Int:
+    Ty = Ctx.intTy();
+    break;
+  case ExprKind::Float:
+    Ty = Ctx.floatTy();
+    break;
+  case ExprKind::Bool:
+    Ty = Ctx.boolTy();
+    break;
+  case ExprKind::Unit:
+    Ty = Ctx.unitTy();
+    break;
+  case ExprKind::Var: {
+    auto *V = cast<VarExpr>(E);
+    const TypeScheme *S = lookupValue(V->Name);
+    if (!S) {
+      // `real` is the only builtin value: int -> float.
+      if (V->Name == "real") {
+        Ty = Ctx.makeFun({Ctx.intTy()}, Ctx.floatTy());
+        break;
+      }
+      Diags.error(V->Loc, "unbound variable '" + V->Name + "'");
+      Ty = Ctx.freshVar(Level);
+      break;
+    }
+    Ty = Ctx.instantiate(*S, Level);
+    break;
+  }
+  case ExprKind::Ctor: {
+    auto *C = cast<CtorExpr>(E);
+    auto [DataInfo, CtorIdx] = Ctx.lookupCtor(C->Name);
+    if (!DataInfo) {
+      Diags.error(C->Loc, "unknown constructor '" + C->Name + "'");
+      Ty = Ctx.freshVar(Level);
+      break;
+    }
+    std::vector<Type *> TypeArgs;
+    for (size_t I = 0; I < DataInfo->Params.size(); ++I)
+      TypeArgs.push_back(Ctx.freshVar(Level));
+    std::vector<Type *> Fields =
+        Ctx.instantiateCtorFields(DataInfo, CtorIdx, TypeArgs);
+    if (Fields.size() != C->Args.size()) {
+      Diags.error(C->Loc, "constructor '" + C->Name + "' expects " +
+                              std::to_string(Fields.size()) +
+                              " argument(s), got " +
+                              std::to_string(C->Args.size()));
+    } else {
+      for (size_t I = 0; I < Fields.size(); ++I)
+        unifyOrError(inferExpr(C->Args[I].get()), Fields[I],
+                     C->Args[I]->Loc, "in constructor argument");
+    }
+    Info.CtorRefs[C] = ResolvedCtor{DataInfo, CtorIdx, TypeArgs};
+    Ty = Ctx.makeData(DataInfo, std::move(TypeArgs));
+    break;
+  }
+  case ExprKind::Tuple: {
+    auto *T = cast<TupleExpr>(E);
+    std::vector<Type *> Elems;
+    for (ExprPtr &El : T->Elems)
+      Elems.push_back(inferExpr(El.get()));
+    Ty = Ctx.makeTuple(std::move(Elems));
+    break;
+  }
+  case ExprKind::If: {
+    auto *I = cast<IfExpr>(E);
+    unifyOrError(inferExpr(I->Cond.get()), Ctx.boolTy(), I->Cond->Loc,
+                 "in if condition");
+    Type *ThenTy = inferExpr(I->Then.get());
+    Type *ElseTy = inferExpr(I->Else.get());
+    unifyOrError(ThenTy, ElseTy, I->Loc, "between if branches");
+    Ty = ThenTy;
+    break;
+  }
+  case ExprKind::Let: {
+    auto *L = cast<LetExpr>(E);
+    pushScope();
+    for (DeclPtr &D : L->Decls)
+      checkDecl(D.get());
+    Ty = inferExpr(L->Body.get());
+    popScope();
+    break;
+  }
+  case ExprKind::Fn: {
+    auto *F = cast<FnExpr>(E);
+    pushScope();
+    Type *ParamTy = Ctx.freshVar(Level);
+    std::unordered_set<std::string> Seen;
+    bindPattern(F->Param.get(), ParamTy, Seen);
+    Type *BodyTy = inferExpr(F->Body.get());
+    popScope();
+    Ty = Ctx.makeFun({ParamTy}, BodyTy);
+    break;
+  }
+  case ExprKind::App: {
+    auto *A = cast<AppExpr>(E);
+    Type *FnTy = inferExpr(A->Fn.get());
+    std::vector<Type *> ArgTys;
+    for (ExprPtr &Arg : A->Args)
+      ArgTys.push_back(inferExpr(Arg.get()));
+    Type *ResTy = Ctx.freshVar(Level);
+    Type *Expected = Ctx.makeFun(std::move(ArgTys), ResTy);
+    if (!Ctx.unify(FnTy, Expected)) {
+      Diags.error(A->Loc,
+                  "cannot apply value of type " + Ctx.render(FnTy) + " to " +
+                      std::to_string(A->Args.size()) +
+                      " argument(s) of type " + Ctx.render(Expected) +
+                      " (note: MiniML functions are uncurried; partial "
+                      "application is not supported)");
+    }
+    Ty = ResTy;
+    break;
+  }
+  case ExprKind::Prim:
+    Ty = inferPrim(cast<PrimExpr>(E));
+    break;
+  case ExprKind::Case: {
+    auto *C = cast<CaseExpr>(E);
+    Type *ScrutTy = inferExpr(C->Scrut.get());
+    Type *ResTy = Ctx.freshVar(Level);
+    for (CaseClause &Cl : C->Clauses) {
+      pushScope();
+      std::unordered_set<std::string> Seen;
+      bindPattern(Cl.Pat.get(), ScrutTy, Seen);
+      unifyOrError(inferExpr(Cl.Body.get()), ResTy, Cl.Body->Loc,
+                   "between case clauses");
+      popScope();
+    }
+    checkExhaustiveness(C, ScrutTy);
+    Ty = ResTy;
+    break;
+  }
+  case ExprKind::Seq: {
+    auto *S = cast<SeqExpr>(E);
+    for (ExprPtr &El : S->Elems)
+      Ty = inferExpr(El.get());
+    break;
+  }
+  case ExprKind::Annot: {
+    auto *A = cast<AnnotExpr>(E);
+    Ty = inferExpr(A->Body.get());
+    unifyOrError(Ty, convertTypeAst(A->Annot.get()), A->Loc,
+                 "with type annotation");
+    break;
+  }
+  }
+  E->Ty = Ty;
+  return Ty;
+}
+
+Type *TypeChecker::inferPrim(PrimExpr *E) {
+  auto Check = [&](unsigned Index, Type *Expected) {
+    unifyOrError(inferExpr(E->Args[Index].get()), Expected,
+                 E->Args[Index]->Loc, "in operator argument");
+  };
+  switch (E->Op) {
+  case PrimOp::Add:
+  case PrimOp::Sub:
+  case PrimOp::Mul:
+  case PrimOp::Div:
+  case PrimOp::Mod:
+    Check(0, Ctx.intTy());
+    Check(1, Ctx.intTy());
+    return Ctx.intTy();
+  case PrimOp::Neg:
+    Check(0, Ctx.intTy());
+    return Ctx.intTy();
+  case PrimOp::Lt:
+  case PrimOp::Le:
+  case PrimOp::Gt:
+  case PrimOp::Ge:
+  case PrimOp::Eq:
+  case PrimOp::Ne:
+    Check(0, Ctx.intTy());
+    Check(1, Ctx.intTy());
+    return Ctx.boolTy();
+  case PrimOp::Not:
+    Check(0, Ctx.boolTy());
+    return Ctx.boolTy();
+  case PrimOp::FAdd:
+  case PrimOp::FSub:
+  case PrimOp::FMul:
+  case PrimOp::FDiv:
+    Check(0, Ctx.floatTy());
+    Check(1, Ctx.floatTy());
+    return Ctx.floatTy();
+  case PrimOp::FNeg:
+    Check(0, Ctx.floatTy());
+    return Ctx.floatTy();
+  case PrimOp::FLt:
+  case PrimOp::FEq:
+    Check(0, Ctx.floatTy());
+    Check(1, Ctx.floatTy());
+    return Ctx.boolTy();
+  case PrimOp::IntToFloat:
+    Check(0, Ctx.intTy());
+    return Ctx.floatTy();
+  case PrimOp::Print:
+    Check(0, Ctx.intTy());
+    return Ctx.unitTy();
+  case PrimOp::RefNew: {
+    Type *ElemTy = inferExpr(E->Args[0].get());
+    return Ctx.makeRef(ElemTy);
+  }
+  case PrimOp::RefGet: {
+    Type *ElemTy = Ctx.freshVar(Level);
+    Check(0, Ctx.makeRef(ElemTy));
+    return ElemTy;
+  }
+  case PrimOp::RefSet: {
+    Type *ElemTy = Ctx.freshVar(Level);
+    Check(0, Ctx.makeRef(ElemTy));
+    Check(1, ElemTy);
+    return Ctx.unitTy();
+  }
+  }
+  return Ctx.unitTy();
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustiveness (shallow, warnings only)
+//===----------------------------------------------------------------------===//
+
+/// True if \p P matches every value of its type: wildcards, variables,
+/// tuples of irrefutable patterns, and single-constructor datatypes with
+/// irrefutable arguments.
+static bool isIrrefutable(const Pattern *P, TypeContext &Ctx) {
+  switch (P->Kind) {
+  case PatternKind::Wild:
+  case PatternKind::Var:
+    return true;
+  case PatternKind::Int:
+  case PatternKind::Bool:
+    return false;
+  case PatternKind::Tuple: {
+    for (const PatternPtr &E : P->Elems)
+      if (!isIrrefutable(E.get(), Ctx))
+        return false;
+    return true;
+  }
+  case PatternKind::Ctor: {
+    auto [Info, Idx] = Ctx.lookupCtor(P->Name);
+    (void)Idx;
+    if (!Info || Info->Ctors.size() != 1)
+      return false;
+    for (const PatternPtr &E : P->Elems)
+      if (!isIrrefutable(E.get(), Ctx))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+void TypeChecker::checkExhaustiveness(const CaseExpr *C, Type *ScrutTy) {
+  std::unordered_set<std::string> CoveredCtors;
+  bool CoversTrue = false, CoversFalse = false;
+  for (const CaseClause &Cl : C->Clauses) {
+    const Pattern *P = Cl.Pat.get();
+    if (isIrrefutable(P, Ctx))
+      return; // A catch-all clause exists.
+    if (P->Kind == PatternKind::Ctor) {
+      // Count only shallowly complete arms (all sub-patterns irrefutable).
+      bool Complete = true;
+      for (const PatternPtr &E : P->Elems)
+        if (!isIrrefutable(E.get(), Ctx))
+          Complete = false;
+      if (Complete)
+        CoveredCtors.insert(P->Name);
+    } else if (P->Kind == PatternKind::Bool) {
+      (P->BoolValue ? CoversTrue : CoversFalse) = true;
+    }
+  }
+
+  Type *T = ScrutTy->resolved();
+  if (T->getKind() == TypeKind::Data) {
+    std::string Missing;
+    for (const CtorInfo &Ctor : T->data()->Ctors)
+      if (!CoveredCtors.count(Ctor.Name))
+        Missing += (Missing.empty() ? "" : ", ") + Ctor.Name;
+    if (!Missing.empty())
+      Diags.warning(C->Loc,
+                    "match may be non-exhaustive; unhandled: " + Missing);
+    return;
+  }
+  if (T->getKind() == TypeKind::Bool) {
+    if (!CoversTrue || !CoversFalse)
+      Diags.warning(C->Loc, "match may be non-exhaustive; unhandled: " +
+                                std::string(!CoversTrue ? "true" : "false"));
+    return;
+  }
+  // Int and friends: literals can never cover the domain.
+  Diags.warning(C->Loc, "match may be non-exhaustive; add a catch-all");
+}
+
+//===----------------------------------------------------------------------===//
+// Finalization (defaulting of leftover free vars)
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::finalizeExpr(Expr *E) {
+  if (E->Ty)
+    Ctx.defaultFreeVars(E->Ty);
+  switch (E->getKind()) {
+  case ExprKind::Int:
+  case ExprKind::Float:
+  case ExprKind::Bool:
+  case ExprKind::Unit:
+  case ExprKind::Var:
+    break;
+  case ExprKind::Ctor:
+    for (ExprPtr &A : cast<CtorExpr>(E)->Args)
+      finalizeExpr(A.get());
+    break;
+  case ExprKind::Tuple:
+    for (ExprPtr &A : cast<TupleExpr>(E)->Elems)
+      finalizeExpr(A.get());
+    break;
+  case ExprKind::If: {
+    auto *I = cast<IfExpr>(E);
+    finalizeExpr(I->Cond.get());
+    finalizeExpr(I->Then.get());
+    finalizeExpr(I->Else.get());
+    break;
+  }
+  case ExprKind::Let: {
+    auto *L = cast<LetExpr>(E);
+    for (DeclPtr &D : L->Decls)
+      finalizeDecl(D.get());
+    finalizeExpr(L->Body.get());
+    break;
+  }
+  case ExprKind::Fn: {
+    auto *F = cast<FnExpr>(E);
+    finalizePattern(F->Param.get());
+    finalizeExpr(F->Body.get());
+    break;
+  }
+  case ExprKind::App: {
+    auto *A = cast<AppExpr>(E);
+    finalizeExpr(A->Fn.get());
+    for (ExprPtr &Arg : A->Args)
+      finalizeExpr(Arg.get());
+    break;
+  }
+  case ExprKind::Prim:
+    for (ExprPtr &A : cast<PrimExpr>(E)->Args)
+      finalizeExpr(A.get());
+    break;
+  case ExprKind::Case: {
+    auto *C = cast<CaseExpr>(E);
+    finalizeExpr(C->Scrut.get());
+    for (CaseClause &Cl : C->Clauses) {
+      finalizePattern(Cl.Pat.get());
+      finalizeExpr(Cl.Body.get());
+    }
+    break;
+  }
+  case ExprKind::Seq:
+    for (ExprPtr &A : cast<SeqExpr>(E)->Elems)
+      finalizeExpr(A.get());
+    break;
+  case ExprKind::Annot:
+    finalizeExpr(cast<AnnotExpr>(E)->Body.get());
+    break;
+  }
+}
+
+void TypeChecker::finalizePattern(Pattern *P) {
+  if (P->Ty)
+    Ctx.defaultFreeVars(P->Ty);
+  for (PatternPtr &E : P->Elems)
+    finalizePattern(E.get());
+}
+
+void TypeChecker::finalizeDecl(Decl *D) {
+  switch (D->Kind) {
+  case DeclKind::Datatype:
+    break;
+  case DeclKind::Fun:
+    for (FunBind &B : D->Binds) {
+      for (PatternPtr &P : B.Params)
+        finalizePattern(P.get());
+      finalizeExpr(B.Body.get());
+    }
+    break;
+  case DeclKind::Val:
+    if (D->Pat)
+      finalizePattern(D->Pat.get());
+    if (D->Init)
+      finalizeExpr(D->Init.get());
+    break;
+  }
+}

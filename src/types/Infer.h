@@ -1,0 +1,96 @@
+//===- types/Infer.h - Hindley-Milner type inference ------------*- C++ -*-===//
+///
+/// \file
+/// Algorithm-W style inference with Rémy levels. Only `fun` declarations
+/// generalize (let-polymorphism); `val` bindings and lambdas stay
+/// monomorphic. This keeps every VM stack slot's type either ground or
+/// expressed over the enclosing function's type parameters — exactly the
+/// shape the paper's tag-free collector consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_TYPES_INFER_H
+#define TFGC_TYPES_INFER_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+#include "types/Type.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tfgc {
+
+/// Resolution of a constructor use (expression or pattern) to its datatype,
+/// constructor index and the per-use instantiation of the datatype's
+/// parameters.
+struct ResolvedCtor {
+  DatatypeInfo *Info = nullptr;
+  unsigned Index = 0;
+  std::vector<Type *> TypeArgs;
+};
+
+/// Side tables filled by the checker and consumed by lowering.
+struct SemaInfo {
+  std::unordered_map<const void *, ResolvedCtor> CtorRefs;
+  std::unordered_map<const FunBind *, TypeScheme> FunSchemes;
+};
+
+class TypeChecker {
+public:
+  TypeChecker(TypeContext &Ctx, DiagnosticEngine &Diags,
+              bool RequireMonomorphic = false);
+
+  /// Type checks \p P, annotating Expr::Ty and Pattern::Ty in place.
+  /// Returns the side tables, or nullopt after reporting errors.
+  std::optional<SemaInfo> check(Program &P);
+
+private:
+  TypeContext &Ctx;
+  DiagnosticEngine &Diags;
+  bool RequireMonomorphic;
+  SemaInfo Info;
+
+  std::vector<std::unordered_map<std::string, TypeScheme>> Scopes;
+  std::vector<std::unordered_map<std::string, Type *>> TyVarScopes;
+  int Level = 0;
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void bindValue(const std::string &Name, TypeScheme S);
+  const TypeScheme *lookupValue(const std::string &Name) const;
+
+  Type *convertTypeAst(const TypeAst *T);
+
+  void checkDecl(Decl *D);
+  void checkDatatypeDecl(Decl *D);
+  void checkFunDecl(Decl *D);
+  void checkValDecl(Decl *D);
+
+  Type *inferExpr(Expr *E);
+  Type *inferPrim(PrimExpr *E);
+  /// Types \p P against \p Expected, binding its variables monomorphically
+  /// in the current scope. \p Seen guards against duplicate names.
+  void bindPattern(Pattern *P, Type *Expected,
+                   std::unordered_set<std::string> &Seen);
+
+  void unifyOrError(Type *A, Type *B, SourceLoc Loc, const char *Context);
+
+  /// Warns when a case over a datatype/bool/int leaves values unmatched
+  /// (shallow analysis; a runtime miss aborts with "pattern match
+  /// failure").
+  void checkExhaustiveness(const CaseExpr *C, Type *ScrutTy);
+
+  /// Post-pass: bind leftover free vars to unit so downstream metadata is
+  /// total.
+  void finalizeExpr(Expr *E);
+  void finalizePattern(Pattern *P);
+  void finalizeDecl(Decl *D);
+};
+
+} // namespace tfgc
+
+#endif // TFGC_TYPES_INFER_H

@@ -1,0 +1,357 @@
+//===- types/Type.cpp -----------------------------------------------------===//
+
+#include "types/Type.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+TypeContext::TypeContext() {
+  IntTy = alloc(TypeKind::Int);
+  BoolTy = alloc(TypeKind::Bool);
+  UnitTy = alloc(TypeKind::Unit);
+  FloatTy = alloc(TypeKind::Float);
+
+  // Predeclare:  datatype 'a list = Nil | Cons of 'a * 'a list
+  ListTy = createDatatype("list", 1);
+  Type *Elem = ListTy->Params[0];
+  addCtor(ListTy, "Nil", {});
+  addCtor(ListTy, "Cons", {Elem, makeData(ListTy, {Elem})});
+}
+
+Type *TypeContext::alloc(TypeKind Kind) {
+  Types.push_back(std::unique_ptr<Type>(new Type(Kind)));
+  return Types.back().get();
+}
+
+Type *TypeContext::freshVar(int Level) {
+  Type *T = alloc(TypeKind::Var);
+  T->VarId = NextVarId++;
+  T->Level = Level;
+  return T;
+}
+
+Type *TypeContext::makeFun(std::vector<Type *> Params, Type *Result) {
+  Type *T = alloc(TypeKind::Fun);
+  T->Args = std::move(Params);
+  T->Result = Result;
+  return T;
+}
+
+Type *TypeContext::makeTuple(std::vector<Type *> Elems) {
+  assert(Elems.size() >= 2 && "unit is TypeKind::Unit, singleton is itself");
+  Type *T = alloc(TypeKind::Tuple);
+  T->Args = std::move(Elems);
+  return T;
+}
+
+Type *TypeContext::makeData(DatatypeInfo *Info, std::vector<Type *> Args) {
+  assert(Args.size() == Info->Params.size() && "datatype arity mismatch");
+  Type *T = alloc(TypeKind::Data);
+  T->Data = Info;
+  T->Args = std::move(Args);
+  return T;
+}
+
+Type *TypeContext::makeRef(Type *Elem) {
+  Type *T = alloc(TypeKind::Ref);
+  T->Args.push_back(Elem);
+  return T;
+}
+
+DatatypeInfo *TypeContext::createDatatype(const std::string &Name,
+                                          unsigned NumParams) {
+  auto Info = std::make_unique<DatatypeInfo>();
+  Info->Name = Name;
+  Info->Id = (unsigned)Datatypes.size();
+  for (unsigned I = 0; I < NumParams; ++I) {
+    Type *P = freshVar(0);
+    P->makeRigid((int)I);
+    Info->Params.push_back(P);
+  }
+  DatatypeInfo *Raw = Info.get();
+  Datatypes.push_back(std::move(Info));
+  DatatypeOrder.push_back(Raw);
+  DatatypeByName[Name] = Raw;
+  return Raw;
+}
+
+void TypeContext::addCtor(DatatypeInfo *Info, const std::string &Name,
+                          std::vector<Type *> Fields) {
+  CtorByName[Name] = {Info, (unsigned)Info->Ctors.size()};
+  Info->Ctors.push_back({Name, std::move(Fields)});
+}
+
+DatatypeInfo *TypeContext::lookupDatatype(const std::string &Name) const {
+  auto It = DatatypeByName.find(Name);
+  return It == DatatypeByName.end() ? nullptr : It->second;
+}
+
+std::pair<DatatypeInfo *, unsigned>
+TypeContext::lookupCtor(const std::string &Name) const {
+  auto It = CtorByName.find(Name);
+  if (It == CtorByName.end())
+    return {nullptr, 0};
+  return It->second;
+}
+
+std::vector<Type *>
+TypeContext::instantiateCtorFields(DatatypeInfo *Info, unsigned CtorIdx,
+                                   const std::vector<Type *> &Args) {
+  assert(CtorIdx < Info->Ctors.size());
+  assert(Args.size() == Info->Params.size());
+  std::unordered_map<Type *, Type *> Map;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Map[Info->Params[I]] = Args[I];
+  std::vector<Type *> Out;
+  Out.reserve(Info->Ctors[CtorIdx].Fields.size());
+  for (Type *F : Info->Ctors[CtorIdx].Fields)
+    Out.push_back(substitute(F, Map));
+  return Out;
+}
+
+bool TypeContext::occurs(Type *Var, Type *T) {
+  T = T->resolved();
+  if (T == Var)
+    return true;
+  if (T->getKind() == TypeKind::Var)
+    return false;
+  for (Type *A : T->args())
+    if (occurs(Var, A))
+      return true;
+  if (T->getKind() == TypeKind::Fun)
+    return occurs(Var, T->result());
+  return false;
+}
+
+void TypeContext::adjustLevels(Type *T, int Level) {
+  T = T->resolved();
+  if (T->getKind() == TypeKind::Var) {
+    if (!T->isRigid() && T->level() > Level)
+      T->setLevel(Level);
+    return;
+  }
+  for (Type *A : T->args())
+    adjustLevels(A, Level);
+  if (T->getKind() == TypeKind::Fun)
+    adjustLevels(T->result(), Level);
+}
+
+bool TypeContext::unify(Type *A, Type *B) {
+  A = A->resolved();
+  B = B->resolved();
+  if (A == B)
+    return true;
+
+  // Bind the non-rigid var with the deeper level.
+  if (A->isVar() && !A->isRigid()) {
+    if (occurs(A, B))
+      return false;
+    adjustLevels(B, A->level());
+    A->bind(B);
+    return true;
+  }
+  if (B->isVar() && !B->isRigid())
+    return unify(B, A);
+
+  if (A->getKind() != B->getKind())
+    return false;
+
+  switch (A->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return true;
+  case TypeKind::Var:
+    return false; // Two distinct rigid vars never unify.
+  case TypeKind::Fun: {
+    if (A->numArgs() != B->numArgs())
+      return false;
+    for (unsigned I = 0; I < A->numArgs(); ++I)
+      if (!unify(A->arg(I), B->arg(I)))
+        return false;
+    return unify(A->result(), B->result());
+  }
+  case TypeKind::Tuple: {
+    if (A->numArgs() != B->numArgs())
+      return false;
+    for (unsigned I = 0; I < A->numArgs(); ++I)
+      if (!unify(A->arg(I), B->arg(I)))
+        return false;
+    return true;
+  }
+  case TypeKind::Data: {
+    if (A->data() != B->data())
+      return false;
+    for (unsigned I = 0; I < A->numArgs(); ++I)
+      if (!unify(A->arg(I), B->arg(I)))
+        return false;
+    return true;
+  }
+  case TypeKind::Ref:
+    return unify(A->refElem(), B->refElem());
+  }
+  return false;
+}
+
+TypeContext::Scheme TypeContext::generalize(Type *T, int Level) {
+  Scheme S;
+  S.Body = T;
+  // Collect unbound vars deeper than Level, in deterministic first-visit
+  // order, and mark them rigid.
+  std::vector<Type *> Work;
+  std::vector<Type *> Visit{T};
+  while (!Visit.empty()) {
+    Type *Cur = Visit.back()->resolved();
+    Visit.pop_back();
+    if (Cur->isVar()) {
+      if (!Cur->isRigid() && Cur->level() > Level) {
+        Cur->makeRigid((int)S.Params.size());
+        S.Params.push_back(Cur);
+      }
+      continue;
+    }
+    // Push in reverse so traversal is left-to-right.
+    if (Cur->getKind() == TypeKind::Fun)
+      Visit.push_back(Cur->result());
+    for (size_t I = Cur->args().size(); I-- > 0;)
+      Visit.push_back(Cur->args()[I]);
+  }
+  (void)Work;
+  return S;
+}
+
+Type *TypeContext::instantiate(const Scheme &S, int Level) {
+  if (!S.isPoly())
+    return S.Body;
+  std::unordered_map<Type *, Type *> Map;
+  for (Type *P : S.Params)
+    Map[P] = freshVar(Level);
+  return substitute(S.Body, Map);
+}
+
+Type *TypeContext::substitute(Type *T,
+                              const std::unordered_map<Type *, Type *> &Map) {
+  T = T->resolved();
+  if (T->isVar()) {
+    auto It = Map.find(T);
+    return It == Map.end() ? T : It->second;
+  }
+  // Clone only if a child changes.
+  bool Changed = false;
+  std::vector<Type *> NewArgs;
+  NewArgs.reserve(T->args().size());
+  for (Type *A : T->args()) {
+    Type *NA = substitute(A, Map);
+    Changed |= NA != A->resolved();
+    NewArgs.push_back(NA);
+  }
+  Type *NewResult = nullptr;
+  if (T->getKind() == TypeKind::Fun) {
+    NewResult = substitute(T->result(), Map);
+    Changed |= NewResult != T->result()->resolved();
+  }
+  if (!Changed)
+    return T;
+  switch (T->getKind()) {
+  case TypeKind::Fun:
+    return makeFun(std::move(NewArgs), NewResult);
+  case TypeKind::Tuple:
+    return makeTuple(std::move(NewArgs));
+  case TypeKind::Data:
+    return makeData(T->data(), std::move(NewArgs));
+  case TypeKind::Ref:
+    return makeRef(NewArgs[0]);
+  default:
+    return T;
+  }
+}
+
+void TypeContext::defaultFreeVars(Type *T) {
+  T = T->resolved();
+  if (T->isVar()) {
+    if (!T->isRigid())
+      T->bind(UnitTy);
+    return;
+  }
+  for (Type *A : T->args())
+    defaultFreeVars(A);
+  if (T->getKind() == TypeKind::Fun)
+    defaultFreeVars(T->result());
+}
+
+void TypeContext::collectRigidVars(Type *T, std::vector<Type *> &Out) {
+  T = T->resolved();
+  if (T->isVar()) {
+    if (T->isRigid()) {
+      for (Type *Existing : Out)
+        if (Existing == T)
+          return;
+      Out.push_back(T);
+    }
+    return;
+  }
+  for (Type *A : T->args())
+    collectRigidVars(A, Out);
+  if (T->getKind() == TypeKind::Fun)
+    collectRigidVars(T->result(), Out);
+}
+
+std::string TypeContext::render(Type *T) {
+  T = T->resolved();
+  std::ostringstream OS;
+  switch (T->getKind()) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Unit:
+    return "unit";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Var:
+    if (T->isRigid()) {
+      OS << '%' << T->paramIndex();
+    } else {
+      OS << '?' << T->varId();
+    }
+    return OS.str();
+  case TypeKind::Fun: {
+    OS << '(';
+    for (unsigned I = 0; I < T->numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << render(T->arg(I));
+    }
+    OS << ") -> " << render(T->result());
+    return OS.str();
+  }
+  case TypeKind::Tuple: {
+    OS << '(';
+    for (unsigned I = 0; I < T->numArgs(); ++I) {
+      if (I)
+        OS << " * ";
+      OS << render(T->arg(I));
+    }
+    OS << ')';
+    return OS.str();
+  }
+  case TypeKind::Data: {
+    if (!T->args().empty()) {
+      OS << '(';
+      for (unsigned I = 0; I < T->numArgs(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << render(T->arg(I));
+      }
+      OS << ") ";
+    }
+    OS << T->data()->Name;
+    return OS.str();
+  }
+  case TypeKind::Ref:
+    return render(T->refElem()) + " ref";
+  }
+  return "?";
+}

@@ -1,0 +1,210 @@
+//===- types/Type.h - Semantic types ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Semantic types for MiniML. Types form a mutable graph during inference
+/// (union-find via Var instances, Rémy-style levels for generalization).
+/// After inference the graph is stable and downstream phases (lowering, GC
+/// metadata generation) read it directly.
+///
+/// Quantified type parameters of polymorphic functions are represented by
+/// *rigid* Var nodes carrying a ParamIndex; these are exactly the "type
+/// parameters" the paper's polymorphic frame GC routines are parameterized
+/// over (paper section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_TYPES_TYPE_H
+#define TFGC_TYPES_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tfgc {
+
+class Type;
+class TypeContext;
+
+/// One constructor of a datatype. Field types may reference the datatype's
+/// own parameters (rigid vars owned by the DatatypeInfo).
+struct CtorInfo {
+  std::string Name;
+  std::vector<Type *> Fields;
+};
+
+/// A (possibly parameterized) datatype: `datatype ('a,'b) t = ...`.
+class DatatypeInfo {
+public:
+  std::string Name;
+  std::vector<Type *> Params; ///< Rigid vars standing for 'a, 'b, ...
+  std::vector<CtorInfo> Ctors;
+  unsigned Id = 0; ///< Dense id assigned by the TypeContext.
+
+  /// True if constructor \p Index has no fields (represented as a small
+  /// immediate at run time).
+  bool isNullary(unsigned Index) const {
+    return Ctors[Index].Fields.empty();
+  }
+};
+
+enum class TypeKind : uint8_t {
+  Int,
+  Bool,
+  Unit,
+  Float,
+  Var,
+  Fun,   ///< (T1, ..., Tn) -> R, n-ary and uncurried.
+  Tuple, ///< T1 * ... * Tn (n >= 2; unit is its own kind).
+  Data,  ///< Datatype application.
+  Ref,   ///< Mutable cell.
+};
+
+/// A semantic type node. Var nodes are mutable (union-find Instance link);
+/// all other nodes are immutable after construction.
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+
+  // -- Var accessors ------------------------------------------------------
+  bool isVar() const { return Kind == TypeKind::Var; }
+  int varId() const { assert(isVar()); return VarId; }
+  int level() const { assert(isVar()); return Level; }
+  void setLevel(int L) { assert(isVar()); Level = L; }
+  Type *instance() const { assert(isVar()); return Instance; }
+  void bind(Type *T) { assert(isVar() && !Instance && !RigidFlag); Instance = T; }
+  bool isRigid() const { return isVar() && RigidFlag; }
+  int paramIndex() const { assert(isRigid()); return ParamIdx; }
+  void makeRigid(int ParamIndex) {
+    assert(isVar() && !Instance);
+    RigidFlag = true;
+    ParamIdx = ParamIndex;
+  }
+
+  // -- Structured accessors -----------------------------------------------
+  const std::vector<Type *> &args() const { return Args; }
+  Type *arg(unsigned I) const { return Args[I]; }
+  unsigned numArgs() const { return (unsigned)Args.size(); }
+  Type *result() const { assert(Kind == TypeKind::Fun); return Result; }
+  DatatypeInfo *data() const { assert(Kind == TypeKind::Data); return Data; }
+  Type *refElem() const { assert(Kind == TypeKind::Ref); return Args[0]; }
+
+  /// Follows Instance links to the representative type.
+  Type *resolved() {
+    Type *T = this;
+    while (T->Kind == TypeKind::Var && T->Instance)
+      T = T->Instance;
+    return T;
+  }
+
+private:
+  friend class TypeContext;
+
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind Kind;
+  // Var state.
+  int VarId = 0;
+  int Level = 0;
+  Type *Instance = nullptr;
+  bool RigidFlag = false;
+  int ParamIdx = -1;
+  // Structured state.
+  std::vector<Type *> Args;
+  Type *Result = nullptr;
+  DatatypeInfo *Data = nullptr;
+};
+
+/// Owns all Type nodes and DatatypeInfos; provides builders, unification,
+/// generalization, and rendering.
+class TypeContext {
+public:
+  TypeContext();
+
+  // -- Builders -----------------------------------------------------------
+  Type *intTy() { return IntTy; }
+  Type *boolTy() { return BoolTy; }
+  Type *unitTy() { return UnitTy; }
+  Type *floatTy() { return FloatTy; }
+  Type *freshVar(int Level);
+  Type *makeFun(std::vector<Type *> Params, Type *Result);
+  Type *makeTuple(std::vector<Type *> Elems);
+  Type *makeData(DatatypeInfo *Info, std::vector<Type *> Args);
+  Type *makeRef(Type *Elem);
+
+  // -- Datatypes ----------------------------------------------------------
+  /// Creates and registers a datatype shell; constructors are added by the
+  /// caller (via addCtor) so recursive references work.
+  DatatypeInfo *createDatatype(const std::string &Name, unsigned NumParams);
+  void addCtor(DatatypeInfo *Info, const std::string &Name,
+               std::vector<Type *> Fields);
+  DatatypeInfo *lookupDatatype(const std::string &Name) const;
+  /// Returns {info, ctorIndex} or {nullptr, 0}.
+  std::pair<DatatypeInfo *, unsigned> lookupCtor(const std::string &Name) const;
+  DatatypeInfo *listInfo() const { return ListTy; }
+  const std::vector<DatatypeInfo *> &datatypes() const { return DatatypeOrder; }
+
+  /// Instantiates the field types of constructor \p CtorIdx of \p Info with
+  /// the given type arguments.
+  std::vector<Type *> instantiateCtorFields(DatatypeInfo *Info,
+                                            unsigned CtorIdx,
+                                            const std::vector<Type *> &Args);
+
+  // -- Unification --------------------------------------------------------
+  /// Unifies A and B. Returns false (without diagnostics) on mismatch or
+  /// occurs-check failure.
+  bool unify(Type *A, Type *B);
+
+  // -- Generalization -----------------------------------------------------
+  struct Scheme {
+    std::vector<Type *> Params; ///< Rigid vars, ParamIndex == position.
+    Type *Body = nullptr;
+    bool isPoly() const { return !Params.empty(); }
+  };
+
+  /// Turns every unbound Var above \p Level into a rigid parameter of a new
+  /// scheme over \p T.
+  Scheme generalize(Type *T, int Level);
+
+  /// Clones the scheme body replacing each rigid parameter with a fresh var
+  /// at \p Level. Returns the body unchanged for monomorphic schemes.
+  Type *instantiate(const Scheme &S, int Level);
+
+  /// Substitutes Map[rigid var] into \p T, cloning only where needed.
+  Type *substitute(Type *T, const std::unordered_map<Type *, Type *> &Map);
+
+  /// Binds any unbound, non-rigid vars in T to unit (post-inference
+  /// defaulting for ambiguous types like a bare `Nil`).
+  void defaultFreeVars(Type *T);
+
+  /// Collects the distinct rigid vars occurring in T, in first-occurrence
+  /// order.
+  void collectRigidVars(Type *T, std::vector<Type *> &Out);
+
+  /// Canonical rendering: rigid vars as %N (param index), free vars as ?id.
+  std::string render(Type *T);
+
+private:
+  std::vector<std::unique_ptr<Type>> Types;
+  std::vector<std::unique_ptr<DatatypeInfo>> Datatypes;
+  std::vector<DatatypeInfo *> DatatypeOrder;
+  std::unordered_map<std::string, DatatypeInfo *> DatatypeByName;
+  std::unordered_map<std::string, std::pair<DatatypeInfo *, unsigned>>
+      CtorByName;
+  int NextVarId = 0;
+
+  Type *IntTy, *BoolTy, *UnitTy, *FloatTy;
+  DatatypeInfo *ListTy;
+
+  Type *alloc(TypeKind Kind);
+  bool occurs(Type *Var, Type *T);
+  void adjustLevels(Type *T, int Level);
+};
+
+using TypeScheme = TypeContext::Scheme;
+
+} // namespace tfgc
+
+#endif // TFGC_TYPES_TYPE_H

@@ -1,0 +1,603 @@
+//===- vm/Vm.cpp ----------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+using namespace tfgc;
+
+Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
+       Collector &Col, VmOptions Opts)
+    : Prog(Prog), Img(Img), Types(Types), Col(Col), Opts(Opts),
+      Model(Col.model()) {
+  if (Model == ValueModel::Tagged)
+    this->Opts.ZeroFrames = true;
+  Collections0 = Col.stats().get("gc.collections");
+}
+
+bool Vm::fail(const std::string &Message) {
+  if (Error.empty())
+    Error = Message;
+  return false;
+}
+
+void Vm::start(FuncId Entry, const std::vector<Word> &Args) {
+  assert(!Started && "VM already started");
+  EntryFn = Entry;
+  Started = true;
+  pushFrame(Entry, Args.data(), (unsigned)Args.size(), false, 0, 0);
+}
+
+void Vm::pushFrame(FuncId Callee, const Word *Args, unsigned NumArgs,
+                   bool HasSelf, Word Self, SlotIndex CallerDst) {
+  const IrFunction &Fn = Prog.fn(Callee);
+  FrameInfo F;
+  F.FuncId = Callee;
+  F.SlotBase = SlotTop;
+  F.NumSlots = Fn.numSlots();
+  F.PendingSiteAddr = NoSiteAddr;
+  F.DynamicLink =
+      Stack.Frames.empty() ? NoFrame : (uint32_t)(Stack.Frames.size() - 1);
+  F.CallerDst = CallerDst;
+  F.ResumeInstr = 0;
+
+  SlotTop += F.NumSlots;
+  if (Stack.Slots.size() < SlotTop)
+    Stack.Slots.resize(SlotTop * 2 + 64);
+  Word *S = Stack.Slots.data() + F.SlotBase;
+  if (Opts.ZeroFrames) {
+    std::memset(S, 0, F.NumSlots * sizeof(Word));
+    WordsZeroed += F.NumSlots;
+  }
+  unsigned Base = 0;
+  if (HasSelf) {
+    S[0] = Self;
+    Base = 1;
+  }
+  for (unsigned I = 0; I < NumArgs; ++I)
+    S[Base + I] = Args[I];
+
+  Stack.Frames.push_back(F);
+  if ((uint32_t)Stack.Frames.size() > MaxFrames)
+    MaxFrames = (uint32_t)Stack.Frames.size();
+  if (SlotTop > MaxSlotWords)
+    MaxSlotWords = SlotTop;
+}
+
+Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
+                   uint32_t FrameIdx) {
+  // Record the "return address" of the allocator call (paper section 2.1:
+  // collection can only start inside cons/new, whose frame's return
+  // address selects this frame's GC routine).
+  Stack.Frames[FrameIdx].PendingSiteAddr = Prog.site(Site).CodeAddr;
+
+  if (Opts.Checks != SuspendChecks::None) {
+    // Tasking: never collect unilaterally; suspend and let the
+    // coordinator stop the world (paper section 4). All policies test
+    // inside the allocation routine.
+    ++SuspendChecksRun;
+    assert(Opts.Coord && "tasking checks without a coordinator");
+    if (Opts.Coord->gcPending()) {
+      Blocked = true;
+      return nullptr;
+    }
+    Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
+    if (P)
+      return P;
+    Opts.Coord->requestGc(PayloadWords);
+    Blocked = true;
+    return nullptr;
+  }
+
+  RootSet Roots;
+  Roots.Stacks.push_back(&Stack);
+  if (Opts.GcStress)
+    Col.collect(Roots, PayloadWords);
+
+  Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
+  if (P)
+    return P;
+  Col.collect(Roots, PayloadWords);
+  P = Col.tryAllocatePayload(PayloadWords, Kind);
+  if (!P)
+    fail("out of memory");
+  return P;
+}
+
+Word Vm::makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok) {
+  if (Model == ValueModel::TagFree)
+    return floatToWord(D);
+  ++FloatBoxes;
+  Word *P = allocate(1, ObjKind::Raw, Site, FrameIdx);
+  if (!P) {
+    Ok = false;
+    return 0;
+  }
+  P[0] = floatToWord(D);
+  return (Word)(uintptr_t)P;
+}
+
+double Vm::readFloat(Word W) const {
+  if (Model == ValueModel::TagFree)
+    return wordToFloat(W);
+  return wordToFloat(*reinterpret_cast<const Word *>(W));
+}
+
+StepResult Vm::step() {
+  if (DoneFlag)
+    return StepResult::Done;
+  if (!Error.empty())
+    return StepResult::Failed;
+  if (!Started)
+    start(Prog.MainId, {});
+
+  if (++Steps > Opts.MaxSteps) {
+    fail("step limit exceeded");
+    return StepResult::Failed;
+  }
+  uint32_t FrameIdx = (uint32_t)(Stack.Frames.size() - 1);
+  const IrFunction &Fn = Prog.fn(Stack.Frames[FrameIdx].FuncId);
+  uint32_t Pc = Stack.Frames[FrameIdx].ResumeInstr;
+  assert(Pc < Fn.Code.size() && "fell off the end of a function");
+  const Instr &I = Fn.Code[Pc];
+  Word *S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+  bool Tagged = Model == ValueModel::Tagged;
+  uint32_t NextPc = Pc + 1;
+
+  switch (I.Op) {
+  case Opcode::LoadInt:
+    S[I.Dst] = Tagged ? tagInt(I.IntImm) : (Word)I.IntImm;
+    break;
+  case Opcode::LoadBool:
+    S[I.Dst] = Tagged ? tagInt(I.IntImm) : (Word)I.IntImm;
+    break;
+  case Opcode::LoadUnit:
+    S[I.Dst] = Tagged ? tagInt(0) : 0;
+    break;
+  case Opcode::LoadFloat: {
+    bool Ok = true;
+    Word W = makeFloat(I.FloatImm, I.Site, FrameIdx, Ok);
+    if (!Ok)
+      break;
+    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+    S[I.Dst] = W;
+    break;
+  }
+  case Opcode::Move:
+    S[I.Dst] = S[I.Srcs[0]];
+    break;
+
+  case Opcode::Prim: {
+    switch (I.Prim) {
+    case PrimVal::Add:
+    case PrimVal::Sub:
+    case PrimVal::Mul:
+    case PrimVal::Div:
+    case PrimVal::Mod: {
+      int64_t A, B;
+      if (Tagged) {
+        // Tag stripping before arithmetic, reinstating after — the
+        // mutator overhead the paper wants to eliminate (E1).
+        A = untagInt(S[I.Srcs[0]]);
+        B = untagInt(S[I.Srcs[1]]);
+        TagOps += 3;
+      } else {
+        A = (int64_t)S[I.Srcs[0]];
+        B = (int64_t)S[I.Srcs[1]];
+      }
+      int64_t Out = 0;
+      switch (I.Prim) {
+      case PrimVal::Add: Out = A + B; break;
+      case PrimVal::Sub: Out = A - B; break;
+      case PrimVal::Mul: Out = A * B; break;
+      case PrimVal::Div:
+        if (B == 0) {
+          fail("division by zero");
+          break;
+        }
+        Out = A / B;
+        break;
+      case PrimVal::Mod:
+        if (B == 0) {
+          fail("division by zero");
+          break;
+        }
+        Out = A % B;
+        break;
+      default: break;
+      }
+      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
+      break;
+    }
+    case PrimVal::Neg: {
+      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
+      if (Tagged)
+        TagOps += 2;
+      S[I.Dst] = Tagged ? tagInt(-A) : (Word)(-A);
+      break;
+    }
+    case PrimVal::Lt:
+    case PrimVal::Le:
+    case PrimVal::Gt:
+    case PrimVal::Ge:
+    case PrimVal::Eq:
+    case PrimVal::Ne: {
+      // Order-preserving tags: compare directly in either model.
+      int64_t A = (int64_t)S[I.Srcs[0]], B = (int64_t)S[I.Srcs[1]];
+      bool Out = false;
+      switch (I.Prim) {
+      case PrimVal::Lt: Out = A < B; break;
+      case PrimVal::Le: Out = A <= B; break;
+      case PrimVal::Gt: Out = A > B; break;
+      case PrimVal::Ge: Out = A >= B; break;
+      case PrimVal::Eq: Out = A == B; break;
+      case PrimVal::Ne: Out = A != B; break;
+      default: break;
+      }
+      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
+      break;
+    }
+    case PrimVal::Not: {
+      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
+      S[I.Dst] = Tagged ? tagInt(!A) : (Word)(!A);
+      break;
+    }
+    case PrimVal::FAdd:
+    case PrimVal::FSub:
+    case PrimVal::FMul:
+    case PrimVal::FDiv: {
+      double A = readFloat(S[I.Srcs[0]]);
+      double B = readFloat(S[I.Srcs[1]]);
+      double Out = 0;
+      switch (I.Prim) {
+      case PrimVal::FAdd: Out = A + B; break;
+      case PrimVal::FSub: Out = A - B; break;
+      case PrimVal::FMul: Out = A * B; break;
+      case PrimVal::FDiv: Out = A / B; break;
+      default: break;
+      }
+      bool Ok = true;
+      Word W = makeFloat(Out, I.Site, FrameIdx, Ok);
+      if (!Ok)
+        break;
+      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+      S[I.Dst] = W;
+      break;
+    }
+    case PrimVal::FNeg: {
+      bool Ok = true;
+      Word W = makeFloat(-readFloat(S[I.Srcs[0]]), I.Site, FrameIdx, Ok);
+      if (!Ok)
+        break;
+      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+      S[I.Dst] = W;
+      break;
+    }
+    case PrimVal::FLt:
+    case PrimVal::FEq: {
+      double A = readFloat(S[I.Srcs[0]]);
+      double B = readFloat(S[I.Srcs[1]]);
+      bool Out = I.Prim == PrimVal::FLt ? A < B : A == B;
+      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
+      break;
+    }
+    case PrimVal::IntToFloat: {
+      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
+      bool Ok = true;
+      Word W = makeFloat((double)A, I.Site, FrameIdx, Ok);
+      if (!Ok)
+        break;
+      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+      S[I.Dst] = W;
+      break;
+    }
+    }
+    break;
+  }
+
+  case Opcode::Print: {
+    int64_t V = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
+    Output += std::to_string(V);
+    Output += '\n';
+    break;
+  }
+
+  case Opcode::MakeTuple: {
+    Word *P = allocate(I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
+    if (!P)
+      break;
+    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+    for (size_t K = 0; K < I.Srcs.size(); ++K)
+      P[K] = S[I.Srcs[K]];
+    S[I.Dst] = (Word)(uintptr_t)P;
+    break;
+  }
+  case Opcode::MakeData: {
+    if (I.Srcs.empty()) {
+      S[I.Dst] = Tagged ? tagInt(I.CtorIdx) : (Word)I.CtorIdx;
+      break;
+    }
+    Word *P = allocate(1 + I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
+    if (!P)
+      break;
+    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+    P[0] = Tagged ? tagInt(I.CtorIdx) : (Word)I.CtorIdx;
+    for (size_t K = 0; K < I.Srcs.size(); ++K)
+      P[1 + K] = S[I.Srcs[K]];
+    S[I.Dst] = (Word)(uintptr_t)P;
+    break;
+  }
+  case Opcode::MakeClosure: {
+    Word *P = allocate(1 + I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
+    if (!P)
+      break;
+    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+    uint32_t Entry = Prog.fn(I.Callee).EntryAddr;
+    P[0] = Tagged ? tagInt(Entry) : (Word)Entry;
+    for (size_t K = 0; K < I.Srcs.size(); ++K)
+      P[1 + K] = S[I.Srcs[K]];
+    S[I.Dst] = (Word)(uintptr_t)P;
+    break;
+  }
+  case Opcode::MakeRef: {
+    Word *P = allocate(1, ObjKind::Scan, I.Site, FrameIdx);
+    if (!P)
+      break;
+    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
+    P[0] = S[I.Srcs[0]];
+    S[I.Dst] = (Word)(uintptr_t)P;
+    break;
+  }
+
+  case Opcode::GetField: {
+    const Word *P = reinterpret_cast<const Word *>(S[I.Srcs[0]]);
+    S[I.Dst] = P[I.FieldIdx];
+    break;
+  }
+  case Opcode::GetTag: {
+    Word W = S[I.Srcs[0]];
+    if (Tagged)
+      S[I.Dst] =
+          isTaggedImmediate(W) ? W : *reinterpret_cast<const Word *>(W);
+    else
+      S[I.Dst] =
+          W < ImmediateCtorLimit ? W : *reinterpret_cast<const Word *>(W);
+    break;
+  }
+  case Opcode::SetClosureField: {
+    Word *P = reinterpret_cast<Word *>(S[I.Srcs[0]]);
+    P[I.FieldIdx] = S[I.Srcs[1]];
+    break;
+  }
+  case Opcode::RefLoad:
+    S[I.Dst] = *reinterpret_cast<const Word *>(S[I.Srcs[0]]);
+    break;
+  case Opcode::RefStore:
+    *reinterpret_cast<Word *>(S[I.Srcs[0]]) = S[I.Srcs[1]];
+    break;
+
+  case Opcode::Jump:
+    NextPc = Fn.LabelTargets[I.Label];
+    break;
+  case Opcode::Branch: {
+    bool Cond = Tagged ? untagInt(S[I.Srcs[0]]) != 0 : S[I.Srcs[0]] != 0;
+    NextPc = Fn.LabelTargets[Cond ? I.Label : I.Label2];
+    break;
+  }
+
+  case Opcode::Call:
+  case Opcode::CallIndirect: {
+    // Every-call suspension test (paper section 4). Under the Rgc policy
+    // the test is folded into the jump target computation, so it is not
+    // counted as an explicit check. A task may only suspend at a site
+    // whose gc_word exists — i.e. one the section-5.1 analysis says can
+    // reach a collection; the suspended stack then has valid frame GC
+    // routines at every level.
+    if ((Opts.Checks == SuspendChecks::AtEveryCall ||
+         Opts.Checks == SuspendChecks::RgcRegister) &&
+        Prog.site(I.Site).CanTriggerGc) {
+      if (Opts.Checks == SuspendChecks::AtEveryCall)
+        ++SuspendChecksRun;
+      if (Opts.Coord->gcPending()) {
+        Stack.Frames[FrameIdx].PendingSiteAddr = Prog.site(I.Site).CodeAddr;
+        Blocked = true;
+        break;
+      }
+    }
+    ++Calls;
+    FuncId Callee;
+    bool HasSelf = I.Op == Opcode::CallIndirect;
+    Word Self = 0;
+    unsigned FirstArg = 0;
+    if (HasSelf) {
+      Self = S[I.Srcs[0]];
+      if (Self == 0 || (Tagged && !isTaggedPointer(Self))) {
+        fail("call through invalid closure");
+        break;
+      }
+      Word CodeWord = *reinterpret_cast<const Word *>(Self);
+      uint32_t Entry =
+          Tagged ? (uint32_t)untagInt(CodeWord) : (uint32_t)CodeWord;
+      Callee = Img.functionAt(Entry);
+      FirstArg = 1;
+    } else {
+      Callee = I.Callee;
+    }
+    Stack.Frames[FrameIdx].PendingSiteAddr = Prog.site(I.Site).CodeAddr;
+    Stack.Frames[FrameIdx].ResumeInstr = Pc + 1;
+    // Copy the arguments before pushFrame can reallocate the slot array.
+    Word Args[16];
+    assert(I.Srcs.size() - FirstArg <= 16 && "argument buffer too small");
+    for (size_t K = FirstArg; K < I.Srcs.size(); ++K)
+      Args[K - FirstArg] = S[I.Srcs[K]];
+    pushFrame(Callee, Args, (unsigned)(I.Srcs.size() - FirstArg), HasSelf,
+              Self, I.Dst);
+    return StepResult::Ran;
+  }
+  case Opcode::Return: {
+    Word Rv = S[I.Srcs[0]];
+    SlotIndex Dst = Stack.Frames[FrameIdx].CallerDst;
+    SlotTop = Stack.Frames[FrameIdx].SlotBase;
+    Stack.Frames.pop_back();
+    if (Stack.Frames.empty()) {
+      ReturnValue = Rv;
+      DoneFlag = true;
+      return StepResult::Done;
+    }
+    FrameInfo &Caller = Stack.Frames.back();
+    Stack.Slots[Caller.SlotBase + Dst] = Rv;
+    Caller.PendingSiteAddr = NoSiteAddr;
+    return StepResult::Ran;
+  }
+  case Opcode::Abort:
+    fail("pattern match failure");
+    break;
+  }
+
+  if (Blocked) {
+    Blocked = false;
+    --Steps; // The instruction will re-execute.
+    return StepResult::BlockedOnGc;
+  }
+  if (!Error.empty())
+    return StepResult::Failed;
+  Stack.Frames[FrameIdx].ResumeInstr = NextPc;
+  return StepResult::Ran;
+}
+
+RunResult Vm::run() {
+  RunResult R;
+  for (;;) {
+    StepResult S = step();
+    if (S == StepResult::Ran)
+      continue;
+    assert(S != StepResult::BlockedOnGc &&
+           "sequential VM cannot block on GC");
+    break;
+  }
+  flushCounters();
+  R.Output = Output;
+  if (!Error.empty()) {
+    R.Ok = false;
+    R.Error = Error;
+    return R;
+  }
+  R.Ok = true;
+  R.Value = renderResult();
+  return R;
+}
+
+std::string Vm::renderResult() {
+  Type *ResultTy = Prog.fn(EntryFn).FunTy->resolved()->result();
+  return renderValue(ReturnValue, ResultTy);
+}
+
+void Vm::flushCounters() {
+  Stats &St = Col.stats();
+  St.set("vm.steps", Steps);
+  St.set("vm.tag_ops", TagOps);
+  St.set("vm.float_boxes", FloatBoxes);
+  St.set("vm.calls", Calls);
+  St.set("vm.frame_words_zeroed", WordsZeroed);
+  St.set("vm.max_frames", MaxFrames);
+  St.set("vm.max_slot_words", MaxSlotWords);
+  St.add("task.suspend_checks", SuspendChecksRun);
+  SuspendChecksRun = 0;
+  St.set("heap.used_bytes", Col.heapUsedBytes());
+  St.set("heap.capacity_bytes", Col.heapCapacityBytes());
+  St.set("heap.bytes_allocated_total", Col.bytesAllocatedTotal());
+}
+
+std::string Vm::renderValue(Word V, Type *Ty, int Depth) {
+  if (Depth > 64)
+    return "...";
+  Ty = Ty->resolved();
+  bool Tagged = Model == ValueModel::Tagged;
+  std::ostringstream OS;
+  switch (Ty->getKind()) {
+  case TypeKind::Int:
+    OS << (Tagged ? untagInt(V) : (int64_t)V);
+    return OS.str();
+  case TypeKind::Bool:
+    return (Tagged ? untagInt(V) : (int64_t)V) ? "true" : "false";
+  case TypeKind::Unit:
+    return "()";
+  case TypeKind::Float: {
+    OS << readFloat(V);
+    return OS.str();
+  }
+  case TypeKind::Var:
+    return "<poly>";
+  case TypeKind::Fun:
+    return "<fn>";
+  case TypeKind::Tuple: {
+    const Word *P = reinterpret_cast<const Word *>(V);
+    OS << '(';
+    for (unsigned I = 0; I < Ty->numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << renderValue(P[I], Ty->arg(I), Depth + 1);
+    }
+    OS << ')';
+    return OS.str();
+  }
+  case TypeKind::Ref: {
+    const Word *P = reinterpret_cast<const Word *>(V);
+    return "ref " + renderValue(P[0], Ty->refElem(), Depth + 1);
+  }
+  case TypeKind::Data: {
+    DatatypeInfo *Info = Ty->data();
+    std::vector<Type *> Args(Ty->args().begin(), Ty->args().end());
+    // Lists render with bracket sugar.
+    if (Info == Types.listInfo()) {
+      OS << '[';
+      Word Cur = V;
+      bool First = true;
+      int Guard = 0;
+      for (;;) {
+        bool Imm = Tagged ? isTaggedImmediate(Cur) : Cur < ImmediateCtorLimit;
+        if (Imm)
+          break;
+        const Word *P = reinterpret_cast<const Word *>(Cur);
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << renderValue(P[1], Args[0], Depth + 1);
+        Cur = P[2];
+        if (++Guard > 1000) {
+          OS << ", ...";
+          break;
+        }
+      }
+      OS << ']';
+      return OS.str();
+    }
+    bool Imm = Tagged ? isTaggedImmediate(V) : V < ImmediateCtorLimit;
+    uint64_t Ctor;
+    const Word *P = nullptr;
+    if (Imm) {
+      Ctor = Tagged ? (uint64_t)untagInt(V) : V;
+    } else {
+      P = reinterpret_cast<const Word *>(V);
+      Ctor = Tagged ? (uint64_t)untagInt(P[0]) : P[0];
+    }
+    const CtorInfo &C = Info->Ctors[Ctor];
+    OS << C.Name;
+    if (!C.Fields.empty()) {
+      std::vector<Type *> Fields =
+          Types.instantiateCtorFields(Info, (unsigned)Ctor, Args);
+      OS << '(';
+      for (size_t I = 0; I < Fields.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << renderValue(P[1 + I], Fields[I], Depth + 1);
+      }
+      OS << ')';
+    }
+    return OS.str();
+  }
+  }
+  return "?";
+}

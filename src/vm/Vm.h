@@ -1,0 +1,154 @@
+//===- vm/Vm.h - Register VM over the IR ------------------------*- C++ -*-===//
+///
+/// \file
+/// Executes the IR with explicit activation records (runtime/Roots.h).
+/// The VM plays the role of the compiled mutator:
+///
+/// * values follow the collector's value model (tag-free or tagged, with
+///   tag stripping/reinstating and float boxing under the tagged model —
+///   the mutator overheads of E1);
+/// * before any instruction that might collect, the current frame records
+///   the site's code image address — the "return address" the collector
+///   dereferences (Figure 1/2);
+/// * frames are zero-initialized only under strategies that require it
+///   (tagged and Appel; the paper's per-site routines trace only
+///   initialized slots, so the Goldberg strategies skip zeroing — E9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_VM_VM_H
+#define TFGC_VM_VM_H
+
+#include "core/Collector.h"
+#include "gcmeta/CodeImage.h"
+#include "ir/Ir.h"
+#include "runtime/Roots.h"
+
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+/// Where a task polls for a pending world-stop (paper section 4).
+enum class SuspendChecks : uint8_t {
+  None,         ///< Sequential VM: collect immediately on exhaustion.
+  AtAllocation, ///< Suspend only inside the allocation routines.
+  AtEveryCall,  ///< Explicit test at every call site.
+  RgcRegister,  ///< Every call, via the Rgc register trick (free test).
+};
+
+/// Mediates stop-the-world collections across tasks. Implemented by the
+/// tasking runtime; the sequential VM has none.
+class GcCoordinator {
+public:
+  virtual ~GcCoordinator() = default;
+  /// True when some task exhausted the heap and the world must stop.
+  virtual bool gcPending() const = 0;
+  /// Called by the task that exhausted the heap.
+  virtual void requestGc(size_t NeedWords) = 0;
+};
+
+struct VmOptions {
+  /// Collect at every allocation (testing).
+  bool GcStress = false;
+  /// Zero frame slots at function entry (forced on for tagged/Appel).
+  bool ZeroFrames = false;
+  /// Execution fuse.
+  uint64_t MaxSteps = 2'000'000'000ull;
+  /// Tasking: suspension polling policy and the coordinator to poll.
+  SuspendChecks Checks = SuspendChecks::None;
+  GcCoordinator *Coord = nullptr;
+};
+
+enum class StepResult : uint8_t {
+  Ran,         ///< Executed one instruction.
+  Done,        ///< Program finished; returnValue() is valid.
+  Failed,      ///< Runtime error; error() is set.
+  BlockedOnGc, ///< Suspended at a GC safe point (tasking only); the
+               ///< instruction re-executes after the collection.
+};
+
+struct RunResult {
+  bool Ok = false;
+  std::string Value;  ///< Rendered final value.
+  std::string Output; ///< print output, one line per call.
+  std::string Error;
+};
+
+class Vm {
+public:
+  Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
+     Collector &Col, VmOptions Opts = {});
+
+  RunResult run();
+
+  /// Executes one instruction (the tasking runtime's interface).
+  StepResult step();
+
+  /// Starts execution at \p Entry (a non-closure function) with the given
+  /// argument words (already in the value model's representation). run()
+  /// and step() default to the program's main function.
+  void start(FuncId Entry, const std::vector<Word> &Args);
+  Word returnValue() const { return ReturnValue; }
+  const std::string &error() const { return Error; }
+  /// Renders the final value (after Done).
+  std::string renderResult();
+  const std::string &output() const { return Output; }
+  TaskStack &mutableStack() { return Stack; }
+
+  /// Renders a value of type \p Ty under the current value model.
+  std::string renderValue(Word V, Type *Ty, int Depth = 0);
+
+  Collector &collector() { return Col; }
+  Stats &stats() { return Col.stats(); }
+  const TaskStack &stack() const { return Stack; }
+
+  /// Flushes the hot counters (steps, tag ops, zeroed words, ...) into the
+  /// stats registry; called automatically at the end of run().
+  void flushCounters();
+
+private:
+  const IrProgram &Prog;
+  const CodeImage &Img;
+  TypeContext &Types;
+  Collector &Col;
+  VmOptions Opts;
+  ValueModel Model;
+
+  TaskStack Stack;
+  uint32_t SlotTop = 0;
+  std::string Output;
+  std::string Error;
+  Word ReturnValue = 0;
+  FuncId EntryFn = 0;
+  bool DoneFlag = false;
+  bool Blocked = false;
+  bool Started = false;
+
+  // Hot counters (plain fields; Stats map lookups are too slow for the
+  // interpreter loop).
+  uint64_t Steps = 0;
+  uint64_t TagOps = 0;
+  uint64_t FloatBoxes = 0;
+  uint64_t Calls = 0;
+  uint64_t WordsZeroed = 0;
+  uint64_t Collections0 = 0;
+  uint64_t SuspendChecksRun = 0;
+  uint32_t MaxFrames = 0;
+  uint32_t MaxSlotWords = 0;
+
+  void pushFrame(FuncId Callee, const Word *Args, unsigned NumArgs,
+                 bool HasSelf, Word Self, SlotIndex CallerDst);
+  /// Allocates through the collector, recording the pending site and
+  /// collecting when needed. Returns the payload or null on OOM.
+  Word *allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
+                 uint32_t FrameIdx);
+  bool fail(const std::string &Message);
+
+  Word makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok);
+  double readFloat(Word W) const;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_VM_VM_H

@@ -1,0 +1,326 @@
+//===- workloads/Programs.cpp ---------------------------------------------===//
+
+#include "workloads/Programs.h"
+
+using namespace tfgc;
+
+static std::string num(int N) { return std::to_string(N); }
+
+std::string workloads::listPrelude() {
+  return R"(
+fun build (n : int) : int list =
+  if n = 0 then [] else n :: build (n - 1);
+
+fun sum (xs : int list) : int =
+  case xs of Nil => 0 | Cons(x, r) => x + sum r;
+
+fun len (xs : int list) : int =
+  case xs of Nil => 0 | Cons(_, r) => 1 + len r;
+
+fun append (xs : int list) (ys : int list) : int list =
+  case xs of Nil => ys | Cons(x, r) => x :: append r ys;
+
+fun revAcc (xs : int list) (acc : int list) : int list =
+  case xs of Nil => acc | Cons(x, r) => revAcc r (x :: acc);
+
+fun rev (xs : int list) : int list = revAcc xs [];
+)";
+}
+
+std::string workloads::listChurn(int N, int Iters) {
+  return listPrelude() + R"(
+fun churn (i : int) (acc : int) : int =
+  if i = 0 then acc
+  else churn (i - 1) (acc + sum (rev (build )" +
+         num(N) + R"())) mod 1000000007;
+churn )" +
+         num(Iters) + " 0\n";
+}
+
+std::string workloads::binaryTrees(int Depth, int Iters) {
+  return R"(
+datatype tree = Leaf | Node of tree * int * tree;
+
+fun make (d : int) : tree =
+  if d = 0 then Leaf else Node(make (d - 1), d, make (d - 1));
+
+fun check (t : tree) : int =
+  case t of Leaf => 0 | Node(l, v, r) => v + check l + check r;
+
+fun rounds (i : int) (acc : int) : int =
+  if i = 0 then acc
+  else rounds (i - 1) (acc + check (make )" +
+         num(Depth) + R"());
+rounds )" +
+         num(Iters) + " 0\n";
+}
+
+std::string workloads::nqueens(int N) {
+  return R"(
+fun abs (x : int) : int = if x < 0 then ~x else x;
+
+fun safe (q : int) (d : int) (qs : int list) : bool =
+  case qs of
+    Nil => true
+  | Cons(x, r) =>
+      if x = q then false
+      else if abs (x - q) = d then false
+      else safe q (d + 1) r;
+
+fun solve (k : int) (qs : int list) (n : int) : int =
+  if k = 0 then 1 else tryCols n qs k n
+and tryCols (c : int) (qs : int list) (k : int) (n : int) : int =
+  if c = 0 then 0
+  else (if safe c 1 qs then solve (k - 1) (c :: qs) n else 0)
+       + tryCols (c - 1) qs k n;
+
+solve )" + num(N) +
+         " [] " + num(N) + "\n";
+}
+
+std::string workloads::appendPaper(int N) {
+  return listPrelude() + R"(
+sum (append (build )" +
+         num(N) + R"() (build )" + num(N) + "))\n";
+}
+
+std::string workloads::arithKernel(int Iters) {
+  return R"(
+fun kern (i : int) (acc : int) : int =
+  if i = 0 then acc
+  else kern (i - 1) ((acc * 3 + i) mod 262139);
+kern )" + num(Iters) +
+         " 1\n";
+}
+
+std::string workloads::floatKernel(int N, int Iters) {
+  return R"(
+fun fbuild (n : int) : float list =
+  if n = 0 then [] else real n :: fbuild (n - 1);
+
+fun fsum (xs : float list) : float =
+  case xs of Nil => 0.0 | Cons(x, r) => x +. fsum r;
+
+fun frounds (i : int) (acc : float) : float =
+  if i = 0 then acc
+  else frounds (i - 1) (acc +. fsum (fbuild )" +
+         num(N) + R"());
+frounds )" +
+         num(Iters) + " 0.0\n";
+}
+
+std::string workloads::variantRecords(int N) {
+  return R"(
+datatype shape = Point | Circle of float | Rect of float * float;
+
+fun area (s : shape) : float =
+  case s of
+    Point => 0.0
+  | Circle r => r *. r *. 3.14159
+  | Rect(w, h) => w *. h;
+
+fun mk (i : int) : shape =
+  if i mod 3 = 0 then Point
+  else if i mod 3 = 1 then Circle (real i)
+  else Rect(real i, 2.0);
+
+fun mkAll (i : int) : shape list =
+  if i = 0 then [] else mk i :: mkAll (i - 1);
+
+fun total (ss : shape list) : float =
+  case ss of Nil => 0.0 | Cons(s, r) => area s +. total r;
+
+total (mkAll )" +
+         num(N) + ")\n";
+}
+
+std::string workloads::higherOrder(int N) {
+  return listPrelude() + R"(
+fun map (f : int -> int) (xs : int list) : int list =
+  case xs of Nil => Nil | Cons(x, r) => Cons(f x, map f r);
+
+fun filter (p : int -> bool) (xs : int list) : int list =
+  case xs of
+    Nil => Nil
+  | Cons(x, r) => if p x then x :: filter p r else filter p r;
+
+fun foldl (f : (int * int) -> int) (acc : int) (xs : int list) : int =
+  case xs of Nil => acc | Cons(x, r) => foldl f (f (acc, x)) r;
+
+fun compose (f : int -> int) (g : int -> int) : int -> int =
+  fn x => f (g x);
+
+val base = build )" +
+         num(N) + R"(;
+val k = 7;
+val bumped = map (fn x => x + k) base;
+val evens = filter (fn x => x mod 2 = 0) bumped;
+val doubledPlus = map (compose (fn x => x * 2) (fn x => x + 1)) evens;
+foldl (fn (a, b) => a + b) 0 doubledPlus
+)";
+}
+
+std::string workloads::refCells(int N) {
+  return listPrelude() + R"(
+datatype node = End | Link of int * node ref;
+
+val acc = ref ([] : int list);
+
+fun pump (i : int) : int =
+  if i = 0 then sum (!acc)
+  else (acc := i :: !acc;
+        (if i mod 16 = 0 then acc := [] else ());
+        pump (i - 1));
+
+val a = ref End;
+val n1 = Link(1, a);
+val b = ref n1;
+val n2 = Link(2, b);
+val mkCycle = a := n2;
+
+fun chase (n : node) (fuel : int) : int =
+  case n of
+    End => 0
+  | Link(v, r) => if fuel = 0 then v else v + chase (!r) (fuel - 1);
+
+pump )" + num(N) +
+         R"( + chase n1 10
+)";
+}
+
+std::string workloads::polyDeep(int Depth, int AllocN) {
+  return R"(
+fun len xs =
+  case xs of Nil => 0 | Cons(_, r) => 1 + len r;
+
+fun build (n : int) : int list =
+  if n = 0 then [] else n :: build (n - 1);
+
+fun deep xs (d : int) : int =
+  if d = 0 then len (build )" +
+         num(AllocN) + R"() + len xs
+  else deep xs (d - 1) + len xs;
+
+deep [(1, true), (2, false)] )" +
+         num(Depth) + "\n";
+}
+
+std::string workloads::polyPaper() {
+  return R"(
+fun map f xs =
+  case xs of Nil => Nil | Cons(x, r) => Cons(f x, map f r);
+
+fun length xs =
+  case xs of Nil => 0 | Cons(_, r) => 1 + length r;
+
+fun f x = let val y = (x, x) in (y, [3]) end;
+
+val r1 = f [true];
+val r2 = f 7;
+val pairs = map (fn n => (n, n * 2)) [1, 2, 3, 4];
+val flags = map (fn b => not b) [true, false, true];
+(r1, r2, length pairs, length flags)
+)";
+}
+
+std::string workloads::deadVars(int BigN, int AllocN) {
+  return listPrelude() + R"(
+fun work (u : int) : int =
+  let
+    val big = build )" +
+         num(BigN) + R"(
+    val s = sum big
+  in
+    (* `big` is dead from here on; a live-variable-aware collector frees
+       it during the allocation below. *)
+    s + len (build )" +
+         num(AllocN) + R"()
+  end;
+work 0
+)";
+}
+
+std::string workloads::symbolicDiff(int N) {
+  return R"(
+datatype expr =
+    Num of int
+  | Var
+  | Add of expr * expr
+  | Mul of expr * expr;
+
+fun deriv (e : expr) : expr =
+  case e of
+    Num _ => Num 0
+  | Var => Num 1
+  | Add(a, b) => Add(deriv a, deriv b)
+  | Mul(a, b) => Add(Mul(deriv a, b), Mul(a, deriv b));
+
+fun simp (e : expr) : expr =
+  case e of
+    Num n => Num n
+  | Var => Var
+  | Add(a, b) =>
+      (case (simp a, simp b) of
+         (Num 0, sb) => sb
+       | (sa, Num 0) => sa
+       | (Num x, Num y) => Num (x + y)
+       | (sa, sb) => Add(sa, sb))
+  | Mul(a, b) =>
+      (case (simp a, simp b) of
+         (Num 0, _) => Num 0
+       | (_, Num 0) => Num 0
+       | (Num 1, sb) => sb
+       | (sa, Num 1) => sa
+       | (Num x, Num y) => Num (x * y)
+       | (sa, sb) => Mul(sa, sb));
+
+fun evalAt (e : expr) (x : int) : int =
+  case e of
+    Num n => n
+  | Var => x
+  | Add(a, b) => evalAt a x + evalAt b x
+  | Mul(a, b) => evalAt a x * evalAt b x;
+
+(* x^4 + 3x^2 + 7x + 5, written out. *)
+fun poly (u : int) : expr =
+  Add(Mul(Var, Mul(Var, Mul(Var, Var))),
+      Add(Mul(Num 3, Mul(Var, Var)),
+          Add(Mul(Num 7, Var), Num 5)));
+
+fun derivN (e : expr) (n : int) : expr =
+  if n = 0 then e else derivN (simp (deriv e)) (n - 1);
+
+fun rounds (i : int) (acc : int) : int =
+  if i = 0 then acc
+  else rounds (i - 1) (acc + evalAt (derivN (poly 0) )" +
+         num(N) + R"() 2);
+
+rounds 40 0
+)";
+}
+
+std::string workloads::taskWorker() {
+  return listPrelude() + R"(
+fun worker (seed : int) (iters : int) : int =
+  if iters = 0 then seed
+  else worker ((seed + sum (rev (build (16 + seed mod 17)))) mod 100003)
+              (iters - 1);
+worker 1 1
+)";
+}
+
+std::string workloads::taskWorkerAndSpinner() {
+  return listPrelude() + R"(
+fun worker (seed : int) (iters : int) : int =
+  if iters = 0 then seed
+  else worker ((seed + sum (rev (build (16 + seed mod 17)))) mod 100003)
+              (iters - 1);
+
+fun spin (n : int) : int = if n = 0 then 0 else spin (n - 1);
+
+fun spinner (rounds : int) (spinN : int) : int =
+  if rounds = 0 then 0
+  else len (build 4) + spin spinN + spinner (rounds - 1) spinN;
+worker 1 1
+)";
+}

@@ -1,0 +1,85 @@
+//===- workloads/Programs.h - MiniML workload programs ----------*- C++ -*-===//
+///
+/// \file
+/// Parameterized MiniML programs shared by the tests, benches and
+/// examples. Each function returns complete source; the parameters size
+/// the workload. The suite covers every behaviour the paper discusses:
+/// list churn, trees, variant records, floats (boxing), refs (mutation and
+/// cycles), higher-order closures, deep polymorphic stacks, dead
+/// variables, and tasking workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_WORKLOADS_PROGRAMS_H
+#define TFGC_WORKLOADS_PROGRAMS_H
+
+#include <string>
+
+namespace tfgc::workloads {
+
+/// Shared helpers (`build`, `sum`, `len`, `append`, `rev`): monomorphic
+/// int-list toolkit.
+std::string listPrelude();
+
+/// Repeatedly builds, reverses and sums an N-element list, Iters times —
+/// the garbage-heavy core workload. Result: checksum int.
+std::string listChurn(int N, int Iters);
+
+/// GCBench-style binary trees of the given depth, Iters rounds.
+std::string binaryTrees(int Depth, int Iters);
+
+/// N-queens solution count (call-heavy, medium allocation).
+std::string nqueens(int N);
+
+/// The paper's section 2.4 append, plus a driver. The recursive call's
+/// frame GC routine is `no_trace`.
+std::string appendPaper(int N);
+
+/// Arithmetic-only kernel (E1 mutator overhead): Iters iterations of
+/// add/mul/mod with no allocation after warm-up.
+std::string arithKernel(int Iters);
+
+/// Float-heavy kernel: builds and sums float lists (boxing under the
+/// tagged model).
+std::string floatKernel(int N, int Iters);
+
+/// Variant records (paper section 2.3): a shape datatype with mixed
+/// nullary/unary/binary constructors.
+std::string variantRecords(int N);
+
+/// Higher-order suite: map/filter/fold with capturing lambdas.
+std::string higherOrder(int N);
+
+/// Ref cells: mutation, generational-style churn, and a ref cycle.
+std::string refCells(int N);
+
+/// Deep polymorphic stack (E7): a polymorphic function recursing Depth
+/// deep, then allocating; Appel's chain walk is quadratic here.
+std::string polyDeep(int Depth, int AllocN);
+
+/// The paper's section 3 program: `f x = ((x,x), [3])` used at bool list
+/// and int, plus polymorphic map over different element types.
+std::string polyPaper();
+
+/// Dead-variable workload (E5): a large structure becomes dead before a
+/// long allocating call; liveness lets the collector drop it.
+std::string deadVars(int BigN, int AllocN);
+
+/// Symbolic differentiation and simplification over an expression
+/// datatype — the "complex user-defined types" case of the paper's
+/// code-size discussion. Differentiates a polynomial N times, simplifying
+/// after each step; returns the expression's value at X = 2.
+std::string symbolicDiff(int N);
+
+/// Tasking: `worker (seed, iters)` building and folding lists, returning a
+/// checksum. Entry function name: "worker".
+std::string taskWorker();
+
+/// Tasking adversary: `worker` as above plus `spinner (rounds, spin)`
+/// which computes without allocating between coarse rounds — it delays
+/// world-stop under the AllocationOnly policy.
+std::string taskWorkerAndSpinner();
+
+} // namespace tfgc::workloads
+
+#endif // TFGC_WORKLOADS_PROGRAMS_H

@@ -1,0 +1,87 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+
+#ifndef TFGC_TESTS_TESTUTIL_H
+#define TFGC_TESTS_TESTUTIL_H
+
+#include "driver/Compiler.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Lower.h"
+#include "types/Infer.h"
+
+#include <gtest/gtest.h>
+
+namespace tfgc::test {
+
+inline const GcStrategy AllStrategies[] = {
+    GcStrategy::Tagged,
+    GcStrategy::CompiledTagFree,
+    GcStrategy::InterpretedTagFree,
+    GcStrategy::AppelTagFree,
+};
+
+inline const GcAlgorithm AllAlgorithms[] = {
+    GcAlgorithm::Copying,
+    GcAlgorithm::MarkSweep,
+};
+
+/// Parses a program or fails the test.
+inline std::optional<Program> parse(const std::string &Source,
+                                    std::string *Err = nullptr) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokenize(), Diags);
+  std::optional<Program> Ast = P.parseProgram();
+  if (Err)
+    *Err = Diags.render();
+  return Ast;
+}
+
+/// Full front half: source -> typed AST + IR. Returns nullopt on error.
+struct Compiled {
+  std::unique_ptr<CompiledProgram> P;
+  std::string Error;
+};
+inline Compiled compile(const std::string &Source, CompileOptions O = {}) {
+  Compiled C;
+  Compiler Comp(O);
+  C.P = Comp.compile(Source, &C.Error);
+  return C;
+}
+
+/// Runs a program under one strategy and returns its rendered value,
+/// failing the test on any error.
+inline std::string runValue(const std::string &Source, GcStrategy S,
+                            GcAlgorithm A = GcAlgorithm::Copying,
+                            size_t HeapBytes = 1 << 16,
+                            bool Stress = false) {
+  ExecResult R = execProgram(Source, S, A, HeapBytes, Stress);
+  EXPECT_TRUE(R.CompileOk) << R.CompileError;
+  EXPECT_TRUE(R.Run.Ok) << R.Run.Error << " under " << gcStrategyName(S);
+  return R.Run.Value;
+}
+
+/// Runs under every strategy (stressed, small heap) and checks that all
+/// agree; returns the common value.
+inline std::string runAllStrategies(const std::string &Source,
+                                    size_t HeapBytes = 1 << 14,
+                                    bool Stress = true) {
+  std::string Expected;
+  for (GcStrategy S : AllStrategies) {
+    std::string V =
+        runValue(Source, S, GcAlgorithm::Copying, HeapBytes, Stress);
+    if (Expected.empty())
+      Expected = V;
+    else
+      EXPECT_EQ(Expected, V) << "strategy " << gcStrategyName(S);
+  }
+  // Mark-sweep spot check with the paper's own collector.
+  std::string V = runValue(Source, GcStrategy::CompiledTagFree,
+                           GcAlgorithm::MarkSweep, HeapBytes, Stress);
+  EXPECT_EQ(Expected, V) << "mark-sweep";
+  return Expected;
+}
+
+} // namespace tfgc::test
+
+#endif // TFGC_TESTS_TESTUTIL_H

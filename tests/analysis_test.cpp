@@ -1,0 +1,214 @@
+//===- tests/analysis_test.cpp - Liveness, GC points, reconstruction -----===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+/// Compiles and finds the single direct call site from \p Caller to
+/// \p Callee.
+const CallSiteInfo *findDirectSite(const CompiledProgram &P,
+                                   const std::string &Caller,
+                                   const std::string &Callee) {
+  FuncId CalleeId = findFunction(P.Prog, Callee);
+  FuncId CallerId = findFunction(P.Prog, Caller);
+  for (const CallSiteInfo &S : P.Prog.Sites)
+    if (S.Kind == SiteKind::Direct && S.Caller == CallerId &&
+        S.Callee == CalleeId)
+      return &S;
+  return nullptr;
+}
+
+TEST(Liveness, AppendRecursiveCallTracesNothing) {
+  // The paper's section 2.4 observation: at append's recursive call, no
+  // heap-typed variable of the caller is live — the frame routine is
+  // no_trace.
+  std::string Src =
+      "fun append (xs : int list) (ys : int list) : int list =\n"
+      "  case xs of Nil => ys | Cons(x, r) => x :: append r ys;\n"
+      "append [1] [2]";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  const CallSiteInfo *S = findDirectSite(*C.P, "append", "append");
+  ASSERT_NE(S, nullptr);
+  const IrFunction &F = C.P->Prog.fn(S->Caller);
+  // Only the int head `x` may remain (it is consumed by the cons after
+  // the call); no list-typed slot is traced.
+  for (SlotIndex Slot : S->TraceSlots)
+    EXPECT_EQ(F.SlotTypes[Slot]->resolved()->getKind(), TypeKind::Int)
+        << "slot " << Slot;
+  EXPECT_TRUE(C.P->Compiled.siteRoutine(S->Id).isNoTrace());
+}
+
+TEST(Liveness, LiveListIsTraced) {
+  std::string Src =
+      "fun len (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(_, r) => 1 + len r;\n"
+      "fun f (xs : int list) : int = len xs + len xs;\n"
+      "f [1, 2]";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  const CallSiteInfo *S = findDirectSite(*C.P, "f", "len");
+  ASSERT_NE(S, nullptr);
+  // At the FIRST call to len, xs (slot 0) is still live.
+  EXPECT_FALSE(C.P->Compiled.siteRoutine(S->Id).isNoTrace());
+}
+
+TEST(Liveness, WithoutLivenessEverythingInitializedIsTraced) {
+  std::string Src =
+      "fun len (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(_, r) => 1 + len r;\n"
+      "fun f (xs : int list) (ys : int list) : int = len ys;\n"
+      "f [1] [2, 3]";
+  CompileOptions NoLive;
+  NoLive.UseLiveness = false;
+  auto C = compile(Src, NoLive);
+  ASSERT_TRUE(C.P) << C.Error;
+  const CallSiteInfo *S = findDirectSite(*C.P, "f", "len");
+  ASSERT_NE(S, nullptr);
+  // Both parameters are traced even though xs is dead.
+  ASSERT_GE(S->TraceSlots.size(), 2u);
+  EXPECT_EQ(S->TraceSlots[0], 0u);
+  EXPECT_EQ(S->TraceSlots[1], 1u);
+}
+
+TEST(Liveness, UninitializedSlotsAreNeverTraced) {
+  // GC during the first `build` call must not trace the slot that will
+  // later hold the second list.
+  std::string Src =
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "fun f (u : int) : int =\n"
+      "  let val a = build 5 val b = build 6 in 0 end;\n"
+      "f 0";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId FId = findFunction(C.P->Prog, "f");
+  // Find the first call site in f (the `build 5` call).
+  const CallSiteInfo *First = nullptr;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Caller == FId && S.Kind == SiteKind::Direct &&
+        (!First || S.InstrIdx < First->InstrIdx))
+      First = &S;
+  ASSERT_NE(First, nullptr);
+  const IrFunction &F = C.P->Prog.fn(FId);
+  const Instr &I = F.Code[First->InstrIdx];
+  for (SlotIndex Slot : First->TraceSlots)
+    EXPECT_NE(Slot, I.Dst); // `a` is not initialized during the call.
+}
+
+TEST(GcPoints, PureFunctionsCannotTrigger) {
+  std::string Src =
+      "fun spin (n : int) : int = if n = 0 then 0 else spin (n - 1);\n"
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "(spin 3, build 3)";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  const CallSiteInfo *SpinCall = findDirectSite(*C.P, "spin", "spin");
+  ASSERT_NE(SpinCall, nullptr);
+  EXPECT_FALSE(SpinCall->CanTriggerGc);
+  const CallSiteInfo *BuildCall = findDirectSite(*C.P, "build", "build");
+  ASSERT_NE(BuildCall, nullptr);
+  EXPECT_TRUE(BuildCall->CanTriggerGc);
+  EXPECT_GT(C.P->GcPoints.SitesCannotTrigger, 0u);
+  EXPECT_GT(C.P->Image.omittedGcWords(), 0u);
+}
+
+TEST(GcPoints, TransitiveAllocationPropagates) {
+  std::string Src =
+      "fun mk (n : int) : int list = [n];\n"
+      "fun outer (n : int) : int list = mk n;\n"
+      "fun caller (n : int) : int list = outer n;\n"
+      "caller 1";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  const CallSiteInfo *S = findDirectSite(*C.P, "caller", "outer");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->CanTriggerGc);
+  EXPECT_TRUE(C.P->GcPoints.MayCollect[findFunction(C.P->Prog, "caller")]);
+}
+
+TEST(GcPoints, IndirectCallsAreConservative) {
+  std::string Src =
+      "fun apply (f : int -> int) (x : int) : int = f x;\n"
+      "fun lenOf (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(_, r) => 1 + lenOf r;\n"
+      "apply (fn x => lenOf [x, x]) 3";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Apply = findFunction(C.P->Prog, "apply");
+  const CallSiteInfo *Indirect = nullptr;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Caller == Apply && S.Kind == SiteKind::Indirect)
+      Indirect = &S;
+  ASSERT_NE(Indirect, nullptr);
+  // Some closure allocates, so the indirect site may trigger.
+  EXPECT_TRUE(Indirect->CanTriggerGc);
+}
+
+TEST(GcPoints, AnalysisOffMarksEverything) {
+  std::string Src =
+      "fun spin (n : int) : int = if n = 0 then 0 else spin (n - 1);\n"
+      "spin 3";
+  CompileOptions O;
+  O.UseGcPointAnalysis = false;
+  auto C = compile(Src, O);
+  ASSERT_TRUE(C.P) << C.Error;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    EXPECT_TRUE(S.CanTriggerGc);
+  EXPECT_EQ(C.P->Image.omittedGcWords(), 0u);
+}
+
+TEST(GcPoints, FixpointIterationsReported) {
+  auto C = compile("fun a (n : int) : int list = b n\n"
+                   "and b (n : int) : int list = c n\n"
+                   "and c (n : int) : int list = [n];\n"
+                   "a 1");
+  ASSERT_TRUE(C.P) << C.Error;
+  EXPECT_GE(C.P->GcPoints.FixpointIterations, 2u);
+}
+
+TEST(Reconstruct, PathsPointIntoFunctionTypes) {
+  std::string Src = "fun map f xs = case xs of Nil => Nil "
+                    "| Cons(x, r) => Cons(f x, map f r);\n"
+                    "map (fn x => (x, x)) [1, 2]";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  ASSERT_TRUE(C.P->Recon.ok());
+  FuncId Map = findFunction(C.P->Prog, "map");
+  const IrFunction &F = C.P->Prog.fn(Map);
+  // map's type parameters must each be extractable from its fun type.
+  for (size_t I = 0; I < F.TypeParams.size(); ++I) {
+    const ClosureParamPath &P = C.P->Recon.Paths[Map][I];
+    ASSERT_TRUE(P.Found);
+    TypePath Expect;
+    ASSERT_TRUE(findTypePath(F.FunTy, F.TypeParams[I], Expect));
+    EXPECT_EQ(P.Path, Expect);
+  }
+}
+
+TEST(Reconstruct, ViolationNamesTheLambda) {
+  std::string Src = "fun hide xs = fn (n : int) => n + (case xs of Nil => 0 "
+                    "| Cons(_, _) => 1);\n"
+                    "(hide [true]) 3";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  ASSERT_FALSE(C.P->Recon.ok());
+  const IrFunction &F = C.P->Prog.fn(C.P->Recon.Violations[0].Fn);
+  EXPECT_TRUE(F.IsClosure);
+}
+
+TEST(Cfg, BranchesAndJoins) {
+  auto C = compile("fun f (b : bool) : int = if b then 1 else 2;\nf true");
+  ASSERT_TRUE(C.P) << C.Error;
+  // Smoke: compiled fine means CFG-based dataflow converged; check sites
+  // got trace sets assigned (possibly empty).
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    EXPECT_LE(S.TraceSlots.size(),
+              (size_t)C.P->Prog.fn(S.Caller).numSlots());
+}
+
+} // namespace

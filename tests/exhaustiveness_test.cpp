@@ -1,0 +1,87 @@
+//===- tests/exhaustiveness_test.cpp - Match exhaustiveness warnings -----===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+/// Type checks and returns the rendered warnings (empty if none).
+std::string warningsOf(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokenize(), Diags);
+  std::optional<Program> Ast = P.parseProgram();
+  EXPECT_TRUE(Ast.has_value()) << Diags.render();
+  if (!Ast)
+    return "<parse error>";
+  TypeContext Ctx;
+  TypeChecker Checker(Ctx, Diags, false);
+  EXPECT_TRUE(Checker.check(*Ast).has_value()) << Diags.render();
+  std::string Out;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Warning)
+      Out += D.Message + "\n";
+  return Out;
+}
+
+TEST(Exhaustiveness, CompleteDatatypeMatchIsSilent) {
+  EXPECT_EQ(warningsOf("case [1] of Nil => 0 | Cons(_, _) => 1"), "");
+}
+
+TEST(Exhaustiveness, CatchAllIsSilent) {
+  EXPECT_EQ(warningsOf("case [1] of Cons(x, _) => x | _ => 0"), "");
+  EXPECT_EQ(warningsOf("case 3 of 1 => 10 | n => n"), "");
+}
+
+TEST(Exhaustiveness, MissingCtorWarns) {
+  std::string W = warningsOf("case [1] of Cons(x, _) => x");
+  EXPECT_NE(W.find("non-exhaustive"), std::string::npos);
+  EXPECT_NE(W.find("Nil"), std::string::npos);
+}
+
+TEST(Exhaustiveness, MissingCtorNamedExactly) {
+  std::string Src =
+      "datatype shape = Point | Circle of float | Rect of float * float;\n"
+      "case Point of Point => 1 | Circle _ => 2";
+  std::string W = warningsOf(Src);
+  EXPECT_NE(W.find("Rect"), std::string::npos);
+  EXPECT_EQ(W.find("Circle"), std::string::npos);
+}
+
+TEST(Exhaustiveness, BoolNeedsBothArms) {
+  EXPECT_EQ(warningsOf("case 1 < 2 of true => 1 | false => 0"), "");
+  std::string W = warningsOf("case 1 < 2 of true => 1");
+  EXPECT_NE(W.find("false"), std::string::npos);
+}
+
+TEST(Exhaustiveness, IntLiteralsNeverCover) {
+  std::string W = warningsOf("case 3 of 1 => 10 | 2 => 20");
+  EXPECT_NE(W.find("catch-all"), std::string::npos);
+}
+
+TEST(Exhaustiveness, TupleOfVarsIsIrrefutable) {
+  EXPECT_EQ(warningsOf("case (1, 2) of (a, b) => a + b"), "");
+}
+
+TEST(Exhaustiveness, NestedRefutableArgIsNotComplete) {
+  // Cons(1, _) only covers part of Cons's space.
+  std::string W = warningsOf("case [1] of Nil => 0 | Cons(1, _) => 1");
+  EXPECT_NE(W.find("Cons"), std::string::npos);
+}
+
+TEST(Exhaustiveness, SingleCtorDatatypePatternIsIrrefutable) {
+  std::string Src = "datatype box = B of int;\n"
+                    "case B 3 of B n => n";
+  EXPECT_EQ(warningsOf(Src), "");
+}
+
+TEST(Exhaustiveness, WarningsDoNotBlockExecution) {
+  ExecResult R = execProgram("case [1, 2] of Cons(x, _) => x",
+                             GcStrategy::CompiledTagFree);
+  ASSERT_TRUE(R.Run.Ok) << R.CompileError << R.Run.Error;
+  EXPECT_EQ(R.Run.Value, "1");
+}
+
+} // namespace

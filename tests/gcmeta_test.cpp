@@ -1,0 +1,229 @@
+//===- tests/gcmeta_test.cpp - Descriptors, routines, code image ---------===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+TEST(Descriptors, DedupIsByGcShape) {
+  TypeContext Ctx;
+  DescriptorTable T(Ctx);
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  Type *IntList2 = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  EXPECT_EQ(T.getOrCreate(IntList), T.getOrCreate(IntList2));
+  // int list and bool list share a descriptor: the collector treats all
+  // single-word non-pointers alike.
+  EXPECT_EQ(T.getOrCreate(IntList),
+            T.getOrCreate(Ctx.makeData(Ctx.listInfo(), {Ctx.boolTy()})));
+  // A list of lists has a different shape.
+  EXPECT_NE(T.getOrCreate(IntList),
+            T.getOrCreate(Ctx.makeData(Ctx.listInfo(), {IntList})));
+}
+
+TEST(Descriptors, LeavesCollapse) {
+  TypeContext Ctx;
+  DescriptorTable T(Ctx);
+  EXPECT_EQ(T.getOrCreate(Ctx.intTy()), T.getOrCreate(Ctx.boolTy()));
+  EXPECT_EQ(T.getOrCreate(Ctx.unitTy()), T.leafId());
+  EXPECT_EQ(T.getOrCreate(Ctx.floatTy()), T.leafId());
+}
+
+TEST(Descriptors, AllNullaryDatatypeIsLeaf) {
+  TypeContext Ctx;
+  DatatypeInfo *Color = Ctx.createDatatype("color", 0);
+  Ctx.addCtor(Color, "Red", {});
+  Ctx.addCtor(Color, "Blue", {});
+  DescriptorTable T(Ctx);
+  EXPECT_EQ(T.getOrCreate(Ctx.makeData(Color, {})), T.leafId());
+}
+
+TEST(Descriptors, CtorShapesUseParams) {
+  TypeContext Ctx;
+  DescriptorTable T(Ctx);
+  // list shape: Nil has no fields; Cons has [Param0, Data(list, Param0)].
+  const auto &NilShape = T.ctorShape(Ctx.listInfo()->Id, 0);
+  EXPECT_TRUE(NilShape.empty());
+  const auto &ConsShape = T.ctorShape(Ctx.listInfo()->Id, 1);
+  ASSERT_EQ(ConsShape.size(), 2u);
+  EXPECT_EQ(T.desc(ConsShape[0]).Kind, DescKind::Param);
+  EXPECT_EQ(T.desc(ConsShape[1]).Kind, DescKind::Data);
+}
+
+TEST(Descriptors, SizeBytesGrowsWithTypes) {
+  TypeContext Ctx;
+  DescriptorTable T(Ctx);
+  size_t S0 = T.sizeBytes();
+  T.getOrCreate(Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()}));
+  EXPECT_GT(T.sizeBytes(), S0);
+}
+
+TEST(CompiledMeta, NoTraceIsShared) {
+  // Many sites with nothing to trace share one frame routine (the paper's
+  // single no_trace).
+  auto C = compile("fun build (n : int) : int list = if n = 0 then [] "
+                   "else n :: build (n - 1);\n"
+                   "fun a (n : int) : int list = build n;\n"
+                   "fun b (n : int) : int list = build (n + 1);\n"
+                   "(a 1, b 1)");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId A = findFunction(C.P->Prog, "a"), B = findFunction(C.P->Prog, "b");
+  uint32_t FrameA = ~0u, FrameB = ~0u;
+  for (const CallSiteInfo &S : C.P->Prog.Sites) {
+    if (S.Kind != SiteKind::Direct)
+      continue;
+    if (S.Caller == A)
+      FrameA = C.P->Compiled.siteFrameId(S.Id);
+    if (S.Caller == B)
+      FrameB = C.P->Compiled.siteFrameId(S.Id);
+  }
+  ASSERT_NE(FrameA, ~0u);
+  ASSERT_NE(FrameB, ~0u);
+  EXPECT_EQ(FrameA, FrameB);
+  EXPECT_TRUE(C.P->Compiled.siteRoutine(0).isNoTrace() ||
+              C.P->Compiled.numNoTraceSites() > 0);
+}
+
+TEST(CompiledMeta, LeafFieldsGenerateNoActions) {
+  // The tuple must be live across an allocating call so its routine is
+  // actually generated.
+  auto C = compile(
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "fun sum (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(x, r) => x + sum r;\n"
+      "fun f (t : int * int * int) : int =\n"
+      "  sum (build 3) + (case t of (a, _, _) => a);\n"
+      "f (1, 2, 3)");
+  ASSERT_TRUE(C.P) << C.Error;
+  // Find the Record routine for (int * int * int): no field actions.
+  bool Found = false;
+  for (size_t I = 0; I < C.P->Compiled.numTypeRoutines(); ++I) {
+    const TypeRoutine &R = C.P->Compiled.routine((RoutineId)I);
+    if (R.F == TypeRoutine::Form::Record && R.PayloadWords == 3) {
+      EXPECT_TRUE(R.Fields.empty());
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CompiledMeta, RecursiveTypeRoutineTiesKnot) {
+  auto C = compile("[1, 2]");
+  ASSERT_TRUE(C.P) << C.Error;
+  // The int list routine's Cons tail action points at itself.
+  bool Found = false;
+  for (size_t I = 0; I < C.P->Compiled.numTypeRoutines(); ++I) {
+    const TypeRoutine &R = C.P->Compiled.routine((RoutineId)I);
+    if (R.F != TypeRoutine::Form::DataSwitch)
+      continue;
+    for (const auto &Ctor : R.CtorFields)
+      for (const FieldAction &A : Ctor)
+        if (A.Routine == (RoutineId)I)
+          Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CompiledMeta, VariantRecordSwitchHasPerCtorSizes) {
+  auto C = compile(
+      "datatype shape = Point | Circle of float | Rect of float * float;\n"
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "fun len (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(_, r) => 1 + len r;\n"
+      "fun f (s : shape) : int =\n"
+      "  len (build 2) + (case s of Point => 0 | Circle _ => 1 "
+      "| Rect(_, _) => 2);\n"
+      "f (Rect(1.0, 2.0))");
+  ASSERT_TRUE(C.P) << C.Error;
+  bool Found = false;
+  for (size_t I = 0; I < C.P->Compiled.numTypeRoutines(); ++I) {
+    const TypeRoutine &R = C.P->Compiled.routine((RoutineId)I);
+    if (R.F == TypeRoutine::Form::DataSwitch && R.CtorSizes.size() == 3) {
+      EXPECT_EQ(R.CtorSizes[0], 1u); // Point: just the discriminant.
+      EXPECT_EQ(R.CtorSizes[1], 2u); // Circle of float.
+      EXPECT_EQ(R.CtorSizes[2], 3u); // Rect of float * float.
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CompiledMeta, InterpretedIsSmallerThanCompiled) {
+  // The trade-off the paper poses in section 2.4: descriptors dedup
+  // program-wide, compiled routines multiply per call site.
+  auto C = compile(
+      "datatype shape = Point | Circle of float | Rect of float * float;\n"
+      "fun area (s : shape) : float = case s of Point => 0.0 "
+      "| Circle r => r *. r | Rect(w, h) => w *. h;\n"
+      "fun consume (ss : shape list) (acc : float) : float = case ss of "
+      "Nil => acc | Cons(s, r) => consume r (acc +. area s);\n"
+      "fun seed (i : int) : shape list = if i = 0 then [] "
+      "else Circle (real i) :: seed (i - 1);\n"
+      "consume (seed 5) 0.0");
+  ASSERT_TRUE(C.P) << C.Error;
+  EXPECT_LT(C.P->Interp->sizeBytes(), C.P->Compiled.sizeBytes());
+}
+
+TEST(CodeImage, Figure1Layout) {
+  auto C = compile("fun build (n : int) : int list = if n = 0 then [] "
+                   "else n :: build (n - 1);\nbuild 3");
+  ASSERT_TRUE(C.P) << C.Error;
+  const CodeImage &Img = C.P->Image;
+  // The word before every function entry holds its closure metadata.
+  for (const IrFunction &F : C.P->Prog.Functions) {
+    EXPECT_EQ(Img.functionAt(F.EntryAddr), F.Id);
+    EXPECT_EQ(Img.closureMetaAt(F.EntryAddr), (Word)F.Id);
+  }
+  // Call sites: gc_word two words after the call, resume at three
+  // (the paper's n+8 / n+12 bytes).
+  EXPECT_EQ(CodeImage::GcWordOffset, 2u);
+  EXPECT_EQ(CodeImage::ResumeOffset, 3u);
+  for (const CallSiteInfo &S : C.P->Prog.Sites) {
+    if (S.CanTriggerGc)
+      EXPECT_EQ(Img.gcWordAt(S.CodeAddr), (Word)S.Id);
+    else
+      EXPECT_EQ(Img.gcWordAt(S.CodeAddr), CodeImage::OmittedGcWord);
+  }
+}
+
+TEST(CodeImage, GcWordAccounting) {
+  auto C = compile("fun spin (n : int) : int = if n = 0 then 0 "
+                   "else spin (n - 1);\n"
+                   "fun mk (n : int) : int list = [n];\n"
+                   "(spin 2, mk 2)");
+  ASSERT_TRUE(C.P) << C.Error;
+  size_t Total = C.P->Prog.Sites.size();
+  EXPECT_EQ(C.P->Image.omittedGcWords() +
+                C.P->Image.gcWordBytes() / sizeof(Word),
+            Total);
+  EXPECT_GT(C.P->Image.omittedGcWords(), 0u);
+}
+
+TEST(AppelMeta, CoversEverySlot) {
+  auto C = compile("fun f (xs : int list) (n : int) : int =\n"
+                   "  let val a = [n] val b = (n, xs) in n end;\nf [1] 2");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId F = findFunction(C.P->Prog, "f");
+  const FrameDescriptor &FD = C.P->Appel->procDescriptor(F);
+  // Every pointer-holding slot appears, live or dead.
+  size_t PointerSlots = 0;
+  for (Type *T : C.P->Prog.fn(F).SlotTypes)
+    if (!isGroundType(T) || !isGcLeafType(T))
+      ++PointerSlots;
+  EXPECT_EQ(FD.Slots.size() + FD.Open.size(), PointerSlots);
+}
+
+TEST(MetadataSizes, TaggedIsZeroMetadata) {
+  // The tagged strategy needs no per-program tables; its cost is per
+  // object (headers) and per word (tag bits) instead — E2/E4 report that.
+  auto C = compile("[1, 2, 3]");
+  ASSERT_TRUE(C.P) << C.Error;
+  EXPECT_GT(C.P->Compiled.sizeBytes(), 0u);
+  EXPECT_GT(C.P->Interp->sizeBytes(), 0u);
+  EXPECT_GT(C.P->Appel->sizeBytes(), 0u);
+}
+
+} // namespace

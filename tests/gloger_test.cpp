@@ -1,0 +1,89 @@
+//===- tests/gloger_test.cpp - Goldberg & Gloger '92 dummy routines -------===//
+///
+/// The '91 paper cannot collect a closure whose captured value's type
+/// variable is invisible in its function type. Goldberg & Gloger '92
+/// observed that such values can never be inspected again, so the missing
+/// type-GC routines may be bound to a dummy. CompileOptions::GlogerDummies
+/// enables that rule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+/// `hide` captures xs : 'a list inside an int -> int lambda; 'a is
+/// unreconstructible. The captured list's *elements* are never inspected;
+/// only `len` walks the spine — but note len is polymorphic in 'a, so
+/// even the spine walk never looks at an element.
+std::string hideProgram() {
+  return "fun len xs = case xs of Nil => 0 | Cons(_, r) => 1 + len r;\n"
+         "fun build (n : int) : int list = if n = 0 then [] "
+         "else n :: build (n - 1);\n"
+         "fun hide xs = fn (n : int) => n + len xs;\n"
+         "val f = hide [true, false, true];\n"
+         "fun lp (i : int) (acc : int) : int =\n"
+         "  if i = 0 then acc\n"
+         "  else lp (i - 1) (acc + f i + len (build 40));\n"
+         "lp 30 0";
+}
+
+CompileOptions glogerOpts() {
+  CompileOptions O;
+  O.GlogerDummies = true;
+  return O;
+}
+
+TEST(Gloger, RejectedWithoutTheOption) {
+  ExecResult R = execProgram(hideProgram(), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  EXPECT_FALSE(R.CompileOk);
+  EXPECT_NE(R.CompileError.find("not collectible tag-free"),
+            std::string::npos);
+}
+
+TEST(Gloger, CollectsWithDummies) {
+  ExecResult Ref = execProgram(hideProgram(), GcStrategy::Tagged,
+                               GcAlgorithm::Copying, 1 << 20, false);
+  ASSERT_TRUE(Ref.Run.Ok) << Ref.Run.Error;
+
+  for (GcStrategy S :
+       {GcStrategy::CompiledTagFree, GcStrategy::InterpretedTagFree,
+        GcStrategy::AppelTagFree}) {
+    ExecResult R = execProgram(hideProgram(), S, GcAlgorithm::Copying,
+                               1 << 12, true, glogerOpts());
+    ASSERT_TRUE(R.Run.Ok)
+        << gcStrategyName(S) << ": " << R.CompileError << R.Run.Error;
+    EXPECT_EQ(R.Run.Value, Ref.Run.Value) << gcStrategyName(S);
+    EXPECT_GT(R.St.get("gc.gloger_dummies"), 0u) << gcStrategyName(S);
+  }
+}
+
+TEST(Gloger, ReconstructiblesStillUseRealRoutines) {
+  // A fully reconstructible program under the option behaves as before:
+  // no dummies are ever bound.
+  std::string Src =
+      "fun map f xs = case xs of Nil => Nil | Cons(x, r) => "
+      "Cons(f x, map f r);\n"
+      "fun sum (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(x, r) => x + sum r;\n"
+      "sum (map (fn x => x + 1) [1, 2, 3])";
+  ExecResult R = execProgram(Src, GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true,
+                             glogerOpts());
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+  EXPECT_EQ(R.Run.Value, "9");
+  EXPECT_EQ(R.St.get("gc.gloger_dummies"), 0u);
+}
+
+TEST(Gloger, SurvivesMarkSweepToo) {
+  ExecResult R = execProgram(hideProgram(), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::MarkSweep, 1 << 12, true,
+                             glogerOpts());
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- tests/infer_test.cpp -----------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+/// Type checks and returns the rendered type of the main expression, or
+/// "<error: ...>" on failure.
+std::string typeOf(const std::string &Source, bool Mono = false) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.tokenize(), Diags);
+  std::optional<Program> Ast = P.parseProgram();
+  if (!Ast)
+    return "<error: " + Diags.render() + ">";
+  TypeContext Ctx;
+  TypeChecker Checker(Ctx, Diags, Mono);
+  if (!Checker.check(*Ast))
+    return "<error: " + Diags.render() + ">";
+  return Ctx.render(Ast->Main->Ty);
+}
+
+bool typeErrors(const std::string &Source, const std::string &Needle = "",
+                bool Mono = false) {
+  std::string T = typeOf(Source, Mono);
+  if (T.substr(0, 7) != "<error:")
+    return false;
+  return Needle.empty() || T.find(Needle) != std::string::npos;
+}
+
+TEST(Infer, Literals) {
+  EXPECT_EQ(typeOf("42"), "int");
+  EXPECT_EQ(typeOf("3.14"), "float");
+  EXPECT_EQ(typeOf("true"), "bool");
+  EXPECT_EQ(typeOf("()"), "unit");
+}
+
+TEST(Infer, Arithmetic) {
+  EXPECT_EQ(typeOf("1 + 2 * 3"), "int");
+  EXPECT_EQ(typeOf("1.0 +. 2.0"), "float");
+  EXPECT_EQ(typeOf("1 < 2"), "bool");
+  EXPECT_EQ(typeOf("1.5 <. 2.5"), "bool");
+}
+
+TEST(Infer, MixedArithmeticFails) {
+  EXPECT_TRUE(typeErrors("1 + 2.0", "type mismatch"));
+  EXPECT_TRUE(typeErrors("1.0 + 2.0"));
+  EXPECT_TRUE(typeErrors("1 +. 2"));
+}
+
+TEST(Infer, RealConversion) {
+  EXPECT_EQ(typeOf("real 3"), "float");
+  EXPECT_EQ(typeOf("real 3 +. 1.0"), "float");
+}
+
+TEST(Infer, Lists) {
+  EXPECT_EQ(typeOf("[1, 2, 3]"), "(int) list");
+  EXPECT_EQ(typeOf("true :: []"), "(bool) list");
+  EXPECT_EQ(typeOf("[[1], [2]]"), "((int) list) list");
+  EXPECT_TRUE(typeErrors("[1, true]"));
+}
+
+TEST(Infer, EmptyListDefaultsToUnit) {
+  // A lone Nil has no constraint; the finalize pass grounds it.
+  EXPECT_EQ(typeOf("[]"), "(unit) list");
+}
+
+TEST(Infer, Tuples) {
+  EXPECT_EQ(typeOf("(1, true, 2.0)"), "(int * bool * float)");
+}
+
+TEST(Infer, IfBranchesMustAgree) {
+  EXPECT_EQ(typeOf("if true then 1 else 2"), "int");
+  EXPECT_TRUE(typeErrors("if true then 1 else false", "between if branches"));
+  EXPECT_TRUE(typeErrors("if 1 then 2 else 3", "in if condition"));
+}
+
+TEST(Infer, MonomorphicFunction) {
+  EXPECT_EQ(typeOf("fun inc (x : int) : int = x + 1; inc 3"), "int");
+}
+
+TEST(Infer, PolymorphicIdentity) {
+  EXPECT_EQ(typeOf("fun id x = x; (id 1, id true)"), "(int * bool)");
+}
+
+TEST(Infer, PolymorphicAppend) {
+  std::string Src = "fun append xs ys = case xs of Nil => ys "
+                    "| Cons(x, r) => x :: append r ys;"
+                    "(append [1] [2], append [true] [])";
+  EXPECT_EQ(typeOf(Src), "((int) list * (bool) list)");
+}
+
+TEST(Infer, MonomorphicModeRejectsPolymorphism) {
+  EXPECT_TRUE(typeErrors("fun id x = x; id 1", "polymorphic", /*Mono=*/true));
+  EXPECT_EQ(typeOf("fun inc (x : int) = x + 1; inc 1", /*Mono=*/true), "int");
+}
+
+TEST(Infer, UnboundVariable) {
+  EXPECT_TRUE(typeErrors("nope", "unbound variable 'nope'"));
+}
+
+TEST(Infer, ArityMismatch) {
+  EXPECT_TRUE(typeErrors("fun f (x : int) (y : int) = x + y; f 1",
+                         "uncurried"));
+  EXPECT_TRUE(typeErrors("fun f (x : int) = x; f 1 2"));
+}
+
+TEST(Infer, OccursCheck) {
+  EXPECT_TRUE(typeErrors("fun f x = f; f 1"));
+}
+
+TEST(Infer, Datatypes) {
+  std::string D = "datatype shape = Point | Circle of float;";
+  EXPECT_EQ(typeOf(D + "Circle 1.0"), "shape");
+  EXPECT_EQ(typeOf(D + "Point"), "shape");
+  EXPECT_TRUE(typeErrors(D + "Circle true"));
+  EXPECT_TRUE(typeErrors(D + "Circle (1.0, 2.0)", "expects 1"));
+}
+
+TEST(Infer, ParameterizedDatatype) {
+  std::string D = "datatype ('a, 'b) pair2 = P of 'a * 'b;";
+  EXPECT_EQ(typeOf(D + "P (1, true)"), "(int, bool) pair2");
+}
+
+TEST(Infer, RecursiveDatatype) {
+  std::string D = "datatype tree = Leaf | Node of tree * int * tree;";
+  EXPECT_EQ(typeOf(D + "Node(Leaf, 3, Node(Leaf, 4, Leaf))"), "tree");
+}
+
+TEST(Infer, CasePatternTyping) {
+  EXPECT_EQ(typeOf("case [1] of Nil => 0 | Cons(x, _) => x"), "int");
+  EXPECT_TRUE(typeErrors("case [1] of Nil => 0 | Cons(x, _) => true"));
+  EXPECT_TRUE(typeErrors("case 1 of Nil => 0 | _ => 1"));
+}
+
+TEST(Infer, DuplicatePatternVariable) {
+  EXPECT_TRUE(typeErrors("case (1, 2) of (x, x) => x", "duplicate variable"));
+}
+
+TEST(Infer, UnknownConstructor) {
+  EXPECT_TRUE(typeErrors("Bogus 3", "unknown constructor"));
+}
+
+TEST(Infer, Refs) {
+  EXPECT_EQ(typeOf("ref 1"), "int ref");
+  EXPECT_EQ(typeOf("!(ref 1)"), "int");
+  EXPECT_EQ(typeOf("let val r = ref 1 in r := 2 end"), "unit");
+  EXPECT_TRUE(typeErrors("let val r = ref 1 in r := true end"));
+}
+
+TEST(Infer, ValBindingsAreMonomorphic) {
+  // `val` never generalizes, so one use at int pins the other.
+  EXPECT_TRUE(typeErrors(
+      "fun id x = x; val i = id; (i 1, i true)"));
+}
+
+TEST(Infer, AnnotationChecks) {
+  EXPECT_EQ(typeOf("(1 : int)"), "int");
+  EXPECT_TRUE(typeErrors("(1 : bool)", "with type annotation"));
+  EXPECT_EQ(typeOf("([] : int list)"), "(int) list");
+}
+
+TEST(Infer, AnnotationTyVarsShareScopePerDecl) {
+  EXPECT_EQ(
+      typeOf("fun fst ((x : 'a), (y : 'b)) : 'a = x; fst (1, true)"), "int");
+}
+
+TEST(Infer, LambdaIsMonomorphic) {
+  EXPECT_EQ(typeOf("(fn x => x + 1) 3"), "int");
+}
+
+TEST(Infer, HigherOrder) {
+  std::string Src = "fun map f xs = case xs of Nil => Nil "
+                    "| Cons(x, r) => Cons(f x, map f r);"
+                    "map (fn x => x * 2) [1, 2]";
+  EXPECT_EQ(typeOf(Src), "(int) list");
+}
+
+TEST(Infer, PrintTyping) {
+  EXPECT_EQ(typeOf("print 3"), "unit");
+  EXPECT_TRUE(typeErrors("print true"));
+}
+
+TEST(Infer, RedeclaredDatatype) {
+  EXPECT_TRUE(typeErrors("datatype t = A; datatype t = B; 1", "redeclared"));
+}
+
+TEST(Infer, ShadowingWorks) {
+  EXPECT_EQ(typeOf("let val x = 1 in let val x = true in x end end"),
+            "bool");
+}
+
+} // namespace

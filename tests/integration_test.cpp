@@ -1,0 +1,131 @@
+//===- tests/integration_test.cpp - Workloads under every strategy -------===//
+///
+/// Every workload program must produce identical results under all four
+/// strategies and both heap algorithms, with and without GC stress.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/Programs.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+TEST(Integration, ListChurn) {
+  runAllStrategies(wl::listChurn(40, 20));
+}
+
+TEST(Integration, BinaryTrees) {
+  runAllStrategies(wl::binaryTrees(6, 4));
+}
+
+TEST(Integration, NQueens) {
+  EXPECT_EQ(runAllStrategies(wl::nqueens(6), 1 << 14, false), "4");
+}
+
+TEST(Integration, AppendPaper) {
+  EXPECT_EQ(runAllStrategies(wl::appendPaper(50)),
+            std::to_string(2 * (50 * 51 / 2)));
+}
+
+TEST(Integration, ArithKernel) {
+  runAllStrategies(wl::arithKernel(5000));
+}
+
+TEST(Integration, FloatKernel) {
+  runAllStrategies(wl::floatKernel(20, 10));
+}
+
+TEST(Integration, VariantRecords) {
+  runAllStrategies(wl::variantRecords(60));
+}
+
+TEST(Integration, HigherOrder) {
+  runAllStrategies(wl::higherOrder(40));
+}
+
+TEST(Integration, RefCells) {
+  runAllStrategies(wl::refCells(200));
+}
+
+TEST(Integration, PolyDeep) {
+  runAllStrategies(wl::polyDeep(40, 30));
+}
+
+TEST(Integration, PolyPaper) {
+  std::string V = runAllStrategies(wl::polyPaper());
+  EXPECT_EQ(V, "((([true], [true]), [3]), ((7, 7), [3]), 4, 3)");
+}
+
+TEST(Integration, DeadVars) {
+  runAllStrategies(wl::deadVars(100, 200));
+}
+
+TEST(Integration, SymbolicDiff) {
+  // d/dx (x^4 + 3x^2 + 7x + 5) = 4x^3 + 6x + 7; at x=2: 32+12+7 = 51,
+  // summed over 40 rounds.
+  EXPECT_EQ(runAllStrategies(wl::symbolicDiff(1)), std::to_string(40 * 51));
+  // Second derivative 12x^2 + 6; at 2: 54.
+  EXPECT_EQ(runAllStrategies(wl::symbolicDiff(2)), std::to_string(40 * 54));
+  runAllStrategies(wl::symbolicDiff(4));
+}
+
+TEST(Integration, TinyHeapForcesGrowth) {
+  // Start with a heap too small for the live set; growth must kick in.
+  for (GcStrategy S : AllStrategies) {
+    ExecResult R = execProgram(wl::listChurn(200, 2), S,
+                               GcAlgorithm::Copying, 512, false);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    EXPECT_GT(R.St.get("gc.heap_growths"), 0u) << gcStrategyName(S);
+  }
+}
+
+TEST(Integration, LivenessOffMatchesResults) {
+  // Disabling the liveness analysis changes retention, never results.
+  CompileOptions NoLive;
+  NoLive.UseLiveness = false;
+  for (GcStrategy S : AllStrategies) {
+    ExecResult R = execProgram(wl::listChurn(30, 5), S, GcAlgorithm::Copying,
+                               1 << 14, true, NoLive);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    EXPECT_EQ(R.Run.Value,
+              runValue(wl::listChurn(30, 5), S, GcAlgorithm::Copying));
+  }
+}
+
+TEST(Integration, GcPointAnalysisOffMatchesResults) {
+  CompileOptions NoGcPoints;
+  NoGcPoints.UseGcPointAnalysis = false;
+  for (GcStrategy S : AllStrategies) {
+    ExecResult R = execProgram(wl::binaryTrees(5, 2), S, GcAlgorithm::Copying,
+                               1 << 14, true, NoGcPoints);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+  }
+}
+
+TEST(Integration, MonomorphicModeRunsMonoWorkloads) {
+  CompileOptions Mono;
+  Mono.RequireMonomorphic = true;
+  ExecResult R = execProgram(wl::listChurn(20, 3), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 14, false, Mono);
+  EXPECT_TRUE(R.Run.Ok) << R.CompileError << R.Run.Error;
+}
+
+TEST(Integration, TaggedRetainsMoreThanLiveCompiled) {
+  // E5's shape as a hard invariant: with a dead large structure, the
+  // liveness-aware compiled collector must retain no more than the tagged
+  // collector (which scans every slot).
+  std::string Src = wl::deadVars(400, 400);
+  ExecResult Tagged = execProgram(Src, GcStrategy::Tagged,
+                                  GcAlgorithm::Copying, 1 << 20, true);
+  ExecResult Live = execProgram(Src, GcStrategy::CompiledTagFree,
+                                GcAlgorithm::Copying, 1 << 20, true);
+  ASSERT_TRUE(Tagged.Run.Ok && Live.Run.Ok);
+  EXPECT_LE(Live.St.get("gc.words_visited"),
+            Tagged.St.get("gc.words_visited"));
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/lexer_test.cpp -----------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tfgc;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, bool ExpectErrors = false) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Tokens = L.tokenize();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.render();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Ts) {
+  std::vector<TokenKind> Ks;
+  for (const Token &T : Ts)
+    Ks.push_back(T.Kind);
+  return Ks;
+}
+
+TEST(Lexer, Empty) {
+  auto Ts = lex("");
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Integers) {
+  auto Ts = lex("0 42 1234567890123");
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].IntValue, 0);
+  EXPECT_EQ(Ts[1].IntValue, 42);
+  EXPECT_EQ(Ts[2].IntValue, 1234567890123ll);
+}
+
+TEST(Lexer, Floats) {
+  auto Ts = lex("3.14 1.0e3 2.5e-2");
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::FloatLit);
+  EXPECT_DOUBLE_EQ(Ts[0].FloatValue, 3.14);
+  EXPECT_DOUBLE_EQ(Ts[1].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Ts[2].FloatValue, 0.025);
+}
+
+TEST(Lexer, IntegerFollowedByIdent) {
+  // "1e" with no exponent digits is the int 1 then identifier e.
+  auto Ts = lex("1e");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::IntLit);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Ident);
+  EXPECT_EQ(Ts[1].Text, "e");
+}
+
+TEST(Lexer, IdentifiersAndCase) {
+  auto Ts = lex("append Cons xs' x_1");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::CapIdent);
+  EXPECT_EQ(Ts[1].Text, "Cons");
+  EXPECT_EQ(Ts[2].Text, "xs'");
+  EXPECT_EQ(Ts[3].Text, "x_1");
+}
+
+TEST(Lexer, Keywords) {
+  auto Ts = lex("let in end fun val if then else case of fn datatype");
+  std::vector<TokenKind> Expect = {
+      TokenKind::KwLet,  TokenKind::KwIn,   TokenKind::KwEnd,
+      TokenKind::KwFun,  TokenKind::KwVal,  TokenKind::KwIf,
+      TokenKind::KwThen, TokenKind::KwElse, TokenKind::KwCase,
+      TokenKind::KwOf,   TokenKind::KwFn,   TokenKind::KwDatatype,
+      TokenKind::Eof};
+  EXPECT_EQ(kinds(Ts), Expect);
+}
+
+TEST(Lexer, TyVars) {
+  auto Ts = lex("'a 'elem");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::TyVar);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "elem");
+}
+
+TEST(Lexer, Operators) {
+  auto Ts = lex(":= :: : -> => = <> <= >= < > + - * / +. -. *. /. <. =. ! ~");
+  std::vector<TokenKind> Expect = {
+      TokenKind::Assign,    TokenKind::ColonColon, TokenKind::Colon,
+      TokenKind::Arrow,     TokenKind::DArrow,     TokenKind::Equal,
+      TokenKind::NotEqual,  TokenKind::LessEq,     TokenKind::GreaterEq,
+      TokenKind::Less,      TokenKind::Greater,    TokenKind::Plus,
+      TokenKind::Minus,     TokenKind::Star,       TokenKind::Slash,
+      TokenKind::FPlus,     TokenKind::FMinus,     TokenKind::FStar,
+      TokenKind::FSlash,    TokenKind::FLess,      TokenKind::FEqual,
+      TokenKind::Bang,      TokenKind::Tilde,      TokenKind::Eof};
+  EXPECT_EQ(kinds(Ts), Expect);
+}
+
+TEST(Lexer, Comments) {
+  auto Ts = lex("1 (* comment *) 2");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[1].IntValue, 2);
+}
+
+TEST(Lexer, NestedComments) {
+  auto Ts = lex("1 (* outer (* inner *) still outer *) 2");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[1].IntValue, 2);
+}
+
+TEST(Lexer, UnterminatedComment) {
+  lex("1 (* never closed", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, UnexpectedCharacter) {
+  auto Ts = lex("1 @ 2", /*ExpectErrors=*/true);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, SourceLocations) {
+  auto Ts = lex("a\n  bb\n   c");
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Col, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[1].Loc.Col, 3u);
+  EXPECT_EQ(Ts[2].Loc.Line, 3u);
+  EXPECT_EQ(Ts[2].Loc.Col, 4u);
+}
+
+TEST(Lexer, ListSugarTokens) {
+  auto Ts = lex("[1, 2]");
+  std::vector<TokenKind> Expect = {TokenKind::LBracket, TokenKind::IntLit,
+                                   TokenKind::Comma, TokenKind::IntLit,
+                                   TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(kinds(Ts), Expect);
+}
+
+TEST(Lexer, UnderscoreIsWildcard) {
+  auto Ts = lex("_ _x");
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Underscore);
+  // "_x" lexes as underscore then identifier? No: '_' starts a token of
+  // its own only when isolated; identifiers cannot start with '_'.
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Underscore);
+  EXPECT_EQ(Ts[2].Kind, TokenKind::Ident);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/lower_test.cpp - AST to IR lowering --------------------------===//
+
+#include "TestUtil.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+TEST(Lower, TopLevelFunsAreDirectCalls) {
+  auto C = compile("fun inc (x : int) : int = x + 1;\ninc 3");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Inc = findFunction(C.P->Prog, "inc");
+  ASSERT_NE(Inc, InvalidFunc);
+  EXPECT_FALSE(C.P->Prog.fn(Inc).IsClosure);
+  bool FoundDirect = false;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Kind == SiteKind::Direct && S.Callee == Inc)
+      FoundDirect = true;
+  EXPECT_TRUE(FoundDirect);
+}
+
+TEST(Lower, LambdasBecomeClosures) {
+  auto C = compile("let val k = 2 in (fn x => x + k) 1 end");
+  ASSERT_TRUE(C.P) << C.Error;
+  const IrFunction *Lambda = nullptr;
+  for (const IrFunction &F : C.P->Prog.Functions)
+    if (F.IsClosure)
+      Lambda = &F;
+  ASSERT_NE(Lambda, nullptr);
+  EXPECT_EQ(Lambda->EnvTypes.size(), 1u); // Captures k.
+  EXPECT_EQ(Lambda->EnvTypes[0]->resolved()->getKind(), TypeKind::Int);
+}
+
+TEST(Lower, NonCapturingLocalFunIsLifted) {
+  auto C = compile("let fun sq (x : int) : int = x * x in sq 4 end");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Sq = findFunction(C.P->Prog, "sq");
+  ASSERT_NE(Sq, InvalidFunc);
+  EXPECT_FALSE(C.P->Prog.fn(Sq).IsClosure);
+}
+
+TEST(Lower, CapturingLocalFunIsClosure) {
+  auto C = compile(
+      "let val k = 3 fun addk (x : int) : int = x + k in addk 1 end");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId AddK = findFunction(C.P->Prog, "addk");
+  ASSERT_NE(AddK, InvalidFunc);
+  EXPECT_TRUE(C.P->Prog.fn(AddK).IsClosure);
+}
+
+TEST(Lower, FunctionAsValueGetsStub) {
+  auto C = compile("fun double (x : int) : int = x * 2;\n"
+                   "fun apply (f : int -> int) (x : int) : int = f x;\n"
+                   "apply double 5");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Stub = findFunction(C.P->Prog, "double$stub");
+  ASSERT_NE(Stub, InvalidFunc);
+  EXPECT_TRUE(C.P->Prog.fn(Stub).IsClosure);
+  // apply's body calls through the closure.
+  FuncId Apply = findFunction(C.P->Prog, "apply");
+  bool FoundIndirect = false;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Kind == SiteKind::Indirect && S.Caller == Apply)
+      FoundIndirect = true;
+  EXPECT_TRUE(FoundIndirect);
+}
+
+TEST(Lower, StubsAreCached) {
+  auto C = compile("fun d (x : int) : int = x;\n"
+                   "fun ap (f : int -> int) : int = f 1;\n"
+                   "ap d + ap d");
+  ASSERT_TRUE(C.P) << C.Error;
+  int Stubs = 0;
+  for (const IrFunction &F : C.P->Prog.Functions)
+    if (F.Name == "d$stub")
+      ++Stubs;
+  EXPECT_EQ(Stubs, 1);
+}
+
+TEST(Lower, AllocationsCarrySites) {
+  auto C = compile("((1, 2), [3], ref 4, fn x => x + 1, 5.0)");
+  ASSERT_TRUE(C.P) << C.Error;
+  int Allocs = 0;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Kind == SiteKind::Alloc)
+      ++Allocs;
+  // Tuple inner + cons + ref + closure + float box + outer tuple.
+  EXPECT_GE(Allocs, 6);
+}
+
+TEST(Lower, NullaryCtorIsNotAnAllocation) {
+  auto C = compile("datatype c = Red | Green;\nRed");
+  ASSERT_TRUE(C.P) << C.Error;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Kind == SiteKind::Alloc) {
+      const Instr &I = C.P->Prog.fn(S.Caller).Code[S.InstrIdx];
+      EXPECT_NE(I.Op, Opcode::MakeData);
+    }
+}
+
+TEST(Lower, DirectSiteRecordsInstantiation) {
+  auto C = compile("fun id x = x;\n(id 1, id [true])");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Id = findFunction(C.P->Prog, "id");
+  const IrFunction &F = C.P->Prog.fn(Id);
+  ASSERT_EQ(F.TypeParams.size(), 1u);
+  std::vector<std::string> Insts;
+  for (const CallSiteInfo &S : C.P->Prog.Sites)
+    if (S.Kind == SiteKind::Direct && S.Callee == Id) {
+      ASSERT_EQ(S.CalleeTypeInst.size(), 1u);
+      Insts.push_back(C.P->Types->render(S.CalleeTypeInst[0]));
+    }
+  ASSERT_EQ(Insts.size(), 2u);
+  std::sort(Insts.begin(), Insts.end());
+  EXPECT_EQ(Insts[0], "(bool) list");
+  EXPECT_EQ(Insts[1], "int");
+}
+
+TEST(Lower, InstantiationOverCallerParamsPropagates) {
+  // g's element type at f's call site is written over f's own parameter.
+  auto C = compile("fun g xs = case xs of Nil => 0 | Cons(_, _) => 1;\n"
+                   "fun f ys = g ys;\n"
+                   "f [true]");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId G = findFunction(C.P->Prog, "g");
+  FuncId F = findFunction(C.P->Prog, "f");
+  const IrFunction &FFn = C.P->Prog.fn(F);
+  ASSERT_EQ(FFn.TypeParams.size(), 1u);
+  for (const CallSiteInfo &S : C.P->Prog.Sites) {
+    if (S.Kind != SiteKind::Direct || S.Caller != F || S.Callee != G)
+      continue;
+    ASSERT_EQ(S.CalleeTypeInst.size(), 1u);
+    EXPECT_EQ(S.CalleeTypeInst[0]->resolved(), FFn.TypeParams[0]);
+  }
+}
+
+TEST(Lower, IndirectSiteRecordsClosureType) {
+  auto C = compile("fun ap (f : int -> bool) : bool = f 1;\n"
+                   "ap (fn x => x > 0)");
+  ASSERT_TRUE(C.P) << C.Error;
+  FuncId Ap = findFunction(C.P->Prog, "ap");
+  for (const CallSiteInfo &S : C.P->Prog.Sites) {
+    if (S.Kind != SiteKind::Indirect || S.Caller != Ap)
+      continue;
+    ASSERT_NE(S.ClosureTy, nullptr);
+    EXPECT_EQ(C.P->Types->render(S.ClosureTy), "(int) -> bool");
+  }
+}
+
+TEST(Lower, PolymorphicLocalFunWithCapturesIsRejected) {
+  Compiled C = compile(
+      "fun outer (k : int) : int =\n"
+      "  let fun keep xs = (k, xs)\n"
+      "  in (case keep [1] of (a, _) => a) + (case keep [true] of (a, _) "
+      "=> a) end;\nouter 1");
+  EXPECT_EQ(C.P, nullptr);
+  EXPECT_NE(C.Error.find("polymorphic local function"), std::string::npos);
+}
+
+TEST(Lower, SlotTypesCoverEverySlot) {
+  auto C = compile("fun f (n : int) : int list = "
+                   "let val a = [n] val b = (n, a) in case b of (x, _) => "
+                   "[x] end;\nf 1");
+  ASSERT_TRUE(C.P) << C.Error;
+  for (const IrFunction &F : C.P->Prog.Functions) {
+    EXPECT_EQ(F.SlotTypes.size(), F.numSlots());
+    for (Type *T : F.SlotTypes)
+      EXPECT_NE(T, nullptr);
+  }
+}
+
+TEST(Lower, PrintIrIsStable) {
+  auto C = compile("fun inc (x : int) : int = x + 1;\ninc 1");
+  ASSERT_TRUE(C.P) << C.Error;
+  std::string S = printIr(C.P->Prog);
+  EXPECT_NE(S.find("fn"), std::string::npos);
+  EXPECT_NE(S.find("call"), std::string::npos);
+  EXPECT_NE(S.find("main"), std::string::npos);
+}
+
+TEST(Lower, MainReturnsBodyValue) {
+  auto C = compile("42");
+  ASSERT_TRUE(C.P) << C.Error;
+  const IrFunction &Main = C.P->Prog.fn(C.P->Prog.MainId);
+  ASSERT_FALSE(Main.Code.empty());
+  EXPECT_EQ(Main.Code.back().Op, Opcode::Return);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/poly_gc_test.cpp - Polymorphic collection (paper sec. 3) ----===//
+
+#include "TestUtil.h"
+#include "workloads/Programs.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+TEST(PolyGc, TypeGcClosuresAreBuiltDuringCollection) {
+  ExecResult R = execProgram(wl::polyPaper(), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+  EXPECT_GT(R.St.get("gc.tg_nodes"), 0u);
+}
+
+TEST(PolyGc, MonomorphicProgramsBuildNoTypeGcClosures) {
+  ExecResult R = execProgram(wl::listChurn(30, 3), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  ASSERT_TRUE(R.Run.Ok);
+  EXPECT_EQ(R.St.get("gc.tg_nodes"), 0u);
+}
+
+TEST(PolyGc, GoldbergTraversesWithPointerReversal) {
+  ExecResult R = execProgram(wl::polyDeep(50, 40), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  ASSERT_TRUE(R.Run.Ok);
+  EXPECT_GT(R.St.get("gc.ptr_reversal_steps"), 0u);
+  EXPECT_EQ(R.St.get("gc.chain_steps"), 0u); // Never walks caller chains.
+}
+
+TEST(PolyGc, AppelWalksDynamicChainsQuadratically) {
+  // Appel resolves each polymorphic frame by walking down to ground
+  // callers; with a depth-D stack of polymorphic frames, chain steps grow
+  // quadratically while Goldberg's stay zero.
+  ExecResult Shallow = execProgram(wl::polyDeep(20, 40),
+                                   GcStrategy::AppelTagFree,
+                                   GcAlgorithm::Copying, 1 << 12, true);
+  ExecResult Deep = execProgram(wl::polyDeep(40, 40),
+                                GcStrategy::AppelTagFree,
+                                GcAlgorithm::Copying, 1 << 12, true);
+  ASSERT_TRUE(Shallow.Run.Ok && Deep.Run.Ok);
+  uint64_t S = Shallow.St.get("gc.chain_steps");
+  uint64_t D = Deep.St.get("gc.chain_steps");
+  ASSERT_GT(S, 0u);
+  // Doubling the depth should much more than double the chain work.
+  EXPECT_GT(D, 3 * S);
+}
+
+TEST(PolyGc, ExtractionPathsExistForReconstructibleLambdas) {
+  auto C = compile(wl::polyPaper());
+  ASSERT_TRUE(C.P) << C.Error;
+  EXPECT_TRUE(C.P->Recon.ok());
+  // Every closure function's type parameters all have paths.
+  for (const IrFunction &F : C.P->Prog.Functions) {
+    if (!F.IsClosure)
+      continue;
+    for (const ClosureParamPath &P : C.P->Recon.Paths[F.Id])
+      EXPECT_TRUE(P.Found);
+  }
+}
+
+TEST(PolyGc, NonReconstructibleLambdaIsRejectedTagFree) {
+  // The lambda's captured value has type 'a, but its function type is
+  // int -> int: 'a cannot be recovered from the closure's type (the
+  // Goldberg '91 gap, closed by Goldberg & Gloger '92).
+  std::string Src = "fun len xs = case xs of Nil => 0 "
+                    "| Cons(_, r) => 1 + len r;\n"
+                    "fun hide xs = fn (n : int) => n + len xs;\n"
+                    "(hide [true]) 3";
+  auto C = compile(Src);
+  ASSERT_TRUE(C.P) << C.Error;
+  EXPECT_FALSE(C.P->Recon.ok());
+
+  Stats St;
+  std::string Err;
+  auto Col = C.P->makeCollector(GcStrategy::CompiledTagFree,
+                                GcAlgorithm::Copying, 1 << 14, St, &Err);
+  EXPECT_EQ(Col, nullptr);
+  EXPECT_NE(Err.find("not collectible tag-free"), std::string::npos);
+
+  // The tagged collector handles it fine: tags need no reconstruction.
+  ExecResult R = execProgram(Src, GcStrategy::Tagged, GcAlgorithm::Copying,
+                             1 << 14, true);
+  ASSERT_TRUE(R.Run.Ok) << R.CompileError << R.Run.Error;
+  EXPECT_EQ(R.Run.Value, "4");
+}
+
+TEST(PolyGc, ClosuresReachedThroughGroundFieldsTraceCorrectly) {
+  // A polymorphic-capturing lambda stored in a list and only traced
+  // through the list's ground element type: the collector must rebuild
+  // the function-type routine from the static type (Figure 4).
+  // mk's lambda captures xs : 'a list and has type 'a -> int, so 'a is
+  // recoverable from the closure's function type.
+  std::string Src =
+      "fun len xs = case xs of Nil => 0 | Cons(_, r) => 1 + len r;\n"
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "fun consume (fs : (bool -> int) list) (acc : int) : int =\n"
+      "  case fs of Nil => acc | Cons(f, r) => consume r (acc + f true);\n"
+      "fun mk xs = fn y => len (y :: xs);\n"
+      "val fs = [mk [true], mk [false, true]];\n"
+      "let val junk = build 300 in consume fs 0 end";
+  EXPECT_EQ(runAllStrategies(Src, 1 << 12), "5");
+}
+
+TEST(PolyGc, HigherOrderPolymorphicMap) {
+  std::string Src =
+      "fun map f xs = case xs of Nil => Nil "
+      "| Cons(x, r) => Cons(f x, map f r);\n"
+      "fun build (n : int) : int list = if n = 0 then [] "
+      "else n :: build (n - 1);\n"
+      "fun sum (xs : int list) : int = case xs of Nil => 0 "
+      "| Cons(x, r) => x + sum r;\n"
+      "sum (map (fn p => case p of (a, b) => a + b)\n"
+      "         (map (fn x => (x, x * 2)) (build 30)))";
+  EXPECT_EQ(runAllStrategies(Src, 1 << 12),
+            std::to_string(3 * (30 * 31 / 2)));
+}
+
+TEST(PolyGc, PolymorphicDataStructuresSurviveStress) {
+  std::string Src =
+      "datatype 'a tree2 = Lf | Nd of 'a tree2 * 'a * 'a tree2;\n"
+      "fun insert (t : int tree2) (v : int) : int tree2 =\n"
+      "  case t of Lf => Nd(Lf, v, Lf)\n"
+      "  | Nd(l, x, r) => if v < x then Nd(insert l v, x, r)\n"
+      "                   else Nd(l, x, insert r v);\n"
+      "fun total (t : int tree2) : int =\n"
+      "  case t of Lf => 0 | Nd(l, x, r) => total l + x + total r;\n"
+      "fun fill (t : int tree2) (i : int) : int tree2 =\n"
+      "  if i = 0 then t else fill (insert t (i * 7 mod 31)) (i - 1);\n"
+      "total (fill Lf 30)";
+  runAllStrategies(Src, 1 << 12);
+}
+
+TEST(PolyGc, StrategiesAgreeOnPolyPaperStats) {
+  // Compiled and interpreted differ in ground-type mechanics but must
+  // visit the same objects.
+  ExecResult A = execProgram(wl::polyPaper(), GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  ExecResult B = execProgram(wl::polyPaper(), GcStrategy::InterpretedTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true);
+  ASSERT_TRUE(A.Run.Ok && B.Run.Ok);
+  EXPECT_EQ(A.St.get("gc.objects_visited"), B.St.get("gc.objects_visited"));
+  // ...and the interpreted method does strictly more descriptor walking
+  // than the compiled method does.
+  EXPECT_GT(B.St.get("gc.desc_steps"), A.St.get("gc.desc_steps"));
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/property_test.cpp - Randomized differential testing ---------===//
+///
+/// Generates random well-typed MiniML programs (type-directed) and checks
+/// that all four strategies, both heap algorithms, and GC-stress mode
+/// agree on the result. This is the strongest whole-system invariant: the
+/// collector must be completely transparent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "support/Rng.h"
+
+#include <sstream>
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    std::ostringstream OS;
+    OS << "fun build (n : int) : int list = if n = 0 then [] "
+          "else n :: build (n - 1);\n"
+          "fun sum (xs : int list) : int = case xs of Nil => 0 "
+          "| Cons(x, r) => x + sum r;\n"
+          "fun len (xs : int list) : int = case xs of Nil => 0 "
+          "| Cons(_, r) => 1 + len r;\n"
+          "fun append (xs : int list) (ys : int list) : int list = "
+          "case xs of Nil => ys | Cons(x, r) => x :: append r ys;\n"
+          "fun revA (xs : int list) (a : int list) : int list = "
+          "case xs of Nil => a | Cons(x, r) => revA r (x :: a);\n"
+          "fun id x = x;\n"
+          "fun fst p = case p of (a, _) => a;\n"
+          "fun mapi (f : int -> int) (xs : int list) : int list = "
+          "case xs of Nil => Nil | Cons(x, r) => Cons(f x, mapi f r);\n"
+          "fun foldi (f : (int * int) -> int) (acc : int) "
+          "(xs : int list) : int = "
+          "case xs of Nil => acc | Cons(x, r) => foldi f (f (acc, x)) r;\n";
+    OS << genInt(3);
+    return OS.str();
+  }
+
+private:
+  Rng R;
+  int IntVars = 0;
+  int ListVars = 0;
+
+  std::string iv(int I) { return "i" + std::to_string(I); }
+  std::string lv(int I) { return "l" + std::to_string(I); }
+
+  std::string genInt(int Depth) {
+    if (Depth <= 0 || R.chance(1, 4)) {
+      if (IntVars > 0 && R.chance(1, 2))
+        return iv((int)R.below((uint64_t)IntVars));
+      int64_t V = R.range(-20, 20);
+      return V < 0 ? "(~" + std::to_string(-V) + ")" : std::to_string(V);
+    }
+    switch (R.below(10)) {
+    case 0:
+      return "(" + genInt(Depth - 1) + " + " + genInt(Depth - 1) + ")";
+    case 1:
+      return "(" + genInt(Depth - 1) + " * " + genInt(Depth - 1) + ")";
+    case 2:
+      return "(" + genInt(Depth - 1) + " - " + genInt(Depth - 1) + ")";
+    case 3:
+      return "(if " + genBool(Depth - 1) + " then " + genInt(Depth - 1) +
+             " else " + genInt(Depth - 1) + ")";
+    case 4:
+      return "(sum " + genList(Depth - 1) + ")";
+    case 5:
+      return "(len " + genList(Depth - 1) + ")";
+    case 6: {
+      // let-bound locals of both kinds.
+      std::string IVar = iv(IntVars++);
+      std::string LVar = lv(ListVars++);
+      std::string Body = genInt(Depth - 1);
+      --IntVars;
+      --ListVars;
+      return "(let val " + IVar + " = " + genInt(Depth - 1) + " val " +
+             LVar + " = " + genList(Depth - 1) + " in " + Body + " end)";
+    }
+    case 7:
+      return "(case " + genList(Depth - 1) +
+             " of Nil => " + genInt(Depth - 1) +
+             " | Cons(h, _) => (h + " + genInt(Depth - 1) + "))";
+    case 8:
+      return "(id " + genInt(Depth - 1) + " + fst (" + genInt(Depth - 1) +
+             ", " + genList(Depth - 1) + "))";
+    case 9:
+      return "(foldi (fn (a, b) => a + b) " + genInt(Depth - 1) + " " +
+             genList(Depth - 1) + ")";
+    }
+    return "0";
+  }
+
+  std::string genList(int Depth) {
+    if (Depth <= 0 || R.chance(1, 4)) {
+      if (ListVars > 0 && R.chance(1, 2))
+        return lv((int)R.below((uint64_t)ListVars));
+      if (R.chance(1, 3))
+        return "[]";
+      return "(build " + std::to_string(R.below(12) + 1) + ")";
+    }
+    switch (R.below(6)) {
+    case 0:
+      return "(append " + genList(Depth - 1) + " " + genList(Depth - 1) +
+             ")";
+    case 1:
+      return "(revA " + genList(Depth - 1) + " [])";
+    case 2:
+      return "(" + genInt(Depth - 1) + " :: " + genList(Depth - 1) + ")";
+    case 3:
+      return "(id " + genList(Depth - 1) + ")";
+    case 4:
+      return "(case " + genList(Depth - 1) + " of Nil => " +
+             genList(Depth - 1) + " | Cons(_, t) => t)";
+    case 5:
+      // A capturing closure mapped over a list.
+      return "(let val k = " + genInt(Depth - 1) +
+             " in mapi (fn x => x + k) " + genList(Depth - 1) + " end)";
+    }
+    return "[]";
+  }
+
+  std::string genBool(int Depth) {
+    if (Depth <= 0 || R.chance(1, 3))
+      return R.chance(1, 2) ? "true" : "false";
+    switch (R.below(3)) {
+    case 0:
+      return "(" + genInt(Depth - 1) + " < " + genInt(Depth - 1) + ")";
+    case 1:
+      return "(" + genInt(Depth - 1) + " = " + genInt(Depth - 1) + ")";
+    case 2:
+      return "(not " + genBool(Depth - 1) + ")";
+    }
+    return "true";
+  }
+};
+
+class RandomPrograms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPrograms, AllStrategiesAgree) {
+  ProgramGen G(GetParam());
+  std::string Src = G.generate();
+  SCOPED_TRACE(Src);
+
+  // Reference: tagged, big heap, no stress.
+  ExecResult Ref = execProgram(Src, GcStrategy::Tagged, GcAlgorithm::Copying,
+                               1 << 20, false);
+  ASSERT_TRUE(Ref.CompileOk) << Ref.CompileError;
+  ASSERT_TRUE(Ref.Run.Ok) << Ref.Run.Error;
+
+  for (GcStrategy S : AllStrategies) {
+    for (GcAlgorithm A : AllAlgorithms) {
+      ExecResult R = execProgram(Src, S, A, 1 << 12, /*Stress=*/true);
+      ASSERT_TRUE(R.Run.Ok)
+          << gcStrategyName(S) << ": " << R.Run.Error << R.CompileError;
+      EXPECT_EQ(R.Run.Value, Ref.Run.Value) << gcStrategyName(S);
+    }
+  }
+
+  // And once more, monomorphised.
+  CompileOptions Mono;
+  Mono.Monomorphise = true;
+  ExecResult M = execProgram(Src, GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, true, Mono);
+  ASSERT_TRUE(M.Run.Ok) << M.Run.Error << M.CompileError;
+  EXPECT_EQ(M.Run.Value, Ref.Run.Value) << "monomorphised";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<uint64_t>(1, 31));
+
+TEST(RandomPrograms, GeneratorIsDeterministic) {
+  EXPECT_EQ(ProgramGen(7).generate(), ProgramGen(7).generate());
+  EXPECT_NE(ProgramGen(7).generate(), ProgramGen(8).generate());
+}
+
+} // namespace

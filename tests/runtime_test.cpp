@@ -1,0 +1,193 @@
+//===- tests/runtime_test.cpp - Heap, mark-sweep, support utilities ------===//
+
+#include "runtime/Heap.h"
+#include "runtime/MarkSweepHeap.h"
+#include "runtime/Value.h"
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace tfgc;
+
+namespace {
+
+TEST(Heap, AllocateUntilFull) {
+  Heap H(1024); // 128 words
+  size_t Allocated = 0;
+  while (Word *P = H.tryAllocate(8)) {
+    (void)P;
+    Allocated += 8;
+  }
+  EXPECT_EQ(Allocated, 128u);
+  EXPECT_EQ(H.freeWords(), 0u);
+}
+
+TEST(Heap, ForwardingRoundTrip) {
+  Heap H(4096);
+  Word *A = H.tryAllocate(3);
+  A[0] = 11;
+  A[1] = 22;
+  A[2] = 33;
+  H.beginCollection();
+  EXPECT_FALSE(H.isForwarded(A));
+  Word *New = H.allocateInToSpace(3);
+  std::memcpy(New, A, 3 * sizeof(Word));
+  H.setForwarded(A, (Word)(uintptr_t)New);
+  EXPECT_TRUE(H.isForwarded(A));
+  EXPECT_EQ(H.forwardee(A), (Word)(uintptr_t)New);
+  H.endCollection();
+  EXPECT_EQ(New[2], 33u);
+  EXPECT_EQ(H.usedBytes(), 3 * sizeof(Word));
+}
+
+TEST(Heap, GrowthViaCollection) {
+  Heap H(512);
+  H.beginCollection(1024 / 8);
+  H.endCollection();
+  EXPECT_EQ(H.capacityBytes(), 1024u);
+}
+
+TEST(Heap, ContainsTracksCurrentSpace) {
+  Heap H(1024);
+  Word *A = H.tryAllocate(4);
+  EXPECT_TRUE(H.contains((Word)(uintptr_t)A));
+  EXPECT_FALSE(H.contains(0));
+}
+
+TEST(MarkSweep, AllocateSweepReuse) {
+  MarkSweepHeap H(1024);
+  Word *A = H.tryAllocate(4);
+  Word *B = H.tryAllocate(4);
+  ASSERT_TRUE(A && B);
+  H.beginMark();
+  EXPECT_TRUE(H.tryMark(A));
+  EXPECT_FALSE(H.tryMark(A)); // Second mark reports already-visited.
+  size_t Reclaimed = H.sweep();
+  EXPECT_EQ(Reclaimed, 4 * sizeof(Word)); // B freed.
+  Word *C = H.tryAllocate(4);             // Reuses B's block.
+  EXPECT_EQ(C, B);
+}
+
+TEST(MarkSweep, CanAllocateMatchesTryAllocate) {
+  MarkSweepHeap H(64 * 8);
+  while (H.canAllocate(8))
+    ASSERT_NE(H.tryAllocate(8), nullptr);
+  EXPECT_EQ(H.tryAllocate(8), nullptr);
+}
+
+TEST(MarkSweep, SegmentsGrow) {
+  MarkSweepHeap H(64 * 8);
+  size_t Cap = H.capacityBytes();
+  H.addSegment();
+  EXPECT_EQ(H.capacityBytes(), 2 * Cap);
+  EXPECT_TRUE(H.canAllocate(8));
+}
+
+TEST(MarkSweep, LargeBlocksUseOverflowList) {
+  MarkSweepHeap H(4096);
+  Word *Big = H.tryAllocate(100); // > MaxBin
+  ASSERT_TRUE(Big);
+  H.beginMark();
+  size_t Reclaimed = H.sweep();
+  EXPECT_EQ(Reclaimed, 100 * sizeof(Word));
+  Word *Again = H.tryAllocate(100);
+  EXPECT_EQ(Again, Big);
+}
+
+TEST(Value, TagRoundTrip) {
+  for (int64_t V : {0ll, 1ll, -1ll, 123456789ll, -987654321ll,
+                    (1ll << 62) - 1, -(1ll << 62)}) {
+    EXPECT_EQ(untagInt(tagInt(V)), V);
+    EXPECT_TRUE(isTaggedImmediate(tagInt(V)));
+  }
+}
+
+TEST(Value, TaggedComparisonIsOrderPreserving) {
+  EXPECT_LT((int64_t)tagInt(-5), (int64_t)tagInt(3));
+  EXPECT_LT((int64_t)tagInt(3), (int64_t)tagInt(4));
+}
+
+TEST(Value, Headers) {
+  Word H = makeHeader(17, ObjKind::Raw);
+  EXPECT_EQ(headerSize(H), 17u);
+  EXPECT_EQ(headerKind(H), ObjKind::Raw);
+}
+
+TEST(Value, FloatBits) {
+  for (double D : {0.0, 1.5, -2.25, 1e100}) {
+    EXPECT_EQ(wordToFloat(floatToWord(D)), D);
+  }
+}
+
+TEST(Arena, AlignmentAndReuse) {
+  Arena A(64);
+  void *P1 = A.allocate(1, 1);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_EQ((uintptr_t)P16 % 16, 0u);
+  (void)P1;
+  size_t Before = A.bytesAllocated();
+  A.allocate(1000, 8); // Forces a new block.
+  EXPECT_GT(A.bytesAllocated(), Before);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+TEST(Arena, MakeConstructs) {
+  Arena A;
+  struct Pod {
+    int X;
+    int Y;
+  };
+  Pod *P = A.make<Pod>(Pod{1, 2});
+  EXPECT_EQ(P->X, 1);
+  EXPECT_EQ(P->Y, 2);
+}
+
+TEST(Stats, Accumulation) {
+  Stats S;
+  S.add("a");
+  S.add("a", 4);
+  S.max("m", 10);
+  S.max("m", 3);
+  S.set("s", 7);
+  EXPECT_EQ(S.get("a"), 5u);
+  EXPECT_EQ(S.get("m"), 10u);
+  EXPECT_EQ(S.get("s"), 7u);
+  EXPECT_EQ(S.get("missing"), 0u);
+  EXPECT_NE(S.render().find("a = 5"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderAndCount) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(3, 14), "bad thing");
+  D.warning(SourceLoc(), "heads up");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string R = D.render();
+  EXPECT_NE(R.find("error: 3:14: bad thing"), std::string::npos);
+  EXPECT_NE(R.find("warning: heads up"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(43);
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+  }
+}
+
+} // namespace

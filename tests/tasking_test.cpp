@@ -1,0 +1,225 @@
+//===- tests/tasking_test.cpp - Multi-task collection (paper sec. 4) -----===//
+
+#include "TestUtil.h"
+#include "tasking/Tasking.h"
+#include "workloads/Programs.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+struct World {
+  std::unique_ptr<CompiledProgram> P;
+  Stats St;
+  std::unique_ptr<Collector> Col;
+  std::unique_ptr<TaskingRuntime> Rt;
+};
+
+World makeWorld(const std::string &Source, GcStrategy S, SuspendChecks Policy,
+                size_t HeapBytes = 1 << 13,
+                GcAlgorithm Algo = GcAlgorithm::Copying) {
+  World W;
+  // Tasking needs gc_words at every call site and call-argument tracing
+  // (see DESIGN.md).
+  CompileOptions O;
+  O.TaskingSafe = true;
+  Compiler C(O);
+  std::string Err;
+  W.P = C.compile(Source, &Err);
+  EXPECT_TRUE(W.P != nullptr) << Err;
+  W.Col = W.P->makeCollector(S, Algo, HeapBytes, W.St, &Err);
+  EXPECT_TRUE(W.Col != nullptr) << Err;
+  TaskingOptions TO;
+  TO.Policy = Policy;
+  TO.ZeroFrames = S == GcStrategy::Tagged || S == GcStrategy::AppelTagFree;
+  W.Rt = std::make_unique<TaskingRuntime>(W.P->Prog, W.P->Image, *W.P->Types,
+                                          *W.Col, TO);
+  return W;
+}
+
+const SuspendChecks AllPolicies[] = {
+    SuspendChecks::AtAllocation,
+    SuspendChecks::AtEveryCall,
+    SuspendChecks::RgcRegister,
+};
+
+TEST(Tasking, SingleTaskMatchesSequential) {
+  ExecResult Seq = execProgram(wl::taskWorker(), GcStrategy::CompiledTagFree);
+  ASSERT_TRUE(Seq.Run.Ok);
+
+  World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  ASSERT_NE(Worker, InvalidFunc);
+  W.Rt->spawnInt(Worker, {1, 1});
+  ASSERT_TRUE(W.Rt->runAll());
+  EXPECT_EQ(W.Rt->results()[0].Value, Seq.Run.Value);
+}
+
+TEST(Tasking, ManyTasksAllPoliciesAllStrategies) {
+  // 4 workers with distinct seeds; expected values from sequential runs
+  // computed once.
+  std::vector<std::string> Expected;
+  {
+    World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        SuspendChecks::AtEveryCall, 1 << 20);
+    FuncId Worker = findFunction(W.P->Prog, "worker");
+    for (int64_t Seed = 1; Seed <= 4; ++Seed)
+      W.Rt->spawnInt(Worker, {Seed, 40});
+    ASSERT_TRUE(W.Rt->runAll());
+    for (const TaskResult &R : W.Rt->results())
+      Expected.push_back(R.Value);
+  }
+
+  for (GcStrategy S : AllStrategies) {
+    for (SuspendChecks Policy : AllPolicies) {
+      World W = makeWorld(wl::taskWorker(), S, Policy);
+      FuncId Worker = findFunction(W.P->Prog, "worker");
+      for (int64_t Seed = 1; Seed <= 4; ++Seed)
+        W.Rt->spawnInt(Worker, {Seed, 40});
+      ASSERT_TRUE(W.Rt->runAll()) << gcStrategyName(S);
+      for (size_t I = 0; I < 4; ++I)
+        EXPECT_EQ(W.Rt->results()[I].Value, Expected[I])
+            << gcStrategyName(S) << " policy " << (int)Policy;
+      EXPECT_GT(W.St.get("task.world_stops"), 0u) << gcStrategyName(S);
+    }
+  }
+}
+
+TEST(Tasking, WorldStopsRequireAllTasksSuspended) {
+  World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall, 1 << 12);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 3; ++Seed)
+    W.Rt->spawnInt(Worker, {Seed, 30});
+  ASSERT_TRUE(W.Rt->runAll());
+  EXPECT_GT(W.St.get("task.gc_requests"), 0u);
+  EXPECT_GE(W.St.get("task.world_stops"), W.St.get("task.gc_requests"));
+}
+
+TEST(Tasking, EveryCallPolicyExecutesMoreChecksThanAllocationOnly) {
+  uint64_t Checks[2];
+  SuspendChecks Policies[2] = {SuspendChecks::AtAllocation,
+                               SuspendChecks::AtEveryCall};
+  for (int I = 0; I < 2; ++I) {
+    World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        Policies[I]);
+    FuncId Worker = findFunction(W.P->Prog, "worker");
+    W.Rt->spawnInt(Worker, {1, 30});
+    W.Rt->spawnInt(Worker, {2, 30});
+    ASSERT_TRUE(W.Rt->runAll());
+    Checks[I] = W.St.get("task.suspend_checks");
+  }
+  EXPECT_GT(Checks[1], Checks[0]);
+}
+
+TEST(Tasking, RgcPolicyHasAllocationOnlyCheckCost) {
+  // The Rgc register folds the per-call test into the jump, so explicit
+  // checks match the allocation-only policy while stop latency matches
+  // the every-call policy.
+  uint64_t RgcChecks, AllocChecks;
+  {
+    World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        SuspendChecks::RgcRegister);
+    FuncId Worker = findFunction(W.P->Prog, "worker");
+    W.Rt->spawnInt(Worker, {1, 30});
+    W.Rt->spawnInt(Worker, {2, 30});
+    ASSERT_TRUE(W.Rt->runAll());
+    RgcChecks = W.St.get("task.suspend_checks");
+  }
+  {
+    World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        SuspendChecks::AtAllocation);
+    FuncId Worker = findFunction(W.P->Prog, "worker");
+    W.Rt->spawnInt(Worker, {1, 30});
+    W.Rt->spawnInt(Worker, {2, 30});
+    ASSERT_TRUE(W.Rt->runAll());
+    AllocChecks = W.St.get("task.suspend_checks");
+  }
+  // Same workload, same suspension checks charged.
+  EXPECT_NEAR((double)RgcChecks, (double)AllocChecks,
+              0.2 * (double)AllocChecks);
+}
+
+TEST(Tasking, SpinnerDelaysWorldStopUnderAllocationOnly) {
+  // A task that computes without allocating keeps running after another
+  // task exhausts the heap; with every-call checks it stops at its next
+  // call instead.
+  auto Run = [&](SuspendChecks Policy) -> uint64_t {
+    World W = makeWorld(wl::taskWorkerAndSpinner(),
+                        GcStrategy::CompiledTagFree, Policy, 1 << 12);
+    FuncId Worker = findFunction(W.P->Prog, "worker");
+    FuncId Spinner = findFunction(W.P->Prog, "spinner");
+    W.Rt->spawnInt(Worker, {1, 40});
+    W.Rt->spawnInt(Spinner, {40, 3000});
+    EXPECT_TRUE(W.Rt->runAll());
+    return W.St.get("task.steps_to_world_stop_max");
+  };
+  uint64_t AllocOnly = Run(SuspendChecks::AtAllocation);
+  uint64_t EveryCall = Run(SuspendChecks::AtEveryCall);
+  EXPECT_GT(AllocOnly, EveryCall);
+}
+
+TEST(Tasking, MarkSweepSharedHeap) {
+  World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall, 1 << 13,
+                      GcAlgorithm::MarkSweep);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 3; ++Seed)
+    W.Rt->spawnInt(Worker, {Seed, 30});
+  ASSERT_TRUE(W.Rt->runAll());
+  EXPECT_GT(W.St.get("task.world_stops"), 0u);
+
+  World Ref = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        SuspendChecks::AtEveryCall, 1 << 20);
+  FuncId W2 = findFunction(Ref.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 3; ++Seed)
+    Ref.Rt->spawnInt(W2, {Seed, 30});
+  ASSERT_TRUE(Ref.Rt->runAll());
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(W.Rt->results()[I].Value, Ref.Rt->results()[I].Value);
+}
+
+TEST(Tasking, AppelStrategyZeroFramesUnderTasking) {
+  World W = makeWorld(wl::taskWorker(), GcStrategy::AppelTagFree,
+                      SuspendChecks::AtAllocation, 1 << 13);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  W.Rt->spawnInt(Worker, {1, 25});
+  W.Rt->spawnInt(Worker, {2, 25});
+  ASSERT_TRUE(W.Rt->runAll());
+  EXPECT_GT(W.St.get("vm.frame_words_zeroed"), 0u);
+}
+
+TEST(Tasking, TaskFailurePropagates) {
+  World W = makeWorld("fun boom (x : int) (y : int) : int = x / y;\nboom 1 0",
+                      GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall);
+  FuncId Boom = findFunction(W.P->Prog, "boom");
+  W.Rt->spawnInt(Boom, {1, 0});
+  EXPECT_FALSE(W.Rt->runAll());
+  EXPECT_EQ(W.Rt->results()[0].Error, "division by zero");
+}
+
+TEST(Tasking, SharedHeapObjectsStayCoherent) {
+  // Tasks do not share values directly here, but they interleave
+  // allocations in one heap; collections triggered by one task must keep
+  // every other task's structures intact.
+  World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall, 1 << 12);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 6; ++Seed)
+    W.Rt->spawnInt(Worker, {Seed, 25});
+  ASSERT_TRUE(W.Rt->runAll());
+  World Ref = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                        SuspendChecks::AtEveryCall, 1 << 20);
+  FuncId W2 = findFunction(Ref.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 6; ++Seed)
+    Ref.Rt->spawnInt(W2, {Seed, 25});
+  ASSERT_TRUE(Ref.Rt->runAll());
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(W.Rt->results()[I].Value, Ref.Rt->results()[I].Value);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/typegc_test.cpp - Type GC routine closures (Figures 3/4) ----===//
+
+#include "core/TypeGc.h"
+
+#include <gtest/gtest.h>
+
+using namespace tfgc;
+
+namespace {
+
+struct TypeGcFixture : ::testing::Test {
+  TypeContext Ctx;
+  Stats St;
+  TypeGcEngine Eng{Ctx, St};
+  TgEnv Empty;
+};
+
+TEST_F(TypeGcFixture, LeavesEvaluateToConstGc) {
+  EXPECT_EQ(Eng.eval(Ctx.intTy(), Empty), Eng.constGc());
+  EXPECT_EQ(Eng.eval(Ctx.boolTy(), Empty), Eng.constGc());
+  EXPECT_EQ(Eng.eval(Ctx.floatTy(), Empty), Eng.constGc());
+  EXPECT_EQ(Eng.nodesBuilt(), 0u);
+}
+
+TEST_F(TypeGcFixture, ListOfIntIsFigure3Closure) {
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *Tg = Eng.eval(IntList, Empty);
+  ASSERT_EQ(Tg->K, TypeGc::Kind::Data);
+  ASSERT_EQ(Tg->NumArgs, 1u);
+  EXPECT_EQ(Tg->Args[0], Eng.constGc()); // trace_list_of(const_gc)
+  // Cons fields: [elem, self] — the recursive knot is tied.
+  ASSERT_EQ(Tg->NumCtors, 2u);
+  ASSERT_EQ(Tg->CtorFieldCounts[1], 2u);
+  EXPECT_EQ(Tg->CtorFields[1][0], Eng.constGc());
+  EXPECT_EQ(Tg->CtorFields[1][1], Tg);
+}
+
+TEST_F(TypeGcFixture, NestedListSharesInner) {
+  // trace_list_of(trace_list_of(const_gc)) — Figure 3(b).
+  Type *Inner = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  Type *Outer = Ctx.makeData(Ctx.listInfo(), {Inner});
+  const TypeGc *OuterTg = Eng.eval(Outer, Empty);
+  const TypeGc *InnerTg = Eng.eval(Inner, Empty);
+  EXPECT_EQ(OuterTg->Args[0], InnerTg); // Memoized sharing.
+}
+
+TEST_F(TypeGcFixture, RigidVarsResolveThroughEnv) {
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  std::vector<Type *> Params{A};
+  Type *BoolListTg = Ctx.makeData(Ctx.listInfo(), {Ctx.boolTy()});
+  const TypeGc *Bound = Eng.eval(BoolListTg, Empty);
+  const TypeGc *Binds[] = {Bound};
+  TgEnv Env;
+  Env.Params = &Params;
+  Env.Binds = Binds;
+  // 'a list under ['a -> bool list] = (bool list) list.
+  Type *AList = Ctx.makeData(Ctx.listInfo(), {A});
+  const TypeGc *Tg = Eng.eval(AList, Env);
+  ASSERT_EQ(Tg->K, TypeGc::Kind::Data);
+  EXPECT_EQ(Tg->Args[0], Bound);
+}
+
+TEST_F(TypeGcFixture, FunNodesSupportExtraction) {
+  // ('a list, int) -> 'a  with 'a bound: extraction by path recovers the
+  // binding (Figure 4's parameter recovery).
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  Type *FunTy = Ctx.makeFun({Ctx.makeData(Ctx.listInfo(), {A}), Ctx.intTy()},
+                            A);
+  std::vector<Type *> Params{A};
+  Type *IntListTy = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *Bound = Eng.eval(IntListTy, Empty);
+  const TypeGc *Binds[] = {Bound};
+  TgEnv Env;
+  Env.Params = &Params;
+  Env.Binds = Binds;
+  const TypeGc *FunTg = Eng.eval(FunTy, Env);
+  ASSERT_EQ(FunTg->K, TypeGc::Kind::Fun);
+
+  TypePath Path;
+  ASSERT_TRUE(findTypePath(FunTy, A, Path));
+  EXPECT_EQ(Eng.extract(FunTg, Path), Bound);
+  // The first occurrence is inside the first parameter's list argument.
+  ASSERT_EQ(Path.size(), 2u);
+  EXPECT_EQ(Path[0], 0u);
+  EXPECT_EQ(Path[1], 0u);
+  // The result position also resolves.
+  TypePath ResultPath{2}; // params 0,1 then result.
+  EXPECT_EQ(Eng.extract(FunTg, ResultPath), Bound);
+}
+
+TEST_F(TypeGcFixture, TupleAndRefNodes) {
+  Type *T = Ctx.makeTuple({Ctx.intTy(), Ctx.makeRef(Ctx.intTy())});
+  const TypeGc *Tg = Eng.eval(T, Empty);
+  ASSERT_EQ(Tg->K, TypeGc::Kind::Record);
+  ASSERT_EQ(Tg->NumArgs, 2u);
+  EXPECT_EQ(Tg->Args[0], Eng.constGc());
+  EXPECT_EQ(Tg->Args[1]->K, TypeGc::Kind::Ref);
+}
+
+TEST_F(TypeGcFixture, ResetDropsNodes) {
+  Eng.eval(Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()}), Empty);
+  EXPECT_GT(Eng.nodesBuilt(), 0u);
+  Eng.reset();
+  EXPECT_EQ(Eng.nodesBuilt(), 0u);
+  // Rebuilding works after reset.
+  const TypeGc *Tg =
+      Eng.eval(Ctx.makeData(Ctx.listInfo(), {Ctx.boolTy()}), Empty);
+  EXPECT_EQ(Tg->K, TypeGc::Kind::Data);
+}
+
+TEST_F(TypeGcFixture, NodesAreCountedInStats) {
+  Eng.eval(Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()}), Empty);
+  EXPECT_EQ(St.get("gc.tg_nodes"), Eng.nodesBuilt());
+}
+
+} // namespace

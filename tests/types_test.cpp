@@ -1,0 +1,165 @@
+//===- tests/types_test.cpp - Type graph, unification, schemes -----------===//
+
+#include "types/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace tfgc;
+
+namespace {
+
+struct TypesFixture : ::testing::Test {
+  TypeContext Ctx;
+};
+
+TEST_F(TypesFixture, UnifyPrimitives) {
+  EXPECT_TRUE(Ctx.unify(Ctx.intTy(), Ctx.intTy()));
+  EXPECT_FALSE(Ctx.unify(Ctx.intTy(), Ctx.boolTy()));
+  EXPECT_FALSE(Ctx.unify(Ctx.floatTy(), Ctx.intTy()));
+}
+
+TEST_F(TypesFixture, UnifyVarBinds) {
+  Type *V = Ctx.freshVar(0);
+  EXPECT_TRUE(Ctx.unify(V, Ctx.intTy()));
+  EXPECT_EQ(V->resolved(), Ctx.intTy());
+  // Bound vars behave like their instance.
+  EXPECT_TRUE(Ctx.unify(V, Ctx.intTy()));
+  EXPECT_FALSE(Ctx.unify(V, Ctx.boolTy()));
+}
+
+TEST_F(TypesFixture, OccursCheckRejectsInfiniteTypes) {
+  Type *V = Ctx.freshVar(0);
+  Type *ListV = Ctx.makeData(Ctx.listInfo(), {V});
+  EXPECT_FALSE(Ctx.unify(V, ListV));
+}
+
+TEST_F(TypesFixture, FunArityMismatch) {
+  Type *F1 = Ctx.makeFun({Ctx.intTy()}, Ctx.intTy());
+  Type *F2 = Ctx.makeFun({Ctx.intTy(), Ctx.intTy()}, Ctx.intTy());
+  EXPECT_FALSE(Ctx.unify(F1, F2));
+}
+
+TEST_F(TypesFixture, UnifyThroughStructure) {
+  Type *A = Ctx.freshVar(0), *B = Ctx.freshVar(0);
+  Type *L1 = Ctx.makeData(Ctx.listInfo(), {Ctx.makeTuple({A, Ctx.intTy()})});
+  Type *L2 = Ctx.makeData(Ctx.listInfo(), {Ctx.makeTuple({Ctx.boolTy(), B})});
+  EXPECT_TRUE(Ctx.unify(L1, L2));
+  EXPECT_EQ(A->resolved(), Ctx.boolTy());
+  EXPECT_EQ(B->resolved(), Ctx.intTy());
+}
+
+TEST_F(TypesFixture, RigidVarsNeverUnify) {
+  Type *R1 = Ctx.freshVar(0);
+  R1->makeRigid(0);
+  Type *R2 = Ctx.freshVar(0);
+  R2->makeRigid(1);
+  EXPECT_FALSE(Ctx.unify(R1, R2));
+  EXPECT_FALSE(Ctx.unify(R1, Ctx.intTy()));
+  // But a flexible var can bind to a rigid one.
+  Type *V = Ctx.freshVar(0);
+  EXPECT_TRUE(Ctx.unify(V, R1));
+  EXPECT_EQ(V->resolved(), R1);
+}
+
+TEST_F(TypesFixture, GeneralizeCollectsDeepVarsInOrder) {
+  Type *A = Ctx.freshVar(1), *B = Ctx.freshVar(1);
+  Type *F = Ctx.makeFun({A, B}, A);
+  TypeScheme S = Ctx.generalize(F, 0);
+  ASSERT_EQ(S.Params.size(), 2u);
+  EXPECT_EQ(S.Params[0], A);
+  EXPECT_EQ(S.Params[1], B);
+  EXPECT_TRUE(A->isRigid());
+  EXPECT_EQ(A->paramIndex(), 0);
+  EXPECT_EQ(B->paramIndex(), 1);
+}
+
+TEST_F(TypesFixture, GeneralizeSkipsShallowVars) {
+  Type *Shallow = Ctx.freshVar(0); // At the generalization level.
+  Type *Deep = Ctx.freshVar(1);
+  TypeScheme S = Ctx.generalize(Ctx.makeTuple({Shallow, Deep}), 0);
+  ASSERT_EQ(S.Params.size(), 1u);
+  EXPECT_EQ(S.Params[0], Deep);
+  EXPECT_FALSE(Shallow->isRigid());
+}
+
+TEST_F(TypesFixture, InstantiateClonesRigids) {
+  Type *A = Ctx.freshVar(1);
+  Type *F = Ctx.makeFun({A}, Ctx.makeData(Ctx.listInfo(), {A}));
+  TypeScheme S = Ctx.generalize(F, 0);
+  Type *I1 = Ctx.instantiate(S, 0);
+  Type *I2 = Ctx.instantiate(S, 0);
+  EXPECT_NE(I1, I2);
+  EXPECT_TRUE(Ctx.unify(I1->arg(0), Ctx.intTy()));
+  EXPECT_TRUE(Ctx.unify(I2->arg(0), Ctx.boolTy())); // Independent copies.
+  // The scheme body itself is untouched (still rigid).
+  EXPECT_TRUE(S.Body->resolved()->arg(0)->resolved()->isRigid());
+}
+
+TEST_F(TypesFixture, SubstituteSharesUnchangedSubtrees) {
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  Type *Pair = Ctx.makeTuple({IntList, A});
+  std::unordered_map<Type *, Type *> M{{A, Ctx.boolTy()}};
+  Type *Out = Ctx.substitute(Pair, M);
+  EXPECT_NE(Out, Pair);
+  EXPECT_EQ(Out->arg(0), IntList); // Shared: no rigid inside.
+  EXPECT_EQ(Out->arg(1), Ctx.boolTy());
+  // No change at all -> same node.
+  EXPECT_EQ(Ctx.substitute(IntList, M), IntList);
+}
+
+TEST_F(TypesFixture, InstantiateCtorFields) {
+  auto Fields =
+      Ctx.instantiateCtorFields(Ctx.listInfo(), 1, {Ctx.intTy()});
+  ASSERT_EQ(Fields.size(), 2u);
+  EXPECT_EQ(Fields[0]->resolved(), Ctx.intTy());
+  Type *Tail = Fields[1]->resolved();
+  EXPECT_EQ(Tail->getKind(), TypeKind::Data);
+  EXPECT_EQ(Tail->arg(0)->resolved(), Ctx.intTy());
+}
+
+TEST_F(TypesFixture, RenderForms) {
+  EXPECT_EQ(Ctx.render(Ctx.intTy()), "int");
+  EXPECT_EQ(Ctx.render(Ctx.makeTuple({Ctx.intTy(), Ctx.boolTy()})),
+            "(int * bool)");
+  EXPECT_EQ(Ctx.render(Ctx.makeData(Ctx.listInfo(), {Ctx.floatTy()})),
+            "(float) list");
+  EXPECT_EQ(Ctx.render(Ctx.makeRef(Ctx.intTy())), "int ref");
+  EXPECT_EQ(Ctx.render(Ctx.makeFun({Ctx.intTy()}, Ctx.boolTy())),
+            "(int) -> bool");
+  Type *R = Ctx.freshVar(0);
+  R->makeRigid(3);
+  EXPECT_EQ(Ctx.render(R), "%3");
+}
+
+TEST_F(TypesFixture, DefaultFreeVars) {
+  Type *V = Ctx.freshVar(0);
+  Type *L = Ctx.makeData(Ctx.listInfo(), {V});
+  Ctx.defaultFreeVars(L);
+  EXPECT_EQ(V->resolved(), Ctx.unitTy());
+  // Rigid vars stay.
+  Type *R = Ctx.freshVar(0);
+  R->makeRigid(0);
+  Ctx.defaultFreeVars(R);
+  EXPECT_TRUE(R->isRigid());
+}
+
+TEST_F(TypesFixture, CollectRigidVarsDedups) {
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  Type *T = Ctx.makeTuple({A, Ctx.makeData(Ctx.listInfo(), {A})});
+  std::vector<Type *> Out;
+  Ctx.collectRigidVars(T, Out);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], A);
+}
+
+TEST_F(TypesFixture, CtorLookup) {
+  auto [Info, Idx] = Ctx.lookupCtor("Cons");
+  EXPECT_EQ(Info, Ctx.listInfo());
+  EXPECT_EQ(Idx, 1u);
+  EXPECT_EQ(Ctx.lookupCtor("Nope").first, nullptr);
+}
+
+} // namespace

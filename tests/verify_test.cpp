@@ -1,0 +1,131 @@
+//===- tests/verify_test.cpp - IR verifier --------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Verify.h"
+
+using namespace tfgc;
+using namespace tfgc::test;
+
+namespace {
+
+TEST(Verify, AcceptsEveryWorkload) {
+  // The driver already verifies; double-check explicitly on a rich program.
+  auto C = compile(
+      "datatype shape = Point | Circle of float | Rect of float * float;\n"
+      "fun area (s : shape) : float = case s of Point => 0.0 "
+      "| Circle r => r *. r | Rect(w, h) => w *. h;\n"
+      "fun map f xs = case xs of Nil => Nil | Cons(x, r) => "
+      "Cons(f x, map f r);\n"
+      "map (fn s => area s) [Point, Circle 1.0]");
+  ASSERT_TRUE(C.P) << C.Error;
+  std::string Err;
+  EXPECT_TRUE(verifyIr(C.P->Prog, &Err)) << Err;
+}
+
+/// Builds a minimal single-function program by hand.
+struct ManualIr {
+  TypeContext Ctx;
+  IrProgram P;
+
+  ManualIr() {
+    IrFunction Main;
+    Main.Id = 0;
+    Main.Name = "main";
+    Main.NumParams = 0;
+    Main.SlotTypes = {Ctx.intTy()};
+    Main.FunTy = Ctx.makeFun({}, Ctx.intTy());
+    Instr Load;
+    Load.Op = Opcode::LoadInt;
+    Load.Dst = 0;
+    Load.IntImm = 1;
+    Instr Ret;
+    Ret.Op = Opcode::Return;
+    Ret.Srcs = {0};
+    Main.Code = {Load, Ret};
+    P.Functions.push_back(std::move(Main));
+    P.MainId = 0;
+    P.Types = &Ctx;
+  }
+};
+
+TEST(Verify, AcceptsMinimalProgram) {
+  ManualIr M;
+  std::string Err;
+  EXPECT_TRUE(verifyIr(M.P, &Err)) << Err;
+}
+
+TEST(Verify, RejectsSlotOutOfRange) {
+  ManualIr M;
+  M.P.Functions[0].Code[0].Dst = 7;
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+  EXPECT_NE(Err.find("destination slot out of range"), std::string::npos);
+}
+
+TEST(Verify, RejectsFallthrough) {
+  ManualIr M;
+  M.P.Functions[0].Code.pop_back(); // Drop the Return.
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+  EXPECT_NE(Err.find("fall off"), std::string::npos);
+}
+
+TEST(Verify, RejectsUnknownLabel) {
+  ManualIr M;
+  Instr J;
+  J.Op = Opcode::Jump;
+  J.Label = 3; // No labels exist.
+  M.P.Functions[0].Code.insert(M.P.Functions[0].Code.begin(), J);
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+  EXPECT_NE(Err.find("unknown label"), std::string::npos);
+}
+
+TEST(Verify, RejectsBadSiteBackReference) {
+  ManualIr M;
+  CallSiteInfo S;
+  S.Id = 0;
+  S.Caller = 0;
+  S.InstrIdx = 1; // Points at Return, but instr 0 claims it.
+  S.Kind = SiteKind::Alloc;
+  M.P.Sites.push_back(S);
+  M.P.Functions[0].Code[0].Site = 0;
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+  EXPECT_NE(Err.find("back-reference"), std::string::npos);
+}
+
+TEST(Verify, RejectsArityMismatchedCall) {
+  ManualIr M;
+  // Add a callee taking one parameter, then call it with zero.
+  IrFunction Callee;
+  Callee.Id = 1;
+  Callee.Name = "callee";
+  Callee.NumParams = 1;
+  Callee.SlotTypes = {M.Ctx.intTy()};
+  Callee.FunTy = M.Ctx.makeFun({M.Ctx.intTy()}, M.Ctx.intTy());
+  Instr Ret;
+  Ret.Op = Opcode::Return;
+  Ret.Srcs = {0};
+  Callee.Code = {Ret};
+  M.P.Functions.push_back(std::move(Callee));
+
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.Dst = 0;
+  Call.Callee = 1;
+  M.P.Functions[0].Code.insert(M.P.Functions[0].Code.begin(), Call);
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+  EXPECT_NE(Err.find("arity"), std::string::npos);
+}
+
+TEST(Verify, RejectsClosureMain) {
+  ManualIr M;
+  M.P.Functions[0].IsClosure = true;
+  std::string Err;
+  EXPECT_FALSE(verifyIr(M.P, &Err));
+}
+
+} // namespace
