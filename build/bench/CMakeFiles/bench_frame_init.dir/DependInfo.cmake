@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_frame_init.cpp" "bench/CMakeFiles/bench_frame_init.dir/bench_frame_init.cpp.o" "gcc" "bench/CMakeFiles/bench_frame_init.dir/bench_frame_init.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/tfgc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/tfgc_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tfgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tfgc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmeta/CMakeFiles/tfgc_gcmeta.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tfgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tfgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tfgc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tfgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tfgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tfgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

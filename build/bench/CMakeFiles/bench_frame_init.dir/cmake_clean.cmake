@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frame_init.dir/bench_frame_init.cpp.o"
+  "CMakeFiles/bench_frame_init.dir/bench_frame_init.cpp.o.d"
+  "bench_frame_init"
+  "bench_frame_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frame_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcpoints.dir/bench_gcpoints.cpp.o"
+  "CMakeFiles/bench_gcpoints.dir/bench_gcpoints.cpp.o.d"
+  "bench_gcpoints"
+  "bench_gcpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

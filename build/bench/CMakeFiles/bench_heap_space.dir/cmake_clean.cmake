@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heap_space.dir/bench_heap_space.cpp.o"
+  "CMakeFiles/bench_heap_space.dir/bench_heap_space.cpp.o.d"
+  "bench_heap_space"
+  "bench_heap_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heap_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_liveness.dir/bench_liveness.cpp.o"
+  "CMakeFiles/bench_liveness.dir/bench_liveness.cpp.o.d"
+  "bench_liveness"
+  "bench_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metadata_size.dir/bench_metadata_size.cpp.o"
+  "CMakeFiles/bench_metadata_size.dir/bench_metadata_size.cpp.o.d"
+  "bench_metadata_size"
+  "bench_metadata_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metadata_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutator.dir/bench_mutator.cpp.o"
+  "CMakeFiles/bench_mutator.dir/bench_mutator.cpp.o.d"
+  "bench_mutator"
+  "bench_mutator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pause.dir/bench_pause.cpp.o"
+  "CMakeFiles/bench_pause.dir/bench_pause.cpp.o.d"
+  "bench_pause"
+  "bench_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

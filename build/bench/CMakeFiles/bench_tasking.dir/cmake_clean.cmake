@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tasking.dir/bench_tasking.cpp.o"
+  "CMakeFiles/bench_tasking.dir/bench_tasking.cpp.o.d"
+  "bench_tasking"
+  "bench_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_vs_interpreted.dir/compiled_vs_interpreted.cpp.o"
+  "CMakeFiles/compiled_vs_interpreted.dir/compiled_vs_interpreted.cpp.o.d"
+  "compiled_vs_interpreted"
+  "compiled_vs_interpreted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_vs_interpreted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

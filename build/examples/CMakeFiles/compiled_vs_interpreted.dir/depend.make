@@ -1,0 +1,2 @@
+# Empty dependencies file for compiled_vs_interpreted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorphic_closures.dir/polymorphic_closures.cpp.o"
+  "CMakeFiles/polymorphic_closures.dir/polymorphic_closures.cpp.o.d"
+  "polymorphic_closures"
+  "polymorphic_closures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorphic_closures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for polymorphic_closures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagfree_append.dir/tagfree_append.cpp.o"
+  "CMakeFiles/tagfree_append.dir/tagfree_append.cpp.o.d"
+  "tagfree_append"
+  "tagfree_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagfree_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

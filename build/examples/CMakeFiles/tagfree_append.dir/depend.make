@@ -1,0 +1,2 @@
+# Empty dependencies file for tagfree_append.
+# This may be replaced when dependencies are built.

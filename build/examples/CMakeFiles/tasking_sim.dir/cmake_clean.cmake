@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasking_sim.dir/tasking_sim.cpp.o"
+  "CMakeFiles/tasking_sim.dir/tasking_sim.cpp.o.d"
+  "tasking_sim"
+  "tasking_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasking_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("types")
+subdirs("ir")
+subdirs("analysis")
+subdirs("gcmeta")
+subdirs("runtime")
+subdirs("core")
+subdirs("vm")
+subdirs("tasking")
+subdirs("driver")
+subdirs("workloads")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Cfg.cpp" "src/analysis/CMakeFiles/tfgc_analysis.dir/Cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/tfgc_analysis.dir/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/GcPoints.cpp" "src/analysis/CMakeFiles/tfgc_analysis.dir/GcPoints.cpp.o" "gcc" "src/analysis/CMakeFiles/tfgc_analysis.dir/GcPoints.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/tfgc_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/tfgc_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Reconstruct.cpp" "src/analysis/CMakeFiles/tfgc_analysis.dir/Reconstruct.cpp.o" "gcc" "src/analysis/CMakeFiles/tfgc_analysis.dir/Reconstruct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tfgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tfgc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tfgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tfgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_analysis.dir/Cfg.cpp.o"
+  "CMakeFiles/tfgc_analysis.dir/Cfg.cpp.o.d"
+  "CMakeFiles/tfgc_analysis.dir/GcPoints.cpp.o"
+  "CMakeFiles/tfgc_analysis.dir/GcPoints.cpp.o.d"
+  "CMakeFiles/tfgc_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/tfgc_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/tfgc_analysis.dir/Reconstruct.cpp.o"
+  "CMakeFiles/tfgc_analysis.dir/Reconstruct.cpp.o.d"
+  "libtfgc_analysis.a"
+  "libtfgc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AppelCollector.cpp" "src/core/CMakeFiles/tfgc_core.dir/AppelCollector.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/AppelCollector.cpp.o.d"
+  "/root/repo/src/core/Collector.cpp" "src/core/CMakeFiles/tfgc_core.dir/Collector.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/Collector.cpp.o.d"
+  "/root/repo/src/core/GoldbergCollector.cpp" "src/core/CMakeFiles/tfgc_core.dir/GoldbergCollector.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/GoldbergCollector.cpp.o.d"
+  "/root/repo/src/core/TaggedCollector.cpp" "src/core/CMakeFiles/tfgc_core.dir/TaggedCollector.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/TaggedCollector.cpp.o.d"
+  "/root/repo/src/core/Tracer.cpp" "src/core/CMakeFiles/tfgc_core.dir/Tracer.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/Tracer.cpp.o.d"
+  "/root/repo/src/core/TypeGc.cpp" "src/core/CMakeFiles/tfgc_core.dir/TypeGc.cpp.o" "gcc" "src/core/CMakeFiles/tfgc_core.dir/TypeGc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gcmeta/CMakeFiles/tfgc_gcmeta.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tfgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tfgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tfgc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tfgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tfgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tfgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

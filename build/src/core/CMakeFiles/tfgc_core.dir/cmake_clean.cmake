@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_core.dir/AppelCollector.cpp.o"
+  "CMakeFiles/tfgc_core.dir/AppelCollector.cpp.o.d"
+  "CMakeFiles/tfgc_core.dir/Collector.cpp.o"
+  "CMakeFiles/tfgc_core.dir/Collector.cpp.o.d"
+  "CMakeFiles/tfgc_core.dir/GoldbergCollector.cpp.o"
+  "CMakeFiles/tfgc_core.dir/GoldbergCollector.cpp.o.d"
+  "CMakeFiles/tfgc_core.dir/TaggedCollector.cpp.o"
+  "CMakeFiles/tfgc_core.dir/TaggedCollector.cpp.o.d"
+  "CMakeFiles/tfgc_core.dir/Tracer.cpp.o"
+  "CMakeFiles/tfgc_core.dir/Tracer.cpp.o.d"
+  "CMakeFiles/tfgc_core.dir/TypeGc.cpp.o"
+  "CMakeFiles/tfgc_core.dir/TypeGc.cpp.o.d"
+  "libtfgc_core.a"
+  "libtfgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/tfgc_driver.dir/Compiler.cpp.o.d"
+  "libtfgc_driver.a"
+  "libtfgc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfgc_driver.a"
+)

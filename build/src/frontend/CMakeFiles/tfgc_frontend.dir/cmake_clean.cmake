@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/tfgc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/tfgc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/tfgc_frontend.dir/Parser.cpp.o.d"
+  "libtfgc_frontend.a"
+  "libtfgc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_gcmeta.dir/AppelMeta.cpp.o"
+  "CMakeFiles/tfgc_gcmeta.dir/AppelMeta.cpp.o.d"
+  "CMakeFiles/tfgc_gcmeta.dir/CodeImage.cpp.o"
+  "CMakeFiles/tfgc_gcmeta.dir/CodeImage.cpp.o.d"
+  "CMakeFiles/tfgc_gcmeta.dir/CompiledRoutines.cpp.o"
+  "CMakeFiles/tfgc_gcmeta.dir/CompiledRoutines.cpp.o.d"
+  "CMakeFiles/tfgc_gcmeta.dir/Descriptor.cpp.o"
+  "CMakeFiles/tfgc_gcmeta.dir/Descriptor.cpp.o.d"
+  "CMakeFiles/tfgc_gcmeta.dir/InterpretedMeta.cpp.o"
+  "CMakeFiles/tfgc_gcmeta.dir/InterpretedMeta.cpp.o.d"
+  "libtfgc_gcmeta.a"
+  "libtfgc_gcmeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_gcmeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

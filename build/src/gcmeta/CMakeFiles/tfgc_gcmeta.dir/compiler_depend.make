@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfgc_gcmeta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tfgc_gcmeta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Ir.cpp" "src/ir/CMakeFiles/tfgc_ir.dir/Ir.cpp.o" "gcc" "src/ir/CMakeFiles/tfgc_ir.dir/Ir.cpp.o.d"
+  "/root/repo/src/ir/Lower.cpp" "src/ir/CMakeFiles/tfgc_ir.dir/Lower.cpp.o" "gcc" "src/ir/CMakeFiles/tfgc_ir.dir/Lower.cpp.o.d"
+  "/root/repo/src/ir/Monomorphise.cpp" "src/ir/CMakeFiles/tfgc_ir.dir/Monomorphise.cpp.o" "gcc" "src/ir/CMakeFiles/tfgc_ir.dir/Monomorphise.cpp.o.d"
+  "/root/repo/src/ir/Verify.cpp" "src/ir/CMakeFiles/tfgc_ir.dir/Verify.cpp.o" "gcc" "src/ir/CMakeFiles/tfgc_ir.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/tfgc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tfgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tfgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

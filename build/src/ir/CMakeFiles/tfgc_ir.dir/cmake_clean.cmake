@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_ir.dir/Ir.cpp.o"
+  "CMakeFiles/tfgc_ir.dir/Ir.cpp.o.d"
+  "CMakeFiles/tfgc_ir.dir/Lower.cpp.o"
+  "CMakeFiles/tfgc_ir.dir/Lower.cpp.o.d"
+  "CMakeFiles/tfgc_ir.dir/Monomorphise.cpp.o"
+  "CMakeFiles/tfgc_ir.dir/Monomorphise.cpp.o.d"
+  "CMakeFiles/tfgc_ir.dir/Verify.cpp.o"
+  "CMakeFiles/tfgc_ir.dir/Verify.cpp.o.d"
+  "libtfgc_ir.a"
+  "libtfgc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

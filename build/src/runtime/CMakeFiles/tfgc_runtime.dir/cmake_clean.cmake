@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/tfgc_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/tfgc_runtime.dir/MarkSweepHeap.cpp.o"
+  "CMakeFiles/tfgc_runtime.dir/MarkSweepHeap.cpp.o.d"
+  "libtfgc_runtime.a"
+  "libtfgc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_support.dir/Arena.cpp.o"
+  "CMakeFiles/tfgc_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/tfgc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/tfgc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/tfgc_support.dir/Stats.cpp.o"
+  "CMakeFiles/tfgc_support.dir/Stats.cpp.o.d"
+  "libtfgc_support.a"
+  "libtfgc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

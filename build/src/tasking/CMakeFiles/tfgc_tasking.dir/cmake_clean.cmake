@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_tasking.dir/Tasking.cpp.o"
+  "CMakeFiles/tfgc_tasking.dir/Tasking.cpp.o.d"
+  "libtfgc_tasking.a"
+  "libtfgc_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

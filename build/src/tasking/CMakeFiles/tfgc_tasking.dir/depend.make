@@ -1,0 +1,2 @@
+# Empty dependencies file for tfgc_tasking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_types.dir/Infer.cpp.o"
+  "CMakeFiles/tfgc_types.dir/Infer.cpp.o.d"
+  "CMakeFiles/tfgc_types.dir/Type.cpp.o"
+  "CMakeFiles/tfgc_types.dir/Type.cpp.o.d"
+  "libtfgc_types.a"
+  "libtfgc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

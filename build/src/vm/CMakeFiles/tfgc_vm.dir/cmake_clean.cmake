@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_vm.dir/Vm.cpp.o"
+  "CMakeFiles/tfgc_vm.dir/Vm.cpp.o.d"
+  "libtfgc_vm.a"
+  "libtfgc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc_workloads.dir/Programs.cpp.o"
+  "CMakeFiles/tfgc_workloads.dir/Programs.cpp.o.d"
+  "libtfgc_workloads.a"
+  "libtfgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/exhaustiveness_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/exhaustiveness_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/exhaustiveness_test.cpp.o.d"
+  "/root/repo/tests/gcmeta_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/gcmeta_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/gcmeta_test.cpp.o.d"
+  "/root/repo/tests/gloger_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/gloger_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/gloger_test.cpp.o.d"
+  "/root/repo/tests/heap_verify_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/heap_verify_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/heap_verify_test.cpp.o.d"
+  "/root/repo/tests/infer_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/infer_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/infer_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/lower_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/lower_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/lower_test.cpp.o.d"
+  "/root/repo/tests/mono_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/mono_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/mono_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/poly_gc_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/poly_gc_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/poly_gc_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/tasking_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/tasking_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/tasking_test.cpp.o.d"
+  "/root/repo/tests/typegc_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/typegc_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/typegc_test.cpp.o.d"
+  "/root/repo/tests/types_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/types_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/types_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/verify_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/tfgc_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/tfgc_tests.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/tfgc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasking/CMakeFiles/tfgc_tasking.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tfgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tfgc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcmeta/CMakeFiles/tfgc_gcmeta.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tfgc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tfgc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/tfgc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tfgc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tfgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tfgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

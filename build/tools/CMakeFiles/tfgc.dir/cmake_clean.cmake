@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfgc.dir/tfgc.cpp.o"
+  "CMakeFiles/tfgc.dir/tfgc.cpp.o.d"
+  "tfgc"
+  "tfgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
