@@ -16,13 +16,125 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 namespace tfgc::bench {
 
+// -- JSON trajectory output ----------------------------------------------
+//
+// Every bench binary accepts `--json <path>` (or `--json=<path>`): the
+// paper-table counter runs and the google-benchmark timings are then also
+// written to <path> as one JSON document, so the repo can accumulate
+// BENCH_<name>.json files as a perf trajectory across PRs.
+
+class JsonSink {
+public:
+  /// Scans argv for --json and strips it (google-benchmark rejects flags
+  /// it does not know).
+  JsonSink(std::string BenchName, int &Argc, char **Argv)
+      : BenchName(std::move(BenchName)) {
+    int Out = 1;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--json" && I + 1 < Argc) {
+        Path = Argv[++I];
+      } else if (Arg.rfind("--json=", 0) == 0) {
+        Path = Arg.substr(7);
+      } else {
+        Argv[Out++] = Argv[I];
+      }
+    }
+    Argc = Out;
+    active() = this;
+  }
+  ~JsonSink() {
+    if (active() == this)
+      active() = nullptr;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Labels subsequent record() calls with the workload being tabled.
+  void setWorkload(std::string W) { Workload = std::move(W); }
+
+  /// Captures one deterministic run's counters.
+  void record(const char *Strategy, GcAlgorithm A, size_t HeapBytes,
+              const Stats &St) {
+    if (!enabled())
+      return;
+    std::ostringstream OS;
+    OS << "    {\"workload\": \"" << Workload << "\", \"strategy\": \""
+       << Strategy << "\", \"algorithm\": \""
+       << (A == GcAlgorithm::Copying ? "copying" : "marksweep")
+       << "\", \"heap_bytes\": " << HeapBytes << ", \"counters\": {";
+    bool First = true;
+    for (const auto &[Name, Value] : St.all()) {
+      OS << (First ? "" : ", ") << '"' << Name << "\": " << Value;
+      First = false;
+    }
+    OS << "}}";
+    Rows.push_back(OS.str());
+  }
+
+  /// Runs the registered google-benchmark timings (JSON-captured when
+  /// enabled) and writes the document. Call after benchmark::Initialize.
+  void runBenchmarksAndWrite() {
+    if (!enabled()) {
+      benchmark::RunSpecifiedBenchmarks();
+      return;
+    }
+    // The JSON reporter stands in as the display reporter (a separate
+    // file reporter would demand --benchmark_out); timings go to the
+    // document instead of the console in JSON mode.
+    std::ostringstream Timings;
+    {
+      benchmark::JSONReporter Json;
+      Json.SetOutputStream(&Timings);
+      Json.SetErrorStream(&std::cerr);
+      benchmark::RunSpecifiedBenchmarks(&Json);
+    }
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      std::abort();
+    }
+    std::string TimingsDoc = Timings.str();
+    if (TimingsDoc.empty())
+      TimingsDoc = "null"; // Bench with no registered timings.
+    Out << "{\n  \"bench\": \"" << BenchName << "\",\n  \"schema\": 1,\n"
+        << "  \"table_runs\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Out << Rows[I] << (I + 1 < Rows.size() ? ",\n" : "\n");
+    Out << "  ],\n  \"benchmark\": " << TimingsDoc << "\n}\n";
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+  static JsonSink *&active() {
+    static JsonSink *S = nullptr;
+    return S;
+  }
+
+private:
+  std::string BenchName;
+  std::string Path;
+  std::string Workload;
+  std::vector<std::string> Rows;
+};
+
+/// Labels the table rows that follow in the JSON capture (no-op when no
+/// sink is active).
+inline void jsonWorkload(const std::string &W) {
+  if (JsonSink *S = JsonSink::active())
+    S->setWorkload(W);
+}
+
 /// Runs a program once and returns its stats (aborts on failure — benches
-/// must not silently measure broken runs).
+/// must not silently measure broken runs). Counter results feed the
+/// active JsonSink, if any.
 inline Stats runOnce(const std::string &Source, GcStrategy S,
                      GcAlgorithm A = GcAlgorithm::Copying,
                      size_t HeapBytes = 1 << 16, bool Stress = false,
@@ -34,6 +146,8 @@ inline Stats runOnce(const std::string &Source, GcStrategy S,
                  R.Run.Error.c_str());
     std::abort();
   }
+  if (JsonSink *Sink = JsonSink::active())
+    Sink->record(gcStrategyName(S), A, HeapBytes, R.St);
   return std::move(R.St);
 }
 
@@ -72,7 +186,7 @@ inline void timedRun(benchmark::State &State, CompiledProgram &P,
       return;
     }
     benchmark::DoNotOptimize(R.Value.data());
-    State.counters["collections"] = (double)St.get("gc.collections");
+    State.counters["collections"] = (double)St.get(StatId::GcCollections);
   }
 }
 

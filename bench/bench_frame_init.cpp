@@ -34,11 +34,11 @@ void report(const char *Config, const std::string &Src, GcStrategy S,
   if (!R.Ok)
     std::abort();
   tableCell(Config);
-  tableCell(St.get("vm.calls"));
-  tableCell(St.get("vm.frame_words_zeroed"));
-  tableCell(St.get("vm.calls")
-                ? (double)St.get("vm.frame_words_zeroed") /
-                      (double)St.get("vm.calls")
+  tableCell(St.get(StatId::VmCalls));
+  tableCell(St.get(StatId::VmFrameWordsZeroed));
+  tableCell(St.get(StatId::VmCalls)
+                ? (double)St.get(StatId::VmFrameWordsZeroed) /
+                      (double)St.get(StatId::VmCalls)
                 : 0.0);
   tableEnd();
 }
@@ -67,6 +67,8 @@ BENCHMARK(BM_AppelZeroes);
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("frame_init", argc, argv);
+  jsonWorkload("nqueens");
   std::string Src = wl::nqueens(7);
   tableHeader("E9: frame initialization (nqueens 7, call-heavy)",
               "Appel/tagged must zero every frame at entry; per-site "
@@ -80,6 +82,6 @@ int main(int argc, char **argv) {
               "Appel/tagged zero every\nframe word on every call — pure "
               "mutator overhead visible in the timings.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

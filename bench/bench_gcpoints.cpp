@@ -51,6 +51,7 @@ BENCHMARK(BM_GcPointAnalysis);
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("gcpoints", argc, argv);
   tableHeader("E6: GC-point analysis (section 5.1)",
               "omitted = sites with no gc_word; no_trace = sites whose "
               "routine is empty (paper 2.4)",
@@ -69,6 +70,6 @@ int main(int argc, char **argv) {
               "still\nshares no_trace heavily (the paper's append "
               "observation).\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

@@ -17,16 +17,17 @@ namespace wl = tfgc::workloads;
 namespace {
 
 void report(const char *Name, const std::string &Src, size_t HeapBytes) {
+  jsonWorkload(Name);
   for (GcStrategy S : {GcStrategy::Tagged, GcStrategy::CompiledTagFree}) {
     Stats St = runOnce(Src, S, GcAlgorithm::Copying, HeapBytes);
-    uint64_t Bytes = St.get("heap.bytes_allocated_total");
-    uint64_t Objects = St.get("heap.objects_allocated");
+    uint64_t Bytes = St.get(StatId::HeapBytesAllocatedTotal);
+    uint64_t Objects = St.get(StatId::HeapObjectsAllocated);
     tableCell(Name);
     tableCell(S == GcStrategy::Tagged ? "tagged" : "tag-free");
     tableCell(human(Bytes));
     tableCell(Objects);
     tableCell(Objects ? (double)Bytes / (double)Objects : 0.0);
-    tableCell(human(St.get("heap.used_bytes")));
+    tableCell(human(St.get(StatId::HeapUsedBytes)));
     tableEnd();
   }
 }
@@ -46,6 +47,7 @@ BENCHMARK(BM_ChurnSpaceTagFree);
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("heap_space", argc, argv);
   tableHeader("E2: heap space, tagged vs tag-free",
               "same programs, same allocations; tagged adds one header "
               "word per object and boxes floats",
@@ -61,6 +63,6 @@ int main(int argc, char **argv) {
               "With identical semispace sizes, smaller objects also mean "
               "fewer collections (timings below).\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

@@ -23,13 +23,13 @@ void report(const char *Config, const std::string &Src, GcStrategy S,
   CompileOptions O;
   O.UseLiveness = UseLiveness;
   Stats St = runOnce(Src, S, GcAlgorithm::Copying, HeapBytes, true, O);
-  uint64_t N = St.get("gc.collections");
+  uint64_t N = St.get(StatId::GcCollections);
   tableCell(Config);
   tableCell(N);
-  tableCell(St.get("gc.objects_visited"));
-  tableCell(St.get("gc.words_visited"));
-  tableCell(N ? (double)St.get("gc.words_visited") / (double)N : 0.0);
-  tableCell(St.get("gc.slots_traced"));
+  tableCell(St.get(StatId::GcObjectsVisited));
+  tableCell(St.get(StatId::GcWordsVisited));
+  tableCell(N ? (double)St.get(StatId::GcWordsVisited) / (double)N : 0.0);
+  tableCell(St.get(StatId::GcSlotsTraced));
   tableEnd();
 }
 
@@ -66,6 +66,8 @@ BENCHMARK(BM_TaggedScansEverything);
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("liveness", argc, argv);
+  jsonWorkload("deadVars");
   std::string Src = wl::deadVars(600, 600);
   tableHeader("E5: dead-variable retention (deadVars 600/600, GC stress)",
               "a 600-cons list dies before a 600-cons allocating call; "
@@ -86,6 +88,6 @@ int main(int argc, char **argv) {
               "Appel and tagged all keep dragging the dead list\nthrough "
               "every collection.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

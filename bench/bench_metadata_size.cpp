@@ -32,6 +32,7 @@ void report(const char *Name, const std::string &Src) {
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("metadata_size", argc, argv);
   tableHeader("E4: GC metadata size by method",
               "modeled bytes: compiled = straight-line code, interpreted/"
               "Appel = shared descriptors; tagged = 0 (costs live in E2)",
@@ -77,6 +78,6 @@ int main(int argc, char **argv) {
               "is descriptor-sized but one table per\nprocedure instead of "
               "per call site.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

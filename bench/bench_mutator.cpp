@@ -25,6 +25,10 @@ std::unique_ptr<CompiledProgram> &floatProgram() {
   static auto P = compileOrDie(wl::floatKernel(64, 200));
   return P;
 }
+std::unique_ptr<CompiledProgram> &churnProgram() {
+  static auto P = compileOrDie(wl::listChurn(200, 64));
+  return P;
+}
 
 void BM_ArithTagged(benchmark::State &State) {
   timedRun(State, *arithProgram(), GcStrategy::Tagged, GcAlgorithm::Copying,
@@ -42,11 +46,24 @@ void BM_FloatTagFree(benchmark::State &State) {
   timedRun(State, *floatProgram(), GcStrategy::CompiledTagFree,
            GcAlgorithm::Copying, 1 << 22);
 }
+// Mark-sweep configuration: an allocation-heavy workload on a small heap,
+// so mutator throughput is dominated by allocate/mark/sweep — the numbers
+// that move when the heap's free lists, block index, and mark set change.
+void BM_ChurnTagFreeMarkSweep(benchmark::State &State) {
+  timedRun(State, *churnProgram(), GcStrategy::CompiledTagFree,
+           GcAlgorithm::MarkSweep, 1 << 14);
+}
+void BM_ChurnTaggedMarkSweep(benchmark::State &State) {
+  timedRun(State, *churnProgram(), GcStrategy::Tagged, GcAlgorithm::MarkSweep,
+           1 << 14);
+}
 
 BENCHMARK(BM_ArithTagged);
 BENCHMARK(BM_ArithTagFree);
 BENCHMARK(BM_FloatTagged);
 BENCHMARK(BM_FloatTagFree);
+BENCHMARK(BM_ChurnTagFreeMarkSweep);
+BENCHMARK(BM_ChurnTaggedMarkSweep);
 
 void printTable() {
   tableHeader("E1: mutator overhead of tagging",
@@ -62,16 +79,30 @@ void printTable() {
       {"float", wl::floatKernel(64, 200)},
   };
   for (const Row &R : Rows) {
+    jsonWorkload(R.Name);
     for (GcStrategy S : {GcStrategy::Tagged, GcStrategy::CompiledTagFree}) {
       Stats St = runOnce(R.Src, S, GcAlgorithm::Copying, 1 << 22);
       tableCell(R.Name);
       tableCell(S == GcStrategy::Tagged ? "tagged" : "tag-free");
-      tableCell(St.get("vm.steps"));
-      tableCell(St.get("vm.tag_ops"));
-      tableCell(St.get("vm.float_boxes"));
-      tableCell(St.get("heap.objects_allocated"));
+      tableCell(St.get(StatId::VmSteps));
+      tableCell(St.get(StatId::VmTagOps));
+      tableCell(St.get(StatId::VmFloatBoxes));
+      tableCell(St.get(StatId::HeapObjectsAllocated));
       tableEnd();
     }
+  }
+  // The mark-sweep configuration: collection throughput on a small heap.
+  jsonWorkload("listChurn");
+  for (GcStrategy S : {GcStrategy::Tagged, GcStrategy::CompiledTagFree}) {
+    Stats St = runOnce(wl::listChurn(200, 64), S, GcAlgorithm::MarkSweep,
+                       1 << 14);
+    tableCell("listChurn/ms");
+    tableCell(S == GcStrategy::Tagged ? "tagged" : "tag-free");
+    tableCell(St.get(StatId::VmSteps));
+    tableCell(St.get(StatId::VmTagOps));
+    tableCell(St.get(StatId::VmFloatBoxes));
+    tableCell(St.get(StatId::HeapObjectsAllocated));
+    tableEnd();
   }
   std::printf("\nExpected shape: identical step counts; the tagged model "
               "additionally executes\ntag strip/reinstate ops and boxes "
@@ -81,8 +112,9 @@ void printTable() {
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("mutator", argc, argv);
   printTable();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

@@ -27,18 +27,19 @@ const GcStrategy Strategies[] = {
 
 void report(const char *Name, const std::string &Src, size_t HeapBytes,
             GcAlgorithm A) {
+  jsonWorkload(Name);
   for (GcStrategy S : Strategies) {
     Stats St = runOnce(Src, S, A, HeapBytes);
-    uint64_t N = St.get("gc.collections");
+    uint64_t N = St.get(StatId::GcCollections);
     tableCell(Name);
     tableCell(std::string(gcStrategyName(S)) +
               (A == GcAlgorithm::Copying ? "/copy" : "/ms"));
     tableCell(N);
-    tableCell(N ? (double)St.get("gc.pause_ns_total") / (double)N / 1000.0
+    tableCell(N ? (double)St.get(StatId::GcPauseNsTotal) / (double)N / 1000.0
                 : 0.0);
-    tableCell((double)St.get("gc.pause_ns_max") / 1000.0);
-    tableCell(St.get("gc.objects_visited"));
-    tableCell(St.get("gc.compiled_actions") + St.get("gc.desc_steps"));
+    tableCell((double)St.get(StatId::GcPauseNsMax) / 1000.0);
+    tableCell(St.get(StatId::GcObjectsVisited));
+    tableCell(St.get(StatId::GcCompiledActions) + St.get(StatId::GcDescSteps));
     tableEnd();
   }
 }
@@ -81,6 +82,7 @@ BENCHMARK_CAPTURE(BM_Trees, appel_copy, GcStrategy::AppelTagFree,
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("pause", argc, argv);
   tableHeader("E3: collection pause by strategy",
               "fixed heap; avg/max pause in microseconds; 'trace work' = "
               "compiled actions + descriptor steps",
@@ -99,6 +101,6 @@ int main(int argc, char **argv) {
       "more (all slots assumed live);\ntagged visits every frame slot and "
       "every payload word by tag.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

@@ -65,15 +65,15 @@ void report(SuspendChecks Policy) {
   TaskRun R = runTasks(Policy, 3, 60, 60, 2500, 1 << 13);
   if (!R.Ok)
     std::abort();
-  uint64_t Stops = R.St.get("task.world_stops");
+  uint64_t Stops = R.St.get(StatId::TaskWorldStops);
   tableCell(policyName(Policy));
-  tableCell(R.St.get("task.suspend_checks"));
+  tableCell(R.St.get(StatId::TaskSuspendChecks));
   tableCell(Stops);
-  tableCell(Stops ? (double)R.St.get("task.steps_to_world_stop_total") /
+  tableCell(Stops ? (double)R.St.get(StatId::TaskStepsToWorldStopTotal) /
                         (double)Stops
                   : 0.0);
-  tableCell(R.St.get("task.steps_to_world_stop_max"));
-  tableCell(R.St.get("task.context_switches"));
+  tableCell(R.St.get(StatId::TaskStepsToWorldStopMax));
+  tableCell(R.St.get(StatId::TaskContextSwitches));
   tableEnd();
 }
 
@@ -84,7 +84,7 @@ void BM_Tasking(benchmark::State &State, SuspendChecks Policy) {
       State.SkipWithError("task failure");
       return;
     }
-    State.counters["world_stops"] = (double)R.St.get("task.world_stops");
+    State.counters["world_stops"] = (double)R.St.get(StatId::TaskWorldStops);
   }
 }
 BENCHMARK_CAPTURE(BM_Tasking, alloc_only, SuspendChecks::AtAllocation);
@@ -94,6 +94,8 @@ BENCHMARK_CAPTURE(BM_Tasking, rgc_register, SuspendChecks::RgcRegister);
 } // namespace
 
 int main(int argc, char **argv) {
+  JsonSink Sink("tasking", argc, argv);
+  jsonWorkload("taskWorkerAndSpinner");
   tableHeader("E8: suspension policy (3 workers + 1 spinner, shared heap)",
               "checks = explicit suspension tests executed; stop latency = "
               "instructions other tasks run between heap exhaustion and "
@@ -109,6 +111,6 @@ int main(int argc, char **argv) {
               "rgc-register matches alloc-only's explicit check count with "
               "every-call's latency\n(the test rides the computed jump).\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  Sink.runBenchmarksAndWrite();
   return 0;
 }

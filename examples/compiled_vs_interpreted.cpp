@@ -52,14 +52,14 @@ int main() {
       std::fprintf(stderr, "%s\n", R.Error.c_str());
       return 1;
     }
-    uint64_t N = St.get("gc.collections");
+    uint64_t N = St.get(StatId::GcCollections);
     std::printf("  %-22s collections=%-3llu avg pause=%7.1fus  "
                 "trace steps: compiled=%llu descriptor=%llu\n",
                 gcStrategyName(S), (unsigned long long)N,
-                N ? (double)St.get("gc.pause_ns_total") / (double)N / 1e3
+                N ? (double)St.get(StatId::GcPauseNsTotal) / (double)N / 1e3
                   : 0.0,
-                (unsigned long long)St.get("gc.compiled_actions"),
-                (unsigned long long)St.get("gc.desc_steps"));
+                (unsigned long long)St.get(StatId::GcCompiledActions),
+                (unsigned long long)St.get(StatId::GcDescSteps));
   }
 
   std::printf(

@@ -75,9 +75,9 @@ int main() {
     std::printf("  %-20s collections=%-4llu type-gc closures built=%-5llu "
                 "chain steps=%-5llu\n",
                 gcStrategyName(S),
-                (unsigned long long)St.get("gc.collections"),
-                (unsigned long long)St.get("gc.tg_nodes"),
-                (unsigned long long)St.get("gc.chain_steps"));
+                (unsigned long long)St.get(StatId::GcCollections),
+                (unsigned long long)St.get(StatId::GcTgNodes),
+                (unsigned long long)St.get(StatId::GcChainSteps));
     if (S == GcStrategy::Tagged)
       std::printf("       result: %s\n", R.Value.c_str());
   }

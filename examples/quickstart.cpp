@@ -70,12 +70,12 @@ int main() {
         "%-20s result=%-8s collections=%-4llu avg pause=%6.1fus "
         "heap allocated=%llu bytes\n",
         gcStrategyName(S), R.Value.c_str(),
-        (unsigned long long)St.get("gc.collections"),
-        St.get("gc.collections")
-            ? (double)St.get("gc.pause_ns_total") /
-                  (double)St.get("gc.collections") / 1000.0
+        (unsigned long long)St.get(StatId::GcCollections),
+        St.get(StatId::GcCollections)
+            ? (double)St.get(StatId::GcPauseNsTotal) /
+                  (double)St.get(StatId::GcCollections) / 1000.0
             : 0.0,
-        (unsigned long long)St.get("heap.bytes_allocated_total"));
+        (unsigned long long)St.get(StatId::HeapBytesAllocatedTotal));
   }
 
   std::printf("\nAll four collectors return the same value; the tag-free "

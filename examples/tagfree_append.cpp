@@ -77,9 +77,9 @@ int main() {
               2 * (400 * 401 / 2));
   std::printf("collections: %llu, frames traced: %llu, "
               "slots traced in total: %llu\n",
-              (unsigned long long)St.get("gc.collections"),
-              (unsigned long long)St.get("gc.frames_traced"),
-              (unsigned long long)St.get("gc.slots_traced"));
+              (unsigned long long)St.get(StatId::GcCollections),
+              (unsigned long long)St.get(StatId::GcFramesTraced),
+              (unsigned long long)St.get(StatId::GcSlotsTraced));
   std::printf("\nThousands of append frames were on the stack during "
               "collections, yet the\nslots-traced count stays tiny: only "
               "build/sum/main frames contribute.\n");

@@ -67,15 +67,15 @@ int main() {
           std::fprintf(stderr, "  %s\n", R.Error.c_str());
       return 1;
     }
-    uint64_t Stops = St.get("task.world_stops");
+    uint64_t Stops = St.get(StatId::TaskWorldStops);
     std::printf("%-18s %-14llu %-12llu %-18.0f %-16llu\n",
                 policyName(Policy),
-                (unsigned long long)St.get("task.suspend_checks"),
+                (unsigned long long)St.get(StatId::TaskSuspendChecks),
                 (unsigned long long)Stops,
-                Stops ? (double)St.get("task.steps_to_world_stop_total") /
+                Stops ? (double)St.get(StatId::TaskStepsToWorldStopTotal) /
                             (double)Stops
                       : 0.0,
-                (unsigned long long)St.get("task.steps_to_world_stop_max"));
+                (unsigned long long)St.get(StatId::TaskStepsToWorldStopMax));
   }
 
   std::printf(

@@ -11,7 +11,8 @@ AppelCollector::AppelCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
                                TypeContext &Types, AppelMetadata *AM,
                                bool GlogerDummies)
     : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Prog(Prog),
-      Img(Img), Types(Types), AM(AM), GlogerDummies(GlogerDummies) {}
+      Img(Img), Types(Types), AM(AM), GlogerDummies(GlogerDummies),
+      Eng(Types, St) {}
 
 std::vector<const TypeGc *>
 AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
@@ -21,7 +22,7 @@ AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
   if (Fn.TypeParams.empty())
     return {};
 
-  St.add("gc.chain_steps");
+  St.add(StatId::GcChainSteps);
   uint32_t CallerIdx = Fr.DynamicLink;
   assert(CallerIdx != NoFrame &&
          "polymorphic frame with no caller (main must be monomorphic)");
@@ -56,7 +57,7 @@ AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
 }
 
 void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
-  TypeGcEngine Eng(Types, St);
+  Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
                    nullptr, AM, GlogerDummies);
 
@@ -68,7 +69,7 @@ void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
     while (Idx != NoFrame) {
       FrameInfo &Fr = Stack->Frames[Idx];
       const IrFunction &Fn = Prog.fn(Fr.FuncId);
-      St.add("gc.frames_traced");
+      St.add(StatId::GcFramesTraced);
 
       std::vector<const TypeGc *> Binds;
       if (!Fn.TypeParams.empty())

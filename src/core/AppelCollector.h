@@ -37,6 +37,10 @@ private:
   TypeContext &Types;
   AppelMetadata *AM;
   bool GlogerDummies;
+  /// Lives as long as the collector so the cross-collection ground-type
+  /// closure cache pays off; reset() after every traceRoots pass drops the
+  /// per-collection nodes.
+  TypeGcEngine Eng;
 
   /// Walks the dynamic chain downward from frame \p Idx until the type
   /// parameters of its function are ground (paper section 3's description

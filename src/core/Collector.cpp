@@ -34,7 +34,7 @@ Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
   Word *P = Copying ? Copying->tryAllocate(Total) : Ms->tryAllocate(Total);
   if (!P)
     return nullptr;
-  St.add("heap.objects_allocated");
+  St.add(StatId::HeapObjectsAllocated);
   if (Model == ValueModel::Tagged) {
     P[0] = makeHeader((uint32_t)PayloadWords, Kind);
     return P + 1;
@@ -60,26 +60,26 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
       size_t UsedWords = Copying->usedBytes() / sizeof(Word);
       Capacity = Capacity * 2 > UsedWords + Need ? Capacity * 2
                                                  : (UsedWords + Need) * 2;
-      St.add("gc.heap_growths");
+      St.add(StatId::GcHeapGrowths);
     }
   } else {
     Ms->beginMark();
     MarkSpace Sp(*Ms, Model == ValueModel::Tagged);
     traceRoots(Roots, Sp);
     size_t Reclaimed = Ms->sweep();
-    St.add("gc.bytes_reclaimed", Reclaimed);
+    St.add(StatId::GcBytesReclaimed, Reclaimed);
     while (!Ms->canAllocate(Need)) {
       Ms->addSegment();
-      St.add("gc.heap_growths");
+      St.add(StatId::GcHeapGrowths);
     }
   }
 
   auto Ns = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - Start)
                 .count();
-  St.add("gc.collections");
-  St.add("gc.pause_ns_total", Ns);
-  St.max("gc.pause_ns_max", Ns);
+  St.add(StatId::GcCollections);
+  St.add(StatId::GcPauseNsTotal, Ns);
+  St.max(StatId::GcPauseNsMax, Ns);
 
   if (VerifyAfterGc) {
     // Note: the verification pass re-runs the frame routines, so work
@@ -91,8 +91,8 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
         },
         Model == ValueModel::Tagged);
     traceRoots(Roots, Check);
-    St.add("gc.verify_passes");
-    St.add("gc.verify_violations", Check.violations());
+    St.add(StatId::GcVerifyPasses);
+    St.add(StatId::GcVerifyViolations, Check.violations());
   }
 }
 

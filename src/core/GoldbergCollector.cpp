@@ -15,7 +15,7 @@ GoldbergCollector::GoldbergCollector(TraceMethod Method, GcAlgorithm Algo,
                                      bool GlogerDummies)
     : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Method(Method),
       Prog(Prog), Img(Img), Types(Types), CM(CM), IM(IM),
-      GlogerDummies(GlogerDummies) {
+      GlogerDummies(GlogerDummies), Eng(Types, St) {
   assert(Method != TraceMethod::Appel && "use AppelCollector");
   assert((Method == TraceMethod::Compiled ? CM != nullptr : IM != nullptr) &&
          "metadata missing for the selected method");
@@ -29,7 +29,7 @@ GoldbergCollector::paramPaths(FuncId Fn) const {
 }
 
 void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
-  TypeGcEngine Eng(Types, St);
+  Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
                    GlogerDummies);
 
@@ -45,7 +45,7 @@ void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
     uint32_t F = (uint32_t)(Stack->Frames.size() - 1);
     while (F != NoFrame) {
       Order.push_back(F);
-      St.add("gc.ptr_reversal_steps");
+      St.add(StatId::GcPtrReversalSteps);
       F = Stack->Frames[F].DynamicLink;
     }
 
@@ -65,7 +65,7 @@ void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
              "collection at a site the GC-point analysis ruled out");
       CallSiteId Site = (CallSiteId)GcWord;
 
-      St.add("gc.frames_traced");
+      St.add(StatId::GcFramesTraced);
       TgEnv Env;
       Env.Params = &Fn.TypeParams;
       Env.Binds = Binds.data();

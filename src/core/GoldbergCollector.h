@@ -40,6 +40,10 @@ private:
   const CompiledMetadata *CM;
   InterpretedMetadata *IM;
   bool GlogerDummies;
+  /// Lives as long as the collector so the cross-collection ground-type
+  /// closure cache pays off; reset() after every traceRoots pass drops the
+  /// per-collection nodes.
+  TypeGcEngine Eng;
 
   const std::vector<ClosureParamPath> &paramPaths(FuncId Fn) const;
 };

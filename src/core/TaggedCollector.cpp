@@ -18,8 +18,8 @@ void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
     const Word *Old = reinterpret_cast<const Word *>(W);
     Word Header = Old[-1];
     NewRef = Sp.visitNew(W, headerSize(Header));
-    St.add("gc.objects_visited");
-    St.add("gc.words_visited", headerSize(Header) + 1);
+    St.add(StatId::GcObjectsVisited);
+    St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
     if (headerKind(Header) == ObjKind::Scan)
       ScanList.push_back(NewRef);
     return NewRef;
@@ -27,11 +27,11 @@ void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
 
   for (TaskStack *Stack : Roots.Stacks) {
     for (FrameInfo &Fr : Stack->Frames) {
-      St.add("gc.frames_traced");
+      St.add(StatId::GcFramesTraced);
       Word *Slots = Stack->frameSlots(Fr);
       // No metadata: every slot of every frame is scanned.
       for (uint32_t I = 0; I < Fr.NumSlots; ++I) {
-        St.add("gc.slots_traced");
+        St.add(StatId::GcSlotsTraced);
         Slots[I] = TraceWord(Slots[I]);
       }
     }

@@ -30,12 +30,12 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
         return Result;
       }
       NewRef = Sp.visitNew(V, TR.PayloadWords);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", TR.PayloadWords);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, TR.PayloadWords);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (const FieldAction &A : TR.Fields) {
-        St.add("gc.compiled_actions");
+        St.add(StatId::GcCompiledActions);
         Pl[A.Offset] = traceCompiled(Pl[A.Offset], A.Routine);
       }
       return Result;
@@ -53,19 +53,19 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       Word Disc = *reinterpret_cast<const Word *>(V);
       assert(Disc < TR.CtorSizes.size() && "corrupt discriminant");
       NewRef = Sp.visitNew(V, TR.CtorSizes[Disc]);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", TR.CtorSizes[Disc]);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, TR.CtorSizes[Disc]);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const std::vector<FieldAction> &Acts = TR.CtorFields[Disc];
       size_t N = Acts.size();
       for (size_t I = 0; I + 1 < N; ++I) {
-        St.add("gc.compiled_actions");
+        St.add(StatId::GcCompiledActions);
         Pl[Acts[I].Offset] = traceCompiled(Pl[Acts[I].Offset], Acts[I].Routine);
       }
       if (N != 0) {
         const FieldAction &Last = Acts[N - 1];
-        St.add("gc.compiled_actions");
+        St.add(StatId::GcCompiledActions);
         if (Last.Routine == R) {
           // Iterate on the tail field (cdr of a list) instead of
           // recursing.
@@ -104,7 +104,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
   for (;;) {
     DescriptorTable &T = descTable();
     const Descriptor &Desc = T.desc(D);
-    St.add("gc.desc_steps");
+    St.add(StatId::GcDescSteps);
     switch (Desc.Kind) {
     case DescKind::Leaf:
       *Patch = V;
@@ -130,8 +130,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
         return Result;
       }
       NewRef = Sp.visitNew(V, Desc.Args.size());
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", Desc.Args.size());
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, Desc.Args.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       // The interpreted method walks the descriptor for every field, even
@@ -151,8 +151,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
         return Result;
       }
       NewRef = Sp.visitNew(V, 1);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", 1);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       Pl[0] = traceDesc(Pl[0], Desc.Args[0], Env);
@@ -171,8 +171,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       Word Disc = *reinterpret_cast<const Word *>(V);
       const std::vector<DescId> &Shape = T.ctorShape(Desc.A, (unsigned)Disc);
       NewRef = Sp.visitNew(V, 1 + Shape.size());
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", 1 + Shape.size());
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, 1 + Shape.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
 
@@ -276,7 +276,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
   Word Result = V;
   Word *Patch = &Result;
   for (;;) {
-    St.add("gc.tg_steps");
+    St.add(StatId::GcTgSteps);
     switch (Tg->K) {
     case TypeGc::Kind::Const:
       *Patch = V;
@@ -295,8 +295,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
         return Result;
       }
       NewRef = Sp.visitNew(V, Tg->NumArgs);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", Tg->NumArgs);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, Tg->NumArgs);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (uint32_t I = 0; I < Tg->NumArgs; ++I)
@@ -315,8 +315,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
         return Result;
       }
       NewRef = Sp.visitNew(V, 1);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", 1);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       if (Tg->Args[0]->K != TypeGc::Kind::Const)
@@ -336,8 +336,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       Word Disc = *reinterpret_cast<const Word *>(V);
       uint32_t NumFields = Tg->CtorFieldCounts[Disc];
       NewRef = Sp.visitNew(V, 1 + NumFields);
-      St.add("gc.objects_visited");
-      St.add("gc.words_visited", 1 + NumFields);
+      St.add(StatId::GcObjectsVisited);
+      St.add(StatId::GcWordsVisited, 1 + NumFields);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const TypeGc *const *Fields = Tg->CtorFields[Disc];
@@ -366,7 +366,7 @@ const TypeGc *TagFreeTracer::bindParam(const ClosureParamPath &P,
     return Eng.extract(FunTg, P.Path);
   assert(GlogerDummies &&
          "non-reconstructible closure reached the collector");
-  St.add("gc.gloger_dummies");
+  St.add(StatId::GcGlogerDummies);
   return Eng.constGc();
 }
 
@@ -406,8 +406,8 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
   }
 
   NewRef = Sp.visitNew(V, PayloadWords);
-  St.add("gc.objects_visited");
-  St.add("gc.words_visited", PayloadWords);
+  St.add(StatId::GcObjectsVisited);
+  St.add(StatId::GcWordsVisited, PayloadWords);
   Word *Pl = Sp.payload(NewRef);
 
   // Recover the lambda's type parameters from its function-type routine
@@ -430,7 +430,7 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
   case TraceMethod::Compiled: {
     const ClosureRoutine &CR = CM->closureRoutine(L);
     for (const FieldAction &A : CR.Fields) {
-      St.add("gc.compiled_actions");
+      St.add(StatId::GcCompiledActions);
       Pl[A.Offset] = traceCompiled(Pl[A.Offset], A.Routine);
     }
     for (const OpenAction &A : CR.Open)
@@ -455,11 +455,11 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
 void TagFreeTracer::traceFrame(Word *Slots, const FrameRoutine &FR,
                                const TgEnv *Env) {
   for (const FrameRoutine::SlotAction &A : FR.Slots) {
-    St.add("gc.slots_traced");
+    St.add(StatId::GcSlotsTraced);
     Slots[A.Slot] = traceCompiled(Slots[A.Slot], A.Routine);
   }
   for (const OpenAction &A : FR.Open) {
-    St.add("gc.slots_traced");
+    St.add(StatId::GcSlotsTraced);
     assert(Env && "open slot without type parameter bindings");
     Slots[A.Index] = traceTg(Slots[A.Index], Eng.eval(A.Ty, *Env));
   }
@@ -468,11 +468,11 @@ void TagFreeTracer::traceFrame(Word *Slots, const FrameRoutine &FR,
 void TagFreeTracer::traceFrame(Word *Slots, const FrameDescriptor &FD,
                                const TgEnv *Env) {
   for (const FrameDescriptor::SlotDesc &A : FD.Slots) {
-    St.add("gc.slots_traced");
+    St.add(StatId::GcSlotsTraced);
     Slots[A.Slot] = traceDesc(Slots[A.Slot], A.Desc, nullptr);
   }
   for (const OpenAction &A : FD.Open) {
-    St.add("gc.slots_traced");
+    St.add(StatId::GcSlotsTraced);
     assert(Env && "open slot without type parameter bindings");
     Slots[A.Index] = traceTg(Slots[A.Index], Eng.eval(A.Ty, *Env));
   }

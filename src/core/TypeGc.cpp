@@ -17,23 +17,83 @@ const TypeGc *TgEnv::lookup(Type *Rigid) const {
 
 TypeGc *TypeGcEngine::alloc() {
   ++NumNodes;
-  St.add("gc.tg_nodes");
-  return Nodes.make<TypeGc>();
+  St.add(StatId::GcTgNodes);
+  return PersistentMode ? PersistentNodes.make<TypeGc>()
+                        : Nodes.make<TypeGc>();
 }
 
 const TypeGc *const *
 TypeGcEngine::copyArgs(const std::vector<const TypeGc *> &Args) {
   if (Args.empty())
     return nullptr;
+  Arena &A = PersistentMode ? PersistentNodes : Nodes;
   auto **Arr = static_cast<const TypeGc **>(
-      Nodes.allocate(sizeof(TypeGc *) * Args.size(), alignof(TypeGc *)));
+      A.allocate(sizeof(TypeGc *) * Args.size(), alignof(TypeGc *)));
   for (size_t I = 0; I < Args.size(); ++I)
     Arr[I] = Args[I];
   return Arr;
 }
 
+bool TypeGcEngine::isGround(Type *T) {
+  T = T->resolved();
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return true;
+  case TypeKind::Var:
+    return false;
+  default:
+    break;
+  }
+  auto It = GroundMemo.find(T);
+  if (It != GroundMemo.end())
+    return It->second;
+  bool G = true;
+  for (Type *A : T->args())
+    G = G && isGround(A);
+  if (G && T->getKind() == TypeKind::Fun)
+    G = isGround(T->result());
+  GroundMemo.emplace(T, G);
+  return G;
+}
+
 const TypeGc *TypeGcEngine::eval(Type *T, const TgEnv &Env) {
   T = T->resolved();
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Unit:
+  case TypeKind::Float:
+    return &ConstNode;
+  case TypeKind::Var:
+    assert(T->isRigid() && "free type variable at collection time");
+    return Env.lookup(T);
+  default:
+    break;
+  }
+
+  // Ground structured types route through the cross-collection cache:
+  // their closure is independent of Env and of which collection this is.
+  if (CacheEnabled && isGround(T)) {
+    auto It = GroundCache.find(T);
+    if (It != GroundCache.end()) {
+      St.add(StatId::GcTgCacheHits);
+      return It->second;
+    }
+    St.add(StatId::GcTgCacheMisses);
+    bool WasPersistent = PersistentMode;
+    PersistentMode = true;
+    const TypeGc *N = evalUncached(T, Env);
+    PersistentMode = WasPersistent;
+    GroundCache.emplace(T, N);
+    return N;
+  }
+  return evalUncached(T, Env);
+}
+
+const TypeGc *TypeGcEngine::evalUncached(Type *T, const TgEnv &Env) {
   switch (T->getKind()) {
   case TypeKind::Int:
   case TypeKind::Bool:
@@ -89,10 +149,23 @@ const TypeGc *TypeGcEngine::eval(Type *T, const TgEnv &Env) {
     if (AllNullary)
       return &ConstNode;
 
-    auto Key = std::make_pair(Info->Id, ArgTgs);
-    auto It = DataMemo.find(Key);
-    if (It != DataMemo.end())
-      return It->second;
+    DataKey Key{Info->Id, ArgTgs};
+    // Persistent nodes are valid in any collection, so both modes may hit
+    // the persistent memo; only normal mode may touch the per-collection
+    // one (a persistent node must never point at a node that dies at
+    // reset()).
+    auto PIt = PersistentDataMemo.find(Key);
+    if (PIt != PersistentDataMemo.end()) {
+      St.add(StatId::GcTgMemoHits);
+      return PIt->second;
+    }
+    if (!PersistentMode) {
+      auto It = DataMemo.find(Key);
+      if (It != DataMemo.end()) {
+        St.add(StatId::GcTgMemoHits);
+        return It->second;
+      }
+    }
 
     TypeGc *N = alloc();
     N->K = TypeGc::Kind::Data;
@@ -101,17 +174,19 @@ const TypeGc *TypeGcEngine::eval(Type *T, const TgEnv &Env) {
     N->Args = copyArgs(ArgTgs);
     // Tie the knot before building constructor fields so that recursive
     // datatypes (lists, trees) reference this very node.
-    DataMemo.emplace(std::move(Key), N);
+    DataMemoMap &Memo = PersistentMode ? PersistentDataMemo : DataMemo;
+    Memo.emplace(std::move(Key), N);
 
     TgEnv DataEnv;
     DataEnv.Params = &Info->Params;
     DataEnv.Binds = N->Args;
 
+    Arena &A = PersistentMode ? PersistentNodes : Nodes;
     N->NumCtors = (uint32_t)Info->Ctors.size();
-    auto **CtorArrs = static_cast<const TypeGc *const **>(Nodes.allocate(
-        sizeof(void *) * N->NumCtors, alignof(void *)));
+    auto **CtorArrs = static_cast<const TypeGc *const **>(
+        A.allocate(sizeof(void *) * N->NumCtors, alignof(void *)));
     auto *Counts = static_cast<uint32_t *>(
-        Nodes.allocate(sizeof(uint32_t) * N->NumCtors, alignof(uint32_t)));
+        A.allocate(sizeof(uint32_t) * N->NumCtors, alignof(uint32_t)));
     for (uint32_t C = 0; C < N->NumCtors; ++C) {
       const CtorInfo &Ctor = Info->Ctors[C];
       Counts[C] = (uint32_t)Ctor.Fields.size();
@@ -142,4 +217,12 @@ void TypeGcEngine::reset() {
   Nodes.reset();
   DataMemo.clear();
   NumNodes = 0;
+}
+
+void TypeGcEngine::resetAll() {
+  reset();
+  PersistentNodes.reset();
+  PersistentDataMemo.clear();
+  GroundCache.clear();
+  GroundMemo.clear();
 }

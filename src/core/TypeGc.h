@@ -17,6 +17,21 @@
 /// closures "reflect the creation of structures during execution" and are
 /// rebuilt each collection, exactly as in the paper.
 ///
+/// Two memo layers keep the building cheap:
+///
+///  - Within one collection, Data nodes are memoized by (datatype id,
+///    argument-node identities) in a hash table so recursive datatypes tie
+///    the knot and repeated instantiations share one closure.
+///  - Across collections, closures of *ground* types (no rigid type
+///    variables anywhere) are cached keyed on the resolved Type node.
+///    Ground closures cannot depend on the per-collection type-parameter
+///    bindings, so they are bitwise identical every time the paper's
+///    algorithm would rebuild them; caching them is a pure memoization of
+///    the "rebuilt each collection" model, invalidated only when the type
+///    bindings themselves could change (resetAll). Their nodes live in a
+///    separate persistent arena so reset() can still drop everything
+///    per-collection.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TFGC_CORE_TYPEGC_H
@@ -27,7 +42,7 @@
 #include "support/Arena.h"
 #include "support/Stats.h"
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace tfgc {
@@ -62,7 +77,9 @@ struct TgEnv {
   const TypeGc *lookup(Type *Rigid) const;
 };
 
-/// Builds type GC routine closures; one instance per collection.
+/// Builds type GC routine closures. One instance per *collector*: reset()
+/// is called after each collection and drops the per-collection nodes
+/// while the ground-closure cache carries over (see file comment).
 class TypeGcEngine {
 public:
   TypeGcEngine(TypeContext &Types, Stats &St) : Types(Types), St(St) {}
@@ -76,22 +93,70 @@ public:
 
   const TypeGc *constGc() { return &ConstNode; }
 
-  /// Drops every node built during this collection.
+  /// Drops every node built during this collection; ground-type closures
+  /// in the cross-collection cache survive (their Type nodes are stable
+  /// after inference, so the cached closures stay valid).
   void reset();
 
+  /// Full invalidation: reset() plus the cross-collection cache. Required
+  /// only if the underlying type bindings change (never during a normal
+  /// program run; exists for tests and future dynamic-code paths).
+  void resetAll();
+
+  /// Disables (or re-enables) the cross-collection ground cache. On by
+  /// default; the off switch exists to measure its effect.
+  void setCrossCollectionCache(bool Enabled) { CacheEnabled = Enabled; }
+
   size_t nodesBuilt() const { return NumNodes; }
+  size_t cachedClosures() const { return GroundCache.size(); }
 
 private:
+  /// Memo key for Data nodes: datatype id + argument node identities.
+  struct DataKey {
+    uint32_t Id;
+    std::vector<const TypeGc *> Args;
+    bool operator==(const DataKey &O) const {
+      return Id == O.Id && Args == O.Args;
+    }
+  };
+  struct DataKeyHash {
+    size_t operator()(const DataKey &K) const {
+      // FNV-ish mix over the id and the arg-node identities. Arg nodes
+      // are themselves memoized, so pointer identity is the right notion
+      // of equality and hashes in O(#args).
+      uint64_t H = 0xcbf29ce484222325ull ^ K.Id;
+      for (const TypeGc *A : K.Args) {
+        H ^= (uint64_t)(uintptr_t)A >> 3;
+        H *= 0x100000001b3ull;
+      }
+      return (size_t)H;
+    }
+  };
+  using DataMemoMap = std::unordered_map<DataKey, TypeGc *, DataKeyHash>;
+
   TypeContext &Types;
   Stats &St;
   Arena Nodes{16 * 1024};
+  /// Arena for cached ground closures; survives reset().
+  Arena PersistentNodes{16 * 1024};
   size_t NumNodes = 0;
   TypeGc ConstNode; // Kind::Const
-  /// Memo for Data nodes so recursive datatypes tie the knot:
-  /// (datatype id, arg nodes) -> node.
-  std::map<std::pair<uint32_t, std::vector<const TypeGc *>>, TypeGc *>
-      DataMemo;
+  /// Per-collection Data memo (ties recursive knots; cleared by reset).
+  DataMemoMap DataMemo;
+  /// Persistent Data memo for nodes built in persistent mode. Kept apart
+  /// from DataMemo so a persistent-mode eval can never capture a
+  /// per-collection node that dies at reset().
+  DataMemoMap PersistentDataMemo;
+  /// Cross-collection closure cache: resolved ground Type -> closure.
+  std::unordered_map<Type *, const TypeGc *> GroundCache;
+  /// Groundness memo (the type graph is stable after inference).
+  std::unordered_map<Type *, bool> GroundMemo;
+  bool CacheEnabled = true;
+  /// True while building a cached ground closure: allocate persistently.
+  bool PersistentMode = false;
 
+  bool isGround(Type *T);
+  const TypeGc *evalUncached(Type *T, const TgEnv &Env);
   TypeGc *alloc();
   const TypeGc *const *copyArgs(const std::vector<const TypeGc *> &Args);
 };

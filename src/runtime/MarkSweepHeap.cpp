@@ -2,6 +2,7 @@
 
 #include "runtime/MarkSweepHeap.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace tfgc;
@@ -15,75 +16,108 @@ MarkSweepHeap::MarkSweepHeap(size_t SegmentBytes) {
 }
 
 void MarkSweepHeap::addSegment() {
-  Segments.push_back(std::make_unique<Word[]>(SegmentWords));
-  Bump = Segments.back().get();
+  Segment S;
+  S.Mem = std::make_unique<Word[]>(SegmentWords);
+  S.Base = (uintptr_t)S.Mem.get();
+  S.End = S.Base + SegmentWords * sizeof(Word);
+  S.MarkBits.assign((SegmentWords + 63) / 64, 0);
+  Segments.push_back(std::move(S));
+
+  uint32_t Idx = (uint32_t)(Segments.size() - 1);
+  // Keep SegOrder sorted by base address so contains()/segmentOf() can
+  // binary-search. Segments are added rarely (heap growth), so an
+  // insertion into the sorted vector is fine.
+  auto It = std::lower_bound(SegOrder.begin(), SegOrder.end(), Idx,
+                             [&](uint32_t A, uint32_t B) {
+                               return Segments[A].Base < Segments[B].Base;
+                             });
+  SegOrder.insert(It, Idx);
+
+  BumpSeg = Idx;
+  Bump = Segments[Idx].Mem.get();
   BumpEnd = Bump + SegmentWords;
+}
+
+uint32_t MarkSweepHeap::segmentOf(uintptr_t P) const {
+  int S = findSegment(P);
+  assert(S >= 0 && "pointer outside every heap segment");
+  return (uint32_t)S;
+}
+
+void MarkSweepHeap::registerBlock(uint32_t Seg, uint32_t Off, size_t Words) {
+  Segments[Seg].Blocks.push_back({Off, (uint32_t)Words});
+  ++NumBlocks;
+  UsedWords += Words;
+  BytesAllocatedTotal += Words * sizeof(Word);
 }
 
 Word *MarkSweepHeap::tryAllocate(size_t Words) {
   assert(Words > 0);
-  Word *P = nullptr;
   if (Words <= MaxBin && !Bins[Words].empty()) {
-    P = Bins[Words].back();
+    FreeRef R = Bins[Words].back();
     Bins[Words].pop_back();
+    registerBlock(R.Seg, R.Off, Words);
+    return segWord(R.Seg, R.Off);
   }
-  if (!P) {
-    // First fit in the overflow list (before touching fresh bump space,
-    // to curb fragmentation).
-    for (size_t I = 0; I < OverflowFree.size(); ++I) {
-      if (OverflowFree[I].Words >= Words) {
-        P = OverflowFree[I].Ptr;
-        // Unsplit remainder is wasted until the block is freed again; the
-        // registry records the requested size only.
-        OverflowFree.erase(OverflowFree.begin() + (long)I);
-        break;
-      }
+  // First fit in the overflow list (before touching fresh bump space, to
+  // curb fragmentation).
+  for (size_t I = 0; I < OverflowFree.size(); ++I) {
+    if (OverflowFree[I].Words >= Words) {
+      FreeBlock B = OverflowFree[I];
+      // Unsplit remainder is wasted until the block is freed again; the
+      // registry records the requested size only.
+      OverflowFree.erase(OverflowFree.begin() + (long)I);
+      registerBlock(B.Seg, B.Off, Words);
+      return segWord(B.Seg, B.Off);
     }
   }
-  if (!P && Bump + Words <= BumpEnd) {
-    P = Bump;
+  if (Bump + Words <= BumpEnd) {
+    Word *P = Bump;
     Bump += Words;
+    registerBlock(BumpSeg, (uint32_t)(P - Segments[BumpSeg].Mem.get()),
+                  Words);
+    return P;
   }
-  if (!P)
-    return nullptr;
-  Blocks.push_back({P, (uint32_t)Words});
-  UsedWords += Words;
-  BytesAllocatedTotal += Words * sizeof(Word);
-  return P;
+  return nullptr;
 }
 
 bool MarkSweepHeap::canAllocate(size_t Words) const {
   if (Words <= MaxBin && !Bins[Words].empty())
     return true;
-  for (const Block &B : OverflowFree)
+  for (const FreeBlock &B : OverflowFree)
     if (B.Words >= Words)
       return true;
   return Bump + Words <= BumpEnd;
 }
 
-void MarkSweepHeap::beginMark() { Marked.clear(); }
-
-bool MarkSweepHeap::tryMark(const Word *Obj) {
-  return Marked.insert(Obj).second;
+void MarkSweepHeap::beginMark() {
+  for (Segment &S : Segments)
+    std::fill(S.MarkBits.begin(), S.MarkBits.end(), 0);
 }
 
 size_t MarkSweepHeap::sweep() {
   size_t ReclaimedWords = 0;
-  size_t Out = 0;
-  for (size_t I = 0; I < Blocks.size(); ++I) {
-    Block &B = Blocks[I];
-    if (Marked.count(B.Ptr)) {
-      Blocks[Out++] = B;
-      continue;
+  for (uint32_t SI = 0; SI < Segments.size(); ++SI) {
+    Segment &S = Segments[SI];
+    size_t Out = 0;
+    for (size_t I = 0; I < S.Blocks.size(); ++I) {
+      Block &B = S.Blocks[I];
+      if ((S.MarkBits[B.Off >> 6] >> (B.Off & 63)) & 1) {
+        S.Blocks[Out++] = B;
+        continue;
+      }
+      ReclaimedWords += B.Words;
+      UsedWords -= B.Words;
+      --NumBlocks;
+      if (B.Words <= MaxBin)
+        Bins[B.Words].push_back({SI, B.Off});
+      else
+        OverflowFree.push_back({SI, B.Off, B.Words});
     }
-    ReclaimedWords += B.Words;
-    UsedWords -= B.Words;
-    if (B.Words <= MaxBin)
-      Bins[B.Words].push_back(B.Ptr);
-    else
-      OverflowFree.push_back(B);
+    S.Blocks.resize(Out);
+    // Drop the marks so stale bits cannot leak into the next cycle (the
+    // old set-based implementation cleared its set here too).
+    std::fill(S.MarkBits.begin(), S.MarkBits.end(), 0);
   }
-  Blocks.resize(Out);
-  Marked.clear();
   return ReclaimedWords * sizeof(Word);
 }

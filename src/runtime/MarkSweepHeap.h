@@ -4,12 +4,21 @@
 /// A non-moving heap with segregated free lists, supporting the paper's
 /// remark that the method "will support mark/sweep collection as well".
 /// Because tag-free objects carry no headers, the allocator keeps a side
-/// registry of (address, size) blocks for the sweep phase; the collector
-/// supplies reachability (it knows sizes from types). The registry is the
+/// registry of blocks for the sweep phase; the collector supplies
+/// reachability (it knows sizes from types). The registry is the
 /// documented substitution for the size information a real implementation
 /// would derive from its block map.
 ///
-/// The heap grows by adding segments (objects never move).
+/// The heap grows by adding segments (objects never move). Each segment
+/// carries a mark bitmap (one bit per word) and its own block index, so
+/// the per-object collector operations are branch-and-bit cheap:
+///
+///   tryMark/isMarked   O(1) — segment lookup (last-segment cache, then a
+///                      binary search over the sorted segment bounds) plus
+///                      one bit test/set; no hashing, no node allocation
+///   sweep              one flat pass over each segment's block index
+///                      consulting the bitmap — one bit test per block
+///   contains           binary search over the sorted segment bounds
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,8 +28,8 @@
 #include "runtime/Value.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 namespace tfgc {
@@ -42,44 +51,122 @@ public:
   // -- Collector interface --------------------------------------------------
   void beginMark();
   /// Marks \p Obj; returns true on first visit.
-  bool tryMark(const Word *Obj);
-  bool isMarked(const Word *Obj) const { return Marked.count(Obj) != 0; }
+  bool tryMark(const Word *Obj) {
+    uint32_t S = segmentOf((uintptr_t)Obj);
+    Segment &Seg = Segments[S];
+    size_t Off = (size_t)((uintptr_t)Obj - Seg.Base) / sizeof(Word);
+    uint64_t &Bits = Seg.MarkBits[Off >> 6];
+    uint64_t Bit = (uint64_t)1 << (Off & 63);
+    if (Bits & Bit)
+      return false;
+    Bits |= Bit;
+    return true;
+  }
+  bool isMarked(const Word *Obj) const {
+    uint32_t S = segmentOf((uintptr_t)Obj);
+    const Segment &Seg = Segments[S];
+    size_t Off = (size_t)((uintptr_t)Obj - Seg.Base) / sizeof(Word);
+    return (Seg.MarkBits[Off >> 6] >> (Off & 63)) & 1;
+  }
   /// Frees every unmarked block; returns bytes reclaimed.
   size_t sweep();
 
-  /// True if \p P points into any segment (verification support).
-  bool contains(Word P) const {
-    for (const auto &Seg : Segments) {
-      auto Base = (Word)(uintptr_t)Seg.get();
-      if (P >= Base && P < Base + SegmentWords * sizeof(Word))
-        return true;
-    }
-    return false;
-  }
+  /// True if \p P points into any segment (verification support). Binary
+  /// search over the sorted segment bounds.
+  bool contains(Word P) const { return findSegment((uintptr_t)P) >= 0; }
 
-  size_t capacityBytes() const { return Segments.size() * SegmentWords * 8; }
-  size_t usedBytes() const { return UsedWords * 8; }
+  size_t capacityBytes() const {
+    return Segments.size() * SegmentWords * sizeof(Word);
+  }
+  size_t usedBytes() const { return UsedWords * sizeof(Word); }
   uint64_t bytesAllocatedTotal() const { return BytesAllocatedTotal; }
-  size_t numBlocks() const { return Blocks.size(); }
+  size_t numBlocks() const { return NumBlocks; }
+  size_t numSegments() const { return Segments.size(); }
 
 private:
+  /// A live allocation inside one segment. 32-bit offsets are plenty:
+  /// segments are capped far below 2^32 words.
   struct Block {
-    Word *Ptr;
+    uint32_t Off;   ///< Word offset of the block within its segment.
+    uint32_t Words; ///< Block size in words.
+  };
+
+  struct Segment {
+    std::unique_ptr<Word[]> Mem;
+    uintptr_t Base = 0, End = 0;
+    std::vector<uint64_t> MarkBits; ///< One bit per word.
+    /// Block index, in allocation order (sweep needs no particular order:
+    /// liveness is one bitmap test per block).
+    std::vector<Block> Blocks;
+  };
+
+  /// A free block: segment index + word offset (+ size for the overflow
+  /// list; bin membership implies the size for binned blocks).
+  struct FreeRef {
+    uint32_t Seg;
+    uint32_t Off;
+  };
+  struct FreeBlock {
+    uint32_t Seg;
+    uint32_t Off;
     uint32_t Words;
   };
 
   size_t SegmentWords;
-  std::vector<std::unique_ptr<Word[]>> Segments;
+  std::vector<Segment> Segments;
+  /// Segment indices ordered by base address (segments come from the
+  /// system allocator, so creation order is not address order).
+  std::vector<uint32_t> SegOrder;
   Word *Bump = nullptr, *BumpEnd = nullptr;
+  uint32_t BumpSeg = 0;
   /// Free lists for block sizes 1..MaxBin; larger blocks are rare and go
   /// to the overflow list (first fit).
   static constexpr size_t MaxBin = 64;
-  std::vector<std::vector<Word *>> Bins;
-  std::vector<Block> OverflowFree;
-  std::vector<Block> Blocks; ///< Live allocation registry.
-  std::unordered_set<const Word *> Marked;
+  std::vector<std::vector<FreeRef>> Bins;
+  std::vector<FreeBlock> OverflowFree;
+  /// Marking has strong locality, so remember the last segment hit.
+  mutable uint32_t LastSeg = 0;
   size_t UsedWords = 0;
+  size_t NumBlocks = 0;
   uint64_t BytesAllocatedTotal = 0;
+
+  Word *segWord(uint32_t Seg, uint32_t Off) {
+    return Segments[Seg].Mem.get() + Off;
+  }
+
+  /// Segment containing \p P, or -1. Checks the last-hit cache before the
+  /// binary search.
+  int findSegment(uintptr_t P) const {
+    if (!Segments.empty()) {
+      const Segment &Cached = Segments[LastSeg];
+      if (P >= Cached.Base && P < Cached.End)
+        return (int)LastSeg;
+    }
+    // upper_bound over bases: the candidate is the last segment whose
+    // base is <= P.
+    int Lo = 0, Hi = (int)SegOrder.size() - 1, Found = -1;
+    while (Lo <= Hi) {
+      int Mid = (Lo + Hi) / 2;
+      const Segment &S = Segments[SegOrder[(size_t)Mid]];
+      if (P < S.Base) {
+        Hi = Mid - 1;
+      } else if (P >= S.End) {
+        Lo = Mid + 1;
+      } else {
+        Found = (int)SegOrder[(size_t)Mid];
+        break;
+      }
+    }
+    if (Found >= 0)
+      LastSeg = (uint32_t)Found;
+    return Found;
+  }
+
+  /// As findSegment, but the pointer must be in the heap (collector
+  /// invariant on the mark path).
+  uint32_t segmentOf(uintptr_t P) const;
+
+  void registerBlock(uint32_t Seg, uint32_t Off, size_t Words);
 };
 
 } // namespace tfgc

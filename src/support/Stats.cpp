@@ -2,13 +2,119 @@
 
 #include "support/Stats.h"
 
+#include <algorithm>
+#include <cassert>
 #include <sstream>
 
 using namespace tfgc;
 
+namespace {
+
+/// Names in StatId order, which is also alphabetical order (asserted in
+/// the debug build below) so idForName can binary-search and render can
+/// merge against the alphabetical dynamic map.
+constexpr std::string_view FixedNames[] = {
+    "gc.bytes_reclaimed",
+    "gc.chain_steps",
+    "gc.collections",
+    "gc.compiled_actions",
+    "gc.desc_steps",
+    "gc.frames_traced",
+    "gc.gloger_dummies",
+    "gc.heap_growths",
+    "gc.objects_visited",
+    "gc.pause_ns_max",
+    "gc.pause_ns_total",
+    "gc.ptr_reversal_steps",
+    "gc.slots_traced",
+    "gc.tg_cache_hits",
+    "gc.tg_cache_misses",
+    "gc.tg_memo_hits",
+    "gc.tg_nodes",
+    "gc.tg_steps",
+    "gc.verify_passes",
+    "gc.verify_violations",
+    "gc.words_visited",
+    "heap.bytes_allocated_total",
+    "heap.capacity_bytes",
+    "heap.objects_allocated",
+    "heap.used_bytes",
+    "task.context_switches",
+    "task.gc_requests",
+    "task.spawned",
+    "task.steps_to_world_stop_max",
+    "task.steps_to_world_stop_total",
+    "task.suspend_checks",
+    "task.world_stops",
+    "vm.calls",
+    "vm.float_boxes",
+    "vm.frame_words_zeroed",
+    "vm.max_frames",
+    "vm.max_slot_words",
+    "vm.steps",
+    "vm.tag_ops",
+};
+
+static_assert(std::size(FixedNames) == Stats::NumFixed,
+              "FixedNames must cover every StatId");
+
+constexpr bool namesSorted() {
+  for (size_t I = 1; I < std::size(FixedNames); ++I)
+    if (!(FixedNames[I - 1] < FixedNames[I]))
+      return false;
+  return true;
+}
+static_assert(namesSorted(), "StatId enumerators must be in name order");
+
+} // namespace
+
+std::string_view Stats::name(StatId Id) {
+  assert(Id < StatId::NumIds);
+  return FixedNames[(size_t)Id];
+}
+
+StatId Stats::idForName(std::string_view Name) {
+  const auto *First = std::begin(FixedNames);
+  const auto *Last = std::end(FixedNames);
+  const auto *It = std::lower_bound(First, Last, Name);
+  if (It != Last && *It == Name)
+    return (StatId)(It - First);
+  return StatId::NumIds;
+}
+
+std::map<std::string, uint64_t> Stats::all() const {
+  std::map<std::string, uint64_t> Out = Dynamic;
+  for (size_t I = 0; I < NumFixed; ++I)
+    if (has((StatId)I))
+      Out.emplace(std::string(FixedNames[I]), Fixed[I]);
+  return Out;
+}
+
 std::string Stats::render() const {
   std::ostringstream OS;
-  for (const auto &[Name, Value] : Counters)
-    OS << Name << " = " << Value << '\n';
+  // Two-finger merge: fixed ids are already in name order, Dynamic is an
+  // ordered map, so one linear pass preserves the historical all-in-one
+  // alphabetical output.
+  size_t I = 0;
+  auto It = Dynamic.begin();
+  auto emitFixed = [&] {
+    OS << FixedNames[I] << " = " << Fixed[I] << '\n';
+    ++I;
+  };
+  while (I < NumFixed || It != Dynamic.end()) {
+    while (I < NumFixed && !has((StatId)I))
+      ++I;
+    if (I == NumFixed) {
+      for (; It != Dynamic.end(); ++It)
+        OS << It->first << " = " << It->second << '\n';
+      break;
+    }
+    if (It == Dynamic.end() || FixedNames[I] < It->first) {
+      emitFixed();
+    } else {
+      OS << It->first << " = " << It->second << '\n';
+      ++It;
+    }
+  }
   return OS.str();
 }

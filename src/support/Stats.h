@@ -1,51 +1,174 @@
-//===- support/Stats.h - Named statistic counters ---------------*- C++ -*-===//
+//===- support/Stats.h - Statistic counters ---------------------*- C++ -*-===//
 ///
 /// \file
-/// A registry of named counters. The collectors and the tasking runtime
-/// record everything the experiments need (pause times, bytes copied,
-/// chain-walk counts, suspension checks) here, keyed by stable names so the
-/// bench harnesses can print paper-style tables.
+/// Counters the collectors, the VM, and the tasking runtime record for the
+/// experiments (pause times, bytes copied, chain-walk counts, suspension
+/// checks).
+///
+/// The hot trace path increments counters for *every object and field
+/// visited*, so the well-known counters are an enum (StatId) indexed into a
+/// flat uint64_t array: add/set/max/get are O(1) array operations with no
+/// string hashing and no map nodes. The string-keyed API remains as a thin
+/// compatibility shim — fixed names resolve (by binary search over the
+/// static name table) to the same slots the StatId overloads use, and
+/// genuinely dynamic names fall back to an ordered side map. render()
+/// output is byte-identical to the historical std::map implementation:
+/// every touched counter, in name order.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TFGC_SUPPORT_STATS_H
 #define TFGC_SUPPORT_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace tfgc {
 
-/// Ordered map of counter name to value. Ordered so table output is stable.
+/// Every statically known counter. Enumerators are kept in alphabetical
+/// order of their string names so render() can merge fixed and dynamic
+/// counters with a single two-finger walk (see Stats::render).
+enum class StatId : uint16_t {
+  GcBytesReclaimed,          // gc.bytes_reclaimed
+  GcChainSteps,              // gc.chain_steps
+  GcCollections,             // gc.collections
+  GcCompiledActions,         // gc.compiled_actions
+  GcDescSteps,               // gc.desc_steps
+  GcFramesTraced,            // gc.frames_traced
+  GcGlogerDummies,           // gc.gloger_dummies
+  GcHeapGrowths,             // gc.heap_growths
+  GcObjectsVisited,          // gc.objects_visited
+  GcPauseNsMax,              // gc.pause_ns_max
+  GcPauseNsTotal,            // gc.pause_ns_total
+  GcPtrReversalSteps,        // gc.ptr_reversal_steps
+  GcSlotsTraced,             // gc.slots_traced
+  GcTgCacheHits,             // gc.tg_cache_hits
+  GcTgCacheMisses,           // gc.tg_cache_misses
+  GcTgMemoHits,              // gc.tg_memo_hits
+  GcTgNodes,                 // gc.tg_nodes
+  GcTgSteps,                 // gc.tg_steps
+  GcVerifyPasses,            // gc.verify_passes
+  GcVerifyViolations,        // gc.verify_violations
+  GcWordsVisited,            // gc.words_visited
+  HeapBytesAllocatedTotal,   // heap.bytes_allocated_total
+  HeapCapacityBytes,         // heap.capacity_bytes
+  HeapObjectsAllocated,      // heap.objects_allocated
+  HeapUsedBytes,             // heap.used_bytes
+  TaskContextSwitches,       // task.context_switches
+  TaskGcRequests,            // task.gc_requests
+  TaskSpawned,               // task.spawned
+  TaskStepsToWorldStopMax,   // task.steps_to_world_stop_max
+  TaskStepsToWorldStopTotal, // task.steps_to_world_stop_total
+  TaskSuspendChecks,         // task.suspend_checks
+  TaskWorldStops,            // task.world_stops
+  VmCalls,                   // vm.calls
+  VmFloatBoxes,              // vm.float_boxes
+  VmFrameWordsZeroed,        // vm.frame_words_zeroed
+  VmMaxFrames,               // vm.max_frames
+  VmMaxSlotWords,            // vm.max_slot_words
+  VmSteps,                   // vm.steps
+  VmTagOps,                  // vm.tag_ops
+
+  NumIds
+};
+
 class Stats {
 public:
-  void add(const std::string &Name, uint64_t Delta = 1) {
-    Counters[Name] += Delta;
+  static constexpr size_t NumFixed = (size_t)StatId::NumIds;
+
+  /// The stable string name of \p Id (e.g. "gc.objects_visited").
+  static std::string_view name(StatId Id);
+
+  /// Resolves \p Name to its StatId, or StatId::NumIds for dynamic names.
+  static StatId idForName(std::string_view Name);
+
+  // -- O(1) fast path -------------------------------------------------------
+  void add(StatId Id, uint64_t Delta = 1) {
+    Fixed[(size_t)Id] += Delta;
+    touch(Id);
   }
-  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  void set(StatId Id, uint64_t Value) {
+    Fixed[(size_t)Id] = Value;
+    touch(Id);
+  }
+  void max(StatId Id, uint64_t Value) {
+    uint64_t &Slot = Fixed[(size_t)Id];
+    if (Value > Slot)
+      Slot = Value;
+    touch(Id);
+  }
+  uint64_t get(StatId Id) const { return Fixed[(size_t)Id]; }
+  bool has(StatId Id) const {
+    return (Touched[(size_t)Id >> 6] >> ((size_t)Id & 63)) & 1;
+  }
+
+  // -- String compatibility shim --------------------------------------------
+  // Fixed names land in the same slots as their StatId; unknown names go
+  // to an ordered side map so ad-hoc counters still work.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    StatId Id = idForName(Name);
+    if (Id != StatId::NumIds)
+      add(Id, Delta);
+    else
+      Dynamic[Name] += Delta;
+  }
+  void set(const std::string &Name, uint64_t Value) {
+    StatId Id = idForName(Name);
+    if (Id != StatId::NumIds)
+      set(Id, Value);
+    else
+      Dynamic[Name] = Value;
+  }
   void max(const std::string &Name, uint64_t Value) {
-    uint64_t &Slot = Counters[Name];
+    StatId Id = idForName(Name);
+    if (Id != StatId::NumIds) {
+      max(Id, Value);
+      return;
+    }
+    uint64_t &Slot = Dynamic[Name];
     if (Value > Slot)
       Slot = Value;
   }
-
   uint64_t get(const std::string &Name) const {
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+    StatId Id = idForName(Name);
+    if (Id != StatId::NumIds)
+      return get(Id);
+    auto It = Dynamic.find(Name);
+    return It == Dynamic.end() ? 0 : It->second;
+  }
+  bool has(const std::string &Name) const {
+    StatId Id = idForName(Name);
+    if (Id != StatId::NumIds)
+      return has(Id);
+    return Dynamic.count(Name) != 0;
   }
 
-  bool has(const std::string &Name) const { return Counters.count(Name) != 0; }
+  /// Snapshot of every touched counter, name-ordered (table/JSON output).
+  std::map<std::string, uint64_t> all() const;
 
-  const std::map<std::string, uint64_t> &all() const { return Counters; }
-
-  void clear() { Counters.clear(); }
+  void clear() {
+    Fixed.fill(0);
+    Touched.fill(0);
+    Dynamic.clear();
+  }
 
   /// Renders "name = value" lines for human consumption.
   std::string render() const;
 
 private:
-  std::map<std::string, uint64_t> Counters;
+  void touch(StatId Id) {
+    Touched[(size_t)Id >> 6] |= (uint64_t)1 << ((size_t)Id & 63);
+  }
+
+  std::array<uint64_t, NumFixed> Fixed{};
+  /// Which fixed counters have ever been written (render/has parity with
+  /// the old map: an explicit set(x, 0) is visible, an untouched counter
+  /// is not).
+  std::array<uint64_t, (NumFixed + 63) / 64> Touched{};
+  std::map<std::string, uint64_t> Dynamic;
 };
 
 } // namespace tfgc

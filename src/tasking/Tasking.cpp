@@ -23,14 +23,14 @@ void TaskingRuntime::spawnInt(FuncId Entry, const std::vector<int64_t> &Args) {
     Words.push_back(Col.model() == ValueModel::Tagged ? tagInt(A) : (Word)A);
   T.Machine->start(Entry, Words);
   Tasks.push_back(std::move(T));
-  Col.stats().add("task.spawned");
+  Col.stats().add(StatId::TaskSpawned);
 }
 
 void TaskingRuntime::requestGc(size_t Need) {
   if (!GcRequested) {
     GcRequested = true;
     StepsSinceRequest = 0;
-    Col.stats().add("task.gc_requests");
+    Col.stats().add(StatId::TaskGcRequests);
   }
   if (Need > NeedWords)
     NeedWords = Need;
@@ -42,9 +42,9 @@ void TaskingRuntime::collectWorld() {
     if (!T.Done)
       Roots.Stacks.push_back(&T.Machine->mutableStack());
   Col.collect(Roots, NeedWords ? NeedWords : 1);
-  Col.stats().add("task.world_stops");
-  Col.stats().add("task.steps_to_world_stop_total", StepsSinceRequest);
-  Col.stats().max("task.steps_to_world_stop_max", StepsSinceRequest);
+  Col.stats().add(StatId::TaskWorldStops);
+  Col.stats().add(StatId::TaskStepsToWorldStopTotal, StepsSinceRequest);
+  Col.stats().max(StatId::TaskStepsToWorldStopMax, StepsSinceRequest);
   GcRequested = false;
   NeedWords = 0;
   for (Task &T : Tasks)
@@ -63,7 +63,7 @@ bool TaskingRuntime::runAll() {
       if (T.Done || (T.BlockedForGc && GcRequested))
         continue;
       T.BlockedForGc = false;
-      Col.stats().add("task.context_switches");
+      Col.stats().add(StatId::TaskContextSwitches);
       for (uint32_t Slice = 0; Slice < Opts.TimeSliceSteps; ++Slice) {
         StepResult R = T.Machine->step();
         if (R == StepResult::Ran) {

@@ -14,7 +14,7 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
       Model(Col.model()) {
   if (Model == ValueModel::Tagged)
     this->Opts.ZeroFrames = true;
-  Collections0 = Col.stats().get("gc.collections");
+  Collections0 = Col.stats().get(StatId::GcCollections);
 }
 
 bool Vm::fail(const std::string &Message) {
@@ -496,18 +496,18 @@ std::string Vm::renderResult() {
 
 void Vm::flushCounters() {
   Stats &St = Col.stats();
-  St.set("vm.steps", Steps);
-  St.set("vm.tag_ops", TagOps);
-  St.set("vm.float_boxes", FloatBoxes);
-  St.set("vm.calls", Calls);
-  St.set("vm.frame_words_zeroed", WordsZeroed);
-  St.set("vm.max_frames", MaxFrames);
-  St.set("vm.max_slot_words", MaxSlotWords);
-  St.add("task.suspend_checks", SuspendChecksRun);
+  St.set(StatId::VmSteps, Steps);
+  St.set(StatId::VmTagOps, TagOps);
+  St.set(StatId::VmFloatBoxes, FloatBoxes);
+  St.set(StatId::VmCalls, Calls);
+  St.set(StatId::VmFrameWordsZeroed, WordsZeroed);
+  St.set(StatId::VmMaxFrames, MaxFrames);
+  St.set(StatId::VmMaxSlotWords, MaxSlotWords);
+  St.add(StatId::TaskSuspendChecks, SuspendChecksRun);
   SuspendChecksRun = 0;
-  St.set("heap.used_bytes", Col.heapUsedBytes());
-  St.set("heap.capacity_bytes", Col.heapCapacityBytes());
-  St.set("heap.bytes_allocated_total", Col.bytesAllocatedTotal());
+  St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
+  St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
+  St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());
 }
 
 std::string Vm::renderValue(Word V, Type *Ty, int Depth) {

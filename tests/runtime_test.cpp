@@ -97,6 +97,60 @@ TEST(MarkSweep, LargeBlocksUseOverflowList) {
   EXPECT_EQ(Again, Big);
 }
 
+TEST(MarkSweep, BinnedFreeListsReusePerSize) {
+  MarkSweepHeap H(4096);
+  Word *A4 = H.tryAllocate(4);
+  Word *A8 = H.tryAllocate(8);
+  Word *Keep = H.tryAllocate(4);
+  ASSERT_TRUE(A4 && A8 && Keep);
+  H.beginMark();
+  EXPECT_TRUE(H.tryMark(Keep));
+  EXPECT_EQ(H.sweep(), 12 * sizeof(Word));
+  // Freed blocks return to their size bins; matching requests reuse the
+  // exact blocks instead of bumping fresh space.
+  EXPECT_EQ(H.tryAllocate(8), A8);
+  EXPECT_EQ(H.tryAllocate(4), A4);
+  EXPECT_EQ(H.numBlocks(), 3u);
+}
+
+TEST(MarkSweep, SegmentGrowthMidMark) {
+  MarkSweepHeap H(64 * sizeof(Word));
+  Word *A = H.tryAllocate(8);
+  Word *B = H.tryAllocate(8);
+  ASSERT_TRUE(A && B);
+  H.beginMark();
+  EXPECT_TRUE(H.tryMark(A));
+  // Growing in the middle of a mark phase must keep existing mark bits
+  // and bring the new segment up with a clean bitmap.
+  H.addSegment();
+  EXPECT_EQ(H.numSegments(), 2u);
+  Word *C = H.tryAllocate(8); // Lands in the new segment.
+  ASSERT_TRUE(C);
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_FALSE(H.isMarked(C));
+  EXPECT_TRUE(H.tryMark(C));
+  EXPECT_EQ(H.sweep(), 8 * sizeof(Word)); // Only B collected.
+  EXPECT_TRUE(H.contains((Word)(uintptr_t)A));
+  EXPECT_TRUE(H.contains((Word)(uintptr_t)C));
+}
+
+TEST(MarkSweep, MarkBitsIdempotentAndClearedBySweep) {
+  MarkSweepHeap H(1024);
+  Word *A = H.tryAllocate(4);
+  ASSERT_TRUE(A);
+  H.beginMark();
+  EXPECT_FALSE(H.isMarked(A));
+  EXPECT_TRUE(H.tryMark(A));
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_FALSE(H.tryMark(A)); // Re-mark keeps the bit, reports visited.
+  EXPECT_TRUE(H.isMarked(A));
+  EXPECT_EQ(H.sweep(), 0u); // A survives; bitmap is wiped for next cycle.
+  EXPECT_FALSE(H.isMarked(A));
+  H.beginMark();
+  EXPECT_TRUE(H.tryMark(A)); // Second cycle behaves identically.
+  EXPECT_EQ(H.sweep(), 0u);
+}
+
 TEST(Value, TagRoundTrip) {
   for (int64_t V : {0ll, 1ll, -1ll, 123456789ll, -987654321ll,
                     (1ll << 62) - 1, -(1ll << 62)}) {
@@ -158,6 +212,68 @@ TEST(Stats, Accumulation) {
   EXPECT_EQ(S.get("s"), 7u);
   EXPECT_EQ(S.get("missing"), 0u);
   EXPECT_NE(S.render().find("a = 5"), std::string::npos);
+}
+
+TEST(Stats, StringShimSharesSlotsWithIds) {
+  // Fixed names resolve to the exact slot the StatId overloads use, so
+  // mixed-API code observes one counter, not two.
+  Stats S;
+  S.add(StatId::GcCollections, 3);
+  S.add("gc.collections", 2);
+  EXPECT_EQ(S.get(StatId::GcCollections), 5u);
+  EXPECT_EQ(S.get("gc.collections"), 5u);
+  S.max("vm.steps", 9);
+  S.max(StatId::VmSteps, 4);
+  EXPECT_EQ(S.get(StatId::VmSteps), 9u);
+  S.set(StatId::HeapUsedBytes, 42);
+  EXPECT_EQ(S.get("heap.used_bytes"), 42u);
+  EXPECT_TRUE(S.has("heap.used_bytes"));
+  EXPECT_FALSE(S.has(StatId::VmTagOps));
+}
+
+TEST(Stats, EveryFixedNameRoundTrips) {
+  Stats S;
+  for (size_t I = 0; I < Stats::NumFixed; ++I) {
+    StatId Id = (StatId)I;
+    std::string Name(Stats::name(Id));
+    EXPECT_EQ(Stats::idForName(Name), Id) << Name;
+    S.set(Name, I + 1);
+    EXPECT_EQ(S.get(Id), I + 1) << Name;
+  }
+  EXPECT_EQ(Stats::idForName("no.such.counter"), StatId::NumIds);
+}
+
+TEST(Stats, RenderMergesFixedAndDynamicInNameOrder) {
+  Stats S;
+  S.add("aaa.dynamic", 1);        // Sorts before every fixed name.
+  S.add(StatId::GcCollections, 2); // "gc.collections"
+  S.add("gz.dynamic", 3);          // Between gc.* and heap.*.
+  S.add(StatId::VmSteps, 4);       // "vm.steps"
+  S.add("zz.dynamic", 5);          // After every fixed name.
+  std::string R = S.render();
+  size_t P0 = R.find("aaa.dynamic = 1");
+  size_t P1 = R.find("gc.collections = 2");
+  size_t P2 = R.find("gz.dynamic = 3");
+  size_t P3 = R.find("vm.steps = 4");
+  size_t P4 = R.find("zz.dynamic = 5");
+  ASSERT_NE(P0, std::string::npos);
+  ASSERT_NE(P4, std::string::npos);
+  EXPECT_TRUE(P0 < P1 && P1 < P2 && P2 < P3 && P3 < P4);
+  // Untouched counters do not render; an explicit zero does.
+  EXPECT_EQ(R.find("gc.tg_nodes"), std::string::npos);
+  S.set(StatId::GcTgNodes, 0);
+  EXPECT_NE(S.render().find("gc.tg_nodes = 0"), std::string::npos);
+}
+
+TEST(Stats, ClearResetsEverything) {
+  Stats S;
+  S.add(StatId::VmCalls, 7);
+  S.add("custom.counter", 1);
+  S.clear();
+  EXPECT_EQ(S.get(StatId::VmCalls), 0u);
+  EXPECT_FALSE(S.has(StatId::VmCalls));
+  EXPECT_FALSE(S.has("custom.counter"));
+  EXPECT_TRUE(S.render().empty());
 }
 
 TEST(Diagnostics, RenderAndCount) {

@@ -115,4 +115,95 @@ TEST_F(TypeGcFixture, NodesAreCountedInStats) {
   EXPECT_EQ(St.get("gc.tg_nodes"), Eng.nodesBuilt());
 }
 
+// -- Cross-collection ground-closure cache --------------------------------
+
+TEST_F(TypeGcFixture, GroundClosuresAreCachedAcrossReset) {
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *First = Eng.eval(IntList, Empty);
+  EXPECT_EQ(St.get(StatId::GcTgCacheMisses), 1u);
+  EXPECT_EQ(Eng.cachedClosures(), 1u);
+  Eng.reset(); // Collection boundary: the cache carries over.
+  const TypeGc *Second = Eng.eval(IntList, Empty);
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(St.get(StatId::GcTgCacheHits), 1u);
+  EXPECT_EQ(St.get(StatId::GcTgCacheMisses), 1u);
+}
+
+TEST_F(TypeGcFixture, CachedClosuresKeepRecursiveKnotTied) {
+  // The cached (persistent) closure of a recursive datatype must point
+  // back at itself, exactly like a per-collection one would.
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *Tg = Eng.eval(IntList, Empty);
+  ASSERT_EQ(Tg->NumCtors, 2u);
+  ASSERT_EQ(Tg->CtorFieldCounts[1], 2u);
+  EXPECT_EQ(Tg->CtorFields[1][1], Tg); // cons tail -> self
+  Eng.reset();
+  const TypeGc *Again = Eng.eval(IntList, Empty);
+  EXPECT_EQ(Again, Tg);
+  EXPECT_EQ(Again->CtorFields[1][1], Again); // Knot intact after reset.
+}
+
+TEST_F(TypeGcFixture, NonGroundClosuresBypassCache) {
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  std::vector<Type *> Params{A};
+  const TypeGc *Binds[] = {Eng.constGc()};
+  TgEnv Env;
+  Env.Params = &Params;
+  Env.Binds = Binds;
+  Type *AList = Ctx.makeData(Ctx.listInfo(), {A});
+  Eng.eval(AList, Env);
+  // A closure that depends on the bindings must be rebuilt every
+  // collection — it never enters the cache.
+  EXPECT_EQ(Eng.cachedClosures(), 0u);
+  EXPECT_EQ(St.get(StatId::GcTgCacheHits), 0u);
+  EXPECT_EQ(St.get(StatId::GcTgCacheMisses), 0u);
+}
+
+TEST_F(TypeGcFixture, PersistentClosuresNeverAliasPerCollectionNodes) {
+  // Build 'a list with ['a -> const_gc] first: that populates the
+  // per-collection Data memo with the key (list, [const]) — the same key
+  // the ground int list uses. The cached closure must not adopt the
+  // per-collection node, or it would dangle after reset().
+  Type *A = Ctx.freshVar(0);
+  A->makeRigid(0);
+  std::vector<Type *> Params{A};
+  const TypeGc *Binds[] = {Eng.constGc()};
+  TgEnv Env;
+  Env.Params = &Params;
+  Env.Binds = Binds;
+  Type *AList = Ctx.makeData(Ctx.listInfo(), {A});
+  const TypeGc *PerCollection = Eng.eval(AList, Env);
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *Cached = Eng.eval(IntList, Empty);
+  EXPECT_NE(Cached, PerCollection);
+  Eng.reset();
+  EXPECT_EQ(Eng.eval(IntList, Empty), Cached);
+}
+
+TEST_F(TypeGcFixture, ResetAllDropsCache) {
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  Eng.eval(IntList, Empty);
+  EXPECT_EQ(Eng.cachedClosures(), 1u);
+  Eng.resetAll();
+  EXPECT_EQ(Eng.cachedClosures(), 0u);
+  Eng.eval(IntList, Empty);
+  EXPECT_EQ(St.get(StatId::GcTgCacheMisses), 2u); // Rebuilt from scratch.
+}
+
+TEST_F(TypeGcFixture, CacheDisableRestoresPerCollectionRebuild) {
+  Eng.setCrossCollectionCache(false);
+  Type *IntList = Ctx.makeData(Ctx.listInfo(), {Ctx.intTy()});
+  const TypeGc *First = Eng.eval(IntList, Empty);
+  EXPECT_EQ(First->K, TypeGc::Kind::Data);
+  Eng.reset();
+  EXPECT_EQ(Eng.cachedClosures(), 0u);
+  EXPECT_EQ(St.get(StatId::GcTgCacheHits), 0u);
+  EXPECT_EQ(St.get(StatId::GcTgCacheMisses), 0u);
+  // Rebuilt per collection, the paper's baseline model; within one
+  // collection the Data memo still shares.
+  const TypeGc *Second = Eng.eval(IntList, Empty);
+  EXPECT_EQ(Eng.eval(IntList, Empty), Second);
+}
+
 } // namespace
