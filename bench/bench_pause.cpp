@@ -37,6 +37,9 @@ void report(const char *Name, const std::string &Src, size_t HeapBytes,
     tableCell(N);
     tableCell(N ? (double)St.get(StatId::GcPauseNsTotal) / (double)N / 1000.0
                 : 0.0);
+    tableCell((double)St.get(StatId::GcPauseNsP50) / 1000.0);
+    tableCell((double)St.get(StatId::GcPauseNsP90) / 1000.0);
+    tableCell((double)St.get(StatId::GcPauseNsP99) / 1000.0);
     tableCell((double)St.get(StatId::GcPauseNsMax) / 1000.0);
     tableCell(St.get(StatId::GcObjectsVisited));
     tableCell(St.get(StatId::GcCompiledActions) + St.get(StatId::GcDescSteps));
@@ -84,10 +87,12 @@ BENCHMARK_CAPTURE(BM_Trees, appel_copy, GcStrategy::AppelTagFree,
 int main(int argc, char **argv) {
   JsonSink Sink("pause", argc, argv);
   tableHeader("E3: collection pause by strategy",
-              "fixed heap; avg/max pause in microseconds; 'trace work' = "
-              "compiled actions + descriptor steps",
+              "fixed heap; avg/percentile/max pause in microseconds "
+              "(p50/p90/p99 from the telemetry pause histogram); 'trace "
+              "work' = compiled actions + descriptor steps",
               {"workload", "strategy", "collections", "avg pause us",
-               "max pause us", "objs visited", "trace work"});
+               "p50 us", "p90 us", "p99 us", "max pause us", "objs visited",
+               "trace work"});
   report("listChurn", wl::listChurn(200, 64), 1 << 16, GcAlgorithm::Copying);
   report("listChurn", wl::listChurn(200, 64), 1 << 16,
          GcAlgorithm::MarkSweep);

@@ -12,7 +12,7 @@ AppelCollector::AppelCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
                                bool GlogerDummies)
     : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Prog(Prog),
       Img(Img), Types(Types), AM(AM), GlogerDummies(GlogerDummies),
-      Eng(Types, St) {}
+      Eng(Types, St, &Tel) {}
 
 std::vector<const TypeGc *>
 AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
@@ -59,7 +59,7 @@ AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
 void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
   Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
-                   nullptr, AM, GlogerDummies);
+                   nullptr, AM, GlogerDummies, &Tel);
 
   for (TaskStack *Stack : Roots.Stacks) {
     if (Stack->Frames.empty())
@@ -72,14 +72,21 @@ void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
       St.add(StatId::GcFramesTraced);
 
       std::vector<const TypeGc *> Binds;
-      if (!Fn.TypeParams.empty())
+      if (!Fn.TypeParams.empty()) {
+        // The repeated caller-chain walk is Appel's analogue of the
+        // pointer-reversal pass, so it is charged to the same phase.
+        PhaseScope Chain(&Tel, GcPhase::PtrReversal);
         Binds = resolveBinds(*Stack, Idx, Eng, Tr);
+      }
       TgEnv Env;
       Env.Params = &Fn.TypeParams;
       Env.Binds = Binds.data();
 
-      Tr.traceFrame(Stack->frameSlots(Fr), AM->procDescriptor(Fr.FuncId),
-                    &Env);
+      {
+        PhaseScope Dispatch(&Tel, GcPhase::FrameDispatch);
+        Tr.traceFrame(Stack->frameSlots(Fr), AM->procDescriptor(Fr.FuncId),
+                      &Env);
+      }
       Idx = Fr.DynamicLink;
     }
   }

@@ -44,55 +44,120 @@ Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
 
 void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
   size_t Need = NeedPayloadWords + (Model == ValueModel::Tagged ? 1 : 0);
-  auto Start = std::chrono::steady_clock::now();
+  Tel.beginCollection();
+  {
+    // The RootScan span stays open for the whole collection so the phase
+    // spans partition the pause: finer spans (pointer reversal, frame
+    // dispatch, closure build, copy/sweep, verify) nest inside it and
+    // steal their time from it, and whatever is in none of them — loop
+    // control, counter updates — stays charged to RootScan. The stats
+    // clock starts inside the span so its read is covered, not slack.
+    PhaseScope Outer(&Tel, GcPhase::RootScan);
+    auto Start = std::chrono::steady_clock::now();
 
-  if (Copying) {
-    size_t Capacity = Copying->capacityBytes() / sizeof(Word);
-    for (;;) {
-      Copying->beginCollection(Capacity);
-      CopyingSpace Sp(*Copying, Model == ValueModel::Tagged);
+    if (Copying) {
+      size_t Capacity = Copying->capacityBytes() / sizeof(Word);
+      for (;;) {
+        {
+          PhaseScope P(&Tel, GcPhase::CopySweep);
+          Copying->beginCollection(Capacity);
+        }
+        CopyingSpace Sp(*Copying, Model == ValueModel::Tagged);
+        traceRoots(Roots, Sp);
+        {
+          PhaseScope P(&Tel, GcPhase::CopySweep);
+          Copying->endCollection();
+        }
+        if (Copying->freeWords() >= Need)
+          break;
+        // Not enough reclaimed: grow and collect again (the roots now live
+        // in the new space, which becomes from-space for the next round).
+        size_t UsedWords = Copying->usedBytes() / sizeof(Word);
+        Capacity = Capacity * 2 > UsedWords + Need ? Capacity * 2
+                                                   : (UsedWords + Need) * 2;
+        St.add(StatId::GcHeapGrowths);
+      }
+    } else {
+      {
+        PhaseScope P(&Tel, GcPhase::CopySweep);
+        Ms->beginMark();
+      }
+      MarkSpace Sp(*Ms, Model == ValueModel::Tagged);
       traceRoots(Roots, Sp);
-      Copying->endCollection();
-      if (Copying->freeWords() >= Need)
-        break;
-      // Not enough reclaimed: grow and collect again (the roots now live
-      // in the new space, which becomes from-space for the next round).
-      size_t UsedWords = Copying->usedBytes() / sizeof(Word);
-      Capacity = Capacity * 2 > UsedWords + Need ? Capacity * 2
-                                                 : (UsedWords + Need) * 2;
-      St.add(StatId::GcHeapGrowths);
+      size_t Reclaimed;
+      {
+        PhaseScope P(&Tel, GcPhase::CopySweep);
+        Reclaimed = Ms->sweep();
+        while (!Ms->canAllocate(Need)) {
+          Ms->addSegment();
+          St.add(StatId::GcHeapGrowths);
+        }
+      }
+      St.add(StatId::GcBytesReclaimed, Reclaimed);
     }
-  } else {
-    Ms->beginMark();
-    MarkSpace Sp(*Ms, Model == ValueModel::Tagged);
-    traceRoots(Roots, Sp);
-    size_t Reclaimed = Ms->sweep();
-    St.add(StatId::GcBytesReclaimed, Reclaimed);
-    while (!Ms->canAllocate(Need)) {
-      Ms->addSegment();
-      St.add(StatId::GcHeapGrowths);
+
+    // The pause counters exclude the diagnostic verify pass (historical
+    // behavior); the telemetry event includes it as its own phase.
+    auto Ns = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    St.add(StatId::GcCollections);
+    St.add(StatId::GcPauseNsTotal, Ns);
+    St.max(StatId::GcPauseNsMax, Ns);
+
+    if (VerifyAfterGc) {
+      // Note: the verification pass re-runs the frame routines, so work
+      // counters (objects visited, trace steps) double while it is on —
+      // enable it in correctness tests only.
+      PhaseScope V(&Tel, GcPhase::Verify);
+      // The re-trace must not re-count census objects or re-enter the
+      // tracing phases; its whole duration is charged to Verify.
+      Tel.setPaused(true);
+      CheckSpace Check(
+          [this](Word P) {
+            return Copying ? Copying->contains(P) : Ms->contains(P);
+          },
+          Model == ValueModel::Tagged);
+      traceRoots(Roots, Check);
+      Tel.setPaused(false);
+      St.add(StatId::GcVerifyPasses);
+      St.add(StatId::GcVerifyViolations, Check.violations());
+    }
+
+    // Finish while the RootScan span is still open: finishCollection's
+    // one clock read closes the span AND stamps the pause, leaving zero
+    // end-of-collection slack (Outer's destructor then no-ops because
+    // the collection is already closed).
+    Tel.finishCollection(Copying ? Copying->survivorWords()
+                                 : Ms->liveWordsAfterSweep(),
+                         heapCapacityBytes());
+  }
+}
+
+void Collector::publishTelemetryStats() {
+  const LogHistogram &Pause = Tel.pauseHistogram();
+  if (Pause.count()) {
+    St.set(StatId::GcPauseNsP50, Pause.percentile(50));
+    St.set(StatId::GcPauseNsP90, Pause.percentile(90));
+    St.set(StatId::GcPauseNsP99, Pause.percentile(99));
+  }
+  for (size_t I = 0; I < NumGcPhases; ++I)
+    if (uint64_t Total = Tel.phaseNsTotal((GcPhase)I))
+      St.set(std::string("gc.phase_") + gcPhaseName((GcPhase)I) + "_ns",
+             Total);
+  for (size_t I = 0; I < NumCensusKinds; ++I) {
+    CensusKind K = (CensusKind)I;
+    if (uint64_t Objects = Tel.censusObjectsTotal(K)) {
+      std::string Base = std::string("gc.census_") + censusKindName(K);
+      St.set(Base + "_objects", Objects);
+      St.set(Base + "_words", Tel.censusWordsTotal(K));
     }
   }
-
-  auto Ns = (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - Start)
-                .count();
-  St.add(StatId::GcCollections);
-  St.add(StatId::GcPauseNsTotal, Ns);
-  St.max(StatId::GcPauseNsMax, Ns);
-
-  if (VerifyAfterGc) {
-    // Note: the verification pass re-runs the frame routines, so work
-    // counters (objects visited, trace steps) double while it is on —
-    // enable it in correctness tests only.
-    CheckSpace Check(
-        [this](Word P) {
-          return Copying ? Copying->contains(P) : Ms->contains(P);
-        },
-        Model == ValueModel::Tagged);
-    traceRoots(Roots, Check);
-    St.add(StatId::GcVerifyPasses);
-    St.add(StatId::GcVerifyViolations, Check.violations());
+  const LogHistogram &Stop = Tel.worldStopDelayHistogram();
+  if (Stop.count()) {
+    St.set("task.world_stop_delay_ns_p50", Stop.percentile(50));
+    St.set("task.world_stop_delay_ns_p90", Stop.percentile(90));
+    St.set("task.world_stop_delay_ns_p99", Stop.percentile(99));
   }
 }
 

@@ -22,6 +22,7 @@
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
 #include "support/Stats.h"
+#include "support/Telemetry.h"
 
 #include <memory>
 
@@ -49,6 +50,19 @@ public:
   GcAlgorithm algorithm() const { return Algo; }
   Stats &stats() { return St; }
 
+  /// Per-collection phase spans, pause/phase histograms, and heap census
+  /// (see support/Telemetry.h). Recorded unconditionally — the ring is
+  /// preallocated and a span costs one clock read per phase switch.
+  Telemetry &telemetry() { return Tel; }
+  const Telemetry &telemetry() const { return Tel; }
+
+  /// Flushes derived telemetry into the stats registry: pause percentiles
+  /// (gc.pause_ns_p50/p90/p99), cumulative per-phase times
+  /// (gc.phase_<name>_ns), live census totals (gc.census_<kind>_*), and
+  /// tasking world-stop delay percentiles. Called by Vm::flushCounters so
+  /// every run's Stats snapshot carries the histogram summaries.
+  void publishTelemetryStats();
+
   /// Mutator allocation of \p PayloadWords payload words; under the tagged
   /// model a header word is added and initialized. Returns nullptr when a
   /// collection is needed.
@@ -74,6 +88,7 @@ protected:
   ValueModel Model;
   GcAlgorithm Algo;
   Stats &St;
+  Telemetry Tel;
   bool VerifyAfterGc = false;
   std::unique_ptr<Heap> Copying;
   std::unique_ptr<MarkSweepHeap> Ms;

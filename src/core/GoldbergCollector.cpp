@@ -15,7 +15,7 @@ GoldbergCollector::GoldbergCollector(TraceMethod Method, GcAlgorithm Algo,
                                      bool GlogerDummies)
     : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Method(Method),
       Prog(Prog), Img(Img), Types(Types), CM(CM), IM(IM),
-      GlogerDummies(GlogerDummies), Eng(Types, St) {
+      GlogerDummies(GlogerDummies), Eng(Types, St, &Tel) {
   assert(Method != TraceMethod::Appel && "use AppelCollector");
   assert((Method == TraceMethod::Compiled ? CM != nullptr : IM != nullptr) &&
          "metadata missing for the selected method");
@@ -31,7 +31,7 @@ GoldbergCollector::paramPaths(FuncId Fn) const {
 void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
   Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
-                   GlogerDummies);
+                   GlogerDummies, &Tel);
 
   for (TaskStack *Stack : Roots.Stacks) {
     if (Stack->Frames.empty())
@@ -42,15 +42,19 @@ void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
     // materialize the reversed chain as an index list; each hop is one
     // pointer reversal.
     std::vector<uint32_t> Order;
-    uint32_t F = (uint32_t)(Stack->Frames.size() - 1);
-    while (F != NoFrame) {
-      Order.push_back(F);
-      St.add(StatId::GcPtrReversalSteps);
-      F = Stack->Frames[F].DynamicLink;
+    {
+      PhaseScope Span(&Tel, GcPhase::PtrReversal);
+      uint32_t F = (uint32_t)(Stack->Frames.size() - 1);
+      while (F != NoFrame) {
+        Order.push_back(F);
+        St.add(StatId::GcPtrReversalSteps);
+        F = Stack->Frames[F].DynamicLink;
+      }
     }
 
     // Pass 2: oldest to newest, threading type GC routine bindings from
     // each frame's pending call site to the next frame.
+    PhaseScope Span(&Tel, GcPhase::FrameDispatch);
     std::vector<const TypeGc *> Binds;
     for (size_t K = Order.size(); K-- > 0;) {
       FrameInfo &Fr = Stack->Frames[Order[K]];

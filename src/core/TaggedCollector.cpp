@@ -20,6 +20,9 @@ void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
     NewRef = Sp.visitNew(W, headerSize(Header));
     St.add(StatId::GcObjectsVisited);
     St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
+    Tel.census(headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
+                                                   : CensusKind::Raw,
+               headerSize(Header) + 1);
     if (headerKind(Header) == ObjKind::Scan)
       ScanList.push_back(NewRef);
     return NewRef;

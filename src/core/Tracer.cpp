@@ -32,6 +32,9 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       NewRef = Sp.visitNew(V, TR.PayloadWords);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, TR.PayloadWords);
+      census(TR.F == TypeRoutine::Form::RefCell ? CensusKind::Ref
+                                                : CensusKind::Tuple,
+             TR.PayloadWords);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (const FieldAction &A : TR.Fields) {
@@ -55,6 +58,7 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       NewRef = Sp.visitNew(V, TR.CtorSizes[Disc]);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, TR.CtorSizes[Disc]);
+      census(CensusKind::Data, TR.CtorSizes[Disc]);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const std::vector<FieldAction> &Acts = TR.CtorFields[Disc];
@@ -132,6 +136,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, Desc.Args.size());
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, Desc.Args.size());
+      census(CensusKind::Tuple, Desc.Args.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       // The interpreted method walks the descriptor for every field, even
@@ -153,6 +158,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, 1);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1);
+      census(CensusKind::Ref, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       Pl[0] = traceDesc(Pl[0], Desc.Args[0], Env);
@@ -173,6 +179,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, 1 + Shape.size());
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1 + Shape.size());
+      census(CensusKind::Data, 1 + Shape.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
 
@@ -297,6 +304,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, Tg->NumArgs);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, Tg->NumArgs);
+      census(CensusKind::Tuple, Tg->NumArgs);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (uint32_t I = 0; I < Tg->NumArgs; ++I)
@@ -317,6 +325,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, 1);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1);
+      census(CensusKind::Ref, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       if (Tg->Args[0]->K != TypeGc::Kind::Const)
@@ -338,6 +347,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, 1 + NumFields);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1 + NumFields);
+      census(CensusKind::Data, 1 + NumFields);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const TypeGc *const *Fields = Tg->CtorFields[Disc];
@@ -408,6 +418,7 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
   NewRef = Sp.visitNew(V, PayloadWords);
   St.add(StatId::GcObjectsVisited);
   St.add(StatId::GcWordsVisited, PayloadWords);
+  census(CensusKind::Closure, PayloadWords);
   Word *Pl = Sp.payload(NewRef);
 
   // Recover the lambda's type parameters from its function-type routine

@@ -53,9 +53,10 @@ public:
   TagFreeTracer(const IrProgram &Prog, const CodeImage &Img,
                 TypeGcEngine &Eng, Space &Sp, Stats &St, TraceMethod Method,
                 const CompiledMetadata *CM, InterpretedMetadata *IM,
-                AppelMetadata *AM, bool GlogerDummies = false)
+                AppelMetadata *AM, bool GlogerDummies = false,
+                Telemetry *Tel = nullptr)
       : Prog(Prog), Img(Img), Eng(Eng), Sp(Sp), St(St), Method(Method),
-        CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies) {}
+        CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies), Tel(Tel) {}
 
   /// Binds one closure type parameter: by extraction path, or — under the
   /// Goldberg & Gloger '92 rule — to const_gc when no path exists (a value
@@ -94,6 +95,14 @@ private:
   InterpretedMetadata *IM;
   AppelMetadata *AM;
   bool GlogerDummies;
+  Telemetry *Tel;
+
+  /// Census hook next to every first visit; the (kind, words) increments
+  /// mirror the gc.objects_visited / gc.words_visited counter increments.
+  void census(CensusKind K, uint64_t Words) {
+    if (Tel)
+      Tel->census(K, Words);
+  }
 
   DescriptorTable &descTable() {
     return Method == TraceMethod::Appel ? AM->descriptors()

@@ -59,7 +59,7 @@ bool TypeGcEngine::isGround(Type *T) {
   return G;
 }
 
-const TypeGc *TypeGcEngine::eval(Type *T, const TgEnv &Env) {
+const TypeGc *TypeGcEngine::evalImpl(Type *T, const TgEnv &Env) {
   T = T->resolved();
   switch (T->getKind()) {
   case TypeKind::Int:

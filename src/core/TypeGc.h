@@ -41,6 +41,7 @@
 #include "ir/Ir.h"
 #include "support/Arena.h"
 #include "support/Stats.h"
+#include "support/Telemetry.h"
 
 #include <unordered_map>
 #include <vector>
@@ -82,10 +83,17 @@ struct TgEnv {
 /// while the ground-closure cache carries over (see file comment).
 class TypeGcEngine {
 public:
-  TypeGcEngine(TypeContext &Types, Stats &St) : Types(Types), St(St) {}
+  /// \p Tel, when given, charges closure-construction time to the
+  /// TgClosureBuild telemetry phase (one span per outermost eval; the
+  /// engine's recursive evals re-enter the active phase for free).
+  TypeGcEngine(TypeContext &Types, Stats &St, Telemetry *Tel = nullptr)
+      : Types(Types), St(St), Tel(Tel) {}
 
   /// Evaluates static type \p T under \p Env into a routine closure.
-  const TypeGc *eval(Type *T, const TgEnv &Env);
+  const TypeGc *eval(Type *T, const TgEnv &Env) {
+    PhaseScope Span(Tel, GcPhase::TgClosureBuild);
+    return evalImpl(T, Env);
+  }
 
   /// Walks \p Path through a routine (paper Figure 4: recovering a callee
   /// lambda's parameter routines from its function-type routine).
@@ -136,6 +144,7 @@ private:
 
   TypeContext &Types;
   Stats &St;
+  Telemetry *Tel;
   Arena Nodes{16 * 1024};
   /// Arena for cached ground closures; survives reset().
   Arena PersistentNodes{16 * 1024};
@@ -156,6 +165,7 @@ private:
   bool PersistentMode = false;
 
   bool isGround(Type *T);
+  const TypeGc *evalImpl(Type *T, const TgEnv &Env);
   const TypeGc *evalUncached(Type *T, const TgEnv &Env);
   TypeGc *alloc();
   const TypeGc *const *copyArgs(const std::vector<const TypeGc *> &Args);

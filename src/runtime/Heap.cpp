@@ -25,6 +25,7 @@ void Heap::beginCollection(size_t NewCapacityWords) {
 
 void Heap::endCollection() {
   assert(Collecting);
+  LastSurvivorWords = (uint64_t)(ToAlloc - ToBase);
   Space = std::move(ToSpace);
   Base = Space.get();
   Alloc = ToAlloc;

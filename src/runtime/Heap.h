@@ -92,6 +92,11 @@ public:
   bool collecting() const { return Collecting; }
   size_t forwardBitmapBytes() const { return ForwardBits.size() * 8; }
 
+  /// Census hook: words that survived the most recent collection (the
+  /// to-space fill level recorded at endCollection). 0 before the first
+  /// collection.
+  uint64_t survivorWords() const { return LastSurvivorWords; }
+
 private:
   std::unique_ptr<Word[]> Space;   ///< Current (from-) space.
   std::unique_ptr<Word[]> ToSpace; ///< Only alive during a collection.
@@ -102,6 +107,7 @@ private:
   std::vector<uint64_t> ForwardBits;
   bool Collecting = false;
   uint64_t BytesAllocatedTotal = 0;
+  uint64_t LastSurvivorWords = 0;
 };
 
 } // namespace tfgc

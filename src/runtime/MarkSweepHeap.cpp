@@ -119,5 +119,7 @@ size_t MarkSweepHeap::sweep() {
     // old set-based implementation cleared its set here too).
     std::fill(S.MarkBits.begin(), S.MarkBits.end(), 0);
   }
+  LastSweepLiveBlocks = NumBlocks;
+  LastSweepLiveWords = UsedWords;
   return ReclaimedWords * sizeof(Word);
 }

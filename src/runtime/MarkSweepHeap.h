@@ -83,6 +83,12 @@ public:
   size_t numBlocks() const { return NumBlocks; }
   size_t numSegments() const { return Segments.size(); }
 
+  /// Census hooks: live blocks/words recorded at the end of the most
+  /// recent sweep (before any post-collection mutator allocation). 0
+  /// before the first sweep.
+  uint64_t liveBlocksAfterSweep() const { return LastSweepLiveBlocks; }
+  uint64_t liveWordsAfterSweep() const { return LastSweepLiveWords; }
+
 private:
   /// A live allocation inside one segment. 32-bit offsets are plenty:
   /// segments are capped far below 2^32 words.
@@ -129,6 +135,8 @@ private:
   size_t UsedWords = 0;
   size_t NumBlocks = 0;
   uint64_t BytesAllocatedTotal = 0;
+  uint64_t LastSweepLiveBlocks = 0;
+  uint64_t LastSweepLiveWords = 0;
 
   Word *segWord(uint32_t Seg, uint32_t Off) {
     return Segments[Seg].Mem.get() + Off;

@@ -24,6 +24,9 @@ constexpr std::string_view FixedNames[] = {
     "gc.heap_growths",
     "gc.objects_visited",
     "gc.pause_ns_max",
+    "gc.pause_ns_p50",
+    "gc.pause_ns_p90",
+    "gc.pause_ns_p99",
     "gc.pause_ns_total",
     "gc.ptr_reversal_steps",
     "gc.slots_traced",

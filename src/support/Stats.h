@@ -42,6 +42,9 @@ enum class StatId : uint16_t {
   GcHeapGrowths,             // gc.heap_growths
   GcObjectsVisited,          // gc.objects_visited
   GcPauseNsMax,              // gc.pause_ns_max
+  GcPauseNsP50,              // gc.pause_ns_p50
+  GcPauseNsP90,              // gc.pause_ns_p90
+  GcPauseNsP99,              // gc.pause_ns_p99
   GcPauseNsTotal,            // gc.pause_ns_total
   GcPtrReversalSteps,        // gc.ptr_reversal_steps
   GcSlotsTraced,             // gc.slots_traced

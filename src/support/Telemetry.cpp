@@ -1,0 +1,288 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+using namespace tfgc;
+
+const char *tfgc::gcPhaseName(GcPhase P) {
+  switch (P) {
+  case GcPhase::RootScan:       return "root_scan";
+  case GcPhase::PtrReversal:    return "ptr_reversal";
+  case GcPhase::FrameDispatch:  return "frame_dispatch";
+  case GcPhase::TgClosureBuild: return "tg_closure_build";
+  case GcPhase::CopySweep:      return "copy_sweep";
+  case GcPhase::Verify:         return "verify";
+  case GcPhase::NumPhases:      break;
+  }
+  return "?";
+}
+
+const char *tfgc::censusKindName(CensusKind K) {
+  switch (K) {
+  case CensusKind::Tuple:      return "tuple";
+  case CensusKind::Data:       return "data";
+  case CensusKind::Closure:    return "closure";
+  case CensusKind::Ref:        return "ref";
+  case CensusKind::Raw:        return "raw";
+  case CensusKind::TaggedScan: return "tagged_scan";
+  case CensusKind::NumKinds:   break;
+  }
+  return "?";
+}
+
+uint64_t LogHistogram::percentile(double P) const {
+  if (N == 0)
+    return 0;
+  double Frac = P / 100.0;
+  if (Frac < 0.0)
+    Frac = 0.0;
+  if (Frac > 1.0)
+    Frac = 1.0;
+  uint64_t Rank = (uint64_t)std::ceil(Frac * (double)N);
+  if (Rank < 1)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Seen += Counts[I];
+    if (Seen >= Rank) {
+      uint64_t Hi = bucketHi(I);
+      return Hi < MaxV ? Hi : MaxV;
+    }
+  }
+  return MaxV;
+}
+
+Telemetry::Telemetry(size_t RingCapacity)
+    : Ring(RingCapacity ? RingCapacity : 1),
+      Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Telemetry::nowNs() const {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void Telemetry::beginCollection() {
+  assert(!InCollection && "collection already open");
+  Event = GcEvent{};
+  Event.Seq = TotalCollections;
+  Event.StartNs = nowNs();
+  LastMarkNs = Event.StartNs;
+  Cur = GcPhase::NumPhases;
+  Paused = false;
+  InCollection = true;
+}
+
+GcPhase Telemetry::switchPhase(GcPhase P) {
+  if (!InCollection || Paused)
+    return Cur;
+  uint64_t Now = nowNs();
+  if (Cur != GcPhase::NumPhases)
+    Event.PhaseNs[(size_t)Cur] += Now - LastMarkNs;
+  LastMarkNs = Now;
+  GcPhase Prev = Cur;
+  Cur = P;
+  return Prev;
+}
+
+void Telemetry::finishCollection(uint64_t LiveWordsAfter,
+                                 uint64_t HeapCapacityBytesAfter) {
+  assert(InCollection && "no collection open");
+  uint64_t Now = nowNs();
+  if (Cur != GcPhase::NumPhases && !Paused)
+    Event.PhaseNs[(size_t)Cur] += Now - LastMarkNs;
+  Cur = GcPhase::NumPhases;
+  Event.PauseNs = Now - Event.StartNs;
+  Event.LiveWordsAfter = LiveWordsAfter;
+  Event.HeapCapacityBytesAfter = HeapCapacityBytesAfter;
+
+  PauseHist.record(Event.PauseNs);
+  for (size_t I = 0; I < NumGcPhases; ++I) {
+    PhaseHists[I].record(Event.PhaseNs[I]);
+    PhaseTotals[I] += Event.PhaseNs[I];
+  }
+  for (size_t I = 0; I < NumCensusKinds; ++I) {
+    CensusObjTotals[I] += Event.CensusObjects[I];
+    CensusWordTotals[I] += Event.CensusWords[I];
+  }
+
+  if (LogStream)
+    emitLogLine(Event);
+  if (TraceStream)
+    emitTraceEvents(Event);
+
+  Ring[(size_t)(TotalCollections % Ring.size())] = Event;
+  ++TotalCollections;
+  InCollection = false;
+}
+
+const GcEvent &Telemetry::event(size_t I) const {
+  assert(I < ringSize() && "event index out of range");
+  size_t Oldest = TotalCollections <= Ring.size()
+                      ? 0
+                      : (size_t)(TotalCollections % Ring.size());
+  return Ring[(Oldest + I) % Ring.size()];
+}
+
+uint64_t Telemetry::censusObjectsTotal() const {
+  uint64_t S = 0;
+  for (uint64_t V : CensusObjTotals)
+    S += V;
+  return S;
+}
+
+uint64_t Telemetry::censusWordsTotal() const {
+  uint64_t S = 0;
+  for (uint64_t V : CensusWordTotals)
+    S += V;
+  return S;
+}
+
+void Telemetry::emitLogLine(const GcEvent &E) const {
+  std::fprintf(LogStream, "[gc]%s%s seq=%llu pause_ns=%llu",
+               Label.empty() ? "" : " ", Label.c_str(),
+               (unsigned long long)E.Seq, (unsigned long long)E.PauseNs);
+  for (size_t I = 0; I < NumGcPhases; ++I)
+    if (E.PhaseNs[I])
+      std::fprintf(LogStream, " %s_ns=%llu", gcPhaseName((GcPhase)I),
+                   (unsigned long long)E.PhaseNs[I]);
+  for (size_t I = 0; I < NumCensusKinds; ++I)
+    if (E.CensusObjects[I])
+      std::fprintf(LogStream, " census_%s=%llu/%llu",
+                   censusKindName((CensusKind)I),
+                   (unsigned long long)E.CensusObjects[I],
+                   (unsigned long long)E.CensusWords[I]);
+  std::fprintf(LogStream, " live_words=%llu cap_bytes=%llu\n",
+               (unsigned long long)E.LiveWordsAfter,
+               (unsigned long long)E.HeapCapacityBytesAfter);
+}
+
+namespace {
+
+/// Chrome trace timestamps are microseconds; keep ns resolution as a
+/// fractional part.
+std::string usStr(uint64_t Ns) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03u",
+                (unsigned long long)(Ns / 1000), (unsigned)(Ns % 1000));
+  return Buf;
+}
+
+} // namespace
+
+void Telemetry::beginTrace(std::ostream &OS) {
+  assert(!TraceStream && "trace already started");
+  TraceStream = &OS;
+  TraceFirstEvent = true;
+  OS << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"
+     << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+        "\"args\": {\"name\": \"tfgc"
+     << (Label.empty() ? "" : " ") << Label << "\"}}";
+  TraceFirstEvent = false;
+}
+
+void Telemetry::emitTraceEvents(const GcEvent &E) {
+  std::ostream &OS = *TraceStream;
+  auto Sep = [&] { OS << (TraceFirstEvent ? "" : ",\n"); TraceFirstEvent = false; };
+  Sep();
+  OS << "{\"name\": \"gc.collection\", \"cat\": \"gc\", \"ph\": \"X\", "
+     << "\"ts\": " << usStr(E.StartNs) << ", \"dur\": " << usStr(E.PauseNs)
+     << ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": " << E.Seq
+     << ", \"live_words\": " << E.LiveWordsAfter
+     << ", \"capacity_bytes\": " << E.HeapCapacityBytesAfter
+     << ", \"census_objects\": " << E.censusObjects()
+     << ", \"census_words\": " << E.censusWords() << "}}";
+  // Phases are recorded as per-phase aggregates, so lay them out
+  // sequentially (enum order) inside the collection event; their sum is
+  // the instrumented portion of the pause.
+  uint64_t Cursor = E.StartNs;
+  for (size_t I = 0; I < NumGcPhases; ++I) {
+    if (!E.PhaseNs[I])
+      continue;
+    Sep();
+    OS << "{\"name\": \"" << gcPhaseName((GcPhase)I)
+       << "\", \"cat\": \"gc.phase\", \"ph\": \"X\", \"ts\": "
+       << usStr(Cursor) << ", \"dur\": " << usStr(E.PhaseNs[I])
+       << ", \"pid\": 1, \"tid\": 1}";
+    Cursor += E.PhaseNs[I];
+  }
+}
+
+void Telemetry::endTrace() {
+  if (!TraceStream)
+    return;
+  *TraceStream << "\n]}\n";
+  TraceStream = nullptr;
+}
+
+namespace {
+
+void histJson(std::ostream &OS, const LogHistogram &H) {
+  OS << "{\"count\": " << H.count() << ", \"sum\": " << H.sum()
+     << ", \"min\": " << H.min() << ", \"max\": " << H.max()
+     << ", \"p50\": " << H.percentile(50) << ", \"p90\": " << H.percentile(90)
+     << ", \"p99\": " << H.percentile(99) << ", \"buckets\": [";
+  bool First = true;
+  for (size_t I = 0; I < LogHistogram::NumBuckets; ++I) {
+    if (!H.bucketCount(I))
+      continue;
+    OS << (First ? "" : ", ") << "{\"lo\": " << LogHistogram::bucketLo(I)
+       << ", \"hi\": " << LogHistogram::bucketHi(I)
+       << ", \"count\": " << H.bucketCount(I) << "}";
+    First = false;
+  }
+  OS << "]}";
+}
+
+} // namespace
+
+void Telemetry::writeStatsJson(std::ostream &OS, const Stats &St) const {
+  OS << "{\n  \"schema\": 1,\n";
+  if (!Label.empty())
+    OS << "  \"label\": \"" << Label << "\",\n";
+  OS << "  \"collections\": " << TotalCollections << ",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : St.all()) {
+    OS << (First ? "" : ", ") << '"' << Name << "\": " << Value;
+    First = false;
+  }
+  OS << "},\n  \"pause_histogram\": ";
+  histJson(OS, PauseHist);
+  OS << ",\n  \"phase_histograms\": {";
+  for (size_t I = 0; I < NumGcPhases; ++I) {
+    OS << (I ? ", " : "") << '"' << gcPhaseName((GcPhase)I) << "\": ";
+    histJson(OS, PhaseHists[I]);
+  }
+  OS << "},\n";
+  if (WorldStopDelayHist.count()) {
+    OS << "  \"world_stop_delay_histogram\": ";
+    histJson(OS, WorldStopDelayHist);
+    OS << ",\n";
+  }
+  OS << "  \"census_totals\": {";
+  for (size_t I = 0; I < NumCensusKinds; ++I) {
+    OS << (I ? ", " : "") << '"' << censusKindName((CensusKind)I)
+       << "\": {\"objects\": " << CensusObjTotals[I]
+       << ", \"words\": " << CensusWordTotals[I] << "}";
+  }
+  OS << "},\n  \"recent_collections\": [\n";
+  // Newest events only, capped so the dump stays readable.
+  size_t N = ringSize();
+  size_t MaxRecent = 64;
+  size_t Begin = N > MaxRecent ? N - MaxRecent : 0;
+  for (size_t I = Begin; I < N; ++I) {
+    const GcEvent &E = event(I);
+    OS << "    {\"seq\": " << E.Seq << ", \"start_ns\": " << E.StartNs
+       << ", \"pause_ns\": " << E.PauseNs << ", \"phases_ns\": {";
+    for (size_t J = 0; J < NumGcPhases; ++J)
+      OS << (J ? ", " : "") << '"' << gcPhaseName((GcPhase)J)
+         << "\": " << E.PhaseNs[J];
+    OS << "}, \"live_words\": " << E.LiveWordsAfter << "}"
+       << (I + 1 < N ? ",\n" : "\n");
+  }
+  OS << "  ]\n}\n";
+}

@@ -30,6 +30,7 @@ void TaskingRuntime::requestGc(size_t Need) {
   if (!GcRequested) {
     GcRequested = true;
     StepsSinceRequest = 0;
+    RequestTime = std::chrono::steady_clock::now();
     Col.stats().add(StatId::TaskGcRequests);
   }
   if (Need > NeedWords)
@@ -41,6 +42,10 @@ void TaskingRuntime::collectWorld() {
   for (Task &T : Tasks)
     if (!T.Done)
       Roots.Stacks.push_back(&T.Machine->mutableStack());
+  Col.telemetry().recordWorldStopDelay(
+      (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - RequestTime)
+          .count());
   Col.collect(Roots, NeedWords ? NeedWords : 1);
   Col.stats().add(StatId::TaskWorldStops);
   Col.stats().add(StatId::TaskStepsToWorldStopTotal, StepsSinceRequest);

@@ -25,6 +25,7 @@
 
 #include "vm/Vm.h"
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,9 @@ private:
   bool GcRequested = false;
   size_t NeedWords = 0;
   uint64_t StepsSinceRequest = 0;
+  /// When the pending GC was first requested; the request-to-world-stop
+  /// delay is recorded in the collector's telemetry at collectWorld().
+  std::chrono::steady_clock::time_point RequestTime;
 
   void collectWorld();
 };

@@ -508,6 +508,7 @@ void Vm::flushCounters() {
   St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
   St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
   St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());
+  Col.publishTelemetryStats();
 }
 
 std::string Vm::renderValue(Word V, Type *Ty, int Depth) {

@@ -265,6 +265,57 @@ TEST(Stats, RenderMergesFixedAndDynamicInNameOrder) {
   EXPECT_NE(S.render().find("gc.tg_nodes = 0"), std::string::npos);
 }
 
+TEST(Stats, DynamicNamesInterleaveTightlyWithFixedNames) {
+  // The dynamic-name fallback must merge correctly even when dynamic keys
+  // sort immediately adjacent to fixed names — the tightest case for the
+  // two-finger merge in render(). The telemetry layer publishes exactly
+  // such keys (gc.census_*, gc.phase_*) between fixed gc.* counters.
+  Stats S;
+  S.add(StatId::GcPauseNsP50, 10);     // fixed "gc.pause_ns_p50"
+  S.add("gc.pause_ns_p50x", 11);       // dynamic, immediately after it
+  S.add("gc.pause_ns_p5", 9);          // dynamic, prefix sorting before it
+  S.add(StatId::GcPauseNsTotal, 12);   // fixed "gc.pause_ns_total"
+  S.add("gc.census_data_objects", 7);  // dynamic, between fixed gc.* names
+  S.add("gc.phase_root_scan_ns", 8);   // dynamic, between fixed gc.* names
+  S.add(StatId::GcCollections, 1);     // fixed "gc.collections"
+  S.add(StatId::GcPtrReversalSteps, 13); // fixed "gc.ptr_reversal_steps"
+
+  // all() returns every counter once, fixed and dynamic alike.
+  auto All = S.all();
+  EXPECT_EQ(All.size(), 8u);
+  EXPECT_EQ(All.at("gc.pause_ns_p50"), 10u);
+  EXPECT_EQ(All.at("gc.pause_ns_p50x"), 11u);
+  EXPECT_EQ(All.at("gc.pause_ns_p5"), 9u);
+  EXPECT_EQ(All.at("gc.census_data_objects"), 7u);
+
+  // render() emits them in one globally sorted sequence.
+  std::string R = S.render();
+  std::vector<std::string> Expected = {
+      "gc.census_data_objects = 7", "gc.collections = 1",
+      "gc.pause_ns_p5 = 9",         "gc.pause_ns_p50 = 10",
+      "gc.pause_ns_p50x = 11",      "gc.pause_ns_total = 12",
+      "gc.phase_root_scan_ns = 8",  "gc.ptr_reversal_steps = 13"};
+  size_t Last = 0;
+  for (const std::string &Line : Expected) {
+    size_t P = R.find(Line);
+    ASSERT_NE(P, std::string::npos) << Line << "\n" << R;
+    EXPECT_GE(P, Last) << "out of order: " << Line << "\n" << R;
+    Last = P;
+  }
+}
+
+TEST(Stats, DynamicNameMatchingFixedNameSharesTheSlot) {
+  // A dynamic-looking name that exactly equals a fixed name must resolve
+  // to the fixed slot, never create a shadow dynamic counter.
+  Stats S;
+  S.add("gc.pause_ns_p90", 4);
+  S.add(StatId::GcPauseNsP90, 2);
+  EXPECT_EQ(S.get(StatId::GcPauseNsP90), 6u);
+  auto All = S.all();
+  EXPECT_EQ(All.size(), 1u);
+  EXPECT_EQ(All.at("gc.pause_ns_p90"), 6u);
+}
+
 TEST(Stats, ClearResetsEverything) {
   Stats S;
   S.add(StatId::VmCalls, 7);

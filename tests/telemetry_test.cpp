@@ -1,0 +1,524 @@
+//===- tests/telemetry_test.cpp - Telemetry layer tests ------------------===//
+///
+/// Covers the GC telemetry layer: log-histogram bucket boundaries and
+/// percentile math, ring-buffer wraparound, the census-equals-counters
+/// invariant on a real workload under every strategy, phase-span
+/// partitioning of the pause, and the validity of the Chrome-trace and
+/// stats-JSON exports (parsed back with a tiny JSON parser below).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "support/Telemetry.h"
+#include "workloads/Programs.h"
+
+#include <sstream>
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal recursive-descent JSON syntax checker (tests only).
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool lit(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return lit("true");
+    case 'f':
+      return lit("false");
+    case 'n':
+      return lit("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != '}')
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != ']')
+      return false;
+    ++Pos;
+    return true;
+  }
+};
+
+bool validJson(const std::string &S) { return JsonChecker(S).valid(); }
+
+//===----------------------------------------------------------------------===//
+// LogHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(LogHistogram, BucketBoundaries) {
+  // Bucket 0 holds zeros; bucket k >= 1 holds [2^(k-1), 2^k - 1].
+  EXPECT_EQ(LogHistogram::bucketIndex(0), 0u);
+  EXPECT_EQ(LogHistogram::bucketIndex(1), 1u);
+  EXPECT_EQ(LogHistogram::bucketIndex(2), 2u);
+  EXPECT_EQ(LogHistogram::bucketIndex(3), 2u);
+  EXPECT_EQ(LogHistogram::bucketIndex(4), 3u);
+  EXPECT_EQ(LogHistogram::bucketIndex(7), 3u);
+  EXPECT_EQ(LogHistogram::bucketIndex(8), 4u);
+  EXPECT_EQ(LogHistogram::bucketIndex(255), 8u);
+  EXPECT_EQ(LogHistogram::bucketIndex(256), 9u);
+  EXPECT_EQ(LogHistogram::bucketIndex(UINT64_MAX), 64u);
+
+  for (size_t I = 1; I < LogHistogram::NumBuckets; ++I) {
+    // Every bucket's bounds round-trip through bucketIndex.
+    EXPECT_EQ(LogHistogram::bucketIndex(LogHistogram::bucketLo(I)), I);
+    EXPECT_EQ(LogHistogram::bucketIndex(LogHistogram::bucketHi(I)), I);
+    EXPECT_LE(LogHistogram::bucketLo(I), LogHistogram::bucketHi(I));
+    if (I > 1) // Buckets tile the axis with no gap or overlap.
+      EXPECT_EQ(LogHistogram::bucketLo(I), LogHistogram::bucketHi(I - 1) + 1);
+  }
+  EXPECT_EQ(LogHistogram::bucketLo(0), 0u);
+  EXPECT_EQ(LogHistogram::bucketHi(0), 0u);
+  EXPECT_EQ(LogHistogram::bucketHi(64), UINT64_MAX);
+}
+
+TEST(LogHistogram, RecordAndAggregates) {
+  LogHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+
+  for (uint64_t V : {0ull, 1ull, 1ull, 2ull, 3ull, 8ull, 100ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 7u);
+  EXPECT_EQ(H.sum(), 115u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_EQ(H.bucketCount(0), 1u); // 0
+  EXPECT_EQ(H.bucketCount(1), 2u); // 1, 1
+  EXPECT_EQ(H.bucketCount(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucketCount(4), 1u); // 8
+  EXPECT_EQ(H.bucketCount(7), 1u); // 100
+}
+
+TEST(LogHistogram, PercentileMath) {
+  LogHistogram H;
+  for (uint64_t V : {0ull, 1ull, 1ull, 2ull, 3ull, 8ull, 100ull})
+    H.record(V);
+  // N = 7. p50 -> rank ceil(3.5) = 4, which lands in bucket 2 (values
+  // {2, 3} occupy ranks 4-5): upper bound 3.
+  EXPECT_EQ(H.percentile(50), 3u);
+  // p90 -> rank ceil(6.3) = 7: the 100 sample, bucket 7 with upper bound
+  // 127, clamped to the observed max.
+  EXPECT_EQ(H.percentile(90), 100u);
+  EXPECT_EQ(H.percentile(99), 100u);
+  EXPECT_EQ(H.percentile(100), 100u);
+  // p0 clamps the rank to 1: the zero sample.
+  EXPECT_EQ(H.percentile(0), 0u);
+
+  // Single sample: every percentile is that sample (bucket hi clamped to
+  // the max, which is the sample itself).
+  LogHistogram One;
+  One.record(5);
+  for (double P : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_EQ(One.percentile(P), 5u);
+
+  H.clear();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(99), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ring buffer
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, RingKeepsNewest) {
+  Telemetry T(4);
+  EXPECT_EQ(T.ringCapacity(), 4u);
+  for (uint64_t I = 0; I < 10; ++I) {
+    T.beginCollection();
+    EXPECT_TRUE(T.inCollection());
+    T.finishCollection(/*LiveWordsAfter=*/I, /*HeapCapacityBytesAfter=*/64);
+    EXPECT_FALSE(T.inCollection());
+  }
+  EXPECT_EQ(T.collections(), 10u);
+  EXPECT_EQ(T.ringSize(), 4u);
+  // Oldest-first: collections 6..9 survive.
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(T.event(I).Seq, 6u + I);
+    EXPECT_EQ(T.event(I).LiveWordsAfter, 6u + I);
+  }
+  // Aggregates still cover all ten collections.
+  EXPECT_EQ(T.pauseHistogram().count(), 10u);
+}
+
+TEST(Telemetry, RingBeforeWraparound) {
+  Telemetry T(8);
+  for (uint64_t I = 0; I < 3; ++I) {
+    T.beginCollection();
+    T.finishCollection(0, 0);
+  }
+  EXPECT_EQ(T.collections(), 3u);
+  EXPECT_EQ(T.ringSize(), 3u);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(T.event(I).Seq, I);
+}
+
+TEST(Telemetry, PhaseSwitchIgnoredOutsideCollectionAndWhilePaused) {
+  Telemetry T(4);
+  // Outside a collection: no phase opens.
+  T.switchPhase(GcPhase::CopySweep);
+  EXPECT_EQ(T.currentPhase(), GcPhase::NumPhases);
+
+  T.beginCollection();
+  { PhaseScope S(&T, GcPhase::RootScan); }
+  T.setPaused(true);
+  // While paused, PhaseScope declines to switch and census is ignored.
+  {
+    PhaseScope S(&T, GcPhase::Verify);
+    EXPECT_NE(T.currentPhase(), GcPhase::Verify);
+  }
+  T.census(CensusKind::Tuple, 3);
+  T.setPaused(false);
+  T.census(CensusKind::Tuple, 2);
+  T.finishCollection(0, 0);
+  EXPECT_EQ(T.censusObjectsTotal(CensusKind::Tuple), 1u);
+  EXPECT_EQ(T.censusWordsTotal(CensusKind::Tuple), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Census == visit counters; phases partition the pause
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Source under \p S with GC stress on a small heap and returns
+/// the collector for telemetry inspection.
+struct TelemetryRun {
+  Stats St;
+  std::unique_ptr<CompiledProgram> P;
+  std::unique_ptr<Collector> Col;
+};
+
+TelemetryRun runWithTelemetry(const std::string &Source, GcStrategy S,
+                              GcAlgorithm A = GcAlgorithm::Copying,
+                              size_t HeapBytes = 1 << 14) {
+  TelemetryRun R;
+  Compiled C = compile(Source);
+  EXPECT_TRUE(C.P) << C.Error;
+  if (!C.P)
+    return R;
+  R.P = std::move(C.P);
+  std::string Error;
+  R.Col = R.P->makeCollector(S, A, HeapBytes, R.St, &Error);
+  EXPECT_TRUE(R.Col) << Error;
+  if (!R.Col)
+    return R;
+  Vm M(R.P->Prog, R.P->Image, *R.P->Types, *R.Col,
+       defaultVmOptions(S, /*GcStress=*/true));
+  RunResult Run = M.run();
+  EXPECT_TRUE(Run.Ok) << Run.Error << " under " << gcStrategyName(S);
+  return R;
+}
+
+TEST(Telemetry, CensusMatchesVisitCounters) {
+  // With post-GC verification off (the default), the census increments
+  // mirror the gc.objects_visited / gc.words_visited increments exactly,
+  // for every strategy.
+  for (GcStrategy S : AllStrategies) {
+    TelemetryRun R = runWithTelemetry(wl::listChurn(40, 20), S);
+    ASSERT_TRUE(R.Col);
+    Telemetry &T = R.Col->telemetry();
+    EXPECT_GT(T.collections(), 0u) << gcStrategyName(S);
+    EXPECT_EQ(T.collections(), R.St.get(StatId::GcCollections))
+        << gcStrategyName(S);
+    EXPECT_EQ(T.censusObjectsTotal(), R.St.get(StatId::GcObjectsVisited))
+        << gcStrategyName(S);
+    EXPECT_EQ(T.censusWordsTotal(), R.St.get(StatId::GcWordsVisited))
+        << gcStrategyName(S);
+  }
+}
+
+TEST(Telemetry, CensusMatchesVisitCountersMarkSweep) {
+  TelemetryRun R = runWithTelemetry(wl::binaryTrees(6, 4),
+                                    GcStrategy::CompiledTagFree,
+                                    GcAlgorithm::MarkSweep);
+  ASSERT_TRUE(R.Col);
+  Telemetry &T = R.Col->telemetry();
+  EXPECT_GT(T.collections(), 0u);
+  EXPECT_EQ(T.censusObjectsTotal(), R.St.get(StatId::GcObjectsVisited));
+  EXPECT_EQ(T.censusWordsTotal(), R.St.get(StatId::GcWordsVisited));
+  // A tree workload is all datatype values: the census sees only Data.
+  EXPECT_GT(T.censusObjectsTotal(CensusKind::Data), 0u);
+  EXPECT_EQ(T.censusObjectsTotal(CensusKind::TaggedScan), 0u);
+}
+
+TEST(Telemetry, PhaseSpansPartitionThePause) {
+  TelemetryRun R =
+      runWithTelemetry(wl::listChurn(40, 20), GcStrategy::CompiledTagFree);
+  ASSERT_TRUE(R.Col);
+  Telemetry &T = R.Col->telemetry();
+  ASSERT_GT(T.collections(), 0u);
+
+  // Per event: the switch-clock reads nest strictly inside
+  // [beginCollection, finishCollection], so phase time never exceeds the
+  // pause.
+  for (size_t I = 0; I < T.ringSize(); ++I) {
+    const GcEvent &E = T.event(I);
+    EXPECT_LE(E.phaseNsSum(), E.PauseNs) << "event " << I;
+  }
+
+  // In aggregate the spans cover the pause up to a few instructions of
+  // slack per collection (the acceptance bound for the CLI trace is 5%;
+  // allow more headroom here for loaded CI machines).
+  uint64_t PhaseSum = 0;
+  for (size_t P = 0; P < NumGcPhases; ++P)
+    PhaseSum += T.phaseNsTotal((GcPhase)P);
+  EXPECT_LE(PhaseSum, T.pauseNsTotal());
+  EXPECT_GE((double)PhaseSum, 0.80 * (double)T.pauseNsTotal());
+
+  // The stress workload exercises every tag-free phase.
+  EXPECT_GT(T.phaseNsTotal(GcPhase::RootScan), 0u);
+  EXPECT_GT(T.phaseHistogram(GcPhase::FrameDispatch).count(), 0u);
+  // Verification was off: the verify phase saw nothing.
+  EXPECT_EQ(T.phaseNsTotal(GcPhase::Verify), 0u);
+}
+
+TEST(Telemetry, PercentileStatsPublished) {
+  TelemetryRun R =
+      runWithTelemetry(wl::listChurn(40, 20), GcStrategy::CompiledTagFree);
+  ASSERT_TRUE(R.Col);
+  Telemetry &T = R.Col->telemetry();
+  EXPECT_EQ(R.St.get(StatId::GcPauseNsP50), T.pauseHistogram().percentile(50));
+  EXPECT_EQ(R.St.get(StatId::GcPauseNsP90), T.pauseHistogram().percentile(90));
+  EXPECT_EQ(R.St.get(StatId::GcPauseNsP99), T.pauseHistogram().percentile(99));
+  EXPECT_LE(R.St.get(StatId::GcPauseNsP50), R.St.get(StatId::GcPauseNsP90));
+  EXPECT_LE(R.St.get(StatId::GcPauseNsP90), R.St.get(StatId::GcPauseNsP99));
+  EXPECT_LE(R.St.get(StatId::GcPauseNsP99), R.St.get(StatId::GcPauseNsMax));
+  // publishTelemetryStats also exports per-phase and census dynamic keys.
+  EXPECT_TRUE(R.St.has("gc.phase_root_scan_ns"));
+  EXPECT_GT(R.St.get("gc.census_data_objects"), 0u);
+
+  // World-stop delays (fed by the tasking runtime) publish as dynamic
+  // percentile keys once any delay is recorded.
+  EXPECT_FALSE(R.St.has("task.world_stop_delay_ns_p50"));
+  T.recordWorldStopDelay(1000);
+  T.recordWorldStopDelay(3000);
+  R.Col->publishTelemetryStats();
+  EXPECT_EQ(R.St.get("task.world_stop_delay_ns_p50"),
+            T.worldStopDelayHistogram().percentile(50));
+  EXPECT_TRUE(R.St.has("task.world_stop_delay_ns_p99"));
+}
+
+TEST(Telemetry, VerifyPassDoesNotPolluteCensus) {
+  Compiled C = compile(wl::listChurn(40, 20));
+  ASSERT_TRUE(C.P) << C.Error;
+  Stats St;
+  std::string Error;
+  // Large heap: no grow-retry re-traces, so each collection traces the
+  // live set exactly once plus one verify pass.
+  auto Col = C.P->makeCollector(GcStrategy::CompiledTagFree,
+                                GcAlgorithm::Copying, 1 << 20, St, &Error);
+  ASSERT_TRUE(Col) << Error;
+  Col->setVerifyAfterGc(true);
+  Vm M(C.P->Prog, C.P->Image, *C.P->Types, *Col,
+       defaultVmOptions(GcStrategy::CompiledTagFree, /*GcStress=*/true));
+  RunResult Run = M.run();
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  Telemetry &T = Col->telemetry();
+  // The verify pass re-runs the tracers over a CheckSpace, doubling the
+  // gc.objects_visited counter — but the census is paused during verify,
+  // so it counts each live object once.
+  ASSERT_EQ(St.get(StatId::GcHeapGrowths), 0u);
+  EXPECT_EQ(2 * T.censusObjectsTotal(), St.get(StatId::GcObjectsVisited));
+  EXPECT_GT(T.phaseNsTotal(GcPhase::Verify), 0u);
+  EXPECT_EQ(St.get(StatId::GcVerifyViolations), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Export formats
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, ChromeTraceIsValidJson) {
+  Compiled C = compile(wl::listChurn(40, 20));
+  ASSERT_TRUE(C.P) << C.Error;
+  Stats St;
+  std::string Error;
+  auto Col = C.P->makeCollector(GcStrategy::CompiledTagFree,
+                                GcAlgorithm::Copying, 1 << 14, St, &Error);
+  ASSERT_TRUE(Col) << Error;
+  std::ostringstream Trace;
+  Telemetry &T = Col->telemetry();
+  T.setLabel("compiled-tagfree");
+  T.beginTrace(Trace);
+  Vm M(C.P->Prog, C.P->Image, *C.P->Types, *Col,
+       defaultVmOptions(GcStrategy::CompiledTagFree, /*GcStress=*/true));
+  RunResult Run = M.run();
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  T.endTrace();
+
+  std::string J = Trace.str();
+  EXPECT_TRUE(validJson(J)) << J.substr(0, 400);
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"gc.collection\""), std::string::npos);
+  EXPECT_NE(J.find("\"frame_dispatch\""), std::string::npos);
+  EXPECT_NE(J.find("compiled-tagfree"), std::string::npos);
+  // The trace streams: it covers every collection, not just the ring.
+  size_t Events = 0, At = 0;
+  while ((At = J.find("\"gc.collection\"", At)) != std::string::npos) {
+    ++Events;
+    At += 1;
+  }
+  EXPECT_EQ(Events, T.collections());
+}
+
+TEST(Telemetry, StatsJsonIsValidAndComplete) {
+  TelemetryRun R =
+      runWithTelemetry(wl::listChurn(40, 20), GcStrategy::CompiledTagFree);
+  ASSERT_TRUE(R.Col);
+  std::ostringstream OS;
+  R.Col->telemetry().writeStatsJson(OS, R.St);
+  std::string J = OS.str();
+  EXPECT_TRUE(validJson(J)) << J.substr(0, 400);
+  EXPECT_NE(J.find("\"pause_histogram\""), std::string::npos);
+  EXPECT_NE(J.find("\"census_totals\""), std::string::npos);
+  EXPECT_NE(J.find("\"recent_collections\""), std::string::npos);
+  EXPECT_NE(J.find("\"gc.collections\""), std::string::npos);
+  EXPECT_NE(J.find("\"p99\""), std::string::npos);
+}
+
+TEST(Telemetry, LogLineFormat) {
+  // The [gc] log goes through a FILE*; route it to a temp file and check
+  // the line shape.
+  std::FILE *F = std::tmpfile();
+  ASSERT_NE(F, nullptr);
+  Telemetry T(4);
+  T.setLabel("unit");
+  T.setLogStream(F);
+  T.beginCollection();
+  T.census(CensusKind::Data, 3);
+  T.finishCollection(/*LiveWordsAfter=*/3, /*HeapCapacityBytesAfter=*/4096);
+  std::rewind(F);
+  char Buf[512] = {};
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), F), nullptr);
+  std::fclose(F);
+  std::string Line(Buf);
+  EXPECT_NE(Line.find("[gc] unit seq=0"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("pause_ns="), std::string::npos) << Line;
+  EXPECT_NE(Line.find("census_data=1/3"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("live_words=3"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("cap_bytes=4096"), std::string::npos) << Line;
+}
+
+} // namespace

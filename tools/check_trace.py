@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Sanity-checks a tfgc --trace-out / --stats-json pair.
+
+Asserts that the Chrome trace is valid JSON, that it contains one
+gc.collection event per collection, and that the per-phase span durations
+sum to within 5% of the telemetry pause total (the spans are a partition
+of the pause; see DESIGN.md section 5, "Telemetry layer").
+
+Usage: check_trace.py TRACE.json STATS.json
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path, stats_path = sys.argv[1], sys.argv[2]
+    with open(trace_path) as f:
+        trace = json.load(f)
+    with open(stats_path) as f:
+        stats = json.load(f)
+
+    events = trace["traceEvents"]
+    collections = [e for e in events if e.get("name") == "gc.collection"]
+    phases = [e for e in events if e.get("cat") == "gc.phase"]
+    n = stats["collections"]
+    assert len(collections) == n, (
+        f"trace has {len(collections)} gc.collection events, "
+        f"stats report {n} collections")
+    assert phases, "trace has no gc.phase events"
+
+    # Trace ts/dur are microseconds (with ns as the fractional part);
+    # histogram sums are nanoseconds.
+    phase_ns = round(sum(e["dur"] for e in phases) * 1000)
+    pause_ns = stats["pause_histogram"]["sum"]
+    assert pause_ns > 0, "no pause time recorded"
+    ratio = phase_ns / pause_ns
+    print(f"collections={n} phase_ns={phase_ns} pause_ns={pause_ns} "
+          f"coverage={ratio:.4f}")
+    assert 0.95 <= ratio <= 1.0001, (
+        f"phase spans cover {ratio:.2%} of the pause, want within 5%")
+
+    # The census must agree with the visit counters (verification off).
+    census_objs = sum(k["objects"] for k in stats["census_totals"].values())
+    counted = stats["counters"].get("gc.objects_visited", 0)
+    assert census_objs == counted, (
+        f"census objects {census_objs} != gc.objects_visited {counted}")
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

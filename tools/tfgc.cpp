@@ -6,16 +6,24 @@
 ///   tfgc [options] -e 'expr'       run inline source
 ///
 /// Options:
-///   --strategy=S    tagged | compiled (default) | interpreted | appel
-///   --algo=A        copying (default) | marksweep
-///   --heap=BYTES    initial heap size (default 1 MiB)
-///   --stress        collect at every allocation
-///   --no-liveness   disable the live-variable analysis (paper 5.2)
-///   --no-gcpoints   disable the GC-point analysis (paper 5.1)
-///   --mono          reject polymorphic programs
-///   --dump-ir       print the lowered IR and exit
-///   --dump-meta     print GC metadata statistics and exit
-///   --stats         print collector statistics after the run
+///   --strategy=S       tagged | compiled (default) | interpreted | appel
+///   --algo=A           copying (default) | marksweep
+///   --heap=BYTES       initial heap size (default 1 MiB)
+///   --stress           collect at every allocation
+///   --no-liveness      disable the live-variable analysis (paper 5.2)
+///   --no-gcpoints      disable the GC-point analysis (paper 5.1)
+///   --mono             reject polymorphic programs
+///   --monomorphise     clone polymorphic functions per instantiation
+///   --gloger-dummies   Goldberg & Gloger '92 rule: bind unreconstructible
+///                      type parameters to const_gc instead of rejecting
+///   --dump-ir          print the lowered IR and exit
+///   --dump-meta        print GC metadata statistics and exit
+///   --stats            print collector statistics after the run
+///   --gc-log           one structured log line per collection (stderr)
+///   --trace-out=FILE   write a Chrome trace_event JSON of every collection
+///                      (load in chrome://tracing or Perfetto)
+///   --stats-json=FILE  write counters, pause/phase histograms, and the
+///                      heap census as JSON after the run
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,7 +47,8 @@ void usage() {
       "  --algo=copying|marksweep                       (default copying)\n"
       "  --heap=BYTES   --stress   --stats\n"
       "  --no-liveness  --no-gcpoints  --mono  --monomorphise  --gloger-dummies\n"
-      "  --dump-ir      --dump-meta\n");
+      "  --dump-ir      --dump-meta\n"
+      "  --gc-log       --trace-out=FILE  --stats-json=FILE\n");
 }
 
 bool startsWith(const char *Arg, const char *Prefix, const char **Value) {
@@ -57,6 +66,8 @@ int main(int argc, char **argv) {
   GcAlgorithm Algo = GcAlgorithm::Copying;
   size_t HeapBytes = 1 << 20;
   bool Stress = false, DumpIr = false, DumpMeta = false, ShowStats = false;
+  bool GcLog = false;
+  std::string TraceOutPath, StatsJsonPath;
   CompileOptions Options;
   std::string Source;
   bool HaveSource = false;
@@ -106,6 +117,12 @@ int main(int argc, char **argv) {
       DumpMeta = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       ShowStats = true;
+    } else if (!std::strcmp(Arg, "--gc-log")) {
+      GcLog = true;
+    } else if (startsWith(Arg, "--trace-out=", &Value)) {
+      TraceOutPath = Value;
+    } else if (startsWith(Arg, "--stats-json=", &Value)) {
+      StatsJsonPath = Value;
     } else if (!std::strcmp(Arg, "-e")) {
       if (++I >= argc) {
         usage();
@@ -172,9 +189,35 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
   }
+  Telemetry &Tel = Col->telemetry();
+  Tel.setLabel(gcStrategyName(Strategy));
+  if (GcLog)
+    Tel.setLogStream(stderr);
+  std::ofstream TraceOut;
+  if (!TraceOutPath.empty()) {
+    TraceOut.open(TraceOutPath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", TraceOutPath.c_str());
+      return 2;
+    }
+    Tel.beginTrace(TraceOut);
+  }
+
   Vm M(P->Prog, P->Image, *P->Types, *Col,
        defaultVmOptions(Strategy, Stress));
   RunResult R = M.run();
+
+  if (!TraceOutPath.empty())
+    Tel.endTrace();
+  if (!StatsJsonPath.empty()) {
+    std::ofstream JsonOut(StatsJsonPath);
+    if (!JsonOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", StatsJsonPath.c_str());
+      return 2;
+    }
+    Tel.writeStatsJson(JsonOut, St);
+  }
+
   if (!R.Output.empty())
     std::fputs(R.Output.c_str(), stdout);
   if (!R.Ok) {
