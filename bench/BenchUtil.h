@@ -63,14 +63,16 @@ public:
 
   /// Captures one deterministic run's counters.
   void record(const char *Strategy, GcAlgorithm A, size_t HeapBytes,
-              const Stats &St) {
+              const Stats &St, size_t NurseryBytes = 0) {
     if (!enabled())
       return;
     std::ostringstream OS;
     OS << "    {\"workload\": \"" << Workload << "\", \"strategy\": \""
-       << Strategy << "\", \"algorithm\": \""
-       << (A == GcAlgorithm::Copying ? "copying" : "marksweep")
-       << "\", \"heap_bytes\": " << HeapBytes << ", \"counters\": {";
+       << Strategy << "\", \"algorithm\": \"" << gcAlgorithmName(A)
+       << "\", \"heap_bytes\": " << HeapBytes;
+    if (NurseryBytes)
+      OS << ", \"nursery_bytes\": " << NurseryBytes;
+    OS << ", \"counters\": {";
     bool First = true;
     for (const auto &[Name, Value] : St.all()) {
       OS << (First ? "" : ", ") << '"' << Name << "\": " << Value;
@@ -138,8 +140,9 @@ inline void jsonWorkload(const std::string &W) {
 inline Stats runOnce(const std::string &Source, GcStrategy S,
                      GcAlgorithm A = GcAlgorithm::Copying,
                      size_t HeapBytes = 1 << 16, bool Stress = false,
-                     CompileOptions Options = {}) {
-  ExecResult R = execProgram(Source, S, A, HeapBytes, Stress, Options);
+                     CompileOptions Options = {}, size_t NurseryBytes = 0) {
+  ExecResult R =
+      execProgram(Source, S, A, HeapBytes, Stress, Options, NurseryBytes);
   if (!R.CompileOk || !R.Run.Ok) {
     std::fprintf(stderr, "bench workload failed under %s: %s%s\n",
                  gcStrategyName(S), R.CompileError.c_str(),
@@ -147,7 +150,7 @@ inline Stats runOnce(const std::string &Source, GcStrategy S,
     std::abort();
   }
   if (JsonSink *Sink = JsonSink::active())
-    Sink->record(gcStrategyName(S), A, HeapBytes, R.St);
+    Sink->record(gcStrategyName(S), A, HeapBytes, R.St, NurseryBytes);
   return std::move(R.St);
 }
 
@@ -168,11 +171,12 @@ compileOrDie(const std::string &Source, CompileOptions Options = {}) {
 /// One timed end-to-end run on a precompiled program.
 inline void timedRun(benchmark::State &State, CompiledProgram &P,
                      GcStrategy S, GcAlgorithm A, size_t HeapBytes,
-                     bool ZeroFramesOverride = false, bool Stress = false) {
+                     bool ZeroFramesOverride = false, bool Stress = false,
+                     size_t NurseryBytes = 0) {
   for (auto _ : State) {
     Stats St;
     std::string Err;
-    auto Col = P.makeCollector(S, A, HeapBytes, St, &Err);
+    auto Col = P.makeCollector(S, A, HeapBytes, St, &Err, NurseryBytes);
     if (!Col) {
       State.SkipWithError(Err.c_str());
       return;

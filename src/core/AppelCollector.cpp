@@ -9,10 +9,25 @@ using namespace tfgc;
 AppelCollector::AppelCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
                                const IrProgram &Prog, const CodeImage &Img,
                                TypeContext &Types, AppelMetadata *AM,
-                               bool GlogerDummies)
-    : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Prog(Prog),
-      Img(Img), Types(Types), AM(AM), GlogerDummies(GlogerDummies),
-      Eng(Types, St, &Tel) {}
+                               bool GlogerDummies, size_t NurseryBytes)
+    : Collector(ValueModel::TagFree, Algo, HeapBytes, St, NurseryBytes),
+      Prog(Prog), Img(Img), Types(Types), AM(AM),
+      GlogerDummies(GlogerDummies), Eng(Types, St, &Tel) {}
+
+void AppelCollector::traceRemset(Space &Sp) {
+  if (remset().empty())
+    return;
+  // As in GoldbergCollector: the barrier only buffers ground-typed
+  // stores, so each slot is retraced through a closure for its recorded
+  // static type, sharing the collection's closure arena.
+  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
+                   nullptr, AM, GlogerDummies, &Tel);
+  TgEnv Env;
+  for (const RemsetEntry &E : remset()) {
+    St.add(StatId::GcSlotsTraced);
+    *E.Slot = Tr.traceTg(*E.Slot, Eng.eval(E.Ty, Env));
+  }
+}
 
 std::vector<const TypeGc *>
 AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,

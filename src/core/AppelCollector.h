@@ -26,10 +26,11 @@ public:
   AppelCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
                  const IrProgram &Prog, const CodeImage &Img,
                  TypeContext &Types, AppelMetadata *AM,
-                 bool GlogerDummies = false);
+                 bool GlogerDummies = false, size_t NurseryBytes = 0);
 
 protected:
   void traceRoots(RootSet &Roots, Space &Sp) override;
+  void traceRemset(Space &Sp) override;
 
 private:
   const IrProgram &Prog;

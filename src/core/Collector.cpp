@@ -2,11 +2,30 @@
 
 #include "core/Collector.h"
 #include "core/Space.h"
+#include "gcmeta/CompiledRoutines.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
 using namespace tfgc;
+
+namespace {
+uint64_t nsSince(std::chrono::steady_clock::time_point Start) {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+} // namespace
+
+const char *tfgc::gcAlgorithmName(GcAlgorithm A) {
+  switch (A) {
+  case GcAlgorithm::Copying:      return "copying";
+  case GcAlgorithm::MarkSweep:    return "marksweep";
+  case GcAlgorithm::Generational: return "generational";
+  }
+  return "?";
+}
 
 const char *tfgc::gcStrategyName(GcStrategy S) {
   switch (S) {
@@ -19,19 +38,26 @@ const char *tfgc::gcStrategyName(GcStrategy S) {
 }
 
 Collector::Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes,
-                     Stats &St)
+                     Stats &St, size_t NurseryBytes)
     : Model(Model), Algo(Algo), St(St) {
-  if (Algo == GcAlgorithm::Copying)
+  if (Algo == GcAlgorithm::Copying) {
     Copying = std::make_unique<Heap>(HeapBytes);
-  else
+  } else if (Algo == GcAlgorithm::MarkSweep) {
     Ms = std::make_unique<MarkSweepHeap>(HeapBytes);
+  } else {
+    size_t Nursery = NurseryBytes ? NurseryBytes : HeapBytes / 8;
+    Nursery = std::min(Nursery, HeapBytes);
+    Gen = std::make_unique<GenHeap>(HeapBytes - Nursery, Nursery);
+  }
 }
 
 Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
   assert(PayloadWords > 0);
   size_t Total =
       Model == ValueModel::Tagged ? PayloadWords + 1 : PayloadWords;
-  Word *P = Copying ? Copying->tryAllocate(Total) : Ms->tryAllocate(Total);
+  Word *P = Copying ? Copying->tryAllocate(Total)
+            : Ms    ? Ms->tryAllocate(Total)
+                    : Gen->tryAllocate(Total);
   if (!P)
     return nullptr;
   St.add(StatId::HeapObjectsAllocated);
@@ -44,6 +70,10 @@ Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
 
 void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
   size_t Need = NeedPayloadWords + (Model == ValueModel::Tagged ? 1 : 0);
+  if (Gen) {
+    collectGenerational(Roots, Need);
+    return;
+  }
   Tel.beginCollection();
   {
     // The RootScan span stays open for the whole collection so the phase
@@ -105,24 +135,8 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
     St.add(StatId::GcPauseNsTotal, Ns);
     St.max(StatId::GcPauseNsMax, Ns);
 
-    if (VerifyAfterGc) {
-      // Note: the verification pass re-runs the frame routines, so work
-      // counters (objects visited, trace steps) double while it is on —
-      // enable it in correctness tests only.
-      PhaseScope V(&Tel, GcPhase::Verify);
-      // The re-trace must not re-count census objects or re-enter the
-      // tracing phases; its whole duration is charged to Verify.
-      Tel.setPaused(true);
-      CheckSpace Check(
-          [this](Word P) {
-            return Copying ? Copying->contains(P) : Ms->contains(P);
-          },
-          Model == ValueModel::Tagged);
-      traceRoots(Roots, Check);
-      Tel.setPaused(false);
-      St.add(StatId::GcVerifyPasses);
-      St.add(StatId::GcVerifyViolations, Check.violations());
-    }
+    if (VerifyAfterGc)
+      verifyPass(Roots);
 
     // Finish while the RootScan span is still open: finishCollection's
     // one clock read closes the span AND stamps the pause, leaving zero
@@ -132,6 +146,199 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
                                  : Ms->liveWordsAfterSweep(),
                          heapCapacityBytes());
   }
+}
+
+void Collector::verifyPass(RootSet &Roots) {
+  // Note: the verification pass re-runs the frame routines, so work
+  // counters (objects visited, trace steps) double while it is on —
+  // enable it in correctness tests only.
+  PhaseScope V(&Tel, GcPhase::Verify);
+  // The re-trace must not re-count census objects or re-enter the
+  // tracing phases; its whole duration is charged to Verify.
+  Tel.setPaused(true);
+  CheckSpace Check(
+      [this](Word P) {
+        return Copying ? Copying->contains(P)
+               : Ms    ? Ms->contains(P)
+                       : Gen->contains(P);
+      },
+      Model == ValueModel::Tagged);
+  traceRoots(Roots, Check);
+  Tel.setPaused(false);
+  St.add(StatId::GcVerifyPasses);
+  St.add(StatId::GcVerifyViolations, Check.violations());
+}
+
+void Collector::recordRemset(Word *Slot, Type *Ty) {
+  if (Model != ValueModel::Tagged && (!Ty || !isGroundType(Ty))) {
+    // Without headers a slot holding a non-ground-typed value cannot be
+    // rescanned standalone (its layout depends on a frame's type-GC
+    // environment, which the barrier does not have). Rare in practice:
+    // mutation opcodes are monomorphic in every workload we generate.
+    // Escalate the next collection to a full major, which needs no
+    // remembered set.
+    RemsetImprecise = true;
+    return;
+  }
+  if (!RemsetIndex.insert(Slot).second)
+    return; // Same tenured slot already buffered this cycle.
+  Remset.push_back({Slot, Ty});
+  St.add(StatId::GcRemsetEntries);
+}
+
+void Collector::pruneRemset() {
+  // After a non-promoting minor every traced entry was patched to the
+  // survivor's new address, so entries stay valid; drop the ones whose
+  // slot no longer holds a young pointer (the store was overwritten, or
+  // it was a conservative false positive on an unboxed value).
+  size_t Keep = 0;
+  for (const RemsetEntry &E : Remset) {
+    Word V = *E.Slot;
+    bool Young = Model == ValueModel::Tagged
+                     ? isTaggedPointer(V) && Gen->inNursery(V)
+                     : Gen->inNursery(V);
+    if (Young)
+      Remset[Keep++] = E;
+  }
+  Remset.resize(Keep);
+  RemsetIndex.clear();
+  for (const RemsetEntry &E : Remset)
+    RemsetIndex.insert(E.Slot);
+}
+
+void Collector::collectGenerational(RootSet &Roots, size_t Need) {
+  // A minor collection is only sound/useful when (a) the remembered set
+  // is precise, (b) the request fits a freshly emptied nursery, and (c)
+  // the tenured space could absorb the whole nursery fill (so en-masse
+  // promotion and remset-target promotion cannot overflow mid-trace).
+  bool NeedMajor = RemsetImprecise || Need > Gen->nurseryCapacityWords() ||
+                   Gen->tenuredFreeWords() < Gen->nurseryUsedWords();
+  if (!NeedMajor) {
+    ++MinorsSincePromotion;
+    bool Promote = MinorsSincePromotion >= PromoteEvery;
+    minorCollection(Roots, Promote);
+    if (Promote)
+      MinorsSincePromotion = 0;
+    // Nursery still too full (long-lived young data): escalate.
+    NeedMajor = Gen->nurseryFreeWords() < Need;
+  }
+  if (NeedMajor)
+    majorCollection(Roots, Need);
+}
+
+void Collector::minorCollection(RootSet &Roots, bool Promote) {
+  Tel.beginCollection(GcEventKind::Minor);
+  // Same span discipline as collect(): RootScan stays open for the whole
+  // pause, finer phases nest inside it, finishCollection closes both.
+  PhaseScope Outer(&Tel, GcPhase::RootScan);
+  auto Start = std::chrono::steady_clock::now();
+
+  uint64_t YoungBefore =
+      LiveYoungObjects + (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot);
+
+  {
+    PhaseScope P(&Tel, GcPhase::CopySweep);
+    Gen->beginMinor();
+  }
+  GenMinorSpace Sp(*Gen, Model == ValueModel::Tagged, Promote);
+  traceRoots(Roots, Sp);
+  {
+    PhaseScope P(&Tel, GcPhase::RemsetScan);
+    traceRemset(Sp);
+  }
+  {
+    PhaseScope P(&Tel, GcPhase::CopySweep);
+    Gen->endMinor();
+  }
+
+  if (Promote) {
+    // En-masse promotion leaves the nursery empty, so no old→young edge
+    // survives and the remembered set restarts from scratch.
+    Remset.clear();
+    RemsetIndex.clear();
+  } else {
+    pruneRemset();
+  }
+
+  PromotedObjectsTotal += Sp.promotedObjects();
+  DeadYoungObjectsTotal +=
+      YoungBefore - (Sp.promotedObjects() + Sp.survivorObjects());
+  LiveYoungObjects = Sp.survivorObjects();
+  AllocSnapshot = St.get(StatId::HeapObjectsAllocated);
+  if (Sp.promotedWords())
+    St.add(StatId::GcPromotedWords, Sp.promotedWords());
+
+  uint64_t Ns = nsSince(Start);
+  St.add(StatId::GcCollections);
+  St.add(StatId::GcMinorCollections);
+  St.add(StatId::GcPauseNsTotal, Ns);
+  St.max(StatId::GcPauseNsMax, Ns);
+
+  if (VerifyAfterGc)
+    verifyPass(Roots);
+
+  Tel.finishCollection(Gen->nurseryUsedWords() + Gen->tenuredUsedWords(),
+                       heapCapacityBytes());
+}
+
+void Collector::majorCollection(RootSet &Roots, size_t Need) {
+  Tel.beginCollection(GcEventKind::Major);
+  PhaseScope Outer(&Tel, GcPhase::RootScan);
+  auto Start = std::chrono::steady_clock::now();
+
+  uint64_t YoungBefore =
+      LiveYoungObjects + (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot);
+  size_t CapacityBefore = heapCapacityBytes();
+
+  // Size the to-space from the live upper bound (everything currently
+  // resident), with headroom for the pending request and enough tenured
+  // free space that future minors can promote a full nursery.
+  size_t LiveUpper = Gen->tenuredUsedWords() + Gen->nurseryUsedWords();
+  size_t Cap = std::max(2 * LiveUpper,
+                        LiveUpper + 2 * Gen->nurseryCapacityWords());
+  Cap = std::max(Cap, LiveUpper + 2 * Need);
+
+  {
+    PhaseScope P(&Tel, GcPhase::CopySweep);
+    Gen->beginMajor(Cap);
+  }
+  GenMajorSpace Sp(*Gen, Model == ValueModel::Tagged);
+  traceRoots(Roots, Sp);
+  {
+    PhaseScope P(&Tel, GcPhase::CopySweep);
+    Gen->endMajor();
+  }
+
+  // Everything young was either evacuated (now old) or died; the nursery
+  // is empty and every remset entry is stale.
+  Remset.clear();
+  RemsetIndex.clear();
+  RemsetImprecise = false;
+  MinorsSincePromotion = 0;
+
+  PromotedObjectsTotal += Sp.youngEvacuatedObjects();
+  DeadYoungObjectsTotal += YoungBefore - Sp.youngEvacuatedObjects();
+  LiveYoungObjects = 0;
+  AllocSnapshot = St.get(StatId::HeapObjectsAllocated);
+  if (Sp.youngEvacuatedWords())
+    St.add(StatId::GcPromotedWords, Sp.youngEvacuatedWords());
+
+  if (Gen->nurseryFreeWords() < Need)
+    Gen->growNursery(2 * Need);
+  if (heapCapacityBytes() > CapacityBefore)
+    St.add(StatId::GcHeapGrowths);
+
+  uint64_t Ns = nsSince(Start);
+  St.add(StatId::GcCollections);
+  St.add(StatId::GcMajorCollections);
+  St.add(StatId::GcPauseNsTotal, Ns);
+  St.max(StatId::GcPauseNsMax, Ns);
+
+  if (VerifyAfterGc)
+    verifyPass(Roots);
+
+  Tel.finishCollection(Gen->nurseryUsedWords() + Gen->tenuredUsedWords(),
+                       heapCapacityBytes());
 }
 
 void Collector::publishTelemetryStats() {
@@ -153,6 +360,25 @@ void Collector::publishTelemetryStats() {
       St.set(Base + "_words", Tel.censusWordsTotal(K));
     }
   }
+  for (GcEventKind K : {GcEventKind::Minor, GcEventKind::Major}) {
+    const LogHistogram &H = Tel.pauseHistogram(K);
+    if (!H.count())
+      continue;
+    std::string Base = std::string("gc.") + gcEventKindName(K);
+    St.set(Base + "_pause_ns_p50", H.percentile(50));
+    St.set(Base + "_pause_ns_p90", H.percentile(90));
+    St.set(Base + "_pause_ns_p99", H.percentile(99));
+  }
+  if (Gen) {
+    // Young-object census: allocated == promoted + dead + resident holds
+    // at every flush point (resident = survivors at the last collection
+    // plus allocations since).
+    St.set("gc.promoted_objects", PromotedObjectsTotal);
+    St.set("gc.young_dead_objects", DeadYoungObjectsTotal);
+    St.set("gc.nursery_resident_objects",
+           LiveYoungObjects +
+               (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot));
+  }
   const LogHistogram &Stop = Tel.worldStopDelayHistogram();
   if (Stop.count()) {
     St.set("task.world_stop_delay_ns_p50", Stop.percentile(50));
@@ -162,14 +388,19 @@ void Collector::publishTelemetryStats() {
 }
 
 size_t Collector::heapUsedBytes() const {
-  return Copying ? Copying->usedBytes() : Ms->usedBytes();
+  return Copying ? Copying->usedBytes()
+         : Ms    ? Ms->usedBytes()
+                 : Gen->usedBytes();
 }
 
 size_t Collector::heapCapacityBytes() const {
-  return Copying ? Copying->capacityBytes() : Ms->capacityBytes();
+  return Copying ? Copying->capacityBytes()
+         : Ms    ? Ms->capacityBytes()
+                 : Gen->capacityBytes();
 }
 
 uint64_t Collector::bytesAllocatedTotal() const {
   return Copying ? Copying->bytesAllocatedTotal()
-                 : Ms->bytesAllocatedTotal();
+         : Ms    ? Ms->bytesAllocatedTotal()
+                 : Gen->bytesAllocatedTotal();
 }

@@ -18,6 +18,7 @@
 #define TFGC_CORE_COLLECTOR_H
 
 #include "gcmeta/CodeImage.h"
+#include "runtime/GenHeap.h"
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
@@ -25,10 +26,16 @@
 #include "support/Telemetry.h"
 
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 namespace tfgc {
 
-enum class GcAlgorithm : uint8_t { Copying, MarkSweep };
+class Type;
+
+enum class GcAlgorithm : uint8_t { Copying, MarkSweep, Generational };
+
+const char *gcAlgorithmName(GcAlgorithm A);
 
 enum class GcStrategy : uint8_t {
   Tagged,
@@ -43,7 +50,11 @@ class Space;
 
 class Collector {
 public:
-  Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes, Stats &St);
+  /// \p NurseryBytes only applies to GcAlgorithm::Generational (0 picks a
+  /// default of HeapBytes/8); the nursery is carved out of \p HeapBytes so
+  /// total capacity is comparable across algorithms.
+  Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes, Stats &St,
+            size_t NurseryBytes = 0);
   virtual ~Collector() = default;
 
   ValueModel model() const { return Model; }
@@ -81,9 +92,47 @@ public:
   size_t heapCapacityBytes() const;
   uint64_t bytesAllocatedTotal() const;
 
+  /// An old→young edge candidate recorded by the write barrier. \p Ty is
+  /// the static type of the stored value (from IrFunction::SlotTypes) so
+  /// the tag-free strategies can rescan the slot precisely at the next
+  /// minor collection; the tagged strategy ignores it and uses headers.
+  struct RemsetEntry {
+    Word *Slot;
+    Type *Ty;
+  };
+
+  /// Post-store write barrier for the generational algorithm (no-op
+  /// otherwise). Hot path: filters stores whose slot is not tenured or
+  /// whose value is not a young pointer, then records the slot in the
+  /// sequential-store-buffer remembered set. Initializing stores never
+  /// pass through here — every object is born in the nursery, so a fresh
+  /// object cannot be an old→young source (DESIGN.md section 6).
+  void writeBarrier(Word *Slot, Word Val, Type *StaticTy) {
+    if (!Gen)
+      return;
+    if (!Gen->inTenured((Word)(uintptr_t)Slot))
+      return;
+    // Under the tagged model only genuine pointers can be young; the
+    // tag-free models conservatively admit unboxed values whose bits
+    // happen to land in the nursery — harmless, because the remset scan
+    // re-derives pointerness from the recorded static type.
+    if (Model == ValueModel::Tagged ? !(isTaggedPointer(Val) &&
+                                        Gen->inNursery(Val))
+                                    : !Gen->inNursery(Val))
+      return;
+    recordRemset(Slot, StaticTy);
+  }
+
 protected:
   /// Strategy-specific root tracing into \p Sp.
   virtual void traceRoots(RootSet &Roots, Space &Sp) = 0;
+
+  /// Strategy-specific scan of the remembered set during a minor
+  /// collection (entries are extra roots). The base implementation is a
+  /// no-op for strategies that never run generationally-specific paths.
+  virtual void traceRemset(Space &Sp) { (void)Sp; }
+
+  const std::vector<RemsetEntry> &remset() const { return Remset; }
 
   ValueModel Model;
   GcAlgorithm Algo;
@@ -92,6 +141,39 @@ protected:
   bool VerifyAfterGc = false;
   std::unique_ptr<Heap> Copying;
   std::unique_ptr<MarkSweepHeap> Ms;
+  std::unique_ptr<GenHeap> Gen;
+
+private:
+  void recordRemset(Word *Slot, Type *Ty);
+  void collectGenerational(RootSet &Roots, size_t Need);
+  void minorCollection(RootSet &Roots, bool Promote);
+  void majorCollection(RootSet &Roots, size_t Need);
+  void verifyPass(RootSet &Roots);
+  void pruneRemset();
+
+  /// Remembered set: a sequential store buffer with a dedup index so the
+  /// same tenured slot stored repeatedly costs one entry per collection
+  /// cycle.
+  std::vector<RemsetEntry> Remset;
+  std::unordered_set<Word *> RemsetIndex;
+  /// A store of a non-ground-typed value landed in a tenured slot; the
+  /// slot cannot be rescanned standalone under the tag-free models, so
+  /// the next collection is forced major (which needs no remset).
+  bool RemsetImprecise = false;
+  /// Every PromoteEvery'th minor collection promotes all survivors en
+  /// masse. Per-object promotion is unsound here: a promoted object
+  /// pointing at a still-young survivor would be an unrecorded old→young
+  /// edge, and without headers the promoted object cannot be rescanned.
+  static constexpr unsigned PromoteEvery = 4;
+  unsigned MinorsSincePromotion = 0;
+
+  /// Young-object census for the invariant "allocated == promoted +
+  /// young-dead + nursery-resident" (resident = survivors at the last
+  /// collection + allocations since).
+  uint64_t LiveYoungObjects = 0;
+  uint64_t AllocSnapshot = 0;
+  uint64_t PromotedObjectsTotal = 0;
+  uint64_t DeadYoungObjectsTotal = 0;
 };
 
 } // namespace tfgc

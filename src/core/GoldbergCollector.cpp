@@ -12,9 +12,9 @@ GoldbergCollector::GoldbergCollector(TraceMethod Method, GcAlgorithm Algo,
                                      const CodeImage &Img, TypeContext &Types,
                                      const CompiledMetadata *CM,
                                      InterpretedMetadata *IM,
-                                     bool GlogerDummies)
-    : Collector(ValueModel::TagFree, Algo, HeapBytes, St), Method(Method),
-      Prog(Prog), Img(Img), Types(Types), CM(CM), IM(IM),
+                                     bool GlogerDummies, size_t NurseryBytes)
+    : Collector(ValueModel::TagFree, Algo, HeapBytes, St, NurseryBytes),
+      Method(Method), Prog(Prog), Img(Img), Types(Types), CM(CM), IM(IM),
       GlogerDummies(GlogerDummies), Eng(Types, St, &Tel) {
   assert(Method != TraceMethod::Appel && "use AppelCollector");
   assert((Method == TraceMethod::Compiled ? CM != nullptr : IM != nullptr) &&
@@ -26,6 +26,23 @@ GoldbergCollector::paramPaths(FuncId Fn) const {
   return Method == TraceMethod::Compiled
              ? CM->closureRoutine(Fn).ParamPaths
              : IM->closureDescriptor(Fn).ParamPaths;
+}
+
+void GoldbergCollector::traceRemset(Space &Sp) {
+  if (remset().empty())
+    return;
+  // Each remembered slot carries the stored value's static type (recorded
+  // by the write barrier; only ground types reach the buffer), so it can
+  // be retraced standalone: evaluate the type into a GC routine closure
+  // and run it. No Eng.reset() here — this runs inside a collection,
+  // after traceRoots, and must share its closure arena.
+  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
+                   GlogerDummies, &Tel);
+  TgEnv Env; // Ground types have no type parameters to bind.
+  for (const RemsetEntry &E : remset()) {
+    St.add(StatId::GcSlotsTraced);
+    *E.Slot = Tr.traceTg(*E.Slot, Eng.eval(E.Ty, Env));
+  }
 }
 
 void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {

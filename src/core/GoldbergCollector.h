@@ -27,10 +27,12 @@ public:
   GoldbergCollector(TraceMethod Method, GcAlgorithm Algo, size_t HeapBytes,
                     Stats &St, const IrProgram &Prog, const CodeImage &Img,
                     TypeContext &Types, const CompiledMetadata *CM,
-                    InterpretedMetadata *IM, bool GlogerDummies = false);
+                    InterpretedMetadata *IM, bool GlogerDummies = false,
+                    size_t NurseryBytes = 0);
 
 protected:
   void traceRoots(RootSet &Roots, Space &Sp) override;
+  void traceRemset(Space &Sp) override;
 
 private:
   TraceMethod Method;

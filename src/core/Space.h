@@ -11,6 +11,7 @@
 #ifndef TFGC_CORE_SPACE_H
 #define TFGC_CORE_SPACE_H
 
+#include "runtime/GenHeap.h"
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 
@@ -98,6 +99,113 @@ private:
 
   MarkSweepHeap &H;
   bool TaggedHeaders;
+};
+
+/// Minor-collection policy over a generational heap: only nursery objects
+/// move. Tenured references short-circuit as already-visited (tenured is
+/// not scanned during a minor — old→young edges arrive via the remembered
+/// set instead). Survivors evacuate either to the nursery to-space or,
+/// when \p Promote is set (en-masse promotion), to the tenured space.
+class GenMinorSpace : public Space {
+public:
+  GenMinorSpace(GenHeap &H, bool TaggedHeaders, bool Promote)
+      : H(H), TaggedHeaders(TaggedHeaders), Promote(Promote) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    if (!H.inNursery(Ref)) {
+      // Old (or immortal/global) objects stay put and are not rescanned.
+      NewRef = Ref;
+      return true;
+    }
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwarded(Obj))
+      return false;
+    NewRef = H.forwardee(Obj);
+    return true;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    size_t Total = PayloadWords + (TaggedHeaders ? 1 : 0);
+    Word *Alloc = Promote ? H.allocateInTenured(Total)
+                          : H.allocateInSurvivorSpace(Total);
+    Word *New;
+    if (TaggedHeaders) {
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = Alloc;
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.setForwarded(Old, (Word)(uintptr_t)New);
+    if (Promote) {
+      ++PromotedObjs;
+      PromotedWords += Total;
+    } else {
+      ++SurvivorObjs;
+      SurvivorWords += Total;
+    }
+    return (Word)(uintptr_t)New;
+  }
+
+  uint64_t promotedObjects() const { return PromotedObjs; }
+  uint64_t promotedWords() const { return PromotedWords; }
+  uint64_t survivorObjects() const { return SurvivorObjs; }
+  uint64_t survivorWords() const { return SurvivorWords; }
+
+private:
+  GenHeap &H;
+  bool TaggedHeaders;
+  bool Promote;
+  uint64_t PromotedObjs = 0, PromotedWords = 0;
+  uint64_t SurvivorObjs = 0, SurvivorWords = 0;
+};
+
+/// Major-collection policy over a generational heap: the entire live
+/// graph — young and old — evacuates into a fresh tenured to-space.
+/// Young objects evacuated here count as promotions (they leave the
+/// nursery for good).
+class GenMajorSpace : public Space {
+public:
+  GenMajorSpace(GenHeap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwarded(Obj))
+      return false;
+    NewRef = H.forwardee(Obj);
+    return true;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    size_t Total = PayloadWords + (TaggedHeaders ? 1 : 0);
+    bool Young = H.inNursery(Ref);
+    Word *Alloc = H.allocateInToSpace(Total);
+    Word *New;
+    if (TaggedHeaders) {
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = Alloc;
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.setForwarded(Old, (Word)(uintptr_t)New);
+    if (Young) {
+      ++YoungEvacObjs;
+      YoungEvacWords += Total;
+    }
+    return (Word)(uintptr_t)New;
+  }
+
+  uint64_t youngEvacuatedObjects() const { return YoungEvacObjs; }
+  uint64_t youngEvacuatedWords() const { return YoungEvacWords; }
+
+private:
+  GenHeap &H;
+  bool TaggedHeaders;
+  uint64_t YoungEvacObjs = 0, YoungEvacWords = 0;
 };
 
 /// Read-only verification policy: visits the reachable graph without

@@ -6,27 +6,39 @@
 
 using namespace tfgc;
 
+Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
+                                Word W) {
+  if (!isTaggedPointer(W))
+    return W;
+  Word NewRef;
+  if (Sp.alreadyVisited(W, NewRef))
+    return NewRef;
+  const Word *Old = reinterpret_cast<const Word *>(W);
+  Word Header = Old[-1];
+  NewRef = Sp.visitNew(W, headerSize(Header));
+  St.add(StatId::GcObjectsVisited);
+  St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
+  Tel.census(headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
+                                                 : CensusKind::Raw,
+             headerSize(Header) + 1);
+  if (headerKind(Header) == ObjKind::Scan)
+    ScanList.push_back(NewRef);
+  return NewRef;
+}
+
+void TaggedCollector::drainScanList(Space &Sp, std::vector<Word> &ScanList) {
+  while (!ScanList.empty()) {
+    Word Ref = ScanList.back();
+    ScanList.pop_back();
+    Word *Pl = Sp.payload(Ref);
+    uint32_t Size = headerSize(Pl[-1]);
+    for (uint32_t I = 0; I < Size; ++I)
+      Pl[I] = traceWord(Sp, ScanList, Pl[I]);
+  }
+}
+
 void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
   std::vector<Word> ScanList;
-
-  auto TraceWord = [&](Word W) -> Word {
-    if (!isTaggedPointer(W))
-      return W;
-    Word NewRef;
-    if (Sp.alreadyVisited(W, NewRef))
-      return NewRef;
-    const Word *Old = reinterpret_cast<const Word *>(W);
-    Word Header = Old[-1];
-    NewRef = Sp.visitNew(W, headerSize(Header));
-    St.add(StatId::GcObjectsVisited);
-    St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
-    Tel.census(headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
-                                                   : CensusKind::Raw,
-               headerSize(Header) + 1);
-    if (headerKind(Header) == ObjKind::Scan)
-      ScanList.push_back(NewRef);
-    return NewRef;
-  };
 
   for (TaskStack *Stack : Roots.Stacks) {
     for (FrameInfo &Fr : Stack->Frames) {
@@ -35,17 +47,21 @@ void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
       // No metadata: every slot of every frame is scanned.
       for (uint32_t I = 0; I < Fr.NumSlots; ++I) {
         St.add(StatId::GcSlotsTraced);
-        Slots[I] = TraceWord(Slots[I]);
+        Slots[I] = traceWord(Sp, ScanList, Slots[I]);
       }
     }
   }
 
-  while (!ScanList.empty()) {
-    Word Ref = ScanList.back();
-    ScanList.pop_back();
-    Word *Pl = Sp.payload(Ref);
-    uint32_t Size = headerSize(Pl[-1]);
-    for (uint32_t I = 0; I < Size; ++I)
-      Pl[I] = TraceWord(Pl[I]);
+  drainScanList(Sp, ScanList);
+}
+
+void TaggedCollector::traceRemset(Space &Sp) {
+  // Remembered tenured slots are extra roots for a minor collection; the
+  // header model needs no types, so each slot is retraced by its tag bit.
+  std::vector<Word> ScanList;
+  for (const RemsetEntry &E : remset()) {
+    St.add(StatId::GcSlotsTraced);
+    *E.Slot = traceWord(Sp, ScanList, *E.Slot);
   }
+  drainScanList(Sp, ScanList);
 }

@@ -20,11 +20,18 @@ namespace tfgc {
 
 class TaggedCollector : public Collector {
 public:
-  TaggedCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St)
-      : Collector(ValueModel::Tagged, Algo, HeapBytes, St) {}
+  TaggedCollector(GcAlgorithm Algo, size_t HeapBytes, Stats &St,
+                  size_t NurseryBytes = 0)
+      : Collector(ValueModel::Tagged, Algo, HeapBytes, St, NurseryBytes) {}
 
 protected:
   void traceRoots(RootSet &Roots, Space &Sp) override;
+  void traceRemset(Space &Sp) override;
+
+private:
+  /// Traces one word by tag bit + header, queueing Scan-kind payloads.
+  Word traceWord(Space &Sp, std::vector<Word> &ScanList, Word W);
+  void drainScanList(Space &Sp, std::vector<Word> &ScanList);
 };
 
 } // namespace tfgc

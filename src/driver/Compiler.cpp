@@ -94,7 +94,7 @@ std::unique_ptr<CompiledProgram> Compiler::compile(const std::string &Source,
 std::unique_ptr<Collector>
 CompiledProgram::makeCollector(GcStrategy Strategy, GcAlgorithm Algo,
                                size_t HeapBytes, Stats &St,
-                               std::string *Error) {
+                               std::string *Error, size_t NurseryBytes) {
   if (Strategy != GcStrategy::Tagged && !Recon.ok() &&
       !Options.GlogerDummies) {
     if (Error) {
@@ -112,19 +112,21 @@ CompiledProgram::makeCollector(GcStrategy Strategy, GcAlgorithm Algo,
   }
   switch (Strategy) {
   case GcStrategy::Tagged:
-    return std::make_unique<TaggedCollector>(Algo, HeapBytes, St);
+    return std::make_unique<TaggedCollector>(Algo, HeapBytes, St,
+                                             NurseryBytes);
   case GcStrategy::CompiledTagFree:
     return std::make_unique<GoldbergCollector>(
         TraceMethod::Compiled, Algo, HeapBytes, St, Prog, Image, *Types,
-        &Compiled, Interp.get(), Options.GlogerDummies);
+        &Compiled, Interp.get(), Options.GlogerDummies, NurseryBytes);
   case GcStrategy::InterpretedTagFree:
     return std::make_unique<GoldbergCollector>(
         TraceMethod::Interpreted, Algo, HeapBytes, St, Prog, Image, *Types,
-        &Compiled, Interp.get(), Options.GlogerDummies);
+        &Compiled, Interp.get(), Options.GlogerDummies, NurseryBytes);
   case GcStrategy::AppelTagFree:
     return std::make_unique<AppelCollector>(Algo, HeapBytes, St, Prog, Image,
                                             *Types, Appel.get(),
-                                            Options.GlogerDummies);
+                                            Options.GlogerDummies,
+                                            NurseryBytes);
   }
   return nullptr;
 }
@@ -141,15 +143,15 @@ VmOptions tfgc::defaultVmOptions(GcStrategy Strategy, bool GcStress) {
 
 ExecResult tfgc::execProgram(const std::string &Source, GcStrategy Strategy,
                              GcAlgorithm Algo, size_t HeapBytes, bool GcStress,
-                             CompileOptions Options) {
+                             CompileOptions Options, size_t NurseryBytes) {
   ExecResult R;
   Compiler C(Options);
   std::unique_ptr<CompiledProgram> P = C.compile(Source, &R.CompileError);
   if (!P)
     return R;
   std::string ColError;
-  std::unique_ptr<Collector> Col =
-      P->makeCollector(Strategy, Algo, HeapBytes, R.St, &ColError);
+  std::unique_ptr<Collector> Col = P->makeCollector(
+      Strategy, Algo, HeapBytes, R.St, &ColError, NurseryBytes);
   if (!Col) {
     R.CompileError = ColError;
     return R;

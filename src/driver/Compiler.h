@@ -80,10 +80,13 @@ struct CompiledProgram {
   /// Creates a collector for \p Strategy. Returns nullptr (with \p Error
   /// set) if the program is not collectible under that strategy (e.g. a
   /// non-reconstructible lambda under a tag-free strategy).
+  /// \p NurseryBytes applies to GcAlgorithm::Generational only (0 = the
+  /// collector's default of HeapBytes/8).
   std::unique_ptr<Collector> makeCollector(GcStrategy Strategy,
                                            GcAlgorithm Algo, size_t HeapBytes,
                                            Stats &St,
-                                           std::string *Error = nullptr);
+                                           std::string *Error = nullptr,
+                                           size_t NurseryBytes = 0);
 };
 
 /// VM options appropriate for \p Strategy (frame zeroing where required).
@@ -112,7 +115,8 @@ struct ExecResult {
 ExecResult execProgram(const std::string &Source, GcStrategy Strategy,
                        GcAlgorithm Algo = GcAlgorithm::Copying,
                        size_t HeapBytes = 1 << 20, bool GcStress = false,
-                       CompileOptions Options = {});
+                       CompileOptions Options = {},
+                       size_t NurseryBytes = 0);
 
 } // namespace tfgc
 

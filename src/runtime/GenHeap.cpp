@@ -1,0 +1,94 @@
+//===- runtime/GenHeap.cpp ------------------------------------------------===//
+
+#include "runtime/GenHeap.h"
+
+using namespace tfgc;
+
+namespace {
+
+size_t clampWords(size_t Bytes) {
+  size_t Words = Bytes / sizeof(Word);
+  return Words < 64 ? 64 : Words;
+}
+
+} // namespace
+
+GenHeap::GenHeap(size_t TenuredBytes, size_t NurseryBytes) {
+  NurCapacityWords = clampWords(NurseryBytes);
+  NurSpaces[0] = std::make_unique<Word[]>(NurCapacityWords);
+  NurSpaces[1] = std::make_unique<Word[]>(NurCapacityWords);
+  NurBase = NurAlloc = NurSpaces[0].get();
+  NurEnd = NurBase + NurCapacityWords;
+
+  TenCapacityWords = clampWords(TenuredBytes);
+  Ten = std::make_unique<Word[]>(TenCapacityWords);
+  TenBase = TenAlloc = Ten.get();
+  TenEnd = TenBase + TenCapacityWords;
+}
+
+void GenHeap::beginMinor() {
+  assert(!collecting() && "collection already in progress");
+  NurToBase = NurToAlloc = NurSpaces[1 - NurCur].get();
+  NurToEnd = NurToBase + NurCapacityWords;
+  NurForwardBits.assign((NurCapacityWords + 63) / 64, 0);
+  MinorActive = true;
+}
+
+void GenHeap::endMinor() {
+  assert(MinorActive);
+  // The to-space (survivors) becomes the nursery; the old from-space is
+  // the next collection's to-space.
+  NurCur = 1 - NurCur;
+  NurBase = NurSpaces[NurCur].get();
+  NurAlloc = NurToAlloc;
+  NurEnd = NurBase + NurCapacityWords;
+  NurToBase = NurToAlloc = NurToEnd = nullptr;
+  NurForwardBits.clear();
+  NurForwardBits.shrink_to_fit();
+  MinorActive = false;
+}
+
+void GenHeap::beginMajor(size_t NewTenuredCapacityWords) {
+  assert(!collecting() && "collection already in progress");
+  TenToCapacityWords =
+      NewTenuredCapacityWords < 64 ? 64 : NewTenuredCapacityWords;
+  TenTo = std::make_unique<Word[]>(TenToCapacityWords);
+  TenToBase = TenToAlloc = TenTo.get();
+  TenToEnd = TenToBase + TenToCapacityWords;
+  NurForwardBits.assign((NurCapacityWords + 63) / 64, 0);
+  TenForwardBits.assign((TenCapacityWords + 63) / 64, 0);
+  MajorActive = true;
+}
+
+void GenHeap::endMajor() {
+  assert(MajorActive);
+  Ten = std::move(TenTo);
+  TenBase = Ten.get();
+  TenAlloc = TenToAlloc;
+  TenCapacityWords = TenToCapacityWords;
+  TenEnd = TenBase + TenCapacityWords;
+  TenToBase = TenToAlloc = TenToEnd = nullptr;
+  TenToCapacityWords = 0;
+  // Every young survivor was evacuated into the tenured to-space, so the
+  // nursery restarts empty.
+  NurAlloc = NurBase;
+  NurForwardBits.clear();
+  NurForwardBits.shrink_to_fit();
+  TenForwardBits.clear();
+  TenForwardBits.shrink_to_fit();
+  MajorActive = false;
+}
+
+void GenHeap::growNursery(size_t MinWords) {
+  assert(!collecting() && "cannot resize the nursery mid-collection");
+  assert(nurseryUsedWords() == 0 && "nursery must be empty to grow");
+  size_t NewWords = NurCapacityWords;
+  while (NewWords < MinWords)
+    NewWords *= 2;
+  NurCapacityWords = NewWords;
+  NurSpaces[0] = std::make_unique<Word[]>(NurCapacityWords);
+  NurSpaces[1] = std::make_unique<Word[]>(NurCapacityWords);
+  NurCur = 0;
+  NurBase = NurAlloc = NurSpaces[0].get();
+  NurEnd = NurBase + NurCapacityWords;
+}

@@ -1,0 +1,208 @@
+//===- runtime/GenHeap.h - Generational heap --------------------*- C++ -*-===//
+///
+/// \file
+/// A two-generation heap driven by the collectors: a bump-allocated
+/// nursery semispace pair plus a tenured bump space. Like the flat
+/// semispace Heap, the heap knows nothing about object layouts — under
+/// the tag-free model layout lives exclusively in the compiler-generated
+/// GC metadata, so the heap only provides raw allocation, region tests,
+/// and forwarding.
+///
+/// Organization:
+///
+///  * Every object is born in the nursery (the mutator never allocates
+///    tenured directly — that invariant is what lets the VM skip write
+///    barriers on initializing stores; see DESIGN.md section 6). When a
+///    single request exceeds the nursery the collector grows the nursery
+///    rather than falling back to tenured allocation.
+///
+///  * A *minor* collection evacuates live nursery objects either into the
+///    nursery's other semispace (survivors stay young) or into the
+///    tenured space (en-masse promotion); tenured objects do not move.
+///
+///  * A *major* collection evacuates the entire live graph — both
+///    regions — into a fresh tenured to-space, leaving the nursery empty.
+///
+/// Forwarding without headers works exactly as in Heap: side bitmaps (one
+/// bit per word, alive only during a collection) over the nursery
+/// from-space and — during majors — the tenured space mark objects whose
+/// word 0 has been overwritten with the forwarding address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_RUNTIME_GENHEAP_H
+#define TFGC_RUNTIME_GENHEAP_H
+
+#include "runtime/Value.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tfgc {
+
+class GenHeap {
+public:
+  GenHeap(size_t TenuredBytes, size_t NurseryBytes);
+
+  // -- Mutator interface ---------------------------------------------------
+  /// Allocates \p Words words in the nursery; nullptr when the nursery is
+  /// full (the caller collects, or grows the nursery for a request larger
+  /// than its capacity).
+  Word *tryAllocate(size_t Words) {
+    if (Words > (size_t)(NurEnd - NurAlloc))
+      return nullptr;
+    Word *P = NurAlloc;
+    NurAlloc += Words;
+    BytesAllocatedTotal += Words * sizeof(Word);
+    return P;
+  }
+
+  // -- Region tests ---------------------------------------------------------
+  /// True if \p P points into the nursery from-space (the young
+  /// generation). During a collection this still refers to the space being
+  /// evacuated; the semispace flip happens at endMinor().
+  bool inNursery(Word P) const {
+    return P >= (Word)(uintptr_t)NurBase && P < (Word)(uintptr_t)NurEnd;
+  }
+  bool inTenured(Word P) const {
+    return P >= (Word)(uintptr_t)TenBase && P < (Word)(uintptr_t)TenEnd;
+  }
+  bool contains(Word P) const { return inNursery(P) || inTenured(P); }
+
+  // -- Minor collections ----------------------------------------------------
+  /// Starts a minor collection: prepares the nursery to-space and the
+  /// nursery forwarding bitmap. Tenured is untouched.
+  void beginMinor();
+
+  /// Evacuates a surviving-but-not-promoted object: bump allocation in the
+  /// nursery to-space. Survivors never exceed the from-space fill, so this
+  /// cannot overflow.
+  Word *allocateInSurvivorSpace(size_t Words) {
+    assert(MinorActive && "not in a minor collection");
+    assert(Words <= (size_t)(NurToEnd - NurToAlloc) &&
+           "nursery to-space overflow");
+    Word *P = NurToAlloc;
+    NurToAlloc += Words;
+    return P;
+  }
+
+  /// Promotes an object: bump allocation in the tenured space. The
+  /// collector only chooses a minor collection when the tenured free space
+  /// covers the whole nursery fill, so promotion cannot overflow.
+  Word *allocateInTenured(size_t Words) {
+    assert(MinorActive && "not in a minor collection");
+    assert(Words <= (size_t)(TenEnd - TenAlloc) && "tenured overflow");
+    Word *P = TenAlloc;
+    TenAlloc += Words;
+    return P;
+  }
+
+  /// Ends the minor collection: the to-space (holding the survivors)
+  /// becomes the nursery, the old from-space becomes the next to-space.
+  void endMinor();
+
+  // -- Major collections ----------------------------------------------------
+  /// Starts a major collection into a fresh tenured to-space of
+  /// \p NewTenuredCapacityWords (the caller sizes it to at least the live
+  /// upper bound: nursery fill + tenured fill). Both regions evacuate, so
+  /// forwarding bitmaps cover the nursery and the tenured space.
+  void beginMajor(size_t NewTenuredCapacityWords);
+
+  /// Evacuates any live object (young or old) into the tenured to-space.
+  Word *allocateInToSpace(size_t Words) {
+    assert(MajorActive && "not in a major collection");
+    assert(Words <= (size_t)(TenToEnd - TenToAlloc) &&
+           "tenured to-space overflow");
+    Word *P = TenToAlloc;
+    TenToAlloc += Words;
+    return P;
+  }
+
+  /// Ends the major collection: the to-space becomes the tenured space and
+  /// the nursery is reset empty (every young survivor was evacuated old).
+  void endMajor();
+
+  // -- Forwarding (region-dispatching) --------------------------------------
+  bool isForwarded(const Word *Obj) const {
+    size_t Index;
+    const std::vector<uint64_t> *Bits = forwardBitsFor(Obj, Index);
+    if (!Bits || Bits->empty())
+      return false;
+    return ((*Bits)[Index >> 6] >> (Index & 63)) & 1;
+  }
+  Word forwardee(const Word *Obj) const {
+    assert(isForwarded(Obj));
+    return Obj[0];
+  }
+  void setForwarded(Word *Obj, Word NewAddr) {
+    size_t Index;
+    std::vector<uint64_t> *Bits =
+        const_cast<std::vector<uint64_t> *>(forwardBitsFor(Obj, Index));
+    assert(Bits && !Bits->empty() && "forwarding outside a collection");
+    (*Bits)[Index >> 6] |= (uint64_t)1 << (Index & 63);
+    Obj[0] = NewAddr;
+  }
+
+  /// Reallocates the nursery semispaces at \p MinWords or more. Only legal
+  /// while the nursery is empty (after a major collection).
+  void growNursery(size_t MinWords);
+
+  // -- Accounting -----------------------------------------------------------
+  size_t nurseryCapacityWords() const { return NurCapacityWords; }
+  size_t nurseryUsedWords() const { return (size_t)(NurAlloc - NurBase); }
+  size_t nurseryFreeWords() const { return (size_t)(NurEnd - NurAlloc); }
+  size_t tenuredCapacityWords() const { return TenCapacityWords; }
+  size_t tenuredUsedWords() const { return (size_t)(TenAlloc - TenBase); }
+  size_t tenuredFreeWords() const { return (size_t)(TenEnd - TenAlloc); }
+  size_t capacityBytes() const {
+    return (NurCapacityWords + TenCapacityWords) * sizeof(Word);
+  }
+  size_t usedBytes() const {
+    return (nurseryUsedWords() + tenuredUsedWords()) * sizeof(Word);
+  }
+  uint64_t bytesAllocatedTotal() const { return BytesAllocatedTotal; }
+  bool collecting() const { return MinorActive || MajorActive; }
+
+private:
+  /// The forwarding bitmap covering \p Obj and the word index within it,
+  /// or nullptr for an address outside both regions.
+  const std::vector<uint64_t> *forwardBitsFor(const Word *Obj,
+                                              size_t &Index) const {
+    if (Obj >= NurBase && Obj < NurEnd) {
+      Index = (size_t)(Obj - NurBase);
+      return &NurForwardBits;
+    }
+    if (Obj >= TenBase && Obj < TenEnd) {
+      Index = (size_t)(Obj - TenBase);
+      return &TenForwardBits;
+    }
+    Index = 0;
+    return nullptr;
+  }
+
+  /// Nursery semispace pair; NurCur indexes the current from-space.
+  std::unique_ptr<Word[]> NurSpaces[2];
+  int NurCur = 0;
+  Word *NurBase = nullptr, *NurAlloc = nullptr, *NurEnd = nullptr;
+  Word *NurToBase = nullptr, *NurToAlloc = nullptr, *NurToEnd = nullptr;
+  size_t NurCapacityWords = 0;
+
+  std::unique_ptr<Word[]> Ten;   ///< Tenured space.
+  std::unique_ptr<Word[]> TenTo; ///< Only alive during a major collection.
+  Word *TenBase = nullptr, *TenAlloc = nullptr, *TenEnd = nullptr;
+  Word *TenToBase = nullptr, *TenToAlloc = nullptr, *TenToEnd = nullptr;
+  size_t TenCapacityWords = 0;
+  size_t TenToCapacityWords = 0;
+
+  std::vector<uint64_t> NurForwardBits;
+  std::vector<uint64_t> TenForwardBits;
+  bool MinorActive = false;
+  bool MajorActive = false;
+  uint64_t BytesAllocatedTotal = 0;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_RUNTIME_GENHEAP_H

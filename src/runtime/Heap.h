@@ -33,8 +33,11 @@ public:
 
   // -- Mutator interface ---------------------------------------------------
   /// Allocates \p Words words; returns nullptr when the space is full.
+  /// The check compares against the remaining word count — computing
+  /// `Alloc + Words` first would form a past-the-end pointer (UB) for
+  /// adversarially large \p Words.
   Word *tryAllocate(size_t Words) {
-    if (Alloc + Words > End)
+    if (Words > (size_t)(End - Alloc))
       return nullptr;
     Word *P = Alloc;
     Alloc += Words;

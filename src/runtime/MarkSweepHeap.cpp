@@ -71,7 +71,9 @@ Word *MarkSweepHeap::tryAllocate(size_t Words) {
       return segWord(B.Seg, B.Off);
     }
   }
-  if (Bump + Words <= BumpEnd) {
+  // Compare against the remaining word count: `Bump + Words` would be a
+  // past-the-end pointer (UB) for adversarially large Words.
+  if (Words <= (size_t)(BumpEnd - Bump)) {
     Word *P = Bump;
     Bump += Words;
     registerBlock(BumpSeg, (uint32_t)(P - Segments[BumpSeg].Mem.get()),
@@ -87,7 +89,7 @@ bool MarkSweepHeap::canAllocate(size_t Words) const {
   for (const FreeBlock &B : OverflowFree)
     if (B.Words >= Words)
       return true;
-  return Bump + Words <= BumpEnd;
+  return Words <= (size_t)(BumpEnd - Bump);
 }
 
 void MarkSweepHeap::beginMark() {

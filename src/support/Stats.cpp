@@ -14,6 +14,7 @@ namespace {
 /// the debug build below) so idForName can binary-search and render can
 /// merge against the alphabetical dynamic map.
 constexpr std::string_view FixedNames[] = {
+    "gc.barrier_ops",
     "gc.bytes_reclaimed",
     "gc.chain_steps",
     "gc.collections",
@@ -22,13 +23,17 @@ constexpr std::string_view FixedNames[] = {
     "gc.frames_traced",
     "gc.gloger_dummies",
     "gc.heap_growths",
+    "gc.major_collections",
+    "gc.minor_collections",
     "gc.objects_visited",
     "gc.pause_ns_max",
     "gc.pause_ns_p50",
     "gc.pause_ns_p90",
     "gc.pause_ns_p99",
     "gc.pause_ns_total",
+    "gc.promoted_words",
     "gc.ptr_reversal_steps",
+    "gc.remset_entries",
     "gc.slots_traced",
     "gc.tg_cache_hits",
     "gc.tg_cache_misses",

@@ -32,6 +32,7 @@ namespace tfgc {
 /// order of their string names so render() can merge fixed and dynamic
 /// counters with a single two-finger walk (see Stats::render).
 enum class StatId : uint16_t {
+  GcBarrierOps,              // gc.barrier_ops
   GcBytesReclaimed,          // gc.bytes_reclaimed
   GcChainSteps,              // gc.chain_steps
   GcCollections,             // gc.collections
@@ -40,13 +41,17 @@ enum class StatId : uint16_t {
   GcFramesTraced,            // gc.frames_traced
   GcGlogerDummies,           // gc.gloger_dummies
   GcHeapGrowths,             // gc.heap_growths
+  GcMajorCollections,        // gc.major_collections
+  GcMinorCollections,        // gc.minor_collections
   GcObjectsVisited,          // gc.objects_visited
   GcPauseNsMax,              // gc.pause_ns_max
   GcPauseNsP50,              // gc.pause_ns_p50
   GcPauseNsP90,              // gc.pause_ns_p90
   GcPauseNsP99,              // gc.pause_ns_p99
   GcPauseNsTotal,            // gc.pause_ns_total
+  GcPromotedWords,           // gc.promoted_words
   GcPtrReversalSteps,        // gc.ptr_reversal_steps
+  GcRemsetEntries,           // gc.remset_entries
   GcSlotsTraced,             // gc.slots_traced
   GcTgCacheHits,             // gc.tg_cache_hits
   GcTgCacheMisses,           // gc.tg_cache_misses

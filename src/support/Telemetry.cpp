@@ -15,8 +15,19 @@ const char *tfgc::gcPhaseName(GcPhase P) {
   case GcPhase::FrameDispatch:  return "frame_dispatch";
   case GcPhase::TgClosureBuild: return "tg_closure_build";
   case GcPhase::CopySweep:      return "copy_sweep";
+  case GcPhase::RemsetScan:     return "remset_scan";
   case GcPhase::Verify:         return "verify";
   case GcPhase::NumPhases:      break;
+  }
+  return "?";
+}
+
+const char *tfgc::gcEventKindName(GcEventKind K) {
+  switch (K) {
+  case GcEventKind::Full:     return "full";
+  case GcEventKind::Minor:    return "minor";
+  case GcEventKind::Major:    return "major";
+  case GcEventKind::NumKinds: break;
   }
   return "?";
 }
@@ -66,9 +77,10 @@ uint64_t Telemetry::nowNs() const {
       .count();
 }
 
-void Telemetry::beginCollection() {
+void Telemetry::beginCollection(GcEventKind Kind) {
   assert(!InCollection && "collection already open");
   Event = GcEvent{};
+  Event.Kind = Kind;
   Event.Seq = TotalCollections;
   Event.StartNs = nowNs();
   LastMarkNs = Event.StartNs;
@@ -101,6 +113,7 @@ void Telemetry::finishCollection(uint64_t LiveWordsAfter,
   Event.HeapCapacityBytesAfter = HeapCapacityBytesAfter;
 
   PauseHist.record(Event.PauseNs);
+  PauseKindHists[(size_t)Event.Kind].record(Event.PauseNs);
   for (size_t I = 0; I < NumGcPhases; ++I) {
     PhaseHists[I].record(Event.PhaseNs[I]);
     PhaseTotals[I] += Event.PhaseNs[I];
@@ -143,9 +156,10 @@ uint64_t Telemetry::censusWordsTotal() const {
 }
 
 void Telemetry::emitLogLine(const GcEvent &E) const {
-  std::fprintf(LogStream, "[gc]%s%s seq=%llu pause_ns=%llu",
+  std::fprintf(LogStream, "[gc]%s%s seq=%llu kind=%s pause_ns=%llu",
                Label.empty() ? "" : " ", Label.c_str(),
-               (unsigned long long)E.Seq, (unsigned long long)E.PauseNs);
+               (unsigned long long)E.Seq, gcEventKindName(E.Kind),
+               (unsigned long long)E.PauseNs);
   for (size_t I = 0; I < NumGcPhases; ++I)
     if (E.PhaseNs[I])
       std::fprintf(LogStream, " %s_ns=%llu", gcPhaseName((GcPhase)I),
@@ -189,9 +203,16 @@ void Telemetry::emitTraceEvents(const GcEvent &E) {
   std::ostream &OS = *TraceStream;
   auto Sep = [&] { OS << (TraceFirstEvent ? "" : ",\n"); TraceFirstEvent = false; };
   Sep();
-  OS << "{\"name\": \"gc.collection\", \"cat\": \"gc\", \"ph\": \"X\", "
+  // Full-heap collections keep the historical event name; the
+  // generational kinds get their own so minor/major pauses are separable
+  // in the trace viewer.
+  const char *Name = E.Kind == GcEventKind::Minor   ? "gc.minor"
+                     : E.Kind == GcEventKind::Major ? "gc.major"
+                                                    : "gc.collection";
+  OS << "{\"name\": \"" << Name << "\", \"cat\": \"gc\", \"ph\": \"X\", "
      << "\"ts\": " << usStr(E.StartNs) << ", \"dur\": " << usStr(E.PauseNs)
      << ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": " << E.Seq
+     << ", \"kind\": \"" << gcEventKindName(E.Kind) << '"'
      << ", \"live_words\": " << E.LiveWordsAfter
      << ", \"capacity_bytes\": " << E.HeapCapacityBytesAfter
      << ", \"census_objects\": " << E.censusObjects()
@@ -250,8 +271,18 @@ void Telemetry::writeStatsJson(std::ostream &OS, const Stats &St) const {
     OS << (First ? "" : ", ") << '"' << Name << "\": " << Value;
     First = false;
   }
-  OS << "},\n  \"pause_histogram\": ";
+  OS << "},\n  \"collections_minor\": "
+     << PauseKindHists[(size_t)GcEventKind::Minor].count()
+     << ",\n  \"collections_major\": "
+     << PauseKindHists[(size_t)GcEventKind::Major].count()
+     << ",\n  \"pause_histogram\": ";
   histJson(OS, PauseHist);
+  for (GcEventKind K : {GcEventKind::Minor, GcEventKind::Major}) {
+    if (!PauseKindHists[(size_t)K].count())
+      continue;
+    OS << ",\n  \"pause_histogram_" << gcEventKindName(K) << "\": ";
+    histJson(OS, PauseKindHists[(size_t)K]);
+  }
   OS << ",\n  \"phase_histograms\": {";
   for (size_t I = 0; I < NumGcPhases; ++I) {
     OS << (I ? ", " : "") << '"' << gcPhaseName((GcPhase)I) << "\": ";
@@ -276,7 +307,8 @@ void Telemetry::writeStatsJson(std::ostream &OS, const Stats &St) const {
   size_t Begin = N > MaxRecent ? N - MaxRecent : 0;
   for (size_t I = Begin; I < N; ++I) {
     const GcEvent &E = event(I);
-    OS << "    {\"seq\": " << E.Seq << ", \"start_ns\": " << E.StartNs
+    OS << "    {\"seq\": " << E.Seq << ", \"kind\": \""
+       << gcEventKindName(E.Kind) << "\", \"start_ns\": " << E.StartNs
        << ", \"pause_ns\": " << E.PauseNs << ", \"phases_ns\": {";
     for (size_t J = 0; J < NumGcPhases; ++J)
       OS << (J ? ", " : "") << '"' << gcPhaseName((GcPhase)J)

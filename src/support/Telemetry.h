@@ -71,11 +71,20 @@ enum class GcPhase : uint8_t {
   FrameDispatch,  ///< Frame routine / frame descriptor dispatch.
   TgClosureBuild, ///< Type-GC closure construction (TypeGcEngine::eval).
   CopySweep,      ///< Space flip + copy bookkeeping, or mark reset + sweep.
+  RemsetScan,     ///< Remembered-set roots (generational minor collections).
   Verify,         ///< Post-GC read-only verification pass.
   NumPhases
 };
 inline constexpr size_t NumGcPhases = (size_t)GcPhase::NumPhases;
 const char *gcPhaseName(GcPhase P);
+
+/// What a collection covered. Full-heap algorithms record Full;
+/// the generational algorithm splits collections into Minor (nursery
+/// only, remembered set as extra roots) and Major (both generations) so
+/// the pause histograms can be compared per generation.
+enum class GcEventKind : uint8_t { Full, Minor, Major, NumKinds };
+inline constexpr size_t NumGcEventKinds = (size_t)GcEventKind::NumKinds;
+const char *gcEventKindName(GcEventKind K);
 
 /// Census classification of a live object at its first visit.
 enum class CensusKind : uint8_t {
@@ -145,6 +154,7 @@ struct GcEvent {
   uint64_t Seq = 0;     ///< Collection ordinal (0-based, monotonic).
   uint64_t StartNs = 0; ///< Start time, ns since the Telemetry epoch.
   uint64_t PauseNs = 0; ///< Full pause (includes the verify phase).
+  GcEventKind Kind = GcEventKind::Full;
   std::array<uint64_t, NumGcPhases> PhaseNs{};
   std::array<uint64_t, NumCensusKinds> CensusObjects{};
   std::array<uint64_t, NumCensusKinds> CensusWords{};
@@ -177,7 +187,7 @@ public:
   explicit Telemetry(size_t RingCapacity = DefaultRingCapacity);
 
   // -- Collection lifecycle (driven by Collector::collect) ------------------
-  void beginCollection();
+  void beginCollection(GcEventKind Kind = GcEventKind::Full);
   /// Closes the event: records the pause, folds the event into the
   /// histograms/totals, pushes it into the ring, and feeds the log/trace
   /// sinks. \p LiveWordsAfter comes from the heap survivor hooks.
@@ -222,6 +232,14 @@ public:
   /// ring, event(ringSize()-1) the newest.
   const GcEvent &event(size_t I) const;
   const LogHistogram &pauseHistogram() const { return PauseHist; }
+  /// Pause histogram restricted to collections of \p K (minor vs major
+  /// pause percentiles under the generational algorithm).
+  const LogHistogram &pauseHistogram(GcEventKind K) const {
+    return PauseKindHists[(size_t)K];
+  }
+  uint64_t collections(GcEventKind K) const {
+    return PauseKindHists[(size_t)K].count();
+  }
   const LogHistogram &phaseHistogram(GcPhase P) const {
     return PhaseHists[(size_t)P];
   }
@@ -268,6 +286,7 @@ private:
   std::chrono::steady_clock::time_point Epoch;
 
   LogHistogram PauseHist;
+  std::array<LogHistogram, NumGcEventKinds> PauseKindHists;
   std::array<LogHistogram, NumGcPhases> PhaseHists;
   LogHistogram WorldStopDelayHist;
   std::array<uint64_t, NumGcPhases> PhaseTotals{};

@@ -14,6 +14,7 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
       Model(Col.model()) {
   if (Model == ValueModel::Tagged)
     this->Opts.ZeroFrames = true;
+  GenBarriers = Col.algorithm() == GcAlgorithm::Generational;
   Collections0 = Col.stats().get(StatId::GcCollections);
 }
 
@@ -369,14 +370,25 @@ StepResult Vm::step() {
   case Opcode::SetClosureField: {
     Word *P = reinterpret_cast<Word *>(S[I.Srcs[0]]);
     P[I.FieldIdx] = S[I.Srcs[1]];
+    if (GenBarriers) {
+      ++BarrierOps;
+      Col.writeBarrier(&P[I.FieldIdx], S[I.Srcs[1]],
+                       Fn.SlotTypes[I.Srcs[1]]);
+    }
     break;
   }
   case Opcode::RefLoad:
     S[I.Dst] = *reinterpret_cast<const Word *>(S[I.Srcs[0]]);
     break;
-  case Opcode::RefStore:
-    *reinterpret_cast<Word *>(S[I.Srcs[0]]) = S[I.Srcs[1]];
+  case Opcode::RefStore: {
+    Word *P = reinterpret_cast<Word *>(S[I.Srcs[0]]);
+    *P = S[I.Srcs[1]];
+    if (GenBarriers) {
+      ++BarrierOps;
+      Col.writeBarrier(P, S[I.Srcs[1]], Fn.SlotTypes[I.Srcs[1]]);
+    }
     break;
+  }
 
   case Opcode::Jump:
     NextPc = Fn.LabelTargets[I.Label];
@@ -505,6 +517,8 @@ void Vm::flushCounters() {
   St.set(StatId::VmMaxSlotWords, MaxSlotWords);
   St.add(StatId::TaskSuspendChecks, SuspendChecksRun);
   SuspendChecksRun = 0;
+  St.add(StatId::GcBarrierOps, BarrierOps);
+  BarrierOps = 0;
   St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
   St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
   St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());

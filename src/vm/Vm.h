@@ -134,6 +134,10 @@ private:
   uint64_t WordsZeroed = 0;
   uint64_t Collections0 = 0;
   uint64_t SuspendChecksRun = 0;
+  uint64_t BarrierOps = 0;
+  /// True when the collector runs the generational algorithm (cached so
+  /// the non-generational store fast path stays a single branch).
+  bool GenBarriers = false;
   uint32_t MaxFrames = 0;
   uint32_t MaxSlotWords = 0;
 

@@ -188,6 +188,29 @@ pump )" + num(N) +
 )";
 }
 
+std::string workloads::generationalChurn(int Retained, int N, int Iters) {
+  return R"(
+fun build (n : int) : int list =
+  if n = 0 then [] else n :: build (n - 1);
+
+fun sum (xs : int list) : int =
+  case xs of Nil => 0 | Cons(x, r) => x + sum r;
+
+val keep = build )" +
+         num(Retained) + R"(;
+val cell = ref ([] : int list);
+
+fun churn (i : int) (acc : int) : int =
+  if i = 0 then acc + sum (!cell)
+  else (cell := i :: !cell;
+        (if i mod 8 = 0 then cell := [] else ());
+        churn (i - 1) ((acc + sum (build )" +
+         num(N) + R"()) mod 1000000007));
+
+churn )" +
+         num(Iters) + " 0 + sum keep\n";
+}
+
 std::string workloads::polyDeep(int Depth, int AllocN) {
   return R"(
 fun len xs =

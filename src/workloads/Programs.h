@@ -53,6 +53,14 @@ std::string higherOrder(int N);
 /// Ref cells: mutation, generational-style churn, and a ref cycle.
 std::string refCells(int N);
 
+/// The generational hypothesis in one program (E10): a Retained-element
+/// list stays live to the end while Iters rounds each cons an N-element
+/// temporary; a long-lived ref cell is repeatedly re-pointed at fresh
+/// young lists (old-to-young stores once the cell tenures). Full
+/// collections recopy the retained list every time; minor collections
+/// touch only nursery survivors.
+std::string generationalChurn(int Retained, int N, int Iters);
+
 /// Deep polymorphic stack (E7): a polymorphic function recursing Depth
 /// deep, then allocating; Appel's chain walk is quadratic here.
 std::string polyDeep(int Depth, int AllocN);

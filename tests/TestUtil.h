@@ -23,6 +23,7 @@ inline const GcStrategy AllStrategies[] = {
 inline const GcAlgorithm AllAlgorithms[] = {
     GcAlgorithm::Copying,
     GcAlgorithm::MarkSweep,
+    GcAlgorithm::Generational,
 };
 
 /// Parses a program or fails the test.
@@ -75,10 +76,14 @@ inline std::string runAllStrategies(const std::string &Source,
     else
       EXPECT_EQ(Expected, V) << "strategy " << gcStrategyName(S);
   }
-  // Mark-sweep spot check with the paper's own collector.
+  // Mark-sweep and generational spot checks with the paper's own
+  // collector.
   std::string V = runValue(Source, GcStrategy::CompiledTagFree,
                            GcAlgorithm::MarkSweep, HeapBytes, Stress);
   EXPECT_EQ(Expected, V) << "mark-sweep";
+  V = runValue(Source, GcStrategy::CompiledTagFree,
+               GcAlgorithm::Generational, HeapBytes, Stress);
+  EXPECT_EQ(Expected, V) << "generational";
   return Expected;
 }
 

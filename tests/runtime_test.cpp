@@ -1,5 +1,6 @@
 //===- tests/runtime_test.cpp - Heap, mark-sweep, support utilities ------===//
 
+#include "runtime/GenHeap.h"
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Value.h"
@@ -55,6 +56,16 @@ TEST(Heap, ContainsTracksCurrentSpace) {
   Word *A = H.tryAllocate(4);
   EXPECT_TRUE(H.contains((Word)(uintptr_t)A));
   EXPECT_FALSE(H.contains(0));
+}
+
+TEST(Heap, HugeRequestDoesNotOverflow) {
+  // Regression: the old check computed `Alloc + Words > End`, forming a
+  // past-the-end pointer (UB) that a sufficiently large request could
+  // wrap around, turning an OOM into a bogus success.
+  Heap H(1024);
+  EXPECT_EQ(H.tryAllocate(SIZE_MAX), nullptr);
+  EXPECT_EQ(H.tryAllocate(SIZE_MAX / sizeof(Word)), nullptr);
+  EXPECT_NE(H.tryAllocate(8), nullptr);
 }
 
 TEST(MarkSweep, AllocateSweepReuse) {
@@ -149,6 +160,97 @@ TEST(MarkSweep, MarkBitsIdempotentAndClearedBySweep) {
   H.beginMark();
   EXPECT_TRUE(H.tryMark(A)); // Second cycle behaves identically.
   EXPECT_EQ(H.sweep(), 0u);
+}
+
+TEST(MarkSweep, HugeRequestDoesNotOverflow) {
+  MarkSweepHeap H(1024);
+  EXPECT_FALSE(H.canAllocate(SIZE_MAX));
+  EXPECT_EQ(H.tryAllocate(SIZE_MAX), nullptr);
+  EXPECT_EQ(H.tryAllocate(SIZE_MAX / sizeof(Word)), nullptr);
+  EXPECT_NE(H.tryAllocate(8), nullptr);
+}
+
+TEST(GenHeap, NurseryAllocationAndRegions) {
+  GenHeap H(4096, 1024); // 512 tenured words, 128 nursery words
+  EXPECT_EQ(H.nurseryCapacityWords(), 128u);
+  Word *A = H.tryAllocate(8);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(H.inNursery((Word)(uintptr_t)A));
+  EXPECT_FALSE(H.inTenured((Word)(uintptr_t)A));
+  EXPECT_TRUE(H.contains((Word)(uintptr_t)A));
+  EXPECT_EQ(H.tryAllocate(SIZE_MAX), nullptr); // overflow-safe, like Heap
+  size_t Allocated = 8;
+  while (H.tryAllocate(8))
+    Allocated += 8;
+  EXPECT_EQ(Allocated, 128u);
+}
+
+TEST(GenHeap, MinorSurvivalAndPromotion) {
+  GenHeap H(4096, 1024);
+  Word *A = H.tryAllocate(4);
+  A[0] = 7;
+  H.beginMinor();
+  EXPECT_FALSE(H.isForwarded(A));
+  Word *Survivor = H.allocateInSurvivorSpace(4);
+  std::memcpy(Survivor, A, 4 * sizeof(Word));
+  H.setForwarded(A, (Word)(uintptr_t)Survivor);
+  EXPECT_TRUE(H.isForwarded(A));
+  EXPECT_EQ(H.forwardee(A), (Word)(uintptr_t)Survivor);
+  H.endMinor();
+  // After the flip the survivor copy is the live nursery object.
+  EXPECT_TRUE(H.inNursery((Word)(uintptr_t)Survivor));
+  EXPECT_EQ(H.nurseryUsedWords(), 4u);
+  EXPECT_EQ(Survivor[0], 7u);
+
+  // Promote it during the next minor: it moves to tenured.
+  H.beginMinor();
+  Word *Old = H.allocateInTenured(4);
+  std::memcpy(Old, Survivor, 4 * sizeof(Word));
+  H.setForwarded(Survivor, (Word)(uintptr_t)Old);
+  H.endMinor();
+  EXPECT_TRUE(H.inTenured((Word)(uintptr_t)Old));
+  EXPECT_EQ(H.nurseryUsedWords(), 0u);
+  EXPECT_EQ(H.tenuredUsedWords(), 4u);
+}
+
+TEST(GenHeap, MajorEvacuatesBothRegionsAndEmptiesNursery) {
+  GenHeap H(4096, 1024);
+  Word *Young = H.tryAllocate(4);
+  Young[0] = 1;
+  H.beginMinor();
+  Word *Old = H.allocateInTenured(4);
+  std::memcpy(Old, Young, 4 * sizeof(Word));
+  H.setForwarded(Young, (Word)(uintptr_t)Old);
+  H.endMinor();
+  Word *Young2 = H.tryAllocate(6);
+  Young2[0] = 2;
+
+  H.beginMajor(256);
+  Word *NewOld = H.allocateInToSpace(4);
+  std::memcpy(NewOld, Old, 4 * sizeof(Word));
+  H.setForwarded(Old, (Word)(uintptr_t)NewOld);
+  Word *NewYoung = H.allocateInToSpace(6);
+  std::memcpy(NewYoung, Young2, 6 * sizeof(Word));
+  H.setForwarded(Young2, (Word)(uintptr_t)NewYoung);
+  H.endMajor();
+
+  EXPECT_EQ(H.nurseryUsedWords(), 0u);
+  EXPECT_EQ(H.tenuredUsedWords(), 10u);
+  EXPECT_EQ(H.tenuredCapacityWords(), 256u);
+  EXPECT_TRUE(H.inTenured((Word)(uintptr_t)NewOld));
+  EXPECT_TRUE(H.inTenured((Word)(uintptr_t)NewYoung));
+  EXPECT_EQ(NewOld[0], 1u);
+  EXPECT_EQ(NewYoung[0], 2u);
+}
+
+TEST(GenHeap, GrowNurseryDoubles) {
+  GenHeap H(4096, 1024);
+  EXPECT_EQ(H.nurseryCapacityWords(), 128u);
+  H.growNursery(300);
+  EXPECT_GE(H.nurseryCapacityWords(), 300u);
+  EXPECT_EQ(H.nurseryUsedWords(), 0u);
+  Word *P = H.tryAllocate(300);
+  EXPECT_NE(P, nullptr);
 }
 
 TEST(Value, TagRoundTrip) {

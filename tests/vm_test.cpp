@@ -222,9 +222,12 @@ INSTANTIATE_TEST_SUITE_P(
       for (char &C : Name)
         if (C == '-')
           C = '_';
-      return Name + (std::get<1>(Info.param) == GcAlgorithm::Copying
-                         ? "_copy"
-                         : "_ms");
+      switch (std::get<1>(Info.param)) {
+      case GcAlgorithm::Copying:      return Name + "_copy";
+      case GcAlgorithm::MarkSweep:    return Name + "_ms";
+      case GcAlgorithm::Generational: return Name + "_gen";
+      }
+      return Name;
     });
 
 } // namespace

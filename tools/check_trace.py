@@ -2,15 +2,24 @@
 """Sanity-checks a tfgc --trace-out / --stats-json pair.
 
 Asserts that the Chrome trace is valid JSON, that it contains one
-gc.collection event per collection, and that the per-phase span durations
-sum to within 5% of the telemetry pause total (the spans are a partition
-of the pause; see DESIGN.md section 5, "Telemetry layer").
+collection event (gc.collection, gc.minor, or gc.major) per collection,
+that per-kind event counts agree with the stats document's
+collections_minor/collections_major split when present, and that the
+per-phase span durations sum to within 5% of the telemetry pause total
+(the spans are a partition of the pause; see DESIGN.md section 5,
+"Telemetry layer").
+
+A run with zero collections fails the check: a telemetry smoke test that
+never collects has not exercised the collector, so treat it as a
+misconfigured heap size rather than a pass.
 
 Usage: check_trace.py TRACE.json STATS.json
 """
 
 import json
 import sys
+
+COLLECTION_EVENTS = ("gc.collection", "gc.minor", "gc.major")
 
 
 def main() -> int:
@@ -24,13 +33,29 @@ def main() -> int:
         stats = json.load(f)
 
     events = trace["traceEvents"]
-    collections = [e for e in events if e.get("name") == "gc.collection"]
+    collections = [e for e in events
+                   if e.get("name") in COLLECTION_EVENTS]
     phases = [e for e in events if e.get("cat") == "gc.phase"]
     n = stats["collections"]
+    if n == 0:
+        print(f"error: {stats_path} reports zero collections — the run "
+              "never exercised the collector (heap too large for the "
+              "workload?)", file=sys.stderr)
+        return 1
     assert len(collections) == n, (
-        f"trace has {len(collections)} gc.collection events, "
+        f"trace has {len(collections)} collection events, "
         f"stats report {n} collections")
     assert phases, "trace has no gc.phase events"
+
+    # Per-kind counts must agree with the stats split (present whenever
+    # the generational algorithm ran; full collections count as neither).
+    for kind, name in (("collections_minor", "gc.minor"),
+                       ("collections_major", "gc.major")):
+        if kind in stats:
+            got = sum(1 for e in collections if e["name"] == name)
+            assert got == stats[kind], (
+                f"trace has {got} {name} events, "
+                f"stats report {kind}={stats[kind]}")
 
     # Trace ts/dur are microseconds (with ns as the fractional part);
     # histogram sums are nanoseconds.

@@ -7,8 +7,10 @@
 ///
 /// Options:
 ///   --strategy=S       tagged | compiled (default) | interpreted | appel
-///   --algo=A           copying (default) | marksweep
+///   --algo=A           copying (default) | marksweep | generational
 ///   --heap=BYTES       initial heap size (default 1 MiB)
+///   --nursery-bytes=N  generational only: nursery size carved out of the
+///                      heap (default heap/8)
 ///   --stress           collect at every allocation
 ///   --no-liveness      disable the live-variable analysis (paper 5.2)
 ///   --no-gcpoints      disable the GC-point analysis (paper 5.1)
@@ -44,8 +46,8 @@ void usage() {
       stderr,
       "usage: tfgc [options] file.mml | -e 'expr'\n"
       "  --strategy=tagged|compiled|interpreted|appel   (default compiled)\n"
-      "  --algo=copying|marksweep                       (default copying)\n"
-      "  --heap=BYTES   --stress   --stats\n"
+      "  --algo=copying|marksweep|generational          (default copying)\n"
+      "  --heap=BYTES   --nursery-bytes=N  --stress  --stats\n"
       "  --no-liveness  --no-gcpoints  --mono  --monomorphise  --gloger-dummies\n"
       "  --dump-ir      --dump-meta\n"
       "  --gc-log       --trace-out=FILE  --stats-json=FILE\n");
@@ -65,6 +67,7 @@ int main(int argc, char **argv) {
   GcStrategy Strategy = GcStrategy::CompiledTagFree;
   GcAlgorithm Algo = GcAlgorithm::Copying;
   size_t HeapBytes = 1 << 20;
+  size_t NurseryBytes = 0;
   bool Stress = false, DumpIr = false, DumpMeta = false, ShowStats = false;
   bool GcLog = false;
   std::string TraceOutPath, StatsJsonPath;
@@ -93,12 +96,19 @@ int main(int argc, char **argv) {
         Algo = GcAlgorithm::Copying;
       else if (!std::strcmp(Value, "marksweep"))
         Algo = GcAlgorithm::MarkSweep;
+      else if (!std::strcmp(Value, "generational"))
+        Algo = GcAlgorithm::Generational;
       else {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", Value);
+        std::fprintf(stderr,
+                     "unknown algorithm '%s' (valid: copying | marksweep | "
+                     "generational)\n",
+                     Value);
         return 2;
       }
     } else if (startsWith(Arg, "--heap=", &Value)) {
       HeapBytes = (size_t)std::strtoull(Value, nullptr, 10);
+    } else if (startsWith(Arg, "--nursery-bytes=", &Value)) {
+      NurseryBytes = (size_t)std::strtoull(Value, nullptr, 10);
     } else if (!std::strcmp(Arg, "--stress")) {
       Stress = true;
     } else if (!std::strcmp(Arg, "--no-liveness")) {
@@ -184,7 +194,7 @@ int main(int argc, char **argv) {
 
   Stats St;
   std::unique_ptr<Collector> Col =
-      P->makeCollector(Strategy, Algo, HeapBytes, St, &Error);
+      P->makeCollector(Strategy, Algo, HeapBytes, St, &Error, NurseryBytes);
   if (!Col) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
