@@ -21,7 +21,7 @@ void AppelCollector::traceRemset(Space &Sp) {
   // stores, so each slot is retraced through a closure for its recorded
   // static type, sharing the collection's closure arena.
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
-                   nullptr, AM, GlogerDummies, &Tel);
+                   nullptr, AM, GlogerDummies, &Tel, Prof);
   TgEnv Env;
   for (const RemsetEntry &E : remset()) {
     St.add(StatId::GcSlotsTraced);
@@ -74,7 +74,7 @@ AppelCollector::resolveBinds(TaskStack &Stack, uint32_t Idx,
 void AppelCollector::traceRoots(RootSet &Roots, Space &Sp) {
   Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, TraceMethod::Appel, nullptr,
-                   nullptr, AM, GlogerDummies, &Tel);
+                   nullptr, AM, GlogerDummies, &Tel, Prof);
 
   for (TaskStack *Stack : Roots.Stacks) {
     if (Stack->Frames.empty())

@@ -82,12 +82,19 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
     // steal their time from it, and whatever is in none of them — loop
     // control, counter updates — stays charged to RootScan. The stats
     // clock starts inside the span so its read is covered, not slack.
+    // The profiler's begin (side-table merge + index build) runs inside
+    // the span for the same reason: its time is pause, so it must be
+    // covered by a phase.
     PhaseScope Outer(&Tel, GcPhase::RootScan);
     auto Start = std::chrono::steady_clock::now();
+    if (Prof)
+      Prof->beginCollection(GcEventKind::Full, nullptr);
 
     if (Copying) {
       size_t Capacity = Copying->capacityBytes() / sizeof(Word);
-      for (;;) {
+      for (bool FirstRound = true;; FirstRound = false) {
+        if (!FirstRound && Prof)
+          Prof->beginTraceRound();
         {
           PhaseScope P(&Tel, GcPhase::CopySweep);
           Copying->beginCollection(Capacity);
@@ -138,6 +145,15 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
     if (VerifyAfterGc)
       verifyPass(Roots);
 
+    if (Prof && Prof->enabled()) {
+      uint64_t Covered = Copying ? (uint64_t)Copying->usedBytes()
+                                 : Ms->liveWordsAfterSweep() * sizeof(Word);
+      Prof->finishCollection(Covered, nullptr,
+                             Prof->wantsRetention()
+                                 ? captureProfilerRoots(Roots)
+                                 : std::vector<HeapRoot>{});
+    }
+
     // Finish while the RootScan span is still open: finishCollection's
     // one clock read closes the span AND stamps the pause, leaving zero
     // end-of-collection slack (Outer's destructor then no-ops because
@@ -148,14 +164,33 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
   }
 }
 
+std::vector<HeapRoot> Collector::captureProfilerRoots(RootSet &Roots) const {
+  std::vector<HeapRoot> Out;
+  for (TaskStack *Stack : Roots.Stacks)
+    for (const FrameInfo &F : Stack->Frames) {
+      const Word *Slots = Stack->Slots.data() + F.SlotBase;
+      for (uint32_t I = 0; I < F.NumSlots; ++I) {
+        Word V = Slots[I];
+        if (Model == ValueModel::Tagged ? !isTaggedPointer(V) : V == 0)
+          continue;
+        Out.push_back({F.FuncId, I, V});
+      }
+    }
+  return Out;
+}
+
 void Collector::verifyPass(RootSet &Roots) {
   // Note: the verification pass re-runs the frame routines, so work
   // counters (objects visited, trace steps) double while it is on —
   // enable it in correctness tests only.
   PhaseScope V(&Tel, GcPhase::Verify);
   // The re-trace must not re-count census objects or re-enter the
-  // tracing phases; its whole duration is charged to Verify.
+  // tracing phases; its whole duration is charged to Verify. The heap
+  // profiler pauses for the same reason: its per-collection tallies must
+  // see each live object exactly once.
   Tel.setPaused(true);
+  if (Prof)
+    Prof->setPaused(true);
   CheckSpace Check(
       [this](Word P) {
         return Copying ? Copying->contains(P)
@@ -165,8 +200,12 @@ void Collector::verifyPass(RootSet &Roots) {
       Model == ValueModel::Tagged);
   traceRoots(Roots, Check);
   Tel.setPaused(false);
+  if (Prof)
+    Prof->setPaused(false);
   St.add(StatId::GcVerifyPasses);
   St.add(StatId::GcVerifyViolations, Check.violations());
+  if (InjectVerifyViolation)
+    St.add(StatId::GcVerifyViolations, 1);
 }
 
 void Collector::recordRemset(Word *Slot, Type *Ty) {
@@ -229,9 +268,13 @@ void Collector::collectGenerational(RootSet &Roots, size_t Need) {
 void Collector::minorCollection(RootSet &Roots, bool Promote) {
   Tel.beginCollection(GcEventKind::Minor);
   // Same span discipline as collect(): RootScan stays open for the whole
-  // pause, finer phases nest inside it, finishCollection closes both.
+  // pause, finer phases nest inside it (the profiler's side-table merge
+  // included), finishCollection closes both.
   PhaseScope Outer(&Tel, GcPhase::RootScan);
   auto Start = std::chrono::steady_clock::now();
+  if (Prof)
+    Prof->beginCollection(GcEventKind::Minor,
+                          [this](Word W) { return Gen->inTenured(W); });
 
   uint64_t YoungBefore =
       LiveYoungObjects + (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot);
@@ -277,6 +320,16 @@ void Collector::minorCollection(RootSet &Roots, bool Promote) {
   if (VerifyAfterGc)
     verifyPass(Roots);
 
+  if (Prof && Prof->enabled()) {
+    // A minor collection traces the young generation only: its snapshot
+    // covers survivors + promotions, and the side-table entries of
+    // untraced tenured objects carry over to the next collection.
+    uint64_t Covered =
+        (Sp.survivorWords() + Sp.promotedWords()) * sizeof(Word);
+    Prof->finishCollection(
+        Covered, [this](Word W) { return Gen->inTenured(W); }, {});
+  }
+
   Tel.finishCollection(Gen->nurseryUsedWords() + Gen->tenuredUsedWords(),
                        heapCapacityBytes());
 }
@@ -285,6 +338,9 @@ void Collector::majorCollection(RootSet &Roots, size_t Need) {
   Tel.beginCollection(GcEventKind::Major);
   PhaseScope Outer(&Tel, GcPhase::RootScan);
   auto Start = std::chrono::steady_clock::now();
+  if (Prof)
+    Prof->beginCollection(GcEventKind::Major,
+                          [this](Word W) { return Gen->inTenured(W); });
 
   uint64_t YoungBefore =
       LiveYoungObjects + (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot);
@@ -337,6 +393,12 @@ void Collector::majorCollection(RootSet &Roots, size_t Need) {
   if (VerifyAfterGc)
     verifyPass(Roots);
 
+  if (Prof && Prof->enabled())
+    Prof->finishCollection((uint64_t)Gen->usedBytes(), nullptr,
+                           Prof->wantsRetention()
+                               ? captureProfilerRoots(Roots)
+                               : std::vector<HeapRoot>{});
+
   Tel.finishCollection(Gen->nurseryUsedWords() + Gen->tenuredUsedWords(),
                        heapCapacityBytes());
 }
@@ -378,6 +440,10 @@ void Collector::publishTelemetryStats() {
     St.set("gc.nursery_resident_objects",
            LiveYoungObjects +
                (St.get(StatId::HeapObjectsAllocated) - AllocSnapshot));
+  }
+  if (Prof && Prof->enabled()) {
+    St.set("heap.profile_allocs", Prof->allocTotal());
+    St.set("heap.profile_visit_objects", Prof->visitObjectsTotal());
   }
   const LogHistogram &Stop = Tel.worldStopDelayHistogram();
   if (Stop.count()) {

@@ -22,6 +22,7 @@
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
+#include "support/HeapProfile.h"
 #include "support/Stats.h"
 #include "support/Telemetry.h"
 
@@ -67,6 +68,13 @@ public:
   Telemetry &telemetry() { return Tel; }
   const Telemetry &telemetry() const { return Tel; }
 
+  /// Attaches a heap profiler (not owned; may be null). The collector
+  /// drives its collection lifecycle — begin/trace-round/finish, pausing
+  /// during the verify pass — and the strategy tracers feed it the same
+  /// first-visit stream as the telemetry census.
+  void setHeapProfiler(HeapProfiler *P) { Prof = P; }
+  HeapProfiler *heapProfiler() { return Prof; }
+
   /// Flushes derived telemetry into the stats registry: pause percentiles
   /// (gc.pause_ns_p50/p90/p99), cumulative per-phase times
   /// (gc.phase_<name>_ns), live census totals (gc.census_<kind>_*), and
@@ -87,6 +95,13 @@ public:
   /// and count references that escaped the live heap (collector bug
   /// detector; results in stats key "gc.verify_violations").
   void setVerifyAfterGc(bool Enabled) { VerifyAfterGc = Enabled; }
+
+  /// Testing hook: makes every verify pass report one artificial
+  /// violation, so the abnormal-exit paths (nonzero exit code, flushed
+  /// diagnostics) can be exercised without an actual collector bug.
+  void setInjectVerifyViolation(bool Enabled) {
+    InjectVerifyViolation = Enabled;
+  }
 
   size_t heapUsedBytes() const;
   size_t heapCapacityBytes() const;
@@ -138,13 +153,19 @@ protected:
   GcAlgorithm Algo;
   Stats &St;
   Telemetry Tel;
+  HeapProfiler *Prof = nullptr;
   bool VerifyAfterGc = false;
+  bool InjectVerifyViolation = false;
   std::unique_ptr<Heap> Copying;
   std::unique_ptr<MarkSweepHeap> Ms;
   std::unique_ptr<GenHeap> Gen;
 
 private:
   void recordRemset(Word *Slot, Type *Ty);
+  /// Conservative retention roots: every slot of every suspended frame,
+  /// labeled frame-function:slot (the dominator pass drops values that
+  /// match no live object, so stale slots only cost a failed lookup).
+  std::vector<HeapRoot> captureProfilerRoots(RootSet &Roots) const;
   void collectGenerational(RootSet &Roots, size_t Need);
   void minorCollection(RootSet &Roots, bool Promote);
   void majorCollection(RootSet &Roots, size_t Need);

@@ -37,7 +37,7 @@ void GoldbergCollector::traceRemset(Space &Sp) {
   // and run it. No Eng.reset() here — this runs inside a collection,
   // after traceRoots, and must share its closure arena.
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
-                   GlogerDummies, &Tel);
+                   GlogerDummies, &Tel, Prof);
   TgEnv Env; // Ground types have no type parameters to bind.
   for (const RemsetEntry &E : remset()) {
     St.add(StatId::GcSlotsTraced);
@@ -48,7 +48,7 @@ void GoldbergCollector::traceRemset(Space &Sp) {
 void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
   Eng.reset();
   TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
-                   GlogerDummies, &Tel);
+                   GlogerDummies, &Tel, Prof);
 
   for (TaskStack *Stack : Roots.Stacks) {
     if (Stack->Frames.empty())

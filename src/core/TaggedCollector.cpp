@@ -18,9 +18,11 @@ Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
   NewRef = Sp.visitNew(W, headerSize(Header));
   St.add(StatId::GcObjectsVisited);
   St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
-  Tel.census(headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
-                                                 : CensusKind::Raw,
-             headerSize(Header) + 1);
+  CensusKind K = headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
+                                                     : CensusKind::Raw;
+  Tel.census(K, headerSize(Header) + 1);
+  if (Prof) [[unlikely]]
+    Prof->recordVisit(W, NewRef, K, headerSize(Header) + 1);
   if (headerKind(Header) == ObjKind::Scan)
     ScanList.push_back(NewRef);
   return NewRef;

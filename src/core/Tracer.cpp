@@ -32,9 +32,10 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       NewRef = Sp.visitNew(V, TR.PayloadWords);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, TR.PayloadWords);
-      census(TR.F == TypeRoutine::Form::RefCell ? CensusKind::Ref
-                                                : CensusKind::Tuple,
-             TR.PayloadWords);
+      visit(V, NewRef,
+            TR.F == TypeRoutine::Form::RefCell ? CensusKind::Ref
+                                               : CensusKind::Tuple,
+            TR.PayloadWords);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (const FieldAction &A : TR.Fields) {
@@ -58,7 +59,7 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       NewRef = Sp.visitNew(V, TR.CtorSizes[Disc]);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, TR.CtorSizes[Disc]);
-      census(CensusKind::Data, TR.CtorSizes[Disc]);
+      visit(V, NewRef, CensusKind::Data, TR.CtorSizes[Disc]);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const std::vector<FieldAction> &Acts = TR.CtorFields[Disc];
@@ -136,7 +137,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, Desc.Args.size());
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, Desc.Args.size());
-      census(CensusKind::Tuple, Desc.Args.size());
+      visit(V, NewRef, CensusKind::Tuple, Desc.Args.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       // The interpreted method walks the descriptor for every field, even
@@ -158,7 +159,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, 1);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1);
-      census(CensusKind::Ref, 1);
+      visit(V, NewRef, CensusKind::Ref, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       Pl[0] = traceDesc(Pl[0], Desc.Args[0], Env);
@@ -179,7 +180,7 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       NewRef = Sp.visitNew(V, 1 + Shape.size());
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1 + Shape.size());
-      census(CensusKind::Data, 1 + Shape.size());
+      visit(V, NewRef, CensusKind::Data, 1 + Shape.size());
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
 
@@ -304,7 +305,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, Tg->NumArgs);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, Tg->NumArgs);
-      census(CensusKind::Tuple, Tg->NumArgs);
+      visit(V, NewRef, CensusKind::Tuple, Tg->NumArgs);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       for (uint32_t I = 0; I < Tg->NumArgs; ++I)
@@ -325,7 +326,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, 1);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1);
-      census(CensusKind::Ref, 1);
+      visit(V, NewRef, CensusKind::Ref, 1);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       if (Tg->Args[0]->K != TypeGc::Kind::Const)
@@ -347,7 +348,7 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       NewRef = Sp.visitNew(V, 1 + NumFields);
       St.add(StatId::GcObjectsVisited);
       St.add(StatId::GcWordsVisited, 1 + NumFields);
-      census(CensusKind::Data, 1 + NumFields);
+      visit(V, NewRef, CensusKind::Data, 1 + NumFields);
       *Patch = NewRef;
       Word *Pl = Sp.payload(NewRef);
       const TypeGc *const *Fields = Tg->CtorFields[Disc];
@@ -418,7 +419,7 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
   NewRef = Sp.visitNew(V, PayloadWords);
   St.add(StatId::GcObjectsVisited);
   St.add(StatId::GcWordsVisited, PayloadWords);
-  census(CensusKind::Closure, PayloadWords);
+  visit(V, NewRef, CensusKind::Closure, PayloadWords);
   Word *Pl = Sp.payload(NewRef);
 
   // Recover the lambda's type parameters from its function-type routine

@@ -30,6 +30,7 @@
 #include "gcmeta/CodeImage.h"
 #include "gcmeta/CompiledRoutines.h"
 #include "gcmeta/InterpretedMeta.h"
+#include "support/HeapProfile.h"
 
 #include <deque>
 
@@ -54,9 +55,10 @@ public:
                 TypeGcEngine &Eng, Space &Sp, Stats &St, TraceMethod Method,
                 const CompiledMetadata *CM, InterpretedMetadata *IM,
                 AppelMetadata *AM, bool GlogerDummies = false,
-                Telemetry *Tel = nullptr)
+                Telemetry *Tel = nullptr, HeapProfiler *Prof = nullptr)
       : Prog(Prog), Img(Img), Eng(Eng), Sp(Sp), St(St), Method(Method),
-        CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies), Tel(Tel) {}
+        CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies), Tel(Tel),
+        Prof(Prof) {}
 
   /// Binds one closure type parameter: by extraction path, or — under the
   /// Goldberg & Gloger '92 rule — to const_gc when no path exists (a value
@@ -96,12 +98,17 @@ private:
   AppelMetadata *AM;
   bool GlogerDummies;
   Telemetry *Tel;
+  HeapProfiler *Prof;
 
-  /// Census hook next to every first visit; the (kind, words) increments
+  /// First-visit hook next to every visitNew; the (kind, words) increments
   /// mirror the gc.objects_visited / gc.words_visited counter increments.
-  void census(CensusKind K, uint64_t Words) {
+  /// Feeds the telemetry census and — with the old→new address pair — the
+  /// heap profiler's typed snapshot and allocation-site side table.
+  void visit(Word Old, Word New, CensusKind K, uint64_t Words) {
     if (Tel)
       Tel->census(K, Words);
+    if (Prof) [[unlikely]]
+      Prof->recordVisit(Old, New, K, Words);
   }
 
   DescriptorTable &descTable() {

@@ -1,0 +1,310 @@
+//===- driver/Cli.cpp -----------------------------------------------------===//
+
+#include "driver/Cli.h"
+
+#include "ir/Ir.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace tfgc;
+
+const std::vector<CliFlag> &tfgc::cliFlags() {
+  static const std::vector<CliFlag> Flags = {
+      {"--strategy", true,
+       "tagged | compiled (default) | interpreted | appel"},
+      {"--algo", true, "copying (default) | marksweep | generational"},
+      {"--heap", true, "initial heap size in bytes (default 1 MiB)"},
+      {"--nursery-bytes", true,
+       "generational: nursery size carved out of the heap (default heap/8)"},
+      {"--stress", false, "collect at every allocation"},
+      {"--no-liveness", false,
+       "disable the live-variable analysis (paper 5.2)"},
+      {"--no-gcpoints", false, "disable the GC-point analysis (paper 5.1)"},
+      {"--mono", false, "reject polymorphic programs"},
+      {"--monomorphise", false,
+       "clone polymorphic functions per ground instantiation"},
+      {"--gloger-dummies", false,
+       "bind unreconstructible type parameters to const_gc (Goldberg & "
+       "Gloger '92)"},
+      {"--dump-ir", false, "print the lowered IR and exit"},
+      {"--dump-meta", false, "print GC metadata statistics and exit"},
+      {"--stats", false, "print collector statistics after the run"},
+      {"--gc-log", false, "one structured log line per collection (stderr)"},
+      {"--trace-out", true,
+       "write a Chrome trace_event JSON of every collection (flushed per "
+       "event)"},
+      {"--verify", false,
+       "re-trace read-only after every collection; exit 3 on violations"},
+      {"--inject-verify-violation", false,
+       "testing: make every verify pass report one artificial violation"},
+      {"--stats-json", true,
+       "write counters, pause/phase histograms, and the heap census as "
+       "JSON"},
+      {"--heap-profile", false,
+       "profile allocations by site and type (tag-free: no headers added)"},
+      {"--heap-snapshot", true,
+       "write the last collection's typed heap snapshot as JSON (implies "
+       "--heap-profile)"},
+      {"--retainers", true,
+       "report the top-N retainers by retained size after full/major "
+       "collections (implies --heap-profile)"},
+      {"-e", true, "run inline source (the next argument is the program)"},
+      {"--help", false, "print this help"},
+      {"-h", false, "print this help"},
+  };
+  return Flags;
+}
+
+std::string tfgc::usageText() {
+  std::string U = "usage: tfgc [options] file.mml | -e 'expr'\n";
+  for (const CliFlag &F : cliFlags()) {
+    std::string Left = "  ";
+    Left += F.Name;
+    if (F.HasValue && std::strcmp(F.Name, "-e") != 0)
+      Left += "=VALUE";
+    while (Left.size() < 30)
+      Left += ' ';
+    U += Left;
+    U += F.Help;
+    U += '\n';
+  }
+  return U;
+}
+
+namespace {
+
+const CliFlag *findFlag(const std::string &Arg, std::string &Value) {
+  for (const CliFlag &F : cliFlags()) {
+    if (!F.HasValue || !std::strcmp(F.Name, "-e")) {
+      if (Arg == F.Name)
+        return &F;
+      continue;
+    }
+    std::string Prefix = std::string(F.Name) + "=";
+    if (Arg.compare(0, Prefix.size(), Prefix) == 0) {
+      Value = Arg.substr(Prefix.size());
+      return &F;
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
+                    std::string &Err, bool &HelpOnly) {
+  HelpOnly = false;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg.empty())
+      continue;
+    if (Arg[0] != '-') {
+      std::ifstream In(Arg);
+      if (!In) {
+        Err = "cannot open '" + Arg + "'";
+        return false;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      O.Source = Buf.str();
+      O.HaveSource = true;
+      continue;
+    }
+    std::string Value;
+    const CliFlag *F = findFlag(Arg, Value);
+    if (!F) {
+      Err = "unknown option '" + Arg + "'";
+      return false;
+    }
+    std::string Name = F->Name;
+    if (Name == "--strategy") {
+      if (Value == "tagged")
+        O.Strategy = GcStrategy::Tagged;
+      else if (Value == "compiled")
+        O.Strategy = GcStrategy::CompiledTagFree;
+      else if (Value == "interpreted")
+        O.Strategy = GcStrategy::InterpretedTagFree;
+      else if (Value == "appel")
+        O.Strategy = GcStrategy::AppelTagFree;
+      else {
+        Err = "unknown strategy '" + Value + "'";
+        return false;
+      }
+    } else if (Name == "--algo") {
+      if (Value == "copying")
+        O.Algo = GcAlgorithm::Copying;
+      else if (Value == "marksweep")
+        O.Algo = GcAlgorithm::MarkSweep;
+      else if (Value == "generational")
+        O.Algo = GcAlgorithm::Generational;
+      else {
+        Err = "unknown algorithm '" + Value +
+              "' (valid: copying | marksweep | generational)";
+        return false;
+      }
+    } else if (Name == "--heap") {
+      O.HeapBytes = (size_t)std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Name == "--nursery-bytes") {
+      O.NurseryBytes = (size_t)std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Name == "--stress") {
+      O.Stress = true;
+    } else if (Name == "--no-liveness") {
+      O.Compile.UseLiveness = false;
+    } else if (Name == "--no-gcpoints") {
+      O.Compile.UseGcPointAnalysis = false;
+    } else if (Name == "--mono") {
+      O.Compile.RequireMonomorphic = true;
+    } else if (Name == "--monomorphise") {
+      O.Compile.Monomorphise = true;
+    } else if (Name == "--gloger-dummies") {
+      O.Compile.GlogerDummies = true;
+    } else if (Name == "--dump-ir") {
+      O.DumpIr = true;
+    } else if (Name == "--dump-meta") {
+      O.DumpMeta = true;
+    } else if (Name == "--stats") {
+      O.ShowStats = true;
+    } else if (Name == "--gc-log") {
+      O.GcLog = true;
+    } else if (Name == "--trace-out") {
+      O.TraceOutPath = Value;
+    } else if (Name == "--verify") {
+      O.Verify = true;
+    } else if (Name == "--inject-verify-violation") {
+      O.InjectVerifyViolation = true;
+    } else if (Name == "--stats-json") {
+      O.StatsJsonPath = Value;
+    } else if (Name == "--heap-profile") {
+      O.HeapProfile = true;
+    } else if (Name == "--heap-snapshot") {
+      O.HeapSnapshotPath = Value;
+      O.HeapProfile = true;
+    } else if (Name == "--retainers") {
+      O.Retainers = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+      O.HeapProfile = true;
+    } else if (Name == "-e") {
+      if (++I >= Args.size()) {
+        Err = "-e needs an argument";
+        return false;
+      }
+      O.Source = Args[I];
+      O.HaveSource = true;
+    } else if (Name == "--help" || Name == "-h") {
+      HelpOnly = true;
+      return true;
+    }
+  }
+  if (!O.HaveSource) {
+    Err = "no input program";
+    return false;
+  }
+  return true;
+}
+
+int tfgc::runTfgc(const CliOptions &O) {
+  Compiler C(O.Compile);
+  std::string Error;
+  std::unique_ptr<CompiledProgram> P = C.compile(O.Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+
+  if (O.DumpIr) {
+    std::printf("%s", printIr(P->Prog).c_str());
+    return 0;
+  }
+  if (O.DumpMeta) {
+    std::printf("functions:            %zu\n", P->Prog.Functions.size());
+    std::printf("call sites:           %zu\n", P->Prog.Sites.size());
+    std::printf("alloc sites:          %u\n", P->Prog.NumAllocSites);
+    std::printf("gc_words omitted:     %zu\n", P->Image.omittedGcWords());
+    std::printf("frame routines:       %zu (no_trace sites: %zu)\n",
+                P->Compiled.numFrameRoutines(),
+                P->Compiled.numNoTraceSites());
+    std::printf("type routines:        %zu\n", P->Compiled.numTypeRoutines());
+    std::printf("compiled metadata:    %zu bytes\n", P->Compiled.sizeBytes());
+    std::printf("interpreted metadata: %zu bytes (%zu descriptors)\n",
+                P->Interp->sizeBytes(),
+                P->Interp->descriptors().numDescriptors());
+    std::printf("appel metadata:       %zu bytes\n", P->Appel->sizeBytes());
+    return 0;
+  }
+
+  Stats St;
+  std::unique_ptr<Collector> Col = P->makeCollector(
+      O.Strategy, O.Algo, O.HeapBytes, St, &Error, O.NurseryBytes);
+  if (!Col) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  Col->setVerifyAfterGc(O.Verify);
+  Col->setInjectVerifyViolation(O.InjectVerifyViolation);
+
+  HeapProfiler Prof;
+  if (O.HeapProfile) {
+    attachHeapProfiler(*P, O.Strategy, *Col, Prof);
+    Prof.setRetainers(O.Retainers);
+    Prof.setLabel(std::string(gcStrategyName(O.Strategy)) + "/" +
+                  gcAlgorithmName(O.Algo));
+  }
+
+  Telemetry &Tel = Col->telemetry();
+  Tel.setLabel(gcStrategyName(O.Strategy));
+  if (O.GcLog)
+    Tel.setLogStream(stderr);
+  std::ofstream TraceOut;
+  if (!O.TraceOutPath.empty()) {
+    TraceOut.open(O.TraceOutPath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", O.TraceOutPath.c_str());
+      return 2;
+    }
+    Tel.beginTrace(TraceOut);
+  }
+
+  Vm M(P->Prog, P->Image, *P->Types, *Col,
+       defaultVmOptions(O.Strategy, O.Stress));
+  RunResult R = M.run();
+
+  // Flush every requested diagnostic artifact *before* deciding the exit
+  // code: a verify failure or uncaught runtime error must still leave the
+  // trace, stats, and snapshot on disk for post-mortem analysis.
+  if (!O.TraceOutPath.empty())
+    Tel.endTrace();
+  if (!O.StatsJsonPath.empty()) {
+    std::ofstream JsonOut(O.StatsJsonPath);
+    if (!JsonOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", O.StatsJsonPath.c_str());
+      return 2;
+    }
+    Tel.writeStatsJson(JsonOut, St);
+  }
+  if (!O.HeapSnapshotPath.empty()) {
+    std::ofstream SnapOut(O.HeapSnapshotPath);
+    if (!SnapOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", O.HeapSnapshotPath.c_str());
+      return 2;
+    }
+    Prof.writeSnapshotJson(SnapOut);
+  }
+
+  if (!R.Output.empty())
+    std::fputs(R.Output.c_str(), stdout);
+  if (!R.Ok) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", R.Value.c_str());
+  if (O.ShowStats)
+    std::fputs(St.render().c_str(), stderr);
+  if (O.Verify && St.get(StatId::GcVerifyViolations) > 0) {
+    std::fprintf(stderr, "verify: %llu violation(s) detected\n",
+                 (unsigned long long)St.get(StatId::GcVerifyViolations));
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- driver/Cli.h - tfgc command-line driver ------------------*- C++ -*-===//
+///
+/// \file
+/// The tfgc command line as a library: a flag table that is the single
+/// source of truth for both the parser and the usage text (so a flag
+/// cannot be parsed without being documented), an options struct, and an
+/// in-process runTfgc() that tools/tfgc.cpp wraps in main() and the test
+/// suite calls directly to exercise end-to-end behavior — exit codes,
+/// diagnostic flushing on abnormal exit, snapshot emission.
+///
+/// Exit codes: 0 success, 1 compile/runtime error, 2 usage or I/O error,
+/// 3 post-GC verification detected violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_DRIVER_CLI_H
+#define TFGC_DRIVER_CLI_H
+
+#include "driver/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+/// One command-line flag. Value flags are spelled --name=VALUE (except
+/// -e, which consumes the next argument).
+struct CliFlag {
+  const char *Name;
+  bool HasValue;
+  const char *Help;
+};
+
+/// The full flag table, in usage order.
+const std::vector<CliFlag> &cliFlags();
+
+/// Usage text rendered from cliFlags() — every parseable flag appears.
+std::string usageText();
+
+struct CliOptions {
+  GcStrategy Strategy = GcStrategy::CompiledTagFree;
+  GcAlgorithm Algo = GcAlgorithm::Copying;
+  size_t HeapBytes = 1 << 20;
+  size_t NurseryBytes = 0;
+  bool Stress = false;
+  bool DumpIr = false;
+  bool DumpMeta = false;
+  bool ShowStats = false;
+  bool GcLog = false;
+  bool Verify = false;
+  bool InjectVerifyViolation = false;
+  bool HeapProfile = false;
+  unsigned Retainers = 0;
+  std::string HeapSnapshotPath;
+  std::string TraceOutPath;
+  std::string StatsJsonPath;
+  CompileOptions Compile;
+  std::string Source;
+  bool HaveSource = false;
+};
+
+/// Parses \p Args (argv[1..]) into \p O. Returns false with \p Err set on
+/// a bad flag/missing source; sets \p HelpOnly when --help was given (the
+/// caller prints usageText() and exits 0). File operands are read here.
+bool parseCli(const std::vector<std::string> &Args, CliOptions &O,
+              std::string &Err, bool &HelpOnly);
+
+/// Compiles and runs per \p O; writes program output to stdout and
+/// diagnostics to stderr. All requested diagnostic artifacts (trace,
+/// stats JSON, heap snapshot) are flushed *before* the exit code is
+/// decided, so a failing run still leaves them on disk.
+int runTfgc(const CliOptions &O);
+
+} // namespace tfgc
+
+#endif // TFGC_DRIVER_CLI_H

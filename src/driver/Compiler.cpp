@@ -141,6 +141,23 @@ VmOptions tfgc::defaultVmOptions(GcStrategy Strategy, bool GcStress) {
   return O;
 }
 
+void tfgc::attachHeapProfiler(const CompiledProgram &P, GcStrategy Strategy,
+                              Collector &Col, HeapProfiler &Prof) {
+  Prof.setEnabled(true);
+  std::vector<AllocSiteDesc> Sites;
+  Sites.reserve(P.Image.allocSites().size());
+  for (const AllocSiteDebug &D : P.Image.allocSites())
+    Sites.push_back({D.Func, D.Line, D.Col, D.TypeStr});
+  Prof.setSites(std::move(Sites));
+  std::vector<std::string> Names;
+  Names.reserve(P.Prog.Functions.size());
+  for (const IrFunction &F : P.Prog.Functions)
+    Names.push_back(F.Name);
+  Prof.setFunctionNames(std::move(Names));
+  Prof.setTaggedHeaders(Strategy == GcStrategy::Tagged);
+  Col.setHeapProfiler(&Prof);
+}
+
 ExecResult tfgc::execProgram(const std::string &Source, GcStrategy Strategy,
                              GcAlgorithm Algo, size_t HeapBytes, bool GcStress,
                              CompileOptions Options, size_t NurseryBytes) {

@@ -92,6 +92,14 @@ struct CompiledProgram {
 /// VM options appropriate for \p Strategy (frame zeroing where required).
 VmOptions defaultVmOptions(GcStrategy Strategy, bool GcStress = false);
 
+/// Enables \p Prof and wires it to \p Col: installs the program's
+/// allocation-site debug table (from the code image) and function names,
+/// sets the tagged-header convention for \p Strategy, and registers the
+/// profiler with the collector. \p Prof must outlive \p Col's use; call
+/// before constructing the Vm so every allocation is attributed.
+void attachHeapProfiler(const CompiledProgram &P, GcStrategy Strategy,
+                        Collector &Col, HeapProfiler &Prof);
+
 class Compiler {
 public:
   explicit Compiler(CompileOptions Options = {}) : Options(Options) {}

@@ -6,6 +6,8 @@ using namespace tfgc;
 
 void CodeImage::build(IrProgram &P) {
   Image.clear();
+  AllocDebug.clear();
+  AllocDebug.resize(P.NumAllocSites);
   LiveGcWords = 0;
   OmittedCount = 0;
 
@@ -23,6 +25,14 @@ void CodeImage::build(IrProgram &P) {
         continue;
       CallSiteInfo &S = P.site(I.Site);
       S.CodeAddr = (uint32_t)Image.size();
+      if (S.AllocId != InvalidAllocSite) {
+        AllocSiteDebug &D = AllocDebug[S.AllocId];
+        D.Func = F.Name;
+        D.Line = S.Loc.Line;
+        D.Col = S.Loc.Col;
+        if (P.Types && I.hasDst() && F.SlotTypes[I.Dst])
+          D.TypeStr = P.Types->render(F.SlotTypes[I.Dst]);
+      }
       Image.push_back((Word)S.Id); // call instruction
       Image.push_back(0);          // delay slot
       if (S.CanTriggerGc) {

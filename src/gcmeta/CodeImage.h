@@ -28,9 +28,21 @@
 #include "ir/Ir.h"
 #include "runtime/Value.h"
 
+#include <string>
 #include <vector>
 
 namespace tfgc {
+
+/// Debug record for one allocation site, indexed by the site's dense
+/// AllocId. The heap profiler labels its per-site rows with these; a real
+/// compiler would emit the same table into the binary's debug info, so
+/// (like the gc_words) it costs the mutator nothing.
+struct AllocSiteDebug {
+  std::string Func;    ///< Allocating function's name.
+  uint32_t Line = 0;   ///< Source line (0 = synthesized).
+  uint32_t Col = 0;
+  std::string TypeStr; ///< Rendered static type of the allocated value.
+};
 
 class CodeImage {
 public:
@@ -60,8 +72,14 @@ public:
   size_t gcWordBytes() const { return LiveGcWords * sizeof(Word); }
   size_t omittedGcWords() const { return OmittedCount; }
 
+  /// Allocation-site debug table, indexed by CallSiteInfo::AllocId.
+  /// Covers [0, IrProgram::NumAllocSites); type strings are empty when the
+  /// program had no TypeContext attached at build time.
+  const std::vector<AllocSiteDebug> &allocSites() const { return AllocDebug; }
+
 private:
   std::vector<Word> Image;
+  std::vector<AllocSiteDebug> AllocDebug;
   size_t LiveGcWords = 0;
   size_t OmittedCount = 0;
 };

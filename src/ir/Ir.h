@@ -17,6 +17,7 @@
 #ifndef TFGC_IR_IR_H
 #define TFGC_IR_IR_H
 
+#include "support/SourceLoc.h"
 #include "types/Type.h"
 
 #include <cstdint>
@@ -34,6 +35,8 @@ using LabelId = uint32_t;
 inline constexpr FuncId InvalidFunc = std::numeric_limits<FuncId>::max();
 inline constexpr CallSiteId InvalidSite =
     std::numeric_limits<CallSiteId>::max();
+inline constexpr uint32_t InvalidAllocSite =
+    std::numeric_limits<uint32_t>::max();
 
 enum class Opcode : uint8_t {
   // Constants and moves.
@@ -135,6 +138,14 @@ struct CallSiteInfo {
   /// at CodeAddr + GcWordOffset and execution resumes at CodeAddr +
   /// ResumeOffset (paper Figure 1).
   uint32_t CodeAddr = 0;
+
+  /// Source location of the expression that created this site (line 0 =
+  /// synthesized, e.g. letrec sibling patches and stubs).
+  SourceLoc Loc;
+  /// Alloc sites only: dense index into [0, IrProgram::NumAllocSites) used
+  /// by the heap profiler's flat per-site counters. InvalidAllocSite for
+  /// call sites.
+  uint32_t AllocId = InvalidAllocSite;
 };
 
 struct IrFunction {
@@ -168,6 +179,10 @@ struct IrFunction {
 struct IrProgram {
   std::vector<IrFunction> Functions;
   std::vector<CallSiteInfo> Sites;
+  /// Number of SiteKind::Alloc sites; their AllocIds form a dense
+  /// [0, NumAllocSites) range in site order (re-densified after
+  /// monomorphisation, which re-homes every site).
+  uint32_t NumAllocSites = 0;
   FuncId MainId = InvalidFunc;
   TypeContext *Types = nullptr; ///< Non-owning.
 

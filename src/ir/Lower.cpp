@@ -64,12 +64,15 @@ LabelId Lowerer::abortLabel() {
   return ctx().AbortLabel;
 }
 
-CallSiteId Lowerer::newSite(SiteKind Kind, uint32_t InstrIdx) {
+CallSiteId Lowerer::newSite(SiteKind Kind, uint32_t InstrIdx, SourceLoc Loc) {
   CallSiteInfo S;
   S.Id = (CallSiteId)Prog.Sites.size();
   S.Caller = fn().Id;
   S.InstrIdx = InstrIdx;
   S.Kind = Kind;
+  S.Loc = Loc;
+  if (Kind == SiteKind::Alloc)
+    S.AllocId = Prog.NumAllocSites++;
   Prog.Sites.push_back(std::move(S));
   SiteInstMaps.emplace_back();
   return Prog.Sites.back().Id;
@@ -406,7 +409,8 @@ void Lowerer::lowerClosureGroup(Decl *D,
     MC.Srcs = CapSlots;
     for (size_t J = 0; J + 1 < N; ++J)
       MC.Srcs.push_back(UnitSlot);
-    MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1,
+                      D->Binds[I].Loc);
     CloSlots.push_back(C);
   }
   for (size_t I = 0; I < N; ++I) {
@@ -618,7 +622,7 @@ SlotIndex Lowerer::lowerExpr(Expr *E) {
     I.Dst = S;
     I.FloatImm = cast<FloatExpr>(E)->Value;
     // Boxed under the tagged model, so this is an allocation site.
-    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, E->Loc);
     return S;
   }
   case ExprKind::Bool: {
@@ -663,7 +667,8 @@ SlotIndex Lowerer::lowerExpr(Expr *E) {
     I.Data = RC.Info;
     I.CtorIdx = RC.Index;
     if (!I.Srcs.empty())
-      I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+      I.Site =
+          newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, C->Loc);
     return S;
   }
   case ExprKind::Tuple: {
@@ -675,7 +680,7 @@ SlotIndex Lowerer::lowerExpr(Expr *E) {
     Instr &I = emit(Opcode::MakeTuple);
     I.Dst = S;
     I.Srcs = std::move(Elems);
-    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, T->Loc);
     return S;
   }
   case ExprKind::If: {
@@ -740,7 +745,7 @@ SlotIndex Lowerer::lowerPrim(PrimExpr *E) {
     Instr &I = emit(Opcode::MakeRef);
     I.Dst = S;
     I.Srcs = {V};
-    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, E->Loc);
     return S;
   }
   case PrimOp::RefGet: {
@@ -816,7 +821,7 @@ SlotIndex Lowerer::lowerPrim(PrimExpr *E) {
   case PrimVal::FDiv:
   case PrimVal::FNeg:
   case PrimVal::IntToFloat:
-    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+    I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, E->Loc);
     break;
   default:
     break;
@@ -834,7 +839,8 @@ SlotIndex Lowerer::lowerApp(AppExpr *A) {
       I.Prim = PrimVal::IntToFloat;
       I.Dst = S;
       I.Srcs = {Arg};
-      I.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+      I.Site =
+          newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, A->Loc);
       return S;
     }
     if (B && B->K == Binding::Kind::DirectFn) {
@@ -945,7 +951,7 @@ SlotIndex Lowerer::lowerLambda(FnExpr *F) {
   MC.Dst = S;
   MC.Callee = L->Id;
   MC.Srcs = CapSlots;
-  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, F->Loc);
   return S;
 }
 
@@ -991,7 +997,7 @@ SlotIndex Lowerer::materializeStub(FuncId Target, Type *UseTy,
   Instr &MC = emit(Opcode::MakeClosure);
   MC.Dst = S;
   MC.Callee = Stub;
-  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1);
+  MC.Site = newSite(SiteKind::Alloc, (uint32_t)fn().Code.size() - 1, Loc);
   return S;
 }
 

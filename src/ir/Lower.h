@@ -83,7 +83,7 @@ private:
   LabelId newLabel();
   void bindLabel(LabelId L);
   LabelId abortLabel();
-  CallSiteId newSite(SiteKind Kind, uint32_t InstrIdx);
+  CallSiteId newSite(SiteKind Kind, uint32_t InstrIdx, SourceLoc Loc = {});
   void finishFunction();
 
   // -- Scope management ----------------------------------------------------

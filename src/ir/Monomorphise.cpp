@@ -43,6 +43,7 @@ public:
     Out.Types = P.Types;
     Out.Functions = std::move(NewFunctions);
     Out.Sites = std::move(NewSites);
+    Out.NumAllocSites = NumAllocSites;
     Out.MainId = 0; // main is the first specialization requested.
     P = std::move(Out);
     R.FunctionsAfter = (unsigned)P.Functions.size();
@@ -58,6 +59,7 @@ private:
   std::map<Key, FuncId> Specialized;
   std::vector<IrFunction> NewFunctions;
   std::vector<CallSiteInfo> NewSites;
+  uint32_t NumAllocSites = 0;
 
   struct PendingBody {
     FuncId Source;
@@ -169,6 +171,11 @@ private:
         NS.Caller = B.Target;
         NS.InstrIdx = (uint32_t)Idx;
         NS.Kind = Old.Kind;
+        NS.Loc = Old.Loc;
+        // Alloc sites get fresh dense ids: a cloned polymorphic function
+        // contributes one profiler site per specialization.
+        if (Old.Kind == SiteKind::Alloc)
+          NS.AllocId = NumAllocSites++;
         if (Old.Kind == SiteKind::Direct) {
           NS.Callee = I.Callee; // Already specialized above.
           // Callee has no type parameters left.

@@ -1,0 +1,584 @@
+//===- support/HeapProfile.cpp --------------------------------------------===//
+
+#include "support/HeapProfile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace tfgc;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+void HeapProfiler::setSites(std::vector<AllocSiteDesc> S) {
+  Sites = std::move(S);
+  SiteAllocCounts.assign(Sites.size(), 0);
+  CurSite.assign(Sites.size() + 1, Tally{});
+}
+
+void HeapProfiler::resetCollectionTallies() {
+  CurKind.fill(Tally{});
+  CurSite.assign(Sites.size() + 1, Tally{});
+  CurNursery = Tally{};
+  CurTenured = Tally{};
+  CurObjects = 0;
+  CurWords = 0;
+  Objects.clear();
+}
+
+void HeapProfiler::beginCollection(GcEventKind Kind,
+                                   std::function<bool(Word)> IsTenuredFn) {
+  if (!Enabled)
+    return;
+  assert(!InCollection && "nested collection");
+  InCollection = true;
+  Paused = false;
+  CurEventKind = Kind;
+  IsTenured = std::move(IsTenuredFn);
+  MinorScope = Kind == GcEventKind::Minor && (bool)IsTenured;
+  resetCollectionTallies();
+  if (siteTracking()) {
+    // Merge the allocation log into the survivor table. Addresses are
+    // disjoint in the steady state (the mutator only bump-allocates past
+    // the survivors, and dead blocks left the table at their collection),
+    // but a last-wins merge keeps a reused address correct anyway: on a
+    // tie std::merge emits the first range's entry first and the dedup
+    // below keeps the last duplicate, so the newest source wins.
+    //
+    // A minor trace never visits a tenured object, so TenSet stays out of
+    // the merge entirely — the per-minor cost is nursery-bounded instead
+    // of growing with every promotion since the last major. Table is
+    // sorted by construction and TenSet accumulates in promotion (bump)
+    // order, so only the allocation log needs an actual sort.
+    auto ByAddr = [](const AddrSite &A, const AddrSite &B) {
+      return A.Addr < B.Addr;
+    };
+    // Fold the log into the cumulative per-site counts here, off the
+    // mutator's allocation path.
+    for (const AddrSite &E : AddrLog)
+      ++SiteAllocCounts[E.Site];
+    std::sort(AddrLog.begin(), AddrLog.end(), ByAddr);
+    Lookup.clear();
+    if (MinorScope) {
+      Lookup.resize(Table.size() + AddrLog.size());
+      std::merge(Table.begin(), Table.end(), AddrLog.begin(), AddrLog.end(),
+                 Lookup.begin(), ByAddr);
+    } else {
+      if (!std::is_sorted(TenSet.begin(), TenSet.end(), ByAddr))
+        std::sort(TenSet.begin(), TenSet.end(), ByAddr);
+      MergeScratch.resize(Table.size() + TenSet.size());
+      std::merge(Table.begin(), Table.end(), TenSet.begin(), TenSet.end(),
+                 MergeScratch.begin(), ByAddr);
+      TenSet.clear();
+      Lookup.resize(MergeScratch.size() + AddrLog.size());
+      std::merge(MergeScratch.begin(), MergeScratch.end(), AddrLog.begin(),
+                 AddrLog.end(), Lookup.begin(), ByAddr);
+    }
+    AddrLog.clear();
+    size_t Keep = 0;
+    for (size_t I = 0; I < Lookup.size(); ++I) {
+      if (I + 1 < Lookup.size() && Lookup[I + 1].Addr == Lookup[I].Addr)
+        continue; // An older entry for the same address: drop it.
+      Lookup[Keep++] = Lookup[I];
+    }
+    Lookup.resize(Keep);
+    Consumed.assign(Lookup.size(), 0);
+    NextTable.clear();
+    buildLookupIndex();
+  }
+}
+
+void HeapProfiler::buildLookupIndex() {
+  DenseValid = false;
+  if (Lookup.empty())
+    return;
+  constexpr uint64_t GapWords = (64 * 1024) / sizeof(Word);
+  Regions.clear();
+  uint64_t Slots = 0;
+  size_t Start = 0;
+  for (size_t I = 1; I <= Lookup.size(); ++I) {
+    if (I < Lookup.size() &&
+        (Lookup[I].Addr - Lookup[I - 1].Addr) / sizeof(Word) <= GapWords)
+      continue;
+    Word Base = Lookup[Start].Addr;
+    Regions.push_back({Base, Lookup[I - 1].Addr, Slots});
+    Slots += (Lookup[I - 1].Addr - Base) / sizeof(Word) + 1;
+    Start = I;
+  }
+  if (Slots > DenseSlotCap || Regions.size() > MaxDenseRegions ||
+      Lookup.size() >= (1u << 24)) {
+    Regions.clear();
+    return; // Pathologically sparse or fragmented: binary-search fallback.
+  }
+  if (++DenseEpoch == 256) {
+    // Epoch wrap: stale slots from 255 rebuilds ago could alias.
+    std::fill(Dense.begin(), Dense.end(), 0);
+    DenseEpoch = 1;
+  }
+  if (Dense.size() < Slots)
+    Dense.resize(Slots, 0);
+  size_t R = 0;
+  for (size_t I = 0; I < Lookup.size(); ++I) {
+    while (Lookup[I].Addr > Regions[R].End)
+      ++R;
+    Dense[Regions[R].SlotOff +
+          (Lookup[I].Addr - Regions[R].Base) / sizeof(Word)] =
+        (DenseEpoch << 24) | (uint32_t)I;
+  }
+  DenseValid = true;
+}
+
+void HeapProfiler::beginTraceRound() {
+  if (!Enabled || !InCollection)
+    return;
+  resetCollectionTallies();
+  if (siteTracking()) {
+    // The previous round's post-trace addresses are this round's
+    // pre-trace addresses (the grow loop flips spaces and retraces).
+    Lookup = std::move(NextTable);
+    NextTable.clear();
+    auto ByAddr = [](const AddrSite &A, const AddrSite &B) {
+      return A.Addr < B.Addr;
+    };
+    if (!std::is_sorted(Lookup.begin(), Lookup.end(), ByAddr))
+      std::sort(Lookup.begin(), Lookup.end(), ByAddr);
+    Consumed.assign(Lookup.size(), 0);
+    buildLookupIndex();
+  }
+}
+
+uint32_t HeapProfiler::lookupSite(Word OldRef) {
+  size_t Idx;
+  if (DenseValid) {
+    // Regions are sorted and few; first region whose end covers the
+    // address decides (a miss inside a gap holds no table entry).
+    const DenseRegion *Hit = nullptr;
+    for (const DenseRegion &R : Regions) {
+      if (OldRef > R.End)
+        continue;
+      if (OldRef >= R.Base)
+        Hit = &R;
+      break;
+    }
+    if (!Hit)
+      return UnknownSite;
+    uint32_t E =
+        Dense[Hit->SlotOff + (OldRef - Hit->Base) / sizeof(Word)];
+    if ((E >> 24) != DenseEpoch)
+      return UnknownSite;
+    Idx = E & 0xffffffu;
+    if (Lookup[Idx].Addr != OldRef)
+      return UnknownSite; // Misaligned probe rounded onto a neighbor.
+  } else {
+    auto It = std::lower_bound(
+        Lookup.begin(), Lookup.end(), OldRef,
+        [](const AddrSite &A, Word W) { return A.Addr < W; });
+    if (It == Lookup.end() || It->Addr != OldRef)
+      return UnknownSite;
+    Idx = (size_t)(It - Lookup.begin());
+  }
+  Consumed[Idx] = 1;
+  return Lookup[Idx].Site;
+}
+
+void HeapProfiler::recordVisit(Word OldRef, Word NewRef, CensusKind K,
+                               uint64_t Words) {
+  if (!Enabled || Paused || !InCollection)
+    return;
+  ++CurObjects;
+  CurWords += Words;
+  Tally &KT = CurKind[(size_t)K];
+  ++KT.Objects;
+  KT.Words += Words;
+  ++VisitObjectsTotal;
+  uint32_t Site = UnknownSite;
+  if (siteTracking()) {
+    Site = lookupSite(OldRef);
+    Tally &ST = CurSite[Site == UnknownSite ? Sites.size() : Site];
+    ++ST.Objects;
+    ST.Words += Words;
+    NextTable.push_back({NewRef, Site});
+  }
+  if (IsTenured) {
+    Tally &GT = IsTenured(NewRef) ? CurTenured : CurNursery;
+    ++GT.Objects;
+    GT.Words += Words;
+  }
+  if (wantsRetention())
+    Objects.push_back({NewRef, Site, K, Words});
+}
+
+void HeapProfiler::finishCollection(
+    uint64_t CoveredBytes, const std::function<bool(Word)> &KeepUnvisited,
+    std::vector<HeapRoot> Roots) {
+  if (!Enabled || !InCollection)
+    return;
+  InCollection = false;
+  Paused = false;
+
+  if (siteTracking()) {
+    // Rebuild the table for the next cycle: everything the trace visited
+    // (at its new address) plus the unvisited entries that survive a
+    // partial-coverage collection (tenured objects during a minor).
+    if (KeepUnvisited)
+      for (size_t I = 0; I < Lookup.size(); ++I)
+        if (!Consumed[I] && KeepUnvisited(Lookup[I].Addr))
+          NextTable.push_back(Lookup[I]);
+    if (IsTenured) {
+      // Route tenured entries (promotions, and after a major the whole
+      // live set) to TenSet so they stop costing the minors anything.
+      size_t Keep = 0;
+      for (const AddrSite &E : NextTable) {
+        if (IsTenured(E.Addr))
+          TenSet.push_back(E);
+        else
+          NextTable[Keep++] = E;
+      }
+      NextTable.resize(Keep);
+    }
+    // Visit order follows bump allocation of the new addresses, so the
+    // rebuilt table is usually already sorted.
+    auto ByAddr = [](const AddrSite &A, const AddrSite &B) {
+      return A.Addr < B.Addr;
+    };
+    if (!std::is_sorted(NextTable.begin(), NextTable.end(), ByAddr))
+      std::sort(NextTable.begin(), NextTable.end(), ByAddr);
+    Table = std::move(NextTable);
+    NextTable.clear();
+    Lookup.clear();
+    Consumed.clear();
+  }
+
+  Snap.Valid = true;
+  Snap.Seq = Collections++;
+  Snap.Kind = CurEventKind;
+  Snap.CoveredBytes = CoveredBytes;
+  Snap.Objects = CurObjects;
+  Snap.Words = CurWords;
+  Snap.ByKind = CurKind;
+  Snap.BySite = siteTracking() ? CurSite : std::vector<Tally>{};
+  Snap.HasGenSplit = (bool)IsTenured;
+  Snap.Nursery = CurNursery;
+  Snap.Tenured = CurTenured;
+  Snap.Retainers.clear();
+  // A minor collection's object list covers the young generation only, so
+  // dominator math over it would misattribute retention; retention reports
+  // ride full/major collections.
+  Snap.RetainersComputed =
+      wantsRetention() && CurEventKind != GcEventKind::Minor;
+  if (Snap.RetainersComputed)
+    computeRetention(Roots);
+  Objects.clear();
+  IsTenured = nullptr;
+}
+
+void HeapProfiler::computeRetention(const std::vector<HeapRoot> &Roots) {
+  const size_t N = Objects.size();
+  std::sort(Objects.begin(), Objects.end(),
+            [](const ObjRec &A, const ObjRec &B) { return A.Addr < B.Addr; });
+  auto Find = [&](Word W) -> int {
+    auto It = std::lower_bound(
+        Objects.begin(), Objects.end(), W,
+        [](const ObjRec &O, Word V) { return O.Addr < V; });
+    if (It == Objects.end() || It->Addr != W)
+      return -1;
+    return (int)(It - Objects.begin());
+  };
+
+  // Reference graph: a payload word that exactly matches a recorded live
+  // address is an edge (under the tagged model the pointer tag filters
+  // candidates first; tag-free is conservative — an unboxed value whose
+  // bits collide with a live address adds a spurious edge, which can only
+  // understate retained sizes by merging dominators, never crash).
+  const uint32_t RootN = (uint32_t)N;
+  std::vector<std::vector<uint32_t>> Succ(N + 1);
+  std::vector<std::string> RootLabel(N);
+  for (const HeapRoot &R : Roots) {
+    if (TaggedHeaders && !isTaggedPointer(R.Value))
+      continue;
+    int J = Find(R.Value);
+    if (J < 0)
+      continue;
+    Succ[RootN].push_back((uint32_t)J);
+    if (RootLabel[J].empty()) {
+      std::string Fn = R.Func < FuncNames.size()
+                           ? FuncNames[R.Func]
+                           : "fn" + std::to_string(R.Func);
+      RootLabel[J] = Fn + ":slot" + std::to_string(R.Slot);
+    }
+  }
+  for (size_t I = 0; I < N; ++I) {
+    const ObjRec &O = Objects[I];
+    uint64_t PayloadWords = O.Words - (TaggedHeaders ? 1 : 0);
+    const Word *Pl = reinterpret_cast<const Word *>(O.Addr);
+    for (uint64_t K = 0; K < PayloadWords; ++K) {
+      Word W = Pl[K];
+      if (TaggedHeaders && !isTaggedPointer(W))
+        continue;
+      if (W == O.Addr)
+        continue;
+      int J = Find(W);
+      if (J >= 0)
+        Succ[I].push_back((uint32_t)J);
+    }
+  }
+
+  // Reverse postorder from the virtual root (unreachable objects — cycles
+  // kept alive only by each other would have died — cannot occur here; a
+  // conservatively-unmatched root just leaves its subgraph out of the
+  // report).
+  std::vector<int> RpoNum(N + 1, -1);
+  std::vector<uint32_t> Order;
+  {
+    std::vector<uint32_t> Post;
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    std::vector<uint8_t> Visited(N + 1, 0);
+    Stack.push_back({RootN, 0});
+    Visited[RootN] = 1;
+    while (!Stack.empty()) {
+      auto &[V, Ei] = Stack.back();
+      if (Ei < Succ[V].size()) {
+        uint32_t W = Succ[V][Ei++];
+        if (!Visited[W]) {
+          Visited[W] = 1;
+          Stack.push_back({W, 0});
+        }
+      } else {
+        Post.push_back(V);
+        Stack.pop_back();
+      }
+    }
+    Order.assign(Post.rbegin(), Post.rend());
+    for (size_t I = 0; I < Order.size(); ++I)
+      RpoNum[Order[I]] = (int)I;
+  }
+  std::vector<std::vector<uint32_t>> Pred(N + 1);
+  for (uint32_t V : Order)
+    for (uint32_t W : Succ[V])
+      if (RpoNum[W] >= 0)
+        Pred[W].push_back(V);
+
+  // Cooper-Harvey-Kennedy iterative dominators over the RPO.
+  std::vector<int> Idom(N + 1, -1);
+  Idom[RootN] = (int)RootN;
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoNum[A] > RpoNum[B])
+        A = Idom[A];
+      while (RpoNum[B] > RpoNum[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t I = 1; I < Order.size(); ++I) {
+      uint32_t V = Order[I];
+      int NewIdom = -1;
+      for (uint32_t P : Pred[V]) {
+        if (Idom[P] == -1)
+          continue;
+        NewIdom = NewIdom == -1 ? (int)P : Intersect((int)P, NewIdom);
+      }
+      if (NewIdom != -1 && Idom[V] != NewIdom) {
+        Idom[V] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Retained size: own bytes plus everything in the dominator subtree.
+  // Reverse RPO visits children before their idom (idom's RPO number is
+  // always smaller), so one bottom-up pass accumulates exactly.
+  std::vector<uint64_t> Retained(N + 1, 0);
+  for (size_t I = 0; I < N; ++I)
+    if (RpoNum[I] >= 0)
+      Retained[I] = Objects[I].Words * sizeof(Word);
+  for (size_t I = Order.size(); I-- > 1;) {
+    uint32_t V = Order[I];
+    if (Idom[V] >= 0)
+      Retained[(size_t)Idom[V]] += Retained[V];
+  }
+
+  // BFS parents give each reported retainer one sample root path.
+  std::vector<int> Parent(N + 1, -1);
+  {
+    std::vector<uint32_t> Queue{RootN};
+    std::vector<uint8_t> Seen(N + 1, 0);
+    Seen[RootN] = 1;
+    for (size_t Qi = 0; Qi < Queue.size(); ++Qi) {
+      uint32_t V = Queue[Qi];
+      for (uint32_t W : Succ[V])
+        if (!Seen[W]) {
+          Seen[W] = 1;
+          Parent[W] = (int)V;
+          Queue.push_back(W);
+        }
+    }
+  }
+  auto Descr = [&](uint32_t V) {
+    const ObjRec &O = Objects[V];
+    std::string S = censusKindName(O.Kind);
+    if (O.Site != UnknownSite && O.Site < Sites.size()) {
+      const AllocSiteDesc &D = Sites[O.Site];
+      S += "@";
+      S += D.Func;
+      if (D.Line)
+        S += ":" + std::to_string(D.Line);
+    }
+    return S;
+  };
+
+  std::vector<uint32_t> Ranked;
+  for (uint32_t V = 0; V < (uint32_t)N; ++V)
+    if (RpoNum[V] >= 0)
+      Ranked.push_back(V);
+  std::sort(Ranked.begin(), Ranked.end(), [&](uint32_t A, uint32_t B) {
+    if (Retained[A] != Retained[B])
+      return Retained[A] > Retained[B];
+    return RpoNum[A] < RpoNum[B];
+  });
+  if (Ranked.size() > TopRetainers)
+    Ranked.resize(TopRetainers);
+
+  for (uint32_t V : Ranked) {
+    RetainerInfo R;
+    R.Addr = Objects[V].Addr;
+    R.Site = Objects[V].Site;
+    R.Kind = Objects[V].Kind;
+    R.SelfBytes = Objects[V].Words * sizeof(Word);
+    R.RetainedBytes = Retained[V];
+    // Climb the BFS tree to the root; cap the sample path so a deep list
+    // spine reports its head, not a thousand hops.
+    std::vector<uint32_t> Chain;
+    for (int C = (int)V; C != (int)RootN && C >= 0 && Chain.size() < 64;
+         C = Parent[C])
+      Chain.push_back((uint32_t)C);
+    if (!Chain.empty() && !RootLabel[Chain.back()].empty())
+      R.Path.push_back(RootLabel[Chain.back()]);
+    size_t Shown = 0;
+    for (size_t I = Chain.size(); I-- > 0 && Shown < 12; ++Shown)
+      R.Path.push_back(Descr(Chain[I]));
+    Snap.Retainers.push_back(std::move(R));
+  }
+}
+
+void HeapProfiler::writeSnapshotJson(std::ostream &OS) const {
+  OS << "{\n  \"schema\": 1,\n  \"tool\": \"tfgc-heap-profile\",\n";
+  OS << "  \"label\": \"" << jsonEscape(Label) << "\",\n";
+  OS << "  \"valid\": " << (Snap.Valid ? "true" : "false") << ",\n";
+  OS << "  \"site_tracking\": " << (siteTracking() ? "true" : "false")
+     << ",\n";
+  OS << "  \"collection\": {\"seq\": " << Snap.Seq << ", \"kind\": \""
+     << gcEventKindName(Snap.Kind) << "\"},\n";
+  OS << "  \"used_bytes\": " << Snap.CoveredBytes << ",\n";
+  OS << "  \"objects\": " << Snap.Objects << ",\n";
+  OS << "  \"bytes\": " << Snap.Words * sizeof(Word) << ",\n";
+
+  OS << "  \"by_kind\": [";
+  bool First = true;
+  for (size_t I = 0; I < NumCensusKinds; ++I) {
+    const Tally &T = Snap.ByKind[I];
+    if (!T.Objects)
+      continue;
+    OS << (First ? "" : ",") << "\n    {\"kind\": \""
+       << censusKindName((CensusKind)I) << "\", \"objects\": " << T.Objects
+       << ", \"bytes\": " << T.Words * sizeof(Word) << "}";
+    First = false;
+  }
+  OS << (First ? "]" : "\n  ]") << ",\n";
+
+  auto SiteFields = [&](uint32_t Id) {
+    const AllocSiteDesc &D = Sites[Id];
+    OS << "\"site\": " << Id << ", \"func\": \"" << jsonEscape(D.Func)
+       << "\", \"line\": " << D.Line << ", \"col\": " << D.Col
+       << ", \"type\": \"" << jsonEscape(D.TypeStr) << "\"";
+  };
+
+  OS << "  \"by_site\": [";
+  First = true;
+  for (size_t I = 0; I < Snap.BySite.size(); ++I) {
+    const Tally &T = Snap.BySite[I];
+    if (!T.Objects)
+      continue;
+    OS << (First ? "" : ",") << "\n    {";
+    if (I < Sites.size())
+      SiteFields((uint32_t)I);
+    else
+      OS << "\"site\": -1, \"func\": \"<unknown>\", \"line\": 0, "
+            "\"col\": 0, \"type\": \"\"";
+    OS << ", \"objects\": " << T.Objects
+       << ", \"bytes\": " << T.Words * sizeof(Word) << "}";
+    First = false;
+  }
+  OS << (First ? "]" : "\n  ]") << ",\n";
+
+  if (Snap.HasGenSplit) {
+    OS << "  \"gen\": {\"nursery_objects\": " << Snap.Nursery.Objects
+       << ", \"nursery_bytes\": " << Snap.Nursery.Words * sizeof(Word)
+       << ", \"tenured_objects\": " << Snap.Tenured.Objects
+       << ", \"tenured_bytes\": " << Snap.Tenured.Words * sizeof(Word)
+       << "},\n";
+  }
+
+  OS << "  \"alloc_total\": " << AllocTotal << ",\n";
+  OS << "  \"alloc_sites\": [";
+  First = true;
+  std::vector<uint64_t> Counts = SiteAllocCounts;
+  for (const AddrSite &E : AddrLog) // Allocated since the last collection.
+    if (E.Site < Counts.size())
+      ++Counts[E.Site];
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    if (!Counts[I])
+      continue;
+    OS << (First ? "" : ",") << "\n    {";
+    SiteFields((uint32_t)I);
+    OS << ", \"count\": " << Counts[I] << "}";
+    First = false;
+  }
+  OS << (First ? "]" : "\n  ]");
+
+  if (Snap.RetainersComputed) {
+    OS << ",\n  \"retainers\": [";
+    First = true;
+    for (const RetainerInfo &R : Snap.Retainers) {
+      OS << (First ? "" : ",") << "\n    {\"addr\": \"0x" << std::hex
+         << R.Addr << std::dec << "\", \"kind\": \""
+         << censusKindName(R.Kind) << "\", \"site\": "
+         << (R.Site == UnknownSite ? -1 : (int64_t)R.Site)
+         << ", \"self_bytes\": " << R.SelfBytes
+         << ", \"retained_bytes\": " << R.RetainedBytes << ", \"path\": [";
+      for (size_t I = 0; I < R.Path.size(); ++I)
+        OS << (I ? ", " : "") << '"' << jsonEscape(R.Path[I]) << '"';
+      OS << "]}";
+      First = false;
+    }
+    OS << (First ? "]" : "\n  ]");
+  }
+  OS << "\n}\n";
+}

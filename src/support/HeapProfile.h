@@ -1,0 +1,302 @@
+//===- support/HeapProfile.h - Tag-free heap profiler -----------*- C++ -*-===//
+///
+/// \file
+/// Heap profiling that rides the tag-free trace instead of per-object
+/// headers. The paper's central machinery — exact type reconstruction for
+/// every live object at collection time — already produces, for free, the
+/// facts a heap profiler normally pays header bytes for. Three layers:
+///
+///  * **Allocation-site attribution.** Lowering assigns every allocation
+///    opcode a dense AllocSiteId; the VM's allocation path bumps a flat
+///    per-site counter and appends (address, site) to an allocation log.
+///    No hashing, no branching beyond the enable check; off by default.
+///
+///  * **Typed live snapshots.** During a collection's trace, the same
+///    first-visit hook the telemetry census uses attributes each object's
+///    words to its reconstructed shape (CensusKind) and — via a side table
+///    keyed by object address, maintained across copies and promotions —
+///    to the site that allocated it. The side table is rebuilt from the
+///    visit stream each collection: a visit maps the object's *old*
+///    address to its site and records the *new* address for the next
+///    collection, so the table follows objects through semispace flips,
+///    nursery evacuation, and promotion without touching the mutator.
+///
+///  * **Retention diagnostics.** Optionally the visit stream also records
+///    an object list; after the trace the profiler scans the live objects'
+///    payloads against the recorded address set to recover the reference
+///    graph, computes retained sizes via a dominator tree (Cooper-Harvey-
+///    Kennedy over the rooted graph), and reports the top-N dominators
+///    with a sample root path (stack frame + slot from the frame roots).
+///
+/// The profiler is paused during the post-GC verify pass (which re-runs
+/// the tracers) exactly like the telemetry census, so its per-collection
+/// tallies see each live object once. Snapshot invariant: the per-kind
+/// byte totals of a snapshot sum to the bytes the collection covered
+/// (full heap for full/major collections, survivors + promotions for a
+/// minor), and the per-site object totals sum to the same object count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_HEAPPROFILE_H
+#define TFGC_SUPPORT_HEAPPROFILE_H
+
+#include "runtime/Value.h"
+#include "support/Telemetry.h"
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+/// Debug label of one allocation site (mirrors gcmeta's AllocSiteDebug;
+/// duplicated here so the support layer does not depend on the IR).
+struct AllocSiteDesc {
+  std::string Func;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string TypeStr;
+};
+
+/// A labeled stack root captured for the retention pass.
+struct HeapRoot {
+  uint32_t Func = ~0u; ///< Index into the function-name table.
+  uint32_t Slot = 0;
+  Word Value = 0;
+};
+
+/// One retained-size report row.
+struct RetainerInfo {
+  Word Addr = 0;
+  uint32_t Site = ~0u;
+  CensusKind Kind = CensusKind::NumKinds;
+  uint64_t SelfBytes = 0;
+  uint64_t RetainedBytes = 0;
+  std::vector<std::string> Path; ///< Sample root path, root first.
+};
+
+class HeapProfiler {
+public:
+  /// Site id used for objects whose allocation predates profiling (or
+  /// whose address was never logged).
+  static constexpr uint32_t UnknownSite = ~0u;
+
+  struct Tally {
+    uint64_t Objects = 0;
+    uint64_t Words = 0;
+  };
+
+  /// The profile of one collection (the latest one traced). Overwritten
+  /// per collection; `tfgc --heap-snapshot` serializes the last one.
+  struct Snapshot {
+    bool Valid = false;
+    uint64_t Seq = 0;
+    GcEventKind Kind = GcEventKind::Full;
+    uint64_t CoveredBytes = 0; ///< Live bytes the trace covered.
+    uint64_t Objects = 0;
+    uint64_t Words = 0;
+    std::array<Tally, NumCensusKinds> ByKind{};
+    /// Indexed by AllocSiteId; [numSites()] is the unknown bucket. Empty
+    /// when site tracking is off.
+    std::vector<Tally> BySite;
+    bool HasGenSplit = false;
+    Tally Nursery, Tenured;
+    std::vector<RetainerInfo> Retainers;
+    bool RetainersComputed = false;
+
+    uint64_t kindBytes() const {
+      uint64_t S = 0;
+      for (const Tally &T : ByKind)
+        S += T.Words;
+      return S * sizeof(Word);
+    }
+  };
+
+  // -- Configuration (driver / test harness) --------------------------------
+
+  /// Master switch; every hook is a cheap no-op while disabled.
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  /// Installs the allocation-site table and turns site attribution on.
+  void setSites(std::vector<AllocSiteDesc> S);
+  size_t numSites() const { return Sites.size(); }
+  bool siteTracking() const { return !Sites.empty(); }
+
+  /// Function names for labeling retention roots ("name:slotN").
+  void setFunctionNames(std::vector<std::string> Names) {
+    FuncNames = std::move(Names);
+  }
+
+  /// Report the top \p N retainers after each full/major collection
+  /// (0 disables the retention pass entirely).
+  void setRetainers(unsigned N) { TopRetainers = N; }
+  bool wantsRetention() const { return Enabled && TopRetainers > 0; }
+
+  /// Object words include a header word under the tagged model; the edge
+  /// scan must skip it and filter candidates by the pointer tag.
+  void setTaggedHeaders(bool T) { TaggedHeaders = T; }
+
+  void setLabel(std::string L) { Label = std::move(L); }
+
+  // -- Mutator hot path -----------------------------------------------------
+
+  /// Called after every successful allocation. \p Addr is the payload
+  /// address (what the tracers later see as the object reference). One
+  /// counter bump + one push_back; the per-site counts are derived from
+  /// the log at collection time so the mutator touches as little profiler
+  /// state as possible.
+  void recordAlloc(uint32_t AllocId, Word Addr) {
+    if (!Enabled)
+      return;
+    ++AllocTotal;
+    if (AllocId < SiteAllocCounts.size())
+      AddrLog.push_back({Addr, AllocId});
+  }
+
+  uint64_t allocTotal() const { return AllocTotal; }
+  uint64_t allocCount(uint32_t Site) const {
+    uint64_t N = SiteAllocCounts[Site];
+    for (const AddrSite &E : AddrLog) // Pending, not yet folded in.
+      if (E.Site == Site)
+        ++N;
+    return N;
+  }
+
+  // -- Collection lifecycle (driven by the collector) -----------------------
+
+  /// Starts profiling one collection: resets the per-collection tallies
+  /// and merges the allocation log into the address side table.
+  /// \p IsTenured classifies *new* (post-trace) addresses for the
+  /// nursery/tenured split; pass nullptr outside the generational
+  /// algorithm.
+  void beginCollection(GcEventKind Kind, std::function<bool(Word)> IsTenured);
+
+  /// A copying grow-loop retraces the survivors in a fresh round; the
+  /// previous round's new addresses become this round's old addresses.
+  void beginTraceRound();
+
+  /// While paused, visits are ignored (the post-GC verify pass re-runs
+  /// the tracing code).
+  void setPaused(bool P) { Paused = P; }
+
+  /// First-visit hook, paired with the telemetry census: \p Words is the
+  /// object's census size (payload, +1 header word under tagged).
+  void recordVisit(Word OldRef, Word NewRef, CensusKind K, uint64_t Words);
+
+  /// Ends the collection: rebuilds the side table for the next cycle
+  /// (keeping unvisited entries that \p KeepUnvisited says survived — the
+  /// tenured objects a minor collection never traces), snapshots the
+  /// tallies, and (when enabled and the collection covered the full
+  /// graph) runs the retention pass over \p Roots.
+  void finishCollection(uint64_t CoveredBytes,
+                        const std::function<bool(Word)> &KeepUnvisited,
+                        std::vector<HeapRoot> Roots);
+
+  bool inCollection() const { return InCollection; }
+  uint64_t visitObjectsTotal() const { return VisitObjectsTotal; }
+
+  // -- Results --------------------------------------------------------------
+
+  const Snapshot &snapshot() const { return Snap; }
+  const AllocSiteDesc &site(uint32_t Id) const { return Sites[Id]; }
+
+  /// Serializes the latest snapshot (plus cumulative allocation counts)
+  /// as one JSON document; `tools/heap_report.py` renders and diffs it.
+  void writeSnapshotJson(std::ostream &OS) const;
+
+private:
+  struct AddrSite {
+    Word Addr;
+    uint32_t Site;
+  };
+  struct ObjRec {
+    Word Addr;
+    uint32_t Site;
+    CensusKind Kind;
+    uint64_t Words;
+  };
+
+  void resetCollectionTallies();
+  void buildLookupIndex();
+  uint32_t lookupSite(Word OldRef);
+  void computeRetention(const std::vector<HeapRoot> &Roots);
+
+  bool Enabled = false;
+  bool Paused = false;
+  bool InCollection = false;
+  bool TaggedHeaders = false;
+  unsigned TopRetainers = 0;
+  std::string Label;
+
+  std::vector<AllocSiteDesc> Sites;
+  std::vector<std::string> FuncNames;
+  std::vector<uint64_t> SiteAllocCounts; ///< Flat, indexed by AllocSiteId.
+  uint64_t AllocTotal = 0;
+  uint64_t VisitObjectsTotal = 0;
+
+  /// Address → site across collections. Table holds the survivors of the
+  /// last collection (sorted by address); AddrLog the allocations since.
+  /// beginCollection merges them into Lookup; visits consume Lookup
+  /// entries and refill NextTable with post-trace addresses.
+  ///
+  /// Under the generational algorithm the table is partitioned: entries
+  /// whose object lives in tenured space sit in TenSet, which a minor
+  /// collection never merges, scans, or sorts — a minor trace cannot
+  /// visit a tenured object, so its lookup set is nursery-bounded
+  /// (Table young survivors + AddrLog) no matter how large the tenured
+  /// generation grows. Promotions append to TenSet at minor finish;
+  /// major/full collections consume TenSet wholesale and rebuild it from
+  /// the visit stream.
+  std::vector<AddrSite> Table;
+  std::vector<AddrSite> TenSet; ///< Unsorted; bump addresses are unique.
+  std::vector<AddrSite> AddrLog;
+  std::vector<AddrSite> Lookup;
+  std::vector<AddrSite> NextTable;
+  std::vector<uint8_t> Consumed; ///< Parallel to Lookup.
+  bool MinorScope = false; ///< Current collection traces the nursery only.
+
+  /// O(1) visit-time lookup: word-granular slots, each holding
+  /// (epoch << 24 | Lookup index). The sorted table is clustered into
+  /// contiguous address regions (a >64 KiB gap starts a new region — the
+  /// young, tenured, and semispace blocks are separate allocations that
+  /// can sit anywhere in memory), and the regions share one compact slot
+  /// array, so gaps between spaces cost nothing. Stale slots are skipped
+  /// by epoch compare, so rebuilding never clears the array. When the
+  /// summed spans outgrow DenseSlotCap (or the address set fragments into
+  /// too many regions), lookupSite falls back to binary search.
+  struct DenseRegion {
+    Word Base = 0;
+    Word End = 0; ///< Last entry address (inclusive).
+    uint64_t SlotOff = 0;
+  };
+  static constexpr uint64_t DenseSlotCap = 1u << 22; ///< 16 MiB aux max.
+  static constexpr size_t MaxDenseRegions = 16;
+  std::vector<uint32_t> Dense; ///< 8-bit epoch | 24-bit Lookup index.
+  std::vector<DenseRegion> Regions;
+  bool DenseValid = false;
+  uint32_t DenseEpoch = 0; ///< Runs 1..255; Dense is cleared on wrap.
+  std::vector<AddrSite> MergeScratch;
+
+  /// Per-collection tallies (current collection while tracing).
+  std::array<Tally, NumCensusKinds> CurKind{};
+  std::vector<Tally> CurSite; ///< numSites()+1; last = unknown.
+  Tally CurNursery, CurTenured;
+  uint64_t CurObjects = 0, CurWords = 0;
+  GcEventKind CurEventKind = GcEventKind::Full;
+  std::function<bool(Word)> IsTenured;
+  uint64_t Collections = 0;
+
+  /// Live-object records for the retention pass (only filled when
+  /// wantsRetention()).
+  std::vector<ObjRec> Objects;
+
+  Snapshot Snap;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_HEAPPROFILE_H

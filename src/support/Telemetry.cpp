@@ -231,6 +231,10 @@ void Telemetry::emitTraceEvents(const GcEvent &E) {
        << ", \"pid\": 1, \"tid\": 1}";
     Cursor += E.PhaseNs[I];
   }
+  // Flush per event: a crashed or aborted run still leaves every
+  // completed collection in the trace file (endTrace only appends the
+  // closing bracket, which Perfetto tolerates missing).
+  OS.flush();
 }
 
 void Telemetry::endTrace() {

@@ -86,7 +86,7 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
     }
     Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
     if (P)
-      return P;
+      return finishAlloc(P, Site);
     Opts.Coord->requestGc(PayloadWords);
     Blocked = true;
     return nullptr;
@@ -99,12 +99,12 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
 
   Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
   if (P)
-    return P;
+    return finishAlloc(P, Site);
   Col.collect(Roots, PayloadWords);
   P = Col.tryAllocatePayload(PayloadWords, Kind);
   if (!P)
     fail("out of memory");
-  return P;
+  return finishAlloc(P, Site);
 }
 
 Word Vm::makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok) {

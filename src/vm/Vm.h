@@ -147,6 +147,16 @@ private:
   /// collecting when needed. Returns the payload or null on OOM.
   Word *allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
                  uint32_t FrameIdx);
+
+  /// Every successful allocation funnels through here; with a heap
+  /// profiler attached it logs (site, address) for allocation-site
+  /// attribution. One null check when profiling is off.
+  Word *finishAlloc(Word *P, CallSiteId Site) {
+    if (P)
+      if (HeapProfiler *Prof = Col.heapProfiler()) [[unlikely]]
+        Prof->recordAlloc(Prog.site(Site).AllocId, (Word)(uintptr_t)P);
+    return P;
+  }
   bool fail(const std::string &Message);
 
   Word makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok);

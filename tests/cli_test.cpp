@@ -1,0 +1,167 @@
+//===- tests/cli_test.cpp - tfgc command-line driver tests ----------------===//
+///
+/// Exercises the CLI as a library (driver/Cli.h): the flag table vs usage
+/// text (a flag cannot be parsed without being documented), option
+/// parsing including implied flags, and runTfgc() end-to-end behavior —
+/// exit codes, and the guarantee that diagnostic artifacts (trace, stats
+/// JSON, heap snapshot) land on disk even when the run fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Cli.h"
+#include "workloads/Programs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+bool parseOk(const std::vector<std::string> &Args, CliOptions &O) {
+  std::string Err;
+  bool HelpOnly = false;
+  bool Ok = parseCli(Args, O, Err, HelpOnly);
+  EXPECT_TRUE(Ok) << Err;
+  EXPECT_FALSE(HelpOnly);
+  return Ok;
+}
+
+std::string tmpPath(const char *Name) {
+  return ::testing::TempDir() + "tfgc_cli_test_" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+TEST(Cli, EveryParsedFlagIsDocumented) {
+  // The parser walks cliFlags() and the usage text is rendered from it,
+  // so this holds by construction — the test pins the contract so a
+  // future hand-rolled parse branch cannot silently bypass the table.
+  std::string Usage = usageText();
+  ASSERT_FALSE(cliFlags().empty());
+  for (const CliFlag &F : cliFlags()) {
+    EXPECT_NE(Usage.find(F.Name), std::string::npos)
+        << "flag " << F.Name << " missing from usage text";
+    ASSERT_NE(F.Help, nullptr);
+    EXPECT_NE(Usage.find(F.Help), std::string::npos)
+        << "help for " << F.Name << " missing from usage text";
+  }
+}
+
+TEST(Cli, ParsesRepresentativeCommandLine) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--strategy=tagged", "--algo=generational",
+                       "--heap=65536", "--nursery-bytes=4096", "--stress",
+                       "--verify", "--stats", "-e", "1 + 2"},
+                      O));
+  EXPECT_EQ(O.Strategy, GcStrategy::Tagged);
+  EXPECT_EQ(O.Algo, GcAlgorithm::Generational);
+  EXPECT_EQ(O.HeapBytes, 65536u);
+  EXPECT_EQ(O.NurseryBytes, 4096u);
+  EXPECT_TRUE(O.Stress);
+  EXPECT_TRUE(O.Verify);
+  EXPECT_TRUE(O.ShowStats);
+  EXPECT_TRUE(O.HaveSource);
+  EXPECT_EQ(O.Source, "1 + 2");
+  EXPECT_FALSE(O.HeapProfile);
+}
+
+TEST(Cli, SnapshotAndRetainersImplyHeapProfile) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--heap-snapshot=/tmp/s.json", "-e", "1"}, O));
+  EXPECT_TRUE(O.HeapProfile);
+  EXPECT_EQ(O.HeapSnapshotPath, "/tmp/s.json");
+
+  CliOptions O2;
+  ASSERT_TRUE(parseOk({"--retainers=7", "-e", "1"}, O2));
+  EXPECT_TRUE(O2.HeapProfile);
+  EXPECT_EQ(O2.Retainers, 7u);
+}
+
+TEST(Cli, RejectsUnknownFlagAndMissingValue) {
+  CliOptions O;
+  std::string Err;
+  bool HelpOnly = false;
+  EXPECT_FALSE(parseCli({"--bogus"}, O, Err, HelpOnly));
+  EXPECT_NE(Err.find("--bogus"), std::string::npos) << Err;
+
+  Err.clear();
+  EXPECT_FALSE(parseCli({"-e"}, O, Err, HelpOnly));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Cli, HelpRequestsUsage) {
+  CliOptions O;
+  std::string Err;
+  bool HelpOnly = false;
+  EXPECT_TRUE(parseCli({"--help"}, O, Err, HelpOnly));
+  EXPECT_TRUE(HelpOnly);
+}
+
+TEST(Cli, ExitCodeZeroOnSuccess) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"-e", "let val x = 20 in x + 22 end"}, O));
+  EXPECT_EQ(runTfgc(O), 0);
+}
+
+TEST(Cli, ExitCodeOneOnCompileError) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"-e", "let val x = in x end"}, O));
+  EXPECT_EQ(runTfgc(O), 1);
+}
+
+TEST(Cli, VerifyViolationExitsThreeAndStillFlushesArtifacts) {
+  // The satellite guarantee: a failing verify run must not lose its
+  // diagnostics. Force violations with the injection hook and require the
+  // trace, stats JSON, and heap snapshot to be complete on disk even
+  // though the process exits non-zero.
+  std::string Trace = tmpPath("trace.json");
+  std::string StatsJson = tmpPath("stats.json");
+  std::string Snap = tmpPath("snap.json");
+  std::remove(Trace.c_str());
+  std::remove(StatsJson.c_str());
+  std::remove(Snap.c_str());
+
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--stress", "--heap=16384", "--verify",
+                       "--inject-verify-violation",
+                       "--trace-out=" + Trace, "--stats-json=" + StatsJson,
+                       "--heap-snapshot=" + Snap, "-e",
+                       wl::listChurn(20, 3)},
+                      O));
+  EXPECT_EQ(runTfgc(O), 3);
+
+  std::string TraceDoc = slurp(Trace);
+  EXPECT_NE(TraceDoc.find("traceEvents"), std::string::npos) << Trace;
+  std::string StatsDoc = slurp(StatsJson);
+  EXPECT_NE(StatsDoc.find("gc.collections"), std::string::npos)
+      << StatsJson;
+  EXPECT_NE(StatsDoc.find("gc.verify_violations"), std::string::npos)
+      << StatsJson;
+  std::string SnapDoc = slurp(Snap);
+  EXPECT_NE(SnapDoc.find("tfgc-heap-profile"), std::string::npos) << Snap;
+  EXPECT_NE(SnapDoc.find("\"valid\": true"), std::string::npos) << Snap;
+
+  std::remove(Trace.c_str());
+  std::remove(StatsJson.c_str());
+  std::remove(Snap.c_str());
+}
+
+TEST(Cli, VerifyCleanRunExitsZero) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--stress", "--heap=16384", "--verify", "-e",
+                       wl::listChurn(20, 3)},
+                      O));
+  EXPECT_EQ(runTfgc(O), 0);
+}
+
+} // namespace

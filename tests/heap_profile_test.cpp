@@ -1,0 +1,236 @@
+//===- tests/heap_profile_test.cpp - Heap profiler tests ------------------===//
+///
+/// Covers the tag-free heap profiler: the snapshot invariant (per-kind
+/// bytes sum to the bytes the collection covered, per-site tallies sum to
+/// the same totals) under post-GC verification for every strategy and
+/// algorithm, visit totals against the collector's own counters, site
+/// attribution surviving semispace flips and promotion, the generational
+/// nursery/tenured split, retention diagnostics, and the snapshot JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "support/HeapProfile.h"
+#include "workloads/Programs.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace tfgc;
+using namespace tfgc::test;
+namespace wl = tfgc::workloads;
+
+namespace {
+
+struct ProfiledRun {
+  Stats St;
+  std::unique_ptr<CompiledProgram> P;
+  std::unique_ptr<Collector> Col;
+  HeapProfiler Prof;
+};
+
+/// Runs \p Source with the profiler attached (and optionally post-GC
+/// verification and retention) under stress so collections are frequent.
+std::unique_ptr<ProfiledRun>
+runProfiled(const std::string &Source, GcStrategy S,
+            GcAlgorithm A = GcAlgorithm::Copying, size_t HeapBytes = 1 << 14,
+            bool Verify = false, unsigned Retainers = 0,
+            size_t NurseryBytes = 0) {
+  auto R = std::make_unique<ProfiledRun>();
+  Compiled C = compile(Source);
+  EXPECT_TRUE(C.P) << C.Error;
+  if (!C.P)
+    return nullptr;
+  R->P = std::move(C.P);
+  std::string Error;
+  R->Col =
+      R->P->makeCollector(S, A, HeapBytes, R->St, &Error, NurseryBytes);
+  EXPECT_TRUE(R->Col) << Error;
+  if (!R->Col)
+    return nullptr;
+  R->Col->setVerifyAfterGc(Verify);
+  attachHeapProfiler(*R->P, S, *R->Col, R->Prof);
+  R->Prof.setRetainers(Retainers);
+  Vm M(R->P->Prog, R->P->Image, *R->P->Types, *R->Col,
+       defaultVmOptions(S, /*GcStress=*/true));
+  RunResult Run = M.run();
+  EXPECT_TRUE(Run.Ok) << Run.Error << " under " << gcStrategyName(S);
+  return R;
+}
+
+uint64_t siteObjects(const HeapProfiler::Snapshot &Snap) {
+  uint64_t N = 0;
+  for (const HeapProfiler::Tally &T : Snap.BySite)
+    N += T.Objects;
+  return N;
+}
+
+uint64_t siteWords(const HeapProfiler::Snapshot &Snap) {
+  uint64_t N = 0;
+  for (const HeapProfiler::Tally &T : Snap.BySite)
+    N += T.Words;
+  return N;
+}
+
+void expectSnapshotInvariant(const HeapProfiler &Prof, const char *Label) {
+  const HeapProfiler::Snapshot &Snap = Prof.snapshot();
+  ASSERT_TRUE(Snap.Valid) << Label << ": no collection ran";
+  EXPECT_EQ(Snap.kindBytes(), Snap.CoveredBytes) << Label;
+  EXPECT_EQ(Snap.Words * sizeof(Word), Snap.CoveredBytes) << Label;
+  ASSERT_EQ(Snap.BySite.size(), Prof.numSites() + 1) << Label;
+  EXPECT_EQ(siteObjects(Snap), Snap.Objects) << Label;
+  EXPECT_EQ(siteWords(Snap), Snap.Words) << Label;
+  // Every allocation goes through a lowered site, so nothing should land
+  // in the unknown bucket.
+  EXPECT_EQ(Snap.BySite.back().Objects, 0u) << Label << ": unknown bucket";
+}
+
+TEST(HeapProfile, SnapshotInvariantEveryStrategyAndAlgorithmUnderVerify) {
+  // The core guarantee: after any collection, attributing every visited
+  // object to a reconstructed kind and an allocation site loses nothing —
+  // the per-kind bytes are exactly the bytes the collection covered, the
+  // per-site tallies are exactly the visit totals — and the verify pass
+  // (which re-runs the tracers) does not double-count.
+  for (GcStrategy S : AllStrategies)
+    for (GcAlgorithm A : AllAlgorithms) {
+      std::string Label = std::string(gcStrategyName(S)) + "/" +
+                          gcAlgorithmName(A);
+      auto R =
+          runProfiled(wl::listChurn(30, 10), S, A, 1 << 14,
+                      /*Verify=*/true, /*Retainers=*/0,
+                      A == GcAlgorithm::Generational ? 1 << 12 : 0);
+      ASSERT_TRUE(R) << Label;
+      EXPECT_EQ(R->St.get(StatId::GcVerifyViolations), 0u) << Label;
+      EXPECT_GT(R->St.get(StatId::GcCollections), 0u) << Label;
+      expectSnapshotInvariant(R->Prof, Label.c_str());
+    }
+}
+
+TEST(HeapProfile, VisitTotalsMatchGcCounters) {
+  // Without verification, the profiler's first-visit hook fires exactly
+  // when the collector's gc.objects_visited counter increments.
+  for (GcStrategy S : AllStrategies) {
+    auto R = runProfiled(wl::listChurn(30, 10), S);
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Prof.visitObjectsTotal(),
+              R->St.get(StatId::GcObjectsVisited))
+        << gcStrategyName(S);
+  }
+}
+
+TEST(HeapProfile, VerifyPassIsExcludedFromProfile) {
+  // The verify pass re-traces the heap, inflating gc.objects_visited past
+  // the profiler's totals — the profiler is paused for it, so snapshot
+  // tallies stay single-counted.
+  auto R = runProfiled(wl::listChurn(30, 10), GcStrategy::CompiledTagFree,
+                       GcAlgorithm::Copying, 1 << 14, /*Verify=*/true);
+  ASSERT_TRUE(R);
+  EXPECT_LT(R->Prof.visitObjectsTotal(),
+            R->St.get(StatId::GcObjectsVisited));
+  expectSnapshotInvariant(R->Prof, "verify-paused");
+}
+
+TEST(HeapProfile, SiteAttributionSurvivesPromotion) {
+  // Generational run with a long-lived retained list: objects move
+  // nursery -> survivor -> tenured, and across a major the whole tenured
+  // space compacts. The side table must follow every move — if it lost an
+  // object, the unknown bucket would catch its next visit.
+  auto R = runProfiled(wl::generationalChurn(60, 10, 120),
+                       GcStrategy::CompiledTagFree,
+                       GcAlgorithm::Generational, 1 << 16,
+                       /*Verify=*/true, /*Retainers=*/0,
+                       /*NurseryBytes=*/1 << 12);
+  ASSERT_TRUE(R);
+  expectSnapshotInvariant(R->Prof, "generational");
+  const HeapProfiler::Snapshot &Snap = R->Prof.snapshot();
+  EXPECT_TRUE(Snap.HasGenSplit);
+  EXPECT_EQ(Snap.Nursery.Objects + Snap.Tenured.Objects, Snap.Objects);
+  EXPECT_EQ(Snap.Nursery.Words + Snap.Tenured.Words, Snap.Words);
+  // The same invariant held for the tagged model's generational heap in
+  // the all-combinations test; here additionally check attribution depth:
+  // allocation counts were recorded for at least one real site.
+  EXPECT_GT(R->Prof.allocTotal(), 0u);
+  bool AnySite = false;
+  for (uint32_t I = 0; I < R->Prof.numSites(); ++I)
+    AnySite = AnySite || R->Prof.allocCount(I) > 0;
+  EXPECT_TRUE(AnySite);
+}
+
+TEST(HeapProfile, RetentionReportsDominators) {
+  // generationalChurn retains a list for the whole run; under the plain
+  // copying algorithm every collection is a full one, so the last
+  // snapshot's retention pass sees that list rooted in a frame slot.
+  auto R = runProfiled(wl::generationalChurn(100, 10, 30),
+                       GcStrategy::CompiledTagFree, GcAlgorithm::Copying,
+                       1 << 14, /*Verify=*/true, /*Retainers=*/5);
+  ASSERT_TRUE(R);
+  const HeapProfiler::Snapshot &Snap = R->Prof.snapshot();
+  ASSERT_TRUE(Snap.Valid);
+  ASSERT_TRUE(Snap.RetainersComputed);
+  ASSERT_FALSE(Snap.Retainers.empty());
+  EXPECT_LE(Snap.Retainers.size(), 5u);
+  uint64_t Prev = ~0ull;
+  for (const RetainerInfo &RI : Snap.Retainers) {
+    EXPECT_GE(RI.RetainedBytes, RI.SelfBytes);
+    EXPECT_LE(RI.RetainedBytes, Prev); // Ranked by retained size.
+    EXPECT_FALSE(RI.Path.empty());
+    Prev = RI.RetainedBytes;
+  }
+  // The top dominator retains at most the whole covered heap.
+  EXPECT_LE(Snap.Retainers.front().RetainedBytes, Snap.CoveredBytes);
+}
+
+TEST(HeapProfile, MinorCollectionsSkipRetention) {
+  // A minor collection's object list covers the young generation only;
+  // dominator math over it would misattribute, so it is skipped.
+  auto R = runProfiled(wl::generationalChurn(60, 10, 120),
+                       GcStrategy::CompiledTagFree,
+                       GcAlgorithm::Generational, 1 << 16,
+                       /*Verify=*/false, /*Retainers=*/5,
+                       /*NurseryBytes=*/1 << 12);
+  ASSERT_TRUE(R);
+  const HeapProfiler::Snapshot &Snap = R->Prof.snapshot();
+  ASSERT_TRUE(Snap.Valid);
+  if (Snap.Kind == GcEventKind::Minor)
+    EXPECT_FALSE(Snap.RetainersComputed);
+  else
+    EXPECT_TRUE(Snap.RetainersComputed);
+}
+
+TEST(HeapProfile, SnapshotJsonContainsSchemaAndTallies) {
+  auto R = runProfiled(wl::listChurn(30, 10), GcStrategy::CompiledTagFree,
+                       GcAlgorithm::Copying, 1 << 14, /*Verify=*/false,
+                       /*Retainers=*/3);
+  ASSERT_TRUE(R);
+  R->Prof.setLabel("test/copying");
+  std::ostringstream OS;
+  R->Prof.writeSnapshotJson(OS);
+  std::string J = OS.str();
+  EXPECT_NE(J.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"tool\": \"tfgc-heap-profile\""), std::string::npos);
+  EXPECT_NE(J.find("\"label\": \"test/copying\""), std::string::npos);
+  EXPECT_NE(J.find("\"valid\": true"), std::string::npos);
+  EXPECT_NE(J.find("\"by_kind\""), std::string::npos);
+  EXPECT_NE(J.find("\"by_site\""), std::string::npos);
+  EXPECT_NE(J.find("\"alloc_sites\""), std::string::npos);
+  EXPECT_NE(J.find("\"retainers\""), std::string::npos);
+  // Braces and brackets balance (cheap structural sanity; the Python
+  // reporter in tools/heap_report.py parses the real thing in CI).
+  EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
+            std::count(J.begin(), J.end(), '}'));
+  EXPECT_EQ(std::count(J.begin(), J.end(), '['),
+            std::count(J.begin(), J.end(), ']'));
+}
+
+TEST(HeapProfile, DisabledProfilerIsInert) {
+  // Without attachHeapProfiler the collector's hook pointer is null and a
+  // default-constructed profiler records nothing.
+  HeapProfiler Prof;
+  Prof.recordAlloc(0, 0x1000);
+  Prof.recordVisit(0x1000, 0x2000, CensusKind::Tuple, 2);
+  EXPECT_EQ(Prof.allocTotal(), 0u);
+  EXPECT_EQ(Prof.visitObjectsTotal(), 0u);
+  EXPECT_FALSE(Prof.snapshot().Valid);
+}
+
+} // namespace

@@ -5,237 +5,48 @@
 ///   tfgc [options] file.mml        run a program
 ///   tfgc [options] -e 'expr'       run inline source
 ///
-/// Options:
+/// The options are defined in one table in src/driver/Cli.cpp — run
+/// `tfgc --help` for the full list; highlights:
+///
 ///   --strategy=S       tagged | compiled (default) | interpreted | appel
 ///   --algo=A           copying (default) | marksweep | generational
 ///   --heap=BYTES       initial heap size (default 1 MiB)
-///   --nursery-bytes=N  generational only: nursery size carved out of the
-///                      heap (default heap/8)
-///   --stress           collect at every allocation
-///   --no-liveness      disable the live-variable analysis (paper 5.2)
-///   --no-gcpoints      disable the GC-point analysis (paper 5.1)
-///   --mono             reject polymorphic programs
-///   --monomorphise     clone polymorphic functions per instantiation
-///   --gloger-dummies   Goldberg & Gloger '92 rule: bind unreconstructible
-///                      type parameters to const_gc instead of rejecting
-///   --dump-ir          print the lowered IR and exit
-///   --dump-meta        print GC metadata statistics and exit
-///   --stats            print collector statistics after the run
-///   --gc-log           one structured log line per collection (stderr)
-///   --trace-out=FILE   write a Chrome trace_event JSON of every collection
-///                      (load in chrome://tracing or Perfetto)
-///   --stats-json=FILE  write counters, pause/phase histograms, and the
-///                      heap census as JSON after the run
+///   --verify           re-trace after every collection; exit 3 on
+///                      violations
+///   --gc-log / --trace-out=FILE / --stats-json=FILE
+///                      collection telemetry (log lines, Chrome trace,
+///                      counters+histograms JSON)
+///   --heap-profile     allocation-site + typed-heap profiling (tag-free:
+///                      attribution without per-object headers)
+///   --heap-snapshot=F  write the last collection's typed snapshot as
+///                      JSON (render with tools/heap_report.py)
+///   --retainers=N      retained-size diagnostics: top-N dominators with
+///                      a sample root path
+///
+/// Exit codes: 0 success, 1 compile/runtime error, 2 usage or I/O error,
+/// 3 verify violations. Diagnostic files are flushed even on abnormal
+/// exit.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
-#include "ir/Ir.h"
+#include "driver/Cli.h"
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 
 using namespace tfgc;
 
-namespace {
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: tfgc [options] file.mml | -e 'expr'\n"
-      "  --strategy=tagged|compiled|interpreted|appel   (default compiled)\n"
-      "  --algo=copying|marksweep|generational          (default copying)\n"
-      "  --heap=BYTES   --nursery-bytes=N  --stress  --stats\n"
-      "  --no-liveness  --no-gcpoints  --mono  --monomorphise  --gloger-dummies\n"
-      "  --dump-ir      --dump-meta\n"
-      "  --gc-log       --trace-out=FILE  --stats-json=FILE\n");
-}
-
-bool startsWith(const char *Arg, const char *Prefix, const char **Value) {
-  size_t N = std::strlen(Prefix);
-  if (std::strncmp(Arg, Prefix, N) != 0)
-    return false;
-  *Value = Arg + N;
-  return true;
-}
-
-} // namespace
-
 int main(int argc, char **argv) {
-  GcStrategy Strategy = GcStrategy::CompiledTagFree;
-  GcAlgorithm Algo = GcAlgorithm::Copying;
-  size_t HeapBytes = 1 << 20;
-  size_t NurseryBytes = 0;
-  bool Stress = false, DumpIr = false, DumpMeta = false, ShowStats = false;
-  bool GcLog = false;
-  std::string TraceOutPath, StatsJsonPath;
-  CompileOptions Options;
-  std::string Source;
-  bool HaveSource = false;
-
-  for (int I = 1; I < argc; ++I) {
-    const char *Arg = argv[I];
-    const char *Value = nullptr;
-    if (startsWith(Arg, "--strategy=", &Value)) {
-      if (!std::strcmp(Value, "tagged"))
-        Strategy = GcStrategy::Tagged;
-      else if (!std::strcmp(Value, "compiled"))
-        Strategy = GcStrategy::CompiledTagFree;
-      else if (!std::strcmp(Value, "interpreted"))
-        Strategy = GcStrategy::InterpretedTagFree;
-      else if (!std::strcmp(Value, "appel"))
-        Strategy = GcStrategy::AppelTagFree;
-      else {
-        std::fprintf(stderr, "unknown strategy '%s'\n", Value);
-        return 2;
-      }
-    } else if (startsWith(Arg, "--algo=", &Value)) {
-      if (!std::strcmp(Value, "copying"))
-        Algo = GcAlgorithm::Copying;
-      else if (!std::strcmp(Value, "marksweep"))
-        Algo = GcAlgorithm::MarkSweep;
-      else if (!std::strcmp(Value, "generational"))
-        Algo = GcAlgorithm::Generational;
-      else {
-        std::fprintf(stderr,
-                     "unknown algorithm '%s' (valid: copying | marksweep | "
-                     "generational)\n",
-                     Value);
-        return 2;
-      }
-    } else if (startsWith(Arg, "--heap=", &Value)) {
-      HeapBytes = (size_t)std::strtoull(Value, nullptr, 10);
-    } else if (startsWith(Arg, "--nursery-bytes=", &Value)) {
-      NurseryBytes = (size_t)std::strtoull(Value, nullptr, 10);
-    } else if (!std::strcmp(Arg, "--stress")) {
-      Stress = true;
-    } else if (!std::strcmp(Arg, "--no-liveness")) {
-      Options.UseLiveness = false;
-    } else if (!std::strcmp(Arg, "--no-gcpoints")) {
-      Options.UseGcPointAnalysis = false;
-    } else if (!std::strcmp(Arg, "--mono")) {
-      Options.RequireMonomorphic = true;
-    } else if (!std::strcmp(Arg, "--monomorphise")) {
-      Options.Monomorphise = true;
-    } else if (!std::strcmp(Arg, "--gloger-dummies")) {
-      Options.GlogerDummies = true;
-    } else if (!std::strcmp(Arg, "--dump-ir")) {
-      DumpIr = true;
-    } else if (!std::strcmp(Arg, "--dump-meta")) {
-      DumpMeta = true;
-    } else if (!std::strcmp(Arg, "--stats")) {
-      ShowStats = true;
-    } else if (!std::strcmp(Arg, "--gc-log")) {
-      GcLog = true;
-    } else if (startsWith(Arg, "--trace-out=", &Value)) {
-      TraceOutPath = Value;
-    } else if (startsWith(Arg, "--stats-json=", &Value)) {
-      StatsJsonPath = Value;
-    } else if (!std::strcmp(Arg, "-e")) {
-      if (++I >= argc) {
-        usage();
-        return 2;
-      }
-      Source = argv[I];
-      HaveSource = true;
-    } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
-      usage();
-      return 0;
-    } else if (Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg);
-      usage();
-      return 2;
-    } else {
-      std::ifstream In(Arg);
-      if (!In) {
-        std::fprintf(stderr, "cannot open '%s'\n", Arg);
-        return 2;
-      }
-      std::ostringstream Buf;
-      Buf << In.rdbuf();
-      Source = Buf.str();
-      HaveSource = true;
-    }
-  }
-  if (!HaveSource) {
-    usage();
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  CliOptions O;
+  std::string Err;
+  bool HelpOnly = false;
+  if (!parseCli(Args, O, Err, HelpOnly)) {
+    std::fprintf(stderr, "%s\n%s", Err.c_str(), usageText().c_str());
     return 2;
   }
-
-  Compiler C(Options);
-  std::string Error;
-  std::unique_ptr<CompiledProgram> P = C.compile(Source, &Error);
-  if (!P) {
-    std::fprintf(stderr, "%s", Error.c_str());
-    return 1;
-  }
-
-  if (DumpIr) {
-    std::printf("%s", printIr(P->Prog).c_str());
+  if (HelpOnly) {
+    std::fputs(usageText().c_str(), stdout);
     return 0;
   }
-  if (DumpMeta) {
-    std::printf("functions:            %zu\n", P->Prog.Functions.size());
-    std::printf("call sites:           %zu\n", P->Prog.Sites.size());
-    std::printf("gc_words omitted:     %zu\n", P->Image.omittedGcWords());
-    std::printf("frame routines:       %zu (no_trace sites: %zu)\n",
-                P->Compiled.numFrameRoutines(),
-                P->Compiled.numNoTraceSites());
-    std::printf("type routines:        %zu\n", P->Compiled.numTypeRoutines());
-    std::printf("compiled metadata:    %zu bytes\n", P->Compiled.sizeBytes());
-    std::printf("interpreted metadata: %zu bytes (%zu descriptors)\n",
-                P->Interp->sizeBytes(),
-                P->Interp->descriptors().numDescriptors());
-    std::printf("appel metadata:       %zu bytes\n", P->Appel->sizeBytes());
-    return 0;
-  }
-
-  Stats St;
-  std::unique_ptr<Collector> Col =
-      P->makeCollector(Strategy, Algo, HeapBytes, St, &Error, NurseryBytes);
-  if (!Col) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
-    return 1;
-  }
-  Telemetry &Tel = Col->telemetry();
-  Tel.setLabel(gcStrategyName(Strategy));
-  if (GcLog)
-    Tel.setLogStream(stderr);
-  std::ofstream TraceOut;
-  if (!TraceOutPath.empty()) {
-    TraceOut.open(TraceOutPath);
-    if (!TraceOut) {
-      std::fprintf(stderr, "cannot open '%s'\n", TraceOutPath.c_str());
-      return 2;
-    }
-    Tel.beginTrace(TraceOut);
-  }
-
-  Vm M(P->Prog, P->Image, *P->Types, *Col,
-       defaultVmOptions(Strategy, Stress));
-  RunResult R = M.run();
-
-  if (!TraceOutPath.empty())
-    Tel.endTrace();
-  if (!StatsJsonPath.empty()) {
-    std::ofstream JsonOut(StatsJsonPath);
-    if (!JsonOut) {
-      std::fprintf(stderr, "cannot open '%s'\n", StatsJsonPath.c_str());
-      return 2;
-    }
-    Tel.writeStatsJson(JsonOut, St);
-  }
-
-  if (!R.Output.empty())
-    std::fputs(R.Output.c_str(), stdout);
-  if (!R.Ok) {
-    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
-    return 1;
-  }
-  std::printf("%s\n", R.Value.c_str());
-  if (ShowStats)
-    std::fputs(St.render().c_str(), stderr);
-  return 0;
+  return runTfgc(O);
 }
