@@ -451,6 +451,8 @@ void Collector::publishTelemetryStats() {
     St.set("task.world_stop_delay_ns_p90", Stop.percentile(90));
     St.set("task.world_stop_delay_ns_p99", Stop.percentile(99));
   }
+  if (Mon)
+    Mon->publishStats(St);
 }
 
 size_t Collector::heapUsedBytes() const {

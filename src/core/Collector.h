@@ -23,6 +23,7 @@
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
 #include "support/HeapProfile.h"
+#include "support/Monitor.h"
 #include "support/Stats.h"
 #include "support/Telemetry.h"
 
@@ -74,6 +75,17 @@ public:
   /// first-visit stream as the telemetry census.
   void setHeapProfiler(HeapProfiler *P) { Prof = P; }
   HeapProfiler *heapProfiler() { return Prof; }
+
+  /// Attaches the mutator-side monitor (not owned; may be null). The
+  /// monitor adopts this collector's telemetry timebase and receives
+  /// every collection event; the VM polls monitor() at construction to
+  /// arm its sample-point fuel, so attach before creating VMs.
+  void setMonitor(Monitor *M) {
+    Mon = M;
+    if (M)
+      M->attachTelemetry(&Tel);
+  }
+  Monitor *monitor() { return Mon; }
 
   /// Flushes derived telemetry into the stats registry: pause percentiles
   /// (gc.pause_ns_p50/p90/p99), cumulative per-phase times
@@ -154,6 +166,7 @@ protected:
   Stats &St;
   Telemetry Tel;
   HeapProfiler *Prof = nullptr;
+  Monitor *Mon = nullptr;
   bool VerifyAfterGc = false;
   bool InjectVerifyViolation = false;
   std::unique_ptr<Heap> Copying;

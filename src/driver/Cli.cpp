@@ -51,6 +51,18 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
       {"--retainers", true,
        "report the top-N retainers by retained size after full/major "
        "collections (implies --heap-profile)"},
+      {"--monitor", false,
+       "mutator-side monitor: sampling profiler + MMU/utilization "
+       "tracking"},
+      {"--monitor-out", true,
+       "stream schema-versioned JSONL heartbeats and a final summary "
+       "(implies --monitor; render with tools/monitor_report.py)"},
+      {"--monitor-period-ms", true,
+       "heartbeat period for --monitor-out (default 50; requires "
+       "--monitor-out)"},
+      {"--monitor-sample-steps", true,
+       "VM steps between profiler samples (default 512; implies "
+       "--monitor)"},
       {"-e", true, "run inline source (the next argument is the program)"},
       {"--help", false, "print this help"},
       {"-h", false, "print this help"},
@@ -185,6 +197,16 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
     } else if (Name == "--retainers") {
       O.Retainers = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
       O.HeapProfile = true;
+    } else if (Name == "--monitor") {
+      O.Monitor = true;
+    } else if (Name == "--monitor-out") {
+      O.MonitorOutPath = Value;
+      O.Monitor = true;
+    } else if (Name == "--monitor-period-ms") {
+      O.MonitorPeriodMs = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Name == "--monitor-sample-steps") {
+      O.MonitorSampleSteps = std::strtoull(Value.c_str(), nullptr, 10);
+      O.Monitor = true;
     } else if (Name == "-e") {
       if (++I >= Args.size()) {
         Err = "-e needs an argument";
@@ -196,6 +218,10 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
       HelpOnly = true;
       return true;
     }
+  }
+  if (O.MonitorPeriodMs && O.MonitorOutPath.empty()) {
+    Err = "--monitor-period-ms requires --monitor-out";
+    return false;
   }
   if (!O.HaveSource) {
     Err = "no input program";
@@ -252,6 +278,27 @@ int tfgc::runTfgc(const CliOptions &O) {
                   gcAlgorithmName(O.Algo));
   }
 
+  Monitor::Options MonOpts;
+  MonOpts.SamplePeriodSteps = O.MonitorSampleSteps;
+  if (O.MonitorPeriodMs)
+    MonOpts.HeartbeatPeriodMs = O.MonitorPeriodMs;
+  Monitor Mon(MonOpts);
+  std::ofstream MonOut;
+  if (O.Monitor) {
+    Mon.setLabel(std::string(gcStrategyName(O.Strategy)) + "/" +
+                 gcAlgorithmName(O.Algo));
+    Mon.setStats(&St);
+    attachMonitor(*P, *Col, Mon);
+    if (!O.MonitorOutPath.empty()) {
+      MonOut.open(O.MonitorOutPath);
+      if (!MonOut) {
+        std::fprintf(stderr, "cannot open '%s'\n", O.MonitorOutPath.c_str());
+        return 2;
+      }
+      Mon.setStream(&MonOut);
+    }
+  }
+
   Telemetry &Tel = Col->telemetry();
   Tel.setLabel(gcStrategyName(O.Strategy));
   if (O.GcLog)
@@ -275,6 +322,8 @@ int tfgc::runTfgc(const CliOptions &O) {
   // trace, stats, and snapshot on disk for post-mortem analysis.
   if (!O.TraceOutPath.empty())
     Tel.endTrace();
+  if (O.Monitor)
+    Mon.finish();
   if (!O.StatsJsonPath.empty()) {
     std::ofstream JsonOut(O.StatsJsonPath);
     if (!JsonOut) {
@@ -301,6 +350,8 @@ int tfgc::runTfgc(const CliOptions &O) {
   std::printf("%s\n", R.Value.c_str());
   if (O.ShowStats)
     std::fputs(St.render().c_str(), stderr);
+  if (O.Monitor && O.ShowStats)
+    std::fputs(Mon.renderSummary().c_str(), stderr);
   if (O.Verify && St.get(StatId::GcVerifyViolations) > 0) {
     std::fprintf(stderr, "verify: %llu violation(s) detected\n",
                  (unsigned long long)St.get(StatId::GcVerifyViolations));

@@ -51,6 +51,12 @@ struct CliOptions {
   bool InjectVerifyViolation = false;
   bool HeapProfile = false;
   unsigned Retainers = 0;
+  bool Monitor = false;
+  std::string MonitorOutPath;
+  /// 0 means "not given" (the default of 50 is applied in runTfgc);
+  /// giving it without --monitor-out is a usage error.
+  uint64_t MonitorPeriodMs = 0;
+  uint64_t MonitorSampleSteps = 512;
   std::string HeapSnapshotPath;
   std::string TraceOutPath;
   std::string StatsJsonPath;

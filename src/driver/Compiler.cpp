@@ -158,6 +158,16 @@ void tfgc::attachHeapProfiler(const CompiledProgram &P, GcStrategy Strategy,
   Col.setHeapProfiler(&Prof);
 }
 
+void tfgc::attachMonitor(const CompiledProgram &P, Collector &Col,
+                         Monitor &Mon) {
+  std::vector<std::string> Names;
+  Names.reserve(P.Prog.Functions.size());
+  for (const IrFunction &F : P.Prog.Functions)
+    Names.push_back(F.Name);
+  Mon.setFunctionNames(std::move(Names));
+  Col.setMonitor(&Mon);
+}
+
 ExecResult tfgc::execProgram(const std::string &Source, GcStrategy Strategy,
                              GcAlgorithm Algo, size_t HeapBytes, bool GcStress,
                              CompileOptions Options, size_t NurseryBytes) {

@@ -100,6 +100,13 @@ VmOptions defaultVmOptions(GcStrategy Strategy, bool GcStress = false);
 void attachHeapProfiler(const CompiledProgram &P, GcStrategy Strategy,
                         Collector &Col, HeapProfiler &Prof);
 
+/// Wires the mutator monitor to \p Col: installs the program's function
+/// names for profile attribution and registers the monitor with the
+/// collector (which adopts it as the telemetry event sink). \p Mon must
+/// outlive \p Col's use; call before constructing the Vm — the VM arms
+/// its sample-point fuel at construction.
+void attachMonitor(const CompiledProgram &P, Collector &Col, Monitor &Mon);
+
 class Compiler {
 public:
   explicit Compiler(CompileOptions Options = {}) : Options(Options) {}

@@ -131,6 +131,8 @@ void Telemetry::finishCollection(uint64_t LiveWordsAfter,
   Ring[(size_t)(TotalCollections % Ring.size())] = Event;
   ++TotalCollections;
   InCollection = false;
+  if (Sink)
+    Sink->onGcEvent(Event);
 }
 
 const GcEvent &Telemetry::event(size_t I) const {

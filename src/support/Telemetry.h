@@ -181,10 +181,29 @@ struct GcEvent {
   }
 };
 
+/// Receives every completed collection event as it is folded into the
+/// aggregates (support/Monitor.h consumes these to maintain MMU curves).
+/// The callback runs inside the pause, after the event is closed; it must
+/// not re-enter the Telemetry.
+class GcEventSink {
+public:
+  virtual ~GcEventSink() = default;
+  virtual void onGcEvent(const GcEvent &E) = 0;
+};
+
 class Telemetry {
 public:
   static constexpr size_t DefaultRingCapacity = 1024;
   explicit Telemetry(size_t RingCapacity = DefaultRingCapacity);
+
+  /// Nanoseconds since this Telemetry was constructed — the timebase of
+  /// GcEvent::StartNs, exposed so mutator-side interval timestamps (the
+  /// monitor's MMU accounting) share the epoch of the pause spans.
+  uint64_t nowNs() const;
+
+  /// Registers \p S (nullptr disables) to observe every completed
+  /// collection event.
+  void setEventSink(GcEventSink *S) { Sink = S; }
 
   // -- Collection lifecycle (driven by Collector::collect) ------------------
   void beginCollection(GcEventKind Kind = GcEventKind::Full);
@@ -272,7 +291,6 @@ public:
   void writeStatsJson(std::ostream &OS, const Stats &St) const;
 
 private:
-  uint64_t nowNs() const;
   void emitLogLine(const GcEvent &E) const;
   void emitTraceEvents(const GcEvent &E);
 
@@ -297,6 +315,7 @@ private:
   std::FILE *LogStream = nullptr;
   std::ostream *TraceStream = nullptr;
   bool TraceFirstEvent = true;
+  GcEventSink *Sink = nullptr;
 };
 
 /// RAII phase span. Construction switches the telemetry (if any) into

@@ -16,6 +16,7 @@ void TaskingRuntime::spawnInt(FuncId Entry, const std::vector<int64_t> &Args) {
   VO.ZeroFrames = Opts.ZeroFrames;
   VO.Checks = Opts.Policy;
   VO.Coord = this;
+  VO.TaskIndex = (uint32_t)Tasks.size();
   Task T;
   T.Machine = std::make_unique<Vm>(Prog, Img, Types, Col, VO);
   std::vector<Word> Words;
@@ -78,12 +79,23 @@ bool TaskingRuntime::runAll() {
           AnyProgress = true;
           if (TotalSteps > Opts.MaxTotalSteps) {
             Results[Idx].Error = "step limit exceeded";
+            publishTaskStats();
             return false;
           }
           continue;
         }
         if (R == StepResult::BlockedOnGc) {
           T.BlockedForGc = true;
+          // This task just reached its safe point: its share of the
+          // world-stop latency is the time since the request (zero for
+          // the requesting task itself).
+          uint64_t DelayNs =
+              (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - RequestTime)
+                  .count();
+          T.StopDelayHist.record(DelayNs);
+          if (Monitor *M = Col.monitor())
+            M->recordTaskStopDelay((uint32_t)Idx, DelayNs);
           AnyProgress = true;
           break;
         }
@@ -124,9 +136,25 @@ bool TaskingRuntime::runAll() {
     }
   }
 
+  publishTaskStats();
   bool AllOk = true;
   for (const TaskResult &R : Results)
     if (!R.Ok)
       AllOk = false;
   return AllOk;
+}
+
+void TaskingRuntime::publishTaskStats() {
+  Stats &St = Col.stats();
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    std::string Base = "task." + std::to_string(I);
+    St.set(Base + ".mutator_steps", Tasks[I].Machine->steps());
+    const LogHistogram &H = Tasks[I].StopDelayHist;
+    if (!H.count())
+      continue;
+    St.set(Base + ".world_stop_delays", H.count());
+    St.set(Base + ".world_stop_delay_ns_p50", H.percentile(50));
+    St.set(Base + ".world_stop_delay_ns_p90", H.percentile(90));
+    St.set(Base + ".world_stop_delay_ns_p99", H.percentile(99));
+  }
 }

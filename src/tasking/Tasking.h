@@ -77,6 +77,11 @@ private:
     std::unique_ptr<Vm> Machine;
     bool Done = false;
     bool BlockedForGc = false;
+    /// Per-task request-to-safe-point delays, recorded at the moment this
+    /// task suspends for a pending collection (the global telemetry
+    /// histogram only sees the request-to-world-stop delay, i.e. the
+    /// slowest task; this one attributes the wait per task).
+    LogHistogram StopDelayHist;
   };
   std::vector<Task> Tasks;
   std::vector<TaskResult> Results;
@@ -88,6 +93,9 @@ private:
   std::chrono::steady_clock::time_point RequestTime;
 
   void collectWorld();
+  /// Publishes task.<i>.mutator_steps and task.<i>.world_stop_delay_*
+  /// into the stats registry (the per-task view of --stats-json).
+  void publishTaskStats();
 };
 
 } // namespace tfgc

@@ -16,6 +16,9 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
     this->Opts.ZeroFrames = true;
   GenBarriers = Col.algorithm() == GcAlgorithm::Generational;
   Collections0 = Col.stats().get(StatId::GcCollections);
+  Mon = Col.monitor();
+  if (Mon)
+    SampleFuel = Mon->samplePeriodSteps();
 }
 
 bool Vm::fail(const std::string &Message) {
@@ -28,6 +31,8 @@ void Vm::start(FuncId Entry, const std::vector<Word> &Args) {
   assert(!Started && "VM already started");
   EntryFn = Entry;
   Started = true;
+  if (Mon)
+    Mon->beginRun();
   pushFrame(Entry, Args.data(), (unsigned)Args.size(), false, 0, 0);
 }
 
@@ -143,6 +148,8 @@ StepResult Vm::step() {
   uint32_t Pc = Stack.Frames[FrameIdx].ResumeInstr;
   assert(Pc < Fn.Code.size() && "fell off the end of a function");
   const Instr &I = Fn.Code[Pc];
+  if (--SampleFuel == 0) [[unlikely]]
+    takeSample(FrameIdx, I.Op);
   Word *S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
   bool Tagged = Model == ValueModel::Tagged;
   uint32_t NextPc = Pc + 1;
@@ -506,8 +513,68 @@ std::string Vm::renderResult() {
   return renderValue(ReturnValue, ResultTy);
 }
 
+namespace {
+
+OpClass classifyOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadInt:
+  case Opcode::LoadFloat:
+  case Opcode::LoadBool:
+  case Opcode::LoadUnit:
+  case Opcode::Move:
+    return OpClass::Load;
+  case Opcode::Prim:
+  case Opcode::Print:
+    return OpClass::Prim;
+  case Opcode::MakeTuple:
+  case Opcode::MakeData:
+  case Opcode::MakeClosure:
+  case Opcode::MakeRef:
+    return OpClass::Alloc;
+  case Opcode::GetField:
+  case Opcode::GetTag:
+  case Opcode::SetClosureField:
+  case Opcode::RefLoad:
+  case Opcode::RefStore:
+    return OpClass::HeapAccess;
+  case Opcode::Jump:
+  case Opcode::Branch:
+    return OpClass::Branch;
+  case Opcode::Call:
+  case Opcode::CallIndirect:
+  case Opcode::Return:
+    return OpClass::Call;
+  default:
+    return OpClass::Other;
+  }
+}
+
+} // namespace
+
+void Vm::takeSample(uint32_t FrameIdx, Opcode Op) {
+  if (!Mon) {
+    SampleFuel = UINT64_MAX;
+    return;
+  }
+  SampleFuel = Mon->samplePeriodSteps();
+  const FrameInfo &F = Stack.Frames[FrameIdx];
+  uint32_t Caller = F.DynamicLink == NoFrame
+                        ? Monitor::NoFunc
+                        : Stack.Frames[F.DynamicLink].FuncId;
+  Monitor::SampleCounters SC;
+  SC.Steps = Steps;
+  SC.AllocBytes = Col.bytesAllocatedTotal();
+  SC.BarrierOps = Col.stats().get(StatId::GcBarrierOps) + BarrierOps;
+  SC.RemsetEntries = Col.stats().get(StatId::GcRemsetEntries);
+  Mon->recordSample(F.FuncId, Caller, classifyOp(Op), Opts.TaskIndex, SC);
+}
+
 void Vm::flushCounters() {
   Stats &St = Col.stats();
+  if (Mon) {
+    Mon->noteTaskSteps(Opts.TaskIndex, Steps);
+    Mon->endRun();
+  }
   St.set(StatId::VmSteps, Steps);
   St.set(StatId::VmTagOps, TagOps);
   St.set(StatId::VmFloatBoxes, FloatBoxes);

@@ -58,6 +58,9 @@ struct VmOptions {
   /// Tasking: suspension polling policy and the coordinator to poll.
   SuspendChecks Checks = SuspendChecks::None;
   GcCoordinator *Coord = nullptr;
+  /// This VM's task index in the monitor's per-task cells (0 for the
+  /// sequential VM; the tasking runtime numbers its tasks).
+  uint32_t TaskIndex = 0;
 };
 
 enum class StepResult : uint8_t {
@@ -102,6 +105,8 @@ public:
   Collector &collector() { return Col; }
   Stats &stats() { return Col.stats(); }
   const TaskStack &stack() const { return Stack; }
+  /// Instructions executed so far (the hot counter, not the Stats slot).
+  uint64_t steps() const { return Steps; }
 
   /// Flushes the hot counters (steps, tag ops, zeroed words, ...) into the
   /// stats registry; called automatically at the end of run().
@@ -140,6 +145,13 @@ private:
   bool GenBarriers = false;
   uint32_t MaxFrames = 0;
   uint32_t MaxSlotWords = 0;
+  /// Sampling monitor hook: the dispatch loop decrements SampleFuel once
+  /// per step and calls takeSample() when it hits zero. With no monitor
+  /// attached the fuel starts at UINT64_MAX, so the disabled hot-path
+  /// cost is one decrement plus one never-taken branch (the same
+  /// disabled-by-null discipline as finishAlloc below).
+  Monitor *Mon = nullptr;
+  uint64_t SampleFuel = UINT64_MAX;
 
   void pushFrame(FuncId Callee, const Word *Args, unsigned NumArgs,
                  bool HasSelf, Word Self, SlotIndex CallerDst);
@@ -158,6 +170,10 @@ private:
     return P;
   }
   bool fail(const std::string &Message);
+
+  /// Out-of-line sample point: attributes one profiler sample to the
+  /// current frame/opcode and re-arms SampleFuel.
+  void takeSample(uint32_t FrameIdx, Opcode Op);
 
   Word makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok);
   double readFloat(Word W) const;

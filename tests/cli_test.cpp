@@ -156,6 +156,66 @@ TEST(Cli, VerifyViolationExitsThreeAndStillFlushesArtifacts) {
   std::remove(Snap.c_str());
 }
 
+TEST(Cli, MonitorFlagsParseAndImplyMonitor) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--monitor-out=/tmp/m.jsonl", "--monitor-period-ms=5",
+                       "--monitor-sample-steps=256", "-e", "1"},
+                      O));
+  EXPECT_TRUE(O.Monitor);
+  EXPECT_EQ(O.MonitorOutPath, "/tmp/m.jsonl");
+  EXPECT_EQ(O.MonitorPeriodMs, 5u);
+  EXPECT_EQ(O.MonitorSampleSteps, 256u);
+
+  // --monitor alone turns on in-process monitoring without a stream.
+  CliOptions O2;
+  ASSERT_TRUE(parseOk({"--monitor", "-e", "1"}, O2));
+  EXPECT_TRUE(O2.Monitor);
+  EXPECT_TRUE(O2.MonitorOutPath.empty());
+}
+
+TEST(Cli, MonitorPeriodWithoutOutIsUsageError) {
+  // A heartbeat period with nowhere to stream is a contradiction the
+  // parser rejects; tools/tfgc.cpp maps that to exit code 2.
+  CliOptions O;
+  std::string Err;
+  bool HelpOnly = false;
+  EXPECT_FALSE(parseCli({"--monitor-period-ms=5", "-e", "1"}, O, Err,
+                        HelpOnly));
+  EXPECT_NE(Err.find("--monitor-out"), std::string::npos) << Err;
+}
+
+TEST(Cli, MonitorRunEmitsCheckableStreamAndStats) {
+  std::string Mon = tmpPath("mon.jsonl");
+  std::string StatsJson = tmpPath("mon_stats.json");
+  std::remove(Mon.c_str());
+  std::remove(StatsJson.c_str());
+
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--heap=32768", "--monitor-out=" + Mon,
+                       "--monitor-period-ms=1", "--monitor-sample-steps=64",
+                       "--stats-json=" + StatsJson, "-e",
+                       wl::listChurn(40, 8)},
+                      O));
+  EXPECT_EQ(runTfgc(O), 0);
+
+  std::string Doc = slurp(Mon);
+  EXPECT_NE(Doc.find("\"tool\": \"tfgc-monitor\""), std::string::npos) << Mon;
+  EXPECT_NE(Doc.find("\"type\": \"summary\""), std::string::npos) << Mon;
+  // Every line of the stream is syntactically valid JSON.
+  std::istringstream In(Doc);
+  std::string Line;
+  while (std::getline(In, Line))
+    EXPECT_TRUE(validJson(Line)) << Line.substr(0, 200);
+  // The monitor's counters surface in the stats JSON artifact.
+  std::string StatsDoc = slurp(StatsJson);
+  EXPECT_NE(StatsDoc.find("mon.samples"), std::string::npos) << StatsJson;
+  EXPECT_NE(StatsDoc.find("mon.mmu_10ms_ppm"), std::string::npos)
+      << StatsJson;
+
+  std::remove(Mon.c_str());
+  std::remove(StatsJson.c_str());
+}
+
 TEST(Cli, VerifyCleanRunExitsZero) {
   CliOptions O;
   ASSERT_TRUE(parseOk({"--stress", "--heap=16384", "--verify", "-e",

@@ -222,4 +222,85 @@ TEST(Tasking, SharedHeapObjectsStayCoherent) {
     EXPECT_EQ(W.Rt->results()[I].Value, Ref.Rt->results()[I].Value);
 }
 
+TEST(Tasking, PerTaskStepAndStopDelayStats) {
+  // Every task publishes task.<i>.mutator_steps, and tasks that were
+  // parked at a GC safe point publish a world-stop-delay histogram.
+  World W = makeWorld(wl::taskWorker(), GcStrategy::CompiledTagFree,
+                      SuspendChecks::AtEveryCall, 1 << 12);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 3; ++Seed)
+    W.Rt->spawnInt(Worker, {Seed, 30});
+  ASSERT_TRUE(W.Rt->runAll());
+  ASSERT_GT(W.St.get("task.world_stops"), 0u);
+
+  uint64_t TotalSteps = 0, TotalDelays = 0;
+  for (int I = 0; I < 3; ++I) {
+    std::string Base = "task." + std::to_string(I);
+    uint64_t Steps = W.St.get(Base + ".mutator_steps");
+    EXPECT_GT(Steps, 0u) << Base;
+    TotalSteps += Steps;
+    uint64_t Delays = W.St.get(Base + ".world_stop_delays");
+    TotalDelays += Delays;
+    if (Delays > 0) {
+      // Percentiles come from a log histogram: monotone, and present
+      // exactly when the count is.
+      uint64_t P50 = W.St.get(Base + ".world_stop_delay_ns_p50");
+      uint64_t P90 = W.St.get(Base + ".world_stop_delay_ns_p90");
+      uint64_t P99 = W.St.get(Base + ".world_stop_delay_ns_p99");
+      EXPECT_LE(P50, P90) << Base;
+      EXPECT_LE(P90, P99) << Base;
+    }
+  }
+  // Each VM's counter flush sets the shared vm.steps stat (last writer
+  // wins), so the per-task split is the only complete accounting; it
+  // dominates any single task's count.
+  EXPECT_GE(TotalSteps, W.St.get(StatId::VmSteps));
+  // Each world stop parks every task that did not trigger it; with 3
+  // tasks at least the non-triggering ones record a delay. (A task that
+  // already finished records none, hence >= rather than ==.)
+  EXPECT_GE(TotalDelays, W.St.get("task.world_stops"));
+}
+
+TEST(Tasking, MonitorSeesPerTaskActivity) {
+  // With a monitor attached before the tasks spawn, samples and stop
+  // delays are attributed per task and surface in mon.* stats.
+  World W;
+  CompileOptions O;
+  O.TaskingSafe = true;
+  Compiler C(O);
+  std::string Err;
+  W.P = C.compile(wl::taskWorker(), &Err);
+  ASSERT_TRUE(W.P != nullptr) << Err;
+  W.Col = W.P->makeCollector(GcStrategy::CompiledTagFree,
+                             GcAlgorithm::Copying, 1 << 12, W.St, &Err);
+  ASSERT_TRUE(W.Col != nullptr) << Err;
+  Monitor::Options MO;
+  MO.SamplePeriodSteps = 64;
+  Monitor Mon(MO);
+  attachMonitor(*W.P, *W.Col, Mon);
+  TaskingOptions TO;
+  TO.Policy = SuspendChecks::AtEveryCall;
+  W.Rt = std::make_unique<TaskingRuntime>(W.P->Prog, W.P->Image, *W.P->Types,
+                                          *W.Col, TO);
+  FuncId Worker = findFunction(W.P->Prog, "worker");
+  for (int64_t Seed = 1; Seed <= 3; ++Seed)
+    W.Rt->spawnInt(Worker, {Seed, 30});
+  ASSERT_TRUE(W.Rt->runAll());
+
+  // Monitor step accounting covers all tasks and agrees with the
+  // per-task stats published by the runtime.
+  uint64_t TotalSteps = 0;
+  for (int I = 0; I < 3; ++I)
+    TotalSteps += W.St.get("task." + std::to_string(I) + ".mutator_steps");
+  EXPECT_EQ(Mon.stepsObserved(), TotalSteps);
+  // Sampling stayed armed across task switches (each VM counts down its
+  // own fuel), so the invariant holds with one period of slack per task.
+  uint64_t Drift = Mon.samples() * 64 > TotalSteps
+                       ? Mon.samples() * 64 - TotalSteps
+                       : TotalSteps - Mon.samples() * 64;
+  EXPECT_LE(Drift, 64u * 4) << "samples " << Mon.samples() << " steps "
+                            << TotalSteps;
+  EXPECT_GT(W.St.get("mon.samples"), 0u);
+}
+
 } // namespace

@@ -20,149 +20,8 @@ namespace wl = tfgc::workloads;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Minimal recursive-descent JSON syntax checker (tests only).
-//===----------------------------------------------------------------------===//
-
-class JsonChecker {
-public:
-  explicit JsonChecker(const std::string &S) : S(S) {}
-  bool valid() {
-    skipWs();
-    if (!value())
-      return false;
-    skipWs();
-    return Pos == S.size();
-  }
-
-private:
-  const std::string &S;
-  size_t Pos = 0;
-
-  void skipWs() {
-    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
-                              S[Pos] == '\n' || S[Pos] == '\r'))
-      ++Pos;
-  }
-  bool lit(const char *L) {
-    size_t N = std::strlen(L);
-    if (S.compare(Pos, N, L) != 0)
-      return false;
-    Pos += N;
-    return true;
-  }
-  bool string() {
-    if (Pos >= S.size() || S[Pos] != '"')
-      return false;
-    ++Pos;
-    while (Pos < S.size() && S[Pos] != '"') {
-      if (S[Pos] == '\\') {
-        ++Pos;
-        if (Pos >= S.size())
-          return false;
-      }
-      ++Pos;
-    }
-    if (Pos >= S.size())
-      return false;
-    ++Pos; // closing quote
-    return true;
-  }
-  bool number() {
-    size_t Start = Pos;
-    if (Pos < S.size() && S[Pos] == '-')
-      ++Pos;
-    while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
-      ++Pos;
-    if (Pos < S.size() && S[Pos] == '.') {
-      ++Pos;
-      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
-        ++Pos;
-    }
-    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
-      ++Pos;
-      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
-        ++Pos;
-      while (Pos < S.size() && std::isdigit((unsigned char)S[Pos]))
-        ++Pos;
-    }
-    return Pos > Start;
-  }
-  bool value() {
-    skipWs();
-    if (Pos >= S.size())
-      return false;
-    switch (S[Pos]) {
-    case '{':
-      return object();
-    case '[':
-      return array();
-    case '"':
-      return string();
-    case 't':
-      return lit("true");
-    case 'f':
-      return lit("false");
-    case 'n':
-      return lit("null");
-    default:
-      return number();
-    }
-  }
-  bool object() {
-    ++Pos; // '{'
-    skipWs();
-    if (Pos < S.size() && S[Pos] == '}') {
-      ++Pos;
-      return true;
-    }
-    for (;;) {
-      skipWs();
-      if (!string())
-        return false;
-      skipWs();
-      if (Pos >= S.size() || S[Pos] != ':')
-        return false;
-      ++Pos;
-      if (!value())
-        return false;
-      skipWs();
-      if (Pos < S.size() && S[Pos] == ',') {
-        ++Pos;
-        continue;
-      }
-      break;
-    }
-    if (Pos >= S.size() || S[Pos] != '}')
-      return false;
-    ++Pos;
-    return true;
-  }
-  bool array() {
-    ++Pos; // '['
-    skipWs();
-    if (Pos < S.size() && S[Pos] == ']') {
-      ++Pos;
-      return true;
-    }
-    for (;;) {
-      if (!value())
-        return false;
-      skipWs();
-      if (Pos < S.size() && S[Pos] == ',') {
-        ++Pos;
-        continue;
-      }
-      break;
-    }
-    if (Pos >= S.size() || S[Pos] != ']')
-      return false;
-    ++Pos;
-    return true;
-  }
-};
-
-bool validJson(const std::string &S) { return JsonChecker(S).valid(); }
+// JSON syntax validation comes from TestUtil.h (tfgc::test::validJson),
+// shared with the monitor stream tests.
 
 //===----------------------------------------------------------------------===//
 // LogHistogram

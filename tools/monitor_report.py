@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Renders or checks a tfgc --monitor-out JSONL stream.
+
+The stream is one JSON record per line: a `header` record (schema,
+sample period, heartbeat period), zero or more `heartbeat` records
+(counter snapshot, allocation/barrier/remset rates over the elapsed
+bucket, MMU so far, per-task numbers), and a final `summary` record
+(mutator/GC wall-clock split, MMU at 1/10/100 ms, flat and
+caller-attributed sample profiles, opcode-class mix). The summary is
+flushed through the same abnormal-exit path as the other diagnostic
+artifacts, so a failing run still ends with one.
+
+Default mode renders a human-readable report. With --check, asserts the
+stream's invariants instead (exit 1 on violation):
+
+  * header first, exactly one summary, every line schema-versioned JSON;
+  * mutator + GC spans cover >95% of wall-clock (and at most 105% — a
+    missed endRun or a double-counted pause span breaks this);
+  * sample count matches step count within tolerance of the sample
+    period (the fuel countdown takes exactly one sample per period);
+  * heartbeat cadence: consecutive heartbeats are at least half the
+    configured period apart, with monotonic timestamps and sequence
+    numbers, and the summary's heartbeat count matches the stream.
+
+Usage: monitor_report.py [--check] STREAM.jsonl
+"""
+
+import json
+import sys
+
+COVERAGE_MIN = 0.95
+COVERAGE_MAX = 1.05
+
+
+def load(path):
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise AssertionError(f"{path}:{lineno}: invalid JSON: {e}")
+            assert isinstance(rec, dict) and "type" in rec, (
+                f"{path}:{lineno}: record has no type")
+            records.append(rec)
+    assert records, f"{path}: empty stream"
+    return records
+
+
+def split(records):
+    header = records[0]
+    assert header["type"] == "header", "first record is not the header"
+    assert header["schema"] == 1, f"unknown schema {header['schema']}"
+    assert header["tool"] == "tfgc-monitor", "not a tfgc-monitor stream"
+    summaries = [r for r in records if r["type"] == "summary"]
+    assert len(summaries) == 1, f"want exactly 1 summary, got {len(summaries)}"
+    assert records[-1]["type"] == "summary", "summary is not the last record"
+    heartbeats = [r for r in records if r["type"] == "heartbeat"]
+    return header, heartbeats, summaries[0]
+
+
+def check(path):
+    header, heartbeats, summary = split(load(path))
+    assert summary["schema"] == 1
+
+    wall = summary["wall_ns"]
+    mutator = summary["mutator_ns"]
+    gc = summary["gc_ns"]
+    assert wall > 0, "zero wall-clock"
+    coverage = (mutator + gc) / wall
+    print(f"wall_ns={wall} mutator_ns={mutator} gc_ns={gc} "
+          f"coverage={coverage:.4f}")
+    assert COVERAGE_MIN <= coverage <= COVERAGE_MAX, (
+        f"mutator+GC spans cover {coverage:.2%} of wall-clock, "
+        f"want within [{COVERAGE_MIN:.0%}, {COVERAGE_MAX:.0%}]")
+
+    # The fuel countdown takes exactly one sample per period per task;
+    # allow one period of slack per task plus 2% for blocked-step rewinds.
+    period = summary["sample_period_steps"]
+    steps = summary["steps"]
+    samples = summary["samples"]
+    ntasks = max(1, len(summary.get("tasks", [])))
+    tolerance = period * (ntasks + 1) + 0.02 * steps
+    drift = abs(samples * period - steps)
+    print(f"steps={steps} samples={samples} period={period} drift={drift}")
+    assert drift <= tolerance, (
+        f"samples*period={samples * period} vs steps={steps}: "
+        f"drift {drift} exceeds tolerance {tolerance:.0f}")
+
+    assert summary["heartbeats"] == len(heartbeats), (
+        f"summary says {summary['heartbeats']} heartbeats, "
+        f"stream has {len(heartbeats)}")
+    period_ns = header["heartbeat_period_ms"] * 1e6
+    last_t, last_seq = None, None
+    for hb in heartbeats:
+        assert hb["mmu"].keys() == {"1ms", "10ms", "100ms"}
+        for v in hb["mmu"].values():
+            assert 0.0 <= v <= 1.0, f"MMU {v} out of [0, 1]"
+        if last_t is not None:
+            assert hb["t_ns"] > last_t, "heartbeat timestamps not monotonic"
+            assert hb["seq"] == last_seq + 1, "heartbeat seq not contiguous"
+            # Heartbeats only fire from sample points at least a full
+            # period after the previous one; clock granularity gets a
+            # factor-of-two pardon.
+            gap = hb["t_ns"] - last_t
+            assert gap >= period_ns / 2, (
+                f"heartbeat gap {gap}ns below half the period {period_ns}ns")
+        last_t, last_seq = hb["t_ns"], hb["seq"]
+    print(f"heartbeats={len(heartbeats)} ok")
+
+    for v in summary["mmu"].values():
+        assert 0.0 <= v <= 1.0
+    # MMU is monotone in the window size.
+    assert summary["mmu"]["1ms"] <= summary["mmu"]["10ms"] + 1e-9
+    assert summary["mmu"]["10ms"] <= summary["mmu"]["100ms"] + 1e-9
+    print("ok")
+    return 0
+
+
+def render(path):
+    header, heartbeats, summary = split(load(path))
+    label = summary.get("label", "")
+    wall_ms = summary["wall_ns"] / 1e6
+    print(f"monitor stream: {path}  {label}")
+    print(f"  wall          {wall_ms:10.3f} ms")
+    print(f"  mutator       {summary['mutator_ns'] / 1e6:10.3f} ms "
+          f"({summary['mutator_fraction']:.2%})")
+    print(f"  gc            {summary['gc_ns'] / 1e6:10.3f} ms "
+          f"({summary['collections']} collections)")
+    print(f"  steps         {summary['steps']:>10}  samples "
+          f"{summary['samples']} (every {summary['sample_period_steps']})")
+    mmu = summary["mmu"]
+    print(f"  MMU           1ms {mmu['1ms']:.3f}   10ms {mmu['10ms']:.3f}   "
+          f"100ms {mmu['100ms']:.3f}")
+
+    if heartbeats:
+        alloc = [h["alloc_rate_bytes_per_ms"] for h in heartbeats]
+        print(f"  heartbeats    {len(heartbeats)} every "
+              f"{header['heartbeat_period_ms']} ms; alloc rate "
+              f"min/median/max {min(alloc):.0f}/"
+              f"{sorted(alloc)[len(alloc) // 2]:.0f}/{max(alloc):.0f} "
+              "bytes/ms")
+        barrier = [h["barrier_rate_per_ms"] for h in heartbeats]
+        if max(barrier) > 0:
+            print(f"  barrier rate  max {max(barrier):.0f} ops/ms, remset "
+                  f"{heartbeats[-1]['remset_entries']} entries")
+
+    print("  op classes   ", " ".join(
+        f"{k}={v}" for k, v in summary["op_classes"].items() if v))
+    print("  flat profile")
+    total = max(1, summary["samples"])
+    for row in summary["profile_flat"][:10]:
+        print(f"    {row['samples']:>8} ({row['samples'] / total:6.2%})  "
+              f"{row['func']}")
+    print("  caller-attributed")
+    for row in summary["profile_callers"][:10]:
+        print(f"    {row['samples']:>8}  {row['caller']} -> {row['func']}")
+    tasks = summary.get("tasks", [])
+    if len(tasks) > 1:
+        print("  tasks")
+        for t in tasks:
+            line = (f"    task {t['task']}: steps={t['steps']} "
+                    f"samples={t['samples']}")
+            if t.get("stop_delays"):
+                line += (f" stop_delays={t['stop_delays']} "
+                         f"p50={t['stop_delay_ns_p50']}ns "
+                         f"p99={t['stop_delay_ns_p99']}ns")
+            print(line)
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    do_check = "--check" in args
+    args = [a for a in args if a != "--check"]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return check(args[0]) if do_check else render(args[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
