@@ -168,11 +168,17 @@ compileOrDie(const std::string &Source, CompileOptions Options = {}) {
   return P;
 }
 
-/// One timed end-to-end run on a precompiled program.
+/// One timed end-to-end run on a precompiled program. The trailing
+/// mutator fast-path knobs (dispatch loop / superinstruction fusion /
+/// float self-tagging) default to the production configuration; E13
+/// passes the de-optimized baseline to measure the fast path itself.
 inline void timedRun(benchmark::State &State, CompiledProgram &P,
                      GcStrategy S, GcAlgorithm A, size_t HeapBytes,
                      bool ZeroFramesOverride = false, bool Stress = false,
-                     size_t NurseryBytes = 0) {
+                     size_t NurseryBytes = 0,
+                     DispatchMode Dispatch = DispatchMode::Auto,
+                     bool Fuse = true, bool FloatSelfTag = true,
+                     bool TailCalls = true) {
   for (auto _ : State) {
     Stats St;
     std::string Err;
@@ -183,6 +189,10 @@ inline void timedRun(benchmark::State &State, CompiledProgram &P,
     }
     VmOptions VO = defaultVmOptions(S, Stress);
     VO.ZeroFrames = VO.ZeroFrames || ZeroFramesOverride;
+    VO.Dispatch = Dispatch;
+    VO.FuseSuperinstructions = Fuse;
+    VO.FloatSelfTag = FloatSelfTag;
+    VO.TailCalls = TailCalls;
     Vm M(P.Prog, P.Image, *P.Types, *Col, VO);
     RunResult R = M.run();
     if (!R.Ok) {

@@ -142,7 +142,10 @@ public:
     // Under the tagged model only genuine pointers can be young; the
     // tag-free models conservatively admit unboxed values whose bits
     // happen to land in the nursery — harmless, because the remset scan
-    // re-derives pointerness from the recorded static type.
+    // re-derives pointerness from the recorded static type. Self-tagged
+    // floats (runtime/Value.h) fail isTaggedPointer by construction
+    // (low bits 0b010, heap pointers are 8-aligned), so a float-valued
+    // store can never enter the remembered set.
     if (Model == ValueModel::Tagged ? !(isTaggedPointer(Val) &&
                                         Gen->inNursery(Val))
                                     : !Gen->inNursery(Val))

@@ -8,6 +8,10 @@ using namespace tfgc;
 
 Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
                                 Word W) {
+  // Non-pointers pass through unchanged: small ints (low bit 1), unit/
+  // bool immediates, and self-tagged floats (low bits 0b010 after the
+  // rotate — runtime/Value.h). Boxed floats still arrive as Raw-kind
+  // heap objects and are visited like any other pointer.
   if (!isTaggedPointer(W))
     return W;
   Word NewRef;

@@ -20,6 +20,13 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
       {"--nursery-bytes", true,
        "generational: nursery size carved out of the heap (default heap/8)"},
       {"--stress", false, "collect at every allocation"},
+      {"--dispatch", true,
+       "threaded (default where available) | switch: VM dispatch loop"},
+      {"--no-fuse", false, "disable superinstruction fusion in the VM"},
+      {"--no-tailcall", false,
+       "disable frame reuse for self-recursive tail calls"},
+      {"--float-tag", true,
+       "self (default) | box: float representation under --strategy=tagged"},
       {"--no-liveness", false,
        "disable the live-variable analysis (paper 5.2)"},
       {"--no-gcpoints", false, "disable the GC-point analysis (paper 5.1)"},
@@ -163,6 +170,30 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
       O.NurseryBytes = (size_t)std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Name == "--stress") {
       O.Stress = true;
+    } else if (Name == "--dispatch") {
+      if (Value == "threaded")
+        O.Dispatch = DispatchMode::Threaded;
+      else if (Value == "switch")
+        O.Dispatch = DispatchMode::Switch;
+      else {
+        Err = "unknown dispatch mode '" + Value +
+              "' (valid: threaded | switch)";
+        return false;
+      }
+    } else if (Name == "--no-fuse") {
+      O.Fuse = false;
+    } else if (Name == "--no-tailcall") {
+      O.TailCalls = false;
+    } else if (Name == "--float-tag") {
+      if (Value == "self")
+        O.FloatSelfTag = true;
+      else if (Value == "box")
+        O.FloatSelfTag = false;
+      else {
+        Err = "unknown float representation '" + Value +
+              "' (valid: self | box)";
+        return false;
+      }
     } else if (Name == "--no-liveness") {
       O.Compile.UseLiveness = false;
     } else if (Name == "--no-gcpoints") {
@@ -218,6 +249,12 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
       HelpOnly = true;
       return true;
     }
+  }
+  if (O.Dispatch == DispatchMode::Threaded &&
+      !Vm::threadedDispatchAvailable()) {
+    Err = "--dispatch=threaded is not available in this build (compiled "
+          "with -DTFGC_THREADED_DISPATCH=OFF or without computed goto)";
+    return false;
   }
   if (O.MonitorPeriodMs && O.MonitorOutPath.empty()) {
     Err = "--monitor-period-ms requires --monitor-out";
@@ -313,8 +350,12 @@ int tfgc::runTfgc(const CliOptions &O) {
     Tel.beginTrace(TraceOut);
   }
 
-  Vm M(P->Prog, P->Image, *P->Types, *Col,
-       defaultVmOptions(O.Strategy, O.Stress));
+  VmOptions VO = defaultVmOptions(O.Strategy, O.Stress);
+  VO.Dispatch = O.Dispatch;
+  VO.FuseSuperinstructions = O.Fuse;
+  VO.FloatSelfTag = O.FloatSelfTag;
+  VO.TailCalls = O.TailCalls;
+  Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
   RunResult R = M.run();
 
   // Flush every requested diagnostic artifact *before* deciding the exit

@@ -43,6 +43,15 @@ struct CliOptions {
   size_t HeapBytes = 1 << 20;
   size_t NurseryBytes = 0;
   bool Stress = false;
+  /// Mutator fast-path knobs (vm/VmExec.inc): --dispatch picks the loop
+  /// (Auto = threaded where the toolchain supports computed goto),
+  /// --no-fuse disables superinstruction fusion, --float-tag=box forces
+  /// every float into a heap box under the tagged model, --no-tailcall
+  /// disables frame reuse for self-recursive tail calls.
+  DispatchMode Dispatch = DispatchMode::Auto;
+  bool Fuse = true;
+  bool FloatSelfTag = true;
+  bool TailCalls = true;
   bool DumpIr = false;
   bool DumpMeta = false;
   bool ShowStats = false;

@@ -1,0 +1,122 @@
+//===- ir/Fusion.cpp ------------------------------------------------------===//
+
+#include "ir/Fusion.h"
+
+using namespace tfgc;
+
+const char *tfgc::fusePatternName(FusePattern P) {
+  switch (P) {
+  case FusePattern::ArithImm:     return "arith_imm";
+  case FusePattern::CmpImm:       return "cmp_imm";
+  case FusePattern::CmpBranch:    return "cmp_branch";
+  case FusePattern::CmpImmBranch: return "cmp_imm_branch";
+  case FusePattern::MoveReturn:   return "move_return";
+  case FusePattern::GetField2:    return "get_field2";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isIntArith(PrimVal P) {
+  switch (P) {
+  case PrimVal::Add:
+  case PrimVal::Sub:
+  case PrimVal::Mul:
+  case PrimVal::Div:
+  case PrimVal::Mod:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isIntCmp(PrimVal P) {
+  switch (P) {
+  case PrimVal::Lt:
+  case PrimVal::Le:
+  case PrimVal::Gt:
+  case PrimVal::Ge:
+  case PrimVal::Eq:
+  case PrimVal::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// LoadInt t feeding a Prim's second operand, with the first operand
+/// distinct from t (the fused handler writes t then reads both). Div/Mod
+/// by a zero constant stays unfused so the division-by-zero failure path
+/// keeps its exact step position.
+bool loadFeedsPrim(const Instr &Load, const Instr &P) {
+  if (P.Op != Opcode::Prim || P.Srcs.size() != 2)
+    return false;
+  if (P.Srcs[1] != Load.Dst || P.Srcs[0] == Load.Dst)
+    return false;
+  if ((P.Prim == PrimVal::Div || P.Prim == PrimVal::Mod) && Load.IntImm == 0)
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<FusedSeq> tfgc::planFusion(const IrFunction &F) {
+  const std::vector<Instr> &C = F.Code;
+  // A window may not extend across a jump target: fused execution never
+  // stops between constituents, so control may only enter at the start.
+  std::vector<bool> IsTarget(C.size(), false);
+  for (uint32_t T : F.LabelTargets)
+    if (T < C.size())
+      IsTarget[T] = true;
+
+  std::vector<FusedSeq> Plan;
+  auto free2 = [&](size_t I) { return I + 1 < C.size() && !IsTarget[I + 1]; };
+  auto free3 = [&](size_t I) {
+    return I + 2 < C.size() && !IsTarget[I + 1] && !IsTarget[I + 2];
+  };
+
+  for (size_t I = 0; I < C.size();) {
+    const Instr &I0 = C[I];
+    // Longest first: LoadInt; cmp; Branch.
+    if (I0.Op == Opcode::LoadInt && free3(I) && isIntCmp(C[I + 1].Prim) &&
+        loadFeedsPrim(I0, C[I + 1]) && C[I + 2].Op == Opcode::Branch &&
+        C[I + 2].Srcs[0] == C[I + 1].Dst) {
+      Plan.push_back({(uint32_t)I, 3, FusePattern::CmpImmBranch});
+      I += 3;
+      continue;
+    }
+    if (I0.Op == Opcode::LoadInt && free2(I) && loadFeedsPrim(I0, C[I + 1]) &&
+        (isIntArith(C[I + 1].Prim) || isIntCmp(C[I + 1].Prim))) {
+      Plan.push_back({(uint32_t)I, 2,
+                      isIntArith(C[I + 1].Prim) ? FusePattern::ArithImm
+                                                : FusePattern::CmpImm});
+      I += 2;
+      continue;
+    }
+    if (I0.Op == Opcode::Prim && I0.Srcs.size() == 2 && isIntCmp(I0.Prim) &&
+        free2(I) && C[I + 1].Op == Opcode::Branch &&
+        C[I + 1].Srcs[0] == I0.Dst) {
+      Plan.push_back({(uint32_t)I, 2, FusePattern::CmpBranch});
+      I += 2;
+      continue;
+    }
+    if (I0.Op == Opcode::Move && free2(I) && C[I + 1].Op == Opcode::Return &&
+        C[I + 1].Srcs[0] == I0.Dst) {
+      Plan.push_back({(uint32_t)I, 2, FusePattern::MoveReturn});
+      I += 2;
+      continue;
+    }
+    // Two adjacent field reads; the packed operand form needs 16-bit slot
+    // and field indices (always true in practice, checked anyway).
+    if (I0.Op == Opcode::GetField && free2(I) &&
+        C[I + 1].Op == Opcode::GetField && C[I + 1].Srcs[0] < 0x10000 &&
+        C[I + 1].FieldIdx < 0x10000) {
+      Plan.push_back({(uint32_t)I, 2, FusePattern::GetField2});
+      I += 2;
+      continue;
+    }
+    ++I;
+  }
+  return Plan;
+}

@@ -1,0 +1,60 @@
+//===- ir/Fusion.h - Superinstruction peephole planning ---------*- C++ -*-===//
+///
+/// \file
+/// Peephole pass over lowered IR that finds the 2-3 instruction windows
+/// the VM's decoder may fuse into superinstructions. The dominant
+/// sequences come straight out of the PR-5 opcode-class profiles of the
+/// arith/float kernels: constant-feed arithmetic (LoadInt;Prim),
+/// compare-and-branch (Prim;Branch and LoadInt;Prim;Branch), tail moves
+/// (Move;Return) and double field reads (GetField;GetField).
+///
+/// The plan is pure IR-level pattern matching — value-model independent
+/// and safe by construction:
+///
+///  * no instruction after the first of a window is a jump target
+///    (forward-only jumps make the label-target set exact);
+///  * no window contains an allocation or call site, so GC points, frame
+///    suspension points and allocation order are untouched;
+///  * every slot the original sequence wrote is still written (except a
+///    Move whose frame dies at the fused Return), so the slot state at
+///    every GC point — and therefore every collector counter — is
+///    bit-identical to the unfused execution.
+///
+/// The VM decoder consumes the plan and accounts each fused instruction
+/// as its constituent steps, keeping vm.steps and the sampling profiler's
+/// class attribution identical across dispatch modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_IR_FUSION_H
+#define TFGC_IR_FUSION_H
+
+#include "ir/Ir.h"
+
+namespace tfgc {
+
+enum class FusePattern : uint8_t {
+  ArithImm,     ///< LoadInt t; Prim(+,-,*,mod) d, s, t
+  CmpImm,       ///< LoadInt t; Prim(cmp) d, s, t
+  CmpBranch,    ///< Prim(cmp) d, a, b; Branch d
+  CmpImmBranch, ///< LoadInt t; Prim(cmp) d, s, t; Branch d
+  MoveReturn,   ///< Move d, s; Return d
+  GetField2,    ///< GetField d1, s1.f1; GetField d2, s2.f2
+};
+
+const char *fusePatternName(FusePattern P);
+
+/// One fusable window: \p Len instructions starting at \p Start.
+struct FusedSeq {
+  uint32_t Start = 0;
+  uint8_t Len = 0;
+  FusePattern Pattern = FusePattern::ArithImm;
+};
+
+/// Greedy left-to-right covering plan (longest match first); windows are
+/// non-overlapping and in ascending Start order.
+std::vector<FusedSeq> planFusion(const IrFunction &F);
+
+} // namespace tfgc
+
+#endif // TFGC_IR_FUSION_H

@@ -9,10 +9,12 @@
 /// word says which — only the compiler-generated GC metadata knows.
 ///
 /// Tagged model (the baseline): the low bit distinguishes immediates
-/// (bit 1, value in the upper 63 bits) from pointers (bit 0, 8-byte
-/// aligned). Every heap object carries a one-word header at payload[-1],
-/// and doubles are boxed. This is the classic SML/NJ-style scheme the
-/// paper wants to eliminate.
+/// (bit 1, value in the upper 63 bits) from pointers (8-byte aligned).
+/// Every heap object carries a one-word header at payload[-1]. Doubles
+/// are self-tagged into the remaining even, non-aligned bit patterns
+/// (exponent-biased rotation; see below) and only box when the exponent
+/// is out of range. This is the classic SML/NJ-style scheme the paper
+/// wants to eliminate.
 ///
 /// Heap object payload layouts (identical across models; tagged adds the
 /// header in front and tags each stored word):
@@ -45,8 +47,72 @@ inline constexpr Word ImmediateCtorLimit = 2048;
 inline Word tagInt(int64_t V) { return ((uint64_t)V << 1) | 1; }
 inline int64_t untagInt(Word W) { return (int64_t)W >> 1; }
 inline bool isTaggedImmediate(Word W) { return (W & 1) != 0; }
-/// In the tagged model a non-null even word is a pointer.
-inline bool isTaggedPointer(Word W) { return W != 0 && (W & 1) == 0; }
+/// In the tagged model a non-null 8-byte-aligned word is a pointer.
+/// Odd words are immediates; the remaining even non-aligned patterns are
+/// reserved for self-tagged floats (below), which the collectors must
+/// treat as non-pointers.
+inline bool isTaggedPointer(Word W) { return W != 0 && (W & 7) == 0; }
+
+// -- Float bit casts ----------------------------------------------------------
+
+inline Word floatToWord(double D) {
+  Word W;
+  std::memcpy(&W, &D, sizeof(W));
+  return W;
+}
+inline double wordToFloat(Word W) {
+  double D;
+  std::memcpy(&D, &W, sizeof(D));
+  return D;
+}
+
+// -- Float self-tagging (tagged model) ----------------------------------------
+//
+// Melançon/Serrano/Feeley-style value tagging for doubles: bias the IEEE
+// exponent by +256 and rotate left 3, so every double whose biased
+// exponent lands in [1024,1536) — i.e. |x| in [2^-255, 2^257), either
+// sign — encodes as a word with low bits 0b10. That pattern is disjoint
+// from tagged immediates (odd) and heap pointers (8-byte aligned), so the
+// tagged tracers and the generational write barrier reject self-tagged
+// floats with the same isTaggedPointer test they already use. ±0.0 get
+// the reserved words 4 and 12 ((W & 7) == 4, also non-pointer,
+// non-immediate). NaNs, infinities, denormals and extreme exponents
+// don't fit and fall back to the heap float box (vm.float_boxes counts
+// exactly those).
+
+inline constexpr Word FloatSelfTagBias = (Word)1 << 60;
+inline constexpr Word FloatPosZeroWord = 4;
+inline constexpr Word FloatNegZeroWord = 12;
+
+/// Encodes \p D as a self-tagged word. Returns false (W untouched) when
+/// the exponent is out of the self-taggable range.
+inline bool trySelfTagFloat(double D, Word &W) {
+  Word Bits = floatToWord(D);
+  if ((Bits << 1) == 0) { // +0.0 / -0.0: exponent 0, reserved words.
+    W = Bits == 0 ? FloatPosZeroWord : FloatNegZeroWord;
+    return true;
+  }
+  Word E = Bits + FloatSelfTagBias;
+  Word R = (E << 3) | (E >> 61);
+  if ((R & 3) != 2)
+    return false;
+  W = R;
+  return true;
+}
+
+inline bool isSelfTagFloat(Word W) {
+  return (W & 3) == 2 || W == FloatPosZeroWord || W == FloatNegZeroWord;
+}
+
+/// Exact inverse of trySelfTagFloat (bit-preserving).
+inline double selfTagToFloat(Word W) {
+  if (W == FloatPosZeroWord)
+    return 0.0;
+  if (W == FloatNegZeroWord)
+    return -0.0;
+  Word E = (W >> 3) | (W << 61);
+  return wordToFloat(E - FloatSelfTagBias);
+}
 
 // -- Tagged-model object headers ---------------------------------------------
 
@@ -61,19 +127,6 @@ inline Word makeHeader(uint32_t PayloadWords, ObjKind Kind) {
 inline uint32_t headerSize(Word Header) { return (uint32_t)(Header >> 8); }
 inline ObjKind headerKind(Word Header) {
   return (ObjKind)(Header & 0xff);
-}
-
-// -- Float bit casts ----------------------------------------------------------
-
-inline Word floatToWord(double D) {
-  Word W;
-  std::memcpy(&W, &D, sizeof(W));
-  return W;
-}
-inline double wordToFloat(Word W) {
-  double D;
-  std::memcpy(&D, &W, sizeof(D));
-  return D;
 }
 
 } // namespace tfgc

@@ -60,7 +60,9 @@ constexpr std::string_view FixedNames[] = {
     "vm.max_frames",
     "vm.max_slot_words",
     "vm.steps",
+    "vm.superinstructions_executed",
     "vm.tag_ops",
+    "vm.tail_calls",
 };
 
 static_assert(std::size(FixedNames) == Stats::NumFixed,

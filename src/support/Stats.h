@@ -78,7 +78,9 @@ enum class StatId : uint16_t {
   VmMaxFrames,               // vm.max_frames
   VmMaxSlotWords,            // vm.max_slot_words
   VmSteps,                   // vm.steps
+  VmSuperinstructions,       // vm.superinstructions_executed
   VmTagOps,                  // vm.tag_ops
+  VmTailCalls,               // vm.tail_calls
 
   NumIds
 };

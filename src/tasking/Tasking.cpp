@@ -9,7 +9,14 @@ using namespace tfgc;
 TaskingRuntime::TaskingRuntime(const IrProgram &Prog, const CodeImage &Img,
                                TypeContext &Types, Collector &Col,
                                TaskingOptions Opts)
-    : Prog(Prog), Img(Img), Types(Types), Col(Col), Opts(Opts) {}
+    : Prog(Prog), Img(Img), Types(Types), Col(Col), Opts(Opts) {
+  DecodeConfig DC;
+  DC.Model = Col.model();
+  DC.Fuse = Opts.FuseSuperinstructions;
+  DC.FloatSelfTag = Opts.FloatSelfTag;
+  DC.TailCalls = Opts.TailCalls;
+  Decoded = decodeProgram(Prog, DC);
+}
 
 void TaskingRuntime::spawnInt(FuncId Entry, const std::vector<int64_t> &Args) {
   VmOptions VO;
@@ -17,6 +24,11 @@ void TaskingRuntime::spawnInt(FuncId Entry, const std::vector<int64_t> &Args) {
   VO.Checks = Opts.Policy;
   VO.Coord = this;
   VO.TaskIndex = (uint32_t)Tasks.size();
+  VO.Dispatch = Opts.Dispatch;
+  VO.FuseSuperinstructions = Opts.FuseSuperinstructions;
+  VO.FloatSelfTag = Opts.FloatSelfTag;
+  VO.TailCalls = Opts.TailCalls;
+  VO.Decoded = &Decoded;
   Task T;
   T.Machine = std::make_unique<Vm>(Prog, Img, Types, Col, VO);
   std::vector<Word> Words;
@@ -70,35 +82,42 @@ bool TaskingRuntime::runAll() {
         continue;
       T.BlockedForGc = false;
       Col.stats().add(StatId::TaskContextSwitches);
-      for (uint32_t Slice = 0; Slice < Opts.TimeSliceSteps; ++Slice) {
-        StepResult R = T.Machine->step();
-        if (R == StepResult::Ran) {
-          ++TotalSteps;
-          if (GcRequested)
-            ++StepsSinceRequest;
-          AnyProgress = true;
-          if (TotalSteps > Opts.MaxTotalSteps) {
-            Results[Idx].Error = "step limit exceeded";
-            publishTaskStats();
-            return false;
-          }
-          continue;
-        }
-        if (R == StepResult::BlockedOnGc) {
-          T.BlockedForGc = true;
-          // This task just reached its safe point: its share of the
-          // world-stop latency is the time since the request (zero for
-          // the requesting task itself).
-          uint64_t DelayNs =
-              (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - RequestTime)
-                  .count();
-          T.StopDelayHist.record(DelayNs);
-          if (Monitor *M = Col.monitor())
-            M->recordTaskStopDelay((uint32_t)Idx, DelayNs);
-          AnyProgress = true;
-          break;
-        }
+      // One scheduler slice. The VM's fuel counter enforces the budget
+      // and — when a collection is pending — polls the coordinator every
+      // SafepointPollSteps, yielding the slice early so the scheduler
+      // reaches the remaining unsuspended tasks sooner.
+      bool GcAtSliceStart = GcRequested;
+      uint64_t Before = T.Machine->steps();
+      StepResult R = T.Machine->exec(Opts.TimeSliceSteps);
+      uint64_t Delta = T.Machine->steps() - Before;
+      TotalSteps += Delta;
+      // A request can only appear mid-slice through this task's own
+      // allocator (which blocks it immediately), so steps taken this
+      // slice count as post-request work only if the request predates
+      // the slice.
+      if (GcAtSliceStart)
+        StepsSinceRequest += Delta;
+      if (TotalSteps > Opts.MaxTotalSteps) {
+        Results[Idx].Error = "step limit exceeded";
+        publishTaskStats();
+        return false;
+      }
+      if (R == StepResult::Ran) {
+        AnyProgress = true;
+      } else if (R == StepResult::BlockedOnGc) {
+        T.BlockedForGc = true;
+        // This task just reached its safe point: its share of the
+        // world-stop latency is the time since the request (zero for
+        // the requesting task itself).
+        uint64_t DelayNs =
+            (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - RequestTime)
+                .count();
+        T.StopDelayHist.record(DelayNs);
+        if (Monitor *M = Col.monitor())
+          M->recordTaskStopDelay((uint32_t)Idx, DelayNs);
+        AnyProgress = true;
+      } else {
         // Done or Failed.
         T.Done = true;
         --Live;
@@ -111,7 +130,6 @@ bool TaskingRuntime::runAll() {
         } else {
           TR.Error = T.Machine->error();
         }
-        break;
       }
     }
 

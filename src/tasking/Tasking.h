@@ -38,6 +38,12 @@ struct TaskingOptions {
   uint64_t MaxTotalSteps = 2'000'000'000ull;
   bool ZeroFrames = false;
   bool GcStress = false;
+  /// Mutator fast-path configuration, shared by every task (the runtime
+  /// decodes the program once and all task VMs execute the same stream).
+  DispatchMode Dispatch = DispatchMode::Auto;
+  bool FuseSuperinstructions = true;
+  bool FloatSelfTag = true;
+  bool TailCalls = true;
 };
 
 struct TaskResult {
@@ -85,6 +91,9 @@ private:
   };
   std::vector<Task> Tasks;
   std::vector<TaskResult> Results;
+  /// Program decoded once for all tasks (vm/Decode.h); handler pointers
+  /// are filled by the first threaded VM and shared after that.
+  DecodedProgram Decoded;
   bool GcRequested = false;
   size_t NeedWords = 0;
   uint64_t StepsSinceRequest = 0;

@@ -1,0 +1,529 @@
+//===- vm/Decode.cpp ------------------------------------------------------===//
+
+#include "vm/Decode.h"
+
+#include "ir/Fusion.h"
+
+#include <cassert>
+
+using namespace tfgc;
+
+const char *tfgc::dopName(DOp Op) {
+  static const char *Names[] = {
+#define TFGC_DOP_NAME(N) #N,
+      TFGC_DOP_LIST(TFGC_DOP_NAME)
+#undef TFGC_DOP_NAME
+  };
+  return (size_t)Op < NumDOps ? Names[(size_t)Op] : "?";
+}
+
+namespace {
+
+/// Same coarse classes the pre-decode interpreter attributed samples to;
+/// fused ops carry one class per constituent so profiles stay comparable.
+OpClass classifyOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadInt:
+  case Opcode::LoadFloat:
+  case Opcode::LoadBool:
+  case Opcode::LoadUnit:
+  case Opcode::Move:
+    return OpClass::Load;
+  case Opcode::Prim:
+  case Opcode::Print:
+    return OpClass::Prim;
+  case Opcode::MakeTuple:
+  case Opcode::MakeData:
+  case Opcode::MakeClosure:
+  case Opcode::MakeRef:
+    return OpClass::Alloc;
+  case Opcode::GetField:
+  case Opcode::GetTag:
+  case Opcode::SetClosureField:
+  case Opcode::RefLoad:
+  case Opcode::RefStore:
+    return OpClass::HeapAccess;
+  case Opcode::Jump:
+  case Opcode::Branch:
+    return OpClass::Branch;
+  case Opcode::Call:
+  case Opcode::CallIndirect:
+  case Opcode::Return:
+    return OpClass::Call;
+  default:
+    return OpClass::Other;
+  }
+}
+
+/// True when the direct call at \p I is a self-recursive tail call: its
+/// result reaches a Return through nothing but result-renaming Moves and
+/// Jumps, so the caller's activation is dead the moment the call
+/// transfers and its frame can be reused. Restricted to *self* calls so
+/// the dynamic chain a polymorphic collector walks (Appel reconstruction)
+/// only ever elides frames with an identical type instantiation.
+bool isSelfTailCall(const IrFunction &F, size_t I) {
+  const Instr &Call = F.Code[I];
+  if (Call.Callee != F.Id || Call.Srcs.size() > 16)
+    return false;
+  SlotIndex V = Call.Dst;
+  size_t J = I + 1;
+  for (unsigned Hops = 0; Hops < 64 && J < F.Code.size(); ++Hops) {
+    const Instr &N = F.Code[J];
+    if (N.Op == Opcode::Jump) {
+      J = F.LabelTargets[N.Label];
+      continue;
+    }
+    if (N.Op == Opcode::Move && N.Srcs[0] == V) {
+      V = N.Dst;
+      ++J;
+      continue;
+    }
+    return N.Op == Opcode::Return && N.Srcs[0] == V;
+  }
+  return false;
+}
+
+/// Lt..Ne are contiguous in both PrimVal and every fused/plain compare
+/// DOp family, so a kind maps by offset from the family's Lt member.
+DOp cmpFamily(PrimVal P, DOp LtBase) {
+  assert(P >= PrimVal::Lt && P <= PrimVal::Ne);
+  return (DOp)((int)LtBase + ((int)P - (int)PrimVal::Lt));
+}
+
+/// Add..Mod, likewise.
+DOp arithFamily(PrimVal P, DOp AddBase) {
+  assert(P >= PrimVal::Add && P <= PrimVal::Mod);
+  return (DOp)((int)AddBase + ((int)P - (int)PrimVal::Add));
+}
+
+class FnDecoder {
+public:
+  FnDecoder(const IrProgram &P, const IrFunction &F, const DecodeConfig &Cfg,
+            DecodedProgram &Out)
+      : P(P), F(F), Cfg(Cfg), Out(Out), TG(Cfg.Model == ValueModel::Tagged) {}
+
+  void run(DFunc &D) {
+    std::vector<FusedSeq> Plan;
+    if (Cfg.Fuse)
+      Plan = planFusion(F);
+
+    // Map each original index to the window covering it (plan index), or
+    // -1 for 1:1 instructions.
+    std::vector<int32_t> WindowAt(F.Code.size(), -1);
+    for (size_t W = 0; W < Plan.size(); ++W)
+      for (uint32_t K = 0; K < Plan[W].Len; ++K)
+        WindowAt[Plan[W].Start + K] = (int32_t)W;
+
+    // Pass 1: decoded index of every original instruction. Members of a
+    // window share the window's index (jumps only ever target the start;
+    // planFusion guarantees it).
+    NewIndex.assign(F.Code.size(), 0);
+    uint32_t N = 0;
+    for (size_t I = 0; I < F.Code.size(); ++I) {
+      NewIndex[I] = N;
+      int32_t W = WindowAt[I];
+      bool LastOfUnit =
+          W < 0 || I + 1 == Plan[W].Start + Plan[W].Len;
+      if (LastOfUnit)
+        ++N;
+    }
+
+    // Pass 2: emit.
+    D.Ir = &F;
+    D.Code.reserve(N);
+    for (size_t I = 0; I < F.Code.size();) {
+      int32_t W = WindowAt[I];
+      if (W >= 0) {
+        emitFused(D.Code, Plan[W]);
+        ++Out.FusedStatic;
+        I += Plan[W].Len;
+      } else {
+        emitOne(D.Code, F.Code[I], I);
+        ++I;
+      }
+    }
+    assert(D.Code.size() == N && "index map out of sync");
+  }
+
+private:
+  const IrProgram &P;
+  const IrFunction &F;
+  const DecodeConfig &Cfg;
+  DecodedProgram &Out;
+  bool TG;
+  std::vector<uint32_t> NewIndex;
+
+  Word encodeInt(int64_t V) const { return TG ? tagInt(V) : (Word)V; }
+
+  uint32_t target(LabelId L) const { return NewIndex[F.LabelTargets[L]]; }
+
+  uint32_t pool(const std::vector<SlotIndex> &Srcs, size_t From = 0) {
+    uint32_t Start = (uint32_t)Out.Pool.size();
+    for (size_t K = From; K < Srcs.size(); ++K)
+      Out.Pool.push_back(Srcs[K]);
+    return Start;
+  }
+
+  DInstr base(DOp Op, OpClass C) const {
+    DInstr D;
+    D.Op = (uint16_t)Op;
+    D.Cls[0] = (uint8_t)C;
+    return D;
+  }
+
+  void emitOne(std::vector<DInstr> &Code, const Instr &I, size_t Idx) {
+    OpClass C = classifyOp(I.Op);
+    switch (I.Op) {
+    case Opcode::LoadInt:
+    case Opcode::LoadBool: {
+      DInstr D = base(DOp::LoadImm, C);
+      D.A = I.Dst;
+      D.Imm = encodeInt(I.IntImm);
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::LoadUnit: {
+      DInstr D = base(DOp::LoadImm, C);
+      D.A = I.Dst;
+      D.Imm = encodeInt(0);
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::LoadFloat: {
+      // Tag-free floats are raw bits; self-taggable constants fold to a
+      // plain immediate under the tagged model too. Only out-of-range
+      // tagged constants keep an allocating load.
+      Word W = 0;
+      if (!TG) {
+        DInstr D = base(DOp::LoadImm, C);
+        D.A = I.Dst;
+        D.Imm = floatToWord(I.FloatImm);
+        Code.push_back(D);
+        return;
+      }
+      if (Cfg.FloatSelfTag && trySelfTagFloat(I.FloatImm, W)) {
+        DInstr D = base(DOp::LoadImm, C);
+        D.A = I.Dst;
+        D.Imm = W;
+        Code.push_back(D);
+        return;
+      }
+      DInstr D = base(DOp::LoadFloatBox, C);
+      D.A = I.Dst;
+      D.Imm = floatToWord(I.FloatImm);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Move: {
+      DInstr D = base(DOp::Move, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Prim:
+      emitPrim(Code, I, C);
+      return;
+    case Opcode::Print: {
+      DInstr D = base(TG ? DOp::PrintTG : DOp::PrintTF, C);
+      D.B = I.Srcs[0];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::MakeTuple: {
+      DInstr D = base(DOp::MakeTuple, C);
+      D.A = I.Dst;
+      D.C = (uint32_t)I.Srcs.size();
+      D.Extra = pool(I.Srcs);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::MakeData: {
+      if (I.Srcs.empty()) { // Nullary ctor: an immediate (class stays Alloc).
+        DInstr D = base(DOp::LoadImm, C);
+        D.A = I.Dst;
+        D.Imm = encodeInt((int64_t)I.CtorIdx);
+        Code.push_back(D);
+        return;
+      }
+      DInstr D = base(DOp::MakeData, C);
+      D.A = I.Dst;
+      D.C = (uint32_t)I.Srcs.size();
+      D.Imm = encodeInt((int64_t)I.CtorIdx);
+      D.Extra = pool(I.Srcs);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::MakeClosure: {
+      DInstr D = base(DOp::MakeClosure, C);
+      D.A = I.Dst;
+      D.C = (uint32_t)I.Srcs.size();
+      D.Imm = encodeInt((int64_t)P.fn(I.Callee).EntryAddr);
+      D.Extra = pool(I.Srcs);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::MakeRef: {
+      DInstr D = base(DOp::MakeRef, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::GetField: {
+      DInstr D = base(DOp::GetField, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      D.C = I.FieldIdx;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::GetTag: {
+      DInstr D = base(TG ? DOp::GetTagTG : DOp::GetTagTF, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::SetClosureField: {
+      DInstr D = base(DOp::SetClosureField, C);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      D.D = I.FieldIdx;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::RefLoad: {
+      DInstr D = base(DOp::RefLoad, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::RefStore: {
+      DInstr D = base(DOp::RefStore, C);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Jump: {
+      DInstr D = base(DOp::Jump, C);
+      D.Extra = target(I.Label);
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Branch: {
+      DInstr D = base(TG ? DOp::BranchTG : DOp::BranchTF, C);
+      D.B = I.Srcs[0];
+      D.C = target(I.Label);
+      D.Extra = target(I.Label2);
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Call: {
+      bool Tail = Cfg.TailCalls && isSelfTailCall(F, Idx);
+      DInstr D = base(Tail ? DOp::TailCallSelf : DOp::CallDirect, C);
+      D.A = I.Dst;
+      D.B = I.Callee;
+      D.C = (uint32_t)I.Srcs.size();
+      D.D = P.site(I.Site).CanTriggerGc ? CallFlagCanTriggerGc : 0;
+      D.Imm = P.site(I.Site).CodeAddr;
+      D.Extra = pool(I.Srcs);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::CallIndirect: {
+      DInstr D = base(TG ? DOp::CallIndirectTG : DOp::CallIndirectTF, C);
+      D.A = I.Dst;
+      D.B = I.Srcs[0];
+      D.C = (uint32_t)(I.Srcs.size() - 1);
+      D.D = P.site(I.Site).CanTriggerGc ? CallFlagCanTriggerGc : 0;
+      D.Imm = P.site(I.Site).CodeAddr;
+      D.Extra = pool(I.Srcs, 1);
+      D.Site = I.Site;
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Return: {
+      DInstr D = base(DOp::Return, C);
+      D.B = I.Srcs[0];
+      Code.push_back(D);
+      return;
+    }
+    case Opcode::Abort:
+      Code.push_back(base(DOp::Abort, C));
+      return;
+    }
+    assert(false && "unhandled opcode");
+  }
+
+  void emitPrim(std::vector<DInstr> &Code, const Instr &I, OpClass C) {
+    DInstr D;
+    D.Cls[0] = (uint8_t)C;
+    D.A = I.Dst;
+    switch (I.Prim) {
+    case PrimVal::Add:
+    case PrimVal::Sub:
+    case PrimVal::Mul:
+    case PrimVal::Div:
+    case PrimVal::Mod:
+      D.Op = (uint16_t)arithFamily(I.Prim, TG ? DOp::AddTG : DOp::AddTF);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      break;
+    case PrimVal::Neg:
+      D.Op = (uint16_t)(TG ? DOp::NegTG : DOp::NegTF);
+      D.B = I.Srcs[0];
+      break;
+    case PrimVal::Not:
+      D.Op = (uint16_t)(TG ? DOp::NotTG : DOp::NotTF);
+      D.B = I.Srcs[0];
+      break;
+    case PrimVal::Lt:
+    case PrimVal::Le:
+    case PrimVal::Gt:
+    case PrimVal::Ge:
+    case PrimVal::Eq:
+    case PrimVal::Ne:
+      D.Op = (uint16_t)cmpFamily(I.Prim, TG ? DOp::LtTG : DOp::LtTF);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      break;
+    case PrimVal::FAdd:
+    case PrimVal::FSub:
+    case PrimVal::FMul:
+    case PrimVal::FDiv:
+      D.Op = (uint16_t)((int)(TG ? DOp::FAddTG : DOp::FAddTF) +
+                        ((int)I.Prim - (int)PrimVal::FAdd));
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      D.Site = I.Site;
+      break;
+    case PrimVal::FNeg:
+      D.Op = (uint16_t)(TG ? DOp::FNegTG : DOp::FNegTF);
+      D.B = I.Srcs[0];
+      D.Site = I.Site;
+      break;
+    case PrimVal::FLt:
+      D.Op = (uint16_t)(TG ? DOp::FLtTG : DOp::FLtTF);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      break;
+    case PrimVal::FEq:
+      D.Op = (uint16_t)(TG ? DOp::FEqTG : DOp::FEqTF);
+      D.B = I.Srcs[0];
+      D.C = I.Srcs[1];
+      break;
+    case PrimVal::IntToFloat:
+      D.Op = (uint16_t)(TG ? DOp::I2FTG : DOp::I2FTF);
+      D.B = I.Srcs[0];
+      D.Site = I.Site;
+      break;
+    }
+    Code.push_back(D);
+  }
+
+  void emitFused(std::vector<DInstr> &Code, const FusedSeq &Seq) {
+    const Instr &I0 = F.Code[Seq.Start];
+    DInstr D;
+    D.NSteps = Seq.Len;
+    switch (Seq.Pattern) {
+    case FusePattern::ArithImm: {
+      const Instr &I1 = F.Code[Seq.Start + 1];
+      D.Op = (uint16_t)arithFamily(I1.Prim,
+                                   TG ? DOp::AddImmTG : DOp::AddImmTF);
+      D.A = I1.Dst;
+      D.B = I1.Srcs[0];
+      D.C = I0.Dst;
+      D.Imm = encodeInt(I0.IntImm);
+      D.Cls[0] = (uint8_t)OpClass::Load;
+      D.Cls[1] = (uint8_t)OpClass::Prim;
+      break;
+    }
+    case FusePattern::CmpImm: {
+      const Instr &I1 = F.Code[Seq.Start + 1];
+      D.Op = (uint16_t)cmpFamily(I1.Prim,
+                                 TG ? DOp::CmpImmLtTG : DOp::CmpImmLtTF);
+      D.A = I1.Dst;
+      D.B = I1.Srcs[0];
+      D.C = I0.Dst;
+      D.Imm = encodeInt(I0.IntImm);
+      D.Cls[0] = (uint8_t)OpClass::Load;
+      D.Cls[1] = (uint8_t)OpClass::Prim;
+      break;
+    }
+    case FusePattern::CmpBranch: {
+      const Instr &I1 = F.Code[Seq.Start + 1];
+      D.Op = (uint16_t)cmpFamily(I0.Prim,
+                                 TG ? DOp::CmpBrLtTG : DOp::CmpBrLtTF);
+      D.A = I0.Dst;
+      D.B = I0.Srcs[0];
+      D.C = I0.Srcs[1];
+      D.D = target(I1.Label);
+      D.Extra = target(I1.Label2);
+      D.Cls[0] = (uint8_t)OpClass::Prim;
+      D.Cls[1] = (uint8_t)OpClass::Branch;
+      break;
+    }
+    case FusePattern::CmpImmBranch: {
+      const Instr &I1 = F.Code[Seq.Start + 1];
+      const Instr &I2 = F.Code[Seq.Start + 2];
+      D.Op = (uint16_t)cmpFamily(I1.Prim,
+                                 TG ? DOp::CmpImmBrLtTG : DOp::CmpImmBrLtTF);
+      D.A = I1.Dst;
+      D.B = I1.Srcs[0];
+      D.C = I0.Dst;
+      D.Imm = encodeInt(I0.IntImm);
+      D.D = target(I2.Label);
+      D.Extra = target(I2.Label2);
+      D.Cls[0] = (uint8_t)OpClass::Load;
+      D.Cls[1] = (uint8_t)OpClass::Prim;
+      D.Cls[2] = (uint8_t)OpClass::Branch;
+      break;
+    }
+    case FusePattern::MoveReturn: {
+      // The Move's destination dies with the frame; returning the source
+      // directly is observationally identical (no GC point in between).
+      D.Op = (uint16_t)DOp::MoveRet;
+      D.B = I0.Srcs[0];
+      D.Cls[0] = (uint8_t)OpClass::Load;
+      D.Cls[1] = (uint8_t)OpClass::Call;
+      break;
+    }
+    case FusePattern::GetField2: {
+      const Instr &I1 = F.Code[Seq.Start + 1];
+      D.Op = (uint16_t)DOp::GetField2;
+      D.A = I0.Dst;
+      D.B = I0.Srcs[0];
+      D.C = I0.FieldIdx;
+      D.D = I1.Dst;
+      D.Extra = (uint32_t)I1.Srcs[0] | ((uint32_t)I1.FieldIdx << 16);
+      D.Cls[0] = (uint8_t)OpClass::HeapAccess;
+      D.Cls[1] = (uint8_t)OpClass::HeapAccess;
+      break;
+    }
+    }
+    Code.push_back(D);
+  }
+};
+
+} // namespace
+
+DecodedProgram tfgc::decodeProgram(const IrProgram &P,
+                                   const DecodeConfig &Cfg) {
+  DecodedProgram Out;
+  Out.Cfg = Cfg;
+  Out.Fns.resize(P.Functions.size());
+  for (size_t I = 0; I < P.Functions.size(); ++I) {
+    FnDecoder Dec(P, P.Functions[I], Cfg, Out);
+    Dec.run(Out.Fns[I]);
+  }
+  return Out;
+}

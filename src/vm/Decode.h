@@ -1,0 +1,144 @@
+//===- vm/Decode.h - Pre-decoded instruction stream -------------*- C++ -*-===//
+///
+/// \file
+/// The VM's hot loop no longer interprets the heavyweight IR Instr
+/// records. At VM (or tasking-runtime) construction the program is
+/// decoded once into a dense, value-model-specialized instruction stream:
+///
+///  * every tagged/tag-free decision is resolved at decode time into a
+///    per-model opcode (DOp), so the hot path has no model branches;
+///  * constants are pre-encoded into the value model's word (including
+///    self-tagged float constants, which fold to a plain immediate load);
+///  * labels resolve to decoded instruction indices;
+///  * with fusion enabled, the ir/Fusion.h plan collapses the dominant
+///    2-3 opcode windows into superinstructions, each carrying its
+///    constituent count and per-constituent opcode classes so step
+///    accounting and profile attribution stay bit-identical to the
+///    unfused stream.
+///
+/// The same DInstr array serves both execution loops: the computed-goto
+/// direct-threaded loop dispatches through the Handler pointer (filled
+/// lazily from the label table by the first threaded VM), the portable
+/// switch loop through Op. A DecodedProgram is immutable after handler
+/// fill and shared by every task of a tasking runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_VM_DECODE_H
+#define TFGC_VM_DECODE_H
+
+#include "ir/Ir.h"
+#include "runtime/Value.h"
+#include "support/Monitor.h"
+
+#include <vector>
+
+namespace tfgc {
+
+/// Decoded opcodes. TF/TG suffixes are the tag-free/tagged value-model
+/// specializations; the Imm-infixed and 2/Br/Ret-suffixed entries are the
+/// superinstructions. The X-macro keeps the enum, the switch loop, the
+/// threaded label table and the handler definitions in lockstep.
+#define TFGC_DOP_LIST(X)                                                       \
+  X(LoadImm) X(LoadFloatBox) X(Move)                                           \
+  X(AddTF) X(SubTF) X(MulTF) X(DivTF) X(ModTF)                                 \
+  X(AddTG) X(SubTG) X(MulTG) X(DivTG) X(ModTG)                                 \
+  X(NegTF) X(NegTG) X(NotTF) X(NotTG)                                          \
+  X(LtTF) X(LeTF) X(GtTF) X(GeTF) X(EqTF) X(NeTF)                              \
+  X(LtTG) X(LeTG) X(GtTG) X(GeTG) X(EqTG) X(NeTG)                              \
+  X(FAddTF) X(FSubTF) X(FMulTF) X(FDivTF) X(FNegTF) X(I2FTF)                   \
+  X(FAddTG) X(FSubTG) X(FMulTG) X(FDivTG) X(FNegTG) X(I2FTG)                   \
+  X(FLtTF) X(FEqTF) X(FLtTG) X(FEqTG)                                          \
+  X(PrintTF) X(PrintTG)                                                        \
+  X(MakeTuple) X(MakeData) X(MakeClosure) X(MakeRef)                           \
+  X(GetField) X(GetTagTF) X(GetTagTG) X(SetClosureField)                       \
+  X(RefLoad) X(RefStore)                                                       \
+  X(Jump) X(BranchTF) X(BranchTG)                                              \
+  X(CallDirect) X(CallIndirectTF) X(CallIndirectTG) X(Return) X(Abort)         \
+  X(AddImmTF) X(SubImmTF) X(MulImmTF) X(DivImmTF) X(ModImmTF)                  \
+  X(AddImmTG) X(SubImmTG) X(MulImmTG) X(DivImmTG) X(ModImmTG)                  \
+  X(CmpImmLtTF) X(CmpImmLeTF) X(CmpImmGtTF) X(CmpImmGeTF) X(CmpImmEqTF)        \
+  X(CmpImmNeTF)                                                                \
+  X(CmpImmLtTG) X(CmpImmLeTG) X(CmpImmGtTG) X(CmpImmGeTG) X(CmpImmEqTG)        \
+  X(CmpImmNeTG)                                                                \
+  X(CmpBrLtTF) X(CmpBrLeTF) X(CmpBrGtTF) X(CmpBrGeTF) X(CmpBrEqTF)             \
+  X(CmpBrNeTF)                                                                 \
+  X(CmpBrLtTG) X(CmpBrLeTG) X(CmpBrGtTG) X(CmpBrGeTG) X(CmpBrEqTG)             \
+  X(CmpBrNeTG)                                                                 \
+  X(CmpImmBrLtTF) X(CmpImmBrLeTF) X(CmpImmBrGtTF) X(CmpImmBrGeTF)              \
+  X(CmpImmBrEqTF) X(CmpImmBrNeTF)                                              \
+  X(CmpImmBrLtTG) X(CmpImmBrLeTG) X(CmpImmBrGtTG) X(CmpImmBrGeTG)              \
+  X(CmpImmBrEqTG) X(CmpImmBrNeTG)                                              \
+  X(MoveRet) X(GetField2) X(TailCallSelf)
+
+enum class DOp : uint16_t {
+#define TFGC_DOP_ENUM(N) N,
+  TFGC_DOP_LIST(TFGC_DOP_ENUM)
+#undef TFGC_DOP_ENUM
+      NumOps
+};
+inline constexpr size_t NumDOps = (size_t)DOp::NumOps;
+
+const char *dopName(DOp Op);
+
+/// One decoded instruction. Field use by op (unused fields are zero):
+///   A     destination slot (cmp dst for fused compare-branches)
+///   B     first source slot / direct callee / indirect self slot
+///   C     second source slot / field index / arg count / const dst slot /
+///         branch-true target
+///   D     branch-false target / call flags / second fused dst
+///   Imm   pre-encoded constant word / ctor or entry header word /
+///         site code-image address (calls)
+///   Site  CallSiteId for allocating/calling ops (InvalidSite otherwise)
+///   Extra operand-pool index / jump target / packed (src2 | f2 << 16)
+struct DInstr {
+  const void *Handler = nullptr; ///< Threaded dispatch target.
+  uint32_t A = 0, B = 0, C = 0, D = 0;
+  Word Imm = 0;
+  CallSiteId Site = InvalidSite;
+  uint32_t Extra = 0;
+  uint16_t Op = 0; ///< DOp (switch dispatch).
+  uint8_t NSteps = 1;
+  /// OpClass of each constituent step (fused ops carry up to 3); keeps
+  /// sample attribution identical to the unfused stream.
+  uint8_t Cls[3] = {0, 0, 0};
+};
+
+/// Call-op D flags.
+inline constexpr uint32_t CallFlagCanTriggerGc = 1;
+
+struct DFunc {
+  std::vector<DInstr> Code;
+  /// Lowered source of this function (slot types for write barriers).
+  const IrFunction *Ir = nullptr;
+};
+
+struct DecodeConfig {
+  ValueModel Model = ValueModel::TagFree;
+  bool Fuse = true;
+  /// Tagged model: self-tag in-range doubles instead of boxing.
+  bool FloatSelfTag = true;
+  /// Direct self-recursive tail calls reuse the caller's frame instead of
+  /// pushing a new activation (the dominant call shape in a language
+  /// whose only loop is recursion).
+  bool TailCalls = true;
+};
+
+struct DecodedProgram {
+  DecodeConfig Cfg;
+  std::vector<DFunc> Fns;
+  /// Variadic operands (argument/field slot indices), referenced by
+  /// DInstr::Extra.
+  std::vector<uint32_t> Pool;
+  /// Decode-time count of superinstructions emitted (tests/diagnostics).
+  uint64_t FusedStatic = 0;
+  /// Set once by the first threaded VM after filling Handler pointers.
+  bool HandlersFilled = false;
+};
+
+/// Decodes \p P for one value model / fusion configuration.
+DecodedProgram decodeProgram(const IrProgram &P, const DecodeConfig &Cfg);
+
+} // namespace tfgc
+
+#endif // TFGC_VM_DECODE_H

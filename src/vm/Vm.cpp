@@ -15,10 +15,36 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
   if (Model == ValueModel::Tagged)
     this->Opts.ZeroFrames = true;
   GenBarriers = Col.algorithm() == GcAlgorithm::Generational;
-  Collections0 = Col.stats().get(StatId::GcCollections);
   Mon = Col.monitor();
-  if (Mon)
-    SampleFuel = Mon->samplePeriodSteps();
+  if (Mon) {
+    SamplePeriod = Mon->samplePeriodSteps();
+    if (SamplePeriod)
+      NextSampleAt = SamplePeriod;
+  }
+  ChecksAtCalls = this->Opts.Checks == SuspendChecks::AtEveryCall ||
+                  this->Opts.Checks == SuspendChecks::RgcRegister;
+  CountCallChecks = this->Opts.Checks == SuspendChecks::AtEveryCall;
+  SelfTagFloats = Model == ValueModel::Tagged && this->Opts.FloatSelfTag;
+
+  DecodeConfig DC;
+  DC.Model = Model;
+  DC.Fuse = this->Opts.FuseSuperinstructions;
+  DC.FloatSelfTag = this->Opts.FloatSelfTag;
+  DC.TailCalls = this->Opts.TailCalls;
+  if (this->Opts.Decoded) {
+    DP = this->Opts.Decoded;
+    assert(DP->Cfg.Model == DC.Model && DP->Cfg.Fuse == DC.Fuse &&
+           DP->Cfg.FloatSelfTag == DC.FloatSelfTag &&
+           DP->Cfg.TailCalls == DC.TailCalls &&
+           "shared decoded program does not match this VM's configuration");
+  } else {
+    OwnedDecoded = std::make_unique<DecodedProgram>(decodeProgram(Prog, DC));
+    DP = OwnedDecoded.get();
+  }
+  UseThreaded =
+      TFGC_HAVE_THREADED && this->Opts.Dispatch != DispatchMode::Switch;
+  if (UseThreaded && !DP->HandlersFilled)
+    fillHandlers(*DP);
 }
 
 bool Vm::fail(const std::string &Message) {
@@ -112,384 +138,64 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
   return finishAlloc(P, Site);
 }
 
-Word Vm::makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok) {
-  if (Model == ValueModel::TagFree)
-    return floatToWord(D);
-  ++FloatBoxes;
-  Word *P = allocate(1, ObjKind::Raw, Site, FrameIdx);
-  if (!P) {
-    Ok = false;
-    return 0;
-  }
-  P[0] = floatToWord(D);
-  return (Word)(uintptr_t)P;
-}
-
 double Vm::readFloat(Word W) const {
   if (Model == ValueModel::TagFree)
     return wordToFloat(W);
-  return wordToFloat(*reinterpret_cast<const Word *>(W));
+  return readFloatTG(W);
 }
 
-StepResult Vm::step() {
-  if (DoneFlag)
-    return StepResult::Done;
-  if (!Error.empty())
-    return StepResult::Failed;
-  if (!Started)
-    start(Prog.MainId, {});
-
-  if (++Steps > Opts.MaxSteps) {
-    fail("step limit exceeded");
-    return StepResult::Failed;
-  }
-  uint32_t FrameIdx = (uint32_t)(Stack.Frames.size() - 1);
-  const IrFunction &Fn = Prog.fn(Stack.Frames[FrameIdx].FuncId);
-  uint32_t Pc = Stack.Frames[FrameIdx].ResumeInstr;
-  assert(Pc < Fn.Code.size() && "fell off the end of a function");
-  const Instr &I = Fn.Code[Pc];
-  if (--SampleFuel == 0) [[unlikely]]
-    takeSample(FrameIdx, I.Op);
-  Word *S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-  bool Tagged = Model == ValueModel::Tagged;
-  uint32_t NextPc = Pc + 1;
-
-  switch (I.Op) {
-  case Opcode::LoadInt:
-    S[I.Dst] = Tagged ? tagInt(I.IntImm) : (Word)I.IntImm;
-    break;
-  case Opcode::LoadBool:
-    S[I.Dst] = Tagged ? tagInt(I.IntImm) : (Word)I.IntImm;
-    break;
-  case Opcode::LoadUnit:
-    S[I.Dst] = Tagged ? tagInt(0) : 0;
-    break;
-  case Opcode::LoadFloat: {
-    bool Ok = true;
-    Word W = makeFloat(I.FloatImm, I.Site, FrameIdx, Ok);
-    if (!Ok)
-      break;
-    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-    S[I.Dst] = W;
-    break;
-  }
-  case Opcode::Move:
-    S[I.Dst] = S[I.Srcs[0]];
-    break;
-
-  case Opcode::Prim: {
-    switch (I.Prim) {
-    case PrimVal::Add:
-    case PrimVal::Sub:
-    case PrimVal::Mul:
-    case PrimVal::Div:
-    case PrimVal::Mod: {
-      int64_t A, B;
-      if (Tagged) {
-        // Tag stripping before arithmetic, reinstating after — the
-        // mutator overhead the paper wants to eliminate (E1).
-        A = untagInt(S[I.Srcs[0]]);
-        B = untagInt(S[I.Srcs[1]]);
-        TagOps += 3;
-      } else {
-        A = (int64_t)S[I.Srcs[0]];
-        B = (int64_t)S[I.Srcs[1]];
-      }
-      int64_t Out = 0;
-      switch (I.Prim) {
-      case PrimVal::Add: Out = A + B; break;
-      case PrimVal::Sub: Out = A - B; break;
-      case PrimVal::Mul: Out = A * B; break;
-      case PrimVal::Div:
-        if (B == 0) {
-          fail("division by zero");
-          break;
-        }
-        Out = A / B;
-        break;
-      case PrimVal::Mod:
-        if (B == 0) {
-          fail("division by zero");
-          break;
-        }
-        Out = A % B;
-        break;
-      default: break;
-      }
-      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
-      break;
-    }
-    case PrimVal::Neg: {
-      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
-      if (Tagged)
-        TagOps += 2;
-      S[I.Dst] = Tagged ? tagInt(-A) : (Word)(-A);
-      break;
-    }
-    case PrimVal::Lt:
-    case PrimVal::Le:
-    case PrimVal::Gt:
-    case PrimVal::Ge:
-    case PrimVal::Eq:
-    case PrimVal::Ne: {
-      // Order-preserving tags: compare directly in either model.
-      int64_t A = (int64_t)S[I.Srcs[0]], B = (int64_t)S[I.Srcs[1]];
-      bool Out = false;
-      switch (I.Prim) {
-      case PrimVal::Lt: Out = A < B; break;
-      case PrimVal::Le: Out = A <= B; break;
-      case PrimVal::Gt: Out = A > B; break;
-      case PrimVal::Ge: Out = A >= B; break;
-      case PrimVal::Eq: Out = A == B; break;
-      case PrimVal::Ne: Out = A != B; break;
-      default: break;
-      }
-      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
-      break;
-    }
-    case PrimVal::Not: {
-      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
-      S[I.Dst] = Tagged ? tagInt(!A) : (Word)(!A);
-      break;
-    }
-    case PrimVal::FAdd:
-    case PrimVal::FSub:
-    case PrimVal::FMul:
-    case PrimVal::FDiv: {
-      double A = readFloat(S[I.Srcs[0]]);
-      double B = readFloat(S[I.Srcs[1]]);
-      double Out = 0;
-      switch (I.Prim) {
-      case PrimVal::FAdd: Out = A + B; break;
-      case PrimVal::FSub: Out = A - B; break;
-      case PrimVal::FMul: Out = A * B; break;
-      case PrimVal::FDiv: Out = A / B; break;
-      default: break;
-      }
-      bool Ok = true;
-      Word W = makeFloat(Out, I.Site, FrameIdx, Ok);
-      if (!Ok)
-        break;
-      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-      S[I.Dst] = W;
-      break;
-    }
-    case PrimVal::FNeg: {
-      bool Ok = true;
-      Word W = makeFloat(-readFloat(S[I.Srcs[0]]), I.Site, FrameIdx, Ok);
-      if (!Ok)
-        break;
-      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-      S[I.Dst] = W;
-      break;
-    }
-    case PrimVal::FLt:
-    case PrimVal::FEq: {
-      double A = readFloat(S[I.Srcs[0]]);
-      double B = readFloat(S[I.Srcs[1]]);
-      bool Out = I.Prim == PrimVal::FLt ? A < B : A == B;
-      S[I.Dst] = Tagged ? tagInt(Out) : (Word)Out;
-      break;
-    }
-    case PrimVal::IntToFloat: {
-      int64_t A = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
-      bool Ok = true;
-      Word W = makeFloat((double)A, I.Site, FrameIdx, Ok);
-      if (!Ok)
-        break;
-      S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-      S[I.Dst] = W;
-      break;
-    }
-    }
-    break;
-  }
-
-  case Opcode::Print: {
-    int64_t V = Tagged ? untagInt(S[I.Srcs[0]]) : (int64_t)S[I.Srcs[0]];
-    Output += std::to_string(V);
-    Output += '\n';
-    break;
-  }
-
-  case Opcode::MakeTuple: {
-    Word *P = allocate(I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
-    if (!P)
-      break;
-    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-    for (size_t K = 0; K < I.Srcs.size(); ++K)
-      P[K] = S[I.Srcs[K]];
-    S[I.Dst] = (Word)(uintptr_t)P;
-    break;
-  }
-  case Opcode::MakeData: {
-    if (I.Srcs.empty()) {
-      S[I.Dst] = Tagged ? tagInt(I.CtorIdx) : (Word)I.CtorIdx;
-      break;
-    }
-    Word *P = allocate(1 + I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
-    if (!P)
-      break;
-    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-    P[0] = Tagged ? tagInt(I.CtorIdx) : (Word)I.CtorIdx;
-    for (size_t K = 0; K < I.Srcs.size(); ++K)
-      P[1 + K] = S[I.Srcs[K]];
-    S[I.Dst] = (Word)(uintptr_t)P;
-    break;
-  }
-  case Opcode::MakeClosure: {
-    Word *P = allocate(1 + I.Srcs.size(), ObjKind::Scan, I.Site, FrameIdx);
-    if (!P)
-      break;
-    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-    uint32_t Entry = Prog.fn(I.Callee).EntryAddr;
-    P[0] = Tagged ? tagInt(Entry) : (Word)Entry;
-    for (size_t K = 0; K < I.Srcs.size(); ++K)
-      P[1 + K] = S[I.Srcs[K]];
-    S[I.Dst] = (Word)(uintptr_t)P;
-    break;
-  }
-  case Opcode::MakeRef: {
-    Word *P = allocate(1, ObjKind::Scan, I.Site, FrameIdx);
-    if (!P)
-      break;
-    S = Stack.Slots.data() + Stack.Frames[FrameIdx].SlotBase;
-    P[0] = S[I.Srcs[0]];
-    S[I.Dst] = (Word)(uintptr_t)P;
-    break;
-  }
-
-  case Opcode::GetField: {
-    const Word *P = reinterpret_cast<const Word *>(S[I.Srcs[0]]);
-    S[I.Dst] = P[I.FieldIdx];
-    break;
-  }
-  case Opcode::GetTag: {
-    Word W = S[I.Srcs[0]];
-    if (Tagged)
-      S[I.Dst] =
-          isTaggedImmediate(W) ? W : *reinterpret_cast<const Word *>(W);
-    else
-      S[I.Dst] =
-          W < ImmediateCtorLimit ? W : *reinterpret_cast<const Word *>(W);
-    break;
-  }
-  case Opcode::SetClosureField: {
-    Word *P = reinterpret_cast<Word *>(S[I.Srcs[0]]);
-    P[I.FieldIdx] = S[I.Srcs[1]];
-    if (GenBarriers) {
-      ++BarrierOps;
-      Col.writeBarrier(&P[I.FieldIdx], S[I.Srcs[1]],
-                       Fn.SlotTypes[I.Srcs[1]]);
-    }
-    break;
-  }
-  case Opcode::RefLoad:
-    S[I.Dst] = *reinterpret_cast<const Word *>(S[I.Srcs[0]]);
-    break;
-  case Opcode::RefStore: {
-    Word *P = reinterpret_cast<Word *>(S[I.Srcs[0]]);
-    *P = S[I.Srcs[1]];
-    if (GenBarriers) {
-      ++BarrierOps;
-      Col.writeBarrier(P, S[I.Srcs[1]], Fn.SlotTypes[I.Srcs[1]]);
-    }
-    break;
-  }
-
-  case Opcode::Jump:
-    NextPc = Fn.LabelTargets[I.Label];
-    break;
-  case Opcode::Branch: {
-    bool Cond = Tagged ? untagInt(S[I.Srcs[0]]) != 0 : S[I.Srcs[0]] != 0;
-    NextPc = Fn.LabelTargets[Cond ? I.Label : I.Label2];
-    break;
-  }
-
-  case Opcode::Call:
-  case Opcode::CallIndirect: {
-    // Every-call suspension test (paper section 4). Under the Rgc policy
-    // the test is folded into the jump target computation, so it is not
-    // counted as an explicit check. A task may only suspend at a site
-    // whose gc_word exists — i.e. one the section-5.1 analysis says can
-    // reach a collection; the suspended stack then has valid frame GC
-    // routines at every level.
-    if ((Opts.Checks == SuspendChecks::AtEveryCall ||
-         Opts.Checks == SuspendChecks::RgcRegister) &&
-        Prog.site(I.Site).CanTriggerGc) {
-      if (Opts.Checks == SuspendChecks::AtEveryCall)
-        ++SuspendChecksRun;
-      if (Opts.Coord->gcPending()) {
-        Stack.Frames[FrameIdx].PendingSiteAddr = Prog.site(I.Site).CodeAddr;
-        Blocked = true;
-        break;
-      }
-    }
-    ++Calls;
-    FuncId Callee;
-    bool HasSelf = I.Op == Opcode::CallIndirect;
-    Word Self = 0;
-    unsigned FirstArg = 0;
-    if (HasSelf) {
-      Self = S[I.Srcs[0]];
-      if (Self == 0 || (Tagged && !isTaggedPointer(Self))) {
-        fail("call through invalid closure");
-        break;
-      }
-      Word CodeWord = *reinterpret_cast<const Word *>(Self);
-      uint32_t Entry =
-          Tagged ? (uint32_t)untagInt(CodeWord) : (uint32_t)CodeWord;
-      Callee = Img.functionAt(Entry);
-      FirstArg = 1;
-    } else {
-      Callee = I.Callee;
-    }
-    Stack.Frames[FrameIdx].PendingSiteAddr = Prog.site(I.Site).CodeAddr;
-    Stack.Frames[FrameIdx].ResumeInstr = Pc + 1;
-    // Copy the arguments before pushFrame can reallocate the slot array.
-    Word Args[16];
-    assert(I.Srcs.size() - FirstArg <= 16 && "argument buffer too small");
-    for (size_t K = FirstArg; K < I.Srcs.size(); ++K)
-      Args[K - FirstArg] = S[I.Srcs[K]];
-    pushFrame(Callee, Args, (unsigned)(I.Srcs.size() - FirstArg), HasSelf,
-              Self, I.Dst);
-    return StepResult::Ran;
-  }
-  case Opcode::Return: {
-    Word Rv = S[I.Srcs[0]];
-    SlotIndex Dst = Stack.Frames[FrameIdx].CallerDst;
-    SlotTop = Stack.Frames[FrameIdx].SlotBase;
-    Stack.Frames.pop_back();
-    if (Stack.Frames.empty()) {
-      ReturnValue = Rv;
-      DoneFlag = true;
-      return StepResult::Done;
-    }
-    FrameInfo &Caller = Stack.Frames.back();
-    Stack.Slots[Caller.SlotBase + Dst] = Rv;
-    Caller.PendingSiteAddr = NoSiteAddr;
-    return StepResult::Ran;
-  }
-  case Opcode::Abort:
-    fail("pattern match failure");
-    break;
-  }
-
-  if (Blocked) {
-    Blocked = false;
-    --Steps; // The instruction will re-execute.
-    return StepResult::BlockedOnGc;
-  }
-  if (!Error.empty())
-    return StepResult::Failed;
-  Stack.Frames[FrameIdx].ResumeInstr = NextPc;
-  return StepResult::Ran;
+StepResult Vm::exec(uint64_t Budget) {
+#if TFGC_HAVE_THREADED
+  if (UseThreaded)
+    return execThreadedLoop(Budget, nullptr);
+#endif
+  return execSwitchLoop(Budget);
 }
+
+// The two dispatch loops share one set of handler bodies; see VmExec.inc
+// for the dispatch macros and the fuel-counter slow path.
+
+StepResult Vm::execSwitchLoop(uint64_t Budget) {
+#define TFGC_THREADED 0
+#include "vm/VmExec.inc"
+#undef TFGC_THREADED
+}
+
+#if TFGC_HAVE_THREADED
+
+StepResult Vm::execThreadedLoop(uint64_t Budget,
+                                const void *const **TableOut) {
+#define TFGC_THREADED 1
+#include "vm/VmExec.inc"
+#undef TFGC_THREADED
+}
+
+void Vm::fillHandlers(DecodedProgram &D) {
+  const void *const *Table = nullptr;
+  execThreadedLoop(0, &Table);
+  assert(Table && "threaded loop did not export its label table");
+  for (DFunc &F : D.Fns)
+    for (DInstr &I : F.Code)
+      I.Handler = Table[I.Op];
+  D.HandlersFilled = true;
+}
+
+#else // !TFGC_HAVE_THREADED
+
+StepResult Vm::execThreadedLoop(uint64_t Budget,
+                                const void *const **TableOut) {
+  (void)TableOut;
+  return execSwitchLoop(Budget);
+}
+
+void Vm::fillHandlers(DecodedProgram &D) { (void)D; }
+
+#endif // TFGC_HAVE_THREADED
 
 RunResult Vm::run() {
   RunResult R;
   for (;;) {
-    StepResult S = step();
+    StepResult S = exec(UINT64_MAX);
     if (S == StepResult::Ran)
       continue;
     assert(S != StepResult::BlockedOnGc &&
@@ -513,60 +219,22 @@ std::string Vm::renderResult() {
   return renderValue(ReturnValue, ResultTy);
 }
 
-namespace {
-
-OpClass classifyOp(Opcode Op) {
-  switch (Op) {
-  case Opcode::LoadInt:
-  case Opcode::LoadFloat:
-  case Opcode::LoadBool:
-  case Opcode::LoadUnit:
-  case Opcode::Move:
-    return OpClass::Load;
-  case Opcode::Prim:
-  case Opcode::Print:
-    return OpClass::Prim;
-  case Opcode::MakeTuple:
-  case Opcode::MakeData:
-  case Opcode::MakeClosure:
-  case Opcode::MakeRef:
-    return OpClass::Alloc;
-  case Opcode::GetField:
-  case Opcode::GetTag:
-  case Opcode::SetClosureField:
-  case Opcode::RefLoad:
-  case Opcode::RefStore:
-    return OpClass::HeapAccess;
-  case Opcode::Jump:
-  case Opcode::Branch:
-    return OpClass::Branch;
-  case Opcode::Call:
-  case Opcode::CallIndirect:
-  case Opcode::Return:
-    return OpClass::Call;
-  default:
-    return OpClass::Other;
-  }
-}
-
-} // namespace
-
-void Vm::takeSample(uint32_t FrameIdx, Opcode Op) {
-  if (!Mon) {
-    SampleFuel = UINT64_MAX;
-    return;
-  }
-  SampleFuel = Mon->samplePeriodSteps();
+void Vm::fireSample(uint32_t FrameIdx, OpClass Cls) {
+  assert(Mon && "sample fired without a monitor");
+  // The sampled step number is the deadline itself (the per-step loop
+  // recorded Steps after incrementing for the sampled instruction).
+  uint64_t At = NextSampleAt;
+  NextSampleAt += SamplePeriod;
   const FrameInfo &F = Stack.Frames[FrameIdx];
   uint32_t Caller = F.DynamicLink == NoFrame
                         ? Monitor::NoFunc
                         : Stack.Frames[F.DynamicLink].FuncId;
   Monitor::SampleCounters SC;
-  SC.Steps = Steps;
+  SC.Steps = At;
   SC.AllocBytes = Col.bytesAllocatedTotal();
   SC.BarrierOps = Col.stats().get(StatId::GcBarrierOps) + BarrierOps;
   SC.RemsetEntries = Col.stats().get(StatId::GcRemsetEntries);
-  Mon->recordSample(F.FuncId, Caller, classifyOp(Op), Opts.TaskIndex, SC);
+  Mon->recordSample(F.FuncId, Caller, Cls, Opts.TaskIndex, SC);
 }
 
 void Vm::flushCounters() {
@@ -576,6 +244,8 @@ void Vm::flushCounters() {
     Mon->endRun();
   }
   St.set(StatId::VmSteps, Steps);
+  St.set(StatId::VmSuperinstructions, SuperExec);
+  St.set(StatId::VmTailCalls, TailCallsExec);
   St.set(StatId::VmTagOps, TagOps);
   St.set(StatId::VmFloatBoxes, FloatBoxes);
   St.set(StatId::VmCalls, Calls);

@@ -5,14 +5,24 @@
 /// The VM plays the role of the compiled mutator:
 ///
 /// * values follow the collector's value model (tag-free or tagged, with
-///   tag stripping/reinstating and float boxing under the tagged model —
-///   the mutator overheads of E1);
+///   tag stripping/reinstating under the tagged model — the mutator
+///   overheads of E1; in-range tagged floats self-tag instead of boxing,
+///   see runtime/Value.h);
 /// * before any instruction that might collect, the current frame records
 ///   the site's code image address — the "return address" the collector
 ///   dereferences (Figure 1/2);
 /// * frames are zero-initialized only under strategies that require it
 ///   (tagged and Appel; the paper's per-site routines trace only
 ///   initialized slots, so the Goldberg strategies skip zeroing — E9).
+///
+/// The hot path runs over a pre-decoded instruction stream (vm/Decode.h)
+/// through one of two dispatch loops generated from the same handler
+/// bodies (vm/VmExec.inc): a computed-goto direct-threaded loop (GNU
+/// toolchains, unless configured out with -DTFGC_THREADED_DISPATCH=OFF)
+/// and a portable switch loop. Both loops drive a unified fuel counter
+/// that folds the sampling profiler, the step limit, the execution budget
+/// and the tasking GC safepoint poll into a single per-instruction
+/// compare (see exec()).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,9 +33,22 @@
 #include "gcmeta/CodeImage.h"
 #include "ir/Ir.h"
 #include "runtime/Roots.h"
+#include "vm/Decode.h"
 
+#include <memory>
 #include <string>
 #include <vector>
+
+/// Configure-time master switch for the computed-goto loop (CMake option
+/// TFGC_THREADED_DISPATCH). Compiler support is still required on top.
+#ifndef TFGC_THREADED_DISPATCH
+#define TFGC_THREADED_DISPATCH 1
+#endif
+#if TFGC_THREADED_DISPATCH && defined(__GNUC__)
+#define TFGC_HAVE_THREADED 1
+#else
+#define TFGC_HAVE_THREADED 0
+#endif
 
 namespace tfgc {
 
@@ -35,6 +58,13 @@ enum class SuspendChecks : uint8_t {
   AtAllocation, ///< Suspend only inside the allocation routines.
   AtEveryCall,  ///< Explicit test at every call site.
   RgcRegister,  ///< Every call, via the Rgc register trick (free test).
+};
+
+/// How the interpreter loop dispatches decoded instructions.
+enum class DispatchMode : uint8_t {
+  Auto,     ///< Threaded when compiled in, else switch.
+  Switch,   ///< Portable switch loop.
+  Threaded, ///< Computed-goto direct threading (GNU toolchains).
 };
 
 /// Mediates stop-the-world collections across tasks. Implemented by the
@@ -61,10 +91,23 @@ struct VmOptions {
   /// This VM's task index in the monitor's per-task cells (0 for the
   /// sequential VM; the tasking runtime numbers its tasks).
   uint32_t TaskIndex = 0;
+  /// Dispatch loop selection; Auto resolves to threaded when available.
+  DispatchMode Dispatch = DispatchMode::Auto;
+  /// Fuse superinstruction windows at decode time.
+  bool FuseSuperinstructions = true;
+  /// Tagged model: self-tag in-range float doubles instead of boxing.
+  bool FloatSelfTag = true;
+  /// Decode self-recursive tail calls into frame-reusing transfers.
+  bool TailCalls = true;
+  /// Pre-decoded program shared across VMs (the tasking runtime decodes
+  /// once for all tasks). Must match this VM's model/fusion/float config;
+  /// the VM decodes privately when null.
+  DecodedProgram *Decoded = nullptr;
 };
 
 enum class StepResult : uint8_t {
-  Ran,         ///< Executed one instruction.
+  Ran,         ///< Executed at least one instruction (budget or safepoint
+               ///< yield included).
   Done,        ///< Program finished; returnValue() is valid.
   Failed,      ///< Runtime error; error() is set.
   BlockedOnGc, ///< Suspended at a GC safe point (tasking only); the
@@ -85,12 +128,27 @@ public:
 
   RunResult run();
 
-  /// Executes one instruction (the tasking runtime's interface).
-  StepResult step();
+  /// Executes up to \p Budget instruction steps (a fused superinstruction
+  /// counts as its constituent steps), returning early on completion,
+  /// failure, a GC block, or — under tasking — a safepoint poll that saw
+  /// a pending collection. Always makes progress: the first instruction
+  /// of a call runs even if it alone exceeds the budget.
+  StepResult exec(uint64_t Budget);
+
+  /// Executes one instruction (legacy single-step interface).
+  StepResult step() { return exec(1); }
+
+  /// True when this build contains the computed-goto loop.
+  static bool threadedDispatchAvailable() { return TFGC_HAVE_THREADED; }
+  /// The loop this VM actually uses (after Auto resolution).
+  DispatchMode dispatchMode() const {
+    return UseThreaded ? DispatchMode::Threaded : DispatchMode::Switch;
+  }
+  const DecodedProgram &decoded() const { return *DP; }
 
   /// Starts execution at \p Entry (a non-closure function) with the given
   /// argument words (already in the value model's representation). run()
-  /// and step() default to the program's main function.
+  /// and exec() default to the program's main function.
   void start(FuncId Entry, const std::vector<Word> &Args);
   Word returnValue() const { return ReturnValue; }
   const std::string &error() const { return Error; }
@@ -112,6 +170,10 @@ public:
   /// stats registry; called automatically at the end of run().
   void flushCounters();
 
+  /// Steps between tasking safepoint polls in the fuel counter; also the
+  /// guaranteed minimum progress per exec() before a poll may yield.
+  static constexpr uint64_t SafepointPollSteps = 64;
+
 private:
   const IrProgram &Prog;
   const CodeImage &Img;
@@ -119,6 +181,11 @@ private:
   Collector &Col;
   VmOptions Opts;
   ValueModel Model;
+
+  /// Decoded instruction stream (shared or owned).
+  DecodedProgram *DP = nullptr;
+  std::unique_ptr<DecodedProgram> OwnedDecoded;
+  bool UseThreaded = false;
 
   TaskStack Stack;
   uint32_t SlotTop = 0;
@@ -137,21 +204,41 @@ private:
   uint64_t FloatBoxes = 0;
   uint64_t Calls = 0;
   uint64_t WordsZeroed = 0;
-  uint64_t Collections0 = 0;
   uint64_t SuspendChecksRun = 0;
   uint64_t BarrierOps = 0;
+  /// Superinstructions executed (vm.superinstructions_executed).
+  uint64_t SuperExec = 0;
+  /// Frame-reusing self tail calls taken (vm.tail_calls).
+  uint64_t TailCallsExec = 0;
   /// True when the collector runs the generational algorithm (cached so
   /// the non-generational store fast path stays a single branch).
   bool GenBarriers = false;
+  /// Cached Opts decisions for the hot loop.
+  bool ChecksAtCalls = false;  ///< AtEveryCall or RgcRegister.
+  bool CountCallChecks = false;///< AtEveryCall (Rgc checks are free).
+  bool SelfTagFloats = false;  ///< Tagged model with float self-tagging.
   uint32_t MaxFrames = 0;
   uint32_t MaxSlotWords = 0;
-  /// Sampling monitor hook: the dispatch loop decrements SampleFuel once
-  /// per step and calls takeSample() when it hits zero. With no monitor
-  /// attached the fuel starts at UINT64_MAX, so the disabled hot-path
-  /// cost is one decrement plus one never-taken branch (the same
-  /// disabled-by-null discipline as finishAlloc below).
+
+  /// Sampling monitor hook. The fuel counter stops the loop at the
+  /// absolute step NextSampleAt (UINT64_MAX with no monitor attached);
+  /// fireSample() attributes the sample and re-arms.
   Monitor *Mon = nullptr;
-  uint64_t SampleFuel = UINT64_MAX;
+  uint64_t SamplePeriod = 0;
+  uint64_t NextSampleAt = UINT64_MAX;
+  /// Next absolute step at which a tasking VM polls the coordinator for a
+  /// pending world-stop (re-armed at every exec() entry; UINT64_MAX for
+  /// the sequential VM).
+  uint64_t NextPollAt = UINT64_MAX;
+
+  /// The two dispatch loops, generated from vm/VmExec.inc. The threaded
+  /// loop doubles as the label-table exporter: called with \p TableOut it
+  /// returns the handler address table without executing (in non-threaded
+  /// builds it forwards to the switch loop).
+  StepResult execSwitchLoop(uint64_t Budget);
+  StepResult execThreadedLoop(uint64_t Budget, const void *const **TableOut);
+  /// Fills DInstr::Handler across \p D from the threaded loop's table.
+  void fillHandlers(DecodedProgram &D);
 
   void pushFrame(FuncId Callee, const Word *Args, unsigned NumArgs,
                  bool HasSelf, Word Self, SlotIndex CallerDst);
@@ -171,11 +258,16 @@ private:
   }
   bool fail(const std::string &Message);
 
-  /// Out-of-line sample point: attributes one profiler sample to the
-  /// current frame/opcode and re-arms SampleFuel.
-  void takeSample(uint32_t FrameIdx, Opcode Op);
+  /// Out-of-line sample point: attributes one profiler sample (class
+  /// \p Cls — for superinstructions, the class of the constituent the
+  /// sampled step lands on) and re-arms NextSampleAt.
+  void fireSample(uint32_t FrameIdx, OpClass Cls);
 
-  Word makeFloat(double D, CallSiteId Site, uint32_t FrameIdx, bool &Ok);
+  /// Tagged-model float read: self-tagged word or box pointer.
+  double readFloatTG(Word W) const {
+    return isSelfTagFloat(W) ? selfTagToFloat(W)
+                             : wordToFloat(*reinterpret_cast<const Word *>(W));
+  }
   double readFloat(Word W) const;
 };
 

@@ -109,6 +109,35 @@ frounds )" +
          num(Iters) + " 0.0\n";
 }
 
+std::string workloads::floatMath(int Iters) {
+  return R"(
+fun fm (i : int) (acc : float) : float =
+  if i = 0 then acc
+  else
+    let val t = acc *. 1.0000001 +. real i /. 3.0 -. 0.5
+    in fm (i - 1) (if t <. 1000000.0 then t else t /. 1000000.0) end;
+fm )" + num(Iters) +
+         " 1.0\n";
+}
+
+std::string workloads::opcodeMix(int Iters) {
+  return R"(
+datatype rec2 = R of int * int;
+
+fun pick (b : rec2) (i : int) : int =
+  case b of R(a, c) => if i mod 2 = 0 then a else c;
+
+fun mix (i : int) (acc : int) (b : rec2) : int =
+  if i = 0 then acc
+  else
+    let val v = pick b i
+        val acc2 = (acc * 5 + v - i) mod 999983
+    in mix (i - 1) (if acc2 < 0 then acc2 + 999983 else acc2) b end;
+
+mix )" + num(Iters) +
+         " 1 (R(3, 11))\n";
+}
+
 std::string workloads::variantRecords(int N) {
   return R"(
 datatype shape = Point | Circle of float | Rect of float * float;

@@ -43,6 +43,19 @@ std::string arithKernel(int Iters);
 /// tagged model).
 std::string floatKernel(int N, int Iters);
 
+/// Pure float arithmetic, no list allocation: Iters iterations of
+/// fadd/fmul/fdiv/flt on values kept in the self-taggable range. Under
+/// the tagged model with float self-tagging this allocates nothing in
+/// steady state (vm.float_boxes = 0); with --float-tag=box every
+/// intermediate is a heap box.
+std::string floatMath(int Iters);
+
+/// Opcode-mix kernel (E13): one call, one datatype field read, compares,
+/// branches and modular arithmetic per iteration over a single retained
+/// record — exercises every dispatch class without steady-state
+/// allocation, so the bench isolates dispatch+fusion from GC effects.
+std::string opcodeMix(int Iters);
+
 /// Variant records (paper section 2.3): a shape datatype with mixed
 /// nullary/unary/binary constructors.
 std::string variantRecords(int N);

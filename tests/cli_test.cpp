@@ -107,6 +107,63 @@ TEST(Cli, HelpRequestsUsage) {
   EXPECT_TRUE(HelpOnly);
 }
 
+TEST(Cli, DispatchAndFastPathFlagsParse) {
+  CliOptions O;
+  ASSERT_TRUE(parseOk({"--dispatch=switch", "--no-fuse", "--float-tag=box",
+                       "--no-tailcall", "-e", "1"},
+                      O));
+  EXPECT_EQ(O.Dispatch, DispatchMode::Switch);
+  EXPECT_FALSE(O.Fuse);
+  EXPECT_FALSE(O.FloatSelfTag);
+  EXPECT_FALSE(O.TailCalls);
+
+  // Defaults: auto dispatch, fusion, self-tagging and tail calls on.
+  CliOptions O2;
+  ASSERT_TRUE(parseOk({"-e", "1"}, O2));
+  EXPECT_EQ(O2.Dispatch, DispatchMode::Auto);
+  EXPECT_TRUE(O2.Fuse);
+  EXPECT_TRUE(O2.FloatSelfTag);
+  EXPECT_TRUE(O2.TailCalls);
+
+  // Bad values are usage errors naming the valid spellings.
+  std::string Err;
+  bool HelpOnly = false;
+  CliOptions O3;
+  EXPECT_FALSE(parseCli({"--dispatch=goto", "-e", "1"}, O3, Err, HelpOnly));
+  EXPECT_NE(Err.find("threaded | switch"), std::string::npos) << Err;
+  CliOptions O4;
+  EXPECT_FALSE(parseCli({"--float-tag=nan", "-e", "1"}, O4, Err, HelpOnly));
+  EXPECT_NE(Err.find("self | box"), std::string::npos) << Err;
+}
+
+TEST(Cli, ExplicitThreadedDispatchChecksAvailability) {
+  CliOptions O;
+  std::string Err;
+  bool HelpOnly = false;
+  bool Ok = parseCli({"--dispatch=threaded", "-e", "1"}, O, Err, HelpOnly);
+  if (Vm::threadedDispatchAvailable()) {
+    EXPECT_TRUE(Ok) << Err;
+    EXPECT_EQ(O.Dispatch, DispatchMode::Threaded);
+  } else {
+    EXPECT_FALSE(Ok);
+    EXPECT_NE(Err.find("threaded"), std::string::npos) << Err;
+  }
+}
+
+TEST(Cli, DispatchConfigurationsAgreeEndToEnd) {
+  // The same program through the CLI under every user-reachable fast-path
+  // configuration exits 0 — counter equality is pinned by the dispatch
+  // test suite; this pins the flag plumbing into runTfgc.
+  for (const char *Flag : {"--dispatch=switch", "--no-fuse",
+                           "--float-tag=box", "--no-tailcall"}) {
+    CliOptions O;
+    ASSERT_TRUE(parseOk({Flag, "--strategy=tagged", "--verify", "--stress",
+                         "--heap=16384", "-e", wl::floatKernel(12, 4)},
+                        O));
+    EXPECT_EQ(runTfgc(O), 0) << Flag;
+  }
+}
+
 TEST(Cli, ExitCodeZeroOnSuccess) {
   CliOptions O;
   ASSERT_TRUE(parseOk({"-e", "let val x = 20 in x + 22 end"}, O));
