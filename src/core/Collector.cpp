@@ -162,6 +162,7 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
                                  : Ms->liveWordsAfterSweep(),
                          heapCapacityBytes());
   }
+  epochSafepoint();
 }
 
 std::vector<HeapRoot> Collector::captureProfilerRoots(RootSet &Roots) const {
@@ -263,6 +264,8 @@ void Collector::collectGenerational(RootSet &Roots, size_t Need) {
   }
   if (NeedMajor)
     majorCollection(Roots, Need);
+  // One epoch per world pause, even when a minor escalated into a major.
+  epochSafepoint();
 }
 
 void Collector::minorCollection(RootSet &Roots, bool Promote) {
@@ -403,7 +406,30 @@ void Collector::majorCollection(RootSet &Roots, size_t Need) {
                        heapCapacityBytes());
 }
 
+void Collector::epochSafepoint() {
+  if (!Agg)
+    return;
+  // The mutators are stopped (this runs inside the collection pause), so
+  // publishing derived stats and folding the shards is race-free. The
+  // fold itself is allocation-free and runs at every pause; the derived
+  // gauges (percentiles, phase/census breakdowns) build dynamic string
+  // names, so mid-run they refresh at most every 10 ms — a /metrics
+  // scrape sees counters from *this* pause and gauges at most one
+  // scrape-interval stale. Run-end artifacts always get a full publish
+  // (Vm::flushCounters), so final totals are exact.
+  auto Now = std::chrono::steady_clock::now();
+  if (LastDerivedPublish.time_since_epoch().count() == 0 ||
+      Now - LastDerivedPublish >= std::chrono::milliseconds(10)) {
+    publishTelemetryStats();
+    LastDerivedPublish = Now;
+  }
+  Agg->fold(SafepointKind::Collection);
+}
+
 void Collector::publishTelemetryStats() {
+  // Derived stats use dynamic string names (phase/census breakdowns are
+  // data-dependent); every caller is at a safepoint, so legalize them.
+  Stats::SafepointScope Scope(St);
   const LogHistogram &Pause = Tel.pauseHistogram();
   if (Pause.count()) {
     St.set(StatId::GcPauseNsP50, Pause.percentile(50));

@@ -22,11 +22,13 @@
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
+#include "support/Epoch.h"
 #include "support/HeapProfile.h"
 #include "support/Monitor.h"
 #include "support/Stats.h"
 #include "support/Telemetry.h"
 
+#include <chrono>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -86,6 +88,13 @@ public:
       M->attachTelemetry(&Tel);
   }
   Monitor *monitor() { return Mon; }
+
+  /// Attaches the epoch aggregator (not owned; may be null). When present,
+  /// every collection ends — still inside the world-stopped pause — with a
+  /// publishTelemetryStats() + shard fold, so sinks observe a coherent
+  /// Collection epoch. Null (the default) costs nothing on any path.
+  void setEpochAggregator(EpochAggregator *A) { Agg = A; }
+  EpochAggregator *epochAggregator() { return Agg; }
 
   /// Flushes derived telemetry into the stats registry: pause percentiles
   /// (gc.pause_ns_p50/p90/p99), cumulative per-phase times
@@ -170,6 +179,10 @@ protected:
   Telemetry Tel;
   HeapProfiler *Prof = nullptr;
   Monitor *Mon = nullptr;
+  EpochAggregator *Agg = nullptr;
+  /// Last mid-run publishTelemetryStats() from epochSafepoint(); derived
+  /// gauges refresh at most every 10 ms between pauses (see there).
+  std::chrono::steady_clock::time_point LastDerivedPublish{};
   bool VerifyAfterGc = false;
   bool InjectVerifyViolation = false;
   std::unique_ptr<Heap> Copying;
@@ -187,6 +200,8 @@ private:
   void majorCollection(RootSet &Roots, size_t Need);
   void verifyPass(RootSet &Roots);
   void pruneRemset();
+  /// Publish + fold at the end of a world-stopped collection pause.
+  void epochSafepoint();
 
   /// Remembered set: a sequential store buffer with a dedup index so the
   /// same tenured slot stored repeatedly costs one entry per collection

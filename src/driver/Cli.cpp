@@ -3,11 +3,15 @@
 #include "driver/Cli.h"
 
 #include "ir/Ir.h"
+#include "support/Epoch.h"
+#include "support/Introspect.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace tfgc;
 
@@ -70,6 +74,16 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
       {"--monitor-sample-steps", true,
        "VM steps between profiler samples (default 512; implies "
        "--monitor)"},
+      {"--serve", true,
+       "live introspection HTTP server on 127.0.0.1:PORT (/metrics, "
+       "/snapshot, /heartbeat, /healthz; 0 picks a free port, printed to "
+       "stderr)"},
+      {"--serve-linger-ms", true,
+       "keep serving the final epoch for MS ms after the run ends "
+       "(requires --serve)"},
+      {"--metrics-out", true,
+       "write the final epoch as Prometheus text (flushed on abnormal "
+       "exit like the other artifacts)"},
       {"-e", true, "run inline source (the next argument is the program)"},
       {"--help", false, "print this help"},
       {"-h", false, "print this help"},
@@ -238,6 +252,17 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
     } else if (Name == "--monitor-sample-steps") {
       O.MonitorSampleSteps = std::strtoull(Value.c_str(), nullptr, 10);
       O.Monitor = true;
+    } else if (Name == "--serve") {
+      unsigned long Port = std::strtoul(Value.c_str(), nullptr, 10);
+      if (Port > 65535) {
+        Err = "--serve: port '" + Value + "' out of range";
+        return false;
+      }
+      O.ServePort = (int)Port;
+    } else if (Name == "--serve-linger-ms") {
+      O.ServeLingerMs = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (Name == "--metrics-out") {
+      O.MetricsOutPath = Value;
     } else if (Name == "-e") {
       if (++I >= Args.size()) {
         Err = "-e needs an argument";
@@ -258,6 +283,10 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
   }
   if (O.MonitorPeriodMs && O.MonitorOutPath.empty()) {
     Err = "--monitor-period-ms requires --monitor-out";
+    return false;
+  }
+  if (O.ServeLingerMs && O.ServePort < 0) {
+    Err = "--serve-linger-ms requires --serve";
     return false;
   }
   if (!O.HaveSource) {
@@ -336,6 +365,42 @@ int tfgc::runTfgc(const CliOptions &O) {
     }
   }
 
+  // Epoch aggregation + live introspection. Both are pure additions over
+  // the sharded Stats: with neither --serve nor --metrics-out, no
+  // aggregator is attached and no fold ever runs.
+  EpochAggregator Agg;
+  IntrospectServer Srv;
+  bool WantEpochs = O.ServePort >= 0 || !O.MetricsOutPath.empty();
+  if (WantEpochs) {
+    Agg.attachStats(&St);
+    Agg.setLabel(std::string(gcStrategyName(O.Strategy)) + "/" +
+                 gcAlgorithmName(O.Algo));
+    Col->setEpochAggregator(&Agg);
+    if (O.Monitor)
+      Mon.setAggregator(&Agg);
+    if (O.HeapProfile)
+      Agg.setSnapshotProvider([&Prof] {
+        std::ostringstream SS;
+        Prof.writeSnapshotJson(SS);
+        return SS.str();
+      });
+    if (O.ServePort >= 0) {
+      std::string SrvErr;
+      uint16_t Port = Srv.start((uint16_t)O.ServePort, SrvErr);
+      if (!Port) {
+        std::fprintf(stderr, "cannot start introspection server: %s\n",
+                     SrvErr.c_str());
+        return 2;
+      }
+      Agg.attachServer(&Srv);
+      std::fprintf(stderr, "tfgc: serving introspection on 127.0.0.1:%u\n",
+                   (unsigned)Port);
+    }
+    // Epoch 1: the world trivially stopped before any mutator ran, so
+    // /metrics answers coherently from the first scrape on.
+    Agg.fold(SafepointKind::Startup);
+  }
+
   Telemetry &Tel = Col->telemetry();
   Tel.setLabel(gcStrategyName(O.Strategy));
   if (O.GcLog)
@@ -365,6 +430,19 @@ int tfgc::runTfgc(const CliOptions &O) {
     Tel.endTrace();
   if (O.Monitor)
     Mon.finish();
+  // Final epoch: folded after the VM flushed its counters and the monitor
+  // finished, so it is bit-identical to the --stats-json counters written
+  // below (both read the same quiescent folded state).
+  if (WantEpochs)
+    Agg.fold(SafepointKind::RunEnd);
+  if (!O.MetricsOutPath.empty()) {
+    std::ofstream MetricsOut(O.MetricsOutPath);
+    if (!MetricsOut) {
+      std::fprintf(stderr, "cannot open '%s'\n", O.MetricsOutPath.c_str());
+      return 2;
+    }
+    MetricsOut << Agg.renderPrometheus();
+  }
   if (!O.StatsJsonPath.empty()) {
     std::ofstream JsonOut(O.StatsJsonPath);
     if (!JsonOut) {
@@ -381,6 +459,10 @@ int tfgc::runTfgc(const CliOptions &O) {
     }
     Prof.writeSnapshotJson(SnapOut);
   }
+  // With all artifacts flushed and the final epoch published, optionally
+  // keep the server up so external scrapers can pull end-of-run totals.
+  if (O.ServePort >= 0 && O.ServeLingerMs)
+    std::this_thread::sleep_for(std::chrono::milliseconds(O.ServeLingerMs));
 
   if (!R.Output.empty())
     std::fputs(R.Output.c_str(), stdout);

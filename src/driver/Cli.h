@@ -66,6 +66,14 @@ struct CliOptions {
   /// giving it without --monitor-out is a usage error.
   uint64_t MonitorPeriodMs = 0;
   uint64_t MonitorSampleSteps = 512;
+  /// Live introspection server: -1 = off, 0 = ephemeral port (the bound
+  /// port is printed to stderr), else the port to bind on 127.0.0.1.
+  int ServePort = -1;
+  /// Keep serving the final epoch for this long after the run (so
+  /// scrapers can pull end-of-run totals); requires --serve.
+  uint64_t ServeLingerMs = 0;
+  /// Write the final epoch as Prometheus text (abnormal exits included).
+  std::string MetricsOutPath;
   std::string HeapSnapshotPath;
   std::string TraceOutPath;
   std::string StatsJsonPath;

@@ -1,0 +1,155 @@
+//===- support/Epoch.cpp --------------------------------------------------===//
+
+#include "support/Epoch.h"
+
+#include "support/Introspect.h"
+
+#include <sstream>
+
+using namespace tfgc;
+
+const char *tfgc::safepointKindName(SafepointKind K) {
+  switch (K) {
+  case SafepointKind::Startup:
+    return "startup";
+  case SafepointKind::Collection:
+    return "collection";
+  case SafepointKind::Heartbeat:
+    return "heartbeat";
+  case SafepointKind::RunEnd:
+    return "run_end";
+  }
+  return "unknown";
+}
+
+uint64_t EpochAggregator::nowNs() const {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+namespace {
+
+/// Prometheus metric name: "gc.pause_ns_p50" -> "tfgc_gc_pause_ns_p50".
+std::string promName(const std::string &CounterName) {
+  std::string Out = "tfgc_";
+  Out.reserve(Out.size() + CounterName.size());
+  for (char C : CounterName) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out;
+}
+
+bool contains(const std::string &S, const char *Sub) {
+  return S.find(Sub) != std::string::npos;
+}
+
+/// Counter vs gauge for the TYPE line. Percentiles, high-water marks,
+/// occupancy and live-set sizes move both ways between epochs; everything
+/// else we export is monotone over a run.
+bool isGauge(const std::string &Name) {
+  if (Name == "heap.used_bytes" || Name == "heap.capacity_bytes")
+    return true;
+  if (Name.size() >= 4 && Name.compare(Name.size() - 4, 4, "_max") == 0)
+    return true;
+  return contains(Name, "_p50") || contains(Name, "_p90") ||
+         contains(Name, "_p99") || contains(Name, "ppm") ||
+         contains(Name, "live");
+}
+
+void promEscape(std::ostream &OS, const std::string &V) {
+  for (char C : V) {
+    if (C == '\\' || C == '"')
+      OS << '\\';
+    OS << C;
+  }
+}
+
+} // namespace
+
+const EpochSnapshot &EpochAggregator::latest() const {
+  static const EpochSnapshot Empty;
+  return History.empty() ? Empty : *History.back();
+}
+
+std::map<std::string, uint64_t> EpochSnapshot::counters() const {
+  std::map<std::string, uint64_t> Out = Dynamic;
+  auto Hint = Out.begin();
+  for (size_t I = 0; I < NumStatIds; ++I) {
+    StatId Id = (StatId)I;
+    if (!Folded.has(Id))
+      continue;
+    std::string_view N = Stats::name(Id);
+    while (Hint != Out.end() && Hint->first < N)
+      ++Hint;
+    Hint = Out.emplace_hint(Hint, std::string(N), Folded.get(Id));
+    ++Hint;
+  }
+  return Out;
+}
+
+const EpochSnapshot &EpochAggregator::fold(SafepointKind Kind) {
+  EpochSnapshot E;
+  E.Seq = ++NextSeq;
+  E.WhenNs = nowNs();
+  E.Reason = Kind;
+  if (St) {
+    // The scope both asserts "we are at a safepoint" and legalizes any
+    // dynamic-name publishes a sink performs while we hold it. The fold
+    // itself is allocation-free modulo the (normally empty) dynamic map.
+    Stats::SafepointScope Scope(*St);
+    E.Folded = St->folded();
+    E.Dynamic = St->dynamicCounters();
+  }
+  auto Snap = std::make_shared<const EpochSnapshot>(std::move(E));
+  History.push_back(Snap);
+  if (History.size() > HistoryCap)
+    History.pop_front();
+  if (Server) {
+    // Defer the text exposition to the scraper's thread: the closure owns
+    // an immutable snapshot, so it stays valid however long the server
+    // keeps it and never races a later fold.
+    Server->publishMetricsLazy(
+        [Snap, L = Label] { return renderPrometheusFor(*Snap, L); });
+    // Heap snapshots only change at collections; skip the (much more
+    // expensive) re-render on heartbeat folds.
+    if (SnapshotProvider && Kind != SafepointKind::Heartbeat)
+      Server->publishSnapshot(SnapshotProvider());
+  }
+  return *History.back();
+}
+
+void EpochAggregator::noteHeartbeat(const std::string &JsonLine) {
+  if (Server)
+    Server->publishHeartbeat(JsonLine);
+}
+
+std::string EpochAggregator::renderPrometheus() const {
+  return renderPrometheusFor(latest(), Label);
+}
+
+std::string EpochAggregator::renderPrometheusFor(const EpochSnapshot &E,
+                                                 const std::string &Label) {
+  std::ostringstream OS;
+  OS << "# tfgc epoch " << E.Seq << " (" << safepointKindName(E.Reason)
+     << " safepoint)\n";
+  if (!Label.empty()) {
+    OS << "# TYPE tfgc_info gauge\n";
+    OS << "tfgc_info{label=\"";
+    promEscape(OS, Label);
+    OS << "\"} 1\n";
+  }
+  OS << "# TYPE tfgc_epoch_seq counter\n";
+  OS << "tfgc_epoch_seq " << E.Seq << '\n';
+  OS << "# TYPE tfgc_epoch_time_ns counter\n";
+  OS << "tfgc_epoch_time_ns " << E.WhenNs << '\n';
+  for (const auto &[Name, Value] : E.counters()) {
+    std::string M = promName(Name);
+    OS << "# HELP " << M << " tfgc counter " << Name << '\n';
+    OS << "# TYPE " << M << (isGauge(Name) ? " gauge\n" : " counter\n");
+    OS << M << ' ' << Value << '\n';
+  }
+  return OS.str();
+}

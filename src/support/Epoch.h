@@ -1,0 +1,127 @@
+//===- support/Epoch.h - Safepoint epoch aggregation ------------*- C++ -*-===//
+///
+/// \file
+/// The consistency layer between the per-task StatsShard domains and every
+/// observability sink. Shards are written with plain unsynchronized stores
+/// on the mutator hot path; they are only ever *read as a set* here, at
+/// safepoints — collection boundaries, monitor heartbeats, and run end —
+/// where all mutators are stopped (today: cooperatively quiescent). Each
+/// fold produces an EpochSnapshot: a sequence-numbered, timestamped,
+/// immutable map of folded counters. Sinks (the introspection server,
+/// --metrics-out, tests) consume snapshots, never live shards, so a
+/// /metrics scrape can never observe a torn cross-counter state like
+/// "gc.collections advanced but gc.pause_ns_total not yet".
+///
+/// The aggregator also renders the Prometheus text exposition of the
+/// latest epoch and pushes prebuilt response bodies (metrics, heap
+/// snapshot JSON, latest heartbeat) into an attached IntrospectServer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_EPOCH_H
+#define TFGC_SUPPORT_EPOCH_H
+
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace tfgc {
+
+class IntrospectServer;
+
+/// Why a fold happened. Startup is the trivial epoch before any mutator
+/// runs (so /metrics never 503s); Collection folds happen inside the
+/// world-stopped pause (after the collector publishes its
+/// telemetry-derived stats); Heartbeat folds happen at monitor sample
+/// points; RunEnd is the final fold after the VM flushes its counters.
+enum class SafepointKind : uint8_t { Startup, Collection, Heartbeat, RunEnd };
+
+const char *safepointKindName(SafepointKind K);
+
+/// One folded, immutable view of every counter at a safepoint. The fixed
+/// counters are kept as a folded value-shard (the fold inside a pause is
+/// a plain array copy, no allocation); counters() materializes the
+/// name-ordered map on demand — sinks call it off the pause path (the
+/// /metrics render on the scraper's thread, --metrics-out at run end).
+struct EpochSnapshot {
+  uint64_t Seq = 0;
+  uint64_t WhenNs = 0;
+  SafepointKind Reason = SafepointKind::Collection;
+  StatsShard Folded;
+  std::map<std::string, uint64_t> Dynamic;
+
+  /// Every touched counter, name-ordered — identical to what Stats::all()
+  /// returned at the fold.
+  std::map<std::string, uint64_t> counters() const;
+};
+
+class EpochAggregator {
+public:
+  EpochAggregator() : Start(std::chrono::steady_clock::now()) {}
+
+  void attachStats(Stats *S) { St = S; }
+  void attachServer(IntrospectServer *Srv) { Server = Srv; }
+  /// Provider for the /snapshot body (schema-1 heap-profile JSON),
+  /// invoked inside the fold (i.e. at the safepoint) so the served
+  /// snapshot is epoch-coherent with /metrics.
+  void setSnapshotProvider(std::function<std::string()> P) {
+    SnapshotProvider = std::move(P);
+  }
+  /// Label rendered into the tfgc_info metric (strategy/algorithm).
+  void setLabel(const std::string &L) { Label = L; }
+
+  /// Folds all shards into a new epoch. Must be called at a safepoint;
+  /// takes a Stats::SafepointScope for the duration (dynamic-name
+  /// publishes from inside the fold are legal). Publishes the epoch to an
+  /// attached server: /metrics is handed over as a *deferred* render of
+  /// the immutable snapshot, so the (allocation-heavy) text exposition is
+  /// built on the scraper's thread at first GET, never inside the pause.
+  /// The /snapshot provider still runs eagerly (non-heartbeat folds): the
+  /// heap profile must be read at the safepoint, it cannot be deferred.
+  const EpochSnapshot &fold(SafepointKind Kind);
+
+  /// Records the latest monitor heartbeat line and forwards it to the
+  /// server's /heartbeat. Called by the Monitor right after it emits the
+  /// record, at the same sample point its Heartbeat fold runs.
+  void noteHeartbeat(const std::string &JsonLine);
+
+  uint64_t epochCount() const { return NextSeq; }
+  bool hasEpoch() const { return NextSeq > 0; }
+  const EpochSnapshot &latest() const;
+  /// Up to HistoryCap most recent snapshots, oldest first (test hook for
+  /// cross-epoch consistency; /metrics only ever serves the latest).
+  /// Snapshots are immutable once folded — shared_ptr elements so a
+  /// deferred /metrics render can outlive this ring without a deep copy.
+  const std::deque<std::shared_ptr<const EpochSnapshot>> &history() const {
+    return History;
+  }
+
+  /// Prometheus text exposition (version 0.0.4) of the latest epoch.
+  std::string renderPrometheus() const;
+  /// Same, for an arbitrary snapshot (what the deferred render runs).
+  static std::string renderPrometheusFor(const EpochSnapshot &E,
+                                         const std::string &Label);
+
+  static constexpr size_t HistoryCap = 64;
+
+private:
+  uint64_t nowNs() const;
+
+  Stats *St = nullptr;
+  IntrospectServer *Server = nullptr;
+  std::function<std::string()> SnapshotProvider;
+  std::string Label;
+  std::chrono::steady_clock::time_point Start;
+  uint64_t NextSeq = 0;
+  std::deque<std::shared_ptr<const EpochSnapshot>> History;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_EPOCH_H

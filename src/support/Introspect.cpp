@@ -1,0 +1,220 @@
+//===- support/Introspect.cpp ---------------------------------------------===//
+
+#include "support/Introspect.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace tfgc;
+
+uint16_t IntrospectServer::start(uint16_t Port, std::string &Err) {
+  if (Running.load()) {
+    Err = "introspection server already running";
+    return 0;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return 0;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, (sockaddr *)&Addr, sizeof(Addr)) < 0) {
+    std::ostringstream OS;
+    OS << "bind 127.0.0.1:" << Port << ": " << std::strerror(errno);
+    Err = OS.str();
+    ::close(Fd);
+    return 0;
+  }
+  if (::listen(Fd, 16) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return 0;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, (sockaddr *)&Addr, &Len) < 0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(Fd);
+    return 0;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd = Fd;
+  StopFlag.store(false);
+  Running.store(true);
+  Thread = std::thread([this] { serveLoop(); });
+  return BoundPort;
+}
+
+void IntrospectServer::stop() {
+  if (!Running.load())
+    return;
+  StopFlag.store(true);
+  // Wake the accept loop: shutdown makes a blocked poll/accept return.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (Thread.joinable())
+    Thread.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  Running.store(false);
+}
+
+void IntrospectServer::serveLoop() {
+  while (!StopFlag.load()) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (StopFlag.load())
+      break;
+    if (R <= 0)
+      continue;
+    int Conn = ::accept(ListenFd, nullptr, nullptr);
+    if (Conn < 0)
+      continue;
+    // Bound how long one client can hold the (single) serving thread.
+    timeval Tv{2, 0};
+    ::setsockopt(Conn, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(Conn, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+    handleConn(Conn);
+    ::close(Conn);
+  }
+}
+
+namespace {
+
+void writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += (size_t)N;
+  }
+}
+
+void respond(int Fd, int Status, const char *Reason, const char *ContentType,
+             const std::string &Body) {
+  std::ostringstream OS;
+  OS << "HTTP/1.1 " << Status << ' ' << Reason << "\r\n"
+     << "Content-Type: " << ContentType << "\r\n"
+     << "Content-Length: " << Body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << Body;
+  writeAll(Fd, OS.str());
+}
+
+} // namespace
+
+void IntrospectServer::handleConn(int Fd) {
+  // Read until the end of the request head (we ignore any body).
+  std::string Req;
+  char Buf[1024];
+  while (Req.size() < 16 * 1024 && Req.find("\r\n\r\n") == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Req.append(Buf, (size_t)N);
+  }
+  Requests.fetch_add(1);
+  size_t Eol = Req.find("\r\n");
+  std::string Line = Req.substr(0, Eol == std::string::npos ? Req.size() : Eol);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Line.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
+    respond(Fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  std::string Method = Line.substr(0, Sp1);
+  std::string Path = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  if (size_t Q = Path.find('?'); Q != std::string::npos)
+    Path.resize(Q);
+  if (Method != "GET") {
+    respond(Fd, 405, "Method Not Allowed", "text/plain",
+            "only GET is supported\n");
+    return;
+  }
+  if (Path == "/healthz") {
+    respond(Fd, 200, "OK", "text/plain", "ok\n");
+    return;
+  }
+  std::string Body;
+  if (Path == "/metrics") {
+    Body = metricsBody();
+    if (Body.empty())
+      respond(Fd, 503, "Service Unavailable", "text/plain",
+              "no epoch folded yet\n");
+    else
+      respond(Fd, 200, "OK", "text/plain; version=0.0.4", Body);
+    return;
+  }
+  if (Path == "/snapshot") {
+    {
+      std::lock_guard<std::mutex> G(BodyMutex);
+      Body = SnapshotBody;
+    }
+    if (Body.empty())
+      respond(Fd, 404, "Not Found", "text/plain",
+              "no heap snapshot (run with --heap-profile)\n");
+    else
+      respond(Fd, 200, "OK", "application/json", Body);
+    return;
+  }
+  if (Path == "/heartbeat") {
+    {
+      std::lock_guard<std::mutex> G(BodyMutex);
+      Body = HeartbeatBody;
+    }
+    if (Body.empty())
+      respond(Fd, 404, "Not Found", "text/plain",
+              "no heartbeat yet (run with --monitor)\n");
+    else
+      respond(Fd, 200, "OK", "application/json", Body);
+    return;
+  }
+  respond(Fd, 404, "Not Found", "text/plain",
+          "not found (try /metrics, /snapshot, /heartbeat, /healthz)\n");
+}
+
+std::string IntrospectServer::metricsBody() {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  if (MetricsBody.empty() && MetricsRender) {
+    // First scrape of this epoch: materialize the deferred render and
+    // cache it for subsequent scrapes. The closure holds an immutable
+    // snapshot, so running it here (the serving thread) is safe.
+    MetricsBody = MetricsRender();
+    MetricsRender = nullptr;
+  }
+  return MetricsBody;
+}
+
+void IntrospectServer::publishMetrics(std::string Body) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  MetricsBody = std::move(Body);
+  MetricsRender = nullptr;
+}
+
+void IntrospectServer::publishMetricsLazy(std::function<std::string()> Render) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  MetricsRender = std::move(Render);
+  MetricsBody.clear();
+}
+
+void IntrospectServer::publishSnapshot(std::string Body) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  SnapshotBody = std::move(Body);
+}
+
+void IntrospectServer::publishHeartbeat(std::string Body) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  HeartbeatBody = std::move(Body);
+}

@@ -1,0 +1,87 @@
+//===- support/Introspect.h - Live introspection server ---------*- C++ -*-===//
+///
+/// \file
+/// A minimal embedded HTTP/1.1 server (`tfgc --serve=PORT`) for live
+/// introspection of a running VM. It serves *epoch-coherent strings
+/// only*: the EpochAggregator pushes a /snapshot body (schema-1
+/// heap-profile JSON) and the latest /heartbeat record at each safepoint
+/// fold, plus a deferred /metrics render — a closure over the immutable
+/// epoch snapshot that the server materializes (and caches) on the
+/// scraper's thread at the first GET, so the text exposition is never
+/// built inside a collection pause. The accept loop runs on its own
+/// std::thread and never touches live StatsShards, the heap, or any VM
+/// state — a scrape can observe only epoch-coherent data, and a slow or
+/// hostile client can delay other scrapes but never the mutator.
+///
+/// Routes: /metrics (text/plain; Prometheus 0.0.4), /snapshot
+/// (application/json; 404 until a heap profile is published), /heartbeat
+/// (application/json; 404 until the monitor emits one), /healthz.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_INTROSPECT_H
+#define TFGC_SUPPORT_INTROSPECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tfgc {
+
+class IntrospectServer {
+public:
+  IntrospectServer() = default;
+  ~IntrospectServer() { stop(); }
+  IntrospectServer(const IntrospectServer &) = delete;
+  IntrospectServer &operator=(const IntrospectServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port) and starts the
+  /// accept thread. Returns the bound port, or 0 with \p Err set.
+  uint16_t start(uint16_t Port, std::string &Err);
+
+  /// Stops the accept thread and closes the socket. Idempotent; also run
+  /// by the destructor.
+  void stop();
+
+  bool running() const { return Running.load(); }
+  uint16_t port() const { return BoundPort; }
+
+  // -- Epoch-coherent bodies, pushed by the EpochAggregator ----------------
+  void publishMetrics(std::string Body);
+  /// Deferred /metrics: \p Render runs on the serving thread at the first
+  /// GET after this publish (then the result is cached until the next
+  /// publish). \p Render must capture only immutable state.
+  void publishMetricsLazy(std::function<std::string()> Render);
+  void publishSnapshot(std::string Body);
+  void publishHeartbeat(std::string Body);
+
+  /// Total requests answered (any route, any status). Test hook.
+  uint64_t requestsServed() const { return Requests.load(); }
+
+private:
+  void serveLoop();
+  void handleConn(int Fd);
+
+  std::thread Thread;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint64_t> Requests{0};
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+
+  /// Takes MetricsBody if cached, else materializes it from MetricsRender.
+  std::string metricsBody();
+
+  std::mutex BodyMutex;
+  std::string MetricsBody;
+  std::function<std::string()> MetricsRender;
+  std::string SnapshotBody;
+  std::string HeartbeatBody;
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_INTROSPECT_H

@@ -2,6 +2,8 @@
 
 #include "support/Monitor.h"
 
+#include "support/Epoch.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
@@ -170,7 +172,7 @@ void Monitor::recordSample(uint32_t Func, uint32_t Caller, OpClass C,
   Tasks[TaskIdx].Steps = SC.Steps;
   ++Tasks[TaskIdx].Samples;
 
-  if (!Stream)
+  if (!Stream && !Agg)
     return;
   uint64_t Now = nowNs();
   if (LastHbNs == NoTime)
@@ -294,12 +296,17 @@ void Monitor::writeTasksJson(std::ostream &OS) const {
 }
 
 void Monitor::emitHeartbeat(uint64_t Now, const SampleCounters &SC) {
+  // Sample points are cooperative safepoints (the VM flushes its hot
+  // counters before calling in): fold a Heartbeat epoch first so the
+  // served /metrics and this record describe the same instant.
+  if (Agg)
+    Agg->fold(SafepointKind::Heartbeat);
   uint64_t DtNs = Now - LastHbNs;
   double DtMs = (double)DtNs / 1e6;
   auto Rate = [&](uint64_t Cur, uint64_t Prev) {
     return DtMs > 0.0 && Cur >= Prev ? (double)(Cur - Prev) / DtMs : 0.0;
   };
-  std::ostream &OS = *Stream;
+  std::ostringstream OS;
   OS << "{\"type\": \"heartbeat\", \"seq\": " << HeartbeatSeq++
      << ", \"t_ns\": " << (Now - RunStartNs) << ", \"dt_ns\": " << DtNs
      << ", \"steps\": " << stepsObserved() << ", \"samples\": " << Samples
@@ -334,7 +341,13 @@ void Monitor::emitHeartbeat(uint64_t Now, const SampleCounters &SC) {
     OS << "}";
   }
   OS << "}\n";
-  OS.flush();
+  std::string Line = OS.str();
+  if (Stream) {
+    *Stream << Line;
+    Stream->flush();
+  }
+  if (Agg)
+    Agg->noteHeartbeat(Line);
   ++Heartbeats;
   LastHbNs = Now;
   LastHbCounters = SC;

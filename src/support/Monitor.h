@@ -57,6 +57,8 @@
 
 namespace tfgc {
 
+class EpochAggregator;
+
 /// Coarse instruction classes for sample attribution (the VM maps each
 /// Opcode onto one of these; the support layer never sees the IR).
 enum class OpClass : uint8_t {
@@ -143,6 +145,12 @@ public:
   /// Starts JSONL streaming: writes the header record immediately,
   /// heartbeats from sample points, and the summary record at finish().
   void setStream(std::ostream *OS);
+  /// Attaches the epoch aggregator (not owned; may be null). With an
+  /// aggregator, every heartbeat becomes a Heartbeat safepoint: the
+  /// shards are folded into a new epoch *before* the record is built, and
+  /// the rendered line is forwarded to the introspection server's
+  /// /heartbeat — heartbeats fire even without a --monitor-out stream.
+  void setAggregator(EpochAggregator *A) { Agg = A; }
 
   uint64_t samplePeriodSteps() const { return Opts.SamplePeriodSteps; }
   uint64_t heartbeatPeriodMs() const { return Opts.HeartbeatPeriodMs; }
@@ -212,6 +220,7 @@ private:
   Options Opts;
   Telemetry *Tel = nullptr;
   const Stats *St = nullptr;
+  EpochAggregator *Agg = nullptr;
   std::ostream *Stream = nullptr;
   std::vector<std::string> FuncNames;
   std::string Label;

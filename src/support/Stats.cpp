@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace tfgc;
@@ -92,11 +94,73 @@ StatId Stats::idForName(std::string_view Name) {
   return StatId::NumIds;
 }
 
+StatsShard &Stats::shardForTask(uint32_t TaskIndex) {
+  size_t Want = (size_t)TaskIndex + 2; // shard 0 is the collector domain
+  while (Shards.size() < Want)
+    Shards.emplace_back(std::make_unique<StatsShard>());
+  return *Shards[(size_t)TaskIndex + 1];
+}
+
+uint64_t Stats::foldOne(StatId Id) const {
+  uint64_t V = 0;
+  if (statFold(Id) == StatFold::Max) {
+    for (const auto &S : Shards)
+      V = std::max(V, S->get(Id));
+  } else {
+    for (const auto &S : Shards)
+      V += S->get(Id);
+  }
+  return V;
+}
+
+uint64_t &Stats::dynamicSlot(const std::string &Name) {
+  if (Shards.size() > 1 && SafepointDepth == 0)
+    dynamicGuardFailure(Name);
+  return Dynamic[Name];
+}
+
+void Stats::dynamicGuardFailure(const std::string &Name) const {
+  // Hard abort, not assert(): the race this guards against (mutating the
+  // shared name map while other shards' owners run) corrupts data in
+  // release builds too, and must be caught before real threads arrive.
+  std::fprintf(stderr,
+               "tfgc: fatal: dynamic stat \"%s\" registered outside a "
+               "safepoint while %zu counter shards are live.\n"
+               "Dynamic string-name stats mutate the shared side map; with "
+               "per-task shards this is only legal inside a "
+               "Stats::SafepointScope (collection boundary, monitor "
+               "heartbeat, or run end). Either move the write into a "
+               "safepoint publish path, or promote the counter to a fixed "
+               "StatId.\n",
+               Name.c_str(), Shards.size());
+  std::abort();
+}
+
 std::map<std::string, uint64_t> Stats::all() const {
   std::map<std::string, uint64_t> Out = Dynamic;
+  // Fixed names arrive in increasing order, so with an empty/small Dynamic
+  // the end() hint makes each insert O(1) — this runs in every epoch fold.
+  auto Hint = Out.begin();
   for (size_t I = 0; I < NumFixed; ++I)
-    if (has((StatId)I))
-      Out.emplace(std::string(FixedNames[I]), Fixed[I]);
+    if (has((StatId)I)) {
+      while (Hint != Out.end() && Hint->first < FixedNames[I])
+        ++Hint;
+      Hint = Out.emplace_hint(Hint, std::string(FixedNames[I]),
+                              foldOne((StatId)I));
+      ++Hint;
+    }
+  return Out;
+}
+
+StatsShard Stats::folded() const {
+  if (Shards.size() == 1)
+    return *Base;
+  StatsShard Out;
+  for (size_t I = 0; I < NumFixed; ++I) {
+    StatId Id = (StatId)I;
+    if (has(Id))
+      Out.set(Id, foldOne(Id));
+  }
   return Out;
 }
 
@@ -108,7 +172,7 @@ std::string Stats::render() const {
   size_t I = 0;
   auto It = Dynamic.begin();
   auto emitFixed = [&] {
-    OS << FixedNames[I] << " = " << Fixed[I] << '\n';
+    OS << FixedNames[I] << " = " << foldOne((StatId)I) << '\n';
     ++I;
   };
   while (I < NumFixed || It != Dynamic.end()) {

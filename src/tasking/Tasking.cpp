@@ -164,6 +164,9 @@ bool TaskingRuntime::runAll() {
 
 void TaskingRuntime::publishTaskStats() {
   Stats &St = Col.stats();
+  // Runs with the world quiescent (run end or scheduler abort); the
+  // per-task names are dynamic, so mark the safepoint for the shard guard.
+  Stats::SafepointScope Scope(St);
   for (size_t I = 0; I < Tasks.size(); ++I) {
     std::string Base = "task." + std::to_string(I);
     St.set(Base + ".mutator_steps", Tasks[I].Machine->steps());

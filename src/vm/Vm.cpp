@@ -15,6 +15,7 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
   if (Model == ValueModel::Tagged)
     this->Opts.ZeroFrames = true;
   GenBarriers = Col.algorithm() == GcAlgorithm::Generational;
+  Shard = &Col.stats().shardForTask(this->Opts.TaskIndex);
   Mon = Col.monitor();
   if (Mon) {
     SamplePeriod = Mon->samplePeriodSteps();
@@ -112,6 +113,7 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
     ++SuspendChecksRun;
     assert(Opts.Coord && "tasking checks without a coordinator");
     if (Opts.Coord->gcPending()) {
+      flushHotCounters(); // Entering the world-stop: make vm.* foldable.
       Blocked = true;
       return nullptr;
     }
@@ -119,18 +121,22 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
     if (P)
       return finishAlloc(P, Site);
     Opts.Coord->requestGc(PayloadWords);
+    flushHotCounters();
     Blocked = true;
     return nullptr;
   }
 
   RootSet Roots;
   Roots.Stacks.push_back(&Stack);
-  if (Opts.GcStress)
+  if (Opts.GcStress) {
+    flushHotCounters();
     Col.collect(Roots, PayloadWords);
+  }
 
   Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
   if (P)
     return finishAlloc(P, Site);
+  flushHotCounters(); // Collection boundary: the epoch fold reads vm.*.
   Col.collect(Roots, PayloadWords);
   P = Col.tryAllocatePayload(PayloadWords, Kind);
   if (!P)
@@ -229,12 +235,36 @@ void Vm::fireSample(uint32_t FrameIdx, OpClass Cls) {
   uint32_t Caller = F.DynamicLink == NoFrame
                         ? Monitor::NoFunc
                         : Stack.Frames[F.DynamicLink].FuncId;
+  // Sample points are cooperative safepoints: flush this task's hot
+  // counters first so the monitor's snapshot (and any heartbeat epoch
+  // fold it triggers) reads fresh folded values.
+  flushHotCounters();
   Monitor::SampleCounters SC;
   SC.Steps = At;
   SC.AllocBytes = Col.bytesAllocatedTotal();
-  SC.BarrierOps = Col.stats().get(StatId::GcBarrierOps) + BarrierOps;
+  SC.BarrierOps = Col.stats().get(StatId::GcBarrierOps);
   SC.RemsetEntries = Col.stats().get(StatId::GcRemsetEntries);
   Mon->recordSample(F.FuncId, Caller, Cls, Opts.TaskIndex, SC);
+}
+
+void Vm::flushHotCounters() {
+  // set() for cumulative per-VM counters (idempotent across repeated
+  // flushes; sequential re-runs on the same Stats overwrite like the
+  // pre-sharding implementation did), add-with-reset for the two counters
+  // other components also contribute to.
+  Shard->set(StatId::VmSteps, Steps);
+  Shard->set(StatId::VmSuperinstructions, SuperExec);
+  Shard->set(StatId::VmTailCalls, TailCallsExec);
+  Shard->set(StatId::VmTagOps, TagOps);
+  Shard->set(StatId::VmFloatBoxes, FloatBoxes);
+  Shard->set(StatId::VmCalls, Calls);
+  Shard->set(StatId::VmFrameWordsZeroed, WordsZeroed);
+  Shard->set(StatId::VmMaxFrames, MaxFrames);
+  Shard->set(StatId::VmMaxSlotWords, MaxSlotWords);
+  Shard->add(StatId::TaskSuspendChecks, SuspendChecksRun);
+  SuspendChecksRun = 0;
+  Shard->add(StatId::GcBarrierOps, BarrierOps);
+  BarrierOps = 0;
 }
 
 void Vm::flushCounters() {
@@ -243,19 +273,9 @@ void Vm::flushCounters() {
     Mon->noteTaskSteps(Opts.TaskIndex, Steps);
     Mon->endRun();
   }
-  St.set(StatId::VmSteps, Steps);
-  St.set(StatId::VmSuperinstructions, SuperExec);
-  St.set(StatId::VmTailCalls, TailCallsExec);
-  St.set(StatId::VmTagOps, TagOps);
-  St.set(StatId::VmFloatBoxes, FloatBoxes);
-  St.set(StatId::VmCalls, Calls);
-  St.set(StatId::VmFrameWordsZeroed, WordsZeroed);
-  St.set(StatId::VmMaxFrames, MaxFrames);
-  St.set(StatId::VmMaxSlotWords, MaxSlotWords);
-  St.add(StatId::TaskSuspendChecks, SuspendChecksRun);
-  SuspendChecksRun = 0;
-  St.add(StatId::GcBarrierOps, BarrierOps);
-  BarrierOps = 0;
+  flushHotCounters();
+  // Gauges describe the shared heap, not this task: they go through the
+  // facade (shard 0) so the fold is the identity for them.
   St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
   St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
   St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());

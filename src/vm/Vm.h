@@ -170,6 +170,13 @@ public:
   /// stats registry; called automatically at the end of run().
   void flushCounters();
 
+  /// Flushes only the VM-owned hot counters into this task's StatsShard —
+  /// no gauges, no telemetry publish. Called at every safepoint the VM
+  /// reaches (GC handoff in allocate(), sample points) so collection and
+  /// heartbeat epoch folds see fresh vm.* values. Cheap: a dozen stores
+  /// into the task's own cache-line-padded shard.
+  void flushHotCounters();
+
   /// Steps between tasking safepoint polls in the fuel counter; also the
   /// guaranteed minimum progress per exec() before a poll may yield.
   static constexpr uint64_t SafepointPollSteps = 64;
@@ -186,6 +193,11 @@ private:
   DecodedProgram *DP = nullptr;
   std::unique_ptr<DecodedProgram> OwnedDecoded;
   bool UseThreaded = false;
+
+  /// This task's counter shard (task TaskIndex -> shard TaskIndex+1;
+  /// shard 0 is the collector's). Written with plain stores only by this
+  /// VM; read by epoch folds at safepoints.
+  StatsShard *Shard = nullptr;
 
   TaskStack Stack;
   uint32_t SlotTop = 0;

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validates a tfgc Prometheus exposition (from /metrics or --metrics-out).
+
+Checks exposition syntax (version 0.0.4 text format as tfgc emits it) and
+cross-metric sanity, exit 1 on violation:
+
+  * every sample line parses as `name value` or `name{labels} value` with a
+    legal metric name and a non-negative integer value;
+  * every sample is preceded by a `# TYPE` for its name, typed counter or
+    gauge, and no name is sampled twice;
+  * `tfgc_epoch_seq` is present and >= 1 (the run folded at least the
+    startup epoch);
+  * heap.used <= heap.capacity, pause max <= pause total, collections
+    split (minor + major) <= total collections.
+
+With --against-stats STATS.json, additionally asserts that every counter in
+the stats JSON's `counters` map appears in the exposition under its
+Prometheus name (`gc.pause_ns_max` -> `tfgc_gc_pause_ns_max`) with exactly
+the same value — the end-of-run /metrics epoch and --stats-json are folded
+from the same quiescent shard state, so any difference is a bug.
+
+Usage: check_metrics.py [--against-stats STATS.json] METRICS.txt
+       curl -s localhost:PORT/metrics | check_metrics.py -
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+
+def prom_name(counter):
+    """Mirror of promName() in src/support/Epoch.cpp."""
+    return "tfgc_" + "".join(
+        c if c.isascii() and (c.isalnum() or c == "_") else "_"
+        for c in counter)
+
+
+def parse(text, where):
+    types = {}
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                assert len(parts) == 4, f"{where}:{lineno}: malformed TYPE"
+                name, kind = parts[2], parts[3]
+                assert NAME_RE.match(name), (
+                    f"{where}:{lineno}: bad metric name {name!r}")
+                assert kind in ("counter", "gauge"), (
+                    f"{where}:{lineno}: TYPE {name} is {kind!r}, "
+                    "want counter or gauge")
+                assert name not in types, (
+                    f"{where}:{lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        assert m, f"{where}:{lineno}: unparseable sample line: {line!r}"
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        assert name in types, (
+            f"{where}:{lineno}: sample {name} has no preceding # TYPE")
+        assert name not in samples, f"{where}:{lineno}: duplicate sample {name}"
+        if labels:
+            assert labels.count('"') % 2 == 0, (
+                f"{where}:{lineno}: unbalanced quotes in labels: {labels!r}")
+        assert re.match(r"^\d+$", value), (
+            f"{where}:{lineno}: value of {name} is {value!r}, "
+            "want a non-negative integer")
+        samples[name] = int(value)
+    assert samples, f"{where}: no samples"
+    return types, samples
+
+
+def sanity(samples):
+    assert "tfgc_epoch_seq" in samples, "missing tfgc_epoch_seq"
+    assert samples["tfgc_epoch_seq"] >= 1, "epoch seq below 1"
+
+    def both(a, b):
+        return a in samples and b in samples
+
+    if both("tfgc_heap_used_bytes", "tfgc_heap_capacity_bytes"):
+        assert samples["tfgc_heap_used_bytes"] <= \
+            samples["tfgc_heap_capacity_bytes"], "heap used > capacity"
+    if both("tfgc_gc_pause_ns_max", "tfgc_gc_pause_ns_total"):
+        assert samples["tfgc_gc_pause_ns_max"] <= \
+            samples["tfgc_gc_pause_ns_total"], "pause max > pause total"
+    if both("tfgc_gc_minor_collections", "tfgc_gc_collections"):
+        minor = samples["tfgc_gc_minor_collections"]
+        major = samples.get("tfgc_gc_major_collections", 0)
+        assert minor + major <= samples["tfgc_gc_collections"], (
+            "minor + major collections exceed total")
+
+
+def against_stats(samples, stats_path):
+    with open(stats_path) as f:
+        stats = json.load(f)
+    counters = stats.get("counters")
+    assert isinstance(counters, dict), f"{stats_path}: no counters map"
+    bad = []
+    for name, want in sorted(counters.items()):
+        metric = prom_name(name)
+        if metric not in samples:
+            bad.append(f"{name}: missing metric {metric}")
+        elif samples[metric] != want:
+            bad.append(f"{name}: metrics={samples[metric]} stats={want}")
+    assert not bad, ("metrics/stats mismatch:\n  " + "\n  ".join(bad))
+    print(f"against-stats: {len(counters)} counters match exactly")
+
+
+def main():
+    args = sys.argv[1:]
+    stats_path = None
+    if args and args[0] == "--against-stats":
+        assert len(args) >= 2, "--against-stats needs a file"
+        stats_path = args[1]
+        args = args[2:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    text = sys.stdin.read() if args[0] == "-" else open(args[0]).read()
+    where = "<stdin>" if args[0] == "-" else args[0]
+    types, samples = parse(text, where)
+    sanity(samples)
+    if stats_path:
+        against_stats(samples, stats_path)
+    gauges = sum(1 for k in types.values() if k == "gauge")
+    print(f"{where}: {len(samples)} samples "
+          f"({gauges} gauges), epoch {samples['tfgc_epoch_seq']}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,37 +33,55 @@ COVERAGE_MAX = 1.05
 
 
 def load(path):
-    records = []
     with open(path) as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError as e:
-                raise AssertionError(f"{path}:{lineno}: invalid JSON: {e}")
-            assert isinstance(rec, dict) and "type" in rec, (
-                f"{path}:{lineno}: record has no type")
-            records.append(rec)
+        lines = [(n, s.strip()) for n, s in enumerate(f, 1) if s.strip()]
+    records = []
+    truncated = False
+    last = lines[-1][0] if lines else 0
+    for lineno, line in lines:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            if lineno == last:
+                # A run killed mid-write (crash, SIGKILL, full disk) leaves
+                # a partial final record; the preceding stream is intact and
+                # still worth checking, so report rather than fail.
+                print(f"{path}:{lineno}: trailing partial record "
+                      f"({len(line)} bytes, ignored): {e}", file=sys.stderr)
+                truncated = True
+                break
+            raise AssertionError(f"{path}:{lineno}: invalid JSON: {e}")
+        assert isinstance(rec, dict) and "type" in rec, (
+            f"{path}:{lineno}: record has no type")
+        records.append(rec)
     assert records, f"{path}: empty stream"
-    return records
+    return records, truncated
 
 
-def split(records):
+def split(records, truncated=False):
     header = records[0]
     assert header["type"] == "header", "first record is not the header"
     assert header["schema"] == 1, f"unknown schema {header['schema']}"
     assert header["tool"] == "tfgc-monitor", "not a tfgc-monitor stream"
     summaries = [r for r in records if r["type"] == "summary"]
+    heartbeats = [r for r in records if r["type"] == "heartbeat"]
+    if truncated and not summaries:
+        # The dropped partial was (or preceded) the summary; check what
+        # survives rather than demanding a record the writer never finished.
+        return header, heartbeats, None
     assert len(summaries) == 1, f"want exactly 1 summary, got {len(summaries)}"
     assert records[-1]["type"] == "summary", "summary is not the last record"
-    heartbeats = [r for r in records if r["type"] == "heartbeat"]
     return header, heartbeats, summaries[0]
 
 
 def check(path):
-    header, heartbeats, summary = split(load(path))
+    records, truncated = load(path)
+    header, heartbeats, summary = split(records, truncated)
+    if summary is None:
+        check_heartbeats(header, heartbeats, summary=None)
+        print("ok (truncated stream: header and "
+              f"{len(heartbeats)} heartbeats checked, no summary)")
+        return 0
     assert summary["schema"] == 1
 
     wall = summary["wall_ns"]
@@ -90,9 +108,22 @@ def check(path):
         f"samples*period={samples * period} vs steps={steps}: "
         f"drift {drift} exceeds tolerance {tolerance:.0f}")
 
-    assert summary["heartbeats"] == len(heartbeats), (
-        f"summary says {summary['heartbeats']} heartbeats, "
-        f"stream has {len(heartbeats)}")
+    check_heartbeats(header, heartbeats, summary)
+
+    for v in summary["mmu"].values():
+        assert 0.0 <= v <= 1.0
+    # MMU is monotone in the window size.
+    assert summary["mmu"]["1ms"] <= summary["mmu"]["10ms"] + 1e-9
+    assert summary["mmu"]["10ms"] <= summary["mmu"]["100ms"] + 1e-9
+    print("ok")
+    return 0
+
+
+def check_heartbeats(header, heartbeats, summary):
+    if summary is not None:
+        assert summary["heartbeats"] == len(heartbeats), (
+            f"summary says {summary['heartbeats']} heartbeats, "
+            f"stream has {len(heartbeats)}")
     period_ns = header["heartbeat_period_ms"] * 1e6
     last_t, last_seq = None, None
     for hb in heartbeats:
@@ -111,17 +142,14 @@ def check(path):
         last_t, last_seq = hb["t_ns"], hb["seq"]
     print(f"heartbeats={len(heartbeats)} ok")
 
-    for v in summary["mmu"].values():
-        assert 0.0 <= v <= 1.0
-    # MMU is monotone in the window size.
-    assert summary["mmu"]["1ms"] <= summary["mmu"]["10ms"] + 1e-9
-    assert summary["mmu"]["10ms"] <= summary["mmu"]["100ms"] + 1e-9
-    print("ok")
-    return 0
-
 
 def render(path):
-    header, heartbeats, summary = split(load(path))
+    records, truncated = load(path)
+    header, heartbeats, summary = split(records, truncated)
+    if summary is None:
+        print(f"monitor stream: {path}  (truncated: no summary)")
+        print(f"  heartbeats    {len(heartbeats)}")
+        return 0
     label = summary.get("label", "")
     wall_ms = summary["wall_ns"] / 1e6
     print(f"monitor stream: {path}  {label}")
