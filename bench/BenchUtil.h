@@ -61,9 +61,11 @@ public:
   /// Labels subsequent record() calls with the workload being tabled.
   void setWorkload(std::string W) { Workload = std::move(W); }
 
-  /// Captures one deterministic run's counters.
+  /// Captures one deterministic run's counters. \p Threads labels rows
+  /// from the OS-thread runtime (E15); 0 omits the field (sequential VM).
   void record(const char *Strategy, GcAlgorithm A, size_t HeapBytes,
-              const Stats &St, size_t NurseryBytes = 0) {
+              const Stats &St, size_t NurseryBytes = 0,
+              unsigned Threads = 0) {
     if (!enabled())
       return;
     std::ostringstream OS;
@@ -72,6 +74,8 @@ public:
        << "\", \"heap_bytes\": " << HeapBytes;
     if (NurseryBytes)
       OS << ", \"nursery_bytes\": " << NurseryBytes;
+    if (Threads)
+      OS << ", \"threads\": " << Threads;
     OS << ", \"counters\": {";
     bool First = true;
     for (const auto &[Name, Value] : St.all()) {

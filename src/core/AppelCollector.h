@@ -45,10 +45,17 @@ private:
 
   /// Walks the dynamic chain downward from frame \p Idx until the type
   /// parameters of its function are ground (paper section 3's description
-  /// of Appel's approach).
+  /// of Appel's approach). Counters land in \p S (a worker's private
+  /// domain on the parallel path).
   std::vector<const TypeGc *> resolveBinds(TaskStack &Stack, uint32_t Idx,
                                            TypeGcEngine &Eng,
-                                           TagFreeTracer &Tr);
+                                           TagFreeTracer &Tr, Stats &S);
+
+  /// Traces one task's stack newest-to-oldest. \p T is the telemetry to
+  /// charge phase spans to; parallel GC workers pass nullptr along with
+  /// their private engine/stats.
+  void traceOneStack(TaskStack &Stack, TagFreeTracer &Tr, TypeGcEngine &E,
+                     Stats &S, Telemetry *T);
 };
 
 } // namespace tfgc

@@ -3,10 +3,12 @@
 #include "core/Collector.h"
 #include "core/Space.h"
 #include "gcmeta/CompiledRoutines.h"
+#include "sched/WorkSteal.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 using namespace tfgc;
 
@@ -51,21 +53,138 @@ Collector::Collector(ValueModel Model, GcAlgorithm Algo, size_t HeapBytes,
   }
 }
 
-Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind) {
+Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind,
+                                    Tlab *T, StatsShard *Sh) {
   assert(PayloadWords > 0);
   size_t Total =
       Model == ValueModel::Tagged ? PayloadWords + 1 : PayloadWords;
-  Word *P = Copying ? Copying->tryAllocate(Total)
-            : Ms    ? Ms->tryAllocate(Total)
-                    : Gen->tryAllocate(Total);
+  Word *P;
+  if (T && !Ms) {
+    // Threaded bump-heap path: thread-local bump, CAS refill on miss.
+    P = T->bump(Total);
+    if (!P) {
+      Word *Top, *End;
+      bool Ok = Copying
+                    ? Copying->refillTlab(Total, Tlab::ChunkWords, Top, End)
+                    : Gen->refillTlab(Total, Tlab::ChunkWords, Top, End);
+      if (!Ok)
+        return nullptr;
+      T->Top = Top;
+      T->End = End;
+      ++T->Refills;
+      P = T->bump(Total);
+    }
+  } else if (Ms && ParallelMutators) {
+    // Mark-sweep has free lists, not a bump cursor: serialize.
+    std::lock_guard<std::mutex> Lock(MutatorMutex);
+    P = Ms->tryAllocate(Total);
+  } else {
+    P = Copying ? Copying->tryAllocate(Total)
+        : Ms    ? Ms->tryAllocate(Total)
+                : Gen->tryAllocate(Total);
+  }
   if (!P)
     return nullptr;
-  St.add(StatId::HeapObjectsAllocated);
+  if (Sh)
+    Sh->add(StatId::HeapObjectsAllocated);
+  else
+    St.add(StatId::HeapObjectsAllocated);
   if (Model == ValueModel::Tagged) {
     P[0] = makeHeader((uint32_t)PayloadWords, Kind);
     return P + 1;
   }
   return P;
+}
+
+void Collector::setGcThreads(unsigned N) {
+  GcThreads = N ? N : 1;
+  bool Par = GcThreads > 1;
+  if (Copying)
+    Copying->setParallelTracing(Par);
+  if (Gen)
+    Gen->setParallelTracing(Par);
+}
+
+bool Collector::traceStacksParallel(
+    RootSet &Roots, Space &Sp,
+    const std::function<void(TaskStack &Stack, Space &WorkerSp,
+                             Stats &WorkerSt, CensusCounts &WorkerCensus)>
+        &TraceStack) {
+  unsigned NumStacks = (unsigned)Roots.Stacks.size();
+  if (GcThreads < 2 || Prof || NumStacks < 2)
+    return false;
+  unsigned K = std::min(GcThreads, NumStacks);
+
+  // A worker's private world: a sibling Space targeting the same heap
+  // through the claim/publish protocol, a counter domain, a census
+  // accumulator, and a deque of stack indices. unique_ptr because the
+  // deque holds atomics (not movable).
+  struct WorkerCtx {
+    std::unique_ptr<Space> Sp;
+    Stats St;
+    CensusCounts Census;
+    WorkStealDeque<uint32_t> Deque;
+  };
+  std::vector<std::unique_ptr<WorkerCtx>> Workers;
+  for (unsigned W = 0; W < K; ++W) {
+    auto C = std::make_unique<WorkerCtx>();
+    C->Sp = Sp.makeWorkerSpace();
+    if (!C->Sp)
+      return false; // CheckSpace / unarmed heap: serial only.
+    Workers.push_back(std::move(C));
+  }
+  // Seed round-robin before any thread exists (owner-only push is safe:
+  // nobody steals yet).
+  for (uint32_t I = 0; I < NumStacks; ++I)
+    Workers[I % K]->Deque.push(I);
+
+  auto RunWorker = [&](unsigned W) {
+    WorkerCtx &C = *Workers[W];
+    for (;;) {
+      uint32_t Idx;
+      bool Ran = false;
+      while (C.Deque.pop(Idx)) {
+        Ran = true;
+        TraceStack(*Roots.Stacks[Idx], *C.Sp, C.St, C.Census);
+      }
+      bool Any = false;
+      for (unsigned D = 1; D < K; ++D) {
+        WorkStealDeque<uint32_t> &Victim = Workers[(W + D) % K]->Deque;
+        if (Victim.steal(Idx)) {
+          C.St.add(StatId::GcStackSteals);
+          TraceStack(*Roots.Stacks[Idx], *C.Sp, C.St, C.Census);
+          Ran = Any = true;
+          break;
+        }
+        if (!Victim.emptyApprox())
+          Any = true; // Lost a race to another thief; sweep again.
+      }
+      if (!Ran && !Any)
+        break;
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(K - 1);
+  for (unsigned W = 1; W < K; ++W)
+    Threads.emplace_back([&RunWorker, W] {
+      Stats::setThreadLabel("gc-worker");
+      RunWorker(W);
+    });
+  RunWorker(0);
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // Single-threaded again (joins give happens-before): merge each
+  // worker's space-local tallies, counters, and census.
+  for (auto &C : Workers) {
+    Sp.mergeWorker(*C->Sp);
+    Stats::mergeShard(St.baseShard(), C->St.baseShard());
+    Tel.censusBulk(C->Census);
+  }
+  St.add(StatId::GcParallelTraces);
+  St.max(StatId::GcParallelWorkers, K);
+  return true;
 }
 
 void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
@@ -210,6 +329,11 @@ void Collector::verifyPass(RootSet &Roots) {
 }
 
 void Collector::recordRemset(Word *Slot, Type *Ty) {
+  // Concurrent mutators race here (the fast-path filters in writeBarrier
+  // are read-only); cooperative runs never contend.
+  std::unique_lock<std::mutex> Lock(MutatorMutex, std::defer_lock);
+  if (ParallelMutators)
+    Lock.lock();
   if (Model != ValueModel::Tagged && (!Ty || !isGroundType(Ty))) {
     // Without headers a slot holding a non-ground-typed value cannot be
     // rescanned standalone (its layout depends on a frame's type-GC

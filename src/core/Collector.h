@@ -22,6 +22,7 @@
 #include "runtime/Heap.h"
 #include "runtime/MarkSweepHeap.h"
 #include "runtime/Roots.h"
+#include "sched/Tlab.h"
 #include "support/Epoch.h"
 #include "support/HeapProfile.h"
 #include "support/Monitor.h"
@@ -29,7 +30,9 @@
 #include "support/Telemetry.h"
 
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -106,7 +109,27 @@ public:
   /// Mutator allocation of \p PayloadWords payload words; under the tagged
   /// model a header word is added and initialized. Returns nullptr when a
   /// collection is needed.
-  Word *tryAllocatePayload(size_t PayloadWords, ObjKind Kind);
+  ///
+  /// Threaded mutators pass their TLAB (\p T) and their stats shard
+  /// (\p Sh): the fast path bumps the TLAB, the slow path refills it with
+  /// one CAS on the shared cursor (mark-sweep has no bump cursor and
+  /// takes a mutex instead), and the allocation counter lands in the
+  /// caller's own shard. With \p T null the sequential path is
+  /// byte-for-byte the pre-threading behavior.
+  Word *tryAllocatePayload(size_t PayloadWords, ObjKind Kind,
+                           Tlab *T = nullptr, StatsShard *Sh = nullptr);
+
+  /// Number of GC worker threads for the trace phase (1 = serial, the
+  /// default). Arms the heaps' claim/publish protocol when > 1. Call
+  /// before the first collection.
+  void setGcThreads(unsigned N);
+  unsigned gcThreads() const { return GcThreads; }
+
+  /// Declares that mutator threads run concurrently: the write barrier's
+  /// remembered-set slow path takes a mutex, and mark-sweep mutator
+  /// allocation serializes. No-op cost when false (the default).
+  void setParallelMutators(bool On) { ParallelMutators = On; }
+  bool parallelMutators() const { return ParallelMutators; }
 
   /// Collects, growing the heap as needed until \p NeedPayloadWords can be
   /// allocated.
@@ -166,6 +189,28 @@ protected:
   /// Strategy-specific root tracing into \p Sp.
   virtual void traceRoots(RootSet &Roots, Space &Sp) = 0;
 
+  /// Fans the per-stack trace jobs of one collection out over GcThreads
+  /// workers. Stack indices are seeded round-robin into per-worker
+  /// Chase-Lev deques; an idle worker steals from its peers. Each worker
+  /// owns a sibling Space (Space::makeWorkerSpace), a private Stats and a
+  /// private CensusCounts, all merged back on this thread after the
+  /// workers join (worker 0 runs inline on the collecting thread).
+  ///
+  /// \p TraceStack traces one suspended stack into the worker's space,
+  /// recording counters into the worker's stats; census increments must
+  /// go through the worker's CensusCounts (TagFreeTracer::setCensusSink).
+  ///
+  /// Returns false — caller must run its serial path — when parallelism
+  /// is not engaged: one worker configured, a heap profiler attached
+  /// (its visit stream is inherently serial), fewer than two stacks, or
+  /// a Space that cannot trace in parallel (CheckSpace, so --verify
+  /// re-traces stay serial and exact).
+  bool traceStacksParallel(
+      RootSet &Roots, Space &Sp,
+      const std::function<void(TaskStack &Stack, Space &WorkerSp,
+                               Stats &WorkerSt, CensusCounts &WorkerCensus)>
+          &TraceStack);
+
   /// Strategy-specific scan of the remembered set during a minor
   /// collection (entries are extra roots). The base implementation is a
   /// no-op for strategies that never run generationally-specific paths.
@@ -177,6 +222,8 @@ protected:
   GcAlgorithm Algo;
   Stats &St;
   Telemetry Tel;
+  unsigned GcThreads = 1;
+  bool ParallelMutators = false;
   HeapProfiler *Prof = nullptr;
   Monitor *Mon = nullptr;
   EpochAggregator *Agg = nullptr;
@@ -208,6 +255,10 @@ private:
   /// cycle.
   std::vector<RemsetEntry> Remset;
   std::unordered_set<Word *> RemsetIndex;
+  /// Serializes recordRemset (and, for mark-sweep, mutator allocation)
+  /// between concurrent mutator threads. Uncontended when mutators are
+  /// cooperative.
+  std::mutex MutatorMutex;
   /// A store of a non-ground-typed value landed in a tenured slot; the
   /// slot cannot be rescanned standalone under the tag-free models, so
   /// the next collection is forced major (which needs no remset).

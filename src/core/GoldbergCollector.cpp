@@ -45,85 +45,106 @@ void GoldbergCollector::traceRemset(Space &Sp) {
   }
 }
 
-void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
-  Eng.reset();
-  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
-                   GlogerDummies, &Tel, Prof);
+void GoldbergCollector::traceOneStack(TaskStack &Stack, TagFreeTracer &Tr,
+                                      TypeGcEngine &E, Stats &S,
+                                      Telemetry *T) {
+  if (Stack.Frames.empty())
+    return;
 
-  for (TaskStack *Stack : Roots.Stacks) {
-    if (Stack->Frames.empty())
-      continue;
-
-    // Pass 1 (paper section 3): reverse the dynamic links so the stack can
-    // be walked from the oldest activation record to the newest. We
-    // materialize the reversed chain as an index list; each hop is one
-    // pointer reversal.
-    std::vector<uint32_t> Order;
-    {
-      PhaseScope Span(&Tel, GcPhase::PtrReversal);
-      uint32_t F = (uint32_t)(Stack->Frames.size() - 1);
-      while (F != NoFrame) {
-        Order.push_back(F);
-        St.add(StatId::GcPtrReversalSteps);
-        F = Stack->Frames[F].DynamicLink;
-      }
-    }
-
-    // Pass 2: oldest to newest, threading type GC routine bindings from
-    // each frame's pending call site to the next frame.
-    PhaseScope Span(&Tel, GcPhase::FrameDispatch);
-    std::vector<const TypeGc *> Binds;
-    for (size_t K = Order.size(); K-- > 0;) {
-      FrameInfo &Fr = Stack->Frames[Order[K]];
-      const IrFunction &Fn = Prog.fn(Fr.FuncId);
-      assert(Binds.size() == Fn.TypeParams.size() &&
-             "binding/parameter mismatch");
-
-      assert(Fr.PendingSiteAddr != NoSiteAddr &&
-             "suspended frame without a pending site");
-      Word GcWord = Img.gcWordAt(Fr.PendingSiteAddr);
-      assert(GcWord != CodeImage::OmittedGcWord &&
-             "collection at a site the GC-point analysis ruled out");
-      CallSiteId Site = (CallSiteId)GcWord;
-
-      St.add(StatId::GcFramesTraced);
-      TgEnv Env;
-      Env.Params = &Fn.TypeParams;
-      Env.Binds = Binds.data();
-      Word *Slots = Stack->frameSlots(Fr);
-      if (Method == TraceMethod::Compiled)
-        Tr.traceFrame(Slots, CM->siteRoutine(Site), &Env);
-      else
-        Tr.traceFrame(Slots, IM->siteDescriptor(Site), &Env);
-
-      if (K == 0)
-        break; // Newest frame: nobody above.
-
-      // Hand the callee its type parameter routines (the f_frame_gc ->
-      // next_gc(...) call of the paper).
-      const CallSiteInfo &S = Prog.site(Site);
-      const IrFunction &Callee = Prog.fn(Stack->Frames[Order[K - 1]].FuncId);
-      std::vector<const TypeGc *> Next;
-      switch (S.Kind) {
-      case SiteKind::Direct: {
-        assert(S.Callee == Stack->Frames[Order[K - 1]].FuncId);
-        for (Type *T : S.CalleeTypeInst)
-          Next.push_back(Eng.eval(T, Env));
-        break;
-      }
-      case SiteKind::Indirect: {
-        if (!Callee.TypeParams.empty()) {
-          const TypeGc *FunTg = Eng.eval(S.ClosureTy, Env);
-          for (const ClosureParamPath &P : paramPaths(Callee.Id))
-            Next.push_back(Tr.bindParam(P, FunTg));
-        }
-        break;
-      }
-      case SiteKind::Alloc:
-        assert(false && "allocation site cannot have a callee frame");
-        break;
-      }
-      Binds = std::move(Next);
+  // Pass 1 (paper section 3): reverse the dynamic links so the stack can
+  // be walked from the oldest activation record to the newest. We
+  // materialize the reversed chain as an index list; each hop is one
+  // pointer reversal.
+  std::vector<uint32_t> Order;
+  {
+    PhaseScope Span(T, GcPhase::PtrReversal);
+    uint32_t F = (uint32_t)(Stack.Frames.size() - 1);
+    while (F != NoFrame) {
+      Order.push_back(F);
+      S.add(StatId::GcPtrReversalSteps);
+      F = Stack.Frames[F].DynamicLink;
     }
   }
+
+  // Pass 2: oldest to newest, threading type GC routine bindings from
+  // each frame's pending call site to the next frame.
+  PhaseScope Span(T, GcPhase::FrameDispatch);
+  std::vector<const TypeGc *> Binds;
+  for (size_t K = Order.size(); K-- > 0;) {
+    FrameInfo &Fr = Stack.Frames[Order[K]];
+    const IrFunction &Fn = Prog.fn(Fr.FuncId);
+    assert(Binds.size() == Fn.TypeParams.size() &&
+           "binding/parameter mismatch");
+
+    assert(Fr.PendingSiteAddr != NoSiteAddr &&
+           "suspended frame without a pending site");
+    Word GcWord = Img.gcWordAt(Fr.PendingSiteAddr);
+    assert(GcWord != CodeImage::OmittedGcWord &&
+           "collection at a site the GC-point analysis ruled out");
+    CallSiteId Site = (CallSiteId)GcWord;
+
+    S.add(StatId::GcFramesTraced);
+    TgEnv Env;
+    Env.Params = &Fn.TypeParams;
+    Env.Binds = Binds.data();
+    Word *Slots = Stack.frameSlots(Fr);
+    if (Method == TraceMethod::Compiled)
+      Tr.traceFrame(Slots, CM->siteRoutine(Site), &Env);
+    else
+      Tr.traceFrame(Slots, IM->siteDescriptor(Site), &Env);
+
+    if (K == 0)
+      break; // Newest frame: nobody above.
+
+    // Hand the callee its type parameter routines (the f_frame_gc ->
+    // next_gc(...) call of the paper).
+    const CallSiteInfo &CS = Prog.site(Site);
+    const IrFunction &Callee = Prog.fn(Stack.Frames[Order[K - 1]].FuncId);
+    std::vector<const TypeGc *> Next;
+    switch (CS.Kind) {
+    case SiteKind::Direct: {
+      assert(CS.Callee == Stack.Frames[Order[K - 1]].FuncId);
+      for (Type *Ty : CS.CalleeTypeInst)
+        Next.push_back(E.eval(Ty, Env));
+      break;
+    }
+    case SiteKind::Indirect: {
+      if (!Callee.TypeParams.empty()) {
+        const TypeGc *FunTg = E.eval(CS.ClosureTy, Env);
+        for (const ClosureParamPath &P : paramPaths(Callee.Id))
+          Next.push_back(Tr.bindParam(P, FunTg));
+      }
+      break;
+    }
+    case SiteKind::Alloc:
+      assert(false && "allocation site cannot have a callee frame");
+      break;
+    }
+    Binds = std::move(Next);
+  }
+}
+
+void GoldbergCollector::traceRoots(RootSet &Roots, Space &Sp) {
+  Eng.reset();
+
+  // Parallel path: each worker builds a private engine + tracer per stack
+  // job, so only the heap's claim/publish words are shared. The member
+  // engine stays valid (reset above) for the serial remset scan that may
+  // follow inside this same collection.
+  if (traceStacksParallel(
+          Roots, Sp,
+          [this](TaskStack &Stack, Space &WSp, Stats &WSt,
+                 CensusCounts &WCensus) {
+            TypeGcEngine WEng(Types, WSt, nullptr);
+            TagFreeTracer Tr(Prog, Img, WEng, WSp, WSt, Method, CM, IM,
+                             nullptr, GlogerDummies, nullptr, nullptr);
+            Tr.setCensusSink(&WCensus);
+            traceOneStack(Stack, Tr, WEng, WSt, nullptr);
+          }))
+    return;
+
+  TagFreeTracer Tr(Prog, Img, Eng, Sp, St, Method, CM, IM, nullptr,
+                   GlogerDummies, &Tel, Prof);
+  for (TaskStack *Stack : Roots.Stacks)
+    traceOneStack(*Stack, Tr, Eng, St, &Tel);
 }

@@ -48,6 +48,14 @@ private:
   TypeGcEngine Eng;
 
   const std::vector<ClosureParamPath> &paramPaths(FuncId Fn) const;
+
+  /// Traces one task's stack — the pointer-reversal pass plus the
+  /// oldest-to-newest walk — against the given tracer, engine, and
+  /// counter domain. \p T is the telemetry to charge phase spans to;
+  /// parallel GC workers pass nullptr (spans are collector-thread-only)
+  /// and their own engine/stats, so worker state never crosses threads.
+  void traceOneStack(TaskStack &Stack, TagFreeTracer &Tr, TypeGcEngine &E,
+                     Stats &S, Telemetry *T);
 };
 
 } // namespace tfgc

@@ -17,6 +17,7 @@
 
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <unordered_set>
 
 namespace tfgc {
@@ -32,9 +33,77 @@ public:
   /// payload is \p PayloadWords words. Returns the object's new reference.
   virtual Word visitNew(Word Ref, size_t PayloadWords) = 0;
 
+  /// Parallel first-visit arbitration, called by the tracers between
+  /// alreadyVisited() and visitNew(). Serial spaces claim unconditionally
+  /// (this default), so the serial trace path is unchanged. Parallel
+  /// spaces atomically race for the object: true = caller won and must
+  /// visitNew() + scan; false = another worker owns it and \p NewRef is
+  /// its final reference (for copying spaces this may spin until the
+  /// winner publishes). Word 0 of an object is only stable for the claim
+  /// winner — tracers must read discriminants / closure code addresses
+  /// *after* a successful tryClaim (DESIGN.md section 11).
+  virtual bool tryClaim(Word Ref, Word &NewRef) {
+    (void)Ref;
+    (void)NewRef;
+    return true;
+  }
+
+  /// A thread-private sibling policy for one GC worker (shares the heap,
+  /// owns its own survival counters), or nullptr when this policy cannot
+  /// trace in parallel (CheckSpace; any space whose heap is not armed).
+  virtual std::unique_ptr<Space> makeWorkerSpace() { return nullptr; }
+
+  /// Folds a worker sibling's counters back into this base space after
+  /// the workers join (still inside the pause).
+  virtual void mergeWorker(Space &Worker) { (void)Worker; }
+
   /// The payload to scan/patch after visitNew (the to-space copy under
   /// copying collection).
   Word *payload(Word Ref) const { return reinterpret_cast<Word *>(Ref); }
+};
+
+/// Parallel sibling of CopyingSpace: claim with an atomic fetch-or on the
+/// forward bitmap, copy into a CAS-bumped to-space slice, then publish the
+/// forwarding address (runtime/Heap.h claim/publish protocol).
+class ParCopyingSpace : public Space {
+public:
+  ParCopyingSpace(Heap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwardedAtomic(Obj))
+      return false;
+    NewRef = H.waitForwardee(Obj);
+    return true;
+  }
+
+  bool tryClaim(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (H.tryClaimForward(Obj))
+      return true;
+    NewRef = H.waitForwardee(Obj);
+    return false;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    Word *New;
+    if (TaggedHeaders) {
+      Word *Alloc = H.allocateInToSpaceParallel(PayloadWords + 1);
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = H.allocateInToSpaceParallel(PayloadWords);
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.publishForward(Old, (Word)(uintptr_t)New);
+    return (Word)(uintptr_t)New;
+  }
+
+private:
+  Heap &H;
+  bool TaggedHeaders;
 };
 
 /// Semispace policy. With \p TaggedHeaders, objects carry a header at
@@ -67,8 +136,49 @@ public:
     return (Word)(uintptr_t)New;
   }
 
+  std::unique_ptr<Space> makeWorkerSpace() override {
+    if (!H.parallelTracing())
+      return nullptr;
+    return std::make_unique<ParCopyingSpace>(H, TaggedHeaders);
+  }
+
 private:
   Heap &H;
+  bool TaggedHeaders;
+};
+
+/// Parallel sibling of MarkSpace. Non-moving, so there is no publish
+/// protocol: the atomic mark claim *is* the whole arbitration, and losers
+/// keep the unchanged reference without waiting.
+class ParMarkSpace : public Space {
+public:
+  ParMarkSpace(MarkSweepHeap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    if (!H.isMarkedAtomic(block(Ref)))
+      return false;
+    NewRef = Ref;
+    return true;
+  }
+
+  bool tryClaim(Word Ref, Word &NewRef) override {
+    NewRef = Ref;
+    return H.tryMarkAtomic(block(Ref));
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    // Already marked by the winning tryClaim.
+    (void)PayloadWords;
+    return Ref;
+  }
+
+private:
+  const Word *block(Word Ref) const {
+    return reinterpret_cast<const Word *>(Ref) - (TaggedHeaders ? 1 : 0);
+  }
+
+  MarkSweepHeap &H;
   bool TaggedHeaders;
 };
 
@@ -92,6 +202,10 @@ public:
     return Ref;
   }
 
+  std::unique_ptr<Space> makeWorkerSpace() override {
+    return std::make_unique<ParMarkSpace>(H, TaggedHeaders);
+  }
+
 private:
   const Word *block(Word Ref) const {
     return reinterpret_cast<const Word *>(Ref) - (TaggedHeaders ? 1 : 0);
@@ -99,6 +213,70 @@ private:
 
   MarkSweepHeap &H;
   bool TaggedHeaders;
+};
+
+/// Parallel sibling of GenMinorSpace: thread-private survival counters,
+/// CAS evacuation bumps, claim/publish forwarding.
+class ParGenMinorSpace : public Space {
+public:
+  ParGenMinorSpace(GenHeap &H, bool TaggedHeaders, bool Promote)
+      : H(H), TaggedHeaders(TaggedHeaders), Promote(Promote) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    if (!H.inNursery(Ref)) {
+      NewRef = Ref;
+      return true;
+    }
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwardedAtomic(Obj))
+      return false;
+    NewRef = H.waitForwardee(Obj);
+    return true;
+  }
+
+  bool tryClaim(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (H.tryClaimForward(Obj))
+      return true;
+    NewRef = H.waitForwardee(Obj);
+    return false;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    size_t Total = PayloadWords + (TaggedHeaders ? 1 : 0);
+    Word *Alloc = Promote ? H.allocateInTenuredParallel(Total)
+                          : H.allocateInSurvivorSpaceParallel(Total);
+    Word *New;
+    if (TaggedHeaders) {
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = Alloc;
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.publishForward(Old, (Word)(uintptr_t)New);
+    if (Promote) {
+      ++PromotedObjs;
+      PromotedWords += Total;
+    } else {
+      ++SurvivorObjs;
+      SurvivorWords += Total;
+    }
+    return (Word)(uintptr_t)New;
+  }
+
+  uint64_t promotedObjects() const { return PromotedObjs; }
+  uint64_t promotedWords() const { return PromotedWords; }
+  uint64_t survivorObjects() const { return SurvivorObjs; }
+  uint64_t survivorWords() const { return SurvivorWords; }
+
+private:
+  GenHeap &H;
+  bool TaggedHeaders;
+  bool Promote;
+  uint64_t PromotedObjs = 0, PromotedWords = 0;
+  uint64_t SurvivorObjs = 0, SurvivorWords = 0;
 };
 
 /// Minor-collection policy over a generational heap: only nursery objects
@@ -153,12 +331,77 @@ public:
   uint64_t survivorObjects() const { return SurvivorObjs; }
   uint64_t survivorWords() const { return SurvivorWords; }
 
+  std::unique_ptr<Space> makeWorkerSpace() override {
+    if (!H.parallelTracing())
+      return nullptr;
+    return std::make_unique<ParGenMinorSpace>(H, TaggedHeaders, Promote);
+  }
+  void mergeWorker(Space &Worker) override {
+    auto &P = static_cast<ParGenMinorSpace &>(Worker);
+    PromotedObjs += P.promotedObjects();
+    PromotedWords += P.promotedWords();
+    SurvivorObjs += P.survivorObjects();
+    SurvivorWords += P.survivorWords();
+  }
+
 private:
   GenHeap &H;
   bool TaggedHeaders;
   bool Promote;
   uint64_t PromotedObjs = 0, PromotedWords = 0;
   uint64_t SurvivorObjs = 0, SurvivorWords = 0;
+};
+
+/// Parallel sibling of GenMajorSpace.
+class ParGenMajorSpace : public Space {
+public:
+  ParGenMajorSpace(GenHeap &H, bool TaggedHeaders)
+      : H(H), TaggedHeaders(TaggedHeaders) {}
+
+  bool alreadyVisited(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (!H.isForwardedAtomic(Obj))
+      return false;
+    NewRef = H.waitForwardee(Obj);
+    return true;
+  }
+
+  bool tryClaim(Word Ref, Word &NewRef) override {
+    Word *Obj = reinterpret_cast<Word *>(Ref);
+    if (H.tryClaimForward(Obj))
+      return true;
+    NewRef = H.waitForwardee(Obj);
+    return false;
+  }
+
+  Word visitNew(Word Ref, size_t PayloadWords) override {
+    Word *Old = reinterpret_cast<Word *>(Ref);
+    size_t Total = PayloadWords + (TaggedHeaders ? 1 : 0);
+    bool Young = H.inNursery(Ref);
+    Word *Alloc = H.allocateInToSpaceParallel(Total);
+    Word *New;
+    if (TaggedHeaders) {
+      Alloc[0] = Old[-1];
+      New = Alloc + 1;
+    } else {
+      New = Alloc;
+    }
+    std::memcpy(New, Old, PayloadWords * sizeof(Word));
+    H.publishForward(Old, (Word)(uintptr_t)New);
+    if (Young) {
+      ++YoungEvacObjs;
+      YoungEvacWords += Total;
+    }
+    return (Word)(uintptr_t)New;
+  }
+
+  uint64_t youngEvacuatedObjects() const { return YoungEvacObjs; }
+  uint64_t youngEvacuatedWords() const { return YoungEvacWords; }
+
+private:
+  GenHeap &H;
+  bool TaggedHeaders;
+  uint64_t YoungEvacObjs = 0, YoungEvacWords = 0;
 };
 
 /// Major-collection policy over a generational heap: the entire live
@@ -201,6 +444,17 @@ public:
 
   uint64_t youngEvacuatedObjects() const { return YoungEvacObjs; }
   uint64_t youngEvacuatedWords() const { return YoungEvacWords; }
+
+  std::unique_ptr<Space> makeWorkerSpace() override {
+    if (!H.parallelTracing())
+      return nullptr;
+    return std::make_unique<ParGenMajorSpace>(H, TaggedHeaders);
+  }
+  void mergeWorker(Space &Worker) override {
+    auto &P = static_cast<ParGenMajorSpace &>(Worker);
+    YoungEvacObjs += P.youngEvacuatedObjects();
+    YoungEvacWords += P.youngEvacuatedWords();
+  }
 
 private:
   GenHeap &H;

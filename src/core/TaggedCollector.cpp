@@ -7,7 +7,7 @@
 using namespace tfgc;
 
 Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
-                                Word W) {
+                                Word W, Stats &S, CensusCounts *Census) {
   // Non-pointers pass through unchanged: small ints (low bit 1), unit/
   // bool immediates, and self-tagged floats (low bits 0b010 after the
   // rotate — runtime/Value.h). Boxed floats still arrive as Raw-kind
@@ -15,50 +15,73 @@ Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
   if (!isTaggedPointer(W))
     return W;
   Word NewRef;
-  if (Sp.alreadyVisited(W, NewRef))
+  // tryClaim is the parallel arbitration seam (serial Spaces claim
+  // unconditionally). The header read below is pre-claim safe — headers
+  // live at payload[-1] and are never clobbered by forwarding.
+  if (Sp.alreadyVisited(W, NewRef) || !Sp.tryClaim(W, NewRef))
     return NewRef;
   const Word *Old = reinterpret_cast<const Word *>(W);
   Word Header = Old[-1];
   NewRef = Sp.visitNew(W, headerSize(Header));
-  St.add(StatId::GcObjectsVisited);
-  St.add(StatId::GcWordsVisited, headerSize(Header) + 1);
+  S.add(StatId::GcObjectsVisited);
+  S.add(StatId::GcWordsVisited, headerSize(Header) + 1);
   CensusKind K = headerKind(Header) == ObjKind::Scan ? CensusKind::TaggedScan
                                                      : CensusKind::Raw;
-  Tel.census(K, headerSize(Header) + 1);
-  if (Prof) [[unlikely]]
+  if (Census)
+    Census->record(K, headerSize(Header) + 1);
+  else
+    Tel.census(K, headerSize(Header) + 1);
+  if (Prof && !Census) [[unlikely]]
     Prof->recordVisit(W, NewRef, K, headerSize(Header) + 1);
   if (headerKind(Header) == ObjKind::Scan)
     ScanList.push_back(NewRef);
   return NewRef;
 }
 
-void TaggedCollector::drainScanList(Space &Sp, std::vector<Word> &ScanList) {
+void TaggedCollector::drainScanList(Space &Sp, std::vector<Word> &ScanList,
+                                    Stats &S, CensusCounts *Census) {
   while (!ScanList.empty()) {
     Word Ref = ScanList.back();
     ScanList.pop_back();
     Word *Pl = Sp.payload(Ref);
     uint32_t Size = headerSize(Pl[-1]);
     for (uint32_t I = 0; I < Size; ++I)
-      Pl[I] = traceWord(Sp, ScanList, Pl[I]);
+      Pl[I] = traceWord(Sp, ScanList, Pl[I], S, Census);
+  }
+}
+
+void TaggedCollector::traceOneStack(TaskStack &Stack, Space &Sp,
+                                    std::vector<Word> &ScanList, Stats &S,
+                                    CensusCounts *Census) {
+  for (FrameInfo &Fr : Stack.Frames) {
+    S.add(StatId::GcFramesTraced);
+    Word *Slots = Stack.frameSlots(Fr);
+    // No metadata: every slot of every frame is scanned.
+    for (uint32_t I = 0; I < Fr.NumSlots; ++I) {
+      S.add(StatId::GcSlotsTraced);
+      Slots[I] = traceWord(Sp, ScanList, Slots[I], S, Census);
+    }
   }
 }
 
 void TaggedCollector::traceRoots(RootSet &Roots, Space &Sp) {
+  // Parallel path: each worker drains a private scan list; concurrently
+  // discovered shared objects are arbitrated by the heap's claim/publish
+  // words (mark bitmap fetch-or under mark-sweep).
+  if (traceStacksParallel(
+          Roots, Sp,
+          [this](TaskStack &Stack, Space &WSp, Stats &WSt,
+                 CensusCounts &WCensus) {
+            std::vector<Word> ScanList;
+            traceOneStack(Stack, WSp, ScanList, WSt, &WCensus);
+            drainScanList(WSp, ScanList, WSt, &WCensus);
+          }))
+    return;
+
   std::vector<Word> ScanList;
-
-  for (TaskStack *Stack : Roots.Stacks) {
-    for (FrameInfo &Fr : Stack->Frames) {
-      St.add(StatId::GcFramesTraced);
-      Word *Slots = Stack->frameSlots(Fr);
-      // No metadata: every slot of every frame is scanned.
-      for (uint32_t I = 0; I < Fr.NumSlots; ++I) {
-        St.add(StatId::GcSlotsTraced);
-        Slots[I] = traceWord(Sp, ScanList, Slots[I]);
-      }
-    }
-  }
-
-  drainScanList(Sp, ScanList);
+  for (TaskStack *Stack : Roots.Stacks)
+    traceOneStack(*Stack, Sp, ScanList, St, nullptr);
+  drainScanList(Sp, ScanList, St, nullptr);
 }
 
 void TaggedCollector::traceRemset(Space &Sp) {
@@ -67,7 +90,7 @@ void TaggedCollector::traceRemset(Space &Sp) {
   std::vector<Word> ScanList;
   for (const RemsetEntry &E : remset()) {
     St.add(StatId::GcSlotsTraced);
-    *E.Slot = traceWord(Sp, ScanList, *E.Slot);
+    *E.Slot = traceWord(Sp, ScanList, *E.Slot, St, nullptr);
   }
-  drainScanList(Sp, ScanList);
+  drainScanList(Sp, ScanList, St, nullptr);
 }

@@ -30,8 +30,16 @@ protected:
 
 private:
   /// Traces one word by tag bit + header, queueing Scan-kind payloads.
-  Word traceWord(Space &Sp, std::vector<Word> &ScanList, Word W);
-  void drainScanList(Space &Sp, std::vector<Word> &ScanList);
+  /// Counters land in \p S; \p Census non-null routes census increments
+  /// into a GC worker's private accumulator (and suppresses the profiler,
+  /// whose visit stream is serial-only).
+  Word traceWord(Space &Sp, std::vector<Word> &ScanList, Word W, Stats &S,
+                 CensusCounts *Census);
+  void drainScanList(Space &Sp, std::vector<Word> &ScanList, Stats &S,
+                     CensusCounts *Census);
+  void traceOneStack(TaskStack &Stack, Space &Sp,
+                     std::vector<Word> &ScanList, Stats &S,
+                     CensusCounts *Census);
 };
 
 } // namespace tfgc

@@ -25,7 +25,11 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -50,7 +54,11 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -130,7 +138,11 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -152,7 +164,11 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -171,7 +187,11 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -298,7 +318,11 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -319,7 +343,11 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -339,7 +367,11 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
         return Result;
       }
       Word NewRef;
-      if (Sp.alreadyVisited(V, NewRef)) {
+      // tryClaim is the parallel arbitration seam (a serial Space claims
+      // unconditionally). Word-0 reads — discriminants, closure code
+      // addresses — below this point are safe because only the claim
+      // winner reaches them, and publish is what clobbers word 0.
+      if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
         return Result;
       }
@@ -386,9 +418,10 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
   if (V == 0)
     return 0; // Unpatched placeholder in a recursive closure group.
   Word NewRef;
-  if (Sp.alreadyVisited(V, NewRef))
+  if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef))
     return NewRef;
 
+  // Post-claim: the code-address read in word 0 is stable (see above).
   Word CodeAddr = *reinterpret_cast<const Word *>(V);
   FuncId L = (FuncId)Img.closureMetaAt((uint32_t)CodeAddr);
   const IrFunction &LF = Prog.fn(L);

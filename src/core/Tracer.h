@@ -86,6 +86,12 @@ public:
   void traceFrame(Word *Slots, const FrameRoutine &FR, const TgEnv *Env);
   void traceFrame(Word *Slots, const FrameDescriptor &FD, const TgEnv *Env);
 
+  /// Routes census increments into a thread-local accumulator instead of
+  /// the (shared, unsynchronized) Telemetry event. Parallel GC workers
+  /// set this on their private tracer; the collecting thread merges the
+  /// accumulators with Telemetry::censusBulk after the workers join.
+  void setCensusSink(CensusCounts *C) { Census = C; }
+
 private:
   const IrProgram &Prog;
   const CodeImage &Img;
@@ -99,13 +105,16 @@ private:
   bool GlogerDummies;
   Telemetry *Tel;
   HeapProfiler *Prof;
+  CensusCounts *Census = nullptr;
 
   /// First-visit hook next to every visitNew; the (kind, words) increments
   /// mirror the gc.objects_visited / gc.words_visited counter increments.
   /// Feeds the telemetry census and — with the old→new address pair — the
   /// heap profiler's typed snapshot and allocation-site side table.
   void visit(Word Old, Word New, CensusKind K, uint64_t Words) {
-    if (Tel)
+    if (Census)
+      Census->record(K, Words);
+    else if (Tel)
       Tel->census(K, Words);
     if (Prof) [[unlikely]]
       Prof->recordVisit(Old, New, K, Words);

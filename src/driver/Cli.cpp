@@ -3,6 +3,7 @@
 #include "driver/Cli.h"
 
 #include "ir/Ir.h"
+#include "sched/ThreadedTasking.h"
 #include "support/Epoch.h"
 #include "support/Introspect.h"
 
@@ -24,6 +25,10 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
       {"--nursery-bytes", true,
        "generational: nursery size carved out of the heap (default heap/8)"},
       {"--stress", false, "collect at every allocation"},
+      {"--threads", true,
+       "run main as N tasks sharing the heap: 1 = the cooperative "
+       "scheduler, >=2 = one OS thread per task with per-thread TLABs and "
+       "parallel GC tracing (default: the sequential VM)"},
       {"--dispatch", true,
        "threaded (default where available) | switch: VM dispatch loop"},
       {"--no-fuse", false, "disable superinstruction fusion in the VM"},
@@ -184,6 +189,14 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
       O.NurseryBytes = (size_t)std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Name == "--stress") {
       O.Stress = true;
+    } else if (Name == "--threads") {
+      char *EndP = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &EndP, 10);
+      if (Value.empty() || (EndP && *EndP) || N > 256) {
+        Err = "--threads: '" + Value + "' is not a thread count (0-256)";
+        return false;
+      }
+      O.Threads = (unsigned)N;
     } else if (Name == "--dispatch") {
       if (Value == "threaded")
         O.Dispatch = DispatchMode::Threaded;
@@ -285,6 +298,21 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
     Err = "--monitor-period-ms requires --monitor-out";
     return false;
   }
+  if (O.Threads >= 1 && O.Stress) {
+    Err = "--stress is not supported with --threads (tasking collections "
+          "are coordinated at safepoints, never forced per allocation)";
+    return false;
+  }
+  if (O.Threads >= 2 && O.Monitor) {
+    Err = "--monitor requires --threads=1 or the sequential VM (heartbeat "
+          "folds read the counter shards off the GC safepoint)";
+    return false;
+  }
+  if (O.Threads >= 2 && O.HeapProfile) {
+    Err = "--heap-profile/--heap-snapshot/--retainers require --threads=1 "
+          "or the sequential VM (the profiler's visit stream is serial)";
+    return false;
+  }
   if (O.ServeLingerMs && O.ServePort < 0) {
     Err = "--serve-linger-ms requires --serve";
     return false;
@@ -297,7 +325,12 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
 }
 
 int tfgc::runTfgc(const CliOptions &O) {
-  Compiler C(O.Compile);
+  CompileOptions CO = O.Compile;
+  // Tasks suspend at arbitrary call sites, so the tasking paths need
+  // gc_words everywhere and call arguments kept live (DESIGN.md).
+  if (O.Threads >= 1)
+    CO.TaskingSafe = true;
+  Compiler C(CO);
   std::string Error;
   std::unique_ptr<CompiledProgram> P = C.compile(O.Source, &Error);
   if (!P) {
@@ -420,8 +453,47 @@ int tfgc::runTfgc(const CliOptions &O) {
   VO.FuseSuperinstructions = O.Fuse;
   VO.FloatSelfTag = O.FloatSelfTag;
   VO.TailCalls = O.TailCalls;
-  Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
-  RunResult R = M.run();
+  RunResult R;
+  if (O.Threads == 0) {
+    Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
+    R = M.run();
+  } else {
+    // --threads=N: run main as N tasks over the shared heap. N==1 keeps
+    // the cooperative scheduler (the logical-counter reference); N>=2
+    // puts each task on its own OS thread and sizes the parallel tracer
+    // to match.
+    FuncId Main = P->Prog.MainId;
+    if (Main == InvalidFunc || P->Prog.fn(Main).NumParams != 0) {
+      std::fprintf(stderr, "--threads requires a zero-argument main\n");
+      return 1;
+    }
+    TaskingOptions TO;
+    TO.ZeroFrames = VO.ZeroFrames;
+    TO.Dispatch = O.Dispatch;
+    TO.FuseSuperinstructions = O.Fuse;
+    TO.FloatSelfTag = O.FloatSelfTag;
+    TO.TailCalls = O.TailCalls;
+    auto RunTasks = [&](auto &Rt) {
+      for (unsigned I = 0; I < O.Threads; ++I)
+        Rt.spawnInt(Main, {});
+      R.Ok = Rt.runAll();
+      for (const TaskResult &TR : Rt.results()) {
+        R.Output += TR.Output;
+        if (!TR.Ok && R.Error.empty())
+          R.Error = TR.Error;
+      }
+      if (R.Ok)
+        R.Value = Rt.results().front().Value;
+    };
+    if (O.Threads == 1) {
+      TaskingRuntime Rt(P->Prog, P->Image, *P->Types, *Col, TO);
+      RunTasks(Rt);
+    } else {
+      Col->setGcThreads(O.Threads);
+      ThreadedRuntime Rt(P->Prog, P->Image, *P->Types, *Col, TO);
+      RunTasks(Rt);
+    }
+  }
 
   // Flush every requested diagnostic artifact *before* deciding the exit
   // code: a verify failure or uncaught runtime error must still leave the

@@ -43,6 +43,12 @@ struct CliOptions {
   size_t HeapBytes = 1 << 20;
   size_t NurseryBytes = 0;
   bool Stress = false;
+  /// --threads: 0 = sequential VM (default); 1 = run main as one task on
+  /// the cooperative scheduler; >=2 = N tasks, one OS thread each, with
+  /// per-thread TLABs and N-way parallel GC tracing. Nonzero forces
+  /// tasking-safe compilation (gc_words at every site, call arguments
+  /// traced) so tasks can suspend at arbitrary calls.
+  unsigned Threads = 0;
   /// Mutator fast-path knobs (vm/VmExec.inc): --dispatch picks the loop
   /// (Auto = threaded where the toolchain supports computed goto),
   /// --no-fuse disables superinstruction fusion, --float-tag=box forces

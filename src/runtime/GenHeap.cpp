@@ -31,6 +31,8 @@ void GenHeap::beginMinor() {
   NurToBase = NurToAlloc = NurSpaces[1 - NurCur].get();
   NurToEnd = NurToBase + NurCapacityWords;
   NurForwardBits.assign((NurCapacityWords + 63) / 64, 0);
+  if (ParallelArm)
+    NurPublishedBits.assign(NurForwardBits.size(), 0);
   MinorActive = true;
 }
 
@@ -45,6 +47,8 @@ void GenHeap::endMinor() {
   NurToBase = NurToAlloc = NurToEnd = nullptr;
   NurForwardBits.clear();
   NurForwardBits.shrink_to_fit();
+  NurPublishedBits.clear();
+  NurPublishedBits.shrink_to_fit();
   MinorActive = false;
 }
 
@@ -57,6 +61,10 @@ void GenHeap::beginMajor(size_t NewTenuredCapacityWords) {
   TenToEnd = TenToBase + TenToCapacityWords;
   NurForwardBits.assign((NurCapacityWords + 63) / 64, 0);
   TenForwardBits.assign((TenCapacityWords + 63) / 64, 0);
+  if (ParallelArm) {
+    NurPublishedBits.assign(NurForwardBits.size(), 0);
+    TenPublishedBits.assign(TenForwardBits.size(), 0);
+  }
   MajorActive = true;
 }
 
@@ -76,6 +84,10 @@ void GenHeap::endMajor() {
   NurForwardBits.shrink_to_fit();
   TenForwardBits.clear();
   TenForwardBits.shrink_to_fit();
+  NurPublishedBits.clear();
+  NurPublishedBits.shrink_to_fit();
+  TenPublishedBits.clear();
+  TenPublishedBits.shrink_to_fit();
   MajorActive = false;
 }
 

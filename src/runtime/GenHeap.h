@@ -35,9 +35,12 @@
 
 #include "runtime/Value.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace tfgc {
@@ -57,6 +60,30 @@ public:
     NurAlloc += Words;
     BytesAllocatedTotal += Words * sizeof(Word);
     return P;
+  }
+
+  /// Carves a per-thread TLAB chunk off the nursery cursor with a CAS
+  /// loop (see Heap::refillTlab for the contract). The nursery is the
+  /// only mutator-visible region, so this is the entire threaded-mode
+  /// allocation slow path for the generational algorithm.
+  bool refillTlab(size_t MinWords, size_t PreferredWords, Word *&OutTop,
+                  Word *&OutEnd) {
+    std::atomic_ref<Word *> A(NurAlloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t Avail = (size_t)(NurEnd - Cur);
+      if (Avail < MinWords)
+        return false;
+      size_t Take = std::min(Avail, std::max(MinWords, PreferredWords));
+      if (A.compare_exchange_weak(Cur, Cur + Take,
+                                  std::memory_order_relaxed)) {
+        OutTop = Cur;
+        OutEnd = Cur + Take;
+        std::atomic_ref<uint64_t>(BytesAllocatedTotal)
+            .fetch_add(Take * sizeof(Word), std::memory_order_relaxed);
+        return true;
+      }
+    }
   }
 
   // -- Region tests ---------------------------------------------------------
@@ -143,6 +170,97 @@ public:
     assert(Bits && !Bits->empty() && "forwarding outside a collection");
     (*Bits)[Index >> 6] |= (uint64_t)1 << (Index & 63);
     Obj[0] = NewAddr;
+    // Serial phases inside an armed parallel collection (remset scan)
+    // must still satisfy later waitForwardee() spins.
+    std::vector<uint64_t> *Pub = publishedBitsFor(Obj);
+    if (Pub && !Pub->empty())
+      (*Pub)[Index >> 6] |= (uint64_t)1 << (Index & 63);
+  }
+
+  // -- Parallel tracing (claim/publish; see Heap.h for the protocol) --------
+  void setParallelTracing(bool On) { ParallelArm = On; }
+  bool parallelTracing() const { return ParallelArm; }
+
+  /// Lock-free read of the claim bit (parallel alreadyVisited fast path).
+  bool isForwardedAtomic(const Word *Obj) const {
+    size_t Index;
+    const std::vector<uint64_t> *Bits = forwardBitsFor(Obj, Index);
+    if (!Bits || Bits->empty())
+      return false;
+    std::atomic_ref<uint64_t> B(
+        const_cast<uint64_t &>((*Bits)[Index >> 6]));
+    return (B.load(std::memory_order_relaxed) >> (Index & 63)) & 1;
+  }
+
+  bool tryClaimForward(Word *Obj) {
+    size_t Index;
+    std::vector<uint64_t> *Bits =
+        const_cast<std::vector<uint64_t> *>(forwardBitsFor(Obj, Index));
+    assert(Bits && !Bits->empty() && "claiming outside a collection");
+    uint64_t Bit = (uint64_t)1 << (Index & 63);
+    std::atomic_ref<uint64_t> B((*Bits)[Index >> 6]);
+    return !(B.fetch_or(Bit, std::memory_order_acq_rel) & Bit);
+  }
+
+  void publishForward(Word *Obj, Word NewAddr) {
+    Obj[0] = NewAddr;
+    size_t Index;
+    forwardBitsFor(Obj, Index);
+    std::vector<uint64_t> *Pub = publishedBitsFor(Obj);
+    assert(Pub && !Pub->empty() && "publishing outside a collection");
+    std::atomic_ref<uint64_t> B((*Pub)[Index >> 6]);
+    B.fetch_or((uint64_t)1 << (Index & 63), std::memory_order_release);
+  }
+
+  Word waitForwardee(const Word *Obj) const {
+    size_t Index;
+    forwardBitsFor(Obj, Index);
+    const std::vector<uint64_t> *Pub =
+        const_cast<GenHeap *>(this)->publishedBitsFor(Obj);
+    assert(Pub && !Pub->empty());
+    uint64_t Bit = (uint64_t)1 << (Index & 63);
+    std::atomic_ref<uint64_t> B(
+        const_cast<uint64_t &>((*Pub)[Index >> 6]));
+    while (!(B.load(std::memory_order_acquire) & Bit))
+      std::this_thread::yield();
+    return Obj[0];
+  }
+
+  /// CAS-bump variants of the three evacuation cursors, shared by
+  /// concurrent GC workers. Serial and parallel bumps must not interleave
+  /// within one phase.
+  Word *allocateInSurvivorSpaceParallel(size_t Words) {
+    assert(MinorActive && "not in a minor collection");
+    std::atomic_ref<Word *> A(NurToAlloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      assert(Words <= (size_t)(NurToEnd - Cur) && "nursery to-space overflow");
+      if (A.compare_exchange_weak(Cur, Cur + Words,
+                                  std::memory_order_relaxed))
+        return Cur;
+    }
+  }
+  Word *allocateInTenuredParallel(size_t Words) {
+    assert(MinorActive && "not in a minor collection");
+    std::atomic_ref<Word *> A(TenAlloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      assert(Words <= (size_t)(TenEnd - Cur) && "tenured overflow");
+      if (A.compare_exchange_weak(Cur, Cur + Words,
+                                  std::memory_order_relaxed))
+        return Cur;
+    }
+  }
+  Word *allocateInToSpaceParallel(size_t Words) {
+    assert(MajorActive && "not in a major collection");
+    std::atomic_ref<Word *> A(TenToAlloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      assert(Words <= (size_t)(TenToEnd - Cur) && "tenured to-space overflow");
+      if (A.compare_exchange_weak(Cur, Cur + Words,
+                                  std::memory_order_relaxed))
+        return Cur;
+    }
   }
 
   /// Reallocates the nursery semispaces at \p MinWords or more. Only legal
@@ -182,6 +300,16 @@ private:
     return nullptr;
   }
 
+  /// Published bitmap covering \p Obj (parallel collections only; empty
+  /// vectors otherwise), or nullptr outside both regions.
+  std::vector<uint64_t> *publishedBitsFor(const Word *Obj) {
+    if (Obj >= NurBase && Obj < NurEnd)
+      return &NurPublishedBits;
+    if (Obj >= TenBase && Obj < TenEnd)
+      return &TenPublishedBits;
+    return nullptr;
+  }
+
   /// Nursery semispace pair; NurCur indexes the current from-space.
   std::unique_ptr<Word[]> NurSpaces[2];
   int NurCur = 0;
@@ -198,6 +326,11 @@ private:
 
   std::vector<uint64_t> NurForwardBits;
   std::vector<uint64_t> TenForwardBits;
+  /// Sized alongside the forward bitmaps while ParallelArm; empty
+  /// otherwise.
+  std::vector<uint64_t> NurPublishedBits;
+  std::vector<uint64_t> TenPublishedBits;
+  bool ParallelArm = false;
   bool MinorActive = false;
   bool MajorActive = false;
   uint64_t BytesAllocatedTotal = 0;

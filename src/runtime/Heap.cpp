@@ -20,6 +20,8 @@ void Heap::beginCollection(size_t NewCapacityWords) {
   ToBase = ToAlloc = ToSpace.get();
   ToEnd = ToBase + ToCapacityWords;
   ForwardBits.assign((CapacityWords + 63) / 64, 0);
+  if (ParallelArm)
+    PublishedBits.assign(ForwardBits.size(), 0);
   Collecting = true;
 }
 
@@ -33,5 +35,7 @@ void Heap::endCollection() {
   End = Base + CapacityWords;
   ForwardBits.clear();
   ForwardBits.shrink_to_fit();
+  PublishedBits.clear();
+  PublishedBits.shrink_to_fit();
   Collecting = false;
 }

@@ -20,9 +20,12 @@
 
 #include "runtime/Value.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace tfgc {
@@ -43,6 +46,35 @@ public:
     Alloc += Words;
     BytesAllocatedTotal += Words * sizeof(Word);
     return P;
+  }
+
+  /// Carves a TLAB chunk of at least \p MinWords (and preferably
+  /// \p PreferredWords) off the shared allocation cursor with a CAS loop,
+  /// so concurrent mutator threads refill lock-free. On success sets
+  /// [OutTop, OutEnd) and returns true; false when the remaining space
+  /// can't fit \p MinWords. Chunk accounting lands in
+  /// bytesAllocatedTotal() at carve time (TLAB-waste semantics; see
+  /// sched/Tlab.h). Plain tryAllocate() and refillTlab() must not run
+  /// concurrently — the collector routes all threaded-mode allocation
+  /// through TLABs.
+  bool refillTlab(size_t MinWords, size_t PreferredWords, Word *&OutTop,
+                  Word *&OutEnd) {
+    std::atomic_ref<Word *> A(Alloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t Avail = (size_t)(End - Cur);
+      if (Avail < MinWords)
+        return false;
+      size_t Take = std::min(Avail, std::max(MinWords, PreferredWords));
+      if (A.compare_exchange_weak(Cur, Cur + Take,
+                                  std::memory_order_relaxed)) {
+        OutTop = Cur;
+        OutEnd = Cur + Take;
+        std::atomic_ref<uint64_t>(BytesAllocatedTotal)
+            .fetch_add(Take * sizeof(Word), std::memory_order_relaxed);
+        return true;
+      }
+    }
   }
 
   size_t capacityBytes() const { return CapacityWords * sizeof(Word); }
@@ -82,6 +114,73 @@ public:
     size_t Index = Obj - Base;
     ForwardBits[Index >> 6] |= (uint64_t)1 << (Index & 63);
     Obj[0] = NewAddr;
+    // Keep the publish bitmap coherent when a serial phase (remset scan,
+    // single-stack fallback) forwards objects inside an armed parallel
+    // collection: a later waitForwardee() must not spin forever.
+    if (!PublishedBits.empty())
+      PublishedBits[Index >> 6] |= (uint64_t)1 << (Index & 63);
+  }
+
+  // -- Parallel tracing (claim/publish protocol) ----------------------------
+  /// Arms the two-bitmap protocol: beginCollection() additionally sizes a
+  /// "published" bitmap, and forwarding splits into claim (atomic fetch-or
+  /// on the forward bit; exactly one tracer wins an object) and publish
+  /// (write the forwarding address into word 0, then release the
+  /// published bit). Losers spin in waitForwardee() until the winner
+  /// publishes. Word 0 of a claimed-but-unpublished object is unstable,
+  /// which is why tracers must read discriminants/code addresses only
+  /// *after* winning the claim (core/Tracer.cpp).
+  void setParallelTracing(bool On) { ParallelArm = On; }
+  bool parallelTracing() const { return ParallelArm; }
+
+  /// Lock-free read of the claim bit (parallel alreadyVisited fast path;
+  /// a racing claim is re-arbitrated by tryClaimForward).
+  bool isForwardedAtomic(const Word *Obj) const {
+    size_t Index = Obj - Base;
+    std::atomic_ref<uint64_t> B(
+        const_cast<uint64_t &>(ForwardBits[Index >> 6]));
+    return (B.load(std::memory_order_relaxed) >> (Index & 63)) & 1;
+  }
+
+  /// Atomically claims \p Obj for forwarding. True = caller won and must
+  /// copy + publishForward(); false = somebody else owns it (use
+  /// waitForwardee()).
+  bool tryClaimForward(Word *Obj) {
+    size_t Index = Obj - Base;
+    uint64_t Bit = (uint64_t)1 << (Index & 63);
+    std::atomic_ref<uint64_t> B(ForwardBits[Index >> 6]);
+    return !(B.fetch_or(Bit, std::memory_order_acq_rel) & Bit);
+  }
+
+  void publishForward(Word *Obj, Word NewAddr) {
+    Obj[0] = NewAddr;
+    size_t Index = Obj - Base;
+    std::atomic_ref<uint64_t> B(PublishedBits[Index >> 6]);
+    B.fetch_or((uint64_t)1 << (Index & 63), std::memory_order_release);
+  }
+
+  Word waitForwardee(const Word *Obj) const {
+    size_t Index = Obj - Base;
+    uint64_t Bit = (uint64_t)1 << (Index & 63);
+    std::atomic_ref<uint64_t> B(
+        const_cast<uint64_t &>(PublishedBits[Index >> 6]));
+    while (!(B.load(std::memory_order_acquire) & Bit))
+      std::this_thread::yield();
+    return Obj[0];
+  }
+
+  /// To-space bump shared by concurrent GC workers (CAS loop). The serial
+  /// allocateInToSpace() and this must not interleave within one phase.
+  Word *allocateInToSpaceParallel(size_t Words) {
+    assert(Collecting && "not collecting");
+    std::atomic_ref<Word *> A(ToAlloc);
+    Word *Cur = A.load(std::memory_order_relaxed);
+    for (;;) {
+      assert(Words <= (size_t)(ToEnd - Cur) && "to-space overflow");
+      if (A.compare_exchange_weak(Cur, Cur + Words,
+                                  std::memory_order_relaxed))
+        return Cur;
+    }
   }
 
   /// True while collecting and P points into from-space.
@@ -108,6 +207,9 @@ private:
   size_t CapacityWords = 0;
   size_t ToCapacityWords = 0;
   std::vector<uint64_t> ForwardBits;
+  /// Sized alongside ForwardBits while ParallelArm; empty otherwise.
+  std::vector<uint64_t> PublishedBits;
+  bool ParallelArm = false;
   bool Collecting = false;
   uint64_t BytesAllocatedTotal = 0;
   uint64_t LastSurvivorWords = 0;

@@ -27,6 +27,7 @@
 
 #include "runtime/Value.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -68,6 +69,27 @@ public:
     size_t Off = (size_t)((uintptr_t)Obj - Seg.Base) / sizeof(Word);
     return (Seg.MarkBits[Off >> 6] >> (Off & 63)) & 1;
   }
+  /// Lock-free read of the mark bit (parallel alreadyVisited fast path).
+  bool isMarkedAtomic(const Word *Obj) const {
+    uint32_t S = segmentOf((uintptr_t)Obj);
+    const Segment &Seg = Segments[S];
+    size_t Off = (size_t)((uintptr_t)Obj - Seg.Base) / sizeof(Word);
+    std::atomic_ref<uint64_t> Bits(
+        const_cast<uint64_t &>(Seg.MarkBits[Off >> 6]));
+    return (Bits.load(std::memory_order_acquire) >> (Off & 63)) & 1;
+  }
+  /// Parallel-phase mark claim: atomic fetch-or on the segment bitmap, so
+  /// exactly one of any set of racing GC workers sees the first visit.
+  /// tryMark() and tryMarkAtomic() must not interleave within one phase.
+  bool tryMarkAtomic(const Word *Obj) {
+    uint32_t S = segmentOf((uintptr_t)Obj);
+    Segment &Seg = Segments[S];
+    size_t Off = (size_t)((uintptr_t)Obj - Seg.Base) / sizeof(Word);
+    uint64_t Bit = (uint64_t)1 << (Off & 63);
+    std::atomic_ref<uint64_t> Bits(Seg.MarkBits[Off >> 6]);
+    return !(Bits.fetch_or(Bit, std::memory_order_acq_rel) & Bit);
+  }
+
   /// Frees every unmarked block; returns bytes reclaimed.
   size_t sweep();
 
@@ -131,7 +153,9 @@ private:
   std::vector<std::vector<FreeRef>> Bins;
   std::vector<FreeBlock> OverflowFree;
   /// Marking has strong locality, so remember the last segment hit.
-  mutable uint32_t LastSeg = 0;
+  /// Atomic (relaxed) because parallel mark workers share the cache; a
+  /// stale read only costs the binary-search fallback.
+  mutable std::atomic<uint32_t> LastSeg{0};
   size_t UsedWords = 0;
   size_t NumBlocks = 0;
   uint64_t BytesAllocatedTotal = 0;
@@ -146,9 +170,10 @@ private:
   /// binary search.
   int findSegment(uintptr_t P) const {
     if (!Segments.empty()) {
-      const Segment &Cached = Segments[LastSeg];
+      uint32_t Hint = LastSeg.load(std::memory_order_relaxed);
+      const Segment &Cached = Segments[Hint];
       if (P >= Cached.Base && P < Cached.End)
-        return (int)LastSeg;
+        return (int)Hint;
     }
     // upper_bound over bases: the candidate is the last segment whose
     // base is <= P.
@@ -166,7 +191,7 @@ private:
       }
     }
     if (Found >= 0)
-      LastSeg = (uint32_t)Found;
+      LastSeg.store((uint32_t)Found, std::memory_order_relaxed);
     return Found;
   }
 

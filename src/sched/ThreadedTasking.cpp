@@ -1,0 +1,173 @@
+//===- sched/ThreadedTasking.cpp ------------------------------------------===//
+
+#include "sched/ThreadedTasking.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace tfgc;
+
+ThreadedRuntime::ThreadedRuntime(const IrProgram &Prog, const CodeImage &Img,
+                                 TypeContext &Types, Collector &Col,
+                                 TaskingOptions Opts)
+    : Prog(Prog), Img(Img), Types(Types), Col(Col), Opts(Opts) {
+  Col.setParallelMutators(true);
+  DecodeConfig DC;
+  DC.Model = Col.model();
+  DC.Fuse = Opts.FuseSuperinstructions;
+  DC.FloatSelfTag = Opts.FloatSelfTag;
+  DC.TailCalls = Opts.TailCalls;
+  Decoded = decodeProgram(Prog, DC);
+}
+
+void ThreadedRuntime::spawnInt(FuncId Entry,
+                               const std::vector<int64_t> &Args) {
+  assert(!Coord && "spawn after runAll");
+  Task T;
+  T.TaskTlab = std::make_unique<Tlab>();
+  T.Label = "mutator-" + std::to_string(Tasks.size());
+  VmOptions VO;
+  VO.ZeroFrames = Opts.ZeroFrames;
+  VO.MaxSteps = Opts.MaxTotalSteps;
+  VO.Checks = Opts.Policy;
+  VO.Coord = this;
+  VO.TaskIndex = (uint32_t)Tasks.size();
+  VO.Dispatch = Opts.Dispatch;
+  VO.FuseSuperinstructions = Opts.FuseSuperinstructions;
+  VO.FloatSelfTag = Opts.FloatSelfTag;
+  VO.TailCalls = Opts.TailCalls;
+  VO.Decoded = &Decoded;
+  VO.ThreadTlab = T.TaskTlab.get();
+  // Constructing the VM here claims shard TaskIndex+1 on the launching
+  // thread — the shard vector is frozen before any mutator thread starts.
+  T.Machine = std::make_unique<Vm>(Prog, Img, Types, Col, VO);
+  std::vector<Word> Words;
+  for (int64_t A : Args)
+    Words.push_back(Col.model() == ValueModel::Tagged ? tagInt(A) : (Word)A);
+  T.Machine->start(Entry, Words);
+  Tasks.push_back(std::move(T));
+  Col.stats().add(StatId::TaskSpawned);
+}
+
+void ThreadedRuntime::requestGc(size_t NeedWords) {
+  assert(Coord && "allocation before runAll");
+  // Exactly one arm per handshake cycle owns the request counter, so
+  // task.gc_requests == task.world_stops at the end of a clean run (the
+  // no-lost-handshakes invariant the stress test checks). The shard-0
+  // write is ordered against the collector's by the coordinator mutex:
+  // this thread arms, then parks; the pause only starts after the park.
+  if (Coord->requestStop(NeedWords))
+    Col.stats().add(StatId::TaskGcRequests);
+}
+
+void ThreadedRuntime::collectWorld(size_t NeedWords, uint64_t StopDelayNs) {
+  RootSet Roots;
+  for (Task &T : Tasks)
+    if (!T.Done)
+      Roots.Stacks.push_back(&T.Machine->mutableStack());
+  // Retire every TLAB before the spaces move: the collection reuses the
+  // nursery under the parked windows, and the owners refill from the
+  // fresh cursor when they resume. Finished tasks' TLABs are inert.
+  for (Task &T : Tasks)
+    T.TaskTlab->reset();
+  Col.telemetry().recordWorldStopDelay(StopDelayNs);
+  // With a live scraper attached, refresh the per-task view and the heap
+  // gauges before the collector's epoch fold (inside this same pause)
+  // snapshots them; every mutator is parked or finished, so their
+  // counters are mutex-ordered ahead of these reads.
+  if (Col.epochAggregator()) {
+    publishTaskStats();
+    Stats &St = Col.stats();
+    St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
+    St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
+    St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());
+  }
+  Col.collect(Roots, NeedWords ? NeedWords : 1);
+  Col.stats().add(StatId::TaskWorldStops);
+}
+
+void ThreadedRuntime::threadMain(size_t Idx) {
+  Task &T = Tasks[Idx];
+  Stats::setThreadLabel(T.Label.c_str());
+  auto Collect = [this](size_t Need, uint64_t DelayNs) {
+    collectWorld(Need, DelayNs);
+  };
+  for (;;) {
+    StepResult R = T.Machine->exec(Opts.TimeSliceSteps);
+    if (R == StepResult::Ran)
+      continue;
+    if (R == StepResult::BlockedOnGc) {
+      Coord->park(
+          [&](uint64_t DelayNs) {
+            T.StopDelayHist.record(DelayNs);
+            if (Monitor *M = Col.monitor())
+              M->recordTaskStopDelay((uint32_t)Idx, DelayNs);
+          },
+          Collect);
+      continue;
+    }
+    // Done or Failed. Render the result while this thread still counts
+    // as live: no pause can start until it parks or finishes, so the
+    // heap cannot move under renderResult().
+    T.Machine->flushHotCounters();
+    TaskResult &TR = Results[Idx];
+    TR.Output = T.Machine->output();
+    if (R == StepResult::Done) {
+      TR.Ok = true;
+      TR.Value = T.Machine->renderResult();
+    } else {
+      TR.Error = T.Machine->error();
+    }
+    T.Done = true;
+    Coord->threadFinished(Collect);
+    return;
+  }
+}
+
+bool ThreadedRuntime::runAll() {
+  Results.assign(Tasks.size(), TaskResult{});
+  if (Tasks.empty())
+    return true;
+  Coord = std::make_unique<SafepointCoordinator>((unsigned)Tasks.size());
+  std::vector<std::thread> Threads;
+  Threads.reserve(Tasks.size());
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    Threads.emplace_back([this, I] { threadMain(I); });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  // The joins are the final safepoint: every shard is quiescent, so the
+  // gauges, the telemetry-derived stats and the per-task view can be
+  // published from this thread like the sequential VM does at run end.
+  Stats &St = Col.stats();
+  St.set(StatId::HeapUsedBytes, Col.heapUsedBytes());
+  St.set(StatId::HeapCapacityBytes, Col.heapCapacityBytes());
+  St.set(StatId::HeapBytesAllocatedTotal, Col.bytesAllocatedTotal());
+  Col.publishTelemetryStats();
+  publishTaskStats();
+
+  bool AllOk = true;
+  for (const TaskResult &R : Results)
+    if (!R.Ok)
+      AllOk = false;
+  return AllOk;
+}
+
+void ThreadedRuntime::publishTaskStats() {
+  Stats &St = Col.stats();
+  Stats::SafepointScope Scope(St);
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    std::string Base = "task." + std::to_string(I);
+    St.set(Base + ".mutator_steps", Tasks[I].Machine->steps());
+    St.set(Base + ".tlab_refills", Tasks[I].TaskTlab->Refills);
+    St.set(Base + ".tlab_alloc_words", Tasks[I].TaskTlab->AllocatedWords);
+    const LogHistogram &H = Tasks[I].StopDelayHist;
+    if (!H.count())
+      continue;
+    St.set(Base + ".world_stop_delays", H.count());
+    St.set(Base + ".world_stop_delay_ns_p50", H.percentile(50));
+    St.set(Base + ".world_stop_delay_ns_p90", H.percentile(90));
+    St.set(Base + ".world_stop_delay_ns_p99", H.percentile(99));
+  }
+  St.set("sched.handshake_epochs", Coord ? Coord->epoch() : 0);
+}

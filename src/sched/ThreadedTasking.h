@@ -1,0 +1,109 @@
+//===- sched/ThreadedTasking.h - OS-thread task runtime ---------*- C++ -*-===//
+///
+/// \file
+/// The real-thread sibling of tasking/TaskingRuntime: the same N-tasks-
+/// one-heap model (paper section 4), but each task runs on its own
+/// std::thread instead of a round-robin slice. Three pieces make that
+/// safe:
+///
+///  * SafepointCoordinator — mutators poll a shared stop flag through the
+///    VM's unified fuel counter and park at GC points with their stacks
+///    walkable; the last to park runs the collection (sched/Safepoint.h);
+///  * per-thread TLABs — the allocation fast path bumps a private window
+///    (sched/Tlab.h) refilled with a CAS off the shared nursery cursor,
+///    so mutators never contend on a lock to allocate;
+///  * per-task counter shards — every VM writes its own StatsShard with
+///    plain stores; shards are only folded at safepoints (support/
+///    Epoch.h), which here means inside the world-stopped pause.
+///
+/// Interface-compatible with TaskingRuntime (spawnInt / runAll /
+/// results) so the driver and benches can switch on --threads. The
+/// cooperative runtime remains the --threads=1 semantics reference: its
+/// logical counters are bit-identical to the pre-thread scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SCHED_THREADEDTASKING_H
+#define TFGC_SCHED_THREADEDTASKING_H
+
+#include "sched/Safepoint.h"
+#include "sched/Tlab.h"
+#include "tasking/Tasking.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tfgc {
+
+class ThreadedRuntime : public GcCoordinator {
+public:
+  /// Arms the collector's mutator-parallel mode (remset buffering and
+  /// mark-sweep allocation go behind a lock; TLAB refill goes CAS).
+  ThreadedRuntime(const IrProgram &Prog, const CodeImage &Img,
+                  TypeContext &Types, Collector &Col, TaskingOptions Opts);
+
+  /// Adds a task executing \p Entry with raw integer arguments. Must be
+  /// called before runAll(): the VM (and thereby its counter shard) is
+  /// constructed here, on the launching thread, so the shard vector never
+  /// mutates while mutator threads run.
+  void spawnInt(FuncId Entry, const std::vector<int64_t> &Args);
+
+  /// Starts one OS thread per task, joins them all, then publishes the
+  /// end-of-run stats with the world quiescent. Returns false if any
+  /// task failed.
+  bool runAll();
+
+  const std::vector<TaskResult> &results() const { return Results; }
+  Stats &stats() { return Col.stats(); }
+
+  /// Completed handshake epochs (== world stops; monotone).
+  uint64_t gcEpochs() const { return Coord ? Coord->epoch() : 0; }
+
+  // GcCoordinator — polled lock-free from every VM's fuel counter:
+  bool gcPending() const override { return Coord && Coord->pending(); }
+  void requestGc(size_t NeedWords) override;
+
+private:
+  const IrProgram &Prog;
+  const CodeImage &Img;
+  TypeContext &Types;
+  Collector &Col;
+  TaskingOptions Opts;
+
+  struct Task {
+    /// Owned out-of-line so the window's address is stable across vector
+    /// growth (the VM holds a pointer to it in its VmOptions).
+    std::unique_ptr<Tlab> TaskTlab;
+    std::unique_ptr<Vm> Machine;
+    /// Set by the owning thread before it leaves the rendezvous set; read
+    /// only under the coordinator lock (root-set construction), which the
+    /// exiting thread takes right after the store.
+    bool Done = false;
+    /// Request-to-park delay per handshake this task took part in.
+    LogHistogram StopDelayHist;
+    /// Stable storage for Stats::setThreadLabel ("mutator-<i>").
+    std::string Label;
+  };
+  std::vector<Task> Tasks;
+  std::vector<TaskResult> Results;
+  /// Decoded once on the launching thread; every VM executes this stream.
+  DecodedProgram Decoded;
+  /// Built in runAll() once the rendezvous population is known.
+  std::unique_ptr<SafepointCoordinator> Coord;
+
+  void threadMain(size_t Idx);
+  /// The collection thunk: runs with every live mutator parked and the
+  /// coordinator lock held. Builds the root set from the unfinished
+  /// tasks, retires every TLAB (the collection is about to reuse the
+  /// space under them), and collects.
+  void collectWorld(size_t NeedWords, uint64_t StopDelayNs);
+  /// task.<i>.mutator_steps / .world_stop_delay_* / .tlab_*; runs with
+  /// the world quiescent — after the final join, and inside each pause
+  /// when an epoch aggregator is attached (live /metrics per-task rows).
+  void publishTaskStats();
+};
+
+} // namespace tfgc
+
+#endif // TFGC_SCHED_THREADEDTASKING_H

@@ -6,7 +6,9 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
+#include <thread>
 
 using namespace tfgc;
 
@@ -28,6 +30,8 @@ constexpr std::string_view FixedNames[] = {
     "gc.major_collections",
     "gc.minor_collections",
     "gc.objects_visited",
+    "gc.parallel_traces",
+    "gc.parallel_workers",
     "gc.pause_ns_max",
     "gc.pause_ns_p50",
     "gc.pause_ns_p90",
@@ -37,6 +41,7 @@ constexpr std::string_view FixedNames[] = {
     "gc.ptr_reversal_steps",
     "gc.remset_entries",
     "gc.slots_traced",
+    "gc.stack_steals",
     "gc.tg_cache_hits",
     "gc.tg_cache_misses",
     "gc.tg_memo_hits",
@@ -119,20 +124,30 @@ uint64_t &Stats::dynamicSlot(const std::string &Name) {
   return Dynamic[Name];
 }
 
+namespace {
+thread_local const char *ThreadLabelTls = "main";
+} // namespace
+
+void Stats::setThreadLabel(const char *Label) { ThreadLabelTls = Label; }
+const char *Stats::threadLabel() { return ThreadLabelTls; }
+
 void Stats::dynamicGuardFailure(const std::string &Name) const {
   // Hard abort, not assert(): the race this guards against (mutating the
   // shared name map while other shards' owners run) corrupts data in
-  // release builds too, and must be caught before real threads arrive.
+  // release builds too. Name both the counter and the thread — "which
+  // thread touched which dynamic stat" is the whole debugging question.
   std::fprintf(stderr,
                "tfgc: fatal: dynamic stat \"%s\" registered outside a "
                "safepoint while %zu counter shards are live.\n"
+               "Offending thread: %s (id 0x%zx).\n"
                "Dynamic string-name stats mutate the shared side map; with "
                "per-task shards this is only legal inside a "
                "Stats::SafepointScope (collection boundary, monitor "
                "heartbeat, or run end). Either move the write into a "
                "safepoint publish path, or promote the counter to a fixed "
                "StatId.\n",
-               Name.c_str(), Shards.size());
+               Name.c_str(), Shards.size(), ThreadLabelTls,
+               std::hash<std::thread::id>{}(std::this_thread::get_id()));
   std::abort();
 }
 

@@ -63,6 +63,8 @@ enum class StatId : uint16_t {
   GcMajorCollections,        // gc.major_collections
   GcMinorCollections,        // gc.minor_collections
   GcObjectsVisited,          // gc.objects_visited
+  GcParallelTraces,          // gc.parallel_traces
+  GcParallelWorkers,         // gc.parallel_workers
   GcPauseNsMax,              // gc.pause_ns_max
   GcPauseNsP50,              // gc.pause_ns_p50
   GcPauseNsP90,              // gc.pause_ns_p90
@@ -72,6 +74,7 @@ enum class StatId : uint16_t {
   GcPtrReversalSteps,        // gc.ptr_reversal_steps
   GcRemsetEntries,           // gc.remset_entries
   GcSlotsTraced,             // gc.slots_traced
+  GcStackSteals,             // gc.stack_steals
   GcTgCacheHits,             // gc.tg_cache_hits
   GcTgCacheMisses,           // gc.tg_cache_misses
   GcTgMemoHits,              // gc.tg_memo_hits
@@ -114,6 +117,7 @@ enum class StatFold : uint8_t { Sum, Max };
 /// maximum, not 100).
 constexpr StatFold statFold(StatId Id) {
   switch (Id) {
+  case StatId::GcParallelWorkers:
   case StatId::GcPauseNsMax:
   case StatId::TaskStepsToWorldStopMax:
   case StatId::VmMaxFrames:
@@ -193,11 +197,33 @@ public:
   StatsShard &baseShard() { return *Base; }
   /// The shard owned by task \p TaskIndex (created on first use; shard 0 is
   /// reserved for the collector, so task i maps to shard i+1). Creation
-  /// happens at task spawn, which today is cooperative; once real threads
-  /// arrive it must move under a safepoint like dynamic-name registration.
+  /// mutates the shard vector, so with real threads it must happen before
+  /// the threads start (ThreadedRuntime spawns every VM — and thereby
+  /// claims every shard — on the launching thread) or under a safepoint.
   StatsShard &shardForTask(uint32_t TaskIndex);
   size_t numShards() const { return Shards.size(); }
   const StatsShard &shard(size_t I) const { return *Shards[I]; }
+
+  /// Folds \p Src into \p Dst per the per-counter fold rules (Sum / Max),
+  /// honoring Touched. Used to merge a GC worker's thread-local counter
+  /// domain into the collector shard after the workers join.
+  static void mergeShard(StatsShard &Dst, const StatsShard &Src) {
+    for (size_t I = 0; I < NumStatIds; ++I) {
+      StatId Id = (StatId)I;
+      if (!Src.has(Id))
+        continue;
+      if (statFold(Id) == StatFold::Max)
+        Dst.max(Id, Src.get(Id));
+      else
+        Dst.add(Id, Src.get(Id));
+    }
+  }
+
+  /// Labels the calling thread for diagnostics ("mutator-3",
+  /// "gc-worker-1"); the dynamic-name guard failure reports the label and
+  /// thread id alongside the offending counter. Defaults to "main".
+  static void setThreadLabel(const char *Label);
+  static const char *threadLabel();
 
   // -- O(1) fast path (shard 0) ---------------------------------------------
   void add(StatId Id, uint64_t Delta = 1) { Base->add(Id, Delta); }

@@ -99,6 +99,20 @@ enum class CensusKind : uint8_t {
 inline constexpr size_t NumCensusKinds = (size_t)CensusKind::NumKinds;
 const char *censusKindName(CensusKind K);
 
+/// Thread-local census accumulator for parallel trace workers: each worker
+/// counts first visits into its own instance (no shared-memory traffic on
+/// the visit path), and the collecting thread merges them into the
+/// telemetry event with Telemetry::censusBulk after the workers join.
+struct CensusCounts {
+  std::array<uint64_t, NumCensusKinds> Objects{};
+  std::array<uint64_t, NumCensusKinds> Words{};
+
+  void record(CensusKind K, uint64_t W) {
+    ++Objects[(size_t)K];
+    Words[(size_t)K] += W;
+  }
+};
+
 /// Power-of-two-bucketed histogram of uint64 samples (durations in ns).
 /// Fixed storage, O(1) record, no allocation.
 class LogHistogram {
@@ -231,6 +245,18 @@ public:
       return;
     ++Event.CensusObjects[(size_t)K];
     Event.CensusWords[(size_t)K] += Words;
+  }
+
+  /// Merges a parallel worker's thread-local census into the current
+  /// collection event (same guard as census(); called by the collecting
+  /// thread after the workers join, still inside the pause).
+  void censusBulk(const CensusCounts &C) {
+    if (!InCollection || Paused)
+      return;
+    for (size_t K = 0; K < NumCensusKinds; ++K) {
+      Event.CensusObjects[K] += C.Objects[K];
+      Event.CensusWords[K] += C.Words[K];
+    }
   }
 
   // -- Tasking --------------------------------------------------------------

@@ -117,7 +117,11 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
       Blocked = true;
       return nullptr;
     }
-    Word *P = Col.tryAllocatePayload(PayloadWords, Kind);
+    // OS-thread mutators allocate through their TLAB and count in their
+    // own shard; the cooperative scheduler (ThreadTlab null) keeps the
+    // original serial path so its counters stay bit-identical.
+    Word *P = Col.tryAllocatePayload(PayloadWords, Kind, Opts.ThreadTlab,
+                                     Opts.ThreadTlab ? Shard : nullptr);
     if (P)
       return finishAlloc(P, Site);
     Opts.Coord->requestGc(PayloadWords);

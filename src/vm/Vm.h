@@ -103,6 +103,13 @@ struct VmOptions {
   /// once for all tasks). Must match this VM's model/fusion/float config;
   /// the VM decodes privately when null.
   DecodedProgram *Decoded = nullptr;
+  /// Thread-local allocation buffer for OS-thread mutators (sched/
+  /// ThreadedTasking). When set, allocation bumps this buffer and refills
+  /// it with a CAS off the shared nursery cursor — no lock on the fast
+  /// path — and allocation counters land in this task's shard. Null for
+  /// the sequential VM and the cooperative scheduler (bit-identical
+  /// counters with the pre-thread runtime depend on this).
+  Tlab *ThreadTlab = nullptr;
 };
 
 enum class StepResult : uint8_t {

@@ -111,11 +111,33 @@ def frame(url, cur, label, prev, dt):
             "mutator "
             f"{cur.get('tfgc_mon_mutator_fraction_ppm', 0) / 1e6:.3f}")
 
+    # Per-task shard columns (--threads runs publish one group per task
+    # at every safepoint fold): steps + rate, TLAB allocation, and the
+    # p99 request-to-park stop delay.
     tasks = sorted(k for k in cur if k.startswith("tfgc_task_")
                    and k.endswith("_mutator_steps"))
+    if tasks:
+        epochs = cur.get("tfgc_sched_handshake_epochs")
+        hdr = "  tasks      "
+        if epochs is not None:
+            hdr += f"{epochs} handshake epochs"
+        lines.append(hdr.rstrip())
     for k in tasks[:8]:
         idx = k[len("tfgc_task_"):-len("_mutator_steps")]
-        lines.append(f"  task {idx}     {cur[k]} steps")
+        base = f"tfgc_task_{idx}_"
+        row = f"  task {idx}     {cur[k]} steps"
+        krate = rate(cur, prev, k, dt)
+        if krate is not None:
+            row += f"  {krate / 1e6:.2f} Msteps/s"
+        words = cur.get(base + "tlab_alloc_words")
+        if words is not None:
+            row += f"  tlab {fmt_bytes(words * 8)}"
+            refills = cur.get(base + "tlab_refills", 0)
+            row += f" ({refills} refills)"
+        p99 = cur.get(base + "world_stop_delay_ns_p99")
+        if p99 is not None:
+            row += f"  stop p99 {fmt_ns(p99)}"
+        lines.append(row)
     return "\n".join(lines)
 
 
