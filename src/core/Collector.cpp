@@ -4,6 +4,7 @@
 #include "core/Space.h"
 #include "gcmeta/CompiledRoutines.h"
 #include "sched/WorkSteal.h"
+#include "support/FlightRecorder.h"
 
 #include <algorithm>
 #include <cassert>
@@ -72,6 +73,9 @@ Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind,
       T->Top = Top;
       T->End = End;
       ++T->Refills;
+      if (T->Flight) [[unlikely]]
+        T->Flight->record(FlightEventType::TlabRefill, 0,
+                          (uint64_t)(End - Top) * sizeof(Word), T->Refills);
       P = T->bump(Total);
     }
   } else if (Ms && ParallelMutators) {
@@ -94,6 +98,11 @@ Word *Collector::tryAllocatePayload(size_t PayloadWords, ObjKind Kind,
     return P + 1;
   }
   return P;
+}
+
+void Collector::setFlightRecorder(FlightRecorder *F) {
+  Flight = F;
+  Tel.setFlightRing(F ? &F->gcRing() : nullptr);
 }
 
 void Collector::setGcThreads(unsigned N) {
@@ -140,6 +149,12 @@ bool Collector::traceStacksParallel(
 
   auto RunWorker = [&](unsigned W) {
     WorkerCtx &C = *Workers[W];
+    // Each worker is the sole producer of its own flight ring (drained
+    // later, after the joins, by the end-of-collection drain).
+    FlightRing *FR = Flight ? &Flight->workerRing(W) : nullptr;
+    if (FR)
+      FR->record(FlightEventType::TraceWorkerBegin, W);
+    uint64_t Steals = 0;
     for (;;) {
       uint32_t Idx;
       bool Ran = false;
@@ -152,6 +167,7 @@ bool Collector::traceStacksParallel(
         WorkStealDeque<uint32_t> &Victim = Workers[(W + D) % K]->Deque;
         if (Victim.steal(Idx)) {
           C.St.add(StatId::GcStackSteals);
+          ++Steals;
           TraceStack(*Roots.Stacks[Idx], *C.Sp, C.St, C.Census);
           Ran = Any = true;
           break;
@@ -162,6 +178,8 @@ bool Collector::traceStacksParallel(
       if (!Ran && !Any)
         break;
     }
+    if (FR)
+      FR->record(FlightEventType::TraceWorkerEnd, W, Steals);
   };
 
   std::vector<std::thread> Threads;
@@ -282,6 +300,10 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
                          heapCapacityBytes());
   }
   epochSafepoint();
+  // World still stopped: every ring's producer is parked or joined, so
+  // the drain reads quiescent rings and the chunk lands globally ordered.
+  if (Flight)
+    Flight->maybeDrain();
 }
 
 std::vector<HeapRoot> Collector::captureProfilerRoots(RootSet &Roots) const {
@@ -390,6 +412,8 @@ void Collector::collectGenerational(RootSet &Roots, size_t Need) {
     majorCollection(Roots, Need);
   // One epoch per world pause, even when a minor escalated into a major.
   epochSafepoint();
+  if (Flight)
+    Flight->maybeDrain();
 }
 
 void Collector::minorCollection(RootSet &Roots, bool Promote) {

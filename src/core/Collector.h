@@ -38,6 +38,7 @@
 
 namespace tfgc {
 
+class FlightRecorder;
 class Type;
 
 enum class GcAlgorithm : uint8_t { Copying, MarkSweep, Generational };
@@ -91,6 +92,14 @@ public:
       M->attachTelemetry(&Tel);
   }
   Monitor *monitor() { return Mon; }
+
+  /// Attaches the flight recorder (not owned; may be null). Wires the
+  /// telemetry's GC ring mirror, makes the trace workers stamp begin/end
+  /// events into their per-worker rings, and drains all rings at the end
+  /// of every collection (the world is stopped, so no producer races the
+  /// drain). Null (the default) costs one untaken branch per site.
+  void setFlightRecorder(FlightRecorder *F);
+  FlightRecorder *flightRecorder() { return Flight; }
 
   /// Attaches the epoch aggregator (not owned; may be null). When present,
   /// every collection ends — still inside the world-stopped pause — with a
@@ -227,6 +236,7 @@ protected:
   HeapProfiler *Prof = nullptr;
   Monitor *Mon = nullptr;
   EpochAggregator *Agg = nullptr;
+  FlightRecorder *Flight = nullptr;
   /// Last mid-run publishTelemetryStats() from epochSafepoint(); derived
   /// gauges refresh at most every 10 ms between pauses (see there).
   std::chrono::steady_clock::time_point LastDerivedPublish{};

@@ -5,6 +5,7 @@
 #include "ir/Ir.h"
 #include "sched/ThreadedTasking.h"
 #include "support/Epoch.h"
+#include "support/FlightRecorder.h"
 #include "support/Introspect.h"
 
 #include <chrono>
@@ -81,14 +82,21 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
        "--monitor)"},
       {"--serve", true,
        "live introspection HTTP server on 127.0.0.1:PORT (/metrics, "
-       "/snapshot, /heartbeat, /healthz; 0 picks a free port, printed to "
-       "stderr)"},
+       "/snapshot, /heartbeat, /flightrecord, /healthz; 0 picks a free "
+       "port, printed to stderr)"},
       {"--serve-linger-ms", true,
        "keep serving the final epoch for MS ms after the run ends "
        "(requires --serve)"},
       {"--metrics-out", true,
        "write the final epoch as Prometheus text (flushed on abnormal "
        "exit like the other artifacts)"},
+      {"--flight-out", true,
+       "always-on binary flight recorder: per-thread timelines of "
+       "safepoint handshakes, TLAB refills, VM polls and GC phases "
+       "(decode with tools/flight_report.py)"},
+      {"--flight-buffer-kb", true,
+       "per-thread flight ring size in KiB (default 64; requires "
+       "--flight-out)"},
       {"-e", true, "run inline source (the next argument is the program)"},
       {"--help", false, "print this help"},
       {"-h", false, "print this help"},
@@ -276,6 +284,10 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
       O.ServeLingerMs = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Name == "--metrics-out") {
       O.MetricsOutPath = Value;
+    } else if (Name == "--flight-out") {
+      O.FlightOutPath = Value;
+    } else if (Name == "--flight-buffer-kb") {
+      O.FlightBufferKb = std::strtoull(Value.c_str(), nullptr, 10);
     } else if (Name == "-e") {
       if (++I >= Args.size()) {
         Err = "-e needs an argument";
@@ -315,6 +327,10 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
   }
   if (O.ServeLingerMs && O.ServePort < 0) {
     Err = "--serve-linger-ms requires --serve";
+    return false;
+  }
+  if (O.FlightBufferKb && O.FlightOutPath.empty()) {
+    Err = "--flight-buffer-kb requires --flight-out";
     return false;
   }
   if (!O.HaveSource) {
@@ -434,6 +450,26 @@ int tfgc::runTfgc(const CliOptions &O) {
     Agg.fold(SafepointKind::Startup);
   }
 
+  // Flight recorder: per-thread rings for the N tasks (one for the
+  // sequential VM), the GC ring, and one ring per parallel trace worker.
+  std::unique_ptr<FlightRecorder> Flight;
+  if (!O.FlightOutPath.empty()) {
+    unsigned NTasks = O.Threads ? O.Threads : 1;
+    Flight = std::make_unique<FlightRecorder>(
+        NTasks, std::max(1u, O.Threads),
+        O.FlightBufferKb ? O.FlightBufferKb : 64);
+    std::string FErr;
+    if (!Flight->openFile(O.FlightOutPath, FErr)) {
+      std::fprintf(stderr, "cannot open '%s': %s\n", O.FlightOutPath.c_str(),
+                   FErr.c_str());
+      return 2;
+    }
+    Col->setFlightRecorder(Flight.get());
+    if (O.ServePort >= 0)
+      Flight->setChunkSink(
+          [&Srv](const std::string &Chunk) { Srv.publishFlightRecord(Chunk); });
+  }
+
   Telemetry &Tel = Col->telemetry();
   Tel.setLabel(gcStrategyName(O.Strategy));
   if (O.GcLog)
@@ -445,6 +481,8 @@ int tfgc::runTfgc(const CliOptions &O) {
       std::fprintf(stderr, "cannot open '%s'\n", O.TraceOutPath.c_str());
       return 2;
     }
+    if (O.Threads)
+      Tel.declareThreads(O.Threads);
     Tel.beginTrace(TraceOut);
   }
 
@@ -455,8 +493,17 @@ int tfgc::runTfgc(const CliOptions &O) {
   VO.TailCalls = O.TailCalls;
   RunResult R;
   if (O.Threads == 0) {
+    if (Flight) {
+      // The sequential VM is "task 0" on its own timeline: ring 0 takes
+      // its start/exit bracket and GC requests; the GC ring (fed by the
+      // telemetry mirror) carries the collections between them.
+      VO.Flight = &Flight->taskRing(0);
+      VO.Flight->record(FlightEventType::ThreadStart);
+    }
     Vm M(P->Prog, P->Image, *P->Types, *Col, VO);
     R = M.run();
+    if (Flight)
+      Flight->taskRing(0).record(FlightEventType::ThreadExit);
   } else {
     // --threads=N: run main as N tasks over the shared heap. N==1 keeps
     // the cooperative scheduler (the logical-counter reference); N>=2
@@ -473,6 +520,8 @@ int tfgc::runTfgc(const CliOptions &O) {
     TO.FuseSuperinstructions = O.Fuse;
     TO.FloatSelfTag = O.FloatSelfTag;
     TO.TailCalls = O.TailCalls;
+    if (O.Threads >= 2)
+      TO.Flight = Flight.get();
     auto RunTasks = [&](auto &Rt) {
       for (unsigned I = 0; I < O.Threads; ++I)
         Rt.spawnInt(Main, {});
@@ -500,6 +549,8 @@ int tfgc::runTfgc(const CliOptions &O) {
   // trace, stats, and snapshot on disk for post-mortem analysis.
   if (!O.TraceOutPath.empty())
     Tel.endTrace();
+  if (Flight)
+    Flight->finish(); // Final drain + close; exit 3 below still gets it.
   if (O.Monitor)
     Mon.finish();
   // Final epoch: folded after the VM flushed its counters and the monitor

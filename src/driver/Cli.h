@@ -80,6 +80,11 @@ struct CliOptions {
   uint64_t ServeLingerMs = 0;
   /// Write the final epoch as Prometheus text (abnormal exits included).
   std::string MetricsOutPath;
+  /// Binary flight recording (support/FlightRecorder.h); empty = off.
+  std::string FlightOutPath;
+  /// 0 means "not given" (the default of 64 KiB per ring is applied in
+  /// runTfgc); giving it without --flight-out is a usage error.
+  uint64_t FlightBufferKb = 0;
   std::string HeapSnapshotPath;
   std::string TraceOutPath;
   std::string StatsJsonPath;

@@ -31,6 +31,8 @@
 #ifndef TFGC_SCHED_SAFEPOINT_H
 #define TFGC_SCHED_SAFEPOINT_H
 
+#include "support/FlightRecorder.h"
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -49,7 +51,22 @@ public:
   /// latency (the slowest mutator's park delay).
   using CollectFn = std::function<void(size_t NeedWords, uint64_t StopDelayNs)>;
 
+  /// What park() tells the parking thread about its own handshake slot.
+  struct ParkInfo {
+    uint64_t DelayNs;  ///< Request-to-this-park latency (time-to-safepoint).
+    uint64_t Epoch;    ///< Handshake id (the epoch this stop completes).
+    bool LastParker;   ///< This park completed the rendezvous.
+  };
+  using ParkedFn = std::function<void(const ParkInfo &)>;
+  using ResumedFn = std::function<void(uint64_t Epoch)>;
+  using HandoffFn = std::function<void(uint64_t Epoch, uint64_t DelayNs)>;
+
   explicit SafepointCoordinator(unsigned LiveThreads) : Live(LiveThreads) {}
+
+  /// Attaches the flight recorder's GC ring (nullptr disables). Arm
+  /// events are recorded under the coordinator lock, which is what makes
+  /// the GC ring single-producer-at-a-time.
+  void setFlightRing(FlightRing *R) { Flight = R; }
 
   /// Lock-free mutator poll (the VM's fuel-counter safepoint check and
   /// the test inside the allocation routines).
@@ -69,6 +86,10 @@ public:
       StopRequested.store(true, std::memory_order_relaxed);
       RequestTime = std::chrono::steady_clock::now();
       Armed = true;
+      if (Flight) [[unlikely]]
+        Flight->record(FlightEventType::SafepointArm,
+                       (uint32_t)Epoch.load(std::memory_order_relaxed),
+                       NeedWords);
     }
     if (NeedWords > Need)
       Need = NeedWords;
@@ -76,42 +97,57 @@ public:
   }
 
   /// Parks the calling mutator at a GC point. \p OnParked runs under the
-  /// lock with this thread's request-to-park delay (per-task stop-delay
-  /// attribution); the last thread to park runs \p Collect and advances
-  /// the epoch. Returns immediately when no stop is armed (the poll raced
-  /// with a completing handshake).
-  void park(const std::function<void(uint64_t)> &OnParked,
-            const CollectFn &Collect) {
+  /// lock with this thread's request-to-park delay, the handshake epoch,
+  /// and whether this park completed the rendezvous (per-task
+  /// time-to-safepoint and last-parker attribution); the last thread to
+  /// park runs \p Collect and advances the epoch. \p OnResumed (optional)
+  /// runs once the handshake this thread parked in has completed — on
+  /// every parked thread, the pause owner included — so park/resume
+  /// events pair up per epoch. Returns immediately when no stop is armed
+  /// (the poll raced with a completing handshake).
+  void park(const ParkedFn &OnParked, const CollectFn &Collect,
+            const ResumedFn &OnResumed = {}) {
     std::unique_lock<std::mutex> Lock(M);
     if (!StopArmed)
       return;
     uint64_t DelayNs = sinceRequestNs();
-    OnParked(DelayNs);
+    uint64_t MyEpoch = Epoch.load(std::memory_order_relaxed);
     ++Parked;
-    if (Parked == Live) {
+    bool Last = Parked == Live;
+    if (OnParked)
+      OnParked({DelayNs, MyEpoch, Last});
+    if (Last) {
       Collect(Need, DelayNs);
       finishStop();
       Lock.unlock();
       CV.notify_all();
+      if (OnResumed)
+        OnResumed(MyEpoch);
       return;
     }
-    uint64_t MyEpoch = Epoch.load(std::memory_order_relaxed);
     CV.wait(Lock, [&] {
       return Epoch.load(std::memory_order_relaxed) != MyEpoch;
     });
+    if (OnResumed)
+      OnResumed(MyEpoch);
   }
 
   /// Removes the calling mutator from the rendezvous set (its task is
   /// done; its roots must already be out of the root set). If its exit
   /// completes a pending rendezvous, the collection runs here, on the
-  /// exiting thread, so the parked mutators are not stranded.
-  void threadFinished(const CollectFn &Collect) {
+  /// exiting thread, so the parked mutators are not stranded; \p OnHandoff
+  /// (optional) is told about it under the lock before the collection.
+  void threadFinished(const CollectFn &Collect,
+                      const HandoffFn &OnHandoff = {}) {
     std::unique_lock<std::mutex> Lock(M);
     --Live;
     if (!StopArmed)
       return;
     if (Live > 0 && Parked == Live) {
-      Collect(Need, sinceRequestNs());
+      uint64_t DelayNs = sinceRequestNs();
+      if (OnHandoff)
+        OnHandoff(Epoch.load(std::memory_order_relaxed), DelayNs);
+      Collect(Need, DelayNs);
       finishStop();
       Lock.unlock();
       CV.notify_all();
@@ -158,6 +194,7 @@ private:
   unsigned Parked = 0;
   std::chrono::steady_clock::time_point RequestTime;
   std::atomic<uint64_t> Epoch{0};
+  FlightRing *Flight = nullptr;
 };
 
 } // namespace tfgc

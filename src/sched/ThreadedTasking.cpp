@@ -38,6 +38,14 @@ void ThreadedRuntime::spawnInt(FuncId Entry,
   VO.TailCalls = Opts.TailCalls;
   VO.Decoded = &Decoded;
   VO.ThreadTlab = T.TaskTlab.get();
+  if (Opts.Flight) {
+    // Ring i belongs to task i: the owning thread is the only producer
+    // (VM, TLAB and park events all happen on it), which is what keeps
+    // the rings single-producer with zero synchronization.
+    T.Flight = &Opts.Flight->taskRing((unsigned)Tasks.size());
+    T.TaskTlab->Flight = T.Flight;
+    VO.Flight = T.Flight;
+  }
   // Constructing the VM here claims shard TaskIndex+1 on the launching
   // thread — the shard vector is frozen before any mutator thread starts.
   T.Machine = std::make_unique<Vm>(Prog, Img, Types, Col, VO);
@@ -89,7 +97,12 @@ void ThreadedRuntime::collectWorld(size_t NeedWords, uint64_t StopDelayNs) {
 void ThreadedRuntime::threadMain(size_t Idx) {
   Task &T = Tasks[Idx];
   Stats::setThreadLabel(T.Label.c_str());
-  auto Collect = [this](size_t Need, uint64_t DelayNs) {
+  if (T.Flight)
+    T.Flight->record(FlightEventType::ThreadStart);
+  auto Collect = [this, Idx](size_t Need, uint64_t DelayNs) {
+    // The pause runs on this thread: put its trace events on this task's
+    // Chrome-trace track.
+    Col.telemetry().setTraceTid(1 + Idx);
     collectWorld(Need, DelayNs);
   };
   for (;;) {
@@ -98,12 +111,22 @@ void ThreadedRuntime::threadMain(size_t Idx) {
       continue;
     if (R == StepResult::BlockedOnGc) {
       Coord->park(
-          [&](uint64_t DelayNs) {
-            T.StopDelayHist.record(DelayNs);
+          [&](const SafepointCoordinator::ParkInfo &PI) {
+            T.StopDelayHist.record(PI.DelayNs);
             if (Monitor *M = Col.monitor())
-              M->recordTaskStopDelay((uint32_t)Idx, DelayNs);
+              M->recordTaskStopDelay((uint32_t)Idx, PI.DelayNs);
+            if (PI.LastParker)
+              LastParkerTask = Idx;
+            if (T.Flight)
+              T.Flight->record(FlightEventType::ThreadPark,
+                               (uint32_t)PI.Epoch, PI.DelayNs,
+                               PI.LastParker ? 1 : 0);
           },
-          Collect);
+          Collect,
+          [&](uint64_t E) {
+            if (T.Flight)
+              T.Flight->record(FlightEventType::ThreadResume, (uint32_t)E);
+          });
       continue;
     }
     // Done or Failed. Render the result while this thread still counts
@@ -119,7 +142,15 @@ void ThreadedRuntime::threadMain(size_t Idx) {
       TR.Error = T.Machine->error();
     }
     T.Done = true;
-    Coord->threadFinished(Collect);
+    if (T.Flight)
+      T.Flight->record(FlightEventType::ThreadExit);
+    Coord->threadFinished(Collect, [&](uint64_t E, uint64_t D) {
+      // This exit completed a rendezvous others are parked in: the
+      // pending collection runs here, on the exiting thread.
+      LastParkerTask = Idx;
+      if (T.Flight)
+        T.Flight->record(FlightEventType::PendingHandoff, (uint32_t)E, D);
+    });
     return;
   }
 }
@@ -129,6 +160,8 @@ bool ThreadedRuntime::runAll() {
   if (Tasks.empty())
     return true;
   Coord = std::make_unique<SafepointCoordinator>((unsigned)Tasks.size());
+  if (Opts.Flight)
+    Coord->setFlightRing(&Opts.Flight->gcRing());
   std::vector<std::thread> Threads;
   Threads.reserve(Tasks.size());
   for (size_t I = 0; I < Tasks.size(); ++I)
@@ -168,6 +201,12 @@ void ThreadedRuntime::publishTaskStats() {
     St.set(Base + ".world_stop_delay_ns_p50", H.percentile(50));
     St.set(Base + ".world_stop_delay_ns_p90", H.percentile(90));
     St.set(Base + ".world_stop_delay_ns_p99", H.percentile(99));
+    // Same histogram under its attribution name: "time to safepoint" is
+    // what straggler hunting asks for (/metrics, tools/tfgc_top.py).
+    St.set(Base + ".time_to_safepoint_ns_p50", H.percentile(50));
+    St.set(Base + ".time_to_safepoint_ns_p99", H.percentile(99));
   }
   St.set("sched.handshake_epochs", Coord ? Coord->epoch() : 0);
+  if (LastParkerTask != UINT64_MAX)
+    St.set("sched.last_parker_task", LastParkerTask);
 }

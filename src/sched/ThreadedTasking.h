@@ -82,6 +82,10 @@ private:
     bool Done = false;
     /// Request-to-park delay per handshake this task took part in.
     LogHistogram StopDelayHist;
+    /// This task's flight ring (null when not recording); the owning
+    /// thread is its only producer — VM epochs, TLAB refills, GC
+    /// requests, park/resume, start/exit all land here.
+    FlightRing *Flight = nullptr;
     /// Stable storage for Stats::setThreadLabel ("mutator-<i>").
     std::string Label;
   };
@@ -91,6 +95,11 @@ private:
   DecodedProgram Decoded;
   /// Built in runAll() once the rendezvous population is known.
   std::unique_ptr<SafepointCoordinator> Coord;
+  /// The task that completed the most recent rendezvous (parked last or
+  /// handed the collection off on exit). Written under the coordinator
+  /// lock; read with the world quiescent (publishTaskStats). Published as
+  /// the sched.last_parker_task gauge so /metrics names the straggler.
+  uint64_t LastParkerTask = UINT64_MAX;
 
   void threadMain(size_t Idx);
   /// The collection thunk: runs with every live mutator parked and the

@@ -28,6 +28,8 @@
 
 namespace tfgc {
 
+class FlightRing;
+
 struct Tlab {
   /// Default refill request: big enough to amortize the CAS, small enough
   /// that per-thread waste stays a fraction of any test-sized nursery.
@@ -37,6 +39,10 @@ struct Tlab {
   Word *End = nullptr;
   uint64_t Refills = 0;
   uint64_t AllocatedWords = 0;
+  /// The owning task's flight-recorder ring (null when not recording):
+  /// the refill slow path stamps a TlabRefill event with the bytes carved
+  /// so a thread's allocation pressure shows on its timeline.
+  FlightRing *Flight = nullptr;
 
   /// Fast path: thread-local bump, no atomics. Returns nullptr when the
   /// window can't fit \p Words (caller refills or collects).

@@ -181,8 +181,21 @@ void IntrospectServer::handleConn(int Fd) {
       respond(Fd, 200, "OK", "application/json", Body);
     return;
   }
+  if (Path == "/flightrecord") {
+    {
+      std::lock_guard<std::mutex> G(BodyMutex);
+      Body = FlightBody;
+    }
+    if (Body.empty())
+      respond(Fd, 404, "Not Found", "text/plain",
+              "no flight recording (run with --flight-out)\n");
+    else
+      respond(Fd, 200, "OK", "application/octet-stream", Body);
+    return;
+  }
   respond(Fd, 404, "Not Found", "text/plain",
-          "not found (try /metrics, /snapshot, /heartbeat, /healthz)\n");
+          "not found (try /metrics, /snapshot, /heartbeat, /flightrecord, "
+          "/healthz)\n");
 }
 
 std::string IntrospectServer::metricsBody() {
@@ -217,4 +230,9 @@ void IntrospectServer::publishSnapshot(std::string Body) {
 void IntrospectServer::publishHeartbeat(std::string Body) {
   std::lock_guard<std::mutex> G(BodyMutex);
   HeartbeatBody = std::move(Body);
+}
+
+void IntrospectServer::publishFlightRecord(std::string Body) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  FlightBody = std::move(Body);
 }

@@ -15,7 +15,9 @@
 ///
 /// Routes: /metrics (text/plain; Prometheus 0.0.4), /snapshot
 /// (application/json; 404 until a heap profile is published), /heartbeat
-/// (application/json; 404 until the monitor emits one), /healthz.
+/// (application/json; 404 until the monitor emits one), /flightrecord
+/// (application/octet-stream; the latest drained flight-recorder chunk,
+/// 404 until --flight-out drains one), /healthz.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +59,10 @@ public:
   void publishMetricsLazy(std::function<std::string()> Render);
   void publishSnapshot(std::string Body);
   void publishHeartbeat(std::string Body);
+  /// The latest flight-recorder chunk as a standalone decodable file body
+  /// (24-byte header + records); pushed by the recorder's chunk sink at
+  /// each world-stopped drain.
+  void publishFlightRecord(std::string Body);
 
   /// Total requests answered (any route, any status). Test hook.
   uint64_t requestsServed() const { return Requests.load(); }
@@ -80,6 +86,7 @@ private:
   std::function<std::string()> MetricsRender;
   std::string SnapshotBody;
   std::string HeartbeatBody;
+  std::string FlightBody;
 };
 
 } // namespace tfgc

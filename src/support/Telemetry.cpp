@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/FlightRecorder.h"
+
 #include <cassert>
 #include <cmath>
 #include <ostream>
@@ -81,12 +83,15 @@ void Telemetry::beginCollection(GcEventKind Kind) {
   assert(!InCollection && "collection already open");
   Event = GcEvent{};
   Event.Kind = Kind;
+  Event.Tid = TraceTid;
   Event.Seq = TotalCollections;
   Event.StartNs = nowNs();
   LastMarkNs = Event.StartNs;
   Cur = GcPhase::NumPhases;
   Paused = false;
   InCollection = true;
+  if (Flight) [[unlikely]]
+    Flight->record(FlightEventType::GcBegin, (uint32_t)Kind, Event.Seq);
 }
 
 GcPhase Telemetry::switchPhase(GcPhase P) {
@@ -98,6 +103,8 @@ GcPhase Telemetry::switchPhase(GcPhase P) {
   LastMarkNs = Now;
   GcPhase Prev = Cur;
   Cur = P;
+  if (Flight) [[unlikely]]
+    Flight->record(FlightEventType::GcPhase, (uint32_t)P, (uint64_t)Prev);
   return Prev;
 }
 
@@ -131,6 +138,9 @@ void Telemetry::finishCollection(uint64_t LiveWordsAfter,
   Ring[(size_t)(TotalCollections % Ring.size())] = Event;
   ++TotalCollections;
   InCollection = false;
+  if (Flight) [[unlikely]]
+    Flight->record(FlightEventType::GcEnd, (uint32_t)Event.Kind, Event.PauseNs,
+                   Event.Seq);
   if (Sink)
     Sink->onGcEvent(Event);
 }
@@ -198,6 +208,12 @@ void Telemetry::beginTrace(std::ostream &OS) {
      << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
         "\"args\": {\"name\": \"tfgc"
      << (Label.empty() ? "" : " ") << Label << "\"}}";
+  // Under --threads, name one track per mutator so the trace shows every
+  // thread even before (or without) it ever running a collection.
+  // Sequential runs declare nothing, keeping their traces byte-identical.
+  for (unsigned I = 0; I < DeclaredThreads; ++I)
+    OS << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << (1 + I) << ", \"args\": {\"name\": \"task " << I << "\"}}";
   TraceFirstEvent = false;
 }
 
@@ -213,7 +229,7 @@ void Telemetry::emitTraceEvents(const GcEvent &E) {
                                                     : "gc.collection";
   OS << "{\"name\": \"" << Name << "\", \"cat\": \"gc\", \"ph\": \"X\", "
      << "\"ts\": " << usStr(E.StartNs) << ", \"dur\": " << usStr(E.PauseNs)
-     << ", \"pid\": 1, \"tid\": 1, \"args\": {\"seq\": " << E.Seq
+     << ", \"pid\": 1, \"tid\": " << E.Tid << ", \"args\": {\"seq\": " << E.Seq
      << ", \"kind\": \"" << gcEventKindName(E.Kind) << '"'
      << ", \"live_words\": " << E.LiveWordsAfter
      << ", \"capacity_bytes\": " << E.HeapCapacityBytesAfter
@@ -230,7 +246,7 @@ void Telemetry::emitTraceEvents(const GcEvent &E) {
     OS << "{\"name\": \"" << gcPhaseName((GcPhase)I)
        << "\", \"cat\": \"gc.phase\", \"ph\": \"X\", \"ts\": "
        << usStr(Cursor) << ", \"dur\": " << usStr(E.PhaseNs[I])
-       << ", \"pid\": 1, \"tid\": 1}";
+       << ", \"pid\": 1, \"tid\": " << E.Tid << "}";
     Cursor += E.PhaseNs[I];
   }
   // Flush per event: a crashed or aborted run still leaves every

@@ -62,6 +62,8 @@
 
 namespace tfgc {
 
+class FlightRing;
+
 /// The phases a collection is attributed to. RootScan doubles as the
 /// catch-all for collector work not inside a finer span (loop control,
 /// counter flushes), so the spans cover the whole pause.
@@ -169,6 +171,9 @@ struct GcEvent {
   uint64_t StartNs = 0; ///< Start time, ns since the Telemetry epoch.
   uint64_t PauseNs = 0; ///< Full pause (includes the verify phase).
   GcEventKind Kind = GcEventKind::Full;
+  /// Chrome-trace track of the collecting thread (1 + task index under
+  /// --threads; 1 for sequential/cooperative runs).
+  uint64_t Tid = 1;
   std::array<uint64_t, NumGcPhases> PhaseNs{};
   std::array<uint64_t, NumCensusKinds> CensusObjects{};
   std::array<uint64_t, NumCensusKinds> CensusWords{};
@@ -218,6 +223,26 @@ public:
   /// Registers \p S (nullptr disables) to observe every completed
   /// collection event.
   void setEventSink(GcEventSink *S) { Sink = S; }
+
+  /// Attaches the flight recorder's GC ring (nullptr disables): every
+  /// beginCollection / switchPhase / finishCollection is mirrored as a
+  /// GcBegin / GcPhase / GcEnd event, putting collection internals on the
+  /// same timeline as the per-thread park/refill events. Emission is
+  /// race-free for free: these calls only happen on the collecting thread
+  /// inside the pause (or on the single thread of a sequential run).
+  void setFlightRing(FlightRing *R) { Flight = R; }
+
+  /// Chrome-trace track for subsequent collections. The threaded runtime
+  /// sets 1 + task-index before collecting so each pause lands on the
+  /// collecting thread's track; sequential runs keep the default 1 (their
+  /// traces stay byte-identical to the pre-flight-recorder output).
+  void setTraceTid(uint64_t T) { TraceTid = T; }
+
+  /// Declares \p N mutator threads so beginTrace emits one thread_name
+  /// metadata line per track (tids 1..N) — the trace then shows a track
+  /// per thread even for threads that never collect. 0 (default) keeps
+  /// the single implicit track.
+  void declareThreads(unsigned N) { DeclaredThreads = N; }
 
   // -- Collection lifecycle (driven by Collector::collect) ------------------
   void beginCollection(GcEventKind Kind = GcEventKind::Full);
@@ -342,6 +367,9 @@ private:
   std::ostream *TraceStream = nullptr;
   bool TraceFirstEvent = true;
   GcEventSink *Sink = nullptr;
+  FlightRing *Flight = nullptr;
+  uint64_t TraceTid = 1;
+  unsigned DeclaredThreads = 0;
 };
 
 /// RAII phase span. Construction switches the telemetry (if any) into

@@ -31,6 +31,8 @@
 
 namespace tfgc {
 
+class FlightRecorder;
+
 struct TaskingOptions {
   SuspendChecks Policy = SuspendChecks::AtEveryCall;
   /// Round-robin slice, in instructions.
@@ -44,6 +46,10 @@ struct TaskingOptions {
   bool FuseSuperinstructions = true;
   bool FloatSelfTag = true;
   bool TailCalls = true;
+  /// Flight recorder (not owned; may be null). Only the OS-thread runtime
+  /// wires per-task rings from it; the cooperative scheduler ignores it
+  /// (its interleavings are deterministic and fully covered by --gc-log).
+  FlightRecorder *Flight = nullptr;
 };
 
 struct TaskResult {

@@ -2,6 +2,8 @@
 
 #include "vm/Vm.h"
 
+#include "support/FlightRecorder.h"
+
 #include <cassert>
 #include <cstring>
 #include <sstream>
@@ -24,6 +26,7 @@ Vm::Vm(const IrProgram &Prog, const CodeImage &Img, TypeContext &Types,
   }
   ChecksAtCalls = this->Opts.Checks == SuspendChecks::AtEveryCall ||
                   this->Opts.Checks == SuspendChecks::RgcRegister;
+  FlightR = this->Opts.Flight;
   CountCallChecks = this->Opts.Checks == SuspendChecks::AtEveryCall;
   SelfTagFloats = Model == ValueModel::Tagged && this->Opts.FloatSelfTag;
 
@@ -124,6 +127,8 @@ Word *Vm::allocate(size_t PayloadWords, ObjKind Kind, CallSiteId Site,
                                      Opts.ThreadTlab ? Shard : nullptr);
     if (P)
       return finishAlloc(P, Site);
+    if (FlightR) [[unlikely]]
+      FlightR->record(FlightEventType::GcRequest, 0, PayloadWords);
     Opts.Coord->requestGc(PayloadWords);
     flushHotCounters();
     Blocked = true;

@@ -110,6 +110,11 @@ struct VmOptions {
   /// the sequential VM and the cooperative scheduler (bit-identical
   /// counters with the pre-thread runtime depend on this).
   Tlab *ThreadTlab = nullptr;
+  /// This task's flight-recorder ring (null when not recording). The VM
+  /// stamps GcRequest on heap exhaustion and a cheap VmEpoch at each
+  /// safepoint poll window, so a thread's timeline shows it was running
+  /// between parks. Null keeps both sites at one never-taken branch.
+  FlightRing *Flight = nullptr;
 };
 
 enum class StepResult : uint8_t {
@@ -249,6 +254,8 @@ private:
   /// pending world-stop (re-armed at every exec() entry; UINT64_MAX for
   /// the sequential VM).
   uint64_t NextPollAt = UINT64_MAX;
+  /// Cached Opts.Flight for the dispatch loops.
+  FlightRing *FlightR = nullptr;
 
   /// The two dispatch loops, generated from vm/VmExec.inc. The threaded
   /// loop doubles as the label-table exporter: called with \p TableOut it

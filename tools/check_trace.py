@@ -73,6 +73,24 @@ def main() -> int:
     counted = stats["counters"].get("gc.objects_visited", 0)
     assert census_objs == counted, (
         f"census objects {census_objs} != gc.objects_visited {counted}")
+
+    # Under --threads=N the trace must carry one named track per mutator
+    # (thread_name metadata, tids 1..N) and every collection event must
+    # land on one of those tracks — never the hardcoded tid 1 of the
+    # sequential writer.
+    spawned = stats["counters"].get("task.spawned", 0)
+    if spawned >= 2:
+        tracks = sorted(e["tid"] for e in events
+                        if e.get("name") == "thread_name")
+        assert tracks == list(range(1, spawned + 1)), (
+            f"trace names tracks {tracks}, want 1..{spawned} "
+            f"(task.spawned={spawned})")
+        bad = [e["tid"] for e in collections
+               if not 1 <= e["tid"] <= spawned]
+        assert not bad, (
+            f"collection events on unnamed tracks {sorted(set(bad))}, "
+            f"want tids in 1..{spawned}")
+        print(f"tracks={spawned}")
     print("ok")
     return 0
 

@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Decodes a tfgc --flight-out recording.
+
+The file is a 24-byte header (magic "TFGCFLR1", u32 version, u32 record
+size, u64 reserved) followed by 32-byte little-endian records:
+
+    u64 time_ns   since the recorder's construction (one clock for all
+                  rings, so the whole file is one global timeline)
+    u8  type      FlightEventType (support/FlightRecorder.h)
+    u8  tid       0..N-1 mutator tasks, 128+k trace worker k, 254 the GC
+                  ring (handshake arms + collection begin/phase/end)
+    u16 reserved
+    u32 arg32     e.g. the handshake epoch for park/resume/arm
+    u64 arg_a     e.g. the request-to-park delay in ns
+    u64 arg_b     e.g. last-parker flag, steal count
+
+Default output: a per-handshake time-to-safepoint attribution table —
+for every handshake epoch, which thread parked last (or handed the
+collection off while exiting), how long after the request it arrived,
+and what that thread's most recent prior event was (VM poll, TLAB
+refill, GC request: the "what was it doing" column).
+
+Modes:
+    flight_report.py FILE                 attribution table + summary
+    flight_report.py --check FILE         invariant check (monotone
+                                          timestamps, handshake pairing);
+                                          exit 1 on violation
+    flight_report.py --stats STATS FILE   cross-check against the run's
+                                          --stats-json (park counts per
+                                          task == task.<i>.world_stop_delays)
+    flight_report.py --chrome OUT FILE    multi-track Chrome trace JSON
+                                          (one track per tid; view in
+                                          Perfetto / chrome://tracing)
+"""
+
+import json
+import struct
+import sys
+
+MAGIC = b"TFGCFLR1"
+HEADER_BYTES = 24
+RECORD_BYTES = 32
+RECORD_FMT = "<QBBHIQQ"
+
+GC_TID = 254
+WORKER_TID_BASE = 128
+
+TYPE_NAMES = {
+    1: "thread_start",
+    2: "thread_exit",
+    3: "gc_request",
+    4: "safepoint_arm",
+    5: "park",
+    6: "resume",
+    7: "pending_handoff",
+    8: "tlab_refill",
+    9: "gc_begin",
+    10: "gc_phase",
+    11: "gc_end",
+    12: "trace_worker_begin",
+    13: "trace_worker_end",
+    14: "vm_epoch",
+    15: "dropped",
+}
+T_START, T_EXIT, T_REQUEST, T_ARM, T_PARK, T_RESUME, T_HANDOFF, \
+    T_REFILL, T_GCBEGIN, T_GCPHASE, T_GCEND, T_WBEGIN, T_WEND, \
+    T_VMEPOCH, T_DROPPED = range(1, 16)
+
+GC_PHASE_NAMES = ["root_scan", "ptr_reversal", "frame_dispatch",
+                  "tg_closure_build", "copy_sweep", "remset_scan",
+                  "verify"]
+GC_KIND_NAMES = ["full", "minor", "major"]
+
+
+class Event:
+    __slots__ = ("time_ns", "type", "tid", "arg32", "arg_a", "arg_b")
+
+    def __init__(self, time_ns, type_, tid, arg32, arg_a, arg_b):
+        self.time_ns = time_ns
+        self.type = type_
+        self.tid = tid
+        self.arg32 = arg32
+        self.arg_a = arg_a
+        self.arg_b = arg_b
+
+    def type_name(self):
+        return TYPE_NAMES.get(self.type, f"?{self.type}")
+
+    def tid_name(self):
+        if self.tid == GC_TID:
+            return "gc"
+        if self.tid >= WORKER_TID_BASE:
+            return f"worker-{self.tid - WORKER_TID_BASE}"
+        return f"task-{self.tid}"
+
+
+def load(path):
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < HEADER_BYTES or data[:8] != MAGIC:
+        raise SystemExit(f"error: {path} is not a tfgc flight recording "
+                         f"(bad magic)")
+    version, rec_bytes = struct.unpack_from("<II", data, 8)
+    if version != 1 or rec_bytes != RECORD_BYTES:
+        raise SystemExit(f"error: {path}: unsupported version {version} / "
+                         f"record size {rec_bytes}")
+    body = len(data) - HEADER_BYTES
+    if body % RECORD_BYTES:
+        # An abnormal exit mid-fwrite could in principle truncate a
+        # record; whole records before it are still valid.
+        print(f"warning: {body % RECORD_BYTES} trailing bytes ignored "
+              f"(truncated final record)", file=sys.stderr)
+        body -= body % RECORD_BYTES
+    events = []
+    for off in range(HEADER_BYTES, HEADER_BYTES + body, RECORD_BYTES):
+        t, ty, tid, _, a32, aa, ab = struct.unpack_from(RECORD_FMT, data, off)
+        events.append(Event(t, ty, tid, a32, aa, ab))
+    return events
+
+
+def check(events):
+    """Invariant check. Returns a list of violation strings."""
+    errs = []
+    prev = 0
+    for i, e in enumerate(events):
+        if e.time_ns < prev:
+            errs.append(f"record {i}: time {e.time_ns} < previous {prev} "
+                        "(file must be globally monotone)")
+        prev = e.time_ns
+        if e.type not in TYPE_NAMES:
+            errs.append(f"record {i}: unknown event type {e.type}")
+
+    dropped = sum(1 for e in events if e.type == T_DROPPED)
+    if dropped:
+        # Rings overwrote events between drains: pairing counts are no
+        # longer complete, so only the monotonicity check is meaningful.
+        print(f"note: {dropped} dropped-marker(s) present; skipping "
+              "handshake pairing (recording is newest-N per ring)",
+              file=sys.stderr)
+        return errs
+
+    arms = {}
+    parks = {}
+    resumes = {}
+    handoffs = {}
+    last_parks = {}
+    for e in events:
+        ep = e.arg32
+        if e.type == T_ARM:
+            arms[ep] = arms.get(ep, 0) + 1
+        elif e.type == T_PARK:
+            parks[ep] = parks.get(ep, 0) + 1
+            if e.arg_b:
+                last_parks[ep] = last_parks.get(ep, 0) + 1
+        elif e.type == T_RESUME:
+            resumes[ep] = resumes.get(ep, 0) + 1
+        elif e.type == T_HANDOFF:
+            handoffs[ep] = handoffs.get(ep, 0) + 1
+
+    for ep, n in arms.items():
+        if n != 1:
+            errs.append(f"epoch {ep}: {n} arm events, want exactly 1")
+        if parks.get(ep, 0) != resumes.get(ep, 0):
+            errs.append(f"epoch {ep}: {parks.get(ep, 0)} parks != "
+                        f"{resumes.get(ep, 0)} resumes")
+        lp = last_parks.get(ep, 0)
+        ho = handoffs.get(ep, 0)
+        if lp + ho != 1:
+            errs.append(f"epoch {ep}: {lp} last-parker(s) + {ho} "
+                        "handoff(s), want exactly one pause owner")
+    for ep in parks:
+        if ep not in arms:
+            errs.append(f"epoch {ep}: parks without an arm event")
+    return errs
+
+
+def attribution(events):
+    """Per-handshake attribution rows.
+
+    Each row: epoch, owner tid, kind (park | handoff), request-to-stop
+    delay ns, the slowest thread's prior activity (its most recent
+    VM/TLAB/GC-request event before the park), and the per-epoch park
+    delays of every participant.
+    """
+    last_activity = {}  # tid -> (type, time_ns)
+    rows = []
+    per_epoch = {}
+    arm_time = {}
+    for e in events:
+        if e.type in (T_VMEPOCH, T_REFILL, T_REQUEST, T_START):
+            last_activity[e.tid] = (e.type_name(), e.time_ns)
+        elif e.type == T_ARM:
+            arm_time[e.arg32] = e.time_ns
+        elif e.type == T_PARK:
+            per_epoch.setdefault(e.arg32, []).append((e.tid, e.arg_a))
+            if e.arg_b:  # last parker: owns the pause
+                act = last_activity.get(e.tid)
+                rows.append({
+                    "epoch": e.arg32, "owner": e.tid, "kind": "park",
+                    "delay_ns": e.arg_a,
+                    "prior": act[0] if act else "-",
+                    "prior_gap_ns": e.time_ns - act[1] if act else None,
+                })
+        elif e.type == T_HANDOFF:
+            act = last_activity.get(e.tid)
+            rows.append({
+                "epoch": e.arg32, "owner": e.tid, "kind": "handoff",
+                "delay_ns": e.arg_a,
+                "prior": act[0] if act else "-",
+                "prior_gap_ns": e.time_ns - act[1] if act else None,
+            })
+    for r in rows:
+        r["parks"] = sorted(per_epoch.get(r["epoch"], []))
+    return rows
+
+
+def print_report(events):
+    n_by_type = {}
+    tids = set()
+    for e in events:
+        n_by_type[e.type_name()] = n_by_type.get(e.type_name(), 0) + 1
+        tids.add(e.tid)
+    span_ms = (events[-1].time_ns - events[0].time_ns) / 1e6 if events else 0
+    print(f"{len(events)} records over {span_ms:.1f} ms, "
+          f"{len(tids)} timelines")
+    for name in sorted(n_by_type):
+        print(f"  {n_by_type[name]:8d}  {name}")
+    rows = attribution(events)
+    if not rows:
+        print("\nno handshakes recorded (sequential run, or no "
+              "collection was needed)")
+        return
+    print("\ntime-to-safepoint attribution "
+          "(slowest = the thread the world waited for):")
+    print(f"  {'epoch':>5}  {'stop-delay':>12}  {'slowest':>8}  "
+          f"{'via':>8}  {'prior activity':>20}  per-task park delays")
+    for r in rows:
+        prior = r["prior"]
+        if r["prior_gap_ns"] is not None:
+            prior += f" (-{r['prior_gap_ns'] / 1e3:.0f}us)"
+        parks = ", ".join(f"t{t}:{d / 1e3:.0f}us" for t, d in r["parks"])
+        print(f"  {r['epoch']:5d}  {r['delay_ns'] / 1e3:10.0f}us  "
+              f"task-{r['owner']:<3}  {r['kind']:>8}  {prior:>20}  "
+              f"[{parks}]")
+
+
+def cross_check_stats(events, stats_path):
+    """Park counts per tid must equal task.<i>.world_stop_delays."""
+    with open(stats_path) as f:
+        stats = json.load(f)
+    counters = stats.get("counters", {})
+    if any(e.type == T_DROPPED for e in events):
+        print("note: dropped markers present; skipping stats cross-check",
+              file=sys.stderr)
+        return []
+    parks = {}
+    for e in events:
+        if e.type == T_PARK:
+            parks[e.tid] = parks.get(e.tid, 0) + 1
+    errs = []
+    for key, want in counters.items():
+        if not key.startswith("task.") or \
+                not key.endswith(".world_stop_delays"):
+            continue
+        tid = int(key.split(".")[1])
+        got = parks.get(tid, 0)
+        if got != want:
+            errs.append(f"task {tid}: {got} park events, stats report "
+                        f"{key}={want}")
+    total_parks = sum(parks.values())
+    print(f"stats cross-check: {total_parks} parks across "
+          f"{len(parks)} tasks match per-task world_stop_delays"
+          if not errs else f"stats cross-check: {len(errs)} mismatch(es)")
+    return errs
+
+
+def chrome_trace(events, out_path):
+    """One Chrome-trace track per tid; durations for pauses and parks,
+    instants for the rest."""
+    out = []
+    tids = sorted({e.tid for e in events})
+    for tid in tids:
+        name = next(e for e in events if e.tid == tid).tid_name()
+        out.append({"name": "thread_name", "ph": "M", "pid": 1,
+                    "tid": tid, "args": {"name": name}})
+    open_park = {}   # tid -> park event
+    open_gc = None   # gc_begin event
+    open_worker = {}
+    for e in events:
+        ts = e.time_ns / 1e3
+        if e.type == T_PARK:
+            open_park[e.tid] = e
+        elif e.type == T_RESUME and e.tid in open_park:
+            p = open_park.pop(e.tid)
+            out.append({"name": "parked", "cat": "safepoint", "ph": "X",
+                        "ts": p.time_ns / 1e3,
+                        "dur": (e.time_ns - p.time_ns) / 1e3,
+                        "pid": 1, "tid": e.tid,
+                        "args": {"epoch": p.arg32,
+                                 "park_delay_ns": p.arg_a,
+                                 "last_parker": bool(p.arg_b)}})
+        elif e.type == T_GCBEGIN:
+            open_gc = e
+        elif e.type == T_GCEND:
+            kind = GC_KIND_NAMES[e.arg32] if e.arg32 < 3 else "?"
+            start = open_gc.time_ns if open_gc else e.time_ns - e.arg_a
+            out.append({"name": f"gc.{kind}", "cat": "gc", "ph": "X",
+                        "ts": start / 1e3, "dur": e.arg_a / 1e3,
+                        "pid": 1, "tid": GC_TID,
+                        "args": {"seq": e.arg_b}})
+            open_gc = None
+        elif e.type == T_WBEGIN:
+            open_worker[e.tid] = e
+        elif e.type == T_WEND and e.tid in open_worker:
+            b = open_worker.pop(e.tid)
+            out.append({"name": "trace_worker", "cat": "gc", "ph": "X",
+                        "ts": b.time_ns / 1e3,
+                        "dur": (e.time_ns - b.time_ns) / 1e3,
+                        "pid": 1, "tid": e.tid,
+                        "args": {"steals": e.arg_a}})
+        else:
+            out.append({"name": e.type_name(), "cat": "flight", "ph": "i",
+                        "ts": ts, "s": "t", "pid": 1, "tid": e.tid,
+                        "args": {"arg32": e.arg32, "a": e.arg_a,
+                                 "b": e.arg_b}})
+    with open(out_path, "w") as f:
+        json.dump({"displayTimeUnit": "ns", "traceEvents": out}, f)
+    print(f"wrote {len(out)} trace events to {out_path}")
+
+
+def main():
+    args = sys.argv[1:]
+    mode = "report"
+    stats_path = out_path = None
+    if args and args[0] == "--check":
+        mode = "check"
+        args = args[1:]
+    elif args and args[0] == "--stats":
+        mode = "stats"
+        stats_path, args = args[1], args[2:]
+    elif args and args[0] == "--chrome":
+        mode = "chrome"
+        out_path, args = args[1], args[2:]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    events = load(args[0])
+
+    if mode == "check":
+        errs = check(events)
+        for e in errs:
+            print(f"error: {e}", file=sys.stderr)
+        if errs:
+            return 1
+        n_hs = len({e.arg32 for e in events if e.type == T_ARM})
+        print(f"ok: {len(events)} records, {n_hs} handshakes, "
+              "monotone + paired")
+        return 0
+    if mode == "stats":
+        errs = cross_check_stats(events, stats_path)
+        for e in errs:
+            print(f"error: {e}", file=sys.stderr)
+        return 1 if errs else 0
+    if mode == "chrome":
+        chrome_trace(events, out_path)
+        return 0
+    print_report(events)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # report piped into head/less; not an error

@@ -113,9 +113,12 @@ def frame(url, cur, label, prev, dt):
 
     # Per-task shard columns (--threads runs publish one group per task
     # at every safepoint fold): steps + rate, TLAB allocation, and the
-    # p99 request-to-park stop delay.
+    # p99 time-to-safepoint — the straggler column. The task that
+    # completed the most recent rendezvous (everyone else was already
+    # waiting on it) is marked "<- last parker".
     tasks = sorted(k for k in cur if k.startswith("tfgc_task_")
                    and k.endswith("_mutator_steps"))
+    last_parker = cur.get("tfgc_sched_last_parker_task")
     if tasks:
         epochs = cur.get("tfgc_sched_handshake_epochs")
         hdr = "  tasks      "
@@ -134,9 +137,11 @@ def frame(url, cur, label, prev, dt):
             row += f"  tlab {fmt_bytes(words * 8)}"
             refills = cur.get(base + "tlab_refills", 0)
             row += f" ({refills} refills)"
-        p99 = cur.get(base + "world_stop_delay_ns_p99")
-        if p99 is not None:
-            row += f"  stop p99 {fmt_ns(p99)}"
+        tts = cur.get(base + "time_to_safepoint_ns_p99")
+        if tts is not None:
+            row += f"  tts p99 {fmt_ns(tts)}"
+        if last_parker is not None and str(last_parker) == idx:
+            row += "  <- last parker"
         lines.append(row)
     return "\n".join(lines)
 
