@@ -286,7 +286,7 @@ void Collector::collect(RootSet &Roots, size_t NeedPayloadWords) {
       uint64_t Covered = Copying ? (uint64_t)Copying->usedBytes()
                                  : Ms->liveWordsAfterSweep() * sizeof(Word);
       Prof->finishCollection(Covered, nullptr,
-                             Prof->wantsRetention()
+                             Prof->wantsRoots()
                                  ? captureProfilerRoots(Roots)
                                  : std::vector<HeapRoot>{});
     }
@@ -546,7 +546,7 @@ void Collector::majorCollection(RootSet &Roots, size_t Need) {
 
   if (Prof && Prof->enabled())
     Prof->finishCollection((uint64_t)Gen->usedBytes(), nullptr,
-                           Prof->wantsRetention()
+                           Prof->wantsRoots()
                                ? captureProfilerRoots(Roots)
                                : std::vector<HeapRoot>{});
 
@@ -618,6 +618,19 @@ void Collector::publishTelemetryStats() {
   if (Prof && Prof->enabled()) {
     St.set("heap.profile_allocs", Prof->allocTotal());
     St.set("heap.profile_visit_objects", Prof->visitObjectsTotal());
+    // Promotion attribution: per-site tenured words, summing (exactly) to
+    // gc.promoted_words. Sites with no promotions publish nothing.
+    const auto &Life = Prof->lifetimes();
+    uint64_t Attributed = 0;
+    for (size_t I = 0; I < Life.size(); ++I) {
+      if (!Life[I].PromotedWords)
+        continue;
+      Attributed += Life[I].PromotedWords;
+      St.set("site." + std::to_string(I) + ".promoted_words",
+             Life[I].PromotedWords);
+    }
+    if (Attributed)
+      St.set("heap.promoted_words_attributed", Attributed);
   }
   const LogHistogram &Stop = Tel.worldStopDelayHistogram();
   if (Stop.count()) {

@@ -40,13 +40,20 @@ Word TaggedCollector::traceWord(Space &Sp, std::vector<Word> &ScanList,
 
 void TaggedCollector::drainScanList(Space &Sp, std::vector<Word> &ScanList,
                                     Stats &S, CensusCounts *Census) {
+  // Heap-graph edge capture is decided per collection (never during the
+  // census-sink parallel path or the verify pass, which both re-scan).
+  const bool EdgeRec = Prof && !Census && Prof->edgesActive();
   while (!ScanList.empty()) {
     Word Ref = ScanList.back();
     ScanList.pop_back();
     Word *Pl = Sp.payload(Ref);
     uint32_t Size = headerSize(Pl[-1]);
-    for (uint32_t I = 0; I < Size; ++I)
+    for (uint32_t I = 0; I < Size; ++I) {
       Pl[I] = traceWord(Sp, ScanList, Pl[I], S, Census);
+      if (EdgeRec) [[unlikely]]
+        if (isTaggedPointer(Pl[I]))
+          Prof->recordEdge(Ref, I, Pl[I]);
+    }
   }
 }
 

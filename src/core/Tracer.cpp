@@ -9,14 +9,23 @@ using namespace tfgc;
 Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
   Word Result = V;
   Word *Patch = &Result;
+  // Heap-graph bookkeeping for the tail-iteration loop: once Patch is
+  // redirected into an object's payload, (PatchObj, PatchField) name the
+  // slot it points at, so the deferred `*Patch = NewRef` writes can be
+  // mirrored as graph edges. 0 = Patch still aims at the caller's slot
+  // (a frame root or a field whose edge the caller records).
+  Word PatchObj = 0;
+  uint32_t PatchField = 0;
   for (;;) {
     const TypeRoutine &TR = CM->routine(R);
     switch (TR.F) {
     case TypeRoutine::Form::Leaf:
-      *Patch = V;
+      *Patch = V; // Non-reference: no edge.
       return Result;
     case TypeRoutine::Form::FunValue:
       *Patch = traceClosureValue(V, nullptr, TR.FunStaticTy);
+      if (EdgeRec)
+        edge(PatchObj, PatchField, *Patch);
       return Result;
     case TypeRoutine::Form::Record:
     case TypeRoutine::Form::RefCell: {
@@ -31,6 +40,8 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       NewRef = Sp.visitNew(V, TR.PayloadWords);
@@ -41,10 +52,14 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
                                                : CensusKind::Tuple,
             TR.PayloadWords);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       for (const FieldAction &A : TR.Fields) {
         St.add(StatId::GcCompiledActions);
         Pl[A.Offset] = traceCompiled(Pl[A.Offset], A.Routine);
+        if (EdgeRec)
+          edge(NewRef, A.Offset, Pl[A.Offset]);
       }
       return Result;
     }
@@ -60,6 +75,8 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       Word Disc = *reinterpret_cast<const Word *>(V);
@@ -69,12 +86,16 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
       St.add(StatId::GcWordsVisited, TR.CtorSizes[Disc]);
       visit(V, NewRef, CensusKind::Data, TR.CtorSizes[Disc]);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       const std::vector<FieldAction> &Acts = TR.CtorFields[Disc];
       size_t N = Acts.size();
       for (size_t I = 0; I + 1 < N; ++I) {
         St.add(StatId::GcCompiledActions);
         Pl[Acts[I].Offset] = traceCompiled(Pl[Acts[I].Offset], Acts[I].Routine);
+        if (EdgeRec)
+          edge(NewRef, Acts[I].Offset, Pl[Acts[I].Offset]);
       }
       if (N != 0) {
         const FieldAction &Last = Acts[N - 1];
@@ -84,9 +105,13 @@ Word TagFreeTracer::traceCompiled(Word V, RoutineId R) {
           // recursing.
           V = Pl[Last.Offset];
           Patch = &Pl[Last.Offset];
+          PatchObj = NewRef;
+          PatchField = Last.Offset;
           continue;
         }
         Pl[Last.Offset] = traceCompiled(Pl[Last.Offset], Last.Routine);
+        if (EdgeRec)
+          edge(NewRef, Last.Offset, Pl[Last.Offset]);
       }
       return Result;
     }
@@ -114,13 +139,17 @@ bool TagFreeTracer::bindingsEqual(const DescBinding &A,
 Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
   Word Result = V;
   Word *Patch = &Result;
+  // (PatchObj, PatchField): the payload slot Patch aims at once the tail
+  // loop redirects it — see traceCompiled.
+  Word PatchObj = 0;
+  uint32_t PatchField = 0;
   for (;;) {
     DescriptorTable &T = descTable();
     const Descriptor &Desc = T.desc(D);
     St.add(StatId::GcDescSteps);
     switch (Desc.Kind) {
     case DescKind::Leaf:
-      *Patch = V;
+      *Patch = V; // Non-reference: no edge.
       return Result;
     case DescKind::Param: {
       assert(Env && "Param descriptor outside a datatype context");
@@ -131,6 +160,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
     }
     case DescKind::Fun:
       *Patch = traceClosureValue(V, nullptr, Desc.FunTy);
+      if (EdgeRec)
+        edge(PatchObj, PatchField, *Patch);
       return Result;
     case DescKind::Tuple: {
       if (V == 0) {
@@ -144,6 +175,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       NewRef = Sp.visitNew(V, Desc.Args.size());
@@ -151,11 +184,16 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       St.add(StatId::GcWordsVisited, Desc.Args.size());
       visit(V, NewRef, CensusKind::Tuple, Desc.Args.size());
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       // The interpreted method walks the descriptor for every field, even
       // ones with nothing to trace.
-      for (size_t I = 0; I < Desc.Args.size(); ++I)
+      for (size_t I = 0; I < Desc.Args.size(); ++I) {
         Pl[I] = traceDesc(Pl[I], Desc.Args[I], Env);
+        if (EdgeRec)
+          edge(NewRef, (uint32_t)I, Pl[I]);
+      }
       return Result;
     }
     case DescKind::Ref: {
@@ -170,6 +208,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       NewRef = Sp.visitNew(V, 1);
@@ -177,8 +217,12 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       St.add(StatId::GcWordsVisited, 1);
       visit(V, NewRef, CensusKind::Ref, 1);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       Pl[0] = traceDesc(Pl[0], Desc.Args[0], Env);
+      if (EdgeRec)
+        edge(NewRef, 0, Pl[0]);
       return Result;
     }
     case DescKind::Data: {
@@ -193,6 +237,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       Word Disc = *reinterpret_cast<const Word *>(V);
@@ -202,6 +248,8 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
       St.add(StatId::GcWordsVisited, 1 + Shape.size());
       visit(V, NewRef, CensusKind::Data, 1 + Shape.size());
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
 
       // Effective bindings of this datatype's parameters: the Data
@@ -255,42 +303,58 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
           if (Last) {
             V = *Slot;
             Patch = Slot;
+            PatchObj = NewRef;
+            PatchField = (uint32_t)(1 + I);
             D = B.D;
             Env = B.Env;
             goto tail;
           }
           *Slot = traceDesc(*Slot, B.D, B.Env);
+          if (EdgeRec)
+            edge(NewRef, (uint32_t)(1 + I), *Slot);
           continue;
         }
         if (IsSelf(F)) {
           if (Last) {
             V = *Slot;
             Patch = Slot;
+            PatchObj = NewRef;
+            PatchField = (uint32_t)(1 + I);
             goto tail; // Same D, same Env: the list-spine loop.
           }
           *Slot = traceDesc(*Slot, D, Env);
+          if (EdgeRec)
+            edge(NewRef, (uint32_t)(1 + I), *Slot);
           continue;
         }
         if (FD.Ground) {
           if (Last) {
             V = *Slot;
             Patch = Slot;
+            PatchObj = NewRef;
+            PatchField = (uint32_t)(1 + I);
             D = F;
             Env = nullptr;
             goto tail;
           }
           *Slot = traceDesc(*Slot, F, nullptr);
+          if (EdgeRec)
+            edge(NewRef, (uint32_t)(1 + I), *Slot);
           continue;
         }
         // Open template field: needs the instantiated environment.
         if (Last) {
           V = *Slot;
           Patch = Slot;
+          PatchObj = NewRef;
+          PatchField = (uint32_t)(1 + I);
           D = F;
           Env = GetFieldEnv();
           goto tail;
         }
         *Slot = traceDesc(*Slot, F, GetFieldEnv());
+        if (EdgeRec)
+          edge(NewRef, (uint32_t)(1 + I), *Slot);
       }
       return Result;
     tail:
@@ -303,6 +367,11 @@ Word TagFreeTracer::traceDesc(Word V, DescId D, const DescEnvNode *Env) {
 Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
   Word Result = V;
   Word *Patch = &Result;
+  // (PatchObj, PatchField): the payload slot Patch aims at once the tail
+  // loop redirects it — see traceCompiled. Const-kind fields are never
+  // traced, so they also record no edge (they hold no reference).
+  Word PatchObj = 0;
+  uint32_t PatchField = 0;
   for (;;) {
     St.add(StatId::GcTgSteps);
     switch (Tg->K) {
@@ -311,6 +380,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       return Result;
     case TypeGc::Kind::Fun:
       *Patch = traceClosureValue(V, Tg, nullptr);
+      if (EdgeRec)
+        edge(PatchObj, PatchField, *Patch);
       return Result;
     case TypeGc::Kind::Record: {
       if (V == 0) {
@@ -324,6 +395,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       NewRef = Sp.visitNew(V, Tg->NumArgs);
@@ -331,10 +404,15 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       St.add(StatId::GcWordsVisited, Tg->NumArgs);
       visit(V, NewRef, CensusKind::Tuple, Tg->NumArgs);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       for (uint32_t I = 0; I < Tg->NumArgs; ++I)
-        if (Tg->Args[I]->K != TypeGc::Kind::Const)
+        if (Tg->Args[I]->K != TypeGc::Kind::Const) {
           Pl[I] = traceTg(Pl[I], Tg->Args[I]);
+          if (EdgeRec)
+            edge(NewRef, I, Pl[I]);
+        }
       return Result;
     }
     case TypeGc::Kind::Ref: {
@@ -349,6 +427,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       NewRef = Sp.visitNew(V, 1);
@@ -356,9 +436,14 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       St.add(StatId::GcWordsVisited, 1);
       visit(V, NewRef, CensusKind::Ref, 1);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
-      if (Tg->Args[0]->K != TypeGc::Kind::Const)
+      if (Tg->Args[0]->K != TypeGc::Kind::Const) {
         Pl[0] = traceTg(Pl[0], Tg->Args[0]);
+        if (EdgeRec)
+          edge(NewRef, 0, Pl[0]);
+      }
       return Result;
     }
     case TypeGc::Kind::Data: {
@@ -373,6 +458,8 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       // winner reaches them, and publish is what clobbers word 0.
       if (Sp.alreadyVisited(V, NewRef) || !Sp.tryClaim(V, NewRef)) {
         *Patch = NewRef;
+        if (EdgeRec)
+          edge(PatchObj, PatchField, NewRef);
         return Result;
       }
       Word Disc = *reinterpret_cast<const Word *>(V);
@@ -382,20 +469,30 @@ Word TagFreeTracer::traceTg(Word V, const TypeGc *Tg) {
       St.add(StatId::GcWordsVisited, 1 + NumFields);
       visit(V, NewRef, CensusKind::Data, 1 + NumFields);
       *Patch = NewRef;
+      if (EdgeRec)
+        edge(PatchObj, PatchField, NewRef);
       Word *Pl = Sp.payload(NewRef);
       const TypeGc *const *Fields = Tg->CtorFields[Disc];
       for (uint32_t I = 0; I + 1 < NumFields; ++I)
-        if (Fields[I]->K != TypeGc::Kind::Const)
+        if (Fields[I]->K != TypeGc::Kind::Const) {
           Pl[1 + I] = traceTg(Pl[1 + I], Fields[I]);
+          if (EdgeRec)
+            edge(NewRef, 1 + I, Pl[1 + I]);
+        }
       if (NumFields != 0) {
         const TypeGc *Last = Fields[NumFields - 1];
         if (Last == Tg) {
           V = Pl[NumFields];
           Patch = &Pl[NumFields];
+          PatchObj = NewRef;
+          PatchField = NumFields;
           continue;
         }
-        if (Last->K != TypeGc::Kind::Const)
+        if (Last->K != TypeGc::Kind::Const) {
           Pl[NumFields] = traceTg(Pl[NumFields], Last);
+          if (EdgeRec)
+            edge(NewRef, NumFields, Pl[NumFields]);
+        }
       }
       return Result;
     }
@@ -477,9 +574,14 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
     for (const FieldAction &A : CR.Fields) {
       St.add(StatId::GcCompiledActions);
       Pl[A.Offset] = traceCompiled(Pl[A.Offset], A.Routine);
+      if (EdgeRec)
+        edge(NewRef, A.Offset, Pl[A.Offset]);
     }
-    for (const OpenAction &A : CR.Open)
+    for (const OpenAction &A : CR.Open) {
       Pl[A.Index] = traceTg(Pl[A.Index], Eng.eval(A.Ty, Env));
+      if (EdgeRec)
+        edge(NewRef, A.Index, Pl[A.Index]);
+    }
     break;
   }
   case TraceMethod::Interpreted:
@@ -487,10 +589,16 @@ Word TagFreeTracer::traceClosureValue(Word V, const TypeGc *FunTg,
     const ClosureDescriptor &CD = Method == TraceMethod::Interpreted
                                       ? IM->closureDescriptor(L)
                                       : AM->closureDescriptor(L);
-    for (const FrameDescriptor::SlotDesc &F : CD.Fields)
+    for (const FrameDescriptor::SlotDesc &F : CD.Fields) {
       Pl[F.Slot] = traceDesc(Pl[F.Slot], F.Desc, nullptr);
-    for (const OpenAction &A : CD.Open)
+      if (EdgeRec)
+        edge(NewRef, F.Slot, Pl[F.Slot]);
+    }
+    for (const OpenAction &A : CD.Open) {
       Pl[A.Index] = traceTg(Pl[A.Index], Eng.eval(A.Ty, Env));
+      if (EdgeRec)
+        edge(NewRef, A.Index, Pl[A.Index]);
+    }
     break;
   }
   }

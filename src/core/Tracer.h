@@ -58,7 +58,8 @@ public:
                 Telemetry *Tel = nullptr, HeapProfiler *Prof = nullptr)
       : Prog(Prog), Img(Img), Eng(Eng), Sp(Sp), St(St), Method(Method),
         CM(CM), IM(IM), AM(AM), GlogerDummies(GlogerDummies), Tel(Tel),
-        Prof(Prof) {}
+        Prof(Prof),
+        EdgeRec(Prof != nullptr && Prof->edgesActive()) {}
 
   /// Binds one closure type parameter: by extraction path, or — under the
   /// Goldberg & Gloger '92 rule — to const_gc when no path exists (a value
@@ -106,6 +107,10 @@ private:
   Telemetry *Tel;
   HeapProfiler *Prof;
   CensusCounts *Census = nullptr;
+  /// Cached at construction (tracers are built per collection, after the
+  /// profiler decided whether this collection's graph is captured): the
+  /// edge hooks below stay a single predictable branch when off.
+  const bool EdgeRec = false;
 
   /// First-visit hook next to every visitNew; the (kind, words) increments
   /// mirror the gc.objects_visited / gc.words_visited counter increments.
@@ -118,6 +123,16 @@ private:
       Tel->census(K, Words);
     if (Prof) [[unlikely]]
       Prof->recordVisit(Old, New, K, Words);
+  }
+
+  /// Heap-graph edge hook: records that field \p Field of the object at
+  /// (post-move) \p Parent holds \p Child. Parent 0 marks a root slot —
+  /// those come from the collector's root capture, not the edge stream.
+  /// Only called under `if (EdgeRec)`; non-reference children are
+  /// filtered when the capture is finalized.
+  void edge(Word Parent, uint32_t Field, Word Child) {
+    if (Parent)
+      Prof->recordEdge(Parent, Field, Child);
   }
 
   DescriptorTable &descTable() {

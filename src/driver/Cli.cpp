@@ -6,6 +6,7 @@
 #include "sched/ThreadedTasking.h"
 #include "support/Epoch.h"
 #include "support/FlightRecorder.h"
+#include "support/HeapGraph.h"
 #include "support/Introspect.h"
 
 #include <chrono>
@@ -68,6 +69,13 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
       {"--retainers", true,
        "report the top-N retainers by retained size after full/major "
        "collections (implies --heap-profile)"},
+      {"--heap-dump", true,
+       "stream typed heap-graph dumps (nodes, edges, roots, lifetimes) at "
+       "full/major collections to FILE (implies --heap-profile; decode "
+       "with tools/heap_graph_report.py)"},
+      {"--heap-dump-every", true,
+       "capture every Nth eligible collection (default 1; requires "
+       "--heap-dump)"},
       {"--monitor", false,
        "mutator-side monitor: sampling profiler + MMU/utilization "
        "tracking"},
@@ -82,8 +90,8 @@ const std::vector<CliFlag> &tfgc::cliFlags() {
        "--monitor)"},
       {"--serve", true,
        "live introspection HTTP server on 127.0.0.1:PORT (/metrics, "
-       "/snapshot, /heartbeat, /flightrecord, /healthz; 0 picks a free "
-       "port, printed to stderr)"},
+       "/snapshot, /heartbeat, /flightrecord, /heapdump, /healthz; 0 "
+       "picks a free port, printed to stderr)"},
       {"--serve-linger-ms", true,
        "keep serving the final epoch for MS ms after the run ends "
        "(requires --serve)"},
@@ -263,6 +271,17 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
     } else if (Name == "--retainers") {
       O.Retainers = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
       O.HeapProfile = true;
+    } else if (Name == "--heap-dump") {
+      O.HeapDumpPath = Value;
+      O.HeapProfile = true;
+    } else if (Name == "--heap-dump-every") {
+      char *EndP = nullptr;
+      unsigned long long N = std::strtoull(Value.c_str(), &EndP, 10);
+      if (Value.empty() || (EndP && *EndP) || N == 0) {
+        Err = "--heap-dump-every: '" + Value + "' is not a positive count";
+        return false;
+      }
+      O.HeapDumpEvery = N;
     } else if (Name == "--monitor") {
       O.Monitor = true;
     } else if (Name == "--monitor-out") {
@@ -321,8 +340,13 @@ bool tfgc::parseCli(const std::vector<std::string> &Args, CliOptions &O,
     return false;
   }
   if (O.Threads >= 2 && O.HeapProfile) {
-    Err = "--heap-profile/--heap-snapshot/--retainers require --threads=1 "
-          "or the sequential VM (the profiler's visit stream is serial)";
+    Err = "--heap-profile/--heap-snapshot/--retainers/--heap-dump require "
+          "--threads=1 or the sequential VM (the profiler's visit stream "
+          "is serial)";
+    return false;
+  }
+  if (O.HeapDumpEvery && O.HeapDumpPath.empty()) {
+    Err = "--heap-dump-every requires --heap-dump";
     return false;
   }
   if (O.ServeLingerMs && O.ServePort < 0) {
@@ -386,11 +410,22 @@ int tfgc::runTfgc(const CliOptions &O) {
   Col->setInjectVerifyViolation(O.InjectVerifyViolation);
 
   HeapProfiler Prof;
+  HeapGraph Graph;
   if (O.HeapProfile) {
     attachHeapProfiler(*P, O.Strategy, *Col, Prof);
     Prof.setRetainers(O.Retainers);
     Prof.setLabel(std::string(gcStrategyName(O.Strategy)) + "/" +
                   gcAlgorithmName(O.Algo));
+  }
+  if (!O.HeapDumpPath.empty()) {
+    std::string GErr;
+    if (!Graph.openFile(O.HeapDumpPath, &GErr)) {
+      std::fprintf(stderr, "cannot open '%s': %s\n", O.HeapDumpPath.c_str(),
+                   GErr.c_str());
+      return 2;
+    }
+    Graph.setEvery(O.HeapDumpEvery ? O.HeapDumpEvery : 1);
+    Prof.setHeapGraph(&Graph);
   }
 
   Monitor::Options MonOpts;
@@ -469,6 +504,11 @@ int tfgc::runTfgc(const CliOptions &O) {
       Flight->setChunkSink(
           [&Srv](const std::string &Chunk) { Srv.publishFlightRecord(Chunk); });
   }
+  // /heapdump mirrors /flightrecord: each captured graph chunk is also
+  // pushed to the server as a standalone decodable body.
+  if (!O.HeapDumpPath.empty() && O.ServePort >= 0)
+    Graph.setChunkSink(
+        [&Srv](const std::string &Chunk) { Srv.publishHeapDump(Chunk); });
 
   Telemetry &Tel = Col->telemetry();
   Tel.setLabel(gcStrategyName(O.Strategy));
@@ -551,6 +591,8 @@ int tfgc::runTfgc(const CliOptions &O) {
     Tel.endTrace();
   if (Flight)
     Flight->finish(); // Final drain + close; exit 3 below still gets it.
+  if (!O.HeapDumpPath.empty())
+    Graph.finish(); // Chunks are flushed per capture; this closes the file.
   if (O.Monitor)
     Mon.finish();
   // Final epoch: folded after the VM flushed its counters and the monitor

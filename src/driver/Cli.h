@@ -66,6 +66,12 @@ struct CliOptions {
   bool InjectVerifyViolation = false;
   bool HeapProfile = false;
   unsigned Retainers = 0;
+  /// Typed heap-graph dump stream (support/HeapGraph.h); empty = off.
+  /// Implies --heap-profile (the graph rides the profiler's visit hook).
+  std::string HeapDumpPath;
+  /// 0 means "not given" (default 1 = every eligible full/major
+  /// collection); giving it without --heap-dump is a usage error.
+  uint64_t HeapDumpEvery = 0;
   bool Monitor = false;
   std::string MonitorOutPath;
   /// 0 means "not given" (the default of 50 is applied in runTfgc);

@@ -1,0 +1,13 @@
+//===- support/BuildInfo.cpp ----------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "BuildInfo.inc"
+
+using namespace tfgc;
+
+const BuildInfo &tfgc::buildInfo() {
+  static const BuildInfo Info = {TFGC_BUILD_GIT_SHA, TFGC_BUILD_DISPATCH,
+                                 TFGC_BUILD_SANITIZER, TFGC_BUILD_TYPE};
+  return Info;
+}

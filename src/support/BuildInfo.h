@@ -1,0 +1,30 @@
+//===- support/BuildInfo.h - Build provenance -------------------*- C++ -*-===//
+///
+/// \file
+/// Build provenance baked in at CMake configure time: the git revision,
+/// the dispatch mode the build supports (TFGC_THREADED_DISPATCH), the
+/// sanitizer leg (TFGC_SANITIZE), and the build type. Published as the
+/// `tfgc_build_info` gauge in every /metrics exposition and as the
+/// `"build"` block in --stats-json, so any saved artifact names the
+/// binary that produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TFGC_SUPPORT_BUILDINFO_H
+#define TFGC_SUPPORT_BUILDINFO_H
+
+namespace tfgc {
+
+struct BuildInfo {
+  const char *GitSha;    ///< `git rev-parse --short=12 HEAD`, or "unknown".
+  const char *Dispatch;  ///< "threaded" or "switch" (build-time capability).
+  const char *Sanitizer; ///< "none", "thread", "address", or "undefined".
+  const char *BuildType; ///< CMAKE_BUILD_TYPE.
+};
+
+/// The provenance of this binary (static storage; always valid).
+const BuildInfo &buildInfo();
+
+} // namespace tfgc
+
+#endif // TFGC_SUPPORT_BUILDINFO_H

@@ -2,6 +2,7 @@
 
 #include "support/Epoch.h"
 
+#include "support/BuildInfo.h"
 #include "support/Introspect.h"
 
 #include <sstream>
@@ -141,6 +142,19 @@ std::string EpochAggregator::renderPrometheusFor(const EpochSnapshot &E,
     promEscape(OS, Label);
     OS << "\"} 1\n";
   }
+  // Build provenance: constant for the process lifetime, emitted in every
+  // epoch so any saved exposition names the binary that produced it.
+  const BuildInfo &BI = buildInfo();
+  OS << "# TYPE tfgc_build_info gauge\n";
+  OS << "tfgc_build_info{git_sha=\"";
+  promEscape(OS, BI.GitSha);
+  OS << "\",dispatch=\"";
+  promEscape(OS, BI.Dispatch);
+  OS << "\",sanitizer=\"";
+  promEscape(OS, BI.Sanitizer);
+  OS << "\",build_type=\"";
+  promEscape(OS, BI.BuildType);
+  OS << "\"} 1\n";
   OS << "# TYPE tfgc_epoch_seq counter\n";
   OS << "tfgc_epoch_seq " << E.Seq << '\n';
   OS << "# TYPE tfgc_epoch_time_ns counter\n";

@@ -2,6 +2,8 @@
 
 #include "support/HeapProfile.h"
 
+#include "support/HeapGraph.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -39,6 +41,19 @@ void HeapProfiler::setSites(std::vector<AllocSiteDesc> S) {
   Sites = std::move(S);
   SiteAllocCounts.assign(Sites.size(), 0);
   CurSite.assign(Sites.size() + 1, Tally{});
+  Life.assign(Sites.size() + 1, SiteLifetime{});
+}
+
+void HeapProfiler::recordEdge(Word Parent, uint32_t Field, Word Child) {
+  Graph->recordEdge(Parent, Field, Child);
+}
+
+std::vector<uint64_t> HeapProfiler::allocCountsNow() const {
+  std::vector<uint64_t> Counts = SiteAllocCounts;
+  for (const AddrSite &E : AddrLog) // Allocated since the last collection.
+    if (E.Site < Counts.size())
+      ++Counts[E.Site];
+  return Counts;
 }
 
 void HeapProfiler::resetCollectionTallies() {
@@ -48,6 +63,8 @@ void HeapProfiler::resetCollectionTallies() {
   CurTenured = Tally{};
   CurObjects = 0;
   CurWords = 0;
+  CurAgeObs = 0;
+  CurAgeHist.fill(0);
   Objects.clear();
 }
 
@@ -61,6 +78,12 @@ void HeapProfiler::beginCollection(GcEventKind Kind,
   CurEventKind = Kind;
   IsTenured = std::move(IsTenuredFn);
   MinorScope = Kind == GcEventKind::Minor && (bool)IsTenured;
+  FirstRound = true;
+  GraphActive = false;
+  if (Graph) {
+    Graph->configure(&Sites, &FuncNames, TaggedHeaders);
+    GraphActive = Graph->beginCapture(Kind);
+  }
   resetCollectionTallies();
   if (siteTracking()) {
     // Merge the allocation log into the survivor table. Addresses are
@@ -157,7 +180,15 @@ void HeapProfiler::beginTraceRound() {
   if (!Enabled || !InCollection)
     return;
   resetCollectionTallies();
+  FirstRound = false;
+  if (GraphActive)
+    Graph->resetCapture();
   if (siteTracking()) {
+    // The grow loop only retraces after a *complete* round (the free-
+    // space check runs post-trace), so the outgoing Lookup's unconsumed
+    // entries are genuinely dead — account them now; they will not be
+    // seen again. Grow rounds are full-heap, so nothing is "kept".
+    accountDeaths(nullptr);
     // The previous round's post-trace addresses are this round's
     // pre-trace addresses (the grow loop flips spaces and retraces).
     Lookup = std::move(NextTable);
@@ -172,7 +203,7 @@ void HeapProfiler::beginTraceRound() {
   }
 }
 
-uint32_t HeapProfiler::lookupSite(Word OldRef) {
+size_t HeapProfiler::lookupIndex(Word OldRef) {
   size_t Idx;
   if (DenseValid) {
     // Regions are sorted and few; first region whose end covers the
@@ -186,24 +217,39 @@ uint32_t HeapProfiler::lookupSite(Word OldRef) {
       break;
     }
     if (!Hit)
-      return UnknownSite;
+      return SIZE_MAX;
     uint32_t E =
         Dense[Hit->SlotOff + (OldRef - Hit->Base) / sizeof(Word)];
     if ((E >> 24) != DenseEpoch)
-      return UnknownSite;
+      return SIZE_MAX;
     Idx = E & 0xffffffu;
     if (Lookup[Idx].Addr != OldRef)
-      return UnknownSite; // Misaligned probe rounded onto a neighbor.
+      return SIZE_MAX; // Misaligned probe rounded onto a neighbor.
   } else {
     auto It = std::lower_bound(
         Lookup.begin(), Lookup.end(), OldRef,
         [](const AddrSite &A, Word W) { return A.Addr < W; });
     if (It == Lookup.end() || It->Addr != OldRef)
-      return UnknownSite;
+      return SIZE_MAX;
     Idx = (size_t)(It - Lookup.begin());
   }
   Consumed[Idx] = 1;
-  return Lookup[Idx].Site;
+  return Idx;
+}
+
+void HeapProfiler::accountDeaths(const std::function<bool(Word)> &Keep) {
+  if (!siteTracking())
+    return;
+  for (size_t I = 0; I < Lookup.size(); ++I) {
+    if (Consumed[I])
+      continue;
+    if (Keep && Keep(Lookup[I].Addr))
+      continue;
+    uint32_t Site = Lookup[I].Site;
+    SiteLifetime &L = Life[Site == UnknownSite ? Sites.size() : Site];
+    ++L.DeathHist[ageBucket(Lookup[I].AgeBits & AgeMask)];
+    ++L.Deaths;
+  }
 }
 
 void HeapProfiler::recordVisit(Word OldRef, Word NewRef, CensusKind K,
@@ -216,21 +262,69 @@ void HeapProfiler::recordVisit(Word OldRef, Word NewRef, CensusKind K,
   ++KT.Objects;
   KT.Words += Words;
   ++VisitObjectsTotal;
+  // During a major every survivor is evacuated into the tenured to-space,
+  // whose addresses the from-space IsTenured predicate does not cover
+  // until the region pointers flip at endMajor.
+  const bool DestTenured =
+      IsTenured &&
+      (CurEventKind == GcEventKind::Major || IsTenured(NewRef));
   uint32_t Site = UnknownSite;
   if (siteTracking()) {
-    Site = lookupSite(OldRef);
-    Tally &ST = CurSite[Site == UnknownSite ? Sites.size() : Site];
+    size_t Idx = lookupIndex(OldRef);
+    uint32_t AgeBits;
+    bool WasTenured;
+    if (Idx != SIZE_MAX) {
+      Site = Lookup[Idx].Site;
+      AgeBits = Lookup[Idx].AgeBits;
+      WasTenured = (AgeBits & TenuredBit) != 0;
+      if (FirstRound) {
+        // The object survived one more collection. A grow-loop retrace
+        // revisits the same live set, so only the first round ages; a
+        // retrace's lookup table already holds the incremented age.
+        uint32_t Age = AgeBits & AgeMask;
+        if (Age < AgeMask)
+          ++Age;
+        AgeBits = (AgeBits & ~AgeMask) | Age;
+        size_t LifeIdx = Site == UnknownSite ? Sites.size() : Site;
+        for (size_t M = 0; M < SurvivalAges.size(); ++M)
+          if (Age == SurvivalAges[M])
+            ++Life[LifeIdx].Survived[M];
+      }
+    } else {
+      // Never logged (allocation predates profiling): age unknown —
+      // count it as having survived this one collection, and infer the
+      // generation it came from by its pre-trace address.
+      AgeBits = 1;
+      WasTenured = IsTenured && IsTenured(OldRef);
+      if (WasTenured)
+        AgeBits |= TenuredBit;
+    }
+    size_t LifeIdx = Site == UnknownSite ? Sites.size() : Site;
+    Tally &ST = CurSite[LifeIdx];
     ++ST.Objects;
     ST.Words += Words;
-    NextTable.push_back({NewRef, Site});
+    ++CurAgeObs;
+    ++CurAgeHist[ageBucket(AgeBits & AgeMask)];
+    if (DestTenured) {
+      if (!WasTenured && FirstRound) {
+        ++Life[LifeIdx].PromotedObjects;
+        Life[LifeIdx].PromotedWords += Words;
+      }
+      AgeBits |= TenuredBit;
+    }
+    NextTable.push_back({NewRef, Site, AgeBits});
   }
   if (IsTenured) {
-    Tally &GT = IsTenured(NewRef) ? CurTenured : CurNursery;
+    Tally &GT = DestTenured ? CurTenured : CurNursery;
     ++GT.Objects;
     GT.Words += Words;
   }
   if (wantsRetention())
     Objects.push_back({NewRef, Site, K, Words});
+  if (GraphActive)
+    Graph->recordNode(NewRef, Site == UnknownSite ? (uint32_t)Sites.size()
+                                                  : Site,
+                      K, Words);
 }
 
 void HeapProfiler::finishCollection(
@@ -242,6 +336,10 @@ void HeapProfiler::finishCollection(
   Paused = false;
 
   if (siteTracking()) {
+    // Unconsumed entries that nothing keeps were live last cycle and
+    // went unvisited by this (full-coverage-for-them) trace: they died.
+    // Their stored age — not incremented — is the age at death.
+    accountDeaths(KeepUnvisited);
     // Rebuild the table for the next cycle: everything the trace visited
     // (at its new address) plus the unvisited entries that survive a
     // partial-coverage collection (tenured objects during a minor).
@@ -286,6 +384,8 @@ void HeapProfiler::finishCollection(
   Snap.Nursery = CurNursery;
   Snap.Tenured = CurTenured;
   Snap.Retainers.clear();
+  Snap.AgeObservations = CurAgeObs;
+  Snap.AgeHist = CurAgeHist;
   // A minor collection's object list covers the young generation only, so
   // dominator math over it would misattribute retention; retention reports
   // ride full/major collections.
@@ -293,6 +393,11 @@ void HeapProfiler::finishCollection(
       wantsRetention() && CurEventKind != GcEventKind::Minor;
   if (Snap.RetainersComputed)
     computeRetention(Roots);
+  if (GraphActive) {
+    Graph->finalizeCapture(Snap.Seq, CurEventKind, CoveredBytes, Roots,
+                           CurKind, Life, allocCountsNow());
+    GraphActive = false;
+  }
   Objects.clear();
   IsTenured = nullptr;
 }
@@ -546,13 +651,38 @@ void HeapProfiler::writeSnapshotJson(std::ostream &OS) const {
        << "},\n";
   }
 
+  if (siteTracking()) {
+    OS << "  \"age_observations\": " << Snap.AgeObservations << ",\n";
+    OS << "  \"age_hist\": [";
+    for (size_t I = 0; I < Snap.AgeHist.size(); ++I)
+      OS << (I ? ", " : "") << Snap.AgeHist[I];
+    OS << "],\n";
+    OS << "  \"lifetime\": [";
+    First = true;
+    for (size_t I = 0; I < Life.size(); ++I) {
+      const SiteLifetime &L = Life[I];
+      bool Any = L.Deaths || L.PromotedObjects;
+      for (uint64_t S : L.Survived)
+        Any = Any || S;
+      if (!Any)
+        continue;
+      OS << (First ? "" : ",") << "\n    {\"site\": "
+         << (I < Sites.size() ? (int64_t)I : -1) << ", \"survived\": [";
+      for (size_t M = 0; M < L.Survived.size(); ++M)
+        OS << (M ? ", " : "") << L.Survived[M];
+      OS << "], \"deaths\": " << L.Deaths << ", \"death_hist\": [";
+      for (size_t M = 0; M < L.DeathHist.size(); ++M)
+        OS << (M ? ", " : "") << L.DeathHist[M];
+      OS << "], \"promoted_objects\": " << L.PromotedObjects
+         << ", \"promoted_words\": " << L.PromotedWords << "}";
+      First = false;
+    }
+    OS << (First ? "]" : "\n  ]") << ",\n";
+  }
   OS << "  \"alloc_total\": " << AllocTotal << ",\n";
   OS << "  \"alloc_sites\": [";
   First = true;
-  std::vector<uint64_t> Counts = SiteAllocCounts;
-  for (const AddrSite &E : AddrLog) // Allocated since the last collection.
-    if (E.Site < Counts.size())
-      ++Counts[E.Site];
+  std::vector<uint64_t> Counts = allocCountsNow();
   for (size_t I = 0; I < Counts.size(); ++I) {
     if (!Counts[I])
       continue;

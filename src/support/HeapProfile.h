@@ -52,6 +52,8 @@
 
 namespace tfgc {
 
+class HeapGraph;
+
 /// Debug label of one allocation site (mirrors gcmeta's AllocSiteDebug;
 /// duplicated here so the support layer does not depend on the IR).
 struct AllocSiteDesc {
@@ -89,6 +91,41 @@ public:
     uint64_t Words = 0;
   };
 
+  /// Cumulative lifetime statistics of one allocation site (ages are
+  /// measured in collections the object was subject to — a tenured
+  /// object sits out the minors, so under the generational algorithm
+  /// this reads as "minors survived" until promotion).
+  struct SiteLifetime {
+    /// Objects that reached age exactly 1 / 2 / 4 / 8 — the survival
+    /// curve. Monotone non-increasing by construction (reaching age 4
+    /// implies having reached 2).
+    std::array<uint64_t, 4> Survived{};
+    /// Age-at-death histogram, bucketed by ageBucket().
+    std::array<uint64_t, 8> DeathHist{};
+    uint64_t Deaths = 0;
+    uint64_t PromotedObjects = 0;
+    /// Census words (payload + tagged header) promoted to tenured —
+    /// sums across sites to `gc.promoted_words`.
+    uint64_t PromotedWords = 0;
+  };
+
+  /// The ages the survival curve samples.
+  static constexpr std::array<uint32_t, 4> SurvivalAges = {1, 2, 4, 8};
+
+  /// Histogram bucket of an age: 0,1,2,3 exact, then 4-7, 8-15, 16-31,
+  /// 32+.
+  static uint32_t ageBucket(uint64_t Age) {
+    if (Age < 4)
+      return (uint32_t)Age;
+    if (Age < 8)
+      return 4;
+    if (Age < 16)
+      return 5;
+    if (Age < 32)
+      return 6;
+    return 7;
+  }
+
   /// The profile of one collection (the latest one traced). Overwritten
   /// per collection; `tfgc --heap-snapshot` serializes the last one.
   struct Snapshot {
@@ -106,6 +143,11 @@ public:
     Tally Nursery, Tenured;
     std::vector<RetainerInfo> Retainers;
     bool RetainersComputed = false;
+    /// Age observations of this collection's visits (one per visited
+    /// object when site tracking is on): total and ageBucket() histogram.
+    /// Invariant: AgeObservations == Objects.
+    uint64_t AgeObservations = 0;
+    std::array<uint64_t, 8> AgeHist{};
 
     uint64_t kindBytes() const {
       uint64_t S = 0;
@@ -141,6 +183,24 @@ public:
   void setTaggedHeaders(bool T) { TaggedHeaders = T; }
 
   void setLabel(std::string L) { Label = std::move(L); }
+
+  /// Attaches the heap-graph dumper; beginCollection asks it whether to
+  /// capture this collection's graph and the visit/edge hooks feed it.
+  void setHeapGraph(HeapGraph *G) { Graph = G; }
+
+  // -- Heap-graph hooks (tracer hot path) -----------------------------------
+
+  /// True while the current collection's graph is being captured (the
+  /// tracers cache this at construction; it never changes mid-trace).
+  /// False while paused — the verify pass re-runs the tracers.
+  bool edgesActive() const { return GraphActive && !Paused; }
+
+  /// Forwards one traced reference to the graph (only called under
+  /// edgesActive()). Out-of-line so this header needn't see HeapGraph.
+  void recordEdge(Word Parent, uint32_t Field, Word Child);
+
+  /// The collector captures stack roots when either consumer needs them.
+  bool wantsRoots() const { return wantsRetention() || GraphActive; }
 
   // -- Mutator hot path -----------------------------------------------------
 
@@ -204,14 +264,38 @@ public:
   const Snapshot &snapshot() const { return Snap; }
   const AllocSiteDesc &site(uint32_t Id) const { return Sites[Id]; }
 
+  /// Cumulative lifetime stats of a site (pass numSites() for the
+  /// unknown bucket). Empty-table safe only when siteTracking().
+  const SiteLifetime &lifetime(uint32_t Site) const { return Life[Site]; }
+  const std::vector<SiteLifetime> &lifetimes() const { return Life; }
+
+  /// Cumulative per-site allocation counts with the pending log folded
+  /// in (same accounting as allocCount, vectorized for the dump).
+  std::vector<uint64_t> allocCountsNow() const;
+
+  /// Sum of per-site promoted words — equals `gc.promoted_words`.
+  uint64_t promotedWordsAttributed() const {
+    uint64_t S = 0;
+    for (const SiteLifetime &L : Life)
+      S += L.PromotedWords;
+    return S;
+  }
+
   /// Serializes the latest snapshot (plus cumulative allocation counts)
   /// as one JSON document; `tools/heap_report.py` renders and diffs it.
   void writeSnapshotJson(std::ostream &OS) const;
 
 private:
+  /// Per-entry age bits: low 24 bits = collections survived (saturating),
+  /// bit 31 = the object has been observed in tenured space (promotion
+  /// already attributed).
+  static constexpr uint32_t AgeMask = 0xffffffu;
+  static constexpr uint32_t TenuredBit = 1u << 31;
+
   struct AddrSite {
     Word Addr;
     uint32_t Site;
+    uint32_t AgeBits = 0;
   };
   struct ObjRec {
     Word Addr;
@@ -222,7 +306,13 @@ private:
 
   void resetCollectionTallies();
   void buildLookupIndex();
-  uint32_t lookupSite(Word OldRef);
+  /// Finds (and consumes) the Lookup entry for \p OldRef; SIZE_MAX on
+  /// miss.
+  size_t lookupIndex(Word OldRef);
+  /// Folds the unconsumed, not-kept Lookup entries into the death
+  /// histograms (they were live last cycle and were not visited by a
+  /// full-coverage trace — dead).
+  void accountDeaths(const std::function<bool(Word)> &Keep);
   void computeRetention(const std::vector<HeapRoot> &Roots);
 
   bool Enabled = false;
@@ -258,6 +348,7 @@ private:
   std::vector<AddrSite> NextTable;
   std::vector<uint8_t> Consumed; ///< Parallel to Lookup.
   bool MinorScope = false; ///< Current collection traces the nursery only.
+  bool FirstRound = true; ///< Ages bump once per collection, not per round.
 
   /// O(1) visit-time lookup: word-granular slots, each holding
   /// (epoch << 24 | Lookup index). The sorted table is clustered into
@@ -289,6 +380,17 @@ private:
   GcEventKind CurEventKind = GcEventKind::Full;
   std::function<bool(Word)> IsTenured;
   uint64_t Collections = 0;
+
+  /// Cumulative per-site lifetime stats; numSites()+1 entries (last =
+  /// unknown bucket), sized with the site table.
+  std::vector<SiteLifetime> Life;
+  /// Per-collection age observations (reset per trace round with the
+  /// other tallies; each visited object contributes its current age).
+  uint64_t CurAgeObs = 0;
+  std::array<uint64_t, 8> CurAgeHist{};
+
+  HeapGraph *Graph = nullptr;
+  bool GraphActive = false; ///< This collection's graph is being captured.
 
   /// Live-object records for the retention pass (only filled when
   /// wantsRetention()).

@@ -193,9 +193,21 @@ void IntrospectServer::handleConn(int Fd) {
       respond(Fd, 200, "OK", "application/octet-stream", Body);
     return;
   }
+  if (Path == "/heapdump") {
+    {
+      std::lock_guard<std::mutex> G(BodyMutex);
+      Body = HeapDumpBody;
+    }
+    if (Body.empty())
+      respond(Fd, 404, "Not Found", "text/plain",
+              "no heap dump (run with --heap-dump)\n");
+    else
+      respond(Fd, 200, "OK", "application/octet-stream", Body);
+    return;
+  }
   respond(Fd, 404, "Not Found", "text/plain",
           "not found (try /metrics, /snapshot, /heartbeat, /flightrecord, "
-          "/healthz)\n");
+          "/heapdump, /healthz)\n");
 }
 
 std::string IntrospectServer::metricsBody() {
@@ -235,4 +247,9 @@ void IntrospectServer::publishHeartbeat(std::string Body) {
 void IntrospectServer::publishFlightRecord(std::string Body) {
   std::lock_guard<std::mutex> G(BodyMutex);
   FlightBody = std::move(Body);
+}
+
+void IntrospectServer::publishHeapDump(std::string Body) {
+  std::lock_guard<std::mutex> G(BodyMutex);
+  HeapDumpBody = std::move(Body);
 }

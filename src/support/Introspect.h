@@ -17,7 +17,9 @@
 /// (application/json; 404 until a heap profile is published), /heartbeat
 /// (application/json; 404 until the monitor emits one), /flightrecord
 /// (application/octet-stream; the latest drained flight-recorder chunk,
-/// 404 until --flight-out drains one), /healthz.
+/// 404 until --flight-out drains one), /heapdump
+/// (application/octet-stream; the latest typed heap-graph chunk, 404
+/// until --heap-dump captures one), /healthz.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,6 +65,9 @@ public:
   /// (24-byte header + records); pushed by the recorder's chunk sink at
   /// each world-stopped drain.
   void publishFlightRecord(std::string Body);
+  /// The latest heap-graph chunk as a standalone decodable framed body
+  /// ("TFGH" frame); pushed by HeapGraph's chunk sink at each capture.
+  void publishHeapDump(std::string Body);
 
   /// Total requests answered (any route, any status). Test hook.
   uint64_t requestsServed() const { return Requests.load(); }
@@ -87,6 +92,7 @@ private:
   std::string SnapshotBody;
   std::string HeartbeatBody;
   std::string FlightBody;
+  std::string HeapDumpBody;
 };
 
 } // namespace tfgc

@@ -2,6 +2,7 @@
 
 #include "support/Telemetry.h"
 
+#include "support/BuildInfo.h"
 #include "support/FlightRecorder.h"
 
 #include <cassert>
@@ -287,6 +288,10 @@ void Telemetry::writeStatsJson(std::ostream &OS, const Stats &St) const {
   OS << "{\n  \"schema\": 1,\n";
   if (!Label.empty())
     OS << "  \"label\": \"" << Label << "\",\n";
+  const BuildInfo &BI = buildInfo();
+  OS << "  \"build\": {\"git_sha\": \"" << BI.GitSha << "\", \"dispatch\": \""
+     << BI.Dispatch << "\", \"sanitizer\": \"" << BI.Sanitizer
+     << "\", \"build_type\": \"" << BI.BuildType << "\"},\n";
   OS << "  \"collections\": " << TotalCollections << ",\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, Value] : St.all()) {

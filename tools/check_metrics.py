@@ -10,6 +10,8 @@ cross-metric sanity, exit 1 on violation:
     gauge, and no name is sampled twice;
   * `tfgc_epoch_seq` is present and >= 1 (the run folded at least the
     startup epoch);
+  * `tfgc_build_info` is present with value 1 and carries the full
+    provenance label set (git_sha, dispatch, sanitizer, build_type);
   * heap.used <= heap.capacity, pause max <= pause total, collections
     split (minor + major) <= total collections.
 
@@ -41,6 +43,7 @@ def prom_name(counter):
 def parse(text, where):
     types = {}
     samples = {}
+    labelstrs = {}
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.rstrip()
         if not line:
@@ -68,17 +71,25 @@ def parse(text, where):
         if labels:
             assert labels.count('"') % 2 == 0, (
                 f"{where}:{lineno}: unbalanced quotes in labels: {labels!r}")
+            labelstrs[name] = labels
         assert re.match(r"^\d+$", value), (
             f"{where}:{lineno}: value of {name} is {value!r}, "
             "want a non-negative integer")
         samples[name] = int(value)
     assert samples, f"{where}: no samples"
-    return types, samples
+    return types, samples, labelstrs
 
 
-def sanity(samples):
+def sanity(samples, labelstrs):
     assert "tfgc_epoch_seq" in samples, "missing tfgc_epoch_seq"
     assert samples["tfgc_epoch_seq"] >= 1, "epoch seq below 1"
+
+    assert "tfgc_build_info" in samples, "missing tfgc_build_info"
+    assert samples["tfgc_build_info"] == 1, "tfgc_build_info value is not 1"
+    build_labels = labelstrs.get("tfgc_build_info", "")
+    for key in ("git_sha", "dispatch", "sanitizer", "build_type"):
+        assert f'{key}="' in build_labels, (
+            f"tfgc_build_info missing label {key}: {build_labels!r}")
 
     def both(a, b):
         return a in samples and b in samples
@@ -124,8 +135,8 @@ def main():
         return 2
     text = sys.stdin.read() if args[0] == "-" else open(args[0]).read()
     where = "<stdin>" if args[0] == "-" else args[0]
-    types, samples = parse(text, where)
-    sanity(samples)
+    types, samples, labelstrs = parse(text, where)
+    sanity(samples, labelstrs)
     if stats_path:
         against_stats(samples, stats_path)
     gauges = sum(1 for k in types.values() if k == "gauge")

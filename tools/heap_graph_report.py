@@ -1,0 +1,450 @@
+#!/usr/bin/env python3
+"""Decodes a tfgc --heap-dump typed heap-graph stream.
+
+The file is a sequence of framed chunks, one per captured full/major
+collection. Frame: magic "TFGH", u8 version (1), u8 flags (bit0 = tagged
+value model), u16 reserved, u32 little-endian body length, body. The
+body is LEB128-varint encoded (zigzag for signed deltas; strings are
+length-prefixed):
+
+    seq, kind(u8), covered_bytes
+    site table: count; per site func str, line, col, type str
+    function names: count; strs (indexed by root records)
+    nodes: count; per node addr-delta, kind(u8), site, words
+           (address-sorted; site == site-count means unknown)
+    edges: count; per edge src-delta, field, dst (node indices, sorted)
+    roots: count; per root func, slot, node index
+    retained rows: count; per row site, live_objects, live_words,
+                   retained_bytes, zigzag delta_bytes vs previous capture
+    lifetime rows: count; per row site, survived[1,2,4,8 collections],
+                   deaths, death_age_histogram[8], promoted_objects,
+                   promoted_words, alloc_count (cumulative)
+    census footer: num_kinds; per kind name str, objects, words; then
+                   total_objects, total_words (the profiler's own
+                   tallies — independent of the node records)
+
+Modes:
+    heap_graph_report.py FILE             per-chunk summary + top sites
+    heap_graph_report.py --check FILE     invariant check, exit 1 on
+                                          violation: edge/root closure,
+                                          node-derived per-kind sums ==
+                                          census footer, node-derived
+                                          per-site live tallies ==
+                                          retained rows, retained bytes
+                                          bounded by total live bytes
+    heap_graph_report.py --diff FILE      leak attribution: first vs
+                                          last chunk, ranked by retained
+                                          growth (also --diff A B for
+                                          two files); --diff
+                                          --expect-top FUNC exits 1
+                                          unless suspect #1 is in FUNC
+    heap_graph_report.py --dot OUT FILE   Graphviz subgraph of the top
+                                          leak suspect's retaining path
+                                          (root-to-suspect chain + the
+                                          suspect's immediate children)
+"""
+
+import sys
+
+WORD = 8
+
+
+class Cursor:
+    def __init__(self, buf):
+        self.buf = buf
+        self.off = 0
+
+    def u8(self):
+        v = self.buf[self.off]
+        self.off += 1
+        return v
+
+    def varint(self):
+        shift = 0
+        out = 0
+        while True:
+            b = self.buf[self.off]
+            self.off += 1
+            out |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return out
+            shift += 7
+
+    def zigzag(self):
+        v = self.varint()
+        return (v >> 1) ^ -(v & 1)
+
+    def str_(self):
+        n = self.varint()
+        s = self.buf[self.off:self.off + n].decode("utf-8", "replace")
+        self.off += n
+        return s
+
+
+def decode_chunk(body, tagged):
+    c = Cursor(body)
+    chunk = {"tagged": tagged}
+    chunk["seq"] = c.varint()
+    chunk["kind"] = c.u8()
+    chunk["covered_bytes"] = c.varint()
+
+    nsites = c.varint()
+    chunk["sites"] = [
+        {"func": c.str_(), "line": c.varint(), "col": c.varint(),
+         "type": c.str_()}
+        for _ in range(nsites)]
+    chunk["funcs"] = [c.str_() for _ in range(c.varint())]
+
+    nodes = []
+    addr = 0
+    for _ in range(c.varint()):
+        addr += c.varint()
+        kind = c.u8()
+        site = c.varint()
+        words = c.varint()
+        nodes.append((addr, kind, site, words))
+    chunk["nodes"] = nodes
+
+    edges = []
+    src = 0
+    for _ in range(c.varint()):
+        src += c.varint()
+        field = c.varint()
+        dst = c.varint()
+        edges.append((src, field, dst))
+    chunk["edges"] = edges
+
+    chunk["roots"] = [
+        (c.varint(), c.varint(), c.varint()) for _ in range(c.varint())]
+
+    chunk["retained"] = [
+        {"site": c.varint(), "live_objects": c.varint(),
+         "live_words": c.varint(), "retained_bytes": c.varint(),
+         "delta_bytes": c.zigzag()}
+        for _ in range(c.varint())]
+
+    life = []
+    for _ in range(c.varint()):
+        row = {"site": c.varint()}
+        row["survived"] = [c.varint() for _ in range(4)]
+        row["deaths"] = c.varint()
+        row["death_hist"] = [c.varint() for _ in range(8)]
+        row["promoted_objects"] = c.varint()
+        row["promoted_words"] = c.varint()
+        row["alloc_count"] = c.varint()
+        life.append(row)
+    chunk["lifetime"] = life
+
+    census = []
+    for _ in range(c.varint()):
+        census.append({"kind": c.str_(), "objects": c.varint(),
+                       "words": c.varint()})
+    chunk["census"] = census
+    chunk["census_total_objects"] = c.varint()
+    chunk["census_total_words"] = c.varint()
+    assert c.off == len(body), (
+        f"chunk {chunk['seq']}: {len(body) - c.off} trailing bytes")
+    return chunk
+
+
+def read_chunks(path):
+    data = sys.stdin.buffer.read() if path == "-" else open(path, "rb").read()
+    chunks = []
+    off = 0
+    while off < len(data):
+        assert data[off:off + 4] == b"TFGH", (
+            f"{path}:{off}: bad frame magic {data[off:off + 4]!r}")
+        version = data[off + 4]
+        assert version == 1, f"{path}:{off}: unknown version {version}"
+        tagged = bool(data[off + 5] & 1)
+        n = int.from_bytes(data[off + 8:off + 12], "little")
+        body = data[off + 12:off + 12 + n]
+        assert len(body) == n, f"{path}:{off}: truncated chunk"
+        chunks.append(decode_chunk(body, tagged))
+        off += 12 + n
+    assert chunks, f"{path}: no chunks"
+    return chunks
+
+
+def site_name(chunk, site):
+    sites = chunk["sites"]
+    if site >= len(sites):
+        return f"site {site} (unknown)"
+    s = sites[site]
+    return f"{s['func']}:{s['line']}:{s['col']} ({s['type']})"
+
+
+# GcEventKind in support/Telemetry.h.
+KIND_NAMES = {0: "full", 1: "minor", 2: "major"}
+
+
+def check(chunks, where):
+    bad = []
+    for chunk in chunks:
+        seq = chunk["seq"]
+        nodes, edges = chunk["nodes"], chunk["edges"]
+        n = len(nodes)
+
+        for i in range(1, n):
+            if nodes[i][0] <= nodes[i - 1][0]:
+                bad.append(f"chunk {seq}: nodes not strictly "
+                           f"address-sorted at index {i}")
+                break
+        for src, field, dst in edges:
+            if src >= n or dst >= n:
+                bad.append(f"chunk {seq}: edge ({src},{field},{dst}) "
+                           f"escapes the {n}-node set")
+                break
+        for func, slot, node in chunk["roots"]:
+            if node >= n:
+                bad.append(f"chunk {seq}: root ({func},{slot}) points at "
+                           f"node {node} of {n}")
+                break
+
+        # Node-derived census vs the profiler's footer tallies.
+        by_kind = {}
+        for _, kind, _, words in nodes:
+            objs, w = by_kind.get(kind, (0, 0))
+            by_kind[kind] = (objs + 1, w + words)
+        for i, row in enumerate(chunk["census"]):
+            got = by_kind.get(i, (0, 0))
+            want = (row["objects"], row["words"])
+            if got != want:
+                bad.append(f"chunk {seq}: kind {row['kind']}: graph has "
+                           f"{got[0]} objects/{got[1]} words, census says "
+                           f"{want[0]}/{want[1]}")
+        total = (sum(o for o, _ in by_kind.values()),
+                 sum(w for _, w in by_kind.values()))
+        want_total = (chunk["census_total_objects"],
+                      chunk["census_total_words"])
+        if total != want_total:
+            bad.append(f"chunk {seq}: graph totals {total} != census "
+                       f"footer totals {want_total}")
+
+        # Node-derived per-site tallies vs the retained rows.
+        unknown = len(chunk["sites"])
+        by_site = {}
+        for _, _, site, words in nodes:
+            site = min(site, unknown)
+            objs, w = by_site.get(site, (0, 0))
+            by_site[site] = (objs + 1, w + words)
+        rows = {r["site"]: r for r in chunk["retained"]}
+        for site, (objs, words) in by_site.items():
+            row = rows.get(site)
+            if row is None:
+                bad.append(f"chunk {seq}: site {site} has live objects "
+                           "but no retained row")
+                continue
+            if (row["live_objects"], row["live_words"]) != (objs, words):
+                bad.append(
+                    f"chunk {seq}: site {site}: rows say "
+                    f"{row['live_objects']} objects/{row['live_words']} "
+                    f"words, nodes sum to {objs}/{words}")
+        live_bytes = sum(w for _, _, _, w in nodes) * WORD
+        for row in chunk["retained"]:
+            if row["retained_bytes"] > live_bytes:
+                bad.append(f"chunk {seq}: site {row['site']} retains "
+                           f"{row['retained_bytes']} bytes > "
+                           f"{live_bytes} live bytes")
+
+        # Lifetime rows: survival curves are monotone non-increasing by
+        # construction (an object surviving 8 collections survived 4).
+        for row in chunk["lifetime"]:
+            s = row["survived"]
+            if any(s[i] < s[i + 1] for i in range(3)):
+                bad.append(f"chunk {seq}: site {row['site']}: survival "
+                           f"curve {s} is not monotone non-increasing")
+    if bad:
+        print(f"{where}: {len(bad)} violation(s):", file=sys.stderr)
+        for b in bad:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    nodes = sum(len(c["nodes"]) for c in chunks)
+    edges = sum(len(c["edges"]) for c in chunks)
+    print(f"{where}: {len(chunks)} chunk(s), {nodes} nodes, "
+          f"{edges} edges: ok")
+    return 0
+
+
+def summary(chunks, where):
+    print(f"{where}: {len(chunks)} chunk(s)")
+    for chunk in chunks:
+        kind = KIND_NAMES.get(chunk["kind"], str(chunk["kind"]))
+        live = sum(w for _, _, _, w in chunk["nodes"]) * WORD
+        print(f"\nchunk seq={chunk['seq']} ({kind} collection): "
+              f"{len(chunk['nodes'])} nodes, {len(chunk['edges'])} edges, "
+              f"{len(chunk['roots'])} root refs, {live} live bytes")
+        top = sorted(chunk["retained"],
+                     key=lambda r: (-r["retained_bytes"], r["site"]))[:10]
+        if top:
+            print("  top sites by retained bytes:")
+        for row in top:
+            print(f"    {row['retained_bytes']:>10}  "
+                  f"(live {row['live_objects']} obj / "
+                  f"{row['live_words'] * WORD} B, "
+                  f"delta {row['delta_bytes']:+})  "
+                  f"{site_name(chunk, row['site'])}")
+    return 0
+
+
+def diff(old, new, where, expect_top=None):
+    """Ranked retained-size growth between two captures. With
+    expect_top, exit 1 unless suspect #1's function matches — the CI
+    smoke asserts the planted leak wins the ranking."""
+    old_rows = {r["site"]: r for r in old["retained"]}
+    growth = []
+    for row in new["retained"]:
+        before = old_rows.get(row["site"], {"retained_bytes": 0,
+                                            "live_objects": 0})
+        # Equal retained growth is tie-broken by live-object growth: a
+        # site accumulating objects is the leak, the single container
+        # cell that happens to dominate them is not.
+        growth.append((row["retained_bytes"] - before["retained_bytes"],
+                       row["live_objects"] - before["live_objects"],
+                       row["site"], row, before))
+    growth.sort(key=lambda g: (-g[0], -g[1], g[2]))
+    print(f"{where}: retained-size delta, capture seq {old['seq']} -> "
+          f"{new['seq']}")
+    print(f"{'delta_bytes':>12} {'retained':>12} {'live_obj':>9}  site")
+    for delta, _, site, row, before in growth[:15]:
+        print(f"{delta:>+12} {row['retained_bytes']:>12} "
+              f"{row['live_objects']:>9}  {site_name(new, site)}")
+    if growth and growth[0][0] > 0:
+        _, _, site, row, _ = growth[0]
+        life = {r["site"]: r for r in new["lifetime"]}.get(site)
+        print(f"\nleak suspect #1: {site_name(new, site)}")
+        print(f"  retained {row['retained_bytes']} bytes "
+              f"(+{growth[0][0]} since seq {old['seq']}), "
+              f"{row['live_objects']} live objects")
+        if life:
+            print(f"  allocated {life['alloc_count']}, died "
+                  f"{life['deaths']}, survived 1/2/4/8 collections: "
+                  f"{'/'.join(str(s) for s in life['survived'])}, "
+                  f"promoted {life['promoted_objects']} "
+                  f"({life['promoted_words'] * WORD} B)")
+    if expect_top is not None:
+        top = growth[0] if growth and growth[0][0] > 0 else None
+        func = (new["sites"][top[2]]["func"]
+                if top and top[2] < len(new["sites"]) else None)
+        if func != expect_top:
+            print(f"{where}: FAIL — expected leak suspect #1 in "
+                  f"'{expect_top}', got "
+                  f"{site_name(new, top[2]) if top else 'no growth'}",
+                  file=sys.stderr)
+            return 1
+        print(f"{where}: suspect #1 in '{expect_top}' as expected")
+    return 0
+
+
+def dot(chunks, out_path, where):
+    """Retaining path of the top retained-size site in the last chunk."""
+    chunk = chunks[-1]
+    rows = sorted(chunk["retained"],
+                  key=lambda r: (-r["retained_bytes"], r["site"]))
+    unknown = len(chunk["sites"])
+    assert rows, f"{where}: no retained rows"
+    suspect = rows[0]["site"]
+    nodes = chunk["nodes"]
+
+    # Reverse-BFS from the suspect's biggest node back to a root.
+    preds = {}
+    for src, field, dst in chunk["edges"]:
+        preds.setdefault(dst, []).append((src, field))
+    rooted = {node for _, _, node in chunk["roots"]}
+    best = max((i for i, nd in enumerate(nodes)
+                if min(nd[2], unknown) == suspect),
+               key=lambda i: nodes[i][3], default=None)
+    assert best is not None, f"{where}: suspect site has no nodes"
+    path = []
+    seen = {best}
+    frontier = [(best, [])]
+    while frontier:
+        node, trail = frontier.pop(0)
+        if node in rooted or node not in preds:
+            # trail is the (pred, field) hops walked from best; reverse
+            # it so the path reads root-first.
+            path = list(reversed([best] + [n for n, _ in trail]))
+            break
+        for pred, field in preds[node]:
+            if pred not in seen:
+                seen.add(pred)
+                frontier.append((pred, trail + [(pred, field)]))
+    if not path:
+        path = [best]
+
+    with open(out_path, "w") as f:
+        f.write("digraph retain {\n  rankdir=LR;\n")
+        emitted = set()
+
+        def emit(i, color=None):
+            if i in emitted:
+                return
+            emitted.add(i)
+            addr, kind, site, words = nodes[i]
+            label = (f"n{i}\\n{site_name(chunk, min(site, unknown))}"
+                     f"\\n{words * WORD} B")
+            style = f', style=filled, fillcolor="{color}"' if color else ""
+            f.write(f'  n{i} [label="{label}"{style}];\n')
+
+        for i in path:
+            emit(i, "lightcoral" if i == path[-1] else
+                 ("lightblue" if i in rooted else None))
+        for a, b in zip(path, path[1:]):
+            f.write(f"  n{a} -> n{b};\n")
+        kids = [(field, dst) for src, field, dst in chunk["edges"]
+                if src == path[-1]][:8]
+        for field, child in kids:
+            emit(child)
+            f.write(f'  n{path[-1]} -> n{child} [label="f{field}"];\n')
+        f.write("}\n")
+    print(f"{where}: wrote retaining path of "
+          f"{site_name(chunk, suspect)} ({len(path)} hops, "
+          f"{len(kids)} children) to {out_path}")
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    mode = "summary"
+    out = None
+    expect_top = None
+    if args and args[0] == "--check":
+        mode = "check"
+        args = args[1:]
+    elif args and args[0] == "--diff":
+        mode = "diff"
+        args = args[1:]
+        if len(args) >= 2 and args[0] == "--expect-top":
+            expect_top = args[1]
+            args = args[2:]
+    elif args and args[0] == "--dot":
+        assert len(args) >= 2, "--dot needs an output path"
+        mode = "dot"
+        out = args[1]
+        args = args[2:]
+    if not args or len(args) > 2 or (len(args) == 2 and mode != "diff"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    if mode == "diff" and len(args) == 2:
+        a, b = read_chunks(args[0]), read_chunks(args[1])
+        return diff(a[-1], b[-1], f"{args[0]} vs {args[1]}", expect_top)
+    chunks = read_chunks(args[0])
+    if mode == "check":
+        return check(chunks, args[0])
+    if mode == "diff":
+        assert len(chunks) >= 2, (
+            f"{args[0]}: --diff needs at least two chunks "
+            f"(have {len(chunks)}; lower --heap-dump-every or give two "
+            "files)")
+        return diff(chunks[0], chunks[-1], args[0], expect_top)
+    if mode == "dot":
+        return dot(chunks, out, args[0])
+    return summary(chunks, args[0])
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

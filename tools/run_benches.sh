@@ -19,7 +19,7 @@ fi
 
 for NAME in mutator heap_space pause metadata_size liveness gcpoints \
             poly tasking frame_init generational heap_profile monitor \
-            observe flight; do
+            observe flight heap_graph; do
   BIN="$BENCH_DIR/bench_$NAME"
   if [ ! -x "$BIN" ]; then
     echo "skip: $BIN not built" >&2
